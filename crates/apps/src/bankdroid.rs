@@ -1,0 +1,133 @@
+//! The BankDroid case study (§4.1).
+//!
+//! BankDroid is a bank-account manager: the user selects the bank password
+//! from the cor list, the app computes `sha256(password)` for the bank's
+//! hash-login protocol (the hash access triggers offloading and the hash
+//! itself becomes a *derived cor*), sends the login, then fetches and
+//! displays the recent transactions — which are ordinary private data and
+//! run entirely on the client.
+
+use tinman_vm::{AppImage, Insn, ProgramBuilder};
+
+/// Builds the BankDroid app for one `bank_domain` whose password cor is
+/// described as `cor_description`.
+pub fn build_bankdroid(bank_domain: &str, cor_description: &str) -> AppImage {
+    let mut p = ProgramBuilder::new("bankdroid");
+
+    let n_select = p.native("ui.select_cor");
+    let n_show = p.native("ui.show");
+    let n_connect = p.native("net.connect");
+    let n_handshake = p.native("net.tls_handshake");
+    let n_close = p.native("net.close");
+    let n_input = p.native("app.input");
+    let n_disk = p.native("disk.write");
+    // Registered here so their ids exist for the nested definitions below.
+    p.native("crypto.sha256");
+    p.native("net.send");
+    p.native("net.recv");
+
+    let s_domain = p.string(bank_domain);
+    let s_desc = p.string(cor_description);
+    let s_user_key = p.string("username");
+    let s_user_prefix = p.string("user=");
+    let s_round = p.string("&round=0");
+    let s_pass_prefix = p.string("&pass=");
+    let s_tx_req = p.string("GET /transactions");
+    let s_ok = p.string("OK");
+    let s_banner = p.string("BankDroid: account overview");
+    let s_fail = p.string("BankDroid: login failed");
+    let s_cache_prefix = p.string("txcache:");
+
+    let cls_account = p.class("Account", &["balance_view", "tx_view"]);
+
+    // ui_setup(acct): light framework warm-up.
+    let ui_setup = p.define("ui_setup", 1, 3, |b, _| {
+        b.const_i(400).store(2);
+        b.for_loop(1, 2, |b| {
+            b.load(1).const_i(3).op(Insn::Mul).op(Insn::Pop);
+        });
+        b.op(Insn::RetVoid);
+    });
+
+    // login(conn, user, pw) -> 1/0: the §4.1 flow.
+    let login = p.define("login", 3, 6, |b, pb| {
+        // locals: 0=conn, 1=user, 2=pw, 3=hash, 4=body, 5=reply
+        // The bank requires the HASH of the password: this native call on
+        // the tainted placeholder is the offload trigger, and the hash the
+        // node computes is a new cor.
+        b.load(2).op(Insn::CallNative(pb.native("crypto.sha256"), 1)).store(3);
+        // body = "user=" + user + "&round=0" + "&pass=" + hash
+        b.op(Insn::ConstS(s_user_prefix)).load(1).op(Insn::StrConcat);
+        b.op(Insn::ConstS(s_round)).op(Insn::StrConcat);
+        b.op(Insn::ConstS(s_pass_prefix)).op(Insn::StrConcat);
+        b.load(3).op(Insn::StrConcat).store(4);
+        // Send (payload replacement) and receive (migrate back).
+        b.load(0).load(4).op(Insn::CallNative(pb.native("net.send"), 2)).op(Insn::Pop);
+        b.load(0).op(Insn::CallNative(pb.native("net.recv"), 1)).store(5);
+        b.load(5).op(Insn::ConstS(s_ok)).op(Insn::StrIndexOf).const_i(0).op(Insn::CmpGe);
+        b.op(Insn::Ret);
+    });
+
+    // fetch_transactions(conn) -> summary string (ordinary private data —
+    // handled entirely on the client, §5.4 "non-cor private data").
+    let fetch_tx = p.define("fetch_transactions", 1, 3, |b, pb| {
+        b.load(0).op(Insn::ConstS(s_tx_req)).op(Insn::CallNative(pb.native("net.send"), 2));
+        b.op(Insn::Pop);
+        b.load(0).op(Insn::CallNative(pb.native("net.recv"), 1)).op(Insn::Ret);
+    });
+
+    let main = p.define("main", 0, 7, |b, _| {
+        // locals: 0=acct, 1=user, 2=pw, 3=conn, 4=ok, 5=tx, 6=cache_line
+        b.op(Insn::New(cls_account)).store(0);
+        b.load(0).op(Insn::Call(ui_setup)).op(Insn::Pop);
+        b.op(Insn::ConstS(s_user_key)).op(Insn::CallNative(n_input, 1)).store(1);
+        b.op(Insn::ConstS(s_desc)).op(Insn::CallNative(n_select, 1)).store(2);
+        b.op(Insn::ConstS(s_domain)).const_i(443).op(Insn::CallNative(n_connect, 2)).store(3);
+        b.load(3).op(Insn::CallNative(n_handshake, 1)).op(Insn::Pop);
+        b.load(3).load(1).load(2).op(Insn::Call(login)).store(4);
+        let fail = b.label();
+        let end = b.label();
+        b.load(4);
+        b.jump_if_zero(fail);
+        // Transactions: fetched, shown, and cached to disk — all plaintext
+        // client-side, because they are not cor.
+        b.load(3).op(Insn::Call(fetch_tx)).store(5);
+        b.op(Insn::ConstS(s_banner)).op(Insn::CallNative(n_show, 1)).op(Insn::Pop);
+        b.load(5).op(Insn::CallNative(n_show, 1)).op(Insn::Pop);
+        b.op(Insn::ConstS(s_cache_prefix)).load(5).op(Insn::StrConcat).store(6);
+        b.load(6).op(Insn::CallNative(n_disk, 1)).op(Insn::Pop);
+        b.jump(end);
+        b.bind(fail);
+        b.op(Insn::ConstS(s_fail)).op(Insn::CallNative(n_show, 1)).op(Insn::Pop);
+        b.bind(end);
+        b.load(3).op(Insn::CallNative(n_close, 1)).op(Insn::Pop);
+        b.load(4).op(Insn::Halt);
+    });
+
+    p.build(main)
+}
+
+/// The bank's transaction history, served after a successful login.
+pub const SAMPLE_TRANSACTIONS: &str =
+    "OK 2026-06-30 -12.50 coffee; 2026-07-01 -89.99 shoes; 2026-07-02 +2400.00 salary";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_is_deterministic() {
+        let a = build_bankdroid("citibank.com", "Citibank password");
+        let b = build_bankdroid("citibank.com", "Citibank password");
+        assert_eq!(a.hash(), b.hash());
+        assert!(a.find_function("login").is_some());
+        assert!(a.find_function("fetch_transactions").is_some());
+    }
+
+    #[test]
+    fn different_banks_are_different_apps() {
+        let a = build_bankdroid("citibank.com", "Citibank password");
+        let b = build_bankdroid("hsbc.com", "HSBC password");
+        assert_ne!(a.hash(), b.hash());
+    }
+}

@@ -1,0 +1,103 @@
+//! The browser checkout case study (§4.2).
+//!
+//! The user fills a payment form. Card number and security code come from
+//! the cor dropdown the modified rendering engine adds next to each input
+//! widget, so only placeholders exist on the phone; the amount and shipping
+//! fields are typed normally. Submitting the form concatenates the tainted
+//! fields into the POST body — triggering offload — and the trusted node
+//! sends the real card data under its §4.2 policy rules (domain whitelist,
+//! time window, rate limit).
+
+use tinman_vm::{AppImage, Insn, ProgramBuilder};
+
+/// Builds the browser running a checkout against `shop_domain`, selecting
+/// the given card-number and CVV cor descriptions.
+pub fn build_browser_checkout(
+    shop_domain: &str,
+    card_description: &str,
+    cvv_description: &str,
+) -> AppImage {
+    let mut p = ProgramBuilder::new("browser");
+
+    let n_select = p.native("ui.select_cor");
+    let n_show = p.native("ui.show");
+    let n_connect = p.native("net.connect");
+    let n_handshake = p.native("net.tls_handshake");
+    let n_close = p.native("net.close");
+    let n_input = p.native("app.input");
+    // Registered here so their ids exist for the nested definitions below.
+    p.native("net.send");
+    p.native("net.recv");
+
+    let s_domain = p.string(shop_domain);
+    let s_card_desc = p.string(card_description);
+    let s_cvv_desc = p.string(cvv_description);
+    let s_amount_key = p.string("amount");
+    let s_card_prefix = p.string("card=");
+    let s_cvv_prefix = p.string("&cvv=");
+    let s_amount_prefix = p.string("&amount=");
+    let s_paid = p.string("PAID");
+    let s_receipt = p.string("payment accepted");
+    let s_declined = p.string("payment declined");
+
+    // render_page(): DOM-building busywork on the client.
+    let render = p.define("render_page", 0, 3, |b, _| {
+        b.const_i(600).store(2);
+        b.for_loop(1, 2, |b| {
+            b.load(1).const_i(7).op(Insn::Mul).const_i(13).op(Insn::Rem).op(Insn::Pop);
+        });
+        b.op(Insn::RetVoid);
+    });
+
+    // submit(conn, card, cvv, amount) -> 1/0
+    let submit = p.define("submit", 4, 6, |b, pb| {
+        // locals: 0=conn, 1=card, 2=cvv, 3=amount, 4=body, 5=reply
+        // body = "card=" + card  — tainted concat, offload triggers here.
+        b.op(Insn::ConstS(s_card_prefix)).load(1).op(Insn::StrConcat);
+        b.op(Insn::ConstS(s_cvv_prefix)).op(Insn::StrConcat);
+        b.load(2).op(Insn::StrConcat);
+        b.op(Insn::ConstS(s_amount_prefix)).op(Insn::StrConcat);
+        b.load(3).op(Insn::StrConcat).store(4);
+        b.load(0).load(4).op(Insn::CallNative(pb.native("net.send"), 2)).op(Insn::Pop);
+        b.load(0).op(Insn::CallNative(pb.native("net.recv"), 1)).store(5);
+        b.load(5).op(Insn::ConstS(s_paid)).op(Insn::StrIndexOf).const_i(0).op(Insn::CmpGe);
+        b.op(Insn::Ret);
+    });
+
+    let main = p.define("main", 0, 6, |b, _| {
+        // locals: 0=card, 1=cvv, 2=amount, 3=conn, 4=ok
+        b.op(Insn::Call(render)).op(Insn::Pop);
+        b.op(Insn::ConstS(s_card_desc)).op(Insn::CallNative(n_select, 1)).store(0);
+        b.op(Insn::ConstS(s_cvv_desc)).op(Insn::CallNative(n_select, 1)).store(1);
+        b.op(Insn::ConstS(s_amount_key)).op(Insn::CallNative(n_input, 1)).store(2);
+        b.op(Insn::ConstS(s_domain)).const_i(443).op(Insn::CallNative(n_connect, 2)).store(3);
+        b.load(3).op(Insn::CallNative(n_handshake, 1)).op(Insn::Pop);
+        b.load(3).load(0).load(1).load(2).op(Insn::Call(submit)).store(4);
+        let declined = b.label();
+        let end = b.label();
+        b.load(4);
+        b.jump_if_zero(declined);
+        b.op(Insn::ConstS(s_receipt)).op(Insn::CallNative(n_show, 1)).op(Insn::Pop);
+        b.jump(end);
+        b.bind(declined);
+        b.op(Insn::ConstS(s_declined)).op(Insn::CallNative(n_show, 1)).op(Insn::Pop);
+        b.bind(end);
+        b.load(3).op(Insn::CallNative(n_close, 1)).op(Insn::Pop);
+        b.load(4).op(Insn::Halt);
+    });
+
+    p.build(main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_with_expected_functions() {
+        let img = build_browser_checkout("shop.com", "Visa card", "Visa CVV");
+        assert!(img.find_function("submit").is_some());
+        assert!(img.find_function("render_page").is_some());
+        assert_eq!(img.name, "browser");
+    }
+}

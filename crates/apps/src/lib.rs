@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! Applications, servers and workloads for the TinMan reproduction.
+//!
+//! The paper evaluates TinMan on real Android apps (BankDroid, the stock
+//! browser, and the PayPal/eBay/GitHub/Ask.fm login flows) against real web
+//! sites, plus the Caffeinemark micro-benchmark and three battery workloads
+//! (a game, web browsing, video playback). None of those artifacts can run
+//! on this substrate, so this crate rebuilds each as a program for
+//! [`tinman_vm`] plus a matching simulated server:
+//!
+//! * [`logins`] — a parameterized login-app generator whose knobs (UI
+//!   method count, offloaded method count, heap bulk, post-offload
+//!   allocations, extra cor rounds, lock usage) are calibrated per app so
+//!   the measured offload statistics land on the paper's Table 3 shapes;
+//! * [`bankdroid`] — the §4.1 case study: hash-of-password login through a
+//!   bank-account app, with the hash becoming a derived cor;
+//! * [`browser`] — the §4.2 case study: a checkout form whose credit-card
+//!   fields are cor placeholders;
+//! * [`servers`] — the web-site side: an authentication server that only
+//!   accepts the *real* credential (proving payload replacement works end
+//!   to end) and a payment server for the card flow;
+//! * [`caffeinemark`] — the six Caffeinemark kernels (sieve, loop, logic,
+//!   string, float, method) used for Figure 13;
+//! * [`workloads`] — the game/web/video surrogate workloads behind the
+//!   battery curves of Figure 17;
+//! * [`malicious`] — a phishing app and an exfiltration app for the §3.4 /
+//!   §5.2 security experiments.
+
+pub mod bankdroid;
+pub mod browser;
+pub mod caffeinemark;
+pub mod logins;
+pub mod malicious;
+pub mod servers;
+pub mod workloads;
+
+pub use caffeinemark::{CaffeinemarkKernel, CaffeinemarkResult};
+pub use logins::{build_login_app, LoginAppSpec};
+pub use servers::{install_auth_server, install_payment_server, AuthServerSpec};

@@ -1,0 +1,354 @@
+//! Parameterized login applications.
+//!
+//! The paper's Table 3 measures four real apps (PayPal, eBay, GitHub,
+//! Ask.fm) logging into their real sites. What it actually measures are
+//! structural properties of the app's control flow: how many method
+//! invocations run where, how many DSM syncs happen, and how much heap
+//! state crosses the wire. [`LoginAppSpec`] exposes exactly those knobs and
+//! [`build_login_app`] synthesizes a VM program with that shape; the specs
+//! in [`LoginAppSpec::paypal`] etc. are calibrated so the reproduction's
+//! Table 3 matches the paper's shape (per-app ordering and magnitudes).
+//!
+//! The generated app's flow (a realistic login):
+//!
+//! 1. **UI phase (client)**: framework warm-up — `ui_methods` small method
+//!    calls that build `heap_strings` retained strings (this becomes the
+//!    init-sync bulk).
+//! 2. The user picks the password from the cor list (`ui.select_cor`).
+//! 3. TCP + TLS handshake to the site.
+//! 4. **Login phase (offloaded)**: the request body is concatenated with
+//!    the password — the Figure 11 trigger — then `offload_methods` methods
+//!    run remotely (request building/validation that touches the tainted
+//!    body), optionally the password is hashed (a derived cor), and the
+//!    request is sent (SSL injection + payload replacement).
+//! 5. `net.recv` migrates execution back; the client parses the response.
+//! 6. `extra_cor_rounds` repeats a shortened step 4-5 (eBay and Ask.fm
+//!    perform two credential exchanges, which is why they show four syncs).
+
+use tinman_vm::{AppImage, Insn, ProgramBuilder};
+
+/// Structural knobs for one login app.
+#[derive(Clone, Debug)]
+pub struct LoginAppSpec {
+    /// App name (also the image name).
+    pub name: &'static str,
+    /// The domain the app logs into.
+    pub domain: &'static str,
+    /// The cor description the user picks (must exist in the store).
+    pub cor_description: &'static str,
+    /// Client-side framework method calls before login.
+    pub ui_methods: u32,
+    /// Retained framework strings built during UI warm-up (init-sync bulk).
+    pub heap_strings: u32,
+    /// Bytes per retained framework string.
+    pub string_len: u32,
+    /// Work-unit method calls executed on the trusted node per login round.
+    pub offload_methods: u32,
+    /// Every `alloc_every`-th offloaded work unit also allocates a retained
+    /// string (drives dirty-sync bytes). 0 disables allocations.
+    pub alloc_every: u32,
+    /// Bytes per node-side allocation.
+    pub alloc_len: u32,
+    /// Hash the password before sending (BankDroid-style login).
+    pub hash_login: bool,
+    /// Take a client-held monitor inside the offloaded phase (reproduces
+    /// the github lock-transfer sync).
+    pub use_lock: bool,
+    /// Additional credential exchanges after the first (each adds an
+    /// offload + migrate-back pair).
+    pub extra_cor_rounds: u32,
+}
+
+impl LoginAppSpec {
+    /// PayPal: the largest app — heavy UI framework, a big offloaded
+    /// phase (paper: 10274 invocations, 4.7%, 2 syncs, 768.5 KB init,
+    /// 24.3 KB dirty).
+    pub fn paypal() -> Self {
+        LoginAppSpec {
+            name: "paypal",
+            domain: "paypal.com",
+            cor_description: "PayPal password",
+            ui_methods: 197_000,
+            heap_strings: 1_135,
+            string_len: 640,
+            offload_methods: 9_942,
+            alloc_every: 30,
+            alloc_len: 32,
+            hash_login: false,
+            use_lock: false,
+            extra_cor_rounds: 0,
+        }
+    }
+
+    /// eBay: mid-size, two credential exchanges (paper: 2835, 2.4%, 4
+    /// syncs, 759.8 KB init, 16.6 KB dirty).
+    pub fn ebay() -> Self {
+        LoginAppSpec {
+            name: "ebay",
+            domain: "ebay.com",
+            cor_description: "eBay password",
+            ui_methods: 112_000,
+            heap_strings: 1_122,
+            string_len: 640,
+            offload_methods: 1_299,
+            alloc_every: 11,
+            alloc_len: 32,
+            hash_login: false,
+            use_lock: false,
+            extra_cor_rounds: 1,
+        }
+    }
+
+    /// GitHub: smallest, exhibits the lock-transfer sync (paper: 1672,
+    /// 2.0%, 3 syncs, 603.0 KB init, 4.9 KB dirty).
+    pub fn github() -> Self {
+        LoginAppSpec {
+            name: "github",
+            domain: "github.com",
+            cor_description: "GitHub password",
+            ui_methods: 80_000,
+            heap_strings: 889,
+            string_len: 640,
+            offload_methods: 1_612,
+            alloc_every: 27,
+            alloc_len: 32,
+            hash_login: false,
+            use_lock: true,
+            extra_cor_rounds: 0,
+        }
+    }
+
+    /// Ask.fm: small with two exchanges (paper: 1791, 1.7%, 4 syncs,
+    /// 716.6 KB init, 18.7 KB dirty).
+    pub fn askfm() -> Self {
+        LoginAppSpec {
+            name: "askfm",
+            domain: "askfm.com",
+            cor_description: "Ask.fm password",
+            ui_methods: 101_000,
+            heap_strings: 1_057,
+            string_len: 640,
+            offload_methods: 767,
+            alloc_every: 6,
+            alloc_len: 32,
+            hash_login: false,
+            use_lock: false,
+            extra_cor_rounds: 1,
+        }
+    }
+
+    /// The paper's four Table 3 apps.
+    pub fn table3() -> Vec<LoginAppSpec> {
+        vec![Self::paypal(), Self::ebay(), Self::github(), Self::askfm()]
+    }
+}
+
+/// Builds the login app for `spec`. The image is deterministic, so its
+/// hash is stable for the app↔cor policy binding.
+pub fn build_login_app(spec: &LoginAppSpec) -> AppImage {
+    let mut p = ProgramBuilder::new(spec.name);
+
+    let n_select = p.native("ui.select_cor");
+    let n_show = p.native("ui.show");
+    let n_connect = p.native("net.connect");
+    let n_handshake = p.native("net.tls_handshake");
+    let n_close = p.native("net.close");
+    let n_input = p.native("app.input");
+    // Registered here so their ids exist for the nested definitions below.
+    p.native("crypto.sha256");
+    p.native("net.send");
+    p.native("net.recv");
+
+    let s_domain = p.string(spec.domain);
+    let s_cor_desc = p.string(spec.cor_description);
+    let s_user_key = p.string("username");
+    let s_user_prefix = p.string("user=");
+    let s_pass_prefix = p.string("&pass=");
+    let s_round_prefix = p.string("&round=");
+    let s_ok = p.string("OK");
+    let s_done = p.string("login complete");
+    let s_fail = p.string("login failed");
+    let s_frag = p.string(&"x".repeat(spec.string_len as usize / 2));
+    let s_alloc_frag = p.string(&"y".repeat((spec.alloc_len as usize / 2).max(1)));
+    let s_empty = p.string("");
+
+    // A class holding the retained framework state: an array of strings
+    // and a lock object.
+    let cls_app = p.class("AppState", &["strings", "lock_obj", "count"]);
+
+    // -- tiny framework methods (client-side call volume) --
+    // fw_unit(i) -> i*2+1 : pure arithmetic, one invocation each.
+    let fw_unit = p.define("fw_unit", 1, 1, |b, _| {
+        b.load(0).const_i(2).op(Insn::Mul).const_i(1).op(Insn::Add).op(Insn::Ret);
+    });
+    // fw_make_string() -> a retained framework string (one concat of two
+    // interned halves: no garbage intermediates, so the init-sync bulk is
+    // exactly `heap_strings * string_len` plus framing).
+    let fw_make_string = p.define("fw_make_string", 0, 1, |b, _| {
+        b.op(Insn::ConstS(s_frag)).op(Insn::ConstS(s_frag)).op(Insn::StrConcat).op(Insn::Ret);
+    });
+
+    // ui_warmup(state): calls fw_unit `ui_methods` times and retains
+    // `heap_strings` strings in the state array.
+    let ui_warmup = p.define("ui_warmup", 1, 5, |b, _| {
+        // locals: 0=state, 1=i, 2=limit, 3=arr, 4=scratch
+        b.const_i(spec.ui_methods as i64).store(2);
+        b.for_loop(1, 2, |b| {
+            b.load(1).op(Insn::Call(fw_unit)).op(Insn::Pop);
+        });
+        b.const_i(spec.heap_strings as i64).store(2);
+        b.load(2).op(Insn::NewArr).store(3);
+        b.for_loop(1, 2, |b| {
+            b.load(3).load(1).op(Insn::Call(fw_make_string)).op(Insn::ArrStore);
+        });
+        b.load(0).load(3).op(Insn::PutField(0));
+        b.op(Insn::RetVoid);
+    });
+
+    // touch(body, i): one offloaded work unit — reads a char of the
+    // tainted request body (keeping the node taint-active) and does a bit
+    // of arithmetic.
+    let touch = p.define("touch", 2, 3, |b, _| {
+        // locals: 0=body, 1=i, 2=len
+        b.load(0).op(Insn::StrLen).store(2);
+        b.load(0).load(1).load(2).op(Insn::Rem).op(Insn::StrCharAt);
+        b.load(1).op(Insn::Add).op(Insn::Ret);
+    });
+
+    // node_alloc(): a small string retained during the offloaded phase —
+    // the state that ships back in the dirty sync.
+    let node_alloc = p.define("node_alloc", 0, 0, |b, _| {
+        b.op(Insn::ConstS(s_alloc_frag))
+            .op(Insn::ConstS(s_alloc_frag))
+            .op(Insn::StrConcat)
+            .op(Insn::Ret);
+    });
+
+    // do_login(state, conn, user, pw, round) -> 1/0
+    let do_login = p.define("do_login", 5, 9, |b, pb| {
+        // locals: 0=state, 1=conn, 2=user, 3=pw, 4=round,
+        //         5=body, 6=i, 7=limit, 8=reply
+        // body = "user=" + user
+        b.op(Insn::ConstS(s_user_prefix)).load(2).op(Insn::StrConcat).store(5);
+        // body += "&round=" + str(round)
+        b.load(5).op(Insn::ConstS(s_round_prefix)).op(Insn::StrConcat);
+        b.load(4).op(Insn::StrFromInt).op(Insn::StrConcat).store(5);
+        if spec.hash_login {
+            // body += "&pass=" + sha256(pw)   (hash is a derived cor)
+            b.load(5).op(Insn::ConstS(s_pass_prefix)).op(Insn::StrConcat);
+            b.load(3).op(Insn::CallNative(pb.native("crypto.sha256"), 1));
+            b.op(Insn::StrConcat).store(5);
+        } else {
+            // body += "&pass=" + pw          (the Figure 11 trigger)
+            b.load(5).op(Insn::ConstS(s_pass_prefix)).op(Insn::StrConcat);
+            b.load(3).op(Insn::StrConcat).store(5);
+        }
+        if spec.use_lock {
+            // A background (UI) thread holds this monitor on the client;
+            // entering it here (on the node) forces a lock-transfer sync —
+            // the paper's github observation.
+            b.load(0).op(Insn::GetField(1)).op(Insn::MonitorEnter);
+            b.load(0).op(Insn::GetField(1)).op(Insn::MonitorExit);
+        }
+        // Offloaded request processing: `offload_methods` work units, each
+        // touching the tainted body (so the node stays taint-active), with
+        // every `alloc_every`-th unit retaining a small string (the dirty
+        // state that ships back).
+        b.const_i(spec.offload_methods as i64).store(7);
+        b.for_loop(6, 7, |b| {
+            b.load(5).load(6).op(Insn::Call(touch)).op(Insn::Pop);
+            if spec.alloc_every > 0 {
+                let skip = b.label();
+                b.load(6).const_i(spec.alloc_every as i64).op(Insn::Rem);
+                b.jump_if_nonzero(skip);
+                b.op(Insn::Call(node_alloc)).op(Insn::Pop);
+                b.bind(skip);
+            }
+        });
+        // Send the credential (payload replacement happens here).
+        b.load(1).load(5).op(Insn::CallNative(pb.native("net.send"), 2)).op(Insn::Pop);
+        // Receive the response (migrates back to the client).
+        b.load(1).op(Insn::CallNative(pb.native("net.recv"), 1)).store(8);
+        // success = reply contains "OK"
+        b.load(8).op(Insn::ConstS(s_ok)).op(Insn::StrIndexOf).const_i(0).op(Insn::CmpGe);
+        b.op(Insn::Ret);
+    });
+
+    let main = p.define("main", 0, 8, |b, _| {
+        // locals: 0=state, 1=user, 2=pw, 3=conn, 4=ok, 5=round, 6=limit
+        b.op(Insn::New(cls_app)).store(0);
+        b.load(0).op(Insn::Call(ui_warmup)).op(Insn::Pop);
+        if spec.use_lock {
+            // Give the state a lock object owned by a background (UI)
+            // thread, so offloaded code must request a lock transfer.
+            b.op(Insn::New(cls_app)).op(Insn::Dup).store(7);
+            b.load(0).op(Insn::Swap).op(Insn::PutField(1));
+            b.load(7).op(Insn::PinLock);
+        }
+        // User and password.
+        b.op(Insn::ConstS(s_user_key)).op(Insn::CallNative(n_input, 1)).store(1);
+        b.op(Insn::ConstS(s_cor_desc)).op(Insn::CallNative(n_select, 1)).store(2);
+        // Connect + TLS.
+        b.op(Insn::ConstS(s_domain)).const_i(443).op(Insn::CallNative(n_connect, 2)).store(3);
+        b.load(3).op(Insn::CallNative(n_handshake, 1)).op(Insn::Pop);
+        // Login rounds.
+        b.const_i(1 + spec.extra_cor_rounds as i64).store(6);
+        b.const_i(1).store(4);
+        b.for_loop(5, 6, |b| {
+            b.load(0).load(3).load(1).load(2).load(5).op(Insn::Call(do_login));
+            b.load(4).op(Insn::BitAnd).store(4);
+        });
+        // Wrap up on the client.
+        let fail = b.label();
+        let end = b.label();
+        b.load(4);
+        b.jump_if_zero(fail);
+        b.op(Insn::ConstS(s_done)).op(Insn::CallNative(n_show, 1)).op(Insn::Pop);
+        b.jump(end);
+        b.bind(fail);
+        b.op(Insn::ConstS(s_fail)).op(Insn::CallNative(n_show, 1)).op(Insn::Pop);
+        b.bind(end);
+        b.load(3).op(Insn::CallNative(n_close, 1)).op(Insn::Pop);
+        b.op(Insn::ConstS(s_empty)).op(Insn::Pop); // keep pool entry alive
+        b.load(4).op(Insn::Halt);
+    });
+
+    p.build(main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_build_valid_images() {
+        for spec in LoginAppSpec::table3() {
+            let img = build_login_app(&spec);
+            assert_eq!(img.name, spec.name);
+            assert!(img.find_function("do_login").is_some());
+            assert!(img.code_len() > 50);
+        }
+    }
+
+    #[test]
+    fn image_hash_is_stable_per_spec() {
+        let a = build_login_app(&LoginAppSpec::paypal());
+        let b = build_login_app(&LoginAppSpec::paypal());
+        assert_eq!(a.hash(), b.hash());
+        let c = build_login_app(&LoginAppSpec::ebay());
+        assert_ne!(a.hash(), c.hash());
+    }
+
+    #[test]
+    fn paypal_is_the_biggest_app() {
+        // (framework bulk drives the init sync)
+        let sizes: Vec<u64> = LoginAppSpec::table3()
+            .iter()
+            .map(|s| {
+                // heap bulk drives the init sync: strings * len
+                s.heap_strings as u64 * s.string_len as u64
+            })
+            .collect();
+        assert!(sizes[0] > sizes[2], "paypal > github in framework bulk");
+    }
+}

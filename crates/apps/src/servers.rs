@@ -1,0 +1,137 @@
+//! Simulated web sites.
+//!
+//! The servers are deliberately strict: the authentication server only
+//! accepts the **real** credential, so a passing login end-to-end proves
+//! that payload replacement delivered the cor (and that the placeholder
+//! never reached the site). The servers are ordinary
+//! [`tinman_core::HttpsServerApp`]s — they contain no TinMan awareness.
+
+use sha2::{Digest, Sha256};
+use tinman_core::HttpsServerApp;
+use tinman_net::{Addr, HostId, NetWorld};
+use tinman_sim::SimDuration;
+use tinman_tls::TlsConfig;
+
+/// Configuration of one authentication site.
+#[derive(Clone, Debug)]
+pub struct AuthServerSpec {
+    /// The site's primary domain (also its DNS name).
+    pub domain: &'static str,
+    /// The expected username.
+    pub user: &'static str,
+    /// The expected password **plaintext** (the server legitimately knows
+    /// it; the phone must not).
+    pub password: String,
+    /// If true, the site expects `sha256(password)` rather than the
+    /// plaintext (the §4.1 hash-login bank).
+    pub hash_login: bool,
+    /// Server processing latency per login request.
+    pub think: SimDuration,
+    /// Page/resource bytes attached to the first successful login response
+    /// (the landing page the app renders).
+    pub page_bytes: usize,
+}
+
+/// Extracts `key=value` from a `&`-separated body.
+fn form_value<'a>(body: &'a str, key: &str) -> Option<&'a str> {
+    body.split('&').find_map(|kv| kv.strip_prefix(&format!("{key}=")).or({
+        // first pair has no leading '&'; strip_prefix covers it already
+        None
+    }))
+}
+
+/// Installs an authentication server for `spec`; returns its host id.
+///
+/// The handler accepts requests shaped like the login apps produce
+/// (`user=<u>&round=<n>&pass=<p>`) and replies `200 OK token=<t>` or
+/// `403 FORBIDDEN`.
+pub fn install_auth_server(
+    world: &mut NetWorld,
+    tls: TlsConfig,
+    spec: AuthServerSpec,
+) -> HostId {
+    let host = world.add_host(spec.domain, tinman_sim::LinkProfile::ethernet());
+    let expected = if spec.hash_login {
+        let d = Sha256::digest(spec.password.as_bytes());
+        d.iter().map(|b| format!("{b:02x}")).collect::<String>()
+    } else {
+        spec.password.clone()
+    };
+    let user = spec.user.to_owned();
+    let think = spec.think;
+    let page = "P".repeat(spec.page_bytes);
+    let mut token_counter = 0u64;
+    let app = HttpsServerApp::new(tls, move |_peer: Addr, request: &str| {
+        if let Some(path) = request.strip_prefix("GET ") {
+            // Resource fetches after login (transaction lists, pages).
+            return (format!("200 OK resource={path}"), think);
+        }
+        let u = form_value(request, "user").unwrap_or("");
+        let p = form_value(request, "pass").unwrap_or("");
+        if u == user && p == expected {
+            token_counter += 1;
+            // The landing page rides on the first response only.
+            let body = if form_value(request, "round") == Some("0") {
+                format!("200 OK token=tk{token_counter:08} page={page}")
+            } else {
+                format!("200 OK token=tk{token_counter:08}")
+            };
+            (body, think)
+        } else {
+            ("403 FORBIDDEN".to_owned(), think)
+        }
+    });
+    world.install_server(Addr::new(host, 443), Box::new(app));
+    host
+}
+
+/// Installs a payment server (the §4.2 checkout target); returns its host.
+///
+/// Accepts `card=<number>&cvv=<code>&amount=<n>` and replies
+/// `200 PAID receipt=<r>` when both card fields match.
+pub fn install_payment_server(
+    world: &mut NetWorld,
+    tls: TlsConfig,
+    domain: &'static str,
+    card_number: &str,
+    cvv: &str,
+    think: SimDuration,
+) -> HostId {
+    let host = world.add_host(domain, tinman_sim::LinkProfile::ethernet());
+    let card = card_number.to_owned();
+    let code = cvv.to_owned();
+    let mut receipts = 0u64;
+    let app = HttpsServerApp::new(tls, move |_peer: Addr, request: &str| {
+        let c = form_value(request, "card").unwrap_or("");
+        let v = form_value(request, "cvv").unwrap_or("");
+        if c == card && v == code {
+            receipts += 1;
+            (format!("200 PAID receipt=r{receipts:08}"), think)
+        } else {
+            ("402 DECLINED".to_owned(), think)
+        }
+    });
+    world.install_server(Addr::new(host, 443), Box::new(app));
+    host
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn form_value_parses_bodies() {
+        let body = "user=alice&round=0&pass=hunter2";
+        assert_eq!(form_value(body, "user"), Some("alice"));
+        assert_eq!(form_value(body, "pass"), Some("hunter2"));
+        assert_eq!(form_value(body, "round"), Some("0"));
+        assert_eq!(form_value(body, "missing"), None);
+        assert_eq!(form_value("", "user"), None);
+    }
+
+    #[test]
+    fn form_value_does_not_match_key_substrings() {
+        let body = "xuser=mallory&user=alice";
+        assert_eq!(form_value(body, "user"), Some("alice"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Surrogate workloads for the battery experiments (Figures 16 and 17).
+//!
+//! Figure 17's phases run real apps (a game, Wikipedia browsing, 720p
+//! video) for ten minutes each. Interpreting ten simulated minutes of VM
+//! instructions is neither necessary nor useful: what the figure measures
+//! is how the *always-on client tainting* changes energy draw across
+//! workloads with very different instruction mixes and radio/display
+//! profiles. So each workload here has two parts:
+//!
+//! * a short, representative **kernel** run on the real interpreter under
+//!   each taint engine to obtain the workload's *measured* instrumentation
+//!   overhead ratio (no hand-picked constants);
+//! * an **ambient profile** (CPU duty cycle, radio traffic, display) that
+//!   scales the measured ratio across the phase's wall-clock duration.
+
+use tinman_taint::{EngineKind, TaintEngine};
+use tinman_vm::{interp, AppImage, ExecConfig, Insn, Machine, ProgramBuilder};
+
+/// A Figure 17 workload phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// AngryBirds stand-in: physics + rendering loop, display-heavy,
+    /// modest network.
+    Game,
+    /// Wikipedia browsing: bursts of text/layout work, network fetches,
+    /// idle gaps.
+    Web,
+    /// Local 720p playback: decoder loop, no network, display-heavy.
+    Video,
+}
+
+impl Workload {
+    /// All phases in the paper's order.
+    pub const ALL: [Workload; 3] = [Workload::Game, Workload::Web, Workload::Video];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Game => "game",
+            Workload::Web => "web",
+            Workload::Video => "video",
+        }
+    }
+
+    /// Fraction of wall time the CPU spends executing VM instructions.
+    pub fn cpu_duty(self) -> f64 {
+        match self {
+            Workload::Game => 0.85,
+            Workload::Web => 0.35,
+            Workload::Video => 0.55,
+        }
+    }
+
+    /// Radio traffic per second of workload (tx, rx) in bytes.
+    pub fn radio_bytes_per_sec(self) -> (u64, u64) {
+        match self {
+            Workload::Game => (500, 2_000),
+            Workload::Web => (3_000, 60_000),
+            Workload::Video => (0, 0), // local playback
+        }
+    }
+
+    /// Builds this workload's representative kernel.
+    pub fn kernel(self) -> AppImage {
+        match self {
+            Workload::Game => build_game_kernel(),
+            Workload::Web => build_web_kernel(),
+            Workload::Video => build_video_kernel(),
+        }
+    }
+
+    /// Runs the kernel under `engine` and returns consumed cycles.
+    pub fn measure_cycles(self, engine: &mut TaintEngine) -> u64 {
+        let image = self.kernel();
+        let mut machine = Machine::new();
+        let mut host = interp::NullHost;
+        let ev = interp::run(&mut machine, &image, &mut host, engine, ExecConfig::client())
+            .expect("workload kernels cannot fault");
+        assert!(matches!(ev, tinman_vm::ExecEvent::Halted(_)));
+        machine.stats.cycles
+    }
+
+    /// The measured instrumentation overhead of `kind` relative to no
+    /// tainting, as a ratio ≥ 1.0.
+    pub fn taint_overhead(self, kind: EngineKind) -> f64 {
+        let base = self.measure_cycles(&mut TaintEngine::none()) as f64;
+        let mut engine = match kind {
+            EngineKind::None => TaintEngine::none(),
+            EngineKind::Full => TaintEngine::full(),
+            EngineKind::Asymmetric => TaintEngine::asymmetric(),
+        };
+        self.measure_cycles(&mut engine) as f64 / base
+    }
+}
+
+/// Physics-ish integer/float mix with per-frame object churn.
+fn build_game_kernel() -> AppImage {
+    let mut p = ProgramBuilder::new("wk-game");
+    let cls = p.class("Sprite", &["x", "y", "vx", "vy"]);
+    let step = p.define("step", 1, 2, |b, _| {
+        // sprite.x += sprite.vx (fields 0 and 2)
+        b.load(0).load(0).op(Insn::GetField(0)).load(0).op(Insn::GetField(2)).op(Insn::Add);
+        b.op(Insn::PutField(0));
+        b.load(0).load(0).op(Insn::GetField(1)).load(0).op(Insn::GetField(3)).op(Insn::Add);
+        b.op(Insn::PutField(1));
+        b.op(Insn::RetVoid);
+    });
+    let main = p.define("main", 0, 5, |b, _| {
+        // locals: 1=frame 2=frames 3=sprite 4=k
+        b.op(Insn::New(cls)).store(3);
+        b.load(3).const_i(0).op(Insn::PutField(0)); // x = 0
+        b.load(3).const_i(0).op(Insn::PutField(1)); // y = 0
+        b.load(3).const_i(1).op(Insn::PutField(2)); // vx = 1
+        b.load(3).const_i(2).op(Insn::PutField(3)); // vy = 2
+        b.const_i(400).store(2);
+        b.for_loop(1, 2, |b| {
+            b.load(3).op(Insn::Call(step)).op(Insn::Pop);
+            b.load(1).op(Insn::I2D).op(Insn::ConstD(0.016)).op(Insn::Mul).op(Insn::D2I).op(Insn::Pop);
+        });
+        b.const_i(0).op(Insn::Halt);
+    });
+    p.build(main)
+}
+
+/// Text/layout mix: string splitting and searching over page-like data.
+fn build_web_kernel() -> AppImage {
+    let mut p = ProgramBuilder::new("wk-web");
+    let s_page = p.string("<p>Lorem ipsum dolor sit amet, consectetur adipiscing elit</p>");
+    let s_tag = p.string("<p>");
+    let main = p.define("main", 0, 5, |b, _| {
+        // locals: 1=i 2=limit 3=s 4=acc
+        b.const_i(200).store(2);
+        b.const_i(0).store(4);
+        b.for_loop(1, 2, |b| {
+            b.op(Insn::ConstS(s_page)).op(Insn::ConstS(s_page)).op(Insn::StrConcat).store(3);
+            b.load(3).op(Insn::ConstS(s_tag)).op(Insn::StrIndexOf);
+            b.load(4).op(Insn::Add).store(4);
+            b.load(3).const_i(3).const_i(30).op(Insn::StrSub).op(Insn::StrLen);
+            b.load(4).op(Insn::Add).store(4);
+            // Layout arithmetic: real rendering interleaves measurement
+            // and positioning math with the string work.
+            for _ in 0..8 {
+                b.load(4).const_i(17).op(Insn::Mul).const_i(255).op(Insn::BitAnd);
+                b.load(1).op(Insn::Add).store(4);
+            }
+        });
+        b.load(4).op(Insn::Halt);
+    });
+    p.build(main)
+}
+
+/// Decoder-ish mix: tight array transform loop.
+fn build_video_kernel() -> AppImage {
+    let mut p = ProgramBuilder::new("wk-video");
+    let main = p.define("main", 0, 6, |b, _| {
+        // locals: 1=i 2=limit 3=buf 4=j 5=jlimit
+        b.const_i(64).op(Insn::NewArr).store(3);
+        b.const_i(64).store(5);
+        b.const_i(250).store(2);
+        b.for_loop(1, 2, |b| {
+            b.for_loop(4, 5, |b| {
+                // buf[j] = (buf[j] * 3 + j) & 0xff
+                b.load(3).load(4);
+                b.load(3).load(4).op(Insn::ArrLoad).const_i(3).op(Insn::Mul);
+                b.load(4).op(Insn::Add).const_i(0xff).op(Insn::BitAnd);
+                b.op(Insn::ArrStore);
+            });
+        });
+        b.const_i(0).op(Insn::Halt);
+    });
+    p.build(main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_halt_and_differ_in_mix() {
+        for w in Workload::ALL {
+            let c = w.measure_cycles(&mut TaintEngine::none());
+            assert!(c > 10_000, "{w:?} kernel too small");
+        }
+    }
+
+    #[test]
+    fn overhead_ordering_holds_per_workload() {
+        for w in Workload::ALL {
+            let asym = w.taint_overhead(EngineKind::Asymmetric);
+            let full = w.taint_overhead(EngineKind::Full);
+            assert!(asym >= 1.0 && full >= asym, "{w:?}: asym {asym}, full {full}");
+            assert!(full < 1.6, "{w:?}: full taint overhead implausibly high ({full})");
+        }
+    }
+
+    #[test]
+    fn duty_and_radio_profiles_are_sane() {
+        for w in Workload::ALL {
+            assert!((0.0..=1.0).contains(&w.cpu_duty()));
+        }
+        assert_eq!(Workload::Video.radio_bytes_per_sec(), (0, 0));
+        assert!(Workload::Web.radio_bytes_per_sec().1 > Workload::Game.radio_bytes_per_sec().1);
+    }
+}

@@ -1,0 +1,60 @@
+//! Disassemble → reassemble round trip over every real app image.
+//!
+//! The disassembler's output is valid assembler input; reassembling it must
+//! reproduce the exact instruction streams, classes, strings and native
+//! imports. This pins both tools against the full breadth of instructions
+//! the apps actually use.
+
+use tinman_apps::bankdroid::build_bankdroid;
+use tinman_apps::browser::build_browser_checkout;
+use tinman_apps::caffeinemark::CaffeinemarkKernel;
+use tinman_apps::logins::{build_login_app, LoginAppSpec};
+use tinman_apps::malicious::{build_exfiltration_app, build_phishing_app};
+use tinman_vm::{assemble, disassemble, AppImage};
+
+fn assert_round_trips(image: &AppImage) {
+    let text = disassemble(image);
+    let back = assemble(&image.name, &text)
+        .unwrap_or_else(|e| panic!("{}: {e}\n--- source ---\n{text}", image.name));
+    assert_eq!(back.strings, image.strings, "{}", image.name);
+    assert_eq!(back.natives, image.natives, "{}", image.name);
+    assert_eq!(back.classes.len(), image.classes.len(), "{}", image.name);
+    for (a, b) in back.classes.iter().zip(&image.classes) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.fields, b.fields);
+    }
+    assert_eq!(back.functions.len(), image.functions.len(), "{}", image.name);
+    for (a, b) in back.functions.iter().zip(&image.functions) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.n_args, b.n_args, "{}::{}", image.name, a.name);
+        assert_eq!(a.n_locals, b.n_locals, "{}::{}", image.name, a.name);
+        assert_eq!(a.code, b.code, "{}::{}", image.name, a.name);
+    }
+    assert_eq!(back.entry, image.entry);
+}
+
+#[test]
+fn login_apps_round_trip() {
+    for spec in LoginAppSpec::table3() {
+        assert_round_trips(&build_login_app(&spec));
+    }
+}
+
+#[test]
+fn case_study_apps_round_trip() {
+    assert_round_trips(&build_bankdroid("citibank.com", "Citibank password"));
+    assert_round_trips(&build_browser_checkout("shop.com", "Visa card", "Visa CVV"));
+}
+
+#[test]
+fn caffeinemark_kernels_round_trip() {
+    for k in CaffeinemarkKernel::ALL {
+        assert_round_trips(&k.build(1));
+    }
+}
+
+#[test]
+fn adversarial_apps_round_trip() {
+    assert_round_trips(&build_phishing_app("paypal.com", "PayPal password"));
+    assert_round_trips(&build_exfiltration_app("evil.com", "PayPal password"));
+}

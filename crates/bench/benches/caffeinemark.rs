@@ -1,0 +1,34 @@
+//! Criterion bench over the Caffeinemark kernels × taint engines —
+//! the wall-clock companion to `fig13_caffeinemark` (which reports
+//! simulated cycles).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tinman_apps::caffeinemark::{run_kernel, CaffeinemarkKernel};
+use tinman_taint::TaintEngine;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("caffeinemark");
+    group.sample_size(10);
+    for kernel in CaffeinemarkKernel::ALL {
+        for (engine_name, make) in [
+            ("none", TaintEngine::none as fn() -> TaintEngine),
+            ("full", TaintEngine::full as fn() -> TaintEngine),
+            ("asym", TaintEngine::asymmetric as fn() -> TaintEngine),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(kernel.name(), engine_name),
+                &kernel,
+                |b, &k| {
+                    b.iter(|| {
+                        let mut engine = make();
+                        run_kernel(k, &mut engine, 1)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

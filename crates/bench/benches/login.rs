@@ -1,0 +1,25 @@
+//! Criterion bench over the end-to-end login pipeline — measures the
+//! harness's wall-clock cost of a full TinMan login (offload + payload
+//! replacement) per app.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tinman_apps::logins::LoginAppSpec;
+use tinman_bench::{run_stock_login, run_warm_login};
+use tinman_sim::LinkProfile;
+
+fn bench_logins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("login");
+    group.sample_size(10);
+    for spec in LoginAppSpec::table3() {
+        group.bench_with_input(BenchmarkId::new("tinman", spec.name), &spec, |b, s| {
+            b.iter(|| run_warm_login(s, LinkProfile::wifi()).1.latency)
+        });
+        group.bench_with_input(BenchmarkId::new("stock", spec.name), &spec, |b, s| {
+            b.iter(|| run_stock_login(s, LinkProfile::wifi()).1.latency)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_logins);
+criterion_main!(benches);

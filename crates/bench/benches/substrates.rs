@@ -1,0 +1,109 @@
+//! Criterion benches over the individual substrates: interpreter
+//! throughput, DSM delta construction/application, TLS record
+//! seal/open, and policy-engine checks. These quantify the harness
+//! itself (wall-clock), complementing the simulated-time figures.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tinman_apps::caffeinemark::CaffeinemarkKernel;
+use tinman_cor::{AccessRequest, CorId, PolicyEngine, PolicyRule};
+use tinman_dsm::{HeapDelta, PassthroughMaterializer};
+use tinman_sim::SimTime;
+use tinman_taint::TaintEngine;
+use tinman_tls::{CipherSuite, ContentType, TlsRole, TlsSession, TlsVersion};
+use tinman_vm::{interp, ExecConfig, Heap, Machine, Value};
+
+fn bench_interpreter(c: &mut Criterion) {
+    let image = CaffeinemarkKernel::Loop.build(1);
+    // Count instructions once for throughput units.
+    let instrs = {
+        let mut m = Machine::new();
+        let mut h = interp::NullHost;
+        let mut e = TaintEngine::none();
+        interp::run(&mut m, &image, &mut h, &mut e, ExecConfig::client()).unwrap();
+        m.stats.instrs
+    };
+    let mut group = c.benchmark_group("interpreter");
+    group.throughput(Throughput::Elements(instrs));
+    group.bench_function("loop_kernel_instrs", |b| {
+        b.iter(|| {
+            let mut m = Machine::new();
+            let mut h = interp::NullHost;
+            let mut e = TaintEngine::none();
+            interp::run(&mut m, &image, &mut h, &mut e, ExecConfig::client()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_dsm(c: &mut Criterion) {
+    let mut heap = Heap::new();
+    for i in 0..500 {
+        heap.alloc_str(format!("framework object number {i} with a payload"));
+    }
+    let obj = heap.alloc_obj(0, 8);
+    heap.field_set(obj, 3, Value::Int(5)).unwrap();
+
+    let mut group = c.benchmark_group("dsm");
+    group.bench_function("build_full_delta_500_objects", |b| {
+        b.iter(|| HeapDelta::build_full(&heap, &mut PassthroughMaterializer).unwrap())
+    });
+    let delta = HeapDelta::build_full(&heap, &mut PassthroughMaterializer).unwrap();
+    group.bench_function("apply_full_delta_500_objects", |b| {
+        b.iter(|| {
+            let mut dst = Heap::new();
+            delta.apply(&mut dst, &mut PassthroughMaterializer).unwrap();
+            dst.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_tls(c: &mut Criterion) {
+    let master = [7u8; 32];
+    let payload = vec![0x42u8; 1024];
+    let mut group = c.benchmark_group("tls");
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    for (name, suite) in [
+        ("rc4_seal_open_1k", CipherSuite::Rc4HmacSha256),
+        ("cbc_seal_open_1k", CipherSuite::XteaCbcHmacSha256),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cl =
+                    TlsSession::from_master(master, TlsVersion::Tls12, suite, TlsRole::Client, 1);
+                let mut sv =
+                    TlsSession::from_master(master, TlsVersion::Tls12, suite, TlsRole::Server, 2);
+                let wire = cl.seal(ContentType::ApplicationData, &payload);
+                sv.open(&wire).unwrap().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let mut engine = PolicyEngine::new();
+    engine.set_rule(
+        CorId(0),
+        PolicyRule {
+            bound_app_hash: Some([1u8; 32]),
+            domain_whitelist: vec!["site.com".into()],
+            time_window_hours: Some((8, 22)),
+            max_uses_per_day: Some(1_000_000),
+            ..Default::default()
+        },
+    );
+    let req = AccessRequest {
+        cor: CorId(0),
+        app_hash: [1u8; 32],
+        dest_domain: Some("site.com".into()),
+        device: "phone-1".into(),
+        now: SimTime::ZERO + tinman_sim::SimDuration::from_secs(10 * 3600),
+    };
+    c.bench_function("policy_full_rule_check", |b| {
+        b.iter(|| engine.check(&req, &[]).is_allowed())
+    });
+}
+
+criterion_group!(benches, bench_interpreter, bench_dsm, bench_tls, bench_policy);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Ablation: the migrate-back idle threshold (§3.1 case 1).
+//!
+//! TinMan migrates execution back to the device after a "predefined
+//! threshold of duration" without cor access. The tension: an app whose
+//! offloaded phase alternates cor touches with taint-free stretches will
+//! *ping-pong* if the threshold is shorter than the stretches (each
+//! stretch migrates home, the next cor touch offloads again), but lingers
+//! on the node — delaying any device-side I/O — if it is much longer.
+//!
+//! The login apps never hit this (their offloaded phase stays
+//! taint-active), so this sweep uses a purpose-built app: `ROUNDS`
+//! iterations of [one cor touch + a taint-free busy stretch of
+//! `STRETCH_INSTRS` instructions].
+
+use std::collections::HashMap;
+
+use tinman_bench::{banner, emit_json, secs};
+use tinman_core::runtime::{Mode, TinmanConfig, TinmanRuntime};
+use tinman_cor::CorStore;
+use tinman_sim::LinkProfile;
+use tinman_vm::{AppImage, Insn, ProgramBuilder};
+
+const ROUNDS: i64 = 6;
+/// Instructions per taint-free stretch (~14 per loop iteration).
+const STRETCH_ITERS: i64 = 600;
+
+/// cor touch, then taint-free busywork, repeated.
+fn build_alternating_app() -> AppImage {
+    let mut p = ProgramBuilder::new("alternator");
+    let n_select = p.native("ui.select_cor");
+    let s_desc = p.string("Vault secret");
+
+    let busy = p.define("busy", 0, 4, |b, _| {
+        b.const_i(STRETCH_ITERS).store(2);
+        b.const_i(1).store(3);
+        b.for_loop(1, 2, |b| {
+            b.load(3).const_i(7).op(Insn::Mul).const_i(251).op(Insn::Rem).store(3);
+        });
+        b.load(3).op(Insn::Ret);
+    });
+
+    let main = p.define("main", 0, 5, |b, _| {
+        // locals: 0=pw, 1=i, 2=limit, 3=acc
+        b.op(Insn::ConstS(s_desc)).op(Insn::CallNative(n_select, 1)).store(0);
+        b.const_i(ROUNDS).store(2);
+        b.const_i(0).store(3);
+        b.for_loop(1, 2, |b| {
+            // Touch the cor: charAt on the tainted string (offload
+            // trigger on the client) — and discard the tainted value so
+            // migrate-back is not barred by a tainted stack slot.
+            b.load(0).load(1).op(Insn::StrCharAt).op(Insn::Pop);
+            // Taint-free stretch.
+            b.op(Insn::Call(busy)).op(Insn::Pop);
+        });
+        b.load(3).op(Insn::Halt);
+    });
+    p.build(main)
+}
+
+fn main() {
+    banner(
+        "Ablation — migrate-back taint-idle threshold sweep",
+        "TinMan (EuroSys'15) §3.1, design choice",
+    );
+    println!(
+        "{:>12} {:>8} {:>10} {:>12} {:>14}",
+        "threshold", "syncs", "offloads", "latency", "behaviour"
+    );
+
+    let app = build_alternating_app();
+    let inputs: HashMap<String, String> = HashMap::new();
+    let mut rows = Vec::new();
+    // A stretch is ~14 instructions per iteration x 600 iterations ≈ 8.4k
+    // instructions; thresholds straddle it.
+    for threshold in [500u64, 2_000, 5_000, 10_000, 30_000, 100_000] {
+        let mut store = CorStore::new(3);
+        store.register("vault-secret-value", "Vault secret", &[]).unwrap();
+        let config = TinmanConfig { taint_idle_limit: threshold, ..TinmanConfig::default() };
+        let mut rt = TinmanRuntime::new(store, LinkProfile::wifi(), config);
+        rt.run_app(&app, Mode::TinMan, &inputs).expect("cold");
+        let warm = rt.run_app(&app, Mode::TinMan, &inputs).expect("warm");
+        let behaviour = if warm.offloads as i64 >= ROUNDS {
+            "ping-pong"
+        } else if warm.offloads == 1 {
+            "stays remote"
+        } else {
+            "mixed"
+        };
+        println!(
+            "{:>12} {:>8} {:>10} {:>12} {:>14}",
+            threshold,
+            warm.dsm.sync_count,
+            warm.offloads,
+            secs(warm.latency),
+            behaviour
+        );
+        rows.push(serde_json::json!({
+            "threshold": threshold,
+            "syncs": warm.dsm.sync_count,
+            "offloads": warm.offloads,
+            "latency_s": warm.latency.as_secs_f64(),
+        }));
+    }
+    println!("\nbelow the stretch length every taint-free stretch migrates home and the");
+    println!("next cor touch re-offloads (2 syncs per round); above it the phase stays");
+    println!("on the node and completes with the minimum sync count.");
+    emit_json("ablation_idle_threshold", serde_json::json!({ "rows": rows }));
+}

@@ -1,0 +1,10 @@
+//! Figure 14: login-time breakdown per app on Wi-Fi, after warm-up.
+//!
+//! The paper reports stock-Android versus TinMan login latency for the four
+//! Table 3 apps on Wi-Fi, with TinMan's extra time split into DSM-based
+//! offloading (~0.8 s average) and SSL/TCP offloading (~1.2 s average);
+//! stock averages 4.0 s, TinMan 5.95 s.
+
+fn main() {
+    tinman_bench::login_figure(tinman_sim::LinkProfile::wifi(), "fig14_login_wifi", "Figure 14 (Wi-Fi)");
+}

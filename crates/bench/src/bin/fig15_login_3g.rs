@@ -1,0 +1,9 @@
+//! Figure 15: login-time breakdown per app on 3G, after warm-up.
+//!
+//! Same methodology as Figure 14 over the 3G radio: the paper reports
+//! stock averaging 5.4 s, TinMan 8.2 s, with ~1.2 s of DSM offloading and
+//! ~1.6 s of other (SSL/TCP) overhead.
+
+fn main() {
+    tinman_bench::login_figure(tinman_sim::LinkProfile::three_g(), "fig15_login_3g", "Figure 15 (3G)");
+}

@@ -1,0 +1,276 @@
+//! Audit-log anomaly detection.
+//!
+//! §3.4: "all of the cor access activities on the trusted node are logged
+//! for auditing … any abnormal activity will be reported to the user", and
+//! §5.4 proposes "more effective dynamic analysis on the trusted node,
+//! which can detect user's abnormal behavior and give some warnings". This
+//! module is that analysis: a set of detectors run over the [`AuditLog`]
+//! producing [`Warning`]s the node would push to the user.
+//!
+//! Detectors (all conservative — they flag, never block; blocking is the
+//! policy engine's job):
+//!
+//! * **denials** — every policy denial is user-visible;
+//! * **burst** — more than `max_per_window` accesses to one cor inside
+//!   `window`;
+//! * **novel domain** — a cor sent to a domain it had never been sent to
+//!   in the log's history;
+//! * **novel app** — a cor accessed by an app hash never seen touching it
+//!   before;
+//! * **off-hours** — access outside the user's historical activity hours
+//!   (learned from the log itself, once enough history exists).
+
+use serde::{Deserialize, Serialize};
+use tinman_sim::SimDuration;
+
+use crate::audit::AuditLog;
+use crate::store::CorId;
+
+/// One warning the trusted node raises to the user.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Warning {
+    /// A policy denial occurred (always reported).
+    Denied {
+        /// The cor involved.
+        cor: CorId,
+        /// The denial, as recorded.
+        detail: String,
+    },
+    /// Too many accesses to one cor in a short window.
+    Burst {
+        /// The cor involved.
+        cor: CorId,
+        /// Accesses observed inside the window.
+        count: usize,
+        /// The window length.
+        window: SimDuration,
+    },
+    /// A cor was sent to a domain it had never been sent to before.
+    NovelDomain {
+        /// The cor involved.
+        cor: CorId,
+        /// The first-seen destination.
+        domain: String,
+    },
+    /// A cor was accessed by an app hash that never touched it before.
+    NovelApp {
+        /// The cor involved.
+        cor: CorId,
+        /// Hex prefix of the new app hash.
+        app_hash_prefix: String,
+    },
+    /// Access at an hour of day the user has no history of being active.
+    OffHours {
+        /// The cor involved.
+        cor: CorId,
+        /// The hour of the simulated day (0-23).
+        hour: u8,
+    },
+}
+
+/// Detector configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AnomalyConfig {
+    /// Burst window length.
+    pub window: SimDuration,
+    /// Maximum accesses per cor inside the window before flagging.
+    pub max_per_window: usize,
+    /// Minimum history (entries) before the off-hours detector activates.
+    pub min_history_for_hours: usize,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> Self {
+        AnomalyConfig {
+            window: SimDuration::from_secs(3600),
+            max_per_window: 10,
+            min_history_for_hours: 20,
+        }
+    }
+}
+
+const SECS_PER_DAY: f64 = 86_400.0;
+
+fn hour_of(t: tinman_sim::SimTime) -> u8 {
+    ((t.as_secs_f64() % SECS_PER_DAY) / 3600.0).floor() as u8
+}
+
+/// Runs every detector over `log`; returns warnings oldest-first.
+pub fn analyze(log: &AuditLog, config: &AnomalyConfig) -> Vec<Warning> {
+    let mut warnings = Vec::new();
+    let entries = log.entries();
+
+    // Learned activity hours (from allowed accesses only).
+    let mut active_hours = [0usize; 24];
+    let mut history_len = 0usize;
+
+    for (i, e) in entries.iter().enumerate() {
+        // 1. Denials.
+        if e.is_abnormal() {
+            warnings.push(Warning::Denied { cor: e.cor, detail: format!("{:?}", e.decision) });
+        }
+
+        // 2. Burst: count same-cor accesses within the trailing window.
+        let window_start = e.time.as_nanos().saturating_sub(config.window.as_nanos());
+        let count = entries[..=i]
+            .iter()
+            .rev()
+            .take_while(|p| p.time.as_nanos() >= window_start)
+            .filter(|p| p.cor == e.cor)
+            .count();
+        if count == config.max_per_window + 1 {
+            // Flag once, at the first crossing.
+            warnings.push(Warning::Burst { cor: e.cor, count, window: config.window });
+        }
+
+        // 3. Novel domain: a send to a domain this cor never went to.
+        if let Some(domain) = &e.domain {
+            let seen_before = entries[..i]
+                .iter()
+                .any(|p| p.cor == e.cor && p.domain.as_deref() == Some(domain.as_str()));
+            if !seen_before && i > 0 {
+                let cor_has_history = entries[..i].iter().any(|p| p.cor == e.cor);
+                if cor_has_history {
+                    warnings.push(Warning::NovelDomain { cor: e.cor, domain: domain.clone() });
+                }
+            }
+        }
+
+        // 4. Novel app: an app hash that never touched this cor.
+        let app_seen = entries[..i]
+            .iter()
+            .any(|p| p.cor == e.cor && p.app_hash_hex == e.app_hash_hex);
+        if !app_seen && entries[..i].iter().any(|p| p.cor == e.cor) {
+            warnings.push(Warning::NovelApp {
+                cor: e.cor,
+                app_hash_prefix: e.app_hash_hex.chars().take(12).collect(),
+            });
+        }
+
+        // 5. Off-hours, once enough history accumulated.
+        if history_len >= config.min_history_for_hours {
+            let h = hour_of(e.time) as usize;
+            if active_hours[h] == 0 {
+                warnings.push(Warning::OffHours { cor: e.cor, hour: h as u8 });
+            }
+        }
+        if !e.is_abnormal() {
+            active_hours[hour_of(e.time) as usize] += 1;
+            history_len += 1;
+        }
+    }
+    warnings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::AuditEntry;
+    use crate::policy::PolicyDecision;
+    use tinman_sim::SimTime;
+
+    fn entry(
+        cor: u8,
+        secs: u64,
+        domain: Option<&str>,
+        app: &str,
+        decision: PolicyDecision,
+    ) -> AuditEntry {
+        AuditEntry {
+            time: SimTime::ZERO + SimDuration::from_secs(secs),
+            app_hash_hex: app.to_owned(),
+            cor: CorId(cor),
+            domain: domain.map(str::to_owned),
+            decision,
+            device: "phone-1".into(),
+        }
+    }
+
+    fn allowed(cor: u8, secs: u64, domain: &str) -> AuditEntry {
+        entry(cor, secs, Some(domain), "appA", PolicyDecision::Allow)
+    }
+
+    #[test]
+    fn quiet_log_is_quiet() {
+        let mut log = AuditLog::new();
+        log.record(allowed(0, 36_000, "bank.com"));
+        log.record(allowed(0, 40_000, "bank.com"));
+        let w = analyze(&log, &AnomalyConfig::default());
+        assert!(w.is_empty(), "{w:?}");
+    }
+
+    #[test]
+    fn denials_always_warn() {
+        let mut log = AuditLog::new();
+        log.record(entry(0, 10, Some("evil.com"), "appA", PolicyDecision::DeniedDomain {
+            domain: "evil.com".into(),
+        }));
+        let w = analyze(&log, &AnomalyConfig::default());
+        assert!(matches!(w[0], Warning::Denied { .. }));
+    }
+
+    #[test]
+    fn burst_flags_once_at_crossing() {
+        let mut log = AuditLog::new();
+        for i in 0..15 {
+            log.record(allowed(0, 36_000 + i * 60, "bank.com"));
+        }
+        let w = analyze(&log, &AnomalyConfig::default());
+        let bursts: Vec<_> = w.iter().filter(|x| matches!(x, Warning::Burst { .. })).collect();
+        assert_eq!(bursts.len(), 1, "{w:?}");
+    }
+
+    #[test]
+    fn spread_out_accesses_do_not_burst() {
+        let mut log = AuditLog::new();
+        for i in 0..15 {
+            log.record(allowed(0, 36_000 + i * 7200, "bank.com")); // 2h apart
+        }
+        let w = analyze(&log, &AnomalyConfig::default());
+        assert!(!w.iter().any(|x| matches!(x, Warning::Burst { .. })));
+    }
+
+    #[test]
+    fn novel_domain_flags_second_destination() {
+        let mut log = AuditLog::new();
+        log.record(allowed(0, 100, "bank.com"));
+        log.record(allowed(0, 200, "bank.com"));
+        log.record(allowed(0, 300, "cdn.bank.com")); // new destination
+        let w = analyze(&log, &AnomalyConfig::default());
+        assert!(w.iter().any(
+            |x| matches!(x, Warning::NovelDomain { domain, .. } if domain == "cdn.bank.com")
+        ));
+    }
+
+    #[test]
+    fn novel_app_flags_new_hash() {
+        let mut log = AuditLog::new();
+        log.record(entry(0, 100, Some("bank.com"), "appA", PolicyDecision::Allow));
+        log.record(entry(0, 200, Some("bank.com"), "appB", PolicyDecision::Allow));
+        let w = analyze(&log, &AnomalyConfig::default());
+        assert!(w
+            .iter()
+            .any(|x| matches!(x, Warning::NovelApp { app_hash_prefix, .. } if app_hash_prefix == "appB")));
+    }
+
+    #[test]
+    fn off_hours_needs_history_then_flags() {
+        let mut log = AuditLog::new();
+        // Build 25 entries of daytime (10:00) history across days.
+        for day in 0..25u64 {
+            log.record(allowed(0, day * 86_400 + 10 * 3600, "bank.com"));
+        }
+        // Then a 3 AM access.
+        log.record(allowed(0, 25 * 86_400 + 3 * 3600, "bank.com"));
+        let w = analyze(&log, &AnomalyConfig::default());
+        assert!(w.iter().any(|x| matches!(x, Warning::OffHours { hour: 3, .. })), "{w:?}");
+    }
+
+    #[test]
+    fn off_hours_quiet_without_history() {
+        let mut log = AuditLog::new();
+        log.record(allowed(0, 3 * 3600, "bank.com")); // 3 AM but no history
+        let w = analyze(&log, &AnomalyConfig::default());
+        assert!(!w.iter().any(|x| matches!(x, Warning::OffHours { .. })));
+    }
+}

@@ -1,0 +1,143 @@
+//! The trusted node's audit log.
+//!
+//! "All of the cor access activities on the trusted node are logged for
+//! auditing. Each record includes timestamp, application hash, cor ID and
+//! network domain. Any abnormal activity will be reported to the user."
+//! (§3.4)
+
+use serde::{Deserialize, Serialize};
+use tinman_sim::SimTime;
+
+use crate::policy::PolicyDecision;
+use crate::store::CorId;
+
+/// One audit record.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AuditEntry {
+    /// When the access happened (simulated time).
+    pub time: SimTime,
+    /// Hex of the requesting app image hash.
+    pub app_hash_hex: String,
+    /// Which cor.
+    pub cor: CorId,
+    /// Destination domain for sends, `None` for computation.
+    pub domain: Option<String>,
+    /// The policy verdict.
+    pub decision: PolicyDecision,
+    /// Requesting device.
+    pub device: String,
+}
+
+impl AuditEntry {
+    /// True if this entry records a denial — the "abnormal activity" the
+    /// node reports to the user.
+    pub fn is_abnormal(&self) -> bool {
+        !self.decision.is_allowed()
+    }
+}
+
+/// Append-only audit log.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct AuditLog {
+    entries: Vec<AuditEntry>,
+}
+
+impl AuditLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        AuditLog::default()
+    }
+
+    /// Appends an entry.
+    pub fn record(&mut self, entry: AuditEntry) {
+        self.entries.push(entry);
+    }
+
+    /// All entries, oldest first.
+    pub fn entries(&self) -> &[AuditEntry] {
+        &self.entries
+    }
+
+    /// Entries recording denials.
+    pub fn abnormal(&self) -> Vec<&AuditEntry> {
+        self.entries.iter().filter(|e| e.is_abnormal()).collect()
+    }
+
+    /// Entries touching one cor.
+    pub fn for_cor(&self, cor: CorId) -> Vec<&AuditEntry> {
+        self.entries.iter().filter(|e| e.cor == cor).collect()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing was logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Machine-readable export (JSON lines), for the user's audit review.
+    pub fn export_jsonl(&self) -> String {
+        self.entries
+            .iter()
+            .map(|e| serde_json::to_string(e).expect("audit entries serialize"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(cor: u8, decision: PolicyDecision) -> AuditEntry {
+        AuditEntry {
+            time: SimTime::ZERO,
+            app_hash_hex: "ab".repeat(32),
+            cor: CorId(cor),
+            domain: Some("bank.com".into()),
+            decision,
+            device: "phone-1".into(),
+        }
+    }
+
+    #[test]
+    fn records_accumulate_in_order() {
+        let mut log = AuditLog::new();
+        log.record(entry(0, PolicyDecision::Allow));
+        log.record(entry(1, PolicyDecision::DeniedRevoked));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.entries()[0].cor, CorId(0));
+    }
+
+    #[test]
+    fn abnormal_filter() {
+        let mut log = AuditLog::new();
+        log.record(entry(0, PolicyDecision::Allow));
+        log.record(entry(0, PolicyDecision::DeniedAppMismatch));
+        log.record(entry(1, PolicyDecision::DeniedDomain { domain: "evil.com".into() }));
+        assert_eq!(log.abnormal().len(), 2);
+    }
+
+    #[test]
+    fn per_cor_filter() {
+        let mut log = AuditLog::new();
+        log.record(entry(0, PolicyDecision::Allow));
+        log.record(entry(1, PolicyDecision::Allow));
+        log.record(entry(0, PolicyDecision::Allow));
+        assert_eq!(log.for_cor(CorId(0)).len(), 2);
+        assert_eq!(log.for_cor(CorId(9)).len(), 0);
+    }
+
+    #[test]
+    fn jsonl_export_is_one_line_per_entry() {
+        let mut log = AuditLog::new();
+        log.record(entry(0, PolicyDecision::Allow));
+        log.record(entry(1, PolicyDecision::DeniedRateLimit));
+        let out = log.export_jsonl();
+        assert_eq!(out.lines().count(), 2);
+        assert!(out.contains("DeniedRateLimit"));
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! Confidential records (cors) and the trusted node's security policy.
+//!
+//! A *cor* (COnfidential Record) is the paper's central abstraction
+//! (Table 1): a secret such as a password or card number whose plaintext
+//! exists **only on the trusted node**. The mobile device holds a
+//! same-length placeholder, tainted with the cor's label.
+//!
+//! This crate provides:
+//! * [`store`] — the node-side [`CorStore`] (plaintexts, derived cors,
+//!   placeholder minting) and the client-side [`PlaceholderDirectory`]
+//!   (descriptions + placeholders, no plaintext, the source of the cor
+//!   selection widget's list);
+//! * [`policy`] — the §3.4 enforcement: app-hash↔cor binding, domain
+//!   whitelists with authentication-endpoint narrowing, time windows,
+//!   per-day rate limits, revocation, and the malware hash database;
+//! * [`audit`] — the append-only access log (timestamp, app hash, cor id,
+//!   domain, decision) the node keeps for §3.4/§4.2 auditing.
+//!
+//! [`CorStore`]: store::CorStore
+//! [`PlaceholderDirectory`]: store::PlaceholderDirectory
+
+pub mod anomaly;
+pub mod audit;
+pub mod persist;
+pub mod policy;
+pub mod store;
+
+pub use anomaly::{analyze, AnomalyConfig, Warning};
+pub use audit::{AuditEntry, AuditLog};
+pub use persist::{PersistError, PolicySnapshot, StoreSnapshot};
+pub use policy::{AccessRequest, MalwareDb, PolicyDecision, PolicyEngine, PolicyRule};
+pub use store::{CorId, CorRecord, CorStore, PlaceholderDirectory};

@@ -1,0 +1,196 @@
+//! Durable trusted-node state.
+//!
+//! A real trusted node restarts: its cor store (including derived cors
+//! minted mid-session) and its policy rules must survive. §3.6 likewise
+//! mentions the client persisting taint labels to disk. This module
+//! provides JSON snapshots for the node-side state — the *node's own*
+//! storage, so plaintexts appear in it by design (the node is the one
+//! place plaintext is allowed to live).
+
+use serde::{Deserialize, Serialize};
+use tinman_sim::SplitMix64;
+
+use crate::policy::PolicyRule;
+use crate::store::{CorId, CorRecord, CorStore};
+
+/// A serializable snapshot of a [`CorStore`].
+#[derive(Serialize, Deserialize)]
+pub struct StoreSnapshot {
+    records: Vec<CorRecord>,
+    next_id: u8,
+    start_id: u8,
+    end_id: u8,
+    rng_seed: u64,
+}
+
+/// A serializable snapshot of the per-cor policy rules.
+#[derive(Serialize, Deserialize, Default)]
+pub struct PolicySnapshot {
+    /// `(cor, rule)` pairs.
+    pub rules: Vec<(CorId, PolicyRule)>,
+    /// Revoked device names.
+    pub revoked_devices: Vec<String>,
+}
+
+/// An error restoring a snapshot.
+#[derive(Debug)]
+pub struct PersistError(pub String);
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "persist error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl CorStore {
+    /// Serializes the store (plaintexts included — this is the trusted
+    /// node's own storage).
+    pub fn to_json(&self) -> String {
+        let snapshot = StoreSnapshot {
+            records: {
+                let mut v: Vec<CorRecord> =
+                    self.ids().iter().map(|id| self.get(*id).expect("listed").clone()).collect();
+                v.sort_by_key(|r| r.id);
+                v
+            },
+            next_id: self.next_id_for_persist(),
+            start_id: self.range_for_persist().0,
+            end_id: self.range_for_persist().1,
+            rng_seed: 0, // the placeholder generator is re-seeded on load
+        };
+        serde_json::to_string_pretty(&snapshot).expect("snapshot serializes")
+    }
+
+    /// Restores a store from [`CorStore::to_json`] output. A fresh
+    /// placeholder-generator seed is supplied by the caller (placeholders
+    /// of existing records are preserved verbatim; only future mints use
+    /// the new seed).
+    pub fn from_json(json: &str, reseed: u64) -> Result<CorStore, PersistError> {
+        let snapshot: StoreSnapshot =
+            serde_json::from_str(json).map_err(|e| PersistError(e.to_string()))?;
+        if snapshot.start_id >= snapshot.end_id {
+            return Err(PersistError("invalid label range".into()));
+        }
+        let mut store =
+            CorStore::with_label_range(reseed, snapshot.start_id, snapshot.end_id);
+        store.restore_records(snapshot.records, snapshot.next_id)?;
+        let _ = SplitMix64::new(snapshot.rng_seed); // field kept for format stability
+        Ok(store)
+    }
+}
+
+impl crate::policy::PolicyEngine {
+    /// Serializes the rules and revocations (usage counters are
+    /// deliberately not persisted: rate limits reset on restart, the
+    /// conservative direction).
+    pub fn to_snapshot(&self) -> PolicySnapshot {
+        PolicySnapshot {
+            rules: self.rules_for_persist(),
+            revoked_devices: self.revoked_for_persist(),
+        }
+    }
+
+    /// Restores rules and revocations from a snapshot.
+    pub fn from_snapshot(snapshot: PolicySnapshot) -> Self {
+        let mut engine = Self::new();
+        for (cor, rule) in snapshot.rules {
+            engine.set_rule(cor, rule);
+        }
+        for device in snapshot.revoked_devices {
+            engine.revoke_device(&device);
+        }
+        engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{AccessRequest, PolicyDecision, PolicyEngine};
+    use tinman_sim::SimTime;
+
+    #[test]
+    fn store_round_trips_with_derived_cors() {
+        let mut store = CorStore::with_label_range(7, 8, 24);
+        let a = store.register("work-password", "Work", &["corp.example"]).unwrap();
+        let d = store.register_derived("derived-hash-value", a.taint()).unwrap();
+
+        let json = store.to_json();
+        let restored = CorStore::from_json(&json, 999).unwrap();
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.plaintext(a), Some("work-password"));
+        assert_eq!(restored.plaintext(d), Some("derived-hash-value"));
+        assert_eq!(restored.placeholder(a), store.placeholder(a));
+        assert_eq!(restored.find_by_plaintext("derived-hash-value"), Some(d));
+        assert!(restored.get(d).unwrap().derived);
+        // Allocation continues where it left off, in range.
+        let next = {
+            let mut r = restored;
+            r.register("new-after-restore", "New", &[]).unwrap()
+        };
+        assert_eq!(next, CorId(10));
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(CorStore::from_json("{not json", 1).is_err());
+        assert!(CorStore::from_json("{\"records\":[],\"next_id\":0,\"start_id\":9,\"end_id\":3,\"rng_seed\":0}", 1).is_err());
+    }
+
+    #[test]
+    fn policy_round_trips_rules_and_revocations() {
+        let mut engine = PolicyEngine::new();
+        engine.set_rule(
+            CorId(2),
+            crate::policy::PolicyRule {
+                bound_app_hash: Some([9u8; 32]),
+                domain_whitelist: vec!["site.com".into()],
+                ..Default::default()
+            },
+        );
+        engine.revoke_device("stolen-phone");
+
+        let snapshot = engine.to_snapshot();
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let back: PolicySnapshot = serde_json::from_str(&json).unwrap();
+        let mut restored = PolicyEngine::from_snapshot(back);
+
+        assert!(restored.is_revoked("stolen-phone"));
+        let req = AccessRequest {
+            cor: CorId(2),
+            app_hash: [1u8; 32], // wrong hash
+            dest_domain: None,
+            device: "phone-1".into(),
+            now: SimTime::ZERO,
+        };
+        assert_eq!(restored.check(&req, &[]), PolicyDecision::DeniedAppMismatch);
+    }
+
+    #[test]
+    fn rate_counters_reset_on_restore() {
+        let mut engine = PolicyEngine::new();
+        engine.set_rule(
+            CorId(0),
+            crate::policy::PolicyRule {
+                domain_whitelist: vec!["s.com".into()],
+                max_uses_per_day: Some(1),
+                ..Default::default()
+            },
+        );
+        let req = AccessRequest {
+            cor: CorId(0),
+            app_hash: [0u8; 32],
+            dest_domain: Some("s.com".into()),
+            device: "d".into(),
+            now: SimTime::ZERO,
+        };
+        assert!(engine.check(&req, &[]).is_allowed());
+        assert!(!engine.check(&req, &[]).is_allowed());
+        // After restart the counter is gone but the rule remains.
+        let mut restored = PolicyEngine::from_snapshot(engine.to_snapshot());
+        assert!(restored.check(&req, &[]).is_allowed());
+        assert!(!restored.check(&req, &[]).is_allowed());
+    }
+}

@@ -1,0 +1,445 @@
+//! The trusted node's access-control policy (§3.4).
+//!
+//! Two bindings restrict how offloaded code may use a cor:
+//!
+//! 1. **app ↔ cor** — a cor may be bound to the hash of the only app image
+//!    allowed to access it (defeats phishing apps: a fake Facebook app has
+//!    a different dex hash);
+//! 2. **cor ↔ domain** — a cor may only be *sent* to whitelisted domains,
+//!    optionally narrowed to the site's dedicated authentication endpoints
+//!    (defeats the post-password-as-comment attack: `facebook.com` content
+//!    servers are not `auth.facebook.com`).
+//!
+//! On top of the bindings: per-device revocation (stolen-phone response),
+//! time-of-day windows and per-day rate limits (§4.2's card rules), and a
+//! malware hash database consulted before any offloaded image runs.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+use tinman_sim::SimTime;
+
+use crate::store::CorId;
+
+/// A per-cor policy rule set. Absent fields mean "unrestricted".
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PolicyRule {
+    /// Only this app image hash may access the cor.
+    pub bound_app_hash: Option<[u8; 32]>,
+    /// Only these domains may receive the cor (checked against the resolved
+    /// destination's domain). Empty = use the cor record's own whitelist.
+    pub domain_whitelist: Vec<String>,
+    /// If set, the whitelist is narrowed to these dedicated authentication
+    /// endpoints (the §3.4 auth-IP narrowing).
+    pub auth_endpoints: Vec<String>,
+    /// Allowed send window as hours of the simulated day `[start, end)`,
+    /// e.g. `(10, 22)` for "10:00 to 22:00" (§4.2 rule 2).
+    pub time_window_hours: Option<(u8, u8)>,
+    /// Maximum sends per simulated day (§4.2 rule 3).
+    pub max_uses_per_day: Option<u32>,
+}
+
+/// One access request the policy engine evaluates.
+#[derive(Clone, Debug)]
+pub struct AccessRequest {
+    /// Which cor.
+    pub cor: CorId,
+    /// Hash of the requesting app image.
+    pub app_hash: [u8; 32],
+    /// Destination domain when the request is a network send; `None` for
+    /// pure computation (hashing a password never leaves the node).
+    pub dest_domain: Option<String>,
+    /// Requesting device identity (for revocation).
+    pub device: String,
+    /// Simulated time of the request.
+    pub now: SimTime,
+}
+
+/// The engine's verdict.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyDecision {
+    /// Access granted.
+    Allow,
+    /// The app hash does not match the cor's binding (phishing app).
+    DeniedAppMismatch,
+    /// The destination domain is not whitelisted for this cor.
+    DeniedDomain {
+        /// The rejected destination.
+        domain: String,
+    },
+    /// The destination is in the domain but not a dedicated auth endpoint.
+    DeniedNotAuthEndpoint {
+        /// The rejected destination.
+        domain: String,
+    },
+    /// Outside the allowed time window.
+    DeniedTimeWindow,
+    /// Daily usage limit exhausted.
+    DeniedRateLimit,
+    /// The requesting device's permissions were revoked (stolen phone).
+    DeniedRevoked,
+    /// The requesting app image is known malware.
+    DeniedMalware,
+}
+
+impl PolicyDecision {
+    /// True when access proceeds.
+    pub fn is_allowed(&self) -> bool {
+        *self == PolicyDecision::Allow
+    }
+}
+
+/// The §3.4 malware hash database ("currently we only apply a relatively
+/// small database with around 1,000 malware").
+#[derive(Clone, Debug, Default)]
+pub struct MalwareDb {
+    hashes: HashSet<[u8; 32]>,
+}
+
+impl MalwareDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        MalwareDb::default()
+    }
+
+    /// Adds a known-malware image hash.
+    pub fn add(&mut self, hash: [u8; 32]) {
+        self.hashes.insert(hash);
+    }
+
+    /// True if `hash` is known malware.
+    pub fn contains(&self, hash: &[u8; 32]) -> bool {
+        self.hashes.contains(hash)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// True if the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+}
+
+/// Evaluates [`AccessRequest`]s against per-cor rules, revocations and the
+/// malware database, and tracks daily usage for rate limiting.
+#[derive(Clone, Debug, Default)]
+pub struct PolicyEngine {
+    rules: HashMap<CorId, PolicyRule>,
+    revoked_devices: HashSet<String>,
+    malware: MalwareDb,
+    /// (cor, day-index) -> sends so far.
+    usage: HashMap<(CorId, u64), u32>,
+}
+
+const SECS_PER_DAY: f64 = 86_400.0;
+
+impl PolicyEngine {
+    /// An engine with no rules (everything allowed except malware /
+    /// revoked devices, of which there are none yet).
+    pub fn new() -> Self {
+        PolicyEngine::default()
+    }
+
+    /// Installs (replacing) the rule for a cor.
+    pub fn set_rule(&mut self, cor: CorId, rule: PolicyRule) {
+        self.rules.insert(cor, rule);
+    }
+
+    /// The rule for a cor, if any.
+    pub fn rule(&self, cor: CorId) -> Option<&PolicyRule> {
+        self.rules.get(&cor)
+    }
+
+    /// Revokes all cor access for a device — the user's stolen-phone
+    /// response (§3.4).
+    pub fn revoke_device(&mut self, device: &str) {
+        self.revoked_devices.insert(device.to_owned());
+    }
+
+    /// Restores a previously revoked device.
+    pub fn unrevoke_device(&mut self, device: &str) {
+        self.revoked_devices.remove(device);
+    }
+
+    /// True if the device is revoked.
+    pub fn is_revoked(&self, device: &str) -> bool {
+        self.revoked_devices.contains(device)
+    }
+
+    /// Mutable access to the malware database.
+    pub fn malware_db_mut(&mut self) -> &mut MalwareDb {
+        &mut self.malware
+    }
+
+    /// The malware database.
+    pub fn malware_db(&self) -> &MalwareDb {
+        &self.malware
+    }
+
+    // ---- persistence hooks (crate-internal; see `persist`) ----
+
+    pub(crate) fn rules_for_persist(&self) -> Vec<(CorId, PolicyRule)> {
+        let mut v: Vec<(CorId, PolicyRule)> =
+            self.rules.iter().map(|(k, r)| (*k, r.clone())).collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    pub(crate) fn revoked_for_persist(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.revoked_devices.iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Evaluates a request. On `Allow` for a send request, the daily usage
+    /// counter advances.
+    ///
+    /// `fallback_whitelist` is the cor record's own whitelist (Table 1),
+    /// used when the rule specifies none.
+    pub fn check(
+        &mut self,
+        req: &AccessRequest,
+        fallback_whitelist: &[String],
+    ) -> PolicyDecision {
+        if self.revoked_devices.contains(&req.device) {
+            return PolicyDecision::DeniedRevoked;
+        }
+        if self.malware.contains(&req.app_hash) {
+            return PolicyDecision::DeniedMalware;
+        }
+        let rule = self.rules.get(&req.cor).cloned().unwrap_or_default();
+        if let Some(bound) = rule.bound_app_hash {
+            if bound != req.app_hash {
+                return PolicyDecision::DeniedAppMismatch;
+            }
+        }
+        // The remaining rules apply to *sending* the cor off the node.
+        let Some(domain) = &req.dest_domain else {
+            return PolicyDecision::Allow;
+        };
+        let whitelist: &[String] = if rule.domain_whitelist.is_empty() {
+            fallback_whitelist
+        } else {
+            &rule.domain_whitelist
+        };
+        let in_domain = whitelist.iter().any(|d| domain == d || domain.ends_with(&format!(".{d}")));
+        if !in_domain {
+            return PolicyDecision::DeniedDomain { domain: domain.clone() };
+        }
+        if !rule.auth_endpoints.is_empty() && !rule.auth_endpoints.iter().any(|d| d == domain) {
+            return PolicyDecision::DeniedNotAuthEndpoint { domain: domain.clone() };
+        }
+        if let Some((start, end)) = rule.time_window_hours {
+            let hour =
+                ((req.now.as_secs_f64() % SECS_PER_DAY) / 3600.0).floor() as u8;
+            let inside = if start <= end { hour >= start && hour < end } else { hour >= start || hour < end };
+            if !inside {
+                return PolicyDecision::DeniedTimeWindow;
+            }
+        }
+        if let Some(limit) = rule.max_uses_per_day {
+            let day = (req.now.as_secs_f64() / SECS_PER_DAY) as u64;
+            let count = self.usage.entry((req.cor, day)).or_insert(0);
+            if *count >= limit {
+                return PolicyDecision::DeniedRateLimit;
+            }
+            *count += 1;
+        }
+        PolicyDecision::Allow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinman_sim::{SimDuration, SimTime};
+
+    fn at_hour(h: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(h * 3600)
+    }
+
+    fn req(cor: CorId, app: u8, domain: Option<&str>, now: SimTime) -> AccessRequest {
+        AccessRequest {
+            cor,
+            app_hash: [app; 32],
+            dest_domain: domain.map(str::to_owned),
+            device: "phone-1".into(),
+            now,
+        }
+    }
+
+    #[test]
+    fn default_rule_allows_computation() {
+        let mut e = PolicyEngine::new();
+        let d = e.check(&req(CorId(0), 1, None, SimTime::ZERO), &[]);
+        assert!(d.is_allowed());
+    }
+
+    #[test]
+    fn app_binding_blocks_phishing_app() {
+        let mut e = PolicyEngine::new();
+        e.set_rule(
+            CorId(0),
+            PolicyRule { bound_app_hash: Some([1u8; 32]), ..Default::default() },
+        );
+        assert!(e.check(&req(CorId(0), 1, None, SimTime::ZERO), &[]).is_allowed());
+        assert_eq!(
+            e.check(&req(CorId(0), 2, None, SimTime::ZERO), &[]),
+            PolicyDecision::DeniedAppMismatch
+        );
+    }
+
+    #[test]
+    fn domain_whitelist_with_subdomains() {
+        let mut e = PolicyEngine::new();
+        let wl = vec!["citibank.com".to_owned()];
+        assert!(e.check(&req(CorId(0), 1, Some("citibank.com"), SimTime::ZERO), &wl).is_allowed());
+        assert!(e
+            .check(&req(CorId(0), 1, Some("auth.citibank.com"), SimTime::ZERO), &wl)
+            .is_allowed());
+        assert_eq!(
+            e.check(&req(CorId(0), 1, Some("evil.com"), SimTime::ZERO), &wl),
+            PolicyDecision::DeniedDomain { domain: "evil.com".into() }
+        );
+        assert_eq!(
+            e.check(&req(CorId(0), 1, Some("notcitibank.com"), SimTime::ZERO), &wl),
+            PolicyDecision::DeniedDomain { domain: "notcitibank.com".into() },
+            "suffix matching must not over-match"
+        );
+    }
+
+    #[test]
+    fn rule_whitelist_overrides_fallback() {
+        let mut e = PolicyEngine::new();
+        e.set_rule(
+            CorId(0),
+            PolicyRule { domain_whitelist: vec!["only.com".into()], ..Default::default() },
+        );
+        let fallback = vec!["other.com".to_owned()];
+        assert!(e.check(&req(CorId(0), 1, Some("only.com"), SimTime::ZERO), &fallback).is_allowed());
+        assert!(!e
+            .check(&req(CorId(0), 1, Some("other.com"), SimTime::ZERO), &fallback)
+            .is_allowed());
+    }
+
+    #[test]
+    fn auth_endpoint_narrowing_blocks_comment_post_attack() {
+        // §3.4: password bound to facebook.com but narrowed to the auth
+        // endpoint — posting it as a comment to www.facebook.com is denied.
+        let mut e = PolicyEngine::new();
+        e.set_rule(
+            CorId(0),
+            PolicyRule {
+                domain_whitelist: vec!["facebook.com".into()],
+                auth_endpoints: vec!["auth.facebook.com".into()],
+                ..Default::default()
+            },
+        );
+        assert!(e
+            .check(&req(CorId(0), 1, Some("auth.facebook.com"), SimTime::ZERO), &[])
+            .is_allowed());
+        assert_eq!(
+            e.check(&req(CorId(0), 1, Some("www.facebook.com"), SimTime::ZERO), &[]),
+            PolicyDecision::DeniedNotAuthEndpoint { domain: "www.facebook.com".into() }
+        );
+    }
+
+    #[test]
+    fn time_window_enforced() {
+        let mut e = PolicyEngine::new();
+        e.set_rule(
+            CorId(0),
+            PolicyRule {
+                domain_whitelist: vec!["shop.com".into()],
+                time_window_hours: Some((10, 22)),
+                ..Default::default()
+            },
+        );
+        assert!(e.check(&req(CorId(0), 1, Some("shop.com"), at_hour(12)), &[]).is_allowed());
+        assert_eq!(
+            e.check(&req(CorId(0), 1, Some("shop.com"), at_hour(23)), &[]),
+            PolicyDecision::DeniedTimeWindow
+        );
+        assert_eq!(
+            e.check(&req(CorId(0), 1, Some("shop.com"), at_hour(3)), &[]),
+            PolicyDecision::DeniedTimeWindow
+        );
+    }
+
+    #[test]
+    fn wrapping_time_window() {
+        let mut e = PolicyEngine::new();
+        e.set_rule(
+            CorId(0),
+            PolicyRule {
+                domain_whitelist: vec!["s.com".into()],
+                time_window_hours: Some((22, 6)), // overnight window
+                ..Default::default()
+            },
+        );
+        assert!(e.check(&req(CorId(0), 1, Some("s.com"), at_hour(23)), &[]).is_allowed());
+        assert!(e.check(&req(CorId(0), 1, Some("s.com"), at_hour(5)), &[]).is_allowed());
+        assert!(!e.check(&req(CorId(0), 1, Some("s.com"), at_hour(12)), &[]).is_allowed());
+    }
+
+    #[test]
+    fn rate_limit_resets_daily() {
+        let mut e = PolicyEngine::new();
+        e.set_rule(
+            CorId(0),
+            PolicyRule {
+                domain_whitelist: vec!["shop.com".into()],
+                max_uses_per_day: Some(2),
+                ..Default::default()
+            },
+        );
+        let r = |t| req(CorId(0), 1, Some("shop.com"), t);
+        assert!(e.check(&r(at_hour(1)), &[]).is_allowed());
+        assert!(e.check(&r(at_hour(2)), &[]).is_allowed());
+        assert_eq!(e.check(&r(at_hour(3)), &[]), PolicyDecision::DeniedRateLimit);
+        // Next simulated day: the counter resets.
+        assert!(e.check(&r(at_hour(25)), &[]).is_allowed());
+    }
+
+    #[test]
+    fn revocation_blocks_everything() {
+        let mut e = PolicyEngine::new();
+        e.revoke_device("phone-1");
+        assert_eq!(
+            e.check(&req(CorId(0), 1, None, SimTime::ZERO), &[]),
+            PolicyDecision::DeniedRevoked
+        );
+        e.unrevoke_device("phone-1");
+        assert!(e.check(&req(CorId(0), 1, None, SimTime::ZERO), &[]).is_allowed());
+    }
+
+    #[test]
+    fn malware_db_blocks_known_images() {
+        let mut e = PolicyEngine::new();
+        e.malware_db_mut().add([66u8; 32]);
+        assert_eq!(
+            e.check(&req(CorId(0), 66, None, SimTime::ZERO), &[]),
+            PolicyDecision::DeniedMalware
+        );
+        assert_eq!(e.malware_db().len(), 1);
+    }
+
+    #[test]
+    fn denied_requests_do_not_consume_rate_budget() {
+        let mut e = PolicyEngine::new();
+        e.set_rule(
+            CorId(0),
+            PolicyRule {
+                domain_whitelist: vec!["ok.com".into()],
+                max_uses_per_day: Some(1),
+                ..Default::default()
+            },
+        );
+        // A denied-by-domain request must not consume the budget.
+        assert!(!e.check(&req(CorId(0), 1, Some("bad.com"), at_hour(1)), &[]).is_allowed());
+        assert!(e.check(&req(CorId(0), 1, Some("ok.com"), at_hour(1)), &[]).is_allowed());
+    }
+}

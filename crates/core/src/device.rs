@@ -1,0 +1,142 @@
+//! The client device (the phone).
+
+use std::collections::HashMap;
+
+use tinman_cor::PlaceholderDirectory;
+use tinman_net::{ConnId, HostId};
+use tinman_sim::{Battery, DeviceProfile, EnergyMeter, LinkProfile};
+use tinman_taint::TaintEngine;
+use tinman_tls::{TlsConfig, TlsSession};
+use tinman_vm::Machine;
+
+/// An app-visible connection handle (the integer the `net.*` natives trade
+/// in).
+pub type ConnHandle = i64;
+
+/// One open connection's client-side state.
+pub struct ConnState {
+    /// The world-level TCP connection.
+    pub conn: ConnId,
+    /// The destination domain the app named (for policy checks and audit).
+    pub domain: String,
+    /// The TLS session once the handshake completed.
+    pub tls: Option<TlsSession>,
+}
+
+/// The mobile device: machine + taint engine + network/TLS client state +
+/// power accounting + the simulated flash storage.
+pub struct ClientDevice {
+    /// The device's identity in the simulated world.
+    pub host: HostId,
+    /// A stable device name (the revocation key).
+    pub name: String,
+    /// The VM thread (the app being run).
+    pub machine: Machine,
+    /// The client taint engine (asymmetric under TinMan).
+    pub engine: TaintEngine,
+    /// cor descriptions + placeholders (TinMan mode).
+    pub directory: PlaceholderDirectory,
+    /// The device's TLS policy (TinMan: floor at TLS 1.1).
+    pub tls_config: TlsConfig,
+    /// Open connections by app-visible handle.
+    pub conns: HashMap<ConnHandle, ConnState>,
+    next_handle: ConnHandle,
+    /// Compute profile (Galaxy Nexus).
+    pub profile: DeviceProfile,
+    /// Radio profile (Wi-Fi or 3G).
+    pub link: LinkProfile,
+    /// The battery.
+    pub battery: Battery,
+    /// Energy attribution.
+    pub energy: EnergyMeter,
+    /// Simulated flash storage: lines apps wrote with `disk.write`. Part of
+    /// the residue-scan surface.
+    pub disk: Vec<String>,
+    /// Device log lines (`sys.log`). Also scanned for residue.
+    pub device_log: Vec<String>,
+}
+
+impl ClientDevice {
+    /// A fresh device.
+    pub fn new(
+        host: HostId,
+        name: &str,
+        engine: TaintEngine,
+        directory: PlaceholderDirectory,
+        tls_config: TlsConfig,
+        link: LinkProfile,
+    ) -> Self {
+        ClientDevice {
+            host,
+            name: name.to_owned(),
+            machine: Machine::new(),
+            engine,
+            directory,
+            tls_config,
+            conns: HashMap::new(),
+            next_handle: 1,
+            profile: DeviceProfile::galaxy_nexus(),
+            link,
+            battery: Battery::galaxy_nexus(),
+            energy: EnergyMeter::new(),
+            disk: Vec::new(),
+            device_log: Vec::new(),
+        }
+    }
+
+    /// Registers an open connection, returning the app-visible handle.
+    pub fn add_conn(&mut self, conn: ConnId, domain: &str) -> ConnHandle {
+        let h = self.next_handle;
+        self.next_handle += 1;
+        self.conns.insert(h, ConnState { conn, domain: domain.to_owned(), tls: None });
+        h
+    }
+
+    /// Resets per-app run state (machine, connections) while keeping the
+    /// battery, directory and warm caches — a new app launch on the same
+    /// phone.
+    pub fn reset_for_run(&mut self, engine: TaintEngine) {
+        self.machine = Machine::new();
+        self.engine = engine;
+        self.conns.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> ClientDevice {
+        ClientDevice::new(
+            HostId(0),
+            "phone-1",
+            TaintEngine::asymmetric(),
+            PlaceholderDirectory::default(),
+            TlsConfig::tinman_client([0u8; 32]),
+            LinkProfile::wifi(),
+        )
+    }
+
+    #[test]
+    fn conn_handles_are_unique_and_resolvable() {
+        let mut d = device();
+        let a = d.add_conn(ConnId(10), "a.com");
+        let b = d.add_conn(ConnId(11), "b.com");
+        assert_ne!(a, b);
+        assert_eq!(d.conns[&a].domain, "a.com");
+        assert_eq!(d.conns[&b].conn, ConnId(11));
+    }
+
+    #[test]
+    fn reset_keeps_battery_but_clears_run_state() {
+        let mut d = device();
+        d.add_conn(ConnId(1), "x.com");
+        d.machine.heap.alloc_str("stale");
+        d.battery.drain(tinman_sim::MicroJoules::from_joules(10));
+        let drained = d.battery.drained();
+        d.reset_for_run(TaintEngine::asymmetric());
+        assert!(d.conns.is_empty());
+        assert_eq!(d.machine.heap.len(), 0);
+        assert_eq!(d.battery.drained(), drained);
+    }
+}

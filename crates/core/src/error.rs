@@ -1,0 +1,104 @@
+//! Runtime error type.
+
+use std::fmt;
+
+use tinman_cor::PolicyDecision;
+use tinman_dsm::DsmError;
+use tinman_net::NetError;
+use tinman_tls::TlsError;
+use tinman_vm::VmError;
+
+/// An error raised by the TinMan runtime while driving an app.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RuntimeError {
+    /// The VM faulted.
+    Vm(VmError),
+    /// DSM synchronization failed.
+    Dsm(DsmError),
+    /// The simulated network failed.
+    Net(NetError),
+    /// The TLS stack failed (including the version-floor refusal).
+    Tls(TlsError),
+    /// The trusted node's policy denied a cor access mid-flow.
+    PolicyDenied(PolicyDecision),
+    /// The app image is in the malware database; the node refused to run
+    /// it at all (§3.4).
+    MalwareRejected {
+        /// Hex of the rejected image hash.
+        app_hash_hex: String,
+    },
+    /// The same instruction triggered offloading twice without progress —
+    /// tainted data was handed to a native that can run on neither
+    /// endpoint.
+    OffloadPingPong {
+        /// The function containing the instruction.
+        func: String,
+        /// The instruction index.
+        pc: usize,
+    },
+    /// The run exceeded its instruction budget (runaway app).
+    FuelExhausted,
+    /// An app asked for an input key the harness did not script.
+    MissingInput(String),
+    /// The device is offline (connectivity requirement, §5.4).
+    Offline,
+    /// A derived value mixed cors owned by two different trusted nodes —
+    /// a single offload episode cannot span trust domains (§5.3).
+    CrossNodeCor {
+        /// One involved node index.
+        node_a: usize,
+        /// The other involved node index.
+        node_b: usize,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Vm(e) => write!(f, "vm: {e}"),
+            RuntimeError::Dsm(e) => write!(f, "dsm: {e}"),
+            RuntimeError::Net(e) => write!(f, "net: {e}"),
+            RuntimeError::Tls(e) => write!(f, "tls: {e}"),
+            RuntimeError::PolicyDenied(d) => write!(f, "trusted node denied cor access: {d:?}"),
+            RuntimeError::MalwareRejected { app_hash_hex } => {
+                write!(f, "trusted node refused known-malware image {app_hash_hex}")
+            }
+            RuntimeError::OffloadPingPong { func, pc } => write!(
+                f,
+                "offload ping-pong at {func}:{pc}: tainted data passed to a native \
+                 runnable on neither endpoint"
+            ),
+            RuntimeError::FuelExhausted => write!(f, "instruction budget exhausted"),
+            RuntimeError::MissingInput(k) => write!(f, "no scripted input for key '{k}'"),
+            RuntimeError::Offline => write!(f, "device is offline; cor access requires the trusted node"),
+            RuntimeError::CrossNodeCor { node_a, node_b } => write!(
+                f,
+                "cor labels span trusted nodes {node_a} and {node_b}; a derived value \
+                 cannot mix trust domains"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<VmError> for RuntimeError {
+    fn from(e: VmError) -> Self {
+        RuntimeError::Vm(e)
+    }
+}
+impl From<DsmError> for RuntimeError {
+    fn from(e: DsmError) -> Self {
+        RuntimeError::Dsm(e)
+    }
+}
+impl From<NetError> for RuntimeError {
+    fn from(e: NetError) -> Self {
+        RuntimeError::Net(e)
+    }
+}
+impl From<TlsError> for RuntimeError {
+    fn from(e: TlsError) -> Self {
+        RuntimeError::Tls(e)
+    }
+}

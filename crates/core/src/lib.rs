@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! The TinMan runtime — security-oriented offloading.
+//!
+//! This crate composes every substrate into the system the paper describes:
+//!
+//! * a [`device::ClientDevice`] (the phone): a VM machine with the
+//!   *asymmetric* taint engine, a placeholder directory, a TLS stack with
+//!   the TLS ≥ 1.1 floor, a TCP connection table, a battery, and a
+//!   simulated disk;
+//! * a [`node::TrustedNode`]: the cor store, the §3.4 policy engine, the
+//!   audit log, the malware database, a mirrored VM machine with the *full*
+//!   taint engine, and the warm app-image cache;
+//! * the [`runtime::TinmanRuntime`] event loop: runs an app on the client
+//!   until a taint trigger suspends it, migrates it over the DSM engine,
+//!   continues it on the node, performs **SSL session injection** and
+//!   **TCP payload replacement** when offloaded code sends a cor, and
+//!   migrates back on taint-idle or non-offloadable natives;
+//! * [`server::HttpsServerApp`]: TLS-speaking simulated web servers that
+//!   the apps log into, oblivious to the payload replacement happening in
+//!   front of them;
+//! * [`scan::ResidueReport`]: the §5.1 attacker — a full scan of client
+//!   memory, socket buffers, the disk and the placeholder directory for
+//!   cor plaintext.
+//!
+//! Three runtime modes reproduce the paper's comparison set: stock Android
+//! (no tainting, secrets typed in), TinMan (asymmetric tainting +
+//! offloading), and full-tainting (TaintDroid-style client, for Figure 13).
+
+pub mod device;
+pub mod error;
+pub mod hosts;
+pub mod materialize;
+pub mod natives;
+pub mod node;
+pub mod runtime;
+pub mod scan;
+pub mod server;
+
+pub use device::{ClientDevice, ConnHandle};
+pub use error::RuntimeError;
+pub use node::TrustedNode;
+pub use runtime::{Mode, RunReport, TinmanConfig, TinmanRuntime};
+pub use scan::ResidueReport;
+pub use server::{HttpHandler, HttpsServerApp};

@@ -1,0 +1,219 @@
+//! Cor materializers: how DSM tokens become local content on each endpoint.
+
+use tinman_cor::{CorId, CorStore, PlaceholderDirectory};
+use tinman_dsm::{CorMaterializer, CorToken, DsmError, ObjShape};
+use tinman_taint::TaintSet;
+use tinman_vm::{HeapKind, Value};
+
+/// Zero-content payload of a given shape — used for tainted non-string
+/// objects, which carry no readable content on either wire direction.
+fn neutral(shape: &ObjShape) -> HeapKind {
+    match shape {
+        ObjShape::Str { len } => HeapKind::Str("\u{0}".repeat(*len)),
+        ObjShape::Arr { len } => HeapKind::Arr(vec![Value::Int(0); *len]),
+        ObjShape::Obj { class, n_fields } => {
+            HeapKind::Obj { class: *class, fields: vec![Value::Null; *n_fields] }
+        }
+    }
+}
+
+/// The client's materializer.
+///
+/// * tokenize (client → node): the client's tainted content is *already* a
+///   placeholder, which is public, so the token may carry it verbatim.
+/// * materialize (node → client): string tokens become the carried
+///   placeholder; everything else becomes neutral content of the right
+///   shape. The directory learns placeholders of newly derived cors.
+pub struct ClientMaterializer<'a> {
+    /// The client's placeholder directory, updated when derived cors are
+    /// first seen.
+    pub directory: &'a mut PlaceholderDirectory,
+}
+
+impl CorMaterializer for ClientMaterializer<'_> {
+    fn tokenize(&mut self, kind: &HeapKind, taint: TaintSet) -> Result<CorToken, DsmError> {
+        let placeholder = match kind {
+            HeapKind::Str(s) => Some(s.clone()), // a placeholder, by the system invariant
+            _ => None,
+        };
+        Ok(CorToken { labels: taint, shape: ObjShape::of(kind), placeholder })
+    }
+
+    fn materialize(&mut self, token: &CorToken) -> Result<(HeapKind, TaintSet), DsmError> {
+        match (&token.shape, &token.placeholder) {
+            (ObjShape::Str { len }, Some(p)) if p.len() == *len => {
+                // Remember the placeholder for derived cors so future UI /
+                // tokenization sees a consistent value.
+                if let Some(label) = token.labels.iter().next() {
+                    let id = CorId(label.id());
+                    if self.directory.placeholder(id).is_none() {
+                        self.directory.insert(id, &format!("(derived #{})", label.id()), p);
+                    }
+                }
+                Ok((HeapKind::Str(p.clone()), token.labels))
+            }
+            _ => Ok((neutral(&token.shape), token.labels)),
+        }
+    }
+}
+
+/// The trusted node's materializer.
+///
+/// * tokenize (node → client): a tainted string's content is plaintext; it
+///   is resolved (or registered as a derived cor) in the store and replaced
+///   by its placeholder in the token. **Plaintext never enters a token.**
+/// * materialize (client → node): string tokens resolve labels back to
+///   plaintext from the store.
+pub struct NodeMaterializer<'a> {
+    /// The node's cor store.
+    pub store: &'a mut CorStore,
+}
+
+impl CorMaterializer for NodeMaterializer<'_> {
+    fn tokenize(&mut self, kind: &HeapKind, taint: TaintSet) -> Result<CorToken, DsmError> {
+        match kind {
+            HeapKind::Str(s) => {
+                let id = match self.store.find_by_plaintext(s) {
+                    Some(id) => id,
+                    None => self
+                        .store
+                        .register_derived(s, taint)
+                        .ok_or(DsmError::UnknownCor { labels: taint })?,
+                };
+                let placeholder =
+                    self.store.placeholder(id).expect("registered cor has a placeholder");
+                Ok(CorToken {
+                    labels: id.taint(),
+                    shape: ObjShape::Str { len: s.len() },
+                    placeholder: Some(placeholder.to_owned()),
+                })
+            }
+            other => Ok(CorToken {
+                labels: taint,
+                shape: ObjShape::of(other),
+                placeholder: None,
+            }),
+        }
+    }
+
+    fn materialize(&mut self, token: &CorToken) -> Result<(HeapKind, TaintSet), DsmError> {
+        if let ObjShape::Str { len } = token.shape {
+            // Single-label string tokens resolve to plaintext.
+            let labels: Vec<_> = token.labels.iter().collect();
+            if labels.len() == 1 {
+                let id = CorId(labels[0].id());
+                if let Some(p) = self.store.plaintext(id) {
+                    if p.len() != len {
+                        return Err(DsmError::ShapeMismatch {
+                            obj: tinman_vm::ObjId(0),
+                            detail: format!(
+                                "cor {id:?} plaintext length {} != token length {len}",
+                                p.len()
+                            ),
+                        });
+                    }
+                    return Ok((HeapKind::Str(p.to_owned()), token.labels));
+                }
+            }
+            return Err(DsmError::UnknownCor { labels: token.labels });
+        }
+        Ok((neutral(&token.shape), token.labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_cor() -> (CorStore, CorId) {
+        let mut s = CorStore::new(5);
+        let id = s.register("hunter2", "Bank password", &["bank.com"]).unwrap();
+        (s, id)
+    }
+
+    #[test]
+    fn client_to_node_round_trip_restores_plaintext() {
+        let (mut store, id) = store_with_cor();
+        let placeholder = store.placeholder(id).unwrap().to_owned();
+        let mut dir = store.client_directory();
+
+        // Client tokenizes its placeholder...
+        let mut cm = ClientMaterializer { directory: &mut dir };
+        let token =
+            cm.tokenize(&HeapKind::Str(placeholder.clone()), id.taint()).unwrap();
+        assert_eq!(token.placeholder.as_deref(), Some(placeholder.as_str()));
+
+        // ...and the node materializes the real plaintext.
+        let mut nm = NodeMaterializer { store: &mut store };
+        let (kind, taint) = nm.materialize(&token).unwrap();
+        assert_eq!(kind, HeapKind::Str("hunter2".into()));
+        assert_eq!(taint, id.taint());
+    }
+
+    #[test]
+    fn node_to_client_mints_derived_cor_and_ships_placeholder_only() {
+        let (mut store, id) = store_with_cor();
+        let mut dir = store.client_directory();
+
+        // The node tokenizes a derived plaintext (e.g. a hash).
+        let derived_plain = "sha256:deadbeefcafebabe";
+        let mut nm = NodeMaterializer { store: &mut store };
+        let token = nm.tokenize(&HeapKind::Str(derived_plain.into()), id.taint()).unwrap();
+        assert_ne!(token.labels, id.taint(), "derived cor got a fresh label");
+        let ph = token.placeholder.clone().unwrap();
+        assert_eq!(ph.len(), derived_plain.len());
+        assert_ne!(ph, derived_plain);
+        assert!(!serde_json::to_string(&token).unwrap().contains("deadbeef"));
+
+        // The client materializes the placeholder and learns it.
+        let mut cm = ClientMaterializer { directory: &mut dir };
+        let (kind, taint) = cm.materialize(&token).unwrap();
+        assert_eq!(kind, HeapKind::Str(ph.clone()));
+        assert_eq!(taint, token.labels);
+        let label = token.labels.iter().next().unwrap();
+        assert_eq!(dir.placeholder(CorId(label.id())), Some(ph.as_str()));
+    }
+
+    #[test]
+    fn derived_round_trip_back_to_node() {
+        // Full cycle: node mints derived cor -> client holds placeholder ->
+        // client ships it back -> node recovers the derived plaintext.
+        let (mut store, id) = store_with_cor();
+        let mut dir = store.client_directory();
+        let derived_plain = "hash-value-0123456789abcdef";
+        let token1 = NodeMaterializer { store: &mut store }
+            .tokenize(&HeapKind::Str(derived_plain.into()), id.taint())
+            .unwrap();
+        let (client_kind, client_taint) =
+            ClientMaterializer { directory: &mut dir }.materialize(&token1).unwrap();
+        let token2 = ClientMaterializer { directory: &mut dir }
+            .tokenize(&client_kind, client_taint)
+            .unwrap();
+        let (node_kind, _) =
+            NodeMaterializer { store: &mut store }.materialize(&token2).unwrap();
+        assert_eq!(node_kind, HeapKind::Str(derived_plain.into()));
+    }
+
+    #[test]
+    fn unknown_label_is_an_error_on_the_node() {
+        let (mut store, _) = store_with_cor();
+        let token = CorToken {
+            labels: tinman_taint::Label::new(33).unwrap().as_set(),
+            shape: ObjShape::Str { len: 4 },
+            placeholder: Some("XXXX".into()),
+        };
+        let err = NodeMaterializer { store: &mut store }.materialize(&token).unwrap_err();
+        assert!(matches!(err, DsmError::UnknownCor { .. }));
+    }
+
+    #[test]
+    fn tainted_arrays_travel_content_free() {
+        let (mut store, id) = store_with_cor();
+        let kind = HeapKind::Arr(vec![Value::Int(104), Value::Int(105)]); // "hi"
+        let token = NodeMaterializer { store: &mut store }.tokenize(&kind, id.taint()).unwrap();
+        assert!(token.placeholder.is_none());
+        let mut dir = store.client_directory();
+        let (back, _) = ClientMaterializer { directory: &mut dir }.materialize(&token).unwrap();
+        assert_eq!(back, HeapKind::Arr(vec![Value::Int(0), Value::Int(0)]), "content scrubbed");
+    }
+}

@@ -1,0 +1,83 @@
+//! Native-function names shared by the runtime hosts and the app images.
+//!
+//! Every app in the reproduction imports natives by these names; the client
+//! and node hosts dispatch on them. The `OFFLOADABLE` table encodes the
+//! §3.1 classification: a non-offloadable native invoked on the trusted
+//! node forces migration back (I/O and UI must touch the real device), an
+//! offloadable one may run on either endpoint.
+
+/// UI: resolve a cor by its description. TinMan mode returns the tainted
+/// placeholder (the user picked from the widget's list, Figure 12); stock
+/// mode returns the typed plaintext.
+pub const UI_SELECT_COR: &str = "ui.select_cor";
+/// UI: display a string (client-only).
+pub const UI_SHOW: &str = "ui.show";
+/// Log a line to the device log (client-only; exercises migrate-back).
+pub const SYS_LOG: &str = "sys.log";
+/// SHA-256 of a string, hex-encoded. Offloadable computation — hashing a
+/// placeholder triggers offload; on the node the result becomes a derived
+/// cor (the §4.1 hashed-password flow).
+pub const CRYPTO_SHA256: &str = "crypto.sha256";
+/// Opens a TCP connection: `(domain, port) -> conn handle`.
+pub const NET_CONNECT: &str = "net.connect";
+/// Runs the TLS handshake on a connection: `(conn) -> 1`.
+pub const NET_TLS_HANDSHAKE: &str = "net.tls_handshake";
+/// Sends application data over TLS: `(conn, data) -> 1/0`. The special
+/// native: tainted data on the trusted node takes the SSL-session-injection
+/// + payload-replacement path.
+pub const NET_SEND: &str = "net.send";
+/// Receives available application data: `(conn) -> string`.
+pub const NET_RECV: &str = "net.recv";
+/// Closes a connection.
+pub const NET_CLOSE: &str = "net.close";
+/// Appends a line to the device's flash storage (client-only) — how stock
+/// apps leave disk residue.
+pub const DISK_WRITE: &str = "disk.write";
+/// Reads a scripted input: `(key) -> string` (client-only).
+pub const APP_INPUT: &str = "app.input";
+
+/// All natives the hosts implement.
+pub const ALL: &[&str] = &[
+    UI_SELECT_COR,
+    UI_SHOW,
+    SYS_LOG,
+    CRYPTO_SHA256,
+    NET_CONNECT,
+    NET_TLS_HANDSHAKE,
+    NET_SEND,
+    NET_RECV,
+    NET_CLOSE,
+    DISK_WRITE,
+    APP_INPUT,
+];
+
+/// True if the named native may execute on the trusted node.
+///
+/// `NET_SEND` is nominally I/O, but a *cor-bearing* send is exactly the
+/// case TinMan handles on the node via payload replacement; the node host
+/// special-cases it. An untainted send on the node migrates back like any
+/// other I/O.
+pub fn offloadable(name: &str) -> bool {
+    matches!(name, CRYPTO_SHA256)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_the_paper() {
+        assert!(offloadable(CRYPTO_SHA256), "pure computation offloads");
+        for io in [UI_SHOW, SYS_LOG, NET_RECV, NET_CLOSE, DISK_WRITE, APP_INPUT, NET_CONNECT] {
+            assert!(!offloadable(io), "{io} is device I/O");
+        }
+    }
+
+    #[test]
+    fn all_lists_every_native_once() {
+        let mut names = ALL.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL.len());
+    }
+}

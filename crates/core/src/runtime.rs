@@ -1,0 +1,696 @@
+//! The TinMan runtime event loop.
+//!
+//! [`TinmanRuntime::run_app`] drives one application run across the client
+//! and the trusted node, reproducing the paper's §3 mechanisms end to end:
+//! on-demand offloading on taint triggers, DSM migration with cor
+//! tokenization, SSL session injection and TCP payload replacement for
+//! cor-bearing sends, migrate-back on non-offloadable natives or taint
+//! idleness, lock-transfer syncs, and the §3.4 policy enforcement.
+//!
+//! The same runtime also runs the paper's two comparison baselines
+//! ([`Mode::Stock`] and [`Mode::FullTaint`]), which keeps every measured
+//! difference attributable to the mechanism rather than the harness.
+
+use std::collections::HashMap;
+
+use tinman_cor::{CorStore, PolicyDecision};
+use tinman_dsm::{DsmEngine, DsmStats, SyncCause};
+use tinman_net::{HostId, MarkFilter, NetWorld, Traffic};
+use tinman_sim::{Breakdown, MicroJoules, SimClock, SimDuration, SplitMix64};
+use tinman_taint::TaintEngine;
+use tinman_tls::{TlsConfig, TINMAN_MARK};
+use tinman_vm::machine::LockSite;
+use tinman_vm::{AppImage, ExecConfig, ExecEvent, Value};
+
+use crate::device::ClientDevice;
+use crate::error::RuntimeError;
+use crate::hosts::{ClientHost, ClientMode, NodeHost};
+use crate::materialize::{ClientMaterializer, NodeMaterializer};
+use crate::node::TrustedNode;
+use crate::scan::{scan_device, ResidueReport};
+
+/// Which system configuration a run uses (the paper's comparison set).
+#[derive(Clone, Debug)]
+pub enum Mode {
+    /// TinMan: asymmetric client tainting + offloading; the user selects
+    /// placeholders.
+    TinMan,
+    /// Stock Android: no tainting, no trusted node; the user types secrets
+    /// (description -> plaintext).
+    Stock(HashMap<String, String>),
+    /// TaintDroid-style full tainting on the client, with TinMan
+    /// offloading — the middle bar of Figure 13. Behaviourally the full
+    /// engine never raises client triggers, so cor-touching apps cannot run
+    /// in this mode; it exists for the overhead comparison on taint-free
+    /// workloads.
+    FullTaint,
+}
+
+/// Tunables for a runtime instance.
+#[derive(Clone, Debug)]
+pub struct TinmanConfig {
+    /// Migrate back after this many node instructions without touching
+    /// taint (§3.1 case 1).
+    pub taint_idle_limit: u64,
+    /// Per-segment instruction budget (runaway guard).
+    pub fuel: u64,
+    /// Toy-PKI pre-shared secret for the TLS handshakes.
+    pub psk: [u8; 32],
+    /// Seed for all runtime randomness (placeholders, nonces).
+    pub seed: u64,
+    /// Whether the device currently has connectivity (§5.4).
+    pub online: bool,
+    /// Fixed coordination cost of one SSL/TCP offload (arming the packet
+    /// filter, netfilter queue handling, SSL-library synchronization in
+    /// the prototype). Not derivable from first principles; calibrated to
+    /// the paper's measured ~1.2 s (Wi-Fi) / ~1.6 s (3G) SSL/TCP overhead
+    /// together with `ssl_coordination_rtts`.
+    pub ssl_coordination_fixed: SimDuration,
+    /// Client<->node round trips in the SSL/TCP offload control protocol
+    /// (state export ack, filter arming, progress sync).
+    pub ssl_coordination_rtts: u32,
+    /// §3.5's *selective tainting*: when set, only app images whose hash
+    /// is listed run with the asymmetric taint engine; every other app
+    /// runs untracked (zero overhead — and zero cor protection: a
+    /// non-critical app that selects a cor will send the placeholder
+    /// verbatim and fail, by design). `None` = taint everything.
+    pub critical_apps: Option<Vec<[u8; 32]>>,
+}
+
+impl Default for TinmanConfig {
+    fn default() -> Self {
+        TinmanConfig {
+            taint_idle_limit: 2_000,
+            fuel: 50_000_000,
+            psk: [0x42; 32],
+            seed: 12345,
+            online: true,
+            ssl_coordination_fixed: SimDuration::from_millis(680),
+            ssl_coordination_rtts: 2,
+            critical_apps: None,
+        }
+    }
+}
+
+/// Everything measured about one app run — the raw material for Figures
+/// 14-16 and Table 3.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The program's result value.
+    pub result: Value,
+    /// End-to-end simulated latency.
+    pub latency: SimDuration,
+    /// Stacked latency attribution: `exec.client`, `exec.node`, `dsm`,
+    /// `ssl_tcp`, `net.server`, `warmup`.
+    pub breakdown: Breakdown,
+    /// DSM statistics (sync count, init/dirty bytes).
+    pub dsm: DsmStats,
+    /// Method invocations executed on the client.
+    pub client_methods: u64,
+    /// Method invocations executed on the trusted node (Table 3's
+    /// "Off. Code").
+    pub node_methods: u64,
+    /// Times execution moved client -> node.
+    pub offloads: u64,
+    /// Client battery energy consumed by this run.
+    pub energy: MicroJoules,
+    /// Client radio traffic during the run.
+    pub traffic: Traffic,
+}
+
+impl RunReport {
+    /// Fraction of method invocations that ran on the trusted node.
+    pub fn offloaded_fraction(&self) -> f64 {
+        let total = self.client_methods + self.node_methods;
+        if total == 0 {
+            return 0.0;
+        }
+        self.node_methods as f64 / total as f64
+    }
+}
+
+/// The composed system: world + client + node + DSM engine.
+pub struct TinmanRuntime {
+    /// The simulated internet (servers are installed here by the caller).
+    pub world: NetWorld,
+    /// The phone.
+    pub client: ClientDevice,
+    /// The primary trusted node.
+    pub node: TrustedNode,
+    /// The offloading engine for the primary node.
+    pub dsm: DsmEngine,
+    /// Additional trusted nodes (§5.3: different nodes for different
+    /// passwords). Added with [`TinmanRuntime::add_trusted_node`]; cors are
+    /// routed to the node whose store owns their label range.
+    pub extra_nodes: Vec<TrustedNode>,
+    extra_dsms: Vec<DsmEngine>,
+    /// Which host the runtime last pointed the mark filter at. The filter
+    /// is only reinstalled when the target node changes, so externally
+    /// installed filters (tests, custom deployments) are not clobbered.
+    filter_target: HostId,
+    config: TinmanConfig,
+    rng: SplitMix64,
+    clock: SimClock,
+}
+
+impl TinmanRuntime {
+    /// Builds a runtime: a world containing the phone (with the given
+    /// radio link) and the trusted node, wired with the egress mark filter.
+    /// The caller installs web servers on `world` afterwards.
+    pub fn new(store: CorStore, link: tinman_sim::LinkProfile, config: TinmanConfig) -> Self {
+        let clock = SimClock::new();
+        let mut world = NetWorld::new(clock.clone());
+        let phone_host = world.add_host("phone", link.clone());
+        let node_host = world.add_host("trusted-node", tinman_sim::LinkProfile::ethernet());
+        // The iptables analogue: divert TinMan-marked packets to the node.
+        world.set_egress_filter(
+            phone_host,
+            Box::new(MarkFilter { mark: TINMAN_MARK, to: node_host }),
+        );
+        let directory = store.client_directory();
+        let client = ClientDevice::new(
+            phone_host,
+            "phone-1",
+            TaintEngine::asymmetric(),
+            directory,
+            TlsConfig::tinman_client(config.psk),
+            link,
+        );
+        let node = TrustedNode::new(node_host, store);
+        let rng = SplitMix64::new(config.seed);
+        TinmanRuntime {
+            world,
+            client,
+            node,
+            dsm: DsmEngine::new(),
+            extra_nodes: Vec::new(),
+            extra_dsms: Vec::new(),
+            filter_target: node_host,
+            config,
+            rng,
+            clock,
+        }
+    }
+
+    /// Adds another trusted node owning `store`'s label range (§5.3 —
+    /// "deploy different trusted nodes for different passwords to avoid
+    /// putting all eggs in one basket"). The store's labels must be
+    /// disjoint from every existing node's (use
+    /// [`tinman_cor::CorStore::with_label_range`]). Returns the node's
+    /// index (0 is the primary).
+    ///
+    /// The client's directory gains the new node's placeholders; each
+    /// offload episode is routed to the node owning the touched cor, and a
+    /// single derived value may not mix cors from different nodes.
+    pub fn add_trusted_node(&mut self, name: &str, store: CorStore) -> usize {
+        let host = self.world.add_host(name, tinman_sim::LinkProfile::ethernet());
+        for (id, desc) in store.client_directory().listing() {
+            let ph = store.placeholder(id).expect("has placeholder").to_owned();
+            self.client.directory.insert(id, desc, &ph);
+        }
+        self.extra_nodes.push(TrustedNode::new(host, store));
+        self.extra_dsms.push(DsmEngine::new());
+        self.extra_nodes.len()
+    }
+
+    /// The index of the node whose store owns every label in `labels`, or
+    /// an error if the labels span nodes (a derived value cannot be split
+    /// across trust domains).
+    fn route_labels(&self, labels: tinman_taint::TaintSet) -> Result<usize, RuntimeError> {
+        let mut chosen: Option<usize> = None;
+        for l in labels.iter() {
+            let id = tinman_cor::CorId(l.id());
+            let idx = if self.node.store.owns_label(id) {
+                0
+            } else if let Some(i) =
+                self.extra_nodes.iter().position(|n| n.store.owns_label(id))
+            {
+                i + 1
+            } else {
+                0 // unknown labels default to the primary node
+            };
+            match chosen {
+                None => chosen = Some(idx),
+                Some(c) if c == idx => {}
+                Some(c) => {
+                    return Err(RuntimeError::CrossNodeCor { node_a: c, node_b: idx });
+                }
+            }
+        }
+        Ok(chosen.unwrap_or(0))
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The phone's host id.
+    pub fn phone_host(&self) -> HostId {
+        self.client.host
+    }
+
+    /// The trusted node's host id.
+    pub fn node_host(&self) -> HostId {
+        self.node.host
+    }
+
+    /// The server-side TLS config matching this runtime's PSK.
+    pub fn server_tls_config(&self) -> TlsConfig {
+        TlsConfig::permissive(self.config.psk)
+    }
+
+    /// Scans the device for plaintext residue (§5.1's attacker).
+    pub fn scan_residue(&self, needle: &str) -> ResidueReport {
+        scan_device(&self.client, &self.world, needle)
+    }
+
+    /// Charges ambient power (display + idle + radio-active) for a period —
+    /// used by the battery benchmarks between and during workloads.
+    pub fn charge_ambient(&mut self, d: SimDuration, display_on: bool) {
+        let idle = MicroJoules::from_power(self.client.profile.idle_power_mw, d);
+        self.client.energy.idle += idle;
+        self.client.battery.drain(idle);
+        if display_on {
+            let disp = MicroJoules::from_power(self.client.profile.display_power_mw, d);
+            self.client.energy.display += disp;
+            self.client.battery.drain(disp);
+        }
+    }
+
+    fn charge_radio(&mut self, before: Traffic) {
+        let after = self.world.traffic(self.client.host);
+        let tx = self.client.link.tx_energy(after.tx_bytes - before.tx_bytes);
+        let rx = self.client.link.rx_energy(after.rx_bytes - before.rx_bytes);
+        self.client.energy.radio_tx += tx;
+        self.client.energy.radio_rx += rx;
+        self.client.battery.drain(tx);
+        self.client.battery.drain(rx);
+    }
+
+    fn charge_client_cpu(&mut self, cycles: u64, breakdown: &mut Breakdown) {
+        let dt = self.client.profile.exec_time(cycles);
+        self.clock.advance(dt);
+        breakdown.charge("exec.client", dt);
+        let e = self.client.profile.exec_energy(cycles);
+        self.client.energy.cpu += e;
+        self.client.battery.drain(e);
+    }
+
+    fn charge_node_cpu(&mut self, cycles: u64, breakdown: &mut Breakdown) {
+        let dt = self.node.profile.exec_time(cycles);
+        self.clock.advance(dt);
+        breakdown.charge("exec.node", dt);
+    }
+
+    /// Ships a migration packet over the client's radio and charges the
+    /// clock/breakdown/battery accordingly.
+    fn charge_migration(&mut self, bytes: u64, breakdown: &mut Breakdown) {
+        let dt = self.client.link.transfer_time(bytes);
+        self.clock.advance(dt);
+        breakdown.charge("dsm", dt);
+    }
+
+    /// Runs `image` to completion under `mode` with the given scripted
+    /// inputs. Returns the run report; state relevant to later runs (warm
+    /// caches, battery, audit log) persists on the runtime.
+    pub fn run_app(
+        &mut self,
+        image: &AppImage,
+        mode: Mode,
+        inputs: &HashMap<String, String>,
+    ) -> Result<RunReport, RuntimeError> {
+        let app_hash = image.hash();
+        let t_run_start = self.clock.now();
+        let traffic_start = self.world.traffic(self.client.host);
+        let mut breakdown = Breakdown::new();
+
+        // Fresh machines; the client engine depends on the mode (and on
+        // the selective-tainting list, §3.5).
+        let selective_off = self
+            .config
+            .critical_apps
+            .as_ref()
+            .is_some_and(|list| !list.contains(&app_hash));
+        let (client_engine, client_mode, tls_config) = match &mode {
+            Mode::TinMan => (
+                if selective_off { TaintEngine::none() } else { TaintEngine::asymmetric() },
+                ClientMode::TinMan,
+                TlsConfig::tinman_client(self.config.psk),
+            ),
+            Mode::Stock(secrets) => (
+                TaintEngine::none(),
+                ClientMode::Stock(secrets.clone()),
+                TlsConfig::permissive(self.config.psk),
+            ),
+            Mode::FullTaint => (
+                TaintEngine::full(),
+                ClientMode::TinMan,
+                TlsConfig::tinman_client(self.config.psk),
+            ),
+        };
+        self.client.reset_for_run(client_engine);
+        self.client.tls_config = tls_config;
+        self.node.reset_for_run();
+        self.dsm = DsmEngine::new();
+        for n in &mut self.extra_nodes {
+            n.reset_for_run();
+        }
+        for d in &mut self.extra_dsms {
+            *d = DsmEngine::new();
+        }
+        // Which trusted node the current offload episode targets.
+        let mut active: usize = 0;
+
+        let mut last_tls_error: Option<tinman_tls::TlsError> = None;
+        let mut last_denial: Option<PolicyDecision> = None;
+        let mut offloads = 0u64;
+        // Ping-pong detector: (func name, pc, client instrs at trigger,
+        // consecutive no-progress count). A loop may legitimately trigger
+        // at the same pc many times; the pathological case is re-triggering
+        // with (almost) no instructions retired in between — tainted data
+        // handed to a native neither endpoint can run.
+        let mut last_trigger: Option<(String, usize, u64, u32)> = None;
+
+        // Baseline cycle counters for attribution.
+        let mut client_cycles_seen = 0u64;
+        let mut node_cycles_seen = 0u64;
+
+        let result = 'outer: loop {
+            // ---- client segment ----
+            let t0 = self.clock.now();
+            let event = {
+                let phone_host = self.client.host;
+                let ClientDevice {
+                    machine,
+                    engine,
+                    conns,
+                    directory,
+                    tls_config,
+                    disk,
+                    device_log,
+                    ..
+                } = &mut self.client;
+                let mut next_handle: i64 = conns.keys().max().copied().unwrap_or(0) + 1;
+                let mut host = ClientHost {
+                    world: &mut self.world,
+                    host: phone_host,
+                    conns,
+                    next_handle: &mut next_handle,
+                    directory,
+                    mode: match &client_mode {
+                        ClientMode::TinMan => ClientMode::TinMan,
+                        ClientMode::Stock(s) => ClientMode::Stock(s.clone()),
+                    },
+                    tls_config,
+                    inputs,
+                    device_log,
+                    disk,
+                    rng: &mut self.rng,
+                    last_tls_error: &mut last_tls_error,
+                };
+                tinman_vm::interp::run(
+                    machine,
+                    image,
+                    &mut host,
+                    engine,
+                    ExecConfig::client().with_fuel(self.config.fuel),
+                )?
+            };
+            // Attribute the segment: the world advanced the clock for
+            // network/server time; CPU time is charged from cycles.
+            let net_dt = self.clock.now().since(t0);
+            breakdown.charge("net.server", net_dt);
+            let cycles = self.client.machine.stats.cycles - client_cycles_seen;
+            self.charge_client_cpu(cycles, &mut breakdown);
+            client_cycles_seen = self.client.machine.stats.cycles;
+
+            match event {
+                ExecEvent::Halted(v) => break 'outer v,
+                ExecEvent::OutOfFuel => return Err(RuntimeError::FuelExhausted),
+                ExecEvent::LockRemote(_) => {
+                    // The node endpoint holds the monitor: exchange state
+                    // and transfer ownership to the client.
+                    let node = if active == 0 { &mut self.node } else { &mut self.extra_nodes[active - 1] };
+                    let dsm = if active == 0 { &mut self.dsm } else { &mut self.extra_dsms[active - 1] };
+                    let bytes = dsm.lock_transfer(
+                        &mut self.client.machine,
+                        &mut node.machine,
+                        LockSite::TrustedNode,
+                        &mut ClientMaterializer { directory: &mut self.client.directory },
+                        &mut NodeMaterializer { store: &mut node.store },
+                    )?;
+                    self.charge_migration(bytes, &mut breakdown);
+                    continue;
+                }
+                ExecEvent::MigrateBack { .. } | ExecEvent::TaintIdle => {
+                    // Cannot happen on the client (no idle limit, and the
+                    // client host never returns MigrateBack).
+                    unreachable!("client run cannot yield a node-side event")
+                }
+                ExecEvent::OffloadTrigger { labels, .. } => {
+                    if !self.config.online {
+                        return Err(RuntimeError::Offline);
+                    }
+                    // Route the episode to the node owning the touched cor
+                    // and point the packet filter at it (the client knows
+                    // which trusted node it is talking to).
+                    active = self.route_labels(labels)?;
+                    let active_host = if active == 0 {
+                        self.node.host
+                    } else {
+                        self.extra_nodes[active - 1].host
+                    };
+                    if active_host != self.filter_target {
+                        self.world.set_egress_filter(
+                            self.client.host,
+                            Box::new(MarkFilter { mark: TINMAN_MARK, to: active_host }),
+                        );
+                        self.filter_target = active_host;
+                    }
+                    // Ping-pong detection (same pc, no progress).
+                    let frame = self.client.machine.top_frame().expect("suspended frame");
+                    let key = (frame.func_name.clone(), frame.pc);
+                    let instrs_now = self.client.machine.stats.instrs;
+                    match &mut last_trigger {
+                        Some((f, pc, instrs, n))
+                            if *f == key.0
+                                && *pc == key.1
+                                && instrs_now.saturating_sub(*instrs) <= 2 =>
+                        {
+                            *n += 1;
+                            *instrs = instrs_now;
+                            if *n >= 3 {
+                                return Err(RuntimeError::OffloadPingPong {
+                                    func: key.0,
+                                    pc: key.1,
+                                });
+                            }
+                        }
+                        _ => last_trigger = Some((key.0, key.1, instrs_now, 1)),
+                    }
+
+                    // §3.4: the node refuses known malware outright.
+                    let node = if active == 0 { &mut self.node } else { &mut self.extra_nodes[active - 1] };
+                    if node.policy.malware_db().contains(&app_hash) {
+                        return Err(RuntimeError::MalwareRejected {
+                            app_hash_hex: image.hash_hex(),
+                        });
+                    }
+                    // One-time dex upload for cold apps.
+                    if !node.is_warm(&app_hash) {
+                        let bytes = image.image_bytes();
+                        let dt = self.client.link.transfer_time(bytes);
+                        self.clock.advance(dt);
+                        breakdown.charge("warmup", dt);
+                        node.mark_warm(app_hash);
+                    }
+                    // Migrate client -> the active node.
+                    let dsm = if active == 0 { &mut self.dsm } else { &mut self.extra_dsms[active - 1] };
+                    let packet = dsm.migrate(
+                        &mut self.client.machine,
+                        &mut node.machine,
+                        LockSite::Client,
+                        SyncCause::OffloadTrigger,
+                        &mut ClientMaterializer { directory: &mut self.client.directory },
+                        &mut NodeMaterializer { store: &mut node.store },
+                    )?;
+                    offloads += 1;
+                    // Carry execution counters over so stats stay cumulative
+                    // per machine (each machine counts its own retire).
+                    node.machine.status = tinman_vm::MachineStatus::Runnable;
+                    self.charge_migration(packet.wire_bytes(), &mut breakdown);
+                }
+            }
+
+            // ---- node segments (run until execution returns to client) ----
+            loop {
+                let t0 = self.clock.now();
+                let event = {
+                    let active_node = if active == 0 {
+                        &mut self.node
+                    } else {
+                        &mut self.extra_nodes[active - 1]
+                    };
+                    let node_host_id = active_node.host;
+                    let client_host_id = self.client.host;
+                    let client_link = self.client.link.clone();
+                    let device_name = self.client.name.clone();
+                    let TrustedNode { machine, engine, store, policy, audit, .. } =
+                        active_node;
+                    let mut host = NodeHost {
+                        world: &mut self.world,
+                        node_host: node_host_id,
+                        client_host: client_host_id,
+                        conns: &mut self.client.conns,
+                        store,
+                        policy,
+                        audit,
+                        app_hash,
+                        device_name,
+                        clock: self.clock.clone(),
+                        breakdown: &mut breakdown,
+                        rng: &mut self.rng,
+                        last_denial: &mut last_denial,
+                        client_link,
+                        ssl_coordination_fixed: self.config.ssl_coordination_fixed,
+                        ssl_coordination_rtts: self.config.ssl_coordination_rtts,
+                    };
+                    tinman_vm::interp::run(
+                        machine,
+                        image,
+                        &mut host,
+                        engine,
+                        ExecConfig::trusted_node(self.config.taint_idle_limit)
+                            .with_fuel(self.config.fuel),
+                    )?
+                };
+                // Node CPU time from cycles; the wall time the segment's
+                // natives spent (SSL/TCP path, server think) was already
+                // attributed by the host.
+                let _ = t0;
+                let active_cycles = if active == 0 {
+                    self.node.machine.stats.cycles
+                } else {
+                    self.extra_nodes[active - 1].machine.stats.cycles
+                };
+                let cycles = active_cycles - node_cycles_seen;
+                self.charge_node_cpu(cycles, &mut breakdown);
+                node_cycles_seen = active_cycles;
+
+                match event {
+                    ExecEvent::Halted(v) => {
+                        // Final migrate-back so the client sees the end
+                        // state (tokenized).
+                        let node = if active == 0 { &mut self.node } else { &mut self.extra_nodes[active - 1] };
+                        let dsm = if active == 0 { &mut self.dsm } else { &mut self.extra_dsms[active - 1] };
+                        let packet = dsm.migrate(
+                            &mut node.machine,
+                            &mut self.client.machine,
+                            LockSite::TrustedNode,
+                            SyncCause::TaintIdle,
+                            &mut NodeMaterializer { store: &mut node.store },
+                            &mut ClientMaterializer {
+                                directory: &mut self.client.directory,
+                            },
+                        )?;
+                        self.charge_migration(packet.wire_bytes(), &mut breakdown);
+                        break 'outer v;
+                    }
+                    ExecEvent::OutOfFuel => return Err(RuntimeError::FuelExhausted),
+                    ExecEvent::OffloadTrigger { .. } => {
+                        unreachable!("the full engine never triggers offload")
+                    }
+                    ExecEvent::LockRemote(_) => {
+                        // A client-side (background-thread) monitor blocks
+                        // the offloaded code — the github case.
+                        let node = if active == 0 { &mut self.node } else { &mut self.extra_nodes[active - 1] };
+                        let dsm = if active == 0 { &mut self.dsm } else { &mut self.extra_dsms[active - 1] };
+                        let bytes = dsm.lock_transfer(
+                            &mut node.machine,
+                            &mut self.client.machine,
+                            LockSite::Client,
+                            &mut NodeMaterializer { store: &mut node.store },
+                            &mut ClientMaterializer {
+                                directory: &mut self.client.directory,
+                            },
+                        )?;
+                        self.charge_migration(bytes, &mut breakdown);
+                        continue;
+                    }
+                    ExecEvent::MigrateBack { .. } | ExecEvent::TaintIdle => {
+                        let cause = match event {
+                            ExecEvent::TaintIdle => SyncCause::TaintIdle,
+                            _ => SyncCause::NonOffloadableNative,
+                        };
+                        let node = if active == 0 { &mut self.node } else { &mut self.extra_nodes[active - 1] };
+                        let dsm = if active == 0 { &mut self.dsm } else { &mut self.extra_dsms[active - 1] };
+                        let packet = dsm.migrate(
+                            &mut node.machine,
+                            &mut self.client.machine,
+                            LockSite::TrustedNode,
+                            cause,
+                            &mut NodeMaterializer { store: &mut node.store },
+                            &mut ClientMaterializer {
+                                directory: &mut self.client.directory,
+                            },
+                        )?;
+                        self.charge_migration(packet.wire_bytes(), &mut breakdown);
+                        self.client.machine.status = tinman_vm::MachineStatus::Runnable;
+                        break; // back to the client loop
+                    }
+                }
+            }
+        };
+
+        // A policy denial mid-run is surfaced as the run's error even if
+        // the app soldiered on with a failure code.
+        if let Some(denial) = last_denial {
+            return Err(RuntimeError::PolicyDenied(denial));
+        }
+
+        // Ambient power for the whole interaction (screen on).
+        let latency = self.clock.now().since(t_run_start);
+        self.charge_ambient(latency, true);
+        self.charge_radio(traffic_start);
+        // Radio burst tails: every network activation holds the radio in
+        // its high-power state for a tail period after the traffic ends
+        // (the dominant hidden cost of chatty protocols on phones).
+        // A stock login has ~2 bursts (request, response); TinMan adds one
+        // per DSM sync and two per offload round (state export + the
+        // redirect/inject exchange).
+        let mut dsm_stats = self.dsm.stats().clone();
+        for d in &self.extra_dsms {
+            dsm_stats.absorb(d.stats());
+        }
+        let node_methods: u64 = self.node.machine.stats.method_invocations
+            + self
+                .extra_nodes
+                .iter()
+                .map(|n| n.machine.stats.method_invocations)
+                .sum::<u64>();
+        let bursts = 2 + dsm_stats.sync_count + 2 * offloads;
+        let tail = MicroJoules::from_power(
+            self.client.link.active_radio_mw,
+            SimDuration::from_millis(800) * bursts,
+        );
+        self.client.energy.radio_active += tail;
+        self.client.battery.drain(tail);
+
+        let traffic_end = self.world.traffic(self.client.host);
+        Ok(RunReport {
+            result,
+            latency,
+            breakdown,
+            dsm: dsm_stats,
+            client_methods: self.client.machine.stats.method_invocations,
+            node_methods,
+            offloads,
+            energy: self.client.energy.total(),
+            traffic: Traffic {
+                tx_bytes: traffic_end.tx_bytes - traffic_start.tx_bytes,
+                rx_bytes: traffic_end.rx_bytes - traffic_start.rx_bytes,
+            },
+        })
+    }
+}

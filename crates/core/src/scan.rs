@@ -1,0 +1,121 @@
+//! The §5.1 attacker: a full residue scan of the client device.
+//!
+//! "Given physical access to a mobile device, an attacker [can scan] the
+//! entire memory and storage of the phone, searching residues of cor."
+//! The scanner covers every place the paper's motivation (§2.1) lists
+//! plaintext hiding: the VM heap (including char arrays), the operand
+//! stacks, socket receive buffers, flash storage, the device log, and the
+//! placeholder directory.
+
+use tinman_net::NetWorld;
+
+use crate::device::ClientDevice;
+
+/// Where a residue hit was found.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResidueSite {
+    /// A heap object (string or char array).
+    Heap,
+    /// A socket receive buffer.
+    SocketBuffer,
+    /// Flash storage (`disk.write`).
+    Disk,
+    /// The device log.
+    DeviceLog,
+    /// The placeholder directory (should never hit — placeholders are
+    /// dummy data).
+    Directory,
+}
+
+/// The result of scanning one device for one needle.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResidueReport {
+    /// Each hit's location.
+    pub hits: Vec<ResidueSite>,
+}
+
+impl ResidueReport {
+    /// True if the needle appeared nowhere — TinMan's headline guarantee.
+    pub fn is_clean(&self) -> bool {
+        self.hits.is_empty()
+    }
+
+    /// Number of hits.
+    pub fn len(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// True if no hits were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.hits.is_empty()
+    }
+}
+
+/// Scans every attacker-visible surface of `device` for `needle`.
+pub fn scan_device(device: &ClientDevice, world: &NetWorld, needle: &str) -> ResidueReport {
+    let mut report = ResidueReport::default();
+    if needle.is_empty() {
+        return report;
+    }
+    for _ in device.machine.scan_residue(needle) {
+        report.hits.push(ResidueSite::Heap);
+    }
+    for state in device.conns.values() {
+        if world.conn_buffer_contains(state.conn, needle.as_bytes()) {
+            report.hits.push(ResidueSite::SocketBuffer);
+        }
+    }
+    if device.disk.iter().any(|l| l.contains(needle)) {
+        report.hits.push(ResidueSite::Disk);
+    }
+    if device.device_log.iter().any(|l| l.contains(needle)) {
+        report.hits.push(ResidueSite::DeviceLog);
+    }
+    if device.directory.contains_text(needle) {
+        report.hits.push(ResidueSite::Directory);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinman_cor::PlaceholderDirectory;
+    use tinman_net::HostId;
+    use tinman_sim::{LinkProfile, SimClock};
+    use tinman_taint::TaintEngine;
+    use tinman_tls::TlsConfig;
+
+    fn device() -> ClientDevice {
+        ClientDevice::new(
+            HostId(0),
+            "phone",
+            TaintEngine::asymmetric(),
+            PlaceholderDirectory::default(),
+            TlsConfig::tinman_client([0u8; 32]),
+            LinkProfile::wifi(),
+        )
+    }
+
+    #[test]
+    fn clean_device_scans_clean() {
+        let d = device();
+        let w = NetWorld::new(SimClock::new());
+        assert!(scan_device(&d, &w, "hunter2").is_clean());
+        assert!(scan_device(&d, &w, "").is_clean());
+    }
+
+    #[test]
+    fn heap_disk_and_log_hits_are_reported() {
+        let mut d = device();
+        let w = NetWorld::new(SimClock::new());
+        d.machine.heap.alloc_str("contains hunter2 here");
+        d.disk.push("saved: hunter2".into());
+        d.device_log.push("debug hunter2".into());
+        let report = scan_device(&d, &w, "hunter2");
+        assert_eq!(report.len(), 3);
+        assert!(report.hits.contains(&ResidueSite::Heap));
+        assert!(report.hits.contains(&ResidueSite::Disk));
+        assert!(report.hits.contains(&ResidueSite::DeviceLog));
+    }
+}

@@ -1,0 +1,274 @@
+//! TLS-speaking simulated web servers.
+//!
+//! [`HttpsServerApp`] adapts a plain request handler ([`HttpHandler`]) into
+//! a [`tinman_net::ServerApp`]: it terminates the toy TLS (handshake +
+//! record layer) per client connection, passes decrypted request bodies to
+//! the handler, and seals the responses. The handler never sees TinMan —
+//! which is the point: the web site is oblivious to payload replacement
+//! (§3.3 step 5).
+
+use std::collections::HashMap;
+
+use tinman_net::{Addr, ServerApp, ServerReply};
+use tinman_sim::SimDuration;
+use tinman_tls::{
+    ClientHello, ContentType, Handshake, Record, TlsConfig, TlsSession,
+};
+
+/// A plain application-layer request handler.
+pub trait HttpHandler {
+    /// Handles one decrypted request body; returns the response body and
+    /// the server's think time.
+    fn handle(&mut self, peer: Addr, request: &str) -> (String, SimDuration);
+}
+
+impl<F> HttpHandler for F
+where
+    F: FnMut(Addr, &str) -> (String, SimDuration),
+{
+    fn handle(&mut self, peer: Addr, request: &str) -> (String, SimDuration) {
+        self(peer, request)
+    }
+}
+
+enum ConnTls {
+    /// Waiting for a ClientHello.
+    Pending,
+    /// Handshake complete.
+    Ready(Box<TlsSession>),
+}
+
+/// A TLS server wrapped around an [`HttpHandler`].
+pub struct HttpsServerApp<H: HttpHandler> {
+    config: TlsConfig,
+    handler: H,
+    conns: HashMap<Addr, ConnTls>,
+    nonce_counter: u64,
+    /// Count of application requests served (diagnostics for tests).
+    pub requests_served: u64,
+}
+
+impl<H: HttpHandler> HttpsServerApp<H> {
+    /// Wraps `handler` behind the toy TLS with the given config.
+    pub fn new(config: TlsConfig, handler: H) -> Self {
+        HttpsServerApp { config, handler, conns: HashMap::new(), nonce_counter: 1, requests_served: 0 }
+    }
+
+    fn fresh_random(&mut self) -> [u8; 32] {
+        self.nonce_counter += 1;
+        let mut r = [0u8; 32];
+        r[..8].copy_from_slice(&self.nonce_counter.to_be_bytes());
+        r[8] = 0x5a;
+        r
+    }
+}
+
+impl<H: HttpHandler> ServerApp for HttpsServerApp<H> {
+    fn on_connect(&mut self, peer: Addr) {
+        self.conns.insert(peer, ConnTls::Pending);
+    }
+
+    fn on_data(&mut self, peer: Addr, data: &[u8]) -> ServerReply {
+        // Draw handshake randomness up front to keep the borrow of the
+        // per-connection state exclusive below.
+        let random = self.fresh_random();
+        let seed = self.nonce_counter;
+        let state = self.conns.entry(peer).or_insert(ConnTls::Pending);
+        match state {
+            ConnTls::Pending => {
+                // Expect a plaintext handshake record carrying a
+                // ClientHello.
+                let Ok(Some((rec, _))) = Record::parse(data) else {
+                    return ServerReply::default();
+                };
+                if rec.content_type != ContentType::Handshake {
+                    return ServerReply::default();
+                }
+                let Ok(hello) = serde_json::from_slice::<ClientHello>(&rec.body) else {
+                    return ServerReply::default();
+                };
+                match Handshake::accept(&self.config, &hello, random, seed) {
+                    Ok((server_hello, session)) => {
+                        *state = ConnTls::Ready(Box::new(session));
+                        let body = serde_json::to_vec(&server_hello)
+                            .expect("ServerHello serializes");
+                        let rec = Record {
+                            content_type: ContentType::Handshake,
+                            version: server_hello.version,
+                            body,
+                        };
+                        ServerReply {
+                            data: rec.to_bytes(),
+                            think: SimDuration::from_millis(2),
+                            close: false,
+                        }
+                    }
+                    Err(_) => {
+                        // Alert + close, like a real server refusing the
+                        // handshake.
+                        let rec = Record {
+                            content_type: ContentType::Alert,
+                            version: hello.max_version,
+                            body: b"handshake_failure".to_vec(),
+                        };
+                        ServerReply {
+                            data: rec.to_bytes(),
+                            think: SimDuration::from_millis(1),
+                            close: true,
+                        }
+                    }
+                }
+            }
+            ConnTls::Ready(session) => {
+                let Ok(opened) = session.open(data) else {
+                    let rec = Record {
+                        content_type: ContentType::Alert,
+                        version: 0x33,
+                        body: b"bad_record_mac".to_vec(),
+                    };
+                    return ServerReply {
+                        data: rec.to_bytes(),
+                        think: SimDuration::ZERO,
+                        close: true,
+                    };
+                };
+                let mut out = Vec::new();
+                let mut think = SimDuration::ZERO;
+                for (ctype, plaintext) in opened {
+                    // The server treats TinMan-marked records like
+                    // application data if they ever arrive (they should
+                    // not: the filter captures them) — but a *real* server
+                    // would not know the type, so accept ApplicationData
+                    // only.
+                    if ctype != ContentType::ApplicationData {
+                        continue;
+                    }
+                    let request = String::from_utf8_lossy(&plaintext).into_owned();
+                    let (response, t) = self.handler.handle(peer, &request);
+                    self.requests_served += 1;
+                    think += t;
+                    // The record length field is 16 bits: chunk large
+                    // response bodies (pages) across records.
+                    for chunk in response.as_bytes().chunks(16 * 1024) {
+                        out.extend(session.seal(ContentType::ApplicationData, chunk));
+                    }
+                }
+                ServerReply { data: out, think, close: false }
+            }
+        }
+    }
+
+    fn on_close(&mut self, peer: Addr) {
+        self.conns.remove(&peer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinman_net::{HostId, NetWorld};
+    use tinman_sim::{LinkProfile, SimClock};
+    use tinman_tls::TlsVersion;
+
+    const PSK: [u8; 32] = [3u8; 32];
+
+    fn https_world() -> (NetWorld, HostId, Addr) {
+        let mut w = NetWorld::new(SimClock::new());
+        let phone = w.add_host("phone", LinkProfile::wifi());
+        let site = w.add_host("bank.com", LinkProfile::ethernet());
+        let addr = Addr::new(site, 443);
+        let app = HttpsServerApp::new(TlsConfig::permissive(PSK), |_peer: Addr, req: &str| {
+            (format!("echo:{req}"), SimDuration::from_millis(3))
+        });
+        w.install_server(addr, Box::new(app));
+        (w, phone, addr)
+    }
+
+    /// Client-side handshake over the world's TCP.
+    fn client_handshake(
+        w: &mut NetWorld,
+        phone: HostId,
+        addr: Addr,
+        cfg: &TlsConfig,
+    ) -> Result<(tinman_net::ConnId, TlsSession), tinman_tls::TlsError> {
+        let conn = w.connect(phone, addr).expect("tcp connect");
+        let hello = Handshake::client_hello(cfg, [7u8; 32]);
+        let rec = Record {
+            content_type: ContentType::Handshake,
+            version: hello.max_version,
+            body: serde_json::to_vec(&hello).unwrap(),
+        };
+        w.send(conn, &rec.to_bytes()).expect("send hello");
+        let reply = w.recv_available(conn).expect("recv");
+        let (rec, _) = Record::parse(&reply).unwrap().expect("complete record");
+        if rec.content_type == ContentType::Alert {
+            return Err(tinman_tls::TlsError::BadHandshake(
+                String::from_utf8_lossy(&rec.body).into_owned(),
+            ));
+        }
+        let server_hello: tinman_tls::ServerHello = serde_json::from_slice(&rec.body).unwrap();
+        let session = Handshake::finish(cfg, &hello, &server_hello, 42)?;
+        Ok((conn, session))
+    }
+
+    #[test]
+    fn full_https_round_trip_over_simulated_tcp() {
+        let (mut w, phone, addr) = https_world();
+        let cfg = TlsConfig::tinman_client(PSK);
+        let (conn, mut tls) = client_handshake(&mut w, phone, addr, &cfg).unwrap();
+        assert_eq!(tls.version(), TlsVersion::Tls12);
+
+        let wire = tls.seal(ContentType::ApplicationData, b"GET /balance");
+        w.send(conn, &wire).unwrap();
+        let reply = w.recv_available(conn).unwrap();
+        let opened = tls.open(&reply).unwrap();
+        assert_eq!(opened[0].1, b"echo:GET /balance");
+    }
+
+    #[test]
+    fn tinman_client_refuses_legacy_server() {
+        let mut w = NetWorld::new(SimClock::new());
+        let phone = w.add_host("phone", LinkProfile::wifi());
+        let site = w.add_host("legacy.com", LinkProfile::ethernet());
+        let addr = Addr::new(site, 443);
+        let app = HttpsServerApp::new(TlsConfig::legacy_tls10(PSK), |_: Addr, _: &str| {
+            (String::new(), SimDuration::ZERO)
+        });
+        w.install_server(addr, Box::new(app));
+        let cfg = TlsConfig::tinman_client(PSK);
+        // The legacy server cannot accept a hello whose negotiated version
+        // would exceed its max — it picks 1.0, which the client refuses; in
+        // our flow the *server* already refuses because its min (1.0)
+        // cannot satisfy... run it and expect a handshake error either way.
+        let result = client_handshake(&mut w, phone, addr, &cfg);
+        assert!(result.is_err(), "no session may form below the TinMan floor");
+    }
+
+    #[test]
+    fn permissive_client_talks_to_legacy_server() {
+        let mut w = NetWorld::new(SimClock::new());
+        let phone = w.add_host("phone", LinkProfile::wifi());
+        let site = w.add_host("legacy.com", LinkProfile::ethernet());
+        let addr = Addr::new(site, 443);
+        let app = HttpsServerApp::new(TlsConfig::legacy_tls10(PSK), |_: Addr, req: &str| {
+            (req.to_uppercase(), SimDuration::ZERO)
+        });
+        w.install_server(addr, Box::new(app));
+        let cfg = TlsConfig::permissive(PSK);
+        let (conn, mut tls) = client_handshake(&mut w, phone, addr, &cfg).unwrap();
+        assert_eq!(tls.version(), TlsVersion::Tls10);
+        let wire = tls.seal(ContentType::ApplicationData, b"hi");
+        w.send(conn, &wire).unwrap();
+        let reply = w.recv_available(conn).unwrap();
+        assert_eq!(tls.open(&reply).unwrap()[0].1, b"HI");
+    }
+
+    #[test]
+    fn garbage_on_the_wire_is_ignored_or_alerted() {
+        let (mut w, phone, addr) = https_world();
+        let conn = w.connect(phone, addr).unwrap();
+        w.send(conn, b"\x16\x33\x00\x03abc").unwrap(); // bogus hello body
+        // Server ignored the malformed hello (no panic, no reply or alert).
+        let _ = w.recv_available(conn).unwrap();
+    }
+}

@@ -1,0 +1,434 @@
+//! The DSM engine: migration packets, sync accounting, and the
+//! endpoint-pair heap-mirroring protocol.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use tinman_vm::machine::LockSite;
+use tinman_vm::{Frame, Machine, ObjId};
+
+use crate::delta::HeapDelta;
+use crate::error::DsmError;
+use crate::token::CorMaterializer;
+
+/// Why a synchronization happened — the paper's three observed causes
+/// (§6.3) plus the return migration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyncCause {
+    /// The client touched a tainted placeholder (offload trigger).
+    OffloadTrigger,
+    /// The trusted node invoked a non-offloadable native (migrate back).
+    NonOffloadableNative,
+    /// A happens-before edge required transferring a remotely-owned lock.
+    LockTransfer,
+    /// The trusted node went taint-idle (migrate back, §3.1 case 1).
+    TaintIdle,
+}
+
+/// Cumulative DSM statistics for one app session — the raw material of
+/// Table 3.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DsmStats {
+    /// Number of synchronizations (either direction).
+    pub sync_count: u64,
+    /// Bytes shipped by the initial full-heap sync.
+    pub init_bytes: u64,
+    /// Bytes shipped by all subsequent dirty syncs.
+    pub dirty_bytes: u64,
+    /// Per-cause sync counts, indexed by [`SyncCause`] order.
+    pub causes: Vec<(SyncCause, u64)>,
+}
+
+impl DsmStats {
+    fn record_cause(&mut self, cause: SyncCause) {
+        if let Some((_, n)) = self.causes.iter_mut().find(|(c, _)| *c == cause) {
+            *n += 1;
+        } else {
+            self.causes.push((cause, 1));
+        }
+    }
+
+    /// Count of syncs attributed to `cause`.
+    pub fn cause_count(&self, cause: SyncCause) -> u64 {
+        self.causes.iter().find(|(c, _)| *c == cause).map(|(_, n)| *n).unwrap_or(0)
+    }
+
+    /// Total bytes shipped.
+    pub fn total_bytes(&self) -> u64 {
+        self.init_bytes + self.dirty_bytes
+    }
+
+    /// Merges another engine's statistics into this one (multi-node
+    /// aggregation).
+    pub fn absorb(&mut self, other: &DsmStats) {
+        self.sync_count += other.sync_count;
+        self.init_bytes += other.init_bytes;
+        self.dirty_bytes += other.dirty_bytes;
+        for (cause, n) in &other.causes {
+            if let Some((_, m)) = self.causes.iter_mut().find(|(c, _)| c == cause) {
+                *m += n;
+            } else {
+                self.causes.push((*cause, *n));
+            }
+        }
+    }
+}
+
+/// One migration message: the suspended thread plus the heap changes the
+/// other endpoint has not seen.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MigrationPacket {
+    /// The thread's full call stack. Frames are small (the paper's DSM
+    /// ships them wholesale).
+    pub frames: Vec<Frame>,
+    /// Heap changes since the last sync.
+    pub delta: HeapDelta,
+    /// The sender's monitor table. Ownership is rewritten on both sides so
+    /// that monitors held by the migrating thread follow it (COMET's
+    /// lock-ownership transfer).
+    pub locks: HashMap<ObjId, (LockSite, u32)>,
+    /// Monitors held by non-migrating background threads (these stay with
+    /// their endpoint across thread migrations).
+    pub pinned: std::collections::HashSet<ObjId>,
+    /// Which endpoint sent this packet.
+    pub from: LockSite,
+    /// Why this sync happened.
+    pub cause: SyncCause,
+}
+
+impl MigrationPacket {
+    /// Serialized size in bytes (what the radio transfers).
+    pub fn wire_bytes(&self) -> u64 {
+        serde_json::to_vec(self).map(|v| v.len() as u64).unwrap_or(0)
+    }
+
+    /// True if the serialized form contains `needle` — the security tests'
+    /// wire-sniffing check.
+    pub fn wire_contains(&self, needle: &str) -> bool {
+        serde_json::to_string(self).map(|s| s.contains(needle)).unwrap_or(false)
+    }
+}
+
+/// The offloading engine for one (client, trusted node) machine pair.
+///
+/// The engine itself is endpoint-agnostic: the runtime holds one instance
+/// and calls [`DsmEngine::migrate`] to move execution either direction, or
+/// [`DsmEngine::lock_transfer`] to exchange heap state without moving the
+/// thread (lock transfers).
+#[derive(Clone, Debug, Default)]
+pub struct DsmEngine {
+    stats: DsmStats,
+    init_done: bool,
+}
+
+impl DsmEngine {
+    /// A fresh engine (no sync performed yet).
+    pub fn new() -> Self {
+        DsmEngine::default()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &DsmStats {
+        &self.stats
+    }
+
+    /// True once the initial full-heap sync has happened (the app is "warm"
+    /// on the trusted node).
+    pub fn init_done(&self) -> bool {
+        self.init_done
+    }
+
+    /// Resets statistics but keeps warm state.
+    pub fn reset_stats(&mut self) {
+        self.stats = DsmStats::default();
+    }
+
+    /// Builds the outgoing packet on the sending endpoint. The first sync of
+    /// a session ships the full heap; later ones ship fresh/dirty state
+    /// only. The sender's heap sync-marks are cleared.
+    pub fn depart(
+        &mut self,
+        machine: &mut Machine,
+        from: LockSite,
+        cause: SyncCause,
+        mat: &mut dyn CorMaterializer,
+    ) -> Result<MigrationPacket, DsmError> {
+        let delta = if self.init_done {
+            HeapDelta::build_dirty(&machine.heap, mat)?
+        } else {
+            HeapDelta::build_full(&machine.heap, mat)?
+        };
+        machine.heap.clear_sync_marks();
+        let packet = MigrationPacket {
+            frames: machine.frames.clone(),
+            delta,
+            locks: machine.locks.clone(),
+            pinned: machine.pinned_locks.clone(),
+            from,
+            cause,
+        };
+        // The thread leaves this endpoint: monitors it holds go with it.
+        machine.transfer_locks(from, from.other());
+        let bytes = packet.wire_bytes();
+        if self.init_done {
+            self.stats.dirty_bytes += bytes;
+        } else {
+            self.stats.init_bytes += bytes;
+            self.init_done = true;
+        }
+        self.stats.sync_count += 1;
+        self.stats.record_cause(cause);
+        Ok(packet)
+    }
+
+    /// Applies an incoming packet on the receiving endpoint: heap delta,
+    /// thread frames, and lock ownership transfer.
+    pub fn arrive(
+        &mut self,
+        machine: &mut Machine,
+        packet: &MigrationPacket,
+        mat: &mut dyn CorMaterializer,
+    ) -> Result<(), DsmError> {
+        packet.delta.apply(&mut machine.heap, mat)?;
+        machine.heap.clear_sync_marks();
+        machine.frames = packet.frames.clone();
+        // Mirror the sender's monitor table, with the migrating thread's
+        // monitors re-homed to this endpoint (pinned monitors stay put).
+        machine.locks = packet.locks.clone();
+        machine.pinned_locks = packet.pinned.clone();
+        machine.transfer_locks(packet.from, packet.from.other());
+        Ok(())
+    }
+
+    /// Full migration: departs from `src` and arrives at `dst` in one call.
+    /// Returns the packet (for wire accounting and sniffing by the caller).
+    pub fn migrate(
+        &mut self,
+        src: &mut Machine,
+        dst: &mut Machine,
+        from: LockSite,
+        cause: SyncCause,
+        src_mat: &mut dyn CorMaterializer,
+        dst_mat: &mut dyn CorMaterializer,
+    ) -> Result<MigrationPacket, DsmError> {
+        let packet = self.depart(src, from, cause, src_mat)?;
+        self.arrive(dst, &packet, dst_mat)?;
+        Ok(packet)
+    }
+
+    /// The lock-transfer synchronization (no thread movement): the
+    /// `requester` is blocked on a monitor owned by the (paused) `holder`
+    /// endpoint. COMET establishes the happens-before edge by exchanging
+    /// state **both ways** and handing the monitor over; counted as one
+    /// synchronization. Returns the total bytes exchanged.
+    pub fn lock_transfer(
+        &mut self,
+        requester: &mut Machine,
+        holder: &mut Machine,
+        holder_site: LockSite,
+        requester_mat: &mut dyn CorMaterializer,
+        holder_mat: &mut dyn CorMaterializer,
+    ) -> Result<u64, DsmError> {
+        // holder -> requester: anything the paused side still has unsynced.
+        let d1 = HeapDelta::build_dirty(&holder.heap, holder_mat)?;
+        d1.apply(&mut requester.heap, requester_mat)?;
+        holder.heap.clear_sync_marks();
+        // requester -> holder: what the running side produced so far, so
+        // no fresh object is ever silently unmarked.
+        let d2 = HeapDelta::build_dirty(&requester.heap, requester_mat)?;
+        d2.apply(&mut holder.heap, holder_mat)?;
+        requester.heap.clear_sync_marks();
+        // Hand every monitor the holder endpoint owns (including the
+        // pinned, background-thread one that caused this sync) to the
+        // requester, in both endpoints' views.
+        requester.pinned_locks = holder.pinned_locks.clone();
+        requester.transfer_all_locks(holder_site, holder_site.other());
+        holder.transfer_all_locks(holder_site, holder_site.other());
+        requester.pinned_locks.clear();
+        holder.pinned_locks.clear();
+
+        let bytes = d1.wire_bytes() + d2.wire_bytes();
+        self.stats.dirty_bytes += bytes;
+        self.stats.sync_count += 1;
+        self.stats.record_cause(SyncCause::LockTransfer);
+        Ok(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::PassthroughMaterializer;
+    use tinman_taint::{Label, TaintSet};
+    use tinman_vm::{FuncId, ObjId, Value};
+
+    fn machine_with_data() -> Machine {
+        let mut m = Machine::new();
+        m.heap.alloc_str("shared state");
+        let o = m.heap.alloc_obj(0, 2);
+        m.heap.field_set(o, 0, Value::Int(5)).unwrap();
+        // Enough bulk that the initial sync dwarfs dirty syncs, as in a
+        // real app heap.
+        for i in 0..60 {
+            m.heap.alloc_str(format!("framework object {i} with some payload bytes"));
+        }
+        m.frames.push(Frame::new(FuncId(0), "main", 2));
+        m
+    }
+
+    #[test]
+    fn first_sync_is_init_later_syncs_are_dirty() {
+        let mut eng = DsmEngine::new();
+        let mut client = machine_with_data();
+        let mut node = Machine::new();
+
+        let p1 = eng
+            .migrate(
+                &mut client,
+                &mut node,
+                LockSite::Client,
+                SyncCause::OffloadTrigger,
+                &mut PassthroughMaterializer,
+                &mut PassthroughMaterializer,
+            )
+            .unwrap();
+        assert!(eng.init_done());
+        assert_eq!(eng.stats().sync_count, 1);
+        assert_eq!(eng.stats().init_bytes, p1.wire_bytes());
+        assert_eq!(eng.stats().dirty_bytes, 0);
+
+        // Node mutates a little, migrates back.
+        node.heap.field_set(ObjId(1), 1, Value::Int(42)).unwrap();
+        let p2 = eng
+            .migrate(
+                &mut node,
+                &mut client,
+                LockSite::TrustedNode,
+                SyncCause::TaintIdle,
+                &mut PassthroughMaterializer,
+                &mut PassthroughMaterializer,
+            )
+            .unwrap();
+        assert_eq!(eng.stats().sync_count, 2);
+        assert_eq!(eng.stats().dirty_bytes, p2.wire_bytes());
+        assert!(p2.wire_bytes() < p1.wire_bytes() / 2, "dirty sync must be much smaller");
+        assert_eq!(client.heap.field_get(ObjId(1), 1).unwrap(), Value::Int(42));
+    }
+
+    #[test]
+    fn migration_moves_frames_and_heap() {
+        let mut eng = DsmEngine::new();
+        let mut client = machine_with_data();
+        let mut node = Machine::new();
+        client.frames[0].push(Value::Int(9), TaintSet::EMPTY);
+        client.frames[0].pc = 17;
+
+        eng.migrate(
+            &mut client,
+            &mut node,
+            LockSite::Client,
+            SyncCause::OffloadTrigger,
+            &mut PassthroughMaterializer,
+            &mut PassthroughMaterializer,
+        )
+        .unwrap();
+        assert_eq!(node.call_depth(), 1);
+        assert_eq!(node.frames[0].pc, 17);
+        assert_eq!(node.frames[0].peek(0).unwrap().0, Value::Int(9));
+        assert_eq!(node.heap.str_value(ObjId(0)).unwrap(), "shared state");
+    }
+
+    #[test]
+    fn lock_ownership_transfers_on_migration() {
+        let mut eng = DsmEngine::new();
+        let mut client = machine_with_data();
+        client.locks.insert(ObjId(0), (LockSite::Client, 1));
+        let mut node = Machine::new();
+
+        eng.migrate(
+            &mut client,
+            &mut node,
+            LockSite::Client,
+            SyncCause::OffloadTrigger,
+            &mut PassthroughMaterializer,
+            &mut PassthroughMaterializer,
+        )
+        .unwrap();
+        assert_eq!(node.lock_site(ObjId(0)), Some(LockSite::TrustedNode));
+    }
+
+    #[test]
+    fn lock_transfer_hands_over_pinned_monitor_and_exchanges_state() {
+        let mut eng = DsmEngine::new();
+        let mut client = machine_with_data();
+        let mut node = Machine::new();
+        // A background thread on the client holds a pinned monitor.
+        client.locks.insert(ObjId(0), (LockSite::Client, 1));
+        client.pinned_locks.insert(ObjId(0));
+        // Warm up (migration must NOT move the pinned monitor).
+        eng.migrate(
+            &mut client,
+            &mut node,
+            LockSite::Client,
+            SyncCause::OffloadTrigger,
+            &mut PassthroughMaterializer,
+            &mut PassthroughMaterializer,
+        )
+        .unwrap();
+        assert_eq!(node.lock_site(ObjId(0)), Some(LockSite::Client), "pinned stays");
+
+        // Node runs, allocates, then blocks on the pinned monitor.
+        let fresh = node.heap.alloc_str("node-made this");
+        let bytes = eng
+            .lock_transfer(
+                &mut node,
+                &mut client,
+                LockSite::Client,
+                &mut PassthroughMaterializer,
+                &mut PassthroughMaterializer,
+            )
+            .unwrap();
+        assert!(bytes > 0);
+        assert_eq!(node.lock_site(ObjId(0)), Some(LockSite::TrustedNode));
+        assert_eq!(client.lock_site(ObjId(0)), Some(LockSite::TrustedNode));
+        // Both directions of state flowed: the client learned about the
+        // node's fresh object.
+        assert_eq!(client.heap.str_value(fresh).unwrap(), "node-made this");
+        assert_eq!(eng.stats().cause_count(SyncCause::LockTransfer), 1);
+        assert_eq!(client.call_depth(), 1, "frames are not clobbered");
+    }
+
+    #[test]
+    fn tainted_wire_traffic_is_clean() {
+        let mut eng = DsmEngine::new();
+        let mut client = Machine::new();
+        client.heap.alloc_str_tainted("plaintext-cor-99", Label::new(0).unwrap().as_set());
+        let mut node = Machine::new();
+
+        let p = eng
+            .migrate(
+                &mut client,
+                &mut node,
+                LockSite::Client,
+                SyncCause::OffloadTrigger,
+                &mut PassthroughMaterializer,
+                &mut PassthroughMaterializer,
+            )
+            .unwrap();
+        assert!(!p.wire_contains("plaintext-cor-99"));
+    }
+
+    #[test]
+    fn cause_accounting() {
+        let mut eng = DsmEngine::new();
+        let mut a = Machine::new();
+        let mut b = Machine::new();
+        for cause in [SyncCause::OffloadTrigger, SyncCause::TaintIdle, SyncCause::TaintIdle] {
+            eng.migrate(&mut a, &mut b, LockSite::Client, cause, &mut PassthroughMaterializer, &mut PassthroughMaterializer).unwrap();
+        }
+        assert_eq!(eng.stats().cause_count(SyncCause::OffloadTrigger), 1);
+        assert_eq!(eng.stats().cause_count(SyncCause::TaintIdle), 2);
+        assert_eq!(eng.stats().cause_count(SyncCause::LockTransfer), 0);
+        assert_eq!(eng.stats().sync_count, 3);
+    }
+}

@@ -1,0 +1,69 @@
+//! DSM error type.
+
+use std::fmt;
+
+use tinman_taint::TaintSet;
+use tinman_vm::{ObjId, VmError};
+
+/// An error raised while building or applying a synchronization delta.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DsmError {
+    /// A heap operation failed while applying a delta.
+    Vm(VmError),
+    /// The materializer has no cor registered for these labels.
+    UnknownCor {
+        /// The labels that could not be resolved.
+        labels: TaintSet,
+    },
+    /// A materialized payload did not match the token's recorded shape
+    /// (e.g. a placeholder of the wrong length).
+    ShapeMismatch {
+        /// The object being materialized.
+        obj: ObjId,
+        /// Description of the mismatch.
+        detail: String,
+    },
+    /// A delta entry referenced an object id that cannot be applied in
+    /// order (corrupted or reordered delta).
+    BadDeltaEntry {
+        /// The offending object.
+        obj: ObjId,
+    },
+    /// The endpoint attempted to ship plaintext cor content — the invariant
+    /// the whole system exists to maintain. Raised by the delta-building
+    /// guards, which refuse to serialize tainted content.
+    CorLeakPrevented {
+        /// The object whose content was about to leak.
+        obj: ObjId,
+        /// The labels involved.
+        labels: TaintSet,
+    },
+}
+
+impl fmt::Display for DsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DsmError::Vm(e) => write!(f, "heap error during sync: {e}"),
+            DsmError::UnknownCor { labels } => {
+                write!(f, "no cor registered for labels {labels:?}")
+            }
+            DsmError::ShapeMismatch { obj, detail } => {
+                write!(f, "shape mismatch materializing {obj:?}: {detail}")
+            }
+            DsmError::BadDeltaEntry { obj } => {
+                write!(f, "delta entry for {obj:?} cannot be applied")
+            }
+            DsmError::CorLeakPrevented { obj, labels } => {
+                write!(f, "refused to serialize tainted content of {obj:?} (labels {labels:?})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DsmError {}
+
+impl From<VmError> for DsmError {
+    fn from(e: VmError) -> Self {
+        DsmError::Vm(e)
+    }
+}

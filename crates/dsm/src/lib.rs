@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! COMET-style DSM offloading engine.
+//!
+//! TinMan builds its application-level offloading on COMET (OSDI'12), a
+//! distributed-shared-memory system for Dalvik: the client and a server keep
+//! mirrored heaps, migrate a running thread by shipping its frames plus the
+//! heap fields dirtied since the last synchronization, and establish
+//! happens-before edges at lock operations.
+//!
+//! This crate reproduces the observable behaviour the paper measures:
+//!
+//! * an **initial sync** ships the whole reachable heap (Table 3's
+//!   "Off. Init" column — hundreds of KB);
+//! * **subsequent syncs** ship only fresh objects and dirty fields
+//!   ("Off. Dirty" — a few to tens of KB);
+//! * **sync counting** per login (the paper observes ≤ 4, caused by offload
+//!   triggers, non-offloadable natives, and remotely-owned locks);
+//! * the **cor exception** (§3.1): a tainted object's *content never crosses
+//!   the wire*. The sender replaces it with a [`CorToken`]; a
+//!   [`CorMaterializer`] (implemented by the runtime layer over the cor
+//!   store) regenerates the placeholder (client side) or the plaintext
+//!   (trusted-node side).
+//!
+//! The unit shipped in a migration is a [`MigrationPacket`]: the thread's
+//! frames plus a [`HeapDelta`].
+
+pub mod delta;
+pub mod engine;
+pub mod error;
+pub mod token;
+
+pub use delta::{DeltaEntry, HeapDelta};
+pub use engine::{DsmEngine, DsmStats, MigrationPacket, SyncCause};
+pub use error::DsmError;
+pub use token::{CorMaterializer, CorToken, ObjShape, PassthroughMaterializer};

@@ -1,0 +1,151 @@
+//! Cor tokens and materialization.
+//!
+//! When the DSM layer serializes a tainted heap object it must not ship the
+//! content (plaintext on the trusted node, and even the placeholder is
+//! regenerable). Instead it ships a [`CorToken`] — the taint labels plus the
+//! object's *shape* — and the receiving endpoint asks its
+//! [`CorMaterializer`] to regenerate content appropriate for that side.
+
+use serde::{Deserialize, Serialize};
+use tinman_taint::TaintSet;
+use tinman_vm::{HeapKind, Value};
+
+use crate::error::DsmError;
+
+/// The shape of a tokenized object: everything about it except its content.
+///
+/// Shape is not secret — the paper notes that placeholders share the cor's
+/// size, so length is deliberately unprotected (§5.1).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ObjShape {
+    /// A string of the given byte length.
+    Str {
+        /// Content length in bytes.
+        len: usize,
+    },
+    /// An array of the given element count.
+    Arr {
+        /// Element count.
+        len: usize,
+    },
+    /// A class instance.
+    Obj {
+        /// Class id in the app image.
+        class: u32,
+        /// Field count.
+        n_fields: usize,
+    },
+}
+
+impl ObjShape {
+    /// The shape of a heap payload.
+    pub fn of(kind: &HeapKind) -> ObjShape {
+        match kind {
+            HeapKind::Str(s) => ObjShape::Str { len: s.len() },
+            HeapKind::Arr(v) => ObjShape::Arr { len: v.len() },
+            HeapKind::Obj { class, fields } => {
+                ObjShape::Obj { class: *class, n_fields: fields.len() }
+            }
+        }
+    }
+
+    /// True if `kind` has exactly this shape.
+    pub fn matches(&self, kind: &HeapKind) -> bool {
+        *self == ObjShape::of(kind)
+    }
+}
+
+/// A tainted object's wire representation: labels + shape, no secret
+/// content.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CorToken {
+    /// The object's taint labels.
+    pub labels: TaintSet,
+    /// The object's shape.
+    pub shape: ObjShape,
+    /// The *placeholder* text for string cors — dummy data of the cor's
+    /// length, safe to transmit. Carried node→client so the device can
+    /// materialize placeholders for cors derived mid-run (a hash, a request
+    /// body); the reverse direction never needs it (the node resolves
+    /// labels against its store).
+    pub placeholder: Option<String>,
+}
+
+/// Regenerates content for tokenized objects on the receiving endpoint, and
+/// registers newly derived cors on the sending endpoint.
+///
+/// The runtime layer implements this over the cor store: the trusted node
+/// materializes plaintext, the client materializes placeholders, and the
+/// node-side sender *mints a derived cor* (fresh label + placeholder) for
+/// tainted objects that are not yet registered — e.g. the hash of a
+/// password, or an HTTP body with an embedded card number.
+pub trait CorMaterializer {
+    /// Called by the **sender** for every tainted object about to enter a
+    /// delta. Returns the token to ship in place of the content.
+    fn tokenize(&mut self, kind: &HeapKind, taint: TaintSet) -> Result<CorToken, DsmError>;
+
+    /// Called by the **receiver** for every token in an incoming delta.
+    /// Returns the local content and the taint to attach.
+    fn materialize(&mut self, token: &CorToken) -> Result<(HeapKind, TaintSet), DsmError>;
+}
+
+/// A materializer for unit tests and taint-free workloads: tokenizing keeps
+/// only the shape (content is replaced by `X` bytes / zero values), so it
+/// can never leak, and materializing regenerates that neutral content.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PassthroughMaterializer;
+
+impl CorMaterializer for PassthroughMaterializer {
+    fn tokenize(&mut self, kind: &HeapKind, taint: TaintSet) -> Result<CorToken, DsmError> {
+        Ok(CorToken { labels: taint, shape: ObjShape::of(kind), placeholder: None })
+    }
+
+    fn materialize(&mut self, token: &CorToken) -> Result<(HeapKind, TaintSet), DsmError> {
+        let kind = match &token.shape {
+            ObjShape::Str { len } => HeapKind::Str("X".repeat(*len)),
+            ObjShape::Arr { len } => HeapKind::Arr(vec![Value::Int(0); *len]),
+            ObjShape::Obj { class, n_fields } => {
+                HeapKind::Obj { class: *class, fields: vec![Value::Null; *n_fields] }
+            }
+        };
+        Ok((kind, token.labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinman_taint::Label;
+
+    #[test]
+    fn shapes_capture_kind_and_size() {
+        assert_eq!(ObjShape::of(&HeapKind::Str("abcd".into())), ObjShape::Str { len: 4 });
+        assert_eq!(
+            ObjShape::of(&HeapKind::Arr(vec![Value::Int(0); 3])),
+            ObjShape::Arr { len: 3 }
+        );
+        assert_eq!(
+            ObjShape::of(&HeapKind::Obj { class: 7, fields: vec![Value::Null; 2] }),
+            ObjShape::Obj { class: 7, n_fields: 2 }
+        );
+    }
+
+    #[test]
+    fn shape_matching() {
+        let s = HeapKind::Str("abcd".into());
+        assert!(ObjShape::Str { len: 4 }.matches(&s));
+        assert!(!ObjShape::Str { len: 5 }.matches(&s));
+        assert!(!ObjShape::Arr { len: 4 }.matches(&s));
+    }
+
+    #[test]
+    fn passthrough_preserves_shape_and_labels_but_not_content() {
+        let mut m = PassthroughMaterializer;
+        let t = Label::new(4).unwrap().as_set();
+        let token = m.tokenize(&HeapKind::Str("secret".into()), t).unwrap();
+        assert_eq!(token.shape, ObjShape::Str { len: 6 });
+        let (kind, taint) = m.materialize(&token).unwrap();
+        assert_eq!(kind, HeapKind::Str("XXXXXX".into()));
+        assert_eq!(taint, t);
+    }
+}

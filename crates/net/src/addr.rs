@@ -1,0 +1,70 @@
+//! Host identities and transport addresses.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identity of one simulated host (the IP-address analogue).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HostId(pub u32);
+
+impl fmt::Debug for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Rendered like an address for reports and audit logs.
+        write!(f, "10.0.{}.{}", self.0 >> 8, self.0 & 0xff)
+    }
+}
+
+/// A transport endpoint: host + port.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Addr {
+    /// The host.
+    pub host: HostId,
+    /// The TCP port.
+    pub port: u16,
+}
+
+impl Addr {
+    /// Constructs an address.
+    pub fn new(host: HostId, port: u16) -> Self {
+        Addr { host, port }
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}:{}", self.host, self.port)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.host, self.port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_like_an_ip() {
+        let a = Addr::new(HostId(258), 443);
+        assert_eq!(a.to_string(), "10.0.1.2:443");
+        assert_eq!(format!("{a:?}"), "h258:443");
+    }
+
+    #[test]
+    fn addr_equality_and_ordering() {
+        let a = Addr::new(HostId(1), 80);
+        let b = Addr::new(HostId(1), 443);
+        assert_ne!(a, b);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,43 @@
+//! Network error type.
+
+use std::fmt;
+
+use crate::addr::{Addr, HostId};
+
+/// An error raised by the simulated network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// Referenced a host id not registered in the world.
+    UnknownHost(HostId),
+    /// Resolved a domain with no DNS entry.
+    UnknownDomain(String),
+    /// Connected to an address with no listener.
+    ConnectionRefused(Addr),
+    /// Operated on a connection id the world does not know.
+    UnknownConn(u64),
+    /// Operated on a connection that is not (or no longer) established.
+    NotEstablished(u64),
+    /// A reframed/injected segment did not belong to any live flow.
+    NoMatchingFlow(Addr, Addr),
+    /// A TCP invariant was violated (simulation bug or deliberately
+    /// corrupted injection).
+    Protocol(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownHost(h) => write!(f, "unknown host {h:?}"),
+            NetError::UnknownDomain(d) => write!(f, "unknown domain '{d}'"),
+            NetError::ConnectionRefused(a) => write!(f, "connection refused by {a}"),
+            NetError::UnknownConn(id) => write!(f, "unknown connection {id}"),
+            NetError::NotEstablished(id) => write!(f, "connection {id} is not established"),
+            NetError::NoMatchingFlow(src, dst) => {
+                write!(f, "no flow matches {src} -> {dst}")
+            }
+            NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}

@@ -1,0 +1,97 @@
+//! The egress packet filter.
+//!
+//! TinMan uses an `iptables` rule on the client to capture packets whose SSL
+//! record carries the TinMan mark and redirect them to the trusted node
+//! (§3.3 step 3, §3.6). [`EgressFilter`] is that hook: the [`crate::world`]
+//! consults it for every data segment leaving a host, before routing.
+
+use crate::addr::HostId;
+use crate::tcp::Segment;
+
+/// What the filter decided for one outgoing segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FilterAction {
+    /// Route normally to the header's destination.
+    Pass,
+    /// Divert to this host's redirect queue instead of the destination.
+    /// The header is not rewritten — the consumer sees the original packet.
+    Redirect(HostId),
+    /// Drop silently (used for failure-injection tests).
+    Drop,
+}
+
+/// An installed egress filter.
+pub trait EgressFilter {
+    /// Inspects one outgoing segment.
+    fn inspect(&mut self, seg: &Segment) -> FilterAction;
+}
+
+impl<F> EgressFilter for F
+where
+    F: FnMut(&Segment) -> FilterAction,
+{
+    fn inspect(&mut self, seg: &Segment) -> FilterAction {
+        self(seg)
+    }
+}
+
+/// A filter that redirects segments whose payload begins with a marker
+/// byte — exactly how TinMan's modified SSL library marks cor records: it
+/// writes a reserved value into the SSL record-type field, which is the
+/// first byte on the wire, and the `iptables` rule matches on it (§3.6).
+#[derive(Clone, Copy, Debug)]
+pub struct MarkFilter {
+    /// The record-type byte that marks a cor-bearing record.
+    pub mark: u8,
+    /// Where marked packets are diverted.
+    pub to: HostId,
+}
+
+impl EgressFilter for MarkFilter {
+    fn inspect(&mut self, seg: &Segment) -> FilterAction {
+        if seg.payload.first() == Some(&self.mark) {
+            FilterAction::Redirect(self.to)
+        } else {
+            FilterAction::Pass
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use crate::tcp::TcpFlags;
+
+    fn seg(payload: Vec<u8>) -> Segment {
+        Segment {
+            src: Addr::new(HostId(1), 1000),
+            dst: Addr::new(HostId(2), 443),
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::ACK,
+            payload,
+        }
+    }
+
+    #[test]
+    fn mark_filter_matches_first_byte_only() {
+        let mut f = MarkFilter { mark: 0x7f, to: HostId(9) };
+        assert_eq!(f.inspect(&seg(vec![0x7f, 1, 2])), FilterAction::Redirect(HostId(9)));
+        assert_eq!(f.inspect(&seg(vec![0x16, 0x7f])), FilterAction::Pass);
+        assert_eq!(f.inspect(&seg(vec![])), FilterAction::Pass);
+    }
+
+    #[test]
+    fn closure_filters_work() {
+        let mut dropped = 0;
+        {
+            let mut f = |_: &Segment| {
+                dropped += 1;
+                FilterAction::Drop
+            };
+            assert_eq!(f.inspect(&seg(vec![1])), FilterAction::Drop);
+        }
+        assert_eq!(dropped, 1);
+    }
+}

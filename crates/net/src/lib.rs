@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! Simulated internet for the TinMan reproduction.
+//!
+//! The paper's prototype sends real packets: apps on the phone open TCP
+//! connections to web servers, an `iptables` rule captures packets whose SSL
+//! record carries TinMan's mark and redirects them to the trusted node, and
+//! the node forwards reframed packets whose TCP header still names the
+//! phone as the source. This crate rebuilds those moving parts as a
+//! deterministic, single-threaded simulation:
+//!
+//! * [`tcp`] — a sans-io userspace TCP: SYN/SYN-ACK/ACK handshake,
+//!   sequence/acknowledgement tracking, segmentation, out-of-order
+//!   reassembly, FIN teardown. Pure state machine, fully property-testable.
+//! * [`world`] — the [`NetWorld`]: hosts with [`LinkProfile`]s, DNS-style
+//!   naming, synchronous segment routing that advances the shared
+//!   [`SimClock`], per-host traffic counters (the radio-energy input),
+//!   server applications, and the egress [`filter`] with its redirect queue
+//!   (the `iptables` stand-in that makes TCP payload replacement possible).
+//! * [`filter`] — the egress-filter hook and actions.
+//!
+//! [`LinkProfile`]: tinman_sim::LinkProfile
+//! [`SimClock`]: tinman_sim::SimClock
+
+pub mod addr;
+pub mod error;
+pub mod filter;
+pub mod tcp;
+pub mod world;
+
+pub use addr::{Addr, HostId};
+pub use error::NetError;
+pub use filter::{EgressFilter, FilterAction, MarkFilter};
+pub use tcp::{Segment, TcpConn, TcpState};
+pub use world::{ConnId, NetWorld, ServerApp, ServerReply, Traffic};

@@ -1,0 +1,485 @@
+//! A sans-io userspace TCP.
+//!
+//! [`TcpConn`] is a pure state machine: it consumes [`Segment`]s and emits
+//! [`Segment`]s, never touching a clock or a wire. The [`crate::world`]
+//! module drives it against the simulated internet; the unit and property
+//! tests drive it directly, including under reordering and duplication.
+//!
+//! Faithfulness matters only where TinMan's payload replacement depends on
+//! it: real sequence/acknowledgement arithmetic (so a payload-swapped
+//! segment with an unchanged header remains in-sequence), segmentation at an
+//! MSS, out-of-order reassembly, and an explicit handshake. Congestion
+//! control, timers, and window management are out of scope — the simulated
+//! network models bandwidth at the link layer instead.
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::Addr;
+
+/// Maximum payload bytes per segment.
+pub const MSS: usize = 1400;
+
+/// TCP header flags (the subset the simulation uses).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TcpFlags {
+    /// Synchronize sequence numbers.
+    pub syn: bool,
+    /// Acknowledgement field is valid.
+    pub ack: bool,
+    /// Sender has finished sending.
+    pub fin: bool,
+    /// Connection reset.
+    pub rst: bool,
+}
+
+impl TcpFlags {
+    /// A SYN.
+    pub const SYN: TcpFlags = TcpFlags { syn: true, ack: false, fin: false, rst: false };
+    /// A SYN-ACK.
+    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, fin: false, rst: false };
+    /// A bare ACK.
+    pub const ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: false, rst: false };
+    /// A FIN-ACK.
+    pub const FIN_ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: true, rst: false };
+    /// A reset.
+    pub const RST: TcpFlags = TcpFlags { syn: false, ack: false, fin: false, rst: true };
+}
+
+/// One TCP segment. The simulated analogue of an IP packet: TinMan's packet
+/// filter inspects these, and its payload replacement rewrites `payload`
+/// while leaving every header field untouched.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Source endpoint (as named in the header — under payload replacement
+    /// this stays the client even though the trusted node transmits it).
+    pub src: Addr,
+    /// Destination endpoint.
+    pub dst: Addr,
+    /// Sequence number of the first payload byte.
+    pub seq: u32,
+    /// Acknowledgement number (valid when `flags.ack`).
+    pub ack: u32,
+    /// Header flags.
+    pub flags: TcpFlags,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Segment {
+    /// Total simulated wire size: payload plus a 40-byte TCP/IP header.
+    pub fn wire_bytes(&self) -> u64 {
+        self.payload.len() as u64 + 40
+    }
+
+    /// True if this segment carries application data.
+    pub fn has_data(&self) -> bool {
+        !self.payload.is_empty()
+    }
+}
+
+/// Connection lifecycle states (simplified).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TcpState {
+    /// No connection.
+    Closed,
+    /// Active open sent, awaiting SYN-ACK.
+    SynSent,
+    /// Passive open received SYN, sent SYN-ACK.
+    SynRcvd,
+    /// Data may flow.
+    Established,
+    /// We sent FIN, awaiting peer FIN/ACK.
+    FinWait,
+    /// Peer sent FIN; we may still flush then close.
+    CloseWait,
+}
+
+/// One endpoint of a TCP connection.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TcpConn {
+    /// Our address.
+    pub local: Addr,
+    /// Peer address.
+    pub remote: Addr,
+    /// Connection state.
+    pub state: TcpState,
+    /// Next sequence number we will send.
+    snd_nxt: u32,
+    /// Next sequence number we expect from the peer.
+    rcv_nxt: u32,
+    /// Bytes received in order, not yet read by the application.
+    recv_buf: Vec<u8>,
+    /// Out-of-order segments awaiting the gap to fill: (seq, payload).
+    reasm: Vec<(u32, Vec<u8>)>,
+    /// True once the peer's FIN has been consumed.
+    peer_closed: bool,
+}
+
+impl TcpConn {
+    /// Creates a client connection and the opening SYN.
+    pub fn connect(local: Addr, remote: Addr, isn: u32) -> (TcpConn, Segment) {
+        let conn = TcpConn {
+            local,
+            remote,
+            state: TcpState::SynSent,
+            snd_nxt: isn.wrapping_add(1), // SYN consumes one sequence number
+            rcv_nxt: 0,
+            recv_buf: Vec::new(),
+            reasm: Vec::new(),
+            peer_closed: false,
+        };
+        let syn = Segment {
+            src: local,
+            dst: remote,
+            seq: isn,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            payload: Vec::new(),
+        };
+        (conn, syn)
+    }
+
+    /// Creates a server connection from a received SYN and the SYN-ACK to
+    /// send back.
+    pub fn accept(local: Addr, syn: &Segment, isn: u32) -> (TcpConn, Segment) {
+        let conn = TcpConn {
+            local,
+            remote: syn.src,
+            state: TcpState::SynRcvd,
+            snd_nxt: isn.wrapping_add(1),
+            rcv_nxt: syn.seq.wrapping_add(1),
+            recv_buf: Vec::new(),
+            reasm: Vec::new(),
+            peer_closed: false,
+        };
+        let syn_ack = Segment {
+            src: local,
+            dst: syn.src,
+            seq: isn,
+            ack: conn.rcv_nxt,
+            flags: TcpFlags::SYN_ACK,
+            payload: Vec::new(),
+        };
+        (conn, syn_ack)
+    }
+
+    /// Next sequence number this side will use (exposed for payload
+    /// replacement diagnostics).
+    pub fn snd_nxt(&self) -> u32 {
+        self.snd_nxt
+    }
+
+    /// Next sequence number expected from the peer.
+    pub fn rcv_nxt(&self) -> u32 {
+        self.rcv_nxt
+    }
+
+    /// True if the peer has closed and all data was drained.
+    pub fn is_drained(&self) -> bool {
+        self.peer_closed && self.recv_buf.is_empty()
+    }
+
+    /// Segments `data` into MSS-sized data segments and advances `snd_nxt`.
+    pub fn send(&mut self, data: &[u8]) -> Vec<Segment> {
+        debug_assert!(
+            matches!(self.state, TcpState::Established | TcpState::CloseWait),
+            "send on a non-established connection"
+        );
+        let mut out = Vec::new();
+        for chunk in data.chunks(MSS.max(1)) {
+            let seg = Segment {
+                src: self.local,
+                dst: self.remote,
+                seq: self.snd_nxt,
+                ack: self.rcv_nxt,
+                flags: TcpFlags::ACK,
+                payload: chunk.to_vec(),
+            };
+            self.snd_nxt = self.snd_nxt.wrapping_add(chunk.len() as u32);
+            out.push(seg);
+        }
+        out
+    }
+
+    /// Initiates close; returns the FIN segment.
+    pub fn close(&mut self) -> Segment {
+        let fin = Segment {
+            src: self.local,
+            dst: self.remote,
+            seq: self.snd_nxt,
+            ack: self.rcv_nxt,
+            flags: TcpFlags::FIN_ACK,
+            payload: Vec::new(),
+        };
+        self.snd_nxt = self.snd_nxt.wrapping_add(1);
+        self.state = match self.state {
+            TcpState::CloseWait => TcpState::Closed,
+            _ => TcpState::FinWait,
+        };
+        fin
+    }
+
+    /// Consumes an incoming segment; returns any segments to send in
+    /// response (ACKs, nothing for duplicates).
+    pub fn on_segment(&mut self, seg: &Segment) -> Vec<Segment> {
+        let mut out = Vec::new();
+        if seg.flags.rst {
+            self.state = TcpState::Closed;
+            return out;
+        }
+        match self.state {
+            TcpState::SynSent if seg.flags.syn && seg.flags.ack => {
+                self.rcv_nxt = seg.seq.wrapping_add(1);
+                self.state = TcpState::Established;
+                out.push(self.bare_ack());
+            }
+            TcpState::SynRcvd if seg.flags.ack && !seg.flags.syn => {
+                self.state = TcpState::Established;
+                // Fall through to data handling for piggybacked payloads.
+                if seg.has_data() || seg.flags.fin {
+                    out.extend(self.ingest(seg));
+                }
+            }
+            TcpState::Established | TcpState::FinWait | TcpState::CloseWait => {
+                if seg.flags.syn {
+                    // Duplicate SYN-ACK of an established flow: re-ACK.
+                    out.push(self.bare_ack());
+                } else {
+                    out.extend(self.ingest(seg));
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+
+    /// Handles data/FIN for an established-ish connection.
+    fn ingest(&mut self, seg: &Segment) -> Vec<Segment> {
+        let mut out = Vec::new();
+        if seg.has_data() {
+            let offset = seg.seq.wrapping_sub(self.rcv_nxt);
+            if offset == 0 {
+                // In order: deliver, then drain any reassembly that now
+                // fits.
+                self.recv_buf.extend_from_slice(&seg.payload);
+                self.rcv_nxt = self.rcv_nxt.wrapping_add(seg.payload.len() as u32);
+                self.drain_reasm();
+                out.push(self.bare_ack());
+            } else if (offset as i32) < 0 {
+                // Entirely duplicate data: re-ACK so the peer advances.
+                out.push(self.bare_ack());
+            } else {
+                // Out of order: hold for reassembly (dedup by seq).
+                if !self.reasm.iter().any(|(s, _)| *s == seg.seq) {
+                    self.reasm.push((seg.seq, seg.payload.clone()));
+                }
+                out.push(self.bare_ack());
+            }
+        }
+        if seg.flags.fin {
+            let fin_seq = seg.seq.wrapping_add(seg.payload.len() as u32);
+            if fin_seq == self.rcv_nxt {
+                self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
+                self.peer_closed = true;
+                self.state = match self.state {
+                    TcpState::FinWait => TcpState::Closed,
+                    _ => TcpState::CloseWait,
+                };
+                out.push(self.bare_ack());
+            }
+        }
+        out
+    }
+
+    fn drain_reasm(&mut self) {
+        while let Some(pos) = self.reasm.iter().position(|(s, _)| *s == self.rcv_nxt) {
+            let (_, payload) = self.reasm.swap_remove(pos);
+            self.rcv_nxt = self.rcv_nxt.wrapping_add(payload.len() as u32);
+            self.recv_buf.extend_from_slice(&payload);
+        }
+    }
+
+    fn bare_ack(&self) -> Segment {
+        Segment {
+            src: self.local,
+            dst: self.remote,
+            seq: self.snd_nxt,
+            ack: self.rcv_nxt,
+            flags: TcpFlags::ACK,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Takes all application bytes received so far.
+    pub fn read_available(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.recv_buf)
+    }
+
+    /// Peeks the receive buffer without consuming.
+    pub fn peek_available(&self) -> &[u8] {
+        &self.recv_buf
+    }
+
+    /// Exposes the receive buffer contents for the residue scanner — the
+    /// paper lists socket buffers among the places plaintext lingers
+    /// (the paper's §1 cites prior residue studies).
+    pub fn scan_buffer(&self, needle: &[u8]) -> bool {
+        !needle.is_empty()
+            && self.recv_buf.windows(needle.len()).any(|w| w == needle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::HostId;
+
+    fn pair() -> (TcpConn, TcpConn) {
+        let c_addr = Addr::new(HostId(1), 40000);
+        let s_addr = Addr::new(HostId(2), 443);
+        let (mut client, syn) = TcpConn::connect(c_addr, s_addr, 1000);
+        let (mut server, syn_ack) = TcpConn::accept(s_addr, &syn, 9000);
+        let acks = client.on_segment(&syn_ack);
+        assert_eq!(client.state, TcpState::Established);
+        for a in &acks {
+            server.on_segment(a);
+        }
+        assert_eq!(server.state, TcpState::Established);
+        (client, server)
+    }
+
+    /// Delivers `segs` to `dst`, recursively delivering responses to `src`.
+    fn deliver(segs: Vec<Segment>, dst: &mut TcpConn, src: &mut TcpConn) {
+        for seg in segs {
+            let replies = dst.on_segment(&seg);
+            for r in replies {
+                let back = src.on_segment(&r);
+                assert!(back.is_empty(), "ACK storms must settle");
+            }
+        }
+    }
+
+    #[test]
+    fn handshake_establishes_both_sides() {
+        let (c, s) = pair();
+        assert_eq!(c.state, TcpState::Established);
+        assert_eq!(s.state, TcpState::Established);
+        assert_eq!(c.rcv_nxt(), 9001);
+        assert_eq!(s.rcv_nxt(), 1001);
+    }
+
+    #[test]
+    fn data_flows_in_order() {
+        let (mut c, mut s) = pair();
+        let segs = c.send(b"hello world");
+        assert_eq!(segs.len(), 1);
+        deliver(segs, &mut s, &mut c);
+        assert_eq!(s.read_available(), b"hello world");
+        let reply = s.send(b"ok");
+        deliver(reply, &mut c, &mut s);
+        assert_eq!(c.read_available(), b"ok");
+    }
+
+    #[test]
+    fn large_payload_segments_at_mss() {
+        let (mut c, mut s) = pair();
+        let data = vec![7u8; MSS * 3 + 100];
+        let segs = c.send(&data);
+        assert_eq!(segs.len(), 4);
+        assert!(segs[..3].iter().all(|x| x.payload.len() == MSS));
+        assert_eq!(segs[3].payload.len(), 100);
+        deliver(segs, &mut s, &mut c);
+        assert_eq!(s.read_available(), data);
+    }
+
+    #[test]
+    fn out_of_order_delivery_reassembles() {
+        let (mut c, mut s) = pair();
+        let data = vec![1u8; MSS * 3];
+        let mut segs = c.send(&data);
+        segs.reverse(); // worst-case reordering
+        deliver(segs, &mut s, &mut c);
+        assert_eq!(s.read_available(), data);
+    }
+
+    #[test]
+    fn duplicate_segments_are_idempotent() {
+        let (mut c, mut s) = pair();
+        let segs = c.send(b"once");
+        deliver(segs.clone(), &mut s, &mut c);
+        deliver(segs, &mut s, &mut c);
+        assert_eq!(s.read_available(), b"once");
+    }
+
+    #[test]
+    fn close_handshake_both_sides_reach_closed() {
+        let (mut c, mut s) = pair();
+        let fin = c.close();
+        assert_eq!(c.state, TcpState::FinWait);
+        deliver(vec![fin], &mut s, &mut c);
+        assert_eq!(s.state, TcpState::CloseWait);
+        let fin2 = s.close();
+        deliver(vec![fin2], &mut c, &mut s);
+        assert_eq!(c.state, TcpState::Closed);
+        assert_eq!(s.state, TcpState::Closed);
+        assert!(c.is_drained());
+    }
+
+    #[test]
+    fn payload_replacement_preserves_flow_validity() {
+        // The core TinMan TCP trick: swapping a payload of EQUAL LENGTH
+        // under an unchanged header must be invisible to the receiver.
+        let (mut c, mut s) = pair();
+        let mut segs = c.send(b"placeholder-PLACEHOLDER-bytes!");
+        assert_eq!(segs.len(), 1);
+        // The "trusted node" swaps the payload (same length).
+        let real = b"realsecret-0123456789-payload!";
+        assert_eq!(segs[0].payload.len(), real.len());
+        segs[0].payload = real.to_vec();
+        deliver(segs, &mut s, &mut c);
+        assert_eq!(s.read_available(), real);
+        // And the flow continues normally afterwards.
+        let more = c.send(b"after");
+        deliver(more, &mut s, &mut c);
+        assert_eq!(s.read_available(), b"after");
+    }
+
+    #[test]
+    fn rst_closes_immediately() {
+        let (mut c, _s) = pair();
+        let rst = Segment {
+            src: c.remote,
+            dst: c.local,
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::RST,
+            payload: Vec::new(),
+        };
+        c.on_segment(&rst);
+        assert_eq!(c.state, TcpState::Closed);
+    }
+
+    #[test]
+    fn buffer_scan_finds_residue() {
+        let (mut c, mut s) = pair();
+        let segs = c.send(b"contains hunter2 secret");
+        deliver(segs, &mut s, &mut c);
+        assert!(s.scan_buffer(b"hunter2"));
+        s.read_available();
+        assert!(!s.scan_buffer(b"hunter2"));
+        assert!(!s.scan_buffer(b""));
+    }
+
+    #[test]
+    fn wire_bytes_include_header() {
+        let seg = Segment {
+            src: Addr::new(HostId(1), 1),
+            dst: Addr::new(HostId(2), 2),
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::ACK,
+            payload: vec![0; 100],
+        };
+        assert_eq!(seg.wire_bytes(), 140);
+    }
+}

@@ -1,0 +1,132 @@
+//! Labelled time accumulation.
+//!
+//! The paper's Figures 14 and 15 break each app's login latency into stacked
+//! components (local execution, DSM offloading, SSL/TCP offloading, network
+//! and server time). [`Breakdown`] is the accumulator those reports are
+//! generated from: callers charge named categories and the harness prints
+//! the stack.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// A map from category name to accumulated simulated time.
+///
+/// Categories are ordinary strings; the ordering of a printed breakdown is
+/// the lexicographic order of its labels unless the caller supplies an
+/// explicit order via [`Breakdown::ordered`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Breakdown {
+    entries: BTreeMap<String, SimDuration>,
+}
+
+impl Breakdown {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        Breakdown::default()
+    }
+
+    /// Adds `d` to `category`, creating it if absent.
+    pub fn charge(&mut self, category: &str, d: SimDuration) {
+        *self.entries.entry(category.to_owned()).or_default() += d;
+    }
+
+    /// Time accumulated for `category` (zero if never charged).
+    pub fn get(&self, category: &str) -> SimDuration {
+        self.entries.get(category).copied().unwrap_or_default()
+    }
+
+    /// Sum across all categories.
+    pub fn total(&self) -> SimDuration {
+        self.entries.values().fold(SimDuration::ZERO, |a, &d| a + d)
+    }
+
+    /// Iterates categories in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, SimDuration)> {
+        self.entries.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Returns `(label, duration)` pairs in the caller-given order, with any
+    /// remaining categories appended lexicographically. Labels absent from
+    /// the breakdown are reported as zero.
+    pub fn ordered(&self, order: &[&str]) -> Vec<(String, SimDuration)> {
+        let mut out: Vec<(String, SimDuration)> =
+            order.iter().map(|&l| (l.to_owned(), self.get(l))).collect();
+        for (k, &v) in &self.entries {
+            if !order.contains(&k.as_str()) {
+                out.push((k.clone(), v));
+            }
+        }
+        out
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn absorb(&mut self, other: &Breakdown) {
+        for (k, &v) in &other.entries {
+            *self.entries.entry(k.clone()).or_default() += v;
+        }
+    }
+
+    /// Number of distinct categories charged.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been charged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in self.iter() {
+            writeln!(f, "  {k:<24} {v}")?;
+        }
+        writeln!(f, "  {:<24} {}", "total", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates() {
+        let mut b = Breakdown::new();
+        b.charge("dsm", SimDuration::from_millis(100));
+        b.charge("dsm", SimDuration::from_millis(50));
+        b.charge("ssl", SimDuration::from_millis(10));
+        assert_eq!(b.get("dsm"), SimDuration::from_millis(150));
+        assert_eq!(b.get("missing"), SimDuration::ZERO);
+        assert_eq!(b.total(), SimDuration::from_millis(160));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn ordered_respects_caller_order_and_appends_rest() {
+        let mut b = Breakdown::new();
+        b.charge("a", SimDuration::from_millis(1));
+        b.charge("b", SimDuration::from_millis(2));
+        b.charge("c", SimDuration::from_millis(3));
+        let rows = b.ordered(&["c", "a", "zeta"]);
+        let labels: Vec<&str> = rows.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, vec!["c", "a", "zeta", "b"]);
+        assert_eq!(rows[2].1, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = Breakdown::new();
+        a.charge("x", SimDuration::from_millis(1));
+        let mut b = Breakdown::new();
+        b.charge("x", SimDuration::from_millis(2));
+        b.charge("y", SimDuration::from_millis(3));
+        a.absorb(&b);
+        assert_eq!(a.get("x"), SimDuration::from_millis(3));
+        assert_eq!(a.get("y"), SimDuration::from_millis(3));
+    }
+}

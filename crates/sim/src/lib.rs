@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! Simulation substrate for the TinMan reproduction.
+//!
+//! The original TinMan prototype ran on a Samsung Galaxy Nexus phone talking
+//! to a PC trusted node over Wi-Fi or 3G. This crate replaces that physical
+//! testbed with a deterministic discrete simulation:
+//!
+//! * [`time`] — a virtual clock ([`SimClock`]) plus [`SimTime`] /
+//!   [`SimDuration`] value types. All experiment latencies are measured in
+//!   simulated time, so a "30-minute" battery stress test completes in
+//!   milliseconds of wall time and is perfectly reproducible.
+//! * [`profile`] — calibrated device and network-link profiles
+//!   ([`DeviceProfile`], [`LinkProfile`]) that convert abstract work
+//!   (instructions executed, bytes transferred) into simulated time.
+//! * [`power`] — an energy model and a [`Battery`] that drains according to
+//!   CPU activity, radio traffic, and display-on time.
+//! * [`breakdown`] — a labelled time accumulator used to reproduce the
+//!   stacked-bar latency breakdowns of the paper's Figures 14 and 15.
+//! * [`rng`] — a tiny deterministic PRNG ([`SplitMix64`]) for reproducible
+//!   placeholder generation and workload jitter without pulling a full RNG
+//!   stack into every crate.
+
+pub mod breakdown;
+pub mod power;
+pub mod profile;
+pub mod rng;
+pub mod time;
+
+pub use breakdown::Breakdown;
+pub use power::{Battery, EnergyMeter, MicroJoules};
+pub use profile::{DeviceProfile, LinkProfile};
+pub use rng::SplitMix64;
+pub use time::{SimClock, SimDuration, SimTime};

@@ -1,0 +1,238 @@
+//! Energy accounting and battery model.
+//!
+//! The paper's Figures 16 and 17 plot remaining battery percentage over time
+//! for a Galaxy Nexus (1750 mAh). We model the battery as a reservoir of
+//! microjoules drained by four sinks: CPU work, radio TX/RX, display-on
+//! time, and idle baseline. [`EnergyMeter`] accumulates per-sink totals so
+//! reports can attribute consumption.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// An amount of energy, in microjoules.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct MicroJoules(u64);
+
+impl MicroJoules {
+    /// Zero energy.
+    pub const ZERO: MicroJoules = MicroJoules(0);
+
+    /// Constructs from microjoules.
+    pub const fn from_microjoules(uj: u64) -> Self {
+        MicroJoules(uj)
+    }
+
+    /// Constructs from nanojoules (truncating below 1 uJ is avoided by
+    /// rounding to nearest).
+    pub const fn from_nanojoules(nj: u64) -> Self {
+        MicroJoules((nj + 500) / 1_000)
+    }
+
+    /// Constructs from whole joules.
+    pub const fn from_joules(j: u64) -> Self {
+        MicroJoules(j * 1_000_000)
+    }
+
+    /// Energy drawn by a constant `power_mw` milliwatt load over `d`.
+    pub fn from_power(power_mw: u64, d: SimDuration) -> Self {
+        // mW * ns = picojoules; divide by 1e6 to get microjoules.
+        let pj = power_mw as u128 * d.as_nanos() as u128;
+        MicroJoules((pj / 1_000_000) as u64)
+    }
+
+    /// Value in microjoules.
+    pub const fn as_microjoules(self) -> u64 {
+        self.0
+    }
+
+    /// Value in joules.
+    pub fn as_joules(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: MicroJoules) -> MicroJoules {
+        MicroJoules(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for MicroJoules {
+    type Output = MicroJoules;
+    fn add(self, rhs: MicroJoules) -> MicroJoules {
+        MicroJoules(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for MicroJoules {
+    fn add_assign(&mut self, rhs: MicroJoules) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Debug for MicroJoules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}J", self.as_joules())
+    }
+}
+
+/// Per-sink energy attribution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    /// Energy spent executing VM instructions on the device.
+    pub cpu: MicroJoules,
+    /// Radio energy spent transmitting.
+    pub radio_tx: MicroJoules,
+    /// Radio energy spent receiving.
+    pub radio_rx: MicroJoules,
+    /// Radio energy spent holding the high-power state.
+    pub radio_active: MicroJoules,
+    /// Display backlight energy.
+    pub display: MicroJoules,
+    /// Awake-idle baseline energy.
+    pub idle: MicroJoules,
+}
+
+impl EnergyMeter {
+    /// A meter with all sinks at zero.
+    pub fn new() -> Self {
+        EnergyMeter::default()
+    }
+
+    /// Total energy across all sinks.
+    pub fn total(&self) -> MicroJoules {
+        self.cpu + self.radio_tx + self.radio_rx + self.radio_active + self.display + self.idle
+    }
+
+    /// Adds another meter's totals into this one.
+    pub fn absorb(&mut self, other: &EnergyMeter) {
+        self.cpu += other.cpu;
+        self.radio_tx += other.radio_tx;
+        self.radio_rx += other.radio_rx;
+        self.radio_active += other.radio_active;
+        self.display += other.display;
+        self.idle += other.idle;
+    }
+}
+
+/// A battery modelled as an energy reservoir.
+///
+/// The Galaxy Nexus ships a 1750 mAh battery at a nominal 3.7 V, i.e. about
+/// 23.3 kJ of usable energy.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    capacity: MicroJoules,
+    drained: MicroJoules,
+}
+
+impl Battery {
+    /// A full battery with the given capacity.
+    pub fn new(capacity: MicroJoules) -> Self {
+        Battery { capacity, drained: MicroJoules::ZERO }
+    }
+
+    /// A full battery matching the paper's Galaxy Nexus (1750 mAh @ 3.7 V).
+    pub fn galaxy_nexus() -> Self {
+        // 1750 mAh * 3.7 V * 3600 s/h = 23310 J.
+        Battery::new(MicroJoules::from_joules(23_310))
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> MicroJoules {
+        self.capacity
+    }
+
+    /// Energy drained so far (clamped to capacity).
+    pub fn drained(&self) -> MicroJoules {
+        if self.drained > self.capacity {
+            self.capacity
+        } else {
+            self.drained
+        }
+    }
+
+    /// Removes `e` from the battery. Draining past empty clamps at zero
+    /// remaining (the simulated device would have shut down).
+    pub fn drain(&mut self, e: MicroJoules) {
+        self.drained += e;
+    }
+
+    /// Remaining energy.
+    pub fn remaining(&self) -> MicroJoules {
+        self.capacity.saturating_sub(self.drained)
+    }
+
+    /// Remaining charge as a percentage of capacity, in `0.0..=100.0`.
+    pub fn percent(&self) -> f64 {
+        if self.capacity.as_microjoules() == 0 {
+            return 0.0;
+        }
+        100.0 * self.remaining().as_microjoules() as f64 / self.capacity.as_microjoules() as f64
+    }
+
+    /// Remaining charge as the integer percentage a phone status bar would
+    /// show (rounded to nearest).
+    pub fn percent_displayed(&self) -> u32 {
+        self.percent().round() as u32
+    }
+
+    /// True once the battery is fully drained.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == MicroJoules::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_power_basic() {
+        // 1000 mW for 1 s = 1 J.
+        let e = MicroJoules::from_power(1000, SimDuration::from_secs(1));
+        assert_eq!(e, MicroJoules::from_joules(1));
+    }
+
+    #[test]
+    fn from_nanojoules_rounds() {
+        assert_eq!(MicroJoules::from_nanojoules(1_499).as_microjoules(), 1);
+        assert_eq!(MicroJoules::from_nanojoules(1_500).as_microjoules(), 2);
+    }
+
+    #[test]
+    fn battery_percent_tracks_drain() {
+        let mut b = Battery::new(MicroJoules::from_joules(100));
+        assert_eq!(b.percent_displayed(), 100);
+        b.drain(MicroJoules::from_joules(25));
+        assert_eq!(b.percent_displayed(), 75);
+        b.drain(MicroJoules::from_joules(80));
+        assert_eq!(b.percent_displayed(), 0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn galaxy_nexus_capacity_matches_paper_hardware() {
+        let b = Battery::galaxy_nexus();
+        assert_eq!(b.capacity().as_joules(), 23_310.0);
+    }
+
+    #[test]
+    fn meter_totals_and_absorb() {
+        let mut m = EnergyMeter::new();
+        m.cpu += MicroJoules::from_joules(1);
+        m.radio_tx += MicroJoules::from_joules(2);
+        let mut n = EnergyMeter::new();
+        n.display += MicroJoules::from_joules(3);
+        m.absorb(&n);
+        assert_eq!(m.total(), MicroJoules::from_joules(6));
+    }
+
+    #[test]
+    fn zero_capacity_battery_reports_zero_percent() {
+        let b = Battery::new(MicroJoules::ZERO);
+        assert_eq!(b.percent(), 0.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Device and network-link profiles.
+//!
+//! Profiles convert abstract simulation work into time and energy:
+//! a [`DeviceProfile`] maps *VM instructions executed* to CPU time and
+//! energy, and a [`LinkProfile`] maps *bytes transferred* to network latency
+//! and radio energy.
+//!
+//! The built-in presets are calibrated against the paper's testbed
+//! (Samsung Galaxy Nexus client, Intel i5 trusted node, Wi-Fi and 3G links)
+//! so the benchmark harness reproduces the *shape* of the paper's Figures
+//! 14-17 without real hardware.
+
+use serde::{Deserialize, Serialize};
+
+use crate::power::MicroJoules;
+use crate::time::SimDuration;
+
+/// A compute-device profile: how fast it retires VM instructions and how
+/// much energy that costs.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Human-readable name (appears in reports).
+    pub name: &'static str,
+    /// Interpreted VM instructions retired per second.
+    ///
+    /// This folds CPU frequency, interpreter dispatch cost, and memory
+    /// behaviour into a single effective rate, which is all the experiments
+    /// need.
+    pub instrs_per_sec: u64,
+    /// Energy per retired instruction, in nanojoules. Only meaningful for
+    /// battery-powered devices; the trusted node uses 0.
+    pub nj_per_instr: u64,
+    /// Power drawn while the device is idle but awake (screen off), in
+    /// milliwatts.
+    pub idle_power_mw: u64,
+    /// Additional power drawn while the display is on, in milliwatts.
+    pub display_power_mw: u64,
+}
+
+impl DeviceProfile {
+    /// The paper's client device: Samsung Galaxy Nexus, 1.2 GHz TI
+    /// OMAP4460, 1 GB RAM, 1750 mAh battery.
+    ///
+    /// The effective interpreter rate (~120 M instructions/s) reflects a
+    /// Dalvik-class interpreter on that core, not the raw clock.
+    pub fn galaxy_nexus() -> Self {
+        DeviceProfile {
+            name: "galaxy-nexus",
+            instrs_per_sec: 120_000_000,
+            nj_per_instr: 6,
+            idle_power_mw: 25,
+            display_power_mw: 600,
+        }
+    }
+
+    /// The paper's trusted node: PC with a 2.8 GHz Intel i5-2300.
+    /// Roughly 6x the phone's effective interpreter throughput.
+    pub fn trusted_pc() -> Self {
+        DeviceProfile {
+            name: "trusted-pc",
+            instrs_per_sec: 720_000_000,
+            nj_per_instr: 0,
+            idle_power_mw: 0,
+            display_power_mw: 0,
+        }
+    }
+
+    /// Simulated time to execute `instrs` VM instructions on this device.
+    pub fn exec_time(&self, instrs: u64) -> SimDuration {
+        // ns = instrs * 1e9 / rate, computed in u128 to avoid overflow for
+        // long workloads.
+        let ns = (instrs as u128 * 1_000_000_000u128) / self.instrs_per_sec as u128;
+        SimDuration::from_nanos(ns as u64)
+    }
+
+    /// Energy to execute `instrs` VM instructions on this device.
+    pub fn exec_energy(&self, instrs: u64) -> MicroJoules {
+        MicroJoules::from_nanojoules(instrs.saturating_mul(self.nj_per_instr))
+    }
+}
+
+/// A network-link profile between a device and the wider network.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkProfile {
+    /// Human-readable name (appears in reports).
+    pub name: &'static str,
+    /// Round-trip time to an arbitrary internet host.
+    pub rtt: SimDuration,
+    /// Sustained goodput in bytes per second.
+    pub bytes_per_sec: u64,
+    /// Radio energy to transmit one byte, in nanojoules.
+    pub tx_nj_per_byte: u64,
+    /// Radio energy to receive one byte, in nanojoules.
+    pub rx_nj_per_byte: u64,
+    /// Extra power drawn while the radio is in its high-power state, in
+    /// milliwatts (3G radios hold a power-hungry state after traffic).
+    pub active_radio_mw: u64,
+}
+
+impl LinkProfile {
+    /// Campus Wi-Fi as used in the paper's evaluation.
+    pub fn wifi() -> Self {
+        LinkProfile {
+            name: "wifi",
+            rtt: SimDuration::from_millis(20),
+            bytes_per_sec: 1_050_000, // ~8.5 Mbit/s effective goodput
+            tx_nj_per_byte: 230,
+            rx_nj_per_byte: 140,
+            active_radio_mw: 400,
+        }
+    }
+
+    /// A 3G cellular link as used in the paper's evaluation.
+    pub fn three_g() -> Self {
+        LinkProfile {
+            name: "3g",
+            rtt: SimDuration::from_millis(150),
+            bytes_per_sec: 640_000, // HSPA-class effective goodput
+            tx_nj_per_byte: 1_200,
+            rx_nj_per_byte: 600,
+            active_radio_mw: 800,
+        }
+    }
+
+    /// Wired LAN between the trusted node and the internet (and between
+    /// servers). Fast enough that it never dominates.
+    pub fn ethernet() -> Self {
+        LinkProfile {
+            name: "ethernet",
+            rtt: SimDuration::from_micros(400),
+            bytes_per_sec: 100_000_000,
+            tx_nj_per_byte: 0,
+            rx_nj_per_byte: 0,
+            active_radio_mw: 0,
+        }
+    }
+
+    /// One-way propagation latency of this link (half the RTT).
+    pub fn one_way(&self) -> SimDuration {
+        self.rtt / 2
+    }
+
+    /// Serialization (transmission) delay for a payload of `bytes`.
+    pub fn serialize_time(&self, bytes: u64) -> SimDuration {
+        let ns = (bytes as u128 * 1_000_000_000u128) / self.bytes_per_sec as u128;
+        SimDuration::from_nanos(ns as u64)
+    }
+
+    /// Total one-way transfer time for `bytes`: propagation plus
+    /// serialization.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        self.one_way() + self.serialize_time(bytes)
+    }
+
+    /// Radio energy to transmit `bytes`.
+    pub fn tx_energy(&self, bytes: u64) -> MicroJoules {
+        MicroJoules::from_nanojoules(bytes.saturating_mul(self.tx_nj_per_byte))
+    }
+
+    /// Radio energy to receive `bytes`.
+    pub fn rx_energy(&self, bytes: u64) -> MicroJoules {
+        MicroJoules::from_nanojoules(bytes.saturating_mul(self.rx_nj_per_byte))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_time_scales_linearly() {
+        let d = DeviceProfile::galaxy_nexus();
+        let t1 = d.exec_time(d.instrs_per_sec);
+        assert_eq!(t1, SimDuration::from_secs(1));
+        let t2 = d.exec_time(d.instrs_per_sec / 2);
+        assert_eq!(t2, SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn trusted_pc_is_faster_than_phone() {
+        let phone = DeviceProfile::galaxy_nexus();
+        let pc = DeviceProfile::trusted_pc();
+        assert!(pc.exec_time(1_000_000) < phone.exec_time(1_000_000));
+    }
+
+    #[test]
+    fn exec_time_no_overflow_on_huge_workload() {
+        let d = DeviceProfile::galaxy_nexus();
+        // 10^15 instructions would overflow u64 nanoseconds math done naively.
+        let t = d.exec_time(1_000_000_000_000_000);
+        assert!(t.as_secs_f64() > 8_000_000.0);
+    }
+
+    #[test]
+    fn transfer_time_includes_propagation_and_serialization() {
+        let l = LinkProfile::wifi();
+        let t = l.transfer_time(l.bytes_per_sec); // 1 second of payload
+        assert_eq!(t, l.one_way() + SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn three_g_slower_and_costlier_than_wifi() {
+        let w = LinkProfile::wifi();
+        let g = LinkProfile::three_g();
+        assert!(g.rtt > w.rtt);
+        assert!(g.transfer_time(100_000) > w.transfer_time(100_000));
+        assert!(g.tx_energy(1000).as_microjoules() > w.tx_energy(1000).as_microjoules());
+    }
+
+    #[test]
+    fn zero_bytes_transfer_is_pure_propagation() {
+        let l = LinkProfile::three_g();
+        assert_eq!(l.transfer_time(0), l.one_way());
+    }
+
+    #[test]
+    fn trusted_node_exec_energy_is_free() {
+        assert_eq!(
+            DeviceProfile::trusted_pc().exec_energy(1_000_000).as_microjoules(),
+            0
+        );
+    }
+}

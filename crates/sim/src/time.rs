@@ -1,0 +1,305 @@
+//! Virtual time.
+//!
+//! Every latency the benchmarks report is simulated: the interpreter charges
+//! the clock for executed instructions, the network charges it for
+//! propagation and serialization delay, and servers charge it for think
+//! time. Because nothing reads the host's wall clock, runs are bit-for-bit
+//! reproducible.
+
+use std::cell::Cell;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+use std::rc::Rc;
+
+use serde::{Deserialize, Serialize};
+
+/// A span of simulated time with nanosecond resolution.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from whole nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a duration from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a duration from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Creates a duration from a floating-point second count.
+    ///
+    /// Negative or non-finite inputs saturate to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((s * 1e9).round() as u64)
+    }
+
+    /// Total nanoseconds in this duration.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Total whole milliseconds in this duration (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// This duration expressed in seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    pub fn checked_add(self, rhs: SimDuration) -> Option<SimDuration> {
+        self.0.checked_add(rhs.0).map(SimDuration)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// An instant on the simulated timeline (nanoseconds since simulation start).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Nanoseconds since the simulation epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the simulation epoch.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// Saturates to zero if `earlier` is in the future.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.as_nanos())
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+/// A shared, monotonically advancing virtual clock.
+///
+/// Clones share the same underlying instant, so every component of a
+/// simulated world (interpreter, network, servers, battery sampler) observes
+/// a single timeline. The simulation is single-threaded by construction, so
+/// the clock uses [`Cell`] rather than atomics.
+#[derive(Clone, Default)]
+pub struct SimClock {
+    now: Rc<Cell<u64>>,
+}
+
+impl SimClock {
+    /// Creates a clock at the simulation epoch.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.now.get())
+    }
+
+    /// Advances the clock by `d` and returns the new instant.
+    pub fn advance(&self, d: SimDuration) -> SimTime {
+        let t = self.now.get() + d.as_nanos();
+        self.now.set(t);
+        SimTime(t)
+    }
+
+    /// Moves the clock forward to `t` if `t` is in the future; otherwise a
+    /// no-op. Returns the (possibly unchanged) current instant.
+    ///
+    /// Used when merging timelines, e.g. when a reply generated at a remote
+    /// host arrives back at the caller.
+    pub fn advance_to(&self, t: SimTime) -> SimTime {
+        if t.0 > self.now.get() {
+            self.now.set(t.0);
+        }
+        SimTime(self.now.get())
+    }
+}
+
+impl fmt::Debug for SimClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimClock({:?})", self.now())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2000));
+        assert_eq!(SimDuration::from_millis(3), SimDuration::from_micros(3000));
+        assert_eq!(SimDuration::from_micros(5), SimDuration::from_nanos(5000));
+    }
+
+    #[test]
+    fn duration_float_round_trip() {
+        let d = SimDuration::from_secs_f64(1.25);
+        assert_eq!(d.as_nanos(), 1_250_000_000);
+        assert!((d.as_secs_f64() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_from_secs_f64_saturates_bad_input() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_millis(10);
+        let b = SimDuration::from_millis(4);
+        assert_eq!(a + b, SimDuration::from_millis(14));
+        assert_eq!(a - b, SimDuration::from_millis(6));
+        assert_eq!(a * 3, SimDuration::from_millis(30));
+        assert_eq!(a / 2, SimDuration::from_millis(5));
+        assert_eq!(b.saturating_sub(a), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn clock_advances_and_is_shared() {
+        let c1 = SimClock::new();
+        let c2 = c1.clone();
+        assert_eq!(c1.now(), SimTime::ZERO);
+        c1.advance(SimDuration::from_millis(5));
+        assert_eq!(c2.now().as_nanos(), 5_000_000);
+        c2.advance(SimDuration::from_millis(1));
+        assert_eq!(c1.now().as_nanos(), 6_000_000);
+    }
+
+    #[test]
+    fn clock_advance_to_is_monotone() {
+        let c = SimClock::new();
+        c.advance(SimDuration::from_secs(1));
+        let earlier = SimTime::ZERO + SimDuration::from_millis(10);
+        assert_eq!(c.advance_to(earlier).as_nanos(), 1_000_000_000);
+        let later = SimTime::ZERO + SimDuration::from_secs(2);
+        assert_eq!(c.advance_to(later), later);
+    }
+
+    #[test]
+    fn time_since_saturates() {
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + SimDuration::from_secs(1);
+        assert_eq!(t1.since(t0), SimDuration::from_secs(1));
+        assert_eq!(t0.since(t1), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.000s");
+        assert_eq!(format!("{}", SimDuration::from_millis(2)), "2.000ms");
+        assert_eq!(format!("{}", SimDuration::from_nanos(2)), "2ns");
+    }
+}

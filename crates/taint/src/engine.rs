@@ -1,0 +1,406 @@
+//! Taint engines.
+//!
+//! A [`TaintEngine`] is consulted by the interpreter on every data movement.
+//! It decides (a) what taint the destination receives, (b) whether the move
+//! must *trigger offloading* (the client-side asymmetric engine raises a
+//! trigger whenever tainted heap data is about to reach the operand stack),
+//! and (c) how many extra instruction cycles the instrumentation costs —
+//! which is what reproduces the Caffeinemark overhead split of Figure 13
+//! (full tainting ≈ 20% vs asymmetric ≈ 10%).
+
+use serde::{Deserialize, Serialize};
+
+use crate::label::TaintSet;
+use crate::PropClass;
+
+/// Which engine configuration is active.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// No tracking at all — the stock-Android baseline of Figure 13.
+    None,
+    /// Full four-class tracking — TaintDroid on the client, and always the
+    /// trusted node's configuration.
+    Full,
+    /// TinMan's client-side optimization (§3.5): track heap→heap, trigger on
+    /// heap→stack, ignore the stack-only classes.
+    Asymmetric,
+}
+
+/// What the interpreter should do after reporting a move.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MoveOutcome {
+    /// Taint to attach to the destination (stack slot or heap field).
+    pub dst_taint: TaintSet,
+    /// True if this move must suspend local execution and offload to the
+    /// trusted node (only ever set by the asymmetric engine).
+    pub trigger_offload: bool,
+    /// Extra interpreter cycles charged for the instrumentation of this
+    /// move.
+    pub extra_cycles: u64,
+}
+
+/// Per-class instrumentation costs, in extra interpreter cycles per move.
+///
+/// Defaults are calibrated so a Caffeinemark-like instruction mix lands near
+/// the paper's measured overheads: ~20.1% for full tracking and ~9.6% for
+/// asymmetric tracking (Figure 13). Stack-to-stack moves are by far the most
+/// frequent class, so the full engine's cost is dominated by them; the
+/// asymmetric engine pays nothing there.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaintCosts {
+    /// Cycles per instrumented heap→heap move.
+    pub heap_to_heap: u64,
+    /// Cycles per instrumented heap→stack move.
+    pub heap_to_stack: u64,
+    /// Cycles per instrumented stack→stack move.
+    pub stack_to_stack: u64,
+    /// Cycles per instrumented stack→heap move.
+    pub stack_to_heap: u64,
+}
+
+impl Default for TaintCosts {
+    fn default() -> Self {
+        // Calibrated against the paper's Figure 13: with the VM's
+        // dispatch-dominated base costs (~10 cycles/instruction), these
+        // land full tracking near 20% average overhead and asymmetric
+        // tracking near 10%, concentrated in heap-op-heavy code (String
+        // worst) exactly as measured. Heap-to-heap is expensive because it
+        // covers content-deriving operations (concat/substring) where the
+        // instrumentation must walk the object, and because TinMan disables
+        // Android's string-operation fast paths (§6.1).
+        TaintCosts { heap_to_heap: 130, heap_to_stack: 24, stack_to_stack: 2, stack_to_heap: 5 }
+    }
+}
+
+impl TaintCosts {
+    /// Cost for one move of the given class.
+    pub fn cost(&self, class: PropClass) -> u64 {
+        match class {
+            PropClass::HeapToHeap => self.heap_to_heap,
+            PropClass::HeapToStack => self.heap_to_stack,
+            PropClass::StackToStack => self.stack_to_stack,
+            PropClass::StackToHeap => self.stack_to_heap,
+        }
+    }
+}
+
+/// Cumulative per-class move counters, useful for reports and for verifying
+/// the asymmetric engine's claims.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MoveStats {
+    /// Moves observed per class, indexed in [`PropClass::ALL`] order.
+    pub observed: [u64; 4],
+    /// Moves that carried taint, per class, same order.
+    pub tainted: [u64; 4],
+    /// Total extra cycles charged for instrumentation.
+    pub instrumentation_cycles: u64,
+    /// Offload triggers raised.
+    pub triggers: u64,
+}
+
+impl MoveStats {
+    fn class_index(class: PropClass) -> usize {
+        match class {
+            PropClass::HeapToHeap => 0,
+            PropClass::HeapToStack => 1,
+            PropClass::StackToStack => 2,
+            PropClass::StackToHeap => 3,
+        }
+    }
+
+    /// Moves observed for one class.
+    pub fn observed_for(&self, class: PropClass) -> u64 {
+        self.observed[Self::class_index(class)]
+    }
+
+    /// Tainted moves observed for one class.
+    pub fn tainted_for(&self, class: PropClass) -> u64 {
+        self.tainted[Self::class_index(class)]
+    }
+}
+
+/// A configured taint engine for one endpoint.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TaintEngine {
+    kind: EngineKind,
+    costs: TaintCosts,
+    stats: MoveStats,
+}
+
+impl TaintEngine {
+    /// The no-tracking baseline engine.
+    pub fn none() -> Self {
+        TaintEngine { kind: EngineKind::None, costs: TaintCosts::default(), stats: MoveStats::default() }
+    }
+
+    /// The full four-class engine (TaintDroid-equivalent; used on the
+    /// trusted node, or on the client for the Figure 13 comparison).
+    pub fn full() -> Self {
+        TaintEngine { kind: EngineKind::Full, costs: TaintCosts::default(), stats: MoveStats::default() }
+    }
+
+    /// TinMan's asymmetric client engine (§3.5).
+    pub fn asymmetric() -> Self {
+        TaintEngine {
+            kind: EngineKind::Asymmetric,
+            costs: TaintCosts::default(),
+            stats: MoveStats::default(),
+        }
+    }
+
+    /// Overrides the instrumentation cost table.
+    pub fn with_costs(mut self, costs: TaintCosts) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Which configuration this engine runs.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &MoveStats {
+        &self.stats
+    }
+
+    /// Resets the cumulative statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = MoveStats::default();
+    }
+
+    /// True if this engine instruments the given propagation class (and
+    /// therefore pays its per-move cost).
+    pub fn instruments(&self, class: PropClass) -> bool {
+        match self.kind {
+            EngineKind::None => false,
+            EngineKind::Full => true,
+            EngineKind::Asymmetric => {
+                matches!(class, PropClass::HeapToHeap | PropClass::HeapToStack)
+            }
+        }
+    }
+
+    /// Reports one data movement of `class` whose source carries
+    /// `src_taint`; returns the destination taint, whether offloading must
+    /// trigger, and the instrumentation cost.
+    ///
+    /// Semantics per engine:
+    /// * `None`: destination untainted, no cost, never triggers.
+    /// * `Full`: destination inherits the union of source taints for all
+    ///   four classes; never triggers (the trusted node *wants* to keep
+    ///   running tainted code).
+    /// * `Asymmetric`: heap→heap propagates; heap→stack of tainted data
+    ///   raises `trigger_offload` (the data never actually reaches the
+    ///   stack locally — the caller must suspend before completing the
+    ///   move); the two stack-source classes are not instrumented and
+    ///   propagate nothing.
+    pub fn on_move(&mut self, class: PropClass, src_taint: TaintSet) -> MoveOutcome {
+        let idx = MoveStats::class_index(class);
+        self.stats.observed[idx] += 1;
+        if src_taint.is_tainted() {
+            self.stats.tainted[idx] += 1;
+        }
+        let instrumented = self.instruments(class);
+        let extra_cycles = if instrumented { self.costs.cost(class) } else { 0 };
+        self.stats.instrumentation_cycles += extra_cycles;
+
+        let outcome = match self.kind {
+            EngineKind::None => {
+                MoveOutcome { dst_taint: TaintSet::EMPTY, trigger_offload: false, extra_cycles }
+            }
+            EngineKind::Full => {
+                MoveOutcome { dst_taint: src_taint, trigger_offload: false, extra_cycles }
+            }
+            EngineKind::Asymmetric => match class {
+                PropClass::HeapToHeap => {
+                    MoveOutcome { dst_taint: src_taint, trigger_offload: false, extra_cycles }
+                }
+                PropClass::HeapToStack => {
+                    let trigger = src_taint.is_tainted();
+                    MoveOutcome {
+                        // The tainted value must not land on the local
+                        // stack; offloading intervenes first.
+                        dst_taint: TaintSet::EMPTY,
+                        trigger_offload: trigger,
+                        extra_cycles,
+                    }
+                }
+                PropClass::StackToStack | PropClass::StackToHeap => {
+                    MoveOutcome { dst_taint: TaintSet::EMPTY, trigger_offload: false, extra_cycles }
+                }
+            },
+        };
+        if outcome.trigger_offload {
+            self.stats.triggers += 1;
+        }
+        outcome
+    }
+
+    /// Reports a heap→heap operation that *derives a new value* from its
+    /// sources (string concatenation, substring, hashing) rather than
+    /// copying one verbatim.
+    ///
+    /// The distinction matters on the client (§3.5): a heap→heap *copy*
+    /// (clone, arraycopy) of a placeholder can proceed locally — the copy is
+    /// just another placeholder with the same label — but a *derivation*
+    /// would produce a brand-new cor whose placeholder only the trusted node
+    /// can mint, so the asymmetric engine triggers offloading instead
+    /// (Figure 11, line 6). The full engine simply propagates the union of
+    /// source taints.
+    pub fn on_derive(&mut self, srcs: TaintSet) -> MoveOutcome {
+        let idx = MoveStats::class_index(PropClass::HeapToHeap);
+        self.stats.observed[idx] += 1;
+        if srcs.is_tainted() {
+            self.stats.tainted[idx] += 1;
+        }
+        let instrumented = self.instruments(PropClass::HeapToHeap);
+        let extra_cycles = if instrumented { self.costs.cost(PropClass::HeapToHeap) } else { 0 };
+        self.stats.instrumentation_cycles += extra_cycles;
+
+        let outcome = match self.kind {
+            EngineKind::None => {
+                MoveOutcome { dst_taint: TaintSet::EMPTY, trigger_offload: false, extra_cycles }
+            }
+            EngineKind::Full => {
+                MoveOutcome { dst_taint: srcs, trigger_offload: false, extra_cycles }
+            }
+            EngineKind::Asymmetric => MoveOutcome {
+                dst_taint: TaintSet::EMPTY,
+                trigger_offload: srcs.is_tainted(),
+                extra_cycles,
+            },
+        };
+        if outcome.trigger_offload {
+            self.stats.triggers += 1;
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+
+    fn tainted() -> TaintSet {
+        Label::new(3).unwrap().as_set()
+    }
+
+    #[test]
+    fn none_engine_is_free_and_silent() {
+        let mut e = TaintEngine::none();
+        for class in PropClass::ALL {
+            let o = e.on_move(class, tainted());
+            assert_eq!(o.dst_taint, TaintSet::EMPTY);
+            assert!(!o.trigger_offload);
+            assert_eq!(o.extra_cycles, 0);
+        }
+        assert_eq!(e.stats().instrumentation_cycles, 0);
+    }
+
+    #[test]
+    fn full_engine_propagates_all_classes() {
+        let mut e = TaintEngine::full();
+        for class in PropClass::ALL {
+            let o = e.on_move(class, tainted());
+            assert_eq!(o.dst_taint, tainted());
+            assert!(!o.trigger_offload, "trusted node never offloads");
+            assert!(o.extra_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn full_engine_unions_preserved_by_caller() {
+        let mut e = TaintEngine::full();
+        let a = Label::new(0).unwrap().as_set();
+        let b = Label::new(1).unwrap().as_set();
+        let o = e.on_move(PropClass::StackToStack, a.union(b));
+        assert_eq!(o.dst_taint.len(), 2);
+    }
+
+    #[test]
+    fn asymmetric_triggers_only_on_tainted_heap_to_stack() {
+        let mut e = TaintEngine::asymmetric();
+        assert!(!e.on_move(PropClass::HeapToStack, TaintSet::EMPTY).trigger_offload);
+        assert!(e.on_move(PropClass::HeapToStack, tainted()).trigger_offload);
+        assert!(!e.on_move(PropClass::HeapToHeap, tainted()).trigger_offload);
+        assert!(!e.on_move(PropClass::StackToStack, tainted()).trigger_offload);
+        assert!(!e.on_move(PropClass::StackToHeap, tainted()).trigger_offload);
+        assert_eq!(e.stats().triggers, 1);
+    }
+
+    #[test]
+    fn asymmetric_propagates_heap_to_heap_only() {
+        let mut e = TaintEngine::asymmetric();
+        assert_eq!(e.on_move(PropClass::HeapToHeap, tainted()).dst_taint, tainted());
+        assert_eq!(e.on_move(PropClass::StackToStack, tainted()).dst_taint, TaintSet::EMPTY);
+        assert_eq!(e.on_move(PropClass::StackToHeap, tainted()).dst_taint, TaintSet::EMPTY);
+    }
+
+    #[test]
+    fn asymmetric_pays_nothing_on_stack_classes() {
+        let mut e = TaintEngine::asymmetric();
+        assert_eq!(e.on_move(PropClass::StackToStack, TaintSet::EMPTY).extra_cycles, 0);
+        assert_eq!(e.on_move(PropClass::StackToHeap, TaintSet::EMPTY).extra_cycles, 0);
+        assert!(e.on_move(PropClass::HeapToHeap, TaintSet::EMPTY).extra_cycles > 0);
+        assert!(e.on_move(PropClass::HeapToStack, TaintSet::EMPTY).extra_cycles > 0);
+    }
+
+    #[test]
+    fn full_costs_exceed_asymmetric_on_stack_heavy_mix() {
+        // A synthetic mix resembling interpreted code: stack-to-stack
+        // dominates.
+        let mix = [
+            (PropClass::StackToStack, 70u64),
+            (PropClass::HeapToStack, 15),
+            (PropClass::StackToHeap, 10),
+            (PropClass::HeapToHeap, 5),
+        ];
+        let mut full = TaintEngine::full();
+        let mut asym = TaintEngine::asymmetric();
+        for (class, n) in mix {
+            for _ in 0..n {
+                full.on_move(class, TaintSet::EMPTY);
+                asym.on_move(class, TaintSet::EMPTY);
+            }
+        }
+        let f = full.stats().instrumentation_cycles;
+        let a = asym.stats().instrumentation_cycles;
+        assert!(f > a, "full ({f}) must cost more than asymmetric ({a})");
+        // The asymmetric saving is exactly the stack-class instrumentation.
+        let costs = TaintCosts::default();
+        assert_eq!(f - a, 70 * costs.stack_to_stack + 10 * costs.stack_to_heap);
+    }
+
+    #[test]
+    fn derive_triggers_on_asymmetric_but_propagates_on_full() {
+        let mut asym = TaintEngine::asymmetric();
+        let o = asym.on_derive(tainted());
+        assert!(o.trigger_offload, "deriving a new cor must offload on the client");
+        assert_eq!(o.dst_taint, TaintSet::EMPTY);
+        assert!(!asym.on_derive(TaintSet::EMPTY).trigger_offload);
+
+        let mut full = TaintEngine::full();
+        let o = full.on_derive(tainted());
+        assert!(!o.trigger_offload);
+        assert_eq!(o.dst_taint, tainted());
+
+        let mut none = TaintEngine::none();
+        let o = none.on_derive(tainted());
+        assert!(!o.trigger_offload);
+        assert_eq!(o.dst_taint, TaintSet::EMPTY);
+        assert_eq!(o.extra_cycles, 0);
+    }
+
+    #[test]
+    fn stats_count_observed_and_tainted() {
+        let mut e = TaintEngine::full();
+        e.on_move(PropClass::HeapToStack, tainted());
+        e.on_move(PropClass::HeapToStack, TaintSet::EMPTY);
+        assert_eq!(e.stats().observed_for(PropClass::HeapToStack), 2);
+        assert_eq!(e.stats().tainted_for(PropClass::HeapToStack), 1);
+        e.reset_stats();
+        assert_eq!(e.stats().observed_for(PropClass::HeapToStack), 0);
+    }
+}

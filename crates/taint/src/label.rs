@@ -1,0 +1,212 @@
+//! Taint labels and label sets.
+//!
+//! Each cor is assigned a unique [`Label`]. A [`TaintSet`] is the set of
+//! labels attached to a value, represented as a 64-bit bitmask — the same
+//! representation TaintDroid uses for its 32 taint markings, widened to 64.
+//! Up to [`Label::MAX_LABELS`] distinct cors can exist per trusted node,
+//! which comfortably covers the paper's observation that a typical user has
+//! fewer than five passwords.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A taint label identifying one cor. Valid labels are `0..MAX_LABELS`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Label(u8);
+
+impl Label {
+    /// Number of distinct labels representable in a [`TaintSet`].
+    pub const MAX_LABELS: u8 = 64;
+
+    /// Creates a label, or `None` if `id >= MAX_LABELS`.
+    pub fn new(id: u8) -> Option<Label> {
+        (id < Self::MAX_LABELS).then_some(Label(id))
+    }
+
+    /// The label's numeric id.
+    pub fn id(self) -> u8 {
+        self.0
+    }
+
+    /// The singleton taint set containing only this label.
+    pub fn as_set(self) -> TaintSet {
+        TaintSet(1u64 << self.0)
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A set of taint labels, stored as a bitmask.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct TaintSet(u64);
+
+impl TaintSet {
+    /// The empty (untainted) set.
+    pub const EMPTY: TaintSet = TaintSet(0);
+
+    /// Constructs directly from a bitmask. Bits above `MAX_LABELS` are kept
+    /// verbatim (the mask is 64 bits wide, so all bits are valid labels).
+    pub const fn from_bits(bits: u64) -> TaintSet {
+        TaintSet(bits)
+    }
+
+    /// The raw bitmask.
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// True if no label is present.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if at least one label is present.
+    pub const fn is_tainted(self) -> bool {
+        self.0 != 0
+    }
+
+    /// Union of two sets — the fundamental taint-propagation operation.
+    #[must_use]
+    pub const fn union(self, other: TaintSet) -> TaintSet {
+        TaintSet(self.0 | other.0)
+    }
+
+    /// Intersection of two sets.
+    #[must_use]
+    pub const fn intersect(self, other: TaintSet) -> TaintSet {
+        TaintSet(self.0 & other.0)
+    }
+
+    /// This set with all labels of `other` removed.
+    #[must_use]
+    pub const fn minus(self, other: TaintSet) -> TaintSet {
+        TaintSet(self.0 & !other.0)
+    }
+
+    /// True if `label` is in the set.
+    pub fn contains(self, label: Label) -> bool {
+        self.0 & label.as_set().0 != 0
+    }
+
+    /// True if every label of `other` is in this set.
+    pub const fn contains_all(self, other: TaintSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Adds a label in place.
+    pub fn insert(&mut self, label: Label) {
+        self.0 |= label.as_set().0;
+    }
+
+    /// Number of labels in the set.
+    pub const fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Iterates the labels in ascending id order.
+    pub fn iter(self) -> impl Iterator<Item = Label> {
+        let bits = self.0;
+        (0..Label::MAX_LABELS).filter_map(move |i| {
+            if bits & (1u64 << i) != 0 {
+                Label::new(i)
+            } else {
+                None
+            }
+        })
+    }
+}
+
+impl fmt::Debug for TaintSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "{{}}");
+        }
+        write!(f, "{{")?;
+        let mut first = true;
+        for l in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{l:?}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Label> for TaintSet {
+    fn from_iter<I: IntoIterator<Item = Label>>(iter: I) -> TaintSet {
+        let mut s = TaintSet::EMPTY;
+        for l in iter {
+            s.insert(l);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u8) -> Label {
+        Label::new(i).expect("valid label")
+    }
+
+    #[test]
+    fn label_bounds() {
+        assert!(Label::new(0).is_some());
+        assert!(Label::new(63).is_some());
+        assert!(Label::new(64).is_none());
+        assert!(Label::new(255).is_none());
+    }
+
+    #[test]
+    fn set_basic_ops() {
+        let a = l(1).as_set();
+        let b = l(5).as_set();
+        let ab = a.union(b);
+        assert!(ab.contains(l(1)) && ab.contains(l(5)));
+        assert_eq!(ab.len(), 2);
+        assert_eq!(ab.intersect(a), a);
+        assert_eq!(ab.minus(a), b);
+        assert!(ab.contains_all(a));
+        assert!(!a.contains_all(ab));
+    }
+
+    #[test]
+    fn empty_set_properties() {
+        let e = TaintSet::EMPTY;
+        assert!(e.is_empty());
+        assert!(!e.is_tainted());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.union(e), e);
+        assert!(e.contains_all(e));
+    }
+
+    #[test]
+    fn iter_round_trip() {
+        let s: TaintSet = [l(0), l(7), l(63)].into_iter().collect();
+        let back: Vec<Label> = s.iter().collect();
+        assert_eq!(back, vec![l(0), l(7), l(63)]);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut s = TaintSet::EMPTY;
+        s.insert(l(3));
+        s.insert(l(3));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", TaintSet::EMPTY), "{}");
+        let s: TaintSet = [l(1), l(2)].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{L1,L2}");
+    }
+}

@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+//! Taint tracking for the TinMan reproduction.
+//!
+//! TinMan taints each *cor placeholder* with the cor's unique ID and tracks
+//! how the taint flows through the managed runtime. The paper (§3.5,
+//! Table 2) classifies every data movement into four propagation classes —
+//! heap→heap, heap→stack, stack→stack, stack→heap — and makes the central
+//! observation that the *client* only ever needs the first two:
+//!
+//! * the JVM must move data from heap to stack before any computation, so a
+//!   tainted value is always seen by a heap→stack move first;
+//! * on the client that heap→stack move immediately triggers offloading, so
+//!   stack→stack and stack→heap propagation never happen on tainted data
+//!   there.
+//!
+//! This crate provides:
+//! * [`Label`] / [`TaintSet`] — cor identifiers as a 64-bit label bitset;
+//! * [`PropClass`] — the four propagation classes of Table 2;
+//! * [`TaintEngine`] — the per-endpoint engine configuration
+//!   ([`TaintEngine::full`] for the trusted node, [`TaintEngine::asymmetric`]
+//!   for the client, [`TaintEngine::none`] for the stock-Android baseline),
+//!   including the per-move instrumentation cost model that reproduces the
+//!   Caffeinemark overheads of Figure 13.
+
+pub mod engine;
+pub mod label;
+
+pub use engine::{EngineKind, MoveOutcome, TaintCosts, TaintEngine};
+pub use label::{Label, TaintSet};
+
+use serde::{Deserialize, Serialize};
+
+/// The four data-movement classes of the paper's Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PropClass {
+    /// Heap object to heap object (`clone`, `arraycopy`, string concat of
+    /// heap operands, `memcopy`).
+    HeapToHeap,
+    /// Heap read onto the operand stack (`GETFIELD`, `ALOAD`, `charAt`).
+    HeapToStack,
+    /// Stack to stack (`ADD`, `MOVE`, local variable copies) — the most
+    /// common class, and the one whose instrumentation dominates TaintDroid
+    /// overhead.
+    StackToStack,
+    /// Stack write into a heap object (`PUTFIELD`, `ASTORE`).
+    StackToHeap,
+}
+
+impl PropClass {
+    /// All four classes, in Table 2 order.
+    pub const ALL: [PropClass; 4] = [
+        PropClass::HeapToHeap,
+        PropClass::HeapToStack,
+        PropClass::StackToStack,
+        PropClass::StackToHeap,
+    ];
+
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PropClass::HeapToHeap => "heap-to-heap",
+            PropClass::HeapToStack => "heap-to-stack",
+            PropClass::StackToStack => "stack-to-stack",
+            PropClass::StackToHeap => "stack-to-heap",
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! The implicit-IV leakage attack of the paper's Figure 7.
+//!
+//! Setting: TLS 1.0 CBC chains records — record *N+1*'s IV is record *N*'s
+//! last ciphertext block. If TinMan allowed such a session to be offloaded,
+//! the protocol would need the trusted node to send its last ciphertext
+//! block back to the client as the next IV. But the client *owns the
+//! session keys* (it established the session), so from that ciphertext
+//! block it can decrypt the node's record:
+//!
+//! ```text
+//! P12 = decrypt(C12, key) XOR C11
+//! ```
+//!
+//! where `C11` is the last block the client itself sent and `C12` is the
+//! block the node produced (received as "the next IV"). `P12` contains the
+//! cor — the exact data TinMan exists to keep off the device.
+//!
+//! [`recover_block`] implements the recovery; the tests demonstrate it
+//! succeeding against TLS 1.0 chaining and being *structurally impossible*
+//! with explicit IVs (there is no ciphertext to send back — the next IV is
+//! an independent random value).
+
+use crate::cipher::{cbc_encrypt, Xtea, BLOCK};
+
+/// The Figure 7 computation: recovers plaintext block `i` of a CBC stream
+/// given the key, ciphertext block `i` and ciphertext block `i-1` (or the
+/// IV for the first block).
+///
+/// This is not an attack on CBC itself — the "attacker" legitimately holds
+/// the session key. It shows why *state synchronization* of implicit-IV
+/// sessions inherently reveals remote plaintext to the key holder.
+pub fn recover_block(key: &Xtea, c_prev: &[u8; BLOCK], c_i: &[u8; BLOCK]) -> [u8; BLOCK] {
+    let mut block = *c_i;
+    key.decrypt_block(&mut block);
+    for (b, p) in block.iter_mut().zip(c_prev.iter()) {
+        *b ^= p;
+    }
+    block
+}
+
+/// Demonstration harness: simulates the offload-under-TLS-1.0 scenario and
+/// returns the plaintext the client recovers. Used by the security-analysis
+/// bench and the tests.
+///
+/// * `key` — the session key (held by the client, used by the node).
+/// * `client_last_ct_block` — C11: the last ciphertext block the client
+///   sent before offloading.
+/// * `node_record_plaintext` — what the node encrypts (contains the cor).
+///
+/// Returns `(what the client recovers of block 1, the node's ciphertext)`.
+pub fn demo_implicit_iv_leak(
+    key: &Xtea,
+    client_last_ct_block: [u8; BLOCK],
+    node_record_plaintext: &[u8],
+) -> (Vec<u8>, Vec<u8>) {
+    // The node continues the chain: IV = client's last ciphertext block.
+    let node_ct = cbc_encrypt(key, &client_last_ct_block, node_record_plaintext);
+
+    // The client receives ciphertext blocks as "IV synchronization" and,
+    // holding the key, decrypts every block of the node's record.
+    let mut recovered = Vec::new();
+    let mut prev = client_last_ct_block;
+    for chunk in node_ct.chunks(BLOCK) {
+        let mut c = [0u8; BLOCK];
+        c.copy_from_slice(chunk);
+        recovered.extend_from_slice(&recover_block(key, &prev, &c));
+        prev = c;
+    }
+    // Strip CBC padding for readability.
+    if let Some(&pad) = recovered.last() {
+        let pad = pad as usize;
+        if (1..=BLOCK).contains(&pad) && pad <= recovered.len() {
+            recovered.truncate(recovered.len() - pad);
+        }
+    }
+    (recovered, node_ct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_recovers_the_cor_under_implicit_iv() {
+        let key = Xtea::new(b"the-session-key!");
+        let c11 = [0xAAu8; BLOCK]; // last block the client sent
+        let cor = b"passwd=hunter2-the-cor!!";
+        let (recovered, _ct) = demo_implicit_iv_leak(&key, c11, cor);
+        assert_eq!(recovered, cor, "Figure 7: the client fully recovers the node's plaintext");
+    }
+
+    #[test]
+    fn recovery_requires_the_true_previous_block() {
+        let key = Xtea::new(b"the-session-key!");
+        let c11 = [0xAAu8; BLOCK];
+        let cor = b"16-byte-secret!!";
+        let ct = cbc_encrypt(&key, &c11, cor);
+        let mut c1 = [0u8; BLOCK];
+        c1.copy_from_slice(&ct[..BLOCK]);
+        // With the right chaining block the first 8 plaintext bytes appear.
+        assert_eq!(&recover_block(&key, &c11, &c1), b"16-byte-");
+        // With a wrong one they do not.
+        assert_ne!(&recover_block(&key, &[0u8; BLOCK], &c1), b"16-byte-");
+    }
+
+    #[test]
+    fn explicit_iv_gives_the_client_nothing_to_decrypt_with() {
+        // Under TLS 1.1+ the node's record carries its own random IV and
+        // the client never needs any of the node's ciphertext to continue:
+        // its next record uses a fresh local IV. The "leak channel" (IV
+        // synchronization) does not exist. We show the *absence of the
+        // dependency*: two explicit-IV records seal independently of each
+        // other's ciphertext.
+        let key = Xtea::new(b"the-session-key!");
+        let iv_a = [1u8; BLOCK];
+        let iv_b = [2u8; BLOCK];
+        let a = cbc_encrypt(&key, &iv_a, b"node record with cor....");
+        let b = cbc_encrypt(&key, &iv_b, b"client's next record....");
+        // Nothing in b depends on a (unlike chaining, where b's IV = last
+        // block of a).
+        let b2 = cbc_encrypt(&key, &iv_b, b"client's next record....");
+        assert_eq!(b, b2, "client record independent of node ciphertext");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,16 @@
+//! Ciphers: RC4 (stream) and XTEA (64-bit block) with a CBC mode.
+//!
+//! Both algorithms are public-domain textbook constructions, implemented
+//! here so the record layer can exercise TinMan's two session-injection
+//! regimes (stream vs CBC, implicit vs explicit IV). Neither is suitable
+//! for real-world protection — RC4 is broken and XTEA-CBC without
+//! authentication would be malleable — which is fine: the record layer adds
+//! an HMAC and the whole stack is a simulation substrate.
+
+pub mod cbc;
+pub mod rc4;
+pub mod xtea;
+
+pub use cbc::{cbc_decrypt, cbc_encrypt, BLOCK};
+pub use rc4::Rc4;
+pub use xtea::Xtea;

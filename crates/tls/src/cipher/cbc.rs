@@ -1,0 +1,155 @@
+//! CBC mode over XTEA with PKCS#7-style padding.
+//!
+//! The IV handling is deliberately *parameterized by the caller* rather than
+//! randomized internally: the record layer passes either the previous
+//! record's last ciphertext block (implicit IV, TLS 1.0) or a fresh random
+//! IV carried in the record (explicit IV, TLS 1.1+). That choice is exactly
+//! what the paper's Figure 7 attack and TinMan's version floor are about.
+
+use crate::cipher::xtea::Xtea;
+use crate::error::TlsError;
+
+/// CBC block size in bytes (XTEA's 64-bit block).
+pub const BLOCK: usize = 8;
+
+/// Encrypts `plaintext` under `key` in CBC mode starting from `iv`.
+///
+/// The plaintext is padded PKCS#7-style to a whole number of blocks (1..=8
+/// bytes of padding, each byte holding the pad length). Returns the
+/// ciphertext; its last `BLOCK` bytes are the chaining state the *next*
+/// implicit-IV record would use.
+pub fn cbc_encrypt(key: &Xtea, iv: &[u8; BLOCK], plaintext: &[u8]) -> Vec<u8> {
+    let pad = BLOCK - (plaintext.len() % BLOCK);
+    let mut data = Vec::with_capacity(plaintext.len() + pad);
+    data.extend_from_slice(plaintext);
+    data.extend(std::iter::repeat_n(pad as u8, pad));
+
+    let mut prev = *iv;
+    let mut out = Vec::with_capacity(data.len());
+    for chunk in data.chunks(BLOCK) {
+        let mut block = [0u8; BLOCK];
+        block.copy_from_slice(chunk);
+        for (b, p) in block.iter_mut().zip(prev.iter()) {
+            *b ^= p;
+        }
+        key.encrypt_block(&mut block);
+        out.extend_from_slice(&block);
+        prev = block;
+    }
+    out
+}
+
+/// Decrypts CBC `ciphertext` under `key` starting from `iv` and strips the
+/// padding.
+pub fn cbc_decrypt(key: &Xtea, iv: &[u8; BLOCK], ciphertext: &[u8]) -> Result<Vec<u8>, TlsError> {
+    if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(BLOCK) {
+        return Err(TlsError::BadRecord(format!(
+            "CBC ciphertext length {} is not a positive multiple of {BLOCK}",
+            ciphertext.len()
+        )));
+    }
+    let mut prev = *iv;
+    let mut out = Vec::with_capacity(ciphertext.len());
+    for chunk in ciphertext.chunks(BLOCK) {
+        let mut block = [0u8; BLOCK];
+        block.copy_from_slice(chunk);
+        let saved = block;
+        key.decrypt_block(&mut block);
+        for (b, p) in block.iter_mut().zip(prev.iter()) {
+            *b ^= p;
+        }
+        out.extend_from_slice(&block);
+        prev = saved;
+    }
+    let pad = *out.last().expect("non-empty plaintext") as usize;
+    if pad == 0 || pad > BLOCK || pad > out.len() {
+        return Err(TlsError::BadRecord(format!("bad CBC padding value {pad}")));
+    }
+    if !out[out.len() - pad..].iter().all(|&b| b as usize == pad) {
+        return Err(TlsError::BadRecord("inconsistent CBC padding".into()));
+    }
+    out.truncate(out.len() - pad);
+    Ok(out)
+}
+
+/// The last ciphertext block — the implicit IV for the next record in
+/// TLS 1.0's chaining scheme.
+pub fn last_block(ciphertext: &[u8]) -> [u8; BLOCK] {
+    let mut iv = [0u8; BLOCK];
+    iv.copy_from_slice(&ciphertext[ciphertext.len() - BLOCK..]);
+    iv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> Xtea {
+        Xtea::new(b"0123456789abcdef")
+    }
+
+    #[test]
+    fn round_trip_various_lengths() {
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 100] {
+            let pt: Vec<u8> = (0..len as u8).collect();
+            let iv = [7u8; BLOCK];
+            let ct = cbc_encrypt(&key(), &iv, &pt);
+            assert_eq!(ct.len() % BLOCK, 0);
+            assert!(ct.len() > pt.len(), "padding always adds at least a byte");
+            let back = cbc_decrypt(&key(), &iv, &ct).unwrap();
+            assert_eq!(back, pt, "len {len}");
+        }
+    }
+
+    #[test]
+    fn equal_plaintext_lengths_give_equal_ciphertext_lengths() {
+        // TinMan's payload replacement depends on this: the placeholder and
+        // the cor have equal sizes, so the sealed records match in length.
+        let iv = [0u8; BLOCK];
+        let a = cbc_encrypt(&key(), &iv, b"placeholderXYZ");
+        let b = cbc_encrypt(&key(), &iv, b"realsecret-999");
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn wrong_iv_garbles_only_first_block() {
+        let iv = [1u8; BLOCK];
+        let pt = vec![0x42u8; 24];
+        let ct = cbc_encrypt(&key(), &iv, &pt);
+        let wrong_iv = [2u8; BLOCK];
+        let back = cbc_decrypt(&key(), &wrong_iv, &ct).unwrap();
+        assert_ne!(&back[..BLOCK], &pt[..BLOCK]);
+        assert_eq!(&back[BLOCK..], &pt[BLOCK..], "CBC localizes IV damage to block 1");
+    }
+
+    #[test]
+    fn chaining_via_last_block_continues_a_stream() {
+        // Encrypting two messages with chained IVs equals encrypting the
+        // concatenation (modulo padding) — the implicit-IV regime.
+        let iv0 = [9u8; BLOCK];
+        let m1 = vec![1u8; 16];
+        let c1 = cbc_encrypt(&key(), &iv0, &m1);
+        let iv1 = last_block(&c1);
+        let m2 = vec![2u8; 16];
+        let c2 = cbc_encrypt(&key(), &iv1, &m2);
+        // Both decrypt correctly with their respective IVs.
+        assert_eq!(cbc_decrypt(&key(), &iv0, &c1).unwrap(), m1);
+        assert_eq!(cbc_decrypt(&key(), &iv1, &c2).unwrap(), m2);
+    }
+
+    #[test]
+    fn malformed_ciphertext_rejected() {
+        let iv = [0u8; BLOCK];
+        assert!(cbc_decrypt(&key(), &iv, &[]).is_err());
+        assert!(cbc_decrypt(&key(), &iv, &[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn corrupted_padding_rejected() {
+        let iv = [0u8; BLOCK];
+        let mut ct = cbc_encrypt(&key(), &iv, b"hello");
+        let n = ct.len();
+        ct[n - 1] ^= 0xff; // garble the final block -> padding check fails
+        assert!(cbc_decrypt(&key(), &iv, &ct).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! The RC4 stream cipher (textbook KSA + PRGA).
+//!
+//! RC4 is the stream-cipher case of the paper's §3.2 analysis: each record's
+//! keystream position depends only on the byte count already encrypted, so
+//! injecting the trusted node into a session needs nothing but the key and
+//! the stream offset — no ciphertext ever flows back to the client.
+
+/// RC4 keystream generator state.
+#[derive(Clone)]
+pub struct Rc4 {
+    s: [u8; 256],
+    i: u8,
+    j: u8,
+}
+
+impl std::fmt::Debug for Rc4 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print the internal state (it is key material).
+        write!(f, "Rc4 {{ i: {}, j: {} }}", self.i, self.j)
+    }
+}
+
+impl Rc4 {
+    /// Initializes the cipher with `key` (1..=256 bytes).
+    pub fn new(key: &[u8]) -> Self {
+        assert!(!key.is_empty() && key.len() <= 256, "RC4 key must be 1..=256 bytes");
+        let mut s = [0u8; 256];
+        for (i, v) in s.iter_mut().enumerate() {
+            *v = i as u8;
+        }
+        let mut j: u8 = 0;
+        for i in 0..256 {
+            j = j.wrapping_add(s[i]).wrapping_add(key[i % key.len()]);
+            s.swap(i, j as usize);
+        }
+        Rc4 { s, i: 0, j: 0 }
+    }
+
+    /// Next keystream byte.
+    pub fn next_byte(&mut self) -> u8 {
+        self.i = self.i.wrapping_add(1);
+        self.j = self.j.wrapping_add(self.s[self.i as usize]);
+        self.s.swap(self.i as usize, self.j as usize);
+        let idx = self.s[self.i as usize].wrapping_add(self.s[self.j as usize]);
+        self.s[idx as usize]
+    }
+
+    /// Encrypts/decrypts `data` in place (XOR with keystream; the operation
+    /// is its own inverse).
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for b in data {
+            *b ^= self.next_byte();
+        }
+    }
+
+    /// Discards `n` keystream bytes — used to fast-forward an injected
+    /// session to the client's current stream offset.
+    pub fn skip(&mut self, n: u64) {
+        for _ in 0..n {
+            self.next_byte();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answer_vector() {
+        // RFC 6229 test vector: key 0x0102030405, first keystream bytes.
+        let mut c = Rc4::new(&[0x01, 0x02, 0x03, 0x04, 0x05]);
+        let expected = [0xb2u8, 0x39, 0x63, 0x05, 0xf0, 0x3d, 0xc0, 0x27];
+        for &e in &expected {
+            assert_eq!(c.next_byte(), e);
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let msg = b"attack at dawn".to_vec();
+        let mut enc = Rc4::new(b"secret key");
+        let mut data = msg.clone();
+        enc.apply(&mut data);
+        assert_ne!(data, msg);
+        let mut dec = Rc4::new(b"secret key");
+        dec.apply(&mut data);
+        assert_eq!(data, msg);
+    }
+
+    #[test]
+    fn skip_equals_discarding() {
+        let mut a = Rc4::new(b"k");
+        let mut b = Rc4::new(b"k");
+        a.skip(100);
+        for _ in 0..100 {
+            b.next_byte();
+        }
+        assert_eq!(a.next_byte(), b.next_byte());
+    }
+
+    #[test]
+    fn wrong_key_fails_to_decrypt() {
+        let mut enc = Rc4::new(b"right");
+        let mut data = b"plaintext".to_vec();
+        enc.apply(&mut data);
+        let mut dec = Rc4::new(b"wrong");
+        dec.apply(&mut data);
+        assert_ne!(data, b"plaintext");
+    }
+
+    #[test]
+    #[should_panic(expected = "RC4 key")]
+    fn empty_key_rejected() {
+        Rc4::new(&[]);
+    }
+
+    #[test]
+    fn debug_does_not_leak_state() {
+        let c = Rc4::new(b"supersecret");
+        let s = format!("{c:?}");
+        assert!(!s.contains("supersecret"));
+        assert!(s.len() < 64, "state table must not be printed");
+    }
+}

@@ -1,0 +1,46 @@
+//! TLS error type.
+
+use std::fmt;
+
+/// An error raised by the toy TLS stack.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TlsError {
+    /// The negotiated (or offered) version violates the configured floor —
+    /// TinMan's client refuses anything older than TLS 1.1 (§3.2).
+    VersionBelowFloor {
+        /// The offered/negotiated version byte.
+        got: u8,
+        /// The configured minimum.
+        floor: u8,
+    },
+    /// The peer offered no mutually supported cipher suite.
+    NoCommonSuite,
+    /// A record failed MAC verification.
+    BadMac,
+    /// A record was malformed (truncated, bad padding, bad length).
+    BadRecord(String),
+    /// A handshake message was malformed.
+    BadHandshake(String),
+    /// An operation was attempted in the wrong session state.
+    WrongState(String),
+    /// Session-state injection failed (mismatched suite or version).
+    BadSessionState(String),
+}
+
+impl fmt::Display for TlsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TlsError::VersionBelowFloor { got, floor } => {
+                write!(f, "TLS version 0x{got:02x} below configured floor 0x{floor:02x}")
+            }
+            TlsError::NoCommonSuite => write!(f, "no common cipher suite"),
+            TlsError::BadMac => write!(f, "record MAC verification failed"),
+            TlsError::BadRecord(m) => write!(f, "malformed record: {m}"),
+            TlsError::BadHandshake(m) => write!(f, "malformed handshake: {m}"),
+            TlsError::WrongState(m) => write!(f, "wrong session state: {m}"),
+            TlsError::BadSessionState(m) => write!(f, "bad session state: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TlsError {}

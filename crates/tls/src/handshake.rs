@@ -1,0 +1,283 @@
+//! The toy handshake: version negotiation and key establishment.
+//!
+//! Real TLS negotiates the version in ClientHello/ServerHello: the client
+//! advertises its maximum, the server picks the highest both support
+//! (§3.2). TinMan's client-side patch is a *floor*: the modified Android
+//! SSL library refuses to complete a handshake below TLS 1.1, because the
+//! implicit-IV CBC of TLS 1.0 cannot be offloaded without the Figure 7
+//! leak.
+//!
+//! Key establishment is deliberately toy-grade: both sides derive the
+//! master secret from their randoms and a pre-shared secret
+//! (`SHA256(client_random || server_random || psk)`). There is no PKI — see
+//! the crate docs and DESIGN.md.
+
+use serde::{Deserialize, Serialize};
+use sha2::{Digest, Sha256};
+
+use crate::error::TlsError;
+use crate::session::{CipherSuite, TlsRole, TlsSession, TlsVersion};
+
+/// Client/endpoint handshake policy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TlsConfig {
+    /// Highest version this endpoint speaks.
+    pub max_version: TlsVersion,
+    /// Lowest version this endpoint accepts. TinMan sets the client's
+    /// floor to TLS 1.1 ([`TlsConfig::tinman_client`]).
+    pub min_version: TlsVersion,
+    /// Suites in preference order.
+    pub suites: Vec<CipherSuite>,
+    /// The pre-shared secret standing in for certificate-based key
+    /// exchange.
+    pub psk: [u8; 32],
+}
+
+impl TlsConfig {
+    /// A plain endpoint speaking everything from TLS 1.0 to 1.2 (a stock
+    /// Android client or a typical 2015 web server).
+    pub fn permissive(psk: [u8; 32]) -> Self {
+        TlsConfig {
+            max_version: TlsVersion::Tls12,
+            min_version: TlsVersion::Tls10,
+            suites: vec![CipherSuite::XteaCbcHmacSha256, CipherSuite::Rc4HmacSha256],
+            psk,
+        }
+    }
+
+    /// The TinMan client configuration: floor at TLS 1.1 (§3.2's patched
+    /// Android SSL library).
+    pub fn tinman_client(psk: [u8; 32]) -> Self {
+        TlsConfig { min_version: TlsVersion::Tls11, ..Self::permissive(psk) }
+    }
+
+    /// A legacy server stuck at TLS 1.0 — what the TinMan client must
+    /// refuse to talk to.
+    pub fn legacy_tls10(psk: [u8; 32]) -> Self {
+        TlsConfig {
+            max_version: TlsVersion::Tls10,
+            min_version: TlsVersion::Tls10,
+            suites: vec![CipherSuite::XteaCbcHmacSha256],
+            psk,
+        }
+    }
+}
+
+/// The ClientHello message.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientHello {
+    /// Highest version the client supports.
+    pub max_version: u8,
+    /// Offered suites in preference order (wire bytes).
+    pub suites: Vec<u8>,
+    /// Client random.
+    pub random: [u8; 32],
+}
+
+/// The ServerHello message.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerHello {
+    /// Chosen version.
+    pub version: u8,
+    /// Chosen suite (wire byte).
+    pub suite: u8,
+    /// Server random.
+    pub random: [u8; 32],
+}
+
+fn suite_byte(s: CipherSuite) -> u8 {
+    match s {
+        CipherSuite::Rc4HmacSha256 => 1,
+        CipherSuite::XteaCbcHmacSha256 => 2,
+    }
+}
+
+fn suite_from_byte(b: u8) -> Result<CipherSuite, TlsError> {
+    match b {
+        1 => Ok(CipherSuite::Rc4HmacSha256),
+        2 => Ok(CipherSuite::XteaCbcHmacSha256),
+        other => Err(TlsError::BadHandshake(format!("unknown suite {other}"))),
+    }
+}
+
+fn master_secret(psk: &[u8; 32], cr: &[u8; 32], sr: &[u8; 32]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(cr);
+    h.update(sr);
+    h.update(psk);
+    h.finalize().into()
+}
+
+/// Handshake driver — free functions matching the two round-trip halves.
+pub struct Handshake;
+
+impl Handshake {
+    /// Builds the ClientHello for `config` with the given random.
+    pub fn client_hello(config: &TlsConfig, random: [u8; 32]) -> ClientHello {
+        ClientHello {
+            max_version: config.max_version.to_byte(),
+            suites: config.suites.iter().map(|&s| suite_byte(s)).collect(),
+            random,
+        }
+    }
+
+    /// Server side: picks the version and suite, returns the ServerHello
+    /// and the server's ready session.
+    pub fn accept(
+        config: &TlsConfig,
+        hello: &ClientHello,
+        server_random: [u8; 32],
+        nonce_seed: u64,
+    ) -> Result<(ServerHello, TlsSession), TlsError> {
+        let client_max = TlsVersion::from_byte(hello.max_version)?;
+        // Pick the most recent version both support.
+        let version = if client_max < config.max_version { client_max } else { config.max_version };
+        if version < config.min_version {
+            return Err(TlsError::VersionBelowFloor {
+                got: version.to_byte(),
+                floor: config.min_version.to_byte(),
+            });
+        }
+        let suite = config
+            .suites
+            .iter()
+            .copied()
+            .find(|s| hello.suites.contains(&suite_byte(*s)))
+            .ok_or(TlsError::NoCommonSuite)?;
+        let master = master_secret(&config.psk, &hello.random, &server_random);
+        let session =
+            TlsSession::from_master(master, version, suite, TlsRole::Server, nonce_seed);
+        Ok((
+            ServerHello {
+                version: version.to_byte(),
+                suite: suite_byte(suite),
+                random: server_random,
+            },
+            session,
+        ))
+    }
+
+    /// Client side: validates the ServerHello against the config (including
+    /// TinMan's version floor) and derives the client session.
+    pub fn finish(
+        config: &TlsConfig,
+        hello: &ClientHello,
+        server_hello: &ServerHello,
+        nonce_seed: u64,
+    ) -> Result<TlsSession, TlsError> {
+        let version = TlsVersion::from_byte(server_hello.version)?;
+        if version < config.min_version {
+            // The TinMan check: a server (or a downgrade attacker) offering
+            // TLS 1.0 is refused before any data flows.
+            return Err(TlsError::VersionBelowFloor {
+                got: server_hello.version,
+                floor: config.min_version.to_byte(),
+            });
+        }
+        if version > config.max_version {
+            return Err(TlsError::BadHandshake("server chose a version above our max".into()));
+        }
+        let suite = suite_from_byte(server_hello.suite)?;
+        if !config.suites.contains(&suite) {
+            return Err(TlsError::NoCommonSuite);
+        }
+        let master = master_secret(&config.psk, &hello.random, &server_hello.random);
+        Ok(TlsSession::from_master(master, version, suite, TlsRole::Client, nonce_seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::ContentType;
+
+    const PSK: [u8; 32] = [9u8; 32];
+
+    fn run_handshake(
+        client_cfg: &TlsConfig,
+        server_cfg: &TlsConfig,
+    ) -> Result<(TlsSession, TlsSession), TlsError> {
+        let hello = Handshake::client_hello(client_cfg, [1u8; 32]);
+        let (sh, server) = Handshake::accept(server_cfg, &hello, [2u8; 32], 11)?;
+        let client = Handshake::finish(client_cfg, &hello, &sh, 22)?;
+        Ok((client, server))
+    }
+
+    #[test]
+    fn modern_endpoints_negotiate_tls12() {
+        let cfg = TlsConfig::permissive(PSK);
+        let (client, server) = run_handshake(&cfg, &cfg).unwrap();
+        assert_eq!(client.version(), TlsVersion::Tls12);
+        assert_eq!(server.version(), TlsVersion::Tls12);
+    }
+
+    #[test]
+    fn sessions_from_handshake_interoperate() {
+        let cfg = TlsConfig::permissive(PSK);
+        let (mut client, mut server) = run_handshake(&cfg, &cfg).unwrap();
+        let wire = client.seal(ContentType::ApplicationData, b"GET / HTTP/1.1");
+        assert_eq!(server.open(&wire).unwrap()[0].1, b"GET / HTTP/1.1");
+        let wire = server.seal(ContentType::ApplicationData, b"200 OK");
+        assert_eq!(client.open(&wire).unwrap()[0].1, b"200 OK");
+    }
+
+    #[test]
+    fn tinman_client_refuses_legacy_tls10_server() {
+        let client_cfg = TlsConfig::tinman_client(PSK);
+        let server_cfg = TlsConfig::legacy_tls10(PSK);
+        let err = run_handshake(&client_cfg, &server_cfg).unwrap_err();
+        assert!(matches!(err, TlsError::VersionBelowFloor { .. }));
+    }
+
+    #[test]
+    fn permissive_client_accepts_legacy_tls10_server() {
+        // Without TinMan's floor the same handshake succeeds — the attack
+        // surface the floor removes.
+        let client_cfg = TlsConfig::permissive(PSK);
+        let server_cfg = TlsConfig::legacy_tls10(PSK);
+        let (client, _) = run_handshake(&client_cfg, &server_cfg).unwrap();
+        assert_eq!(client.version(), TlsVersion::Tls10);
+        assert!(!client.version().explicit_iv());
+    }
+
+    #[test]
+    fn downgrade_in_server_hello_is_caught() {
+        // A MITM rewriting the ServerHello version to TLS 1.0 is refused by
+        // the TinMan client even when the real server is modern.
+        let client_cfg = TlsConfig::tinman_client(PSK);
+        let hello = Handshake::client_hello(&client_cfg, [1u8; 32]);
+        let (mut sh, _server) =
+            Handshake::accept(&TlsConfig::permissive(PSK), &hello, [2u8; 32], 1).unwrap();
+        sh.version = TlsVersion::Tls10.to_byte();
+        let err = Handshake::finish(&client_cfg, &hello, &sh, 2).unwrap_err();
+        assert!(matches!(err, TlsError::VersionBelowFloor { .. }));
+    }
+
+    #[test]
+    fn suite_preference_is_respected() {
+        let mut client_cfg = TlsConfig::permissive(PSK);
+        client_cfg.suites = vec![CipherSuite::Rc4HmacSha256];
+        let server_cfg = TlsConfig::permissive(PSK);
+        let (client, server) = run_handshake(&client_cfg, &server_cfg).unwrap();
+        assert_eq!(client.suite(), CipherSuite::Rc4HmacSha256);
+        assert_eq!(server.suite(), CipherSuite::Rc4HmacSha256);
+    }
+
+    #[test]
+    fn disjoint_suites_fail() {
+        let mut client_cfg = TlsConfig::permissive(PSK);
+        client_cfg.suites = vec![CipherSuite::Rc4HmacSha256];
+        let mut server_cfg = TlsConfig::permissive(PSK);
+        server_cfg.suites = vec![CipherSuite::XteaCbcHmacSha256];
+        assert!(matches!(run_handshake(&client_cfg, &server_cfg), Err(TlsError::NoCommonSuite)));
+    }
+
+    #[test]
+    fn mismatched_psk_yields_non_interoperating_sessions() {
+        let client_cfg = TlsConfig::permissive(PSK);
+        let server_cfg = TlsConfig::permissive([7u8; 32]);
+        let (mut client, mut server) = run_handshake(&client_cfg, &server_cfg).unwrap();
+        let wire = client.seal(ContentType::ApplicationData, b"hello");
+        assert!(server.open(&wire).is_err(), "different secrets must not interoperate");
+    }
+}

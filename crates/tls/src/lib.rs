@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! A toy TLS stack for the TinMan reproduction.
+//!
+//! TinMan's SSL session injection (§3.2) works at the record layer: the
+//! trusted node must be able to seal one or more records *inside a session
+//! it did not establish*, using state exported by the client. Whether that
+//! export leaks anything depends on the cipher construction:
+//!
+//! * stream ciphers (RC4): only keys and sequence state are needed;
+//! * CBC with **implicit IV** (TLS 1.0): the next record's IV is the last
+//!   ciphertext block of the previous record, so continuing the session
+//!   requires exchanging ciphertext blocks — and the paper's Figure 7 shows
+//!   the client can then decrypt the node's record and recover the cor;
+//! * CBC with **explicit IV** (TLS 1.1+): every record carries a fresh IV,
+//!   records are independent, nothing flows back.
+//!
+//! TinMan therefore patches the client's TLS library to refuse anything
+//! older than TLS 1.1. This crate implements all three configurations so the
+//! attack is demonstrable ([`attack`]) and the defense testable
+//! ([`handshake`] version floor).
+//!
+//! **This is not a secure TLS.** The handshake derives keys from a
+//! pre-shared secret (no PKI), the ciphers are RC4 and XTEA-CBC, and the
+//! whole stack exists to exercise TinMan's mechanisms, not to protect data.
+//! See DESIGN.md's substitution table.
+
+pub mod attack;
+pub mod cipher;
+pub mod error;
+pub mod handshake;
+pub mod mac;
+pub mod record;
+pub mod session;
+
+pub use error::TlsError;
+pub use handshake::{ClientHello, Handshake, ServerHello, TlsConfig};
+pub use record::{ContentType, Record, TINMAN_MARK};
+pub use session::{CipherSuite, SessionState, TlsRole, TlsSession, TlsVersion};

@@ -1,0 +1,178 @@
+//! TLS record framing.
+//!
+//! Wire layout (toy, fixed 4-byte header):
+//!
+//! ```text
+//! [type: 1][version: 1][length: 2 BE][body: length bytes]
+//! ```
+//!
+//! `type` is the field TinMan's modified SSL library exploits: real TLS uses
+//! only four content types out of an 8-bit space, so the client marks
+//! cor-bearing records with the reserved value [`TINMAN_MARK`], and the
+//! `iptables` analogue ([`tinman_net`-side mark filter]) matches the first
+//! payload byte of the outgoing packet (§3.6).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TlsError;
+
+/// Standard TLS content types (the four real ones) plus TinMan's mark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ContentType {
+    /// Cipher-spec change (unused by the toy handshake but defined).
+    ChangeCipherSpec,
+    /// Alerts.
+    Alert,
+    /// Handshake messages.
+    Handshake,
+    /// Application data.
+    ApplicationData,
+    /// TinMan's reserved marker: "this record's plaintext contains a cor
+    /// placeholder; capture and redirect me" (§3.6).
+    TinManMarked,
+}
+
+/// The wire byte for TinMan-marked records.
+pub const TINMAN_MARK: u8 = 0x7f;
+
+impl ContentType {
+    /// The wire byte.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            ContentType::ChangeCipherSpec => 20,
+            ContentType::Alert => 21,
+            ContentType::Handshake => 22,
+            ContentType::ApplicationData => 23,
+            ContentType::TinManMarked => TINMAN_MARK,
+        }
+    }
+
+    /// Parses a wire byte.
+    pub fn from_byte(b: u8) -> Result<ContentType, TlsError> {
+        match b {
+            20 => Ok(ContentType::ChangeCipherSpec),
+            21 => Ok(ContentType::Alert),
+            22 => Ok(ContentType::Handshake),
+            23 => Ok(ContentType::ApplicationData),
+            TINMAN_MARK => Ok(ContentType::TinManMarked),
+            other => Err(TlsError::BadRecord(format!("unknown content type {other}"))),
+        }
+    }
+}
+
+/// A framed record (body may be ciphertext or handshake plaintext).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Record {
+    /// Content type byte meaning.
+    pub content_type: ContentType,
+    /// Version byte (see [`crate::session::TlsVersion`]).
+    pub version: u8,
+    /// The record body.
+    pub body: Vec<u8>,
+}
+
+impl Record {
+    /// Serializes header + body.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.body.len());
+        out.push(self.content_type.to_byte());
+        out.push(self.version);
+        out.extend_from_slice(&(self.body.len() as u16).to_be_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses one record from the front of `buf`; returns the record and
+    /// the bytes consumed, or `Ok(None)` if the buffer holds an incomplete
+    /// record.
+    pub fn parse(buf: &[u8]) -> Result<Option<(Record, usize)>, TlsError> {
+        if buf.len() < 4 {
+            return Ok(None);
+        }
+        let content_type = ContentType::from_byte(buf[0])?;
+        let version = buf[1];
+        let len = u16::from_be_bytes([buf[2], buf[3]]) as usize;
+        if buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let body = buf[4..4 + len].to_vec();
+        Ok(Some((Record { content_type, version, body }, 4 + len)))
+    }
+
+    /// Parses every complete record in `buf`; returns the records and the
+    /// total bytes consumed.
+    pub fn parse_all(buf: &[u8]) -> Result<(Vec<Record>, usize), TlsError> {
+        let mut records = Vec::new();
+        let mut used = 0;
+        while let Some((rec, n)) = Record::parse(&buf[used..])? {
+            records.push(rec);
+            used += n;
+        }
+        Ok((records, used))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let r = Record {
+            content_type: ContentType::ApplicationData,
+            version: 0x03,
+            body: b"ciphertext".to_vec(),
+        };
+        let wire = r.to_bytes();
+        assert_eq!(wire[0], 23);
+        let (back, used) = Record::parse(&wire).unwrap().unwrap();
+        assert_eq!(back, r);
+        assert_eq!(used, wire.len());
+    }
+
+    #[test]
+    fn partial_buffers_return_none() {
+        let r = Record {
+            content_type: ContentType::Handshake,
+            version: 1,
+            body: vec![0; 100],
+        };
+        let wire = r.to_bytes();
+        assert!(Record::parse(&wire[..3]).unwrap().is_none());
+        assert!(Record::parse(&wire[..50]).unwrap().is_none());
+        assert!(Record::parse(&wire).unwrap().is_some());
+    }
+
+    #[test]
+    fn parse_all_consumes_multiple_and_leaves_tail() {
+        let a = Record { content_type: ContentType::Handshake, version: 1, body: vec![1] };
+        let b = Record {
+            content_type: ContentType::ApplicationData,
+            version: 1,
+            body: vec![2, 3],
+        };
+        let mut wire = a.to_bytes();
+        wire.extend(b.to_bytes());
+        wire.extend([23, 1]); // truncated third record
+        let (records, used) = Record::parse_all(&wire).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(used, wire.len() - 2);
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let wire = [99u8, 1, 0, 0];
+        assert!(Record::parse(&wire).is_err());
+    }
+
+    #[test]
+    fn mark_byte_is_first_on_the_wire() {
+        // The egress filter matches payload[0]; the mark must land there.
+        let r = Record {
+            content_type: ContentType::TinManMarked,
+            version: 2,
+            body: b"placeholder-record".to_vec(),
+        };
+        assert_eq!(r.to_bytes()[0], TINMAN_MARK);
+    }
+}

@@ -1,0 +1,506 @@
+//! TLS sessions: key derivation, record sealing/opening, and the
+//! session-state export/injection that powers TinMan's SSL offloading.
+
+use serde::{Deserialize, Serialize};
+use sha2::{Digest, Sha256};
+use tinman_sim::SplitMix64;
+
+use crate::cipher::{cbc_decrypt, cbc_encrypt, Rc4, Xtea, BLOCK};
+use crate::error::TlsError;
+use crate::mac::{mac_eq, record_mac, MAC_LEN};
+use crate::record::{ContentType, Record};
+
+/// Protocol versions the toy stack speaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TlsVersion {
+    /// TLS 1.0 — CBC uses the *implicit IV* chaining that Figure 7 attacks.
+    Tls10,
+    /// TLS 1.1 — explicit per-record IV.
+    Tls11,
+    /// TLS 1.2 — explicit per-record IV (what the paper's test sites speak).
+    Tls12,
+}
+
+impl TlsVersion {
+    /// Wire byte.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            TlsVersion::Tls10 => 0x31,
+            TlsVersion::Tls11 => 0x32,
+            TlsVersion::Tls12 => 0x33,
+        }
+    }
+
+    /// Parses a wire byte.
+    pub fn from_byte(b: u8) -> Result<TlsVersion, TlsError> {
+        match b {
+            0x31 => Ok(TlsVersion::Tls10),
+            0x32 => Ok(TlsVersion::Tls11),
+            0x33 => Ok(TlsVersion::Tls12),
+            other => Err(TlsError::BadHandshake(format!("unknown version byte {other:#x}"))),
+        }
+    }
+
+    /// True if CBC records carry an explicit per-record IV at this version.
+    pub fn explicit_iv(self) -> bool {
+        !matches!(self, TlsVersion::Tls10)
+    }
+}
+
+/// Cipher suites.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CipherSuite {
+    /// RC4 stream cipher + HMAC-SHA256/16.
+    Rc4HmacSha256,
+    /// XTEA-CBC + HMAC-SHA256/16 (IV regime per [`TlsVersion`]).
+    XteaCbcHmacSha256,
+}
+
+/// Which side of the connection a session is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TlsRole {
+    /// The connecting client (the mobile device).
+    Client,
+    /// The accepting server (the web site).
+    Server,
+}
+
+/// The complete transferable state of one directionally-keyed session —
+/// what the client exports to the trusted node during SSL session injection
+/// (§3.2 / Figure 8 step 1).
+///
+/// With an explicit-IV version this is all the node ever needs, and nothing
+/// flows back except the new sequence number. With TLS 1.0 the chaining IVs
+/// would also have to be exchanged — the leak TinMan's version floor
+/// forbids.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct SessionState {
+    /// Negotiated version.
+    pub version: TlsVersion,
+    /// Negotiated suite.
+    pub suite: CipherSuite,
+    /// This endpoint's role.
+    pub role: TlsRole,
+    /// Key for records this endpoint sends.
+    pub send_key: [u8; 16],
+    /// Key for records this endpoint receives.
+    pub recv_key: [u8; 16],
+    /// MAC key for sent records.
+    pub send_mac_key: [u8; 16],
+    /// MAC key for received records.
+    pub recv_mac_key: [u8; 16],
+    /// Sequence number of the next sent record.
+    pub send_seq: u64,
+    /// Sequence number of the next expected record.
+    pub recv_seq: u64,
+    /// RC4 keystream offset already consumed on the send side.
+    pub send_stream_offset: u64,
+    /// RC4 keystream offset already consumed on the receive side.
+    pub recv_stream_offset: u64,
+    /// CBC chaining IV for the send direction (implicit-IV mode only).
+    pub send_chain_iv: [u8; BLOCK],
+    /// CBC chaining IV for the receive direction (implicit-IV mode only).
+    pub recv_chain_iv: [u8; BLOCK],
+}
+
+impl std::fmt::Debug for SessionState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Key material is never printed.
+        write!(
+            f,
+            "SessionState {{ version: {:?}, suite: {:?}, role: {:?}, send_seq: {}, recv_seq: {} }}",
+            self.version, self.suite, self.role, self.send_seq, self.recv_seq
+        )
+    }
+}
+
+/// A live record-layer session.
+#[derive(Clone, Debug)]
+pub struct TlsSession {
+    state: SessionState,
+    /// Deterministic nonce source for explicit IVs.
+    rng: SplitMix64,
+    /// Unparsed wire bytes awaiting a complete record.
+    rx_buf: Vec<u8>,
+}
+
+fn derive_key(master: &[u8; 32], label: &str) -> [u8; 16] {
+    let mut h = Sha256::new();
+    h.update(master);
+    h.update(label.as_bytes());
+    let d = h.finalize();
+    let mut out = [0u8; 16];
+    out.copy_from_slice(&d[..16]);
+    out
+}
+
+impl TlsSession {
+    /// Builds the two directional key sets from a master secret and wires a
+    /// session for `role`. Client-send uses the "c" keys, server-send the
+    /// "s" keys.
+    pub fn from_master(
+        master: [u8; 32],
+        version: TlsVersion,
+        suite: CipherSuite,
+        role: TlsRole,
+        nonce_seed: u64,
+    ) -> TlsSession {
+        let c_key = derive_key(&master, "client-write");
+        let s_key = derive_key(&master, "server-write");
+        let c_mac = derive_key(&master, "client-mac");
+        let s_mac = derive_key(&master, "server-mac");
+        let c_iv = derive_key(&master, "client-iv");
+        let s_iv = derive_key(&master, "server-iv");
+        let mut civ = [0u8; BLOCK];
+        civ.copy_from_slice(&c_iv[..BLOCK]);
+        let mut siv = [0u8; BLOCK];
+        siv.copy_from_slice(&s_iv[..BLOCK]);
+        let (send_key, recv_key, send_mac_key, recv_mac_key, send_chain_iv, recv_chain_iv) =
+            match role {
+                TlsRole::Client => (c_key, s_key, c_mac, s_mac, civ, siv),
+                TlsRole::Server => (s_key, c_key, s_mac, c_mac, siv, civ),
+            };
+        TlsSession {
+            state: SessionState {
+                version,
+                suite,
+                role,
+                send_key,
+                recv_key,
+                send_mac_key,
+                recv_mac_key,
+                send_seq: 0,
+                recv_seq: 0,
+                send_stream_offset: 0,
+                recv_stream_offset: 0,
+                send_chain_iv,
+                recv_chain_iv,
+            },
+            rng: SplitMix64::new(nonce_seed),
+            rx_buf: Vec::new(),
+        }
+    }
+
+    /// Restores a session from exported state — the trusted node's half of
+    /// SSL session injection.
+    pub fn from_state(state: SessionState, nonce_seed: u64) -> TlsSession {
+        TlsSession { state, rng: SplitMix64::new(nonce_seed), rx_buf: Vec::new() }
+    }
+
+    /// Exports the transferable state (see [`SessionState`]).
+    pub fn export_state(&self) -> SessionState {
+        self.state.clone()
+    }
+
+    /// Re-imports updated public progress after the trusted node sent
+    /// records on this session's behalf: the sequence number and stream
+    /// offset advance. With an explicit-IV version nothing else is needed.
+    ///
+    /// With TLS 1.0 the chaining IV would also have to be imported — that
+    /// import is exactly the Figure 7 leak, so it is refused here.
+    pub fn import_progress(&mut self, send_seq: u64, send_stream_offset: u64) -> Result<(), TlsError> {
+        if self.state.suite == CipherSuite::XteaCbcHmacSha256 && !self.state.version.explicit_iv()
+        {
+            return Err(TlsError::BadSessionState(
+                "implicit-IV CBC cannot resume after remote sends without importing \
+                 ciphertext (the Figure 7 leak); refuse and re-handshake instead"
+                    .into(),
+            ));
+        }
+        if send_seq < self.state.send_seq || send_stream_offset < self.state.send_stream_offset {
+            return Err(TlsError::BadSessionState("progress must be monotone".into()));
+        }
+        self.state.send_seq = send_seq;
+        self.state.send_stream_offset = send_stream_offset;
+        Ok(())
+    }
+
+    /// Negotiated version.
+    pub fn version(&self) -> TlsVersion {
+        self.state.version
+    }
+
+    /// Negotiated suite.
+    pub fn suite(&self) -> CipherSuite {
+        self.state.suite
+    }
+
+    /// Next send sequence number.
+    pub fn send_seq(&self) -> u64 {
+        self.state.send_seq
+    }
+
+    /// RC4 keystream offset consumed by sent records.
+    pub fn send_stream_offset(&self) -> u64 {
+        self.state.send_stream_offset
+    }
+
+    /// Seals `plaintext` into one record of `content_type`, returning the
+    /// wire bytes.
+    pub fn seal(&mut self, content_type: ContentType, plaintext: &[u8]) -> Vec<u8> {
+        let version = self.state.version;
+        let mac = record_mac(
+            &self.state.send_mac_key,
+            self.state.send_seq,
+            content_type.to_byte(),
+            version.to_byte(),
+            plaintext,
+        );
+        let mut authed = Vec::with_capacity(plaintext.len() + MAC_LEN);
+        authed.extend_from_slice(plaintext);
+        authed.extend_from_slice(&mac);
+
+        let body = match self.state.suite {
+            CipherSuite::Rc4HmacSha256 => {
+                let mut rc4 = Rc4::new(&self.state.send_key);
+                rc4.skip(self.state.send_stream_offset);
+                let mut data = authed;
+                rc4.apply(&mut data);
+                self.state.send_stream_offset += data.len() as u64;
+                data
+            }
+            CipherSuite::XteaCbcHmacSha256 => {
+                let key = Xtea::new(&self.state.send_key);
+                if version.explicit_iv() {
+                    let mut iv = [0u8; BLOCK];
+                    self.rng.fill_bytes(&mut iv);
+                    let ct = cbc_encrypt(&key, &iv, &authed);
+                    let mut body = iv.to_vec();
+                    body.extend_from_slice(&ct);
+                    body
+                } else {
+                    let ct = cbc_encrypt(&key, &self.state.send_chain_iv, &authed);
+                    // Implicit IV: chain to the last ciphertext block.
+                    self.state
+                        .send_chain_iv
+                        .copy_from_slice(&ct[ct.len() - BLOCK..]);
+                    ct
+                }
+            }
+        };
+        self.state.send_seq += 1;
+        Record { content_type, version: version.to_byte(), body }.to_bytes()
+    }
+
+    /// Feeds received wire bytes into the session and opens every complete
+    /// record, returning `(content_type, plaintext)` pairs.
+    pub fn open(&mut self, wire: &[u8]) -> Result<Vec<(ContentType, Vec<u8>)>, TlsError> {
+        self.rx_buf.extend_from_slice(wire);
+        let (records, used) = Record::parse_all(&self.rx_buf)?;
+        self.rx_buf.drain(..used);
+        let mut out = Vec::with_capacity(records.len());
+        for rec in records {
+            out.push(self.open_record(rec)?);
+        }
+        Ok(out)
+    }
+
+    fn open_record(&mut self, rec: Record) -> Result<(ContentType, Vec<u8>), TlsError> {
+        let authed = match self.state.suite {
+            CipherSuite::Rc4HmacSha256 => {
+                let mut rc4 = Rc4::new(&self.state.recv_key);
+                rc4.skip(self.state.recv_stream_offset);
+                let mut data = rec.body.clone();
+                rc4.apply(&mut data);
+                self.state.recv_stream_offset += data.len() as u64;
+                data
+            }
+            CipherSuite::XteaCbcHmacSha256 => {
+                let key = Xtea::new(&self.state.recv_key);
+                if self.state.version.explicit_iv() {
+                    if rec.body.len() < BLOCK {
+                        return Err(TlsError::BadRecord("missing explicit IV".into()));
+                    }
+                    let mut iv = [0u8; BLOCK];
+                    iv.copy_from_slice(&rec.body[..BLOCK]);
+                    cbc_decrypt(&key, &iv, &rec.body[BLOCK..])?
+                } else {
+                    let iv = self.state.recv_chain_iv;
+                    if rec.body.len() < BLOCK {
+                        return Err(TlsError::BadRecord("short CBC record".into()));
+                    }
+                    self.state
+                        .recv_chain_iv
+                        .copy_from_slice(&rec.body[rec.body.len() - BLOCK..]);
+                    cbc_decrypt(&key, &iv, &rec.body)?
+                }
+            }
+        };
+        if authed.len() < MAC_LEN {
+            return Err(TlsError::BadRecord("record shorter than its MAC".into()));
+        }
+        let (plaintext, mac) = authed.split_at(authed.len() - MAC_LEN);
+        let expect = record_mac(
+            &self.state.recv_mac_key,
+            self.state.recv_seq,
+            rec.content_type.to_byte(),
+            rec.version,
+            plaintext,
+        );
+        if !mac_eq(mac, &expect) {
+            return Err(TlsError::BadMac);
+        }
+        self.state.recv_seq += 1;
+        Ok((rec.content_type, plaintext.to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(version: TlsVersion, suite: CipherSuite) -> (TlsSession, TlsSession) {
+        let master = [42u8; 32];
+        let client = TlsSession::from_master(master, version, suite, TlsRole::Client, 1);
+        let server = TlsSession::from_master(master, version, suite, TlsRole::Server, 2);
+        (client, server)
+    }
+
+    fn all_configs() -> Vec<(TlsVersion, CipherSuite)> {
+        vec![
+            (TlsVersion::Tls10, CipherSuite::Rc4HmacSha256),
+            (TlsVersion::Tls10, CipherSuite::XteaCbcHmacSha256),
+            (TlsVersion::Tls11, CipherSuite::XteaCbcHmacSha256),
+            (TlsVersion::Tls12, CipherSuite::Rc4HmacSha256),
+            (TlsVersion::Tls12, CipherSuite::XteaCbcHmacSha256),
+        ]
+    }
+
+    #[test]
+    fn seal_open_round_trip_all_configs() {
+        for (v, s) in all_configs() {
+            let (mut c, mut srv) = pair(v, s);
+            for msg in [&b"first message"[..], b"", b"third, longer message body 012345"] {
+                let wire = c.seal(ContentType::ApplicationData, msg);
+                let opened = srv.open(&wire).unwrap();
+                assert_eq!(opened.len(), 1, "{v:?}/{s:?}");
+                assert_eq!(opened[0].1, msg, "{v:?}/{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bidirectional_traffic_is_independent() {
+        let (mut c, mut s) = pair(TlsVersion::Tls12, CipherSuite::XteaCbcHmacSha256);
+        let w1 = c.seal(ContentType::ApplicationData, b"request");
+        let w2 = s.seal(ContentType::ApplicationData, b"response");
+        assert_eq!(s.open(&w1).unwrap()[0].1, b"request");
+        assert_eq!(c.open(&w2).unwrap()[0].1, b"response");
+    }
+
+    #[test]
+    fn ciphertext_hides_plaintext() {
+        for (v, s) in all_configs() {
+            let (mut c, _) = pair(v, s);
+            let wire = c.seal(ContentType::ApplicationData, b"hunter2-password");
+            let hay = String::from_utf8_lossy(&wire).into_owned();
+            assert!(!hay.contains("hunter2"), "{v:?}/{s:?} leaked plaintext");
+        }
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let (mut c, mut s) = pair(TlsVersion::Tls12, CipherSuite::XteaCbcHmacSha256);
+        let mut wire = c.seal(ContentType::ApplicationData, b"authentic");
+        let n = wire.len();
+        wire[n - 1] ^= 1;
+        assert!(s.open(&wire).is_err());
+    }
+
+    #[test]
+    fn reordered_records_fail_the_mac() {
+        // Sequence numbers are in the MAC: swapping records must fail.
+        let (mut c, mut s) = pair(TlsVersion::Tls12, CipherSuite::Rc4HmacSha256);
+        let w1 = c.seal(ContentType::ApplicationData, b"one");
+        let w2 = c.seal(ContentType::ApplicationData, b"two");
+        // Deliver w2 first. (For RC4 the stream offset also desyncs, which
+        // is the same failure class.)
+        assert!(s.open(&w2).is_err());
+        let _ = w1;
+    }
+
+    #[test]
+    fn partial_wire_delivery_buffers() {
+        let (mut c, mut s) = pair(TlsVersion::Tls12, CipherSuite::XteaCbcHmacSha256);
+        let wire = c.seal(ContentType::ApplicationData, b"split across segments");
+        let (a, b) = wire.split_at(7);
+        assert!(s.open(a).unwrap().is_empty());
+        let opened = s.open(b).unwrap();
+        assert_eq!(opened[0].1, b"split across segments");
+    }
+
+    #[test]
+    fn session_injection_explicit_iv() {
+        // The TinMan flow: client exports state, the node seals the
+        // cor-bearing record, the client imports progress and continues.
+        let (mut client, mut server) = pair(TlsVersion::Tls12, CipherSuite::XteaCbcHmacSha256);
+        let w0 = client.seal(ContentType::ApplicationData, b"pre-cor traffic");
+        server.open(&w0).unwrap();
+
+        // Node takes over.
+        let mut node = TlsSession::from_state(client.export_state(), 99);
+        let w1 = node.seal(ContentType::ApplicationData, b"THE-REAL-COR-VALUE");
+        assert_eq!(server.open(&w1).unwrap()[0].1, b"THE-REAL-COR-VALUE");
+
+        // Client resumes with nothing but the public progress counters.
+        client.import_progress(node.send_seq(), node.send_stream_offset()).unwrap();
+        let w2 = client.seal(ContentType::ApplicationData, b"post-cor traffic");
+        assert_eq!(server.open(&w2).unwrap()[0].1, b"post-cor traffic");
+    }
+
+    #[test]
+    fn session_injection_rc4() {
+        let (mut client, mut server) = pair(TlsVersion::Tls12, CipherSuite::Rc4HmacSha256);
+        let w0 = client.seal(ContentType::ApplicationData, b"hello");
+        server.open(&w0).unwrap();
+        let mut node = TlsSession::from_state(client.export_state(), 7);
+        let w1 = node.seal(ContentType::ApplicationData, b"cor-by-node");
+        assert_eq!(server.open(&w1).unwrap()[0].1, b"cor-by-node");
+        client.import_progress(node.send_seq(), node.send_stream_offset()).unwrap();
+        let w2 = client.seal(ContentType::ApplicationData, b"and back");
+        assert_eq!(server.open(&w2).unwrap()[0].1, b"and back");
+    }
+
+    #[test]
+    fn implicit_iv_resume_is_refused() {
+        // TLS 1.0 CBC: after the node sends, the client would need the
+        // node's last ciphertext block — the Figure 7 leak. The session
+        // refuses to resume.
+        let (mut client, mut server) = pair(TlsVersion::Tls10, CipherSuite::XteaCbcHmacSha256);
+        let w0 = client.seal(ContentType::ApplicationData, b"pre");
+        server.open(&w0).unwrap();
+        let mut node = TlsSession::from_state(client.export_state(), 3);
+        let w1 = node.seal(ContentType::ApplicationData, b"cor");
+        assert_eq!(server.open(&w1).unwrap()[0].1, b"cor");
+        let err = client.import_progress(node.send_seq(), node.send_stream_offset()).unwrap_err();
+        assert!(matches!(err, TlsError::BadSessionState(_)));
+    }
+
+    #[test]
+    fn equal_length_plaintexts_seal_to_equal_length_records() {
+        // Payload replacement requires the node's record to occupy exactly
+        // the bytes of the client's placeholder record.
+        for (v, s) in all_configs() {
+            let (mut c1, _) = pair(v, s);
+            let (mut c2, _) = pair(v, s);
+            let a = c1.seal(ContentType::TinManMarked, b"placeholder-16bb");
+            let b = c2.seal(ContentType::ApplicationData, b"the-real-cor-16b");
+            assert_eq!(a.len(), b.len(), "{v:?}/{s:?}");
+        }
+    }
+
+    #[test]
+    fn progress_must_be_monotone() {
+        let (mut c, _) = pair(TlsVersion::Tls12, CipherSuite::Rc4HmacSha256);
+        c.seal(ContentType::ApplicationData, b"x");
+        assert!(c.import_progress(0, 0).is_err());
+    }
+
+    #[test]
+    fn debug_never_prints_keys() {
+        let (c, _) = pair(TlsVersion::Tls12, CipherSuite::Rc4HmacSha256);
+        let s = format!("{:?}", c.export_state());
+        assert!(s.contains("send_seq"));
+        assert!(!s.contains("send_key"));
+    }
+}

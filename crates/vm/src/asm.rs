@@ -1,0 +1,643 @@
+//! A text assembler for [`AppImage`]s.
+//!
+//! The builder API ([`crate::ProgramBuilder`]) is convenient from Rust, but
+//! a downstream user writing a test app or an attack probe shouldn't need
+//! to recompile the workspace. This module assembles a small line-oriented
+//! text format into an image (and [`crate::disasm`] prints one back).
+//!
+//! # Format
+//!
+//! ```text
+//! ; comment (also '#')
+//! .class Point x y                 ; class with fields in slot order
+//! .string greeting "hello world"   ; named string-pool entry
+//! .native show "ui.show"           ; named native import
+//!
+//! .func main args=0 locals=2       ; first .func is the entry point
+//!   const_s greeting
+//!   call_native show 1
+//!   pop
+//!   const_i 41
+//!   const_i 1
+//!   add
+//!   halt
+//! .end
+//! ```
+//!
+//! Labels are `name:` on their own line; jumps reference them by name.
+//! Operand mnemonics mirror the [`Insn`] variants (lower snake case).
+//! `.entry <name>` selects the entry function (default: the first
+//! `.func`).
+
+use std::collections::HashMap;
+
+use crate::error::VmError;
+use crate::insn::Insn;
+use crate::program::{AppImage, ClassDef, ClassId, FuncId, Function, NativeId, StrIdx};
+
+/// An assembler diagnostic, with the 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "asm error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembles `source` into an image named `name`. The entry point is the
+/// first `.func` unless `.entry` names another.
+pub fn assemble(name: &str, source: &str) -> Result<AppImage, AsmError> {
+    Assembler::new(name).run(source)
+}
+
+struct PendingFunc {
+    name: String,
+    n_args: u16,
+    n_locals: u16,
+    code: Vec<Insn>,
+    labels: HashMap<String, u32>,
+    /// (code index, label name, line) fixups.
+    fixups: Vec<(usize, String, usize)>,
+    start_line: usize,
+}
+
+struct Assembler {
+    image_name: String,
+    strings: Vec<String>,
+    string_names: HashMap<String, StrIdx>,
+    natives: Vec<String>,
+    native_names: HashMap<String, NativeId>,
+    classes: Vec<ClassDef>,
+    class_names: HashMap<String, ClassId>,
+    functions: Vec<Function>,
+    func_names: HashMap<String, FuncId>,
+    current: Option<PendingFunc>,
+    entry: Option<FuncId>,
+}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError { line, message: message.into() }
+}
+
+/// Splits a line into tokens, honouring one double-quoted string literal.
+fn tokenize(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ';' | '#' => break,
+            '"' => {
+                chars.next();
+                let mut s = String::from("\"");
+                for c in chars.by_ref() {
+                    if c == '"' {
+                        break;
+                    }
+                    s.push(c);
+                }
+                out.push(s);
+            }
+            _ => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() || c == ';' || c == '#' {
+                        break;
+                    }
+                    s.push(c);
+                    chars.next();
+                }
+                out.push(s);
+            }
+        }
+    }
+    out
+}
+
+impl Assembler {
+    fn new(name: &str) -> Self {
+        Assembler {
+            image_name: name.to_owned(),
+            strings: Vec::new(),
+            string_names: HashMap::new(),
+            natives: Vec::new(),
+            native_names: HashMap::new(),
+            classes: Vec::new(),
+            class_names: HashMap::new(),
+            functions: Vec::new(),
+            func_names: HashMap::new(),
+            current: None,
+            entry: None,
+        }
+    }
+
+    fn run(mut self, source: &str) -> Result<AppImage, AsmError> {
+        // Pass 1: pre-register every .func so forward calls resolve.
+        for raw in source.lines() {
+            let tokens = tokenize(raw);
+            if tokens.first().map(String::as_str) == Some(".func") {
+                if let Some(name) = tokens.get(1) {
+                    if !self.func_names.contains_key(name) {
+                        let id = FuncId(self.functions.len() as u32);
+                        self.functions.push(Function {
+                            name: name.clone(),
+                            n_args: 0,
+                            n_locals: 0,
+                            code: Vec::new(),
+                        });
+                        self.func_names.insert(name.clone(), id);
+                    }
+                }
+            }
+        }
+        // Pass 2: assemble.
+        for (idx, raw) in source.lines().enumerate() {
+            let line_no = idx + 1;
+            let tokens = tokenize(raw);
+            if tokens.is_empty() {
+                continue;
+            }
+            self.line(&tokens, line_no)?;
+        }
+        if let Some(f) = &self.current {
+            return Err(err(f.start_line, format!("unterminated .func {}", f.name)));
+        }
+        if self.functions.is_empty() {
+            return Err(err(1, "no .func defined"));
+        }
+        Ok(AppImage {
+            name: self.image_name,
+            entry: self.entry.unwrap_or(FuncId(0)),
+            functions: self.functions,
+            classes: self.classes,
+            strings: self.strings,
+            natives: self.natives,
+        })
+    }
+
+    fn line(&mut self, tokens: &[String], line: usize) -> Result<(), AsmError> {
+        let head = tokens[0].as_str();
+        match head {
+            ".class" => {
+                if tokens.len() < 2 {
+                    return Err(err(line, ".class needs a name"));
+                }
+                let id = ClassId(self.classes.len() as u32);
+                self.classes.push(ClassDef {
+                    name: tokens[1].clone(),
+                    fields: tokens[2..].to_vec(),
+                });
+                self.class_names.insert(tokens[1].clone(), id);
+                Ok(())
+            }
+            ".string" => {
+                if tokens.len() != 3 {
+                    return Err(err(line, ".string needs: .string <name> \"<value>\""));
+                }
+                let value = tokens[2]
+                    .strip_prefix('"')
+                    .ok_or_else(|| err(line, "string value must be quoted"))?;
+                let idx = StrIdx(self.strings.len() as u32);
+                self.strings.push(value.to_owned());
+                self.string_names.insert(tokens[1].clone(), idx);
+                Ok(())
+            }
+            ".native" => {
+                if tokens.len() != 3 {
+                    return Err(err(line, ".native needs: .native <name> \"<import>\""));
+                }
+                let value = tokens[2]
+                    .strip_prefix('"')
+                    .ok_or_else(|| err(line, "native import must be quoted"))?;
+                let id = NativeId(self.natives.len() as u32);
+                self.natives.push(value.to_owned());
+                self.native_names.insert(tokens[1].clone(), id);
+                Ok(())
+            }
+            ".entry" => {
+                let name = tokens.get(1).ok_or_else(|| err(line, ".entry needs a name"))?;
+                let id = self
+                    .func_names
+                    .get(name)
+                    .ok_or_else(|| err(line, format!("unknown entry function '{name}'")))?;
+                self.entry = Some(*id);
+                Ok(())
+            }
+            ".func" => {
+                if self.current.is_some() {
+                    return Err(err(line, "nested .func (missing .end?)"));
+                }
+                if tokens.len() < 2 {
+                    return Err(err(line, ".func needs a name"));
+                }
+                let mut n_args = 0u16;
+                let mut n_locals = 0u16;
+                for t in &tokens[2..] {
+                    if let Some(v) = t.strip_prefix("args=") {
+                        n_args = v.parse().map_err(|_| err(line, "bad args="))?;
+                    } else if let Some(v) = t.strip_prefix("locals=") {
+                        n_locals = v.parse().map_err(|_| err(line, "bad locals="))?;
+                    } else {
+                        return Err(err(line, format!("unknown .func attribute '{t}'")));
+                    }
+                }
+                if n_locals < n_args {
+                    n_locals = n_args;
+                }
+                // The slot was pre-registered in pass 1; duplicate
+                // definitions are an error.
+                let id = self.func_names[&tokens[1]];
+                if !self.functions[id.0 as usize].code.is_empty() {
+                    return Err(err(line, format!("duplicate .func '{}'", tokens[1])));
+                }
+                self.current = Some(PendingFunc {
+                    name: tokens[1].clone(),
+                    n_args,
+                    n_locals,
+                    code: Vec::new(),
+                    labels: HashMap::new(),
+                    fixups: Vec::new(),
+                    start_line: line,
+                });
+                Ok(())
+            }
+            ".end" => {
+                let mut f = self
+                    .current
+                    .take()
+                    .ok_or_else(|| err(line, ".end outside a .func"))?;
+                for (at, label, fix_line) in std::mem::take(&mut f.fixups) {
+                    let target = *f
+                        .labels
+                        .get(&label)
+                        .ok_or_else(|| err(fix_line, format!("unknown label '{label}'")))?;
+                    f.code[at] = match f.code[at] {
+                        Insn::Jump(_) => Insn::Jump(target),
+                        Insn::JumpIfZero(_) => Insn::JumpIfZero(target),
+                        Insn::JumpIfNonZero(_) => Insn::JumpIfNonZero(target),
+                        other => unreachable!("fixup on {other:?}"),
+                    };
+                }
+                let id = self.func_names[&f.name];
+                self.functions[id.0 as usize] =
+                    Function { name: f.name, n_args: f.n_args, n_locals: f.n_locals, code: f.code };
+                Ok(())
+            }
+            _ if head.ends_with(':') && tokens.len() == 1 => {
+                let f = self
+                    .current
+                    .as_mut()
+                    .ok_or_else(|| err(line, "label outside a .func"))?;
+                let name = head.trim_end_matches(':').to_owned();
+                if f.labels.insert(name.clone(), f.code.len() as u32).is_some() {
+                    return Err(err(line, format!("duplicate label '{name}'")));
+                }
+                Ok(())
+            }
+            _ => self.instruction(tokens, line),
+        }
+    }
+
+    fn instruction(&mut self, tokens: &[String], line: usize) -> Result<(), AsmError> {
+        // Resolve operand lookups before borrowing the function mutably.
+        let insn = self.parse_insn(tokens, line)?;
+        let f = self
+            .current
+            .as_mut()
+            .ok_or_else(|| err(line, "instruction outside a .func"))?;
+        if let Some((_, label)) = insn_jump_label(&insn, tokens) {
+            f.fixups.push((f.code.len(), label, line));
+        }
+        f.code.push(insn);
+        Ok(())
+    }
+
+    fn int_arg(&self, tokens: &[String], i: usize, line: usize) -> Result<i64, AsmError> {
+        tokens
+            .get(i)
+            .ok_or_else(|| err(line, "missing operand"))?
+            .parse()
+            .map_err(|_| err(line, format!("bad integer '{}'", tokens[i])))
+    }
+
+    fn parse_insn(&self, tokens: &[String], line: usize) -> Result<Insn, AsmError> {
+        let op = tokens[0].as_str();
+        let insn = match op {
+            "nop" => Insn::Nop,
+            "halt" => Insn::Halt,
+            "dup" => Insn::Dup,
+            "pop" => Insn::Pop,
+            "swap" => Insn::Swap,
+            "add" => Insn::Add,
+            "sub" => Insn::Sub,
+            "mul" => Insn::Mul,
+            "div" => Insn::Div,
+            "rem" => Insn::Rem,
+            "neg" => Insn::Neg,
+            "and" => Insn::BitAnd,
+            "or" => Insn::BitOr,
+            "xor" => Insn::BitXor,
+            "shl" => Insn::Shl,
+            "shr" => Insn::Shr,
+            "eq" => Insn::CmpEq,
+            "ne" => Insn::CmpNe,
+            "lt" => Insn::CmpLt,
+            "le" => Insn::CmpLe,
+            "gt" => Insn::CmpGt,
+            "ge" => Insn::CmpGe,
+            "i2d" => Insn::I2D,
+            "d2i" => Insn::D2I,
+            "ret" => Insn::Ret,
+            "ret_void" => Insn::RetVoid,
+            "clone" => Insn::CloneObj,
+            "new_arr" => Insn::NewArr,
+            "arr_load" => Insn::ArrLoad,
+            "arr_store" => Insn::ArrStore,
+            "arr_len" => Insn::ArrLen,
+            "arr_copy" => Insn::ArrCopy,
+            "concat" => Insn::StrConcat,
+            "char_at" => Insn::StrCharAt,
+            "str_len" => Insn::StrLen,
+            "substr" => Insn::StrSub,
+            "index_of" => Insn::StrIndexOf,
+            "str_eq" => Insn::StrEq,
+            "str_from_int" => Insn::StrFromInt,
+            "str_from_char" => Insn::StrFromChar,
+            "monitor_enter" => Insn::MonitorEnter,
+            "monitor_exit" => Insn::MonitorExit,
+            "pin_lock" => Insn::PinLock,
+            "const_null" => Insn::ConstNull,
+            "const_i" => Insn::ConstI(self.int_arg(tokens, 1, line)?),
+            "const_d" => {
+                let v: f64 = tokens
+                    .get(1)
+                    .ok_or_else(|| err(line, "missing operand"))?
+                    .parse()
+                    .map_err(|_| err(line, "bad float"))?;
+                Insn::ConstD(v)
+            }
+            "const_s" => {
+                let name = tokens.get(1).ok_or_else(|| err(line, "const_s needs a name"))?;
+                let idx = self
+                    .string_names
+                    .get(name)
+                    .ok_or_else(|| err(line, format!("unknown string '{name}'")))?;
+                Insn::ConstS(*idx)
+            }
+            "load" => Insn::Load(self.int_arg(tokens, 1, line)? as u16),
+            "store" => Insn::Store(self.int_arg(tokens, 1, line)? as u16),
+            "get_field" => Insn::GetField(self.int_arg(tokens, 1, line)? as u16),
+            "put_field" => Insn::PutField(self.int_arg(tokens, 1, line)? as u16),
+            "new" => {
+                let name = tokens.get(1).ok_or_else(|| err(line, "new needs a class"))?;
+                let id = self
+                    .class_names
+                    .get(name)
+                    .ok_or_else(|| err(line, format!("unknown class '{name}'")))?;
+                Insn::New(*id)
+            }
+            "call" => {
+                let name = tokens.get(1).ok_or_else(|| err(line, "call needs a function"))?;
+                let id = self
+                    .func_names
+                    .get(name)
+                    .ok_or_else(|| err(line, format!("unknown function '{name}'")))?;
+                Insn::Call(*id)
+            }
+            "call_native" => {
+                let name =
+                    tokens.get(1).ok_or_else(|| err(line, "call_native needs a native"))?;
+                let id = self
+                    .native_names
+                    .get(name)
+                    .ok_or_else(|| err(line, format!("unknown native '{name}'")))?;
+                let argc = self.int_arg(tokens, 2, line)? as u8;
+                Insn::CallNative(*id, argc)
+            }
+            // Jump targets are patched at .end; 0 is a placeholder.
+            "jmp" => Insn::Jump(u32::MAX),
+            "jz" => Insn::JumpIfZero(u32::MAX),
+            "jnz" => Insn::JumpIfNonZero(u32::MAX),
+            other => return Err(err(line, format!("unknown instruction '{other}'"))),
+        };
+        if matches!(insn, Insn::Jump(_) | Insn::JumpIfZero(_) | Insn::JumpIfNonZero(_))
+            && tokens.len() < 2
+        {
+            return Err(err(line, format!("'{op}' needs a label")));
+        }
+        Ok(insn)
+    }
+}
+
+/// Returns the fixup label for jump mnemonics.
+fn insn_jump_label(insn: &Insn, tokens: &[String]) -> Option<((), String)> {
+    match insn {
+        Insn::Jump(_) | Insn::JumpIfZero(_) | Insn::JumpIfNonZero(_) => {
+            tokens.get(1).map(|l| ((), l.clone()))
+        }
+        _ => None,
+    }
+}
+
+/// Convenience: assemble and run a source program with no natives,
+/// returning its result value. Intended for tests and quick exploration.
+pub fn assemble_and_run(name: &str, source: &str) -> Result<crate::Value, VmError> {
+    let image = assemble(name, source).map_err(|e| VmError::BadStringOp {
+        message: e.to_string(),
+    })?;
+    let mut machine = crate::Machine::new();
+    let mut host = crate::interp::NullHost;
+    let mut engine = tinman_taint::TaintEngine::none();
+    match crate::interp::run(
+        &mut machine,
+        &image,
+        &mut host,
+        &mut engine,
+        crate::interp::ExecConfig::client(),
+    )? {
+        crate::interp::ExecEvent::Halted(v) => Ok(v),
+        other => Err(VmError::BadStringOp { message: format!("did not halt: {other:?}") }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    #[test]
+    fn assembles_arithmetic() {
+        let v = assemble_and_run(
+            "t",
+            r#"
+            .func main args=0 locals=0
+              const_i 6
+              const_i 7
+              mul
+              halt
+            .end
+            "#,
+        )
+        .unwrap();
+        assert_eq!(v, Value::Int(42));
+    }
+
+    #[test]
+    fn labels_and_loops() {
+        // Sum 1..=10 = 55.
+        let v = assemble_and_run(
+            "t",
+            r#"
+            .func main args=0 locals=2
+              const_i 10
+              store 0       ; i
+              const_i 0
+              store 1       ; acc
+            top:
+              load 0
+              jz done
+              load 1
+              load 0
+              add
+              store 1
+              load 0
+              const_i 1
+              sub
+              store 0
+              jmp top
+            done:
+              load 1
+              halt
+            .end
+            "#,
+        )
+        .unwrap();
+        assert_eq!(v, Value::Int(55));
+    }
+
+    #[test]
+    fn strings_classes_and_calls() {
+        let v = assemble_and_run(
+            "t",
+            r#"
+            .class Box v w
+            .string hi "hello "
+            .string there "world"
+
+            .func greet args=0 locals=1
+              const_s hi
+              const_s there
+              concat
+              str_len
+              ret
+            .end
+
+            .func main args=0 locals=1
+              new Box
+              store 0
+              load 0
+              call greet
+              put_field 0
+              load 0
+              get_field 0
+              halt
+            .end
+            "#,
+        )
+        .unwrap();
+        assert_eq!(v, Value::Int(11));
+    }
+
+    #[test]
+    fn recursion_works() {
+        // fib(10) = 55, with call-before-definition resolved by
+        // pre-registration.
+        let v = assemble_and_run(
+            "t",
+            r#"
+            .func main args=0 locals=0
+              const_i 10
+              call fib
+              halt
+            .end
+
+            .func fib args=1 locals=1
+              load 0
+              const_i 2
+              lt
+              jz recurse
+              load 0
+              ret
+            recurse:
+              load 0
+              const_i 1
+              sub
+              call fib
+              load 0
+              const_i 2
+              sub
+              call fib
+              add
+              ret
+            .end
+            "#,
+        )
+        .unwrap();
+        assert_eq!(v, Value::Int(55));
+    }
+
+    #[test]
+    fn error_reporting_with_line_numbers() {
+        let e = assemble("t", ".func main args=0 locals=0\n  bogus_insn\n.end").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus_insn"));
+
+        let e = assemble("t", ".func main args=0 locals=0\n  jmp nowhere\n.end").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+
+        let e = assemble("t", ".func main args=0 locals=0\n  nop").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+
+        let e = assemble("t", "nop\n").unwrap_err();
+        assert!(e.message.contains("outside a .func"));
+    }
+
+    #[test]
+    fn comments_and_quoting() {
+        let img = assemble(
+            "t",
+            r#"
+            ; full-line comment
+            .string s "has ; and # inside"   # trailing comment
+            .func main args=0 locals=0
+              const_s s    ; say it
+              str_len
+              halt
+            .end
+            "#,
+        )
+        .unwrap();
+        assert_eq!(img.strings[0], "has ; and # inside");
+    }
+
+    #[test]
+    fn first_func_is_entry() {
+        let img = assemble(
+            "t",
+            ".func alpha args=0 locals=0\n halt\n.end\n.func beta args=0 locals=0\n halt\n.end",
+        )
+        .unwrap();
+        assert_eq!(img.entry, FuncId(0));
+        assert_eq!(img.functions[0].name, "alpha");
+    }
+}

@@ -1,0 +1,363 @@
+//! Program construction.
+//!
+//! [`ProgramBuilder`] assembles an [`AppImage`] in memory; [`FnBuilder`]
+//! provides a tiny assembler with forward-referencing labels so the app
+//! crate can express control flow without hand-computing instruction
+//! offsets.
+
+use std::collections::HashMap;
+
+use crate::insn::Insn;
+use crate::program::{AppImage, ClassDef, ClassId, FuncId, Function, NativeId, StrIdx};
+
+/// A forward-referencing jump label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LabelId(usize);
+
+/// Builds one function's instruction stream.
+pub struct FnBuilder {
+    name: String,
+    n_args: u16,
+    n_locals: u16,
+    code: Vec<Insn>,
+    labels: Vec<Option<u32>>,
+    /// (instruction index, label) pairs awaiting a bound target.
+    fixups: Vec<(usize, LabelId)>,
+}
+
+impl FnBuilder {
+    fn new(name: &str, n_args: u16, n_locals: u16) -> Self {
+        assert!(n_locals >= n_args, "locals must include argument slots");
+        FnBuilder {
+            name: name.to_owned(),
+            n_args,
+            n_locals,
+            code: Vec::new(),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    /// Appends a raw instruction.
+    pub fn op(&mut self, insn: Insn) -> &mut Self {
+        self.code.push(insn);
+        self
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn label(&mut self) -> LabelId {
+        self.labels.push(None);
+        LabelId(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    pub fn bind(&mut self, label: LabelId) -> &mut Self {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.code.len() as u32);
+        self
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn jump(&mut self, label: LabelId) -> &mut Self {
+        self.fixups.push((self.code.len(), label));
+        self.op(Insn::Jump(u32::MAX))
+    }
+
+    /// Emits a pop-and-jump-if-falsy to `label`.
+    pub fn jump_if_zero(&mut self, label: LabelId) -> &mut Self {
+        self.fixups.push((self.code.len(), label));
+        self.op(Insn::JumpIfZero(u32::MAX))
+    }
+
+    /// Emits a pop-and-jump-if-truthy to `label`.
+    pub fn jump_if_nonzero(&mut self, label: LabelId) -> &mut Self {
+        self.fixups.push((self.code.len(), label));
+        self.op(Insn::JumpIfNonZero(u32::MAX))
+    }
+
+    // -- common idiom helpers (thin wrappers keeping call sites readable) --
+
+    /// Pushes an int constant.
+    pub fn const_i(&mut self, v: i64) -> &mut Self {
+        self.op(Insn::ConstI(v))
+    }
+
+    /// Pushes local `n`.
+    pub fn load(&mut self, n: u16) -> &mut Self {
+        self.op(Insn::Load(n))
+    }
+
+    /// Pops into local `n`.
+    pub fn store(&mut self, n: u16) -> &mut Self {
+        self.op(Insn::Store(n))
+    }
+
+    /// Emits `local += delta` for an int local.
+    pub fn inc_local(&mut self, n: u16, delta: i64) -> &mut Self {
+        self.load(n).const_i(delta).op(Insn::Add).store(n)
+    }
+
+    /// Emits a counted loop running `body` with the counter in local
+    /// `counter`, from 0 while `counter < limit_local`.
+    pub fn for_loop(
+        &mut self,
+        counter: u16,
+        limit_local: u16,
+        body: impl FnOnce(&mut FnBuilder),
+    ) -> &mut Self {
+        self.const_i(0).store(counter);
+        let top = self.label();
+        let done = self.label();
+        self.bind(top);
+        self.load(counter).load(limit_local).op(Insn::CmpLt);
+        self.jump_if_zero(done);
+        body(self);
+        self.inc_local(counter, 1);
+        self.jump(top);
+        self.bind(done);
+        self
+    }
+
+    fn finish(mut self) -> Function {
+        for (at, label) in std::mem::take(&mut self.fixups) {
+            let target = self.labels[label.0].expect("unbound label at build time");
+            self.code[at] = match self.code[at] {
+                Insn::Jump(_) => Insn::Jump(target),
+                Insn::JumpIfZero(_) => Insn::JumpIfZero(target),
+                Insn::JumpIfNonZero(_) => Insn::JumpIfNonZero(target),
+                other => unreachable!("fixup on non-jump {other:?}"),
+            };
+        }
+        Function { name: self.name, n_args: self.n_args, n_locals: self.n_locals, code: self.code }
+    }
+}
+
+/// Builds a complete [`AppImage`].
+pub struct ProgramBuilder {
+    name: String,
+    functions: Vec<Function>,
+    func_ids: HashMap<String, FuncId>,
+    classes: Vec<ClassDef>,
+    strings: Vec<String>,
+    string_ids: HashMap<String, StrIdx>,
+    natives: Vec<String>,
+    native_ids: HashMap<String, NativeId>,
+}
+
+impl ProgramBuilder {
+    /// Starts a new program named `name`.
+    pub fn new(name: &str) -> Self {
+        ProgramBuilder {
+            name: name.to_owned(),
+            functions: Vec::new(),
+            func_ids: HashMap::new(),
+            classes: Vec::new(),
+            strings: Vec::new(),
+            string_ids: HashMap::new(),
+            natives: Vec::new(),
+            native_ids: HashMap::new(),
+        }
+    }
+
+    /// Pre-declares a function so mutually recursive code can reference it
+    /// before its body exists. The body must be supplied later via
+    /// [`ProgramBuilder::define`] with the same name, arg and local counts.
+    pub fn declare(&mut self, name: &str, n_args: u16, n_locals: u16) -> FuncId {
+        if let Some(&id) = self.func_ids.get(name) {
+            return id;
+        }
+        let id = FuncId(self.functions.len() as u32);
+        self.functions.push(Function {
+            name: name.to_owned(),
+            n_args,
+            n_locals,
+            code: Vec::new(),
+        });
+        self.func_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Defines (or fills in a declared) function.
+    pub fn define(
+        &mut self,
+        name: &str,
+        n_args: u16,
+        n_locals: u16,
+        body: impl FnOnce(&mut FnBuilder, &mut ProgramBuilder),
+    ) -> FuncId {
+        let id = self.declare(name, n_args, n_locals);
+        let mut fb = FnBuilder::new(name, n_args, n_locals);
+        body(&mut fb, self);
+        let func = fb.finish();
+        assert_eq!(func.n_args, self.functions[id.0 as usize].n_args, "arity changed");
+        self.functions[id.0 as usize] = func;
+        id
+    }
+
+    /// Interns a constant string, returning its pool index.
+    pub fn string(&mut self, s: &str) -> StrIdx {
+        if let Some(&idx) = self.string_ids.get(s) {
+            return idx;
+        }
+        let idx = StrIdx(self.strings.len() as u32);
+        self.strings.push(s.to_owned());
+        self.string_ids.insert(s.to_owned(), idx);
+        idx
+    }
+
+    /// Declares a class and returns its id.
+    pub fn class(&mut self, name: &str, fields: &[&str]) -> ClassId {
+        let id = ClassId(self.classes.len() as u32);
+        self.classes.push(ClassDef {
+            name: name.to_owned(),
+            fields: fields.iter().map(|s| (*s).to_owned()).collect(),
+        });
+        id
+    }
+
+    /// Imports a native by name, returning its table id.
+    pub fn native(&mut self, name: &str) -> NativeId {
+        if let Some(&id) = self.native_ids.get(name) {
+            return id;
+        }
+        let id = NativeId(self.natives.len() as u32);
+        self.natives.push(name.to_owned());
+        self.native_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Finishes the image with `entry` as the entry point.
+    pub fn build(self, entry: FuncId) -> AppImage {
+        assert!(
+            (entry.0 as usize) < self.functions.len(),
+            "entry function {} out of range",
+            entry.0
+        );
+        AppImage {
+            name: self.name,
+            functions: self.functions,
+            classes: self.classes,
+            strings: self.strings,
+            natives: self.natives,
+            entry,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run, ExecConfig, ExecEvent, NullHost};
+    use crate::machine::Machine;
+    use crate::value::Value;
+    use tinman_taint::TaintEngine;
+
+    fn run_image(image: &AppImage) -> Value {
+        let mut m = Machine::new();
+        let mut host = NullHost;
+        let mut engine = TaintEngine::none();
+        match run(&mut m, image, &mut host, &mut engine, ExecConfig::client()).unwrap() {
+            ExecEvent::Halted(v) => v,
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut p = ProgramBuilder::new("t");
+        let main = p.define("main", 0, 0, |b, _| {
+            b.const_i(6).const_i(7).op(Insn::Mul).op(Insn::Halt);
+        });
+        assert_eq!(run_image(&p.build(main)), Value::Int(42));
+    }
+
+    #[test]
+    fn labels_and_loops() {
+        // Sum 0..10 = 45.
+        let mut p = ProgramBuilder::new("t");
+        let main = p.define("main", 0, 3, |b, _| {
+            b.const_i(10).store(0); // limit
+            b.const_i(0).store(2); // acc
+            b.for_loop(1, 0, |b| {
+                b.load(2).load(1).op(Insn::Add).store(2);
+            });
+            b.load(2).op(Insn::Halt);
+        });
+        assert_eq!(run_image(&p.build(main)), Value::Int(45));
+    }
+
+    #[test]
+    fn calls_pass_args_in_order() {
+        let mut p = ProgramBuilder::new("t");
+        let sub = p.define("sub", 2, 2, |b, _| {
+            b.load(0).load(1).op(Insn::Sub).op(Insn::Ret);
+        });
+        let main = p.define("main", 0, 0, |b, _| {
+            b.const_i(10).const_i(3).op(Insn::Call(sub)).op(Insn::Halt);
+        });
+        assert_eq!(run_image(&p.build(main)), Value::Int(7));
+    }
+
+    #[test]
+    fn recursion_via_declare() {
+        // fib(10) = 55
+        let mut p = ProgramBuilder::new("t");
+        let fib = p.declare("fib", 1, 1);
+        p.define("fib", 1, 1, |b, _| {
+            let recurse = b.label();
+            b.load(0).const_i(2).op(Insn::CmpLt);
+            b.jump_if_zero(recurse);
+            b.load(0).op(Insn::Ret);
+            b.bind(recurse);
+            b.load(0).const_i(1).op(Insn::Sub).op(Insn::Call(fib));
+            b.load(0).const_i(2).op(Insn::Sub).op(Insn::Call(fib));
+            b.op(Insn::Add).op(Insn::Ret);
+        });
+        let main = p.define("main", 0, 0, |b, _| {
+            b.const_i(10).op(Insn::Call(fib)).op(Insn::Halt);
+        });
+        assert_eq!(run_image(&p.build(main)), Value::Int(55));
+    }
+
+    #[test]
+    fn string_pool_dedup() {
+        let mut p = ProgramBuilder::new("t");
+        let a = p.string("x");
+        let b = p.string("x");
+        let c = p.string("y");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn native_import_dedup() {
+        let mut p = ProgramBuilder::new("t");
+        assert_eq!(p.native("log"), p.native("log"));
+        assert_ne!(p.native("log"), p.native("send"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics_at_build() {
+        let mut p = ProgramBuilder::new("t");
+        p.define("main", 0, 0, |b, _| {
+            let l = b.label();
+            b.jump(l); // never bound
+        });
+    }
+
+    #[test]
+    fn string_ops_end_to_end() {
+        let mut p = ProgramBuilder::new("t");
+        let hello = p.string("hello ");
+        let world = p.string("world");
+        let main = p.define("main", 0, 0, |b, _| {
+            b.op(Insn::ConstS(hello))
+                .op(Insn::ConstS(world))
+                .op(Insn::StrConcat)
+                .op(Insn::StrLen)
+                .op(Insn::Halt);
+        });
+        assert_eq!(run_image(&p.build(main)), Value::Int(11));
+    }
+}

@@ -1,0 +1,200 @@
+//! A disassembler: prints an [`AppImage`] back in the [`crate::asm`] text
+//! format (round-trippable modulo label names, which are synthesized as
+//! `L<pc>`).
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::insn::Insn;
+use crate::program::{AppImage, Function};
+
+/// Disassembles a whole image.
+pub fn disassemble(image: &AppImage) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; image: {} ({} bytes, hash {})",
+        image.name, image.image_bytes(), &image.hash_hex()[..16]);
+    for c in &image.classes {
+        let _ = writeln!(out, ".class {} {}", c.name, c.fields.join(" "));
+    }
+    for (i, s) in image.strings.iter().enumerate() {
+        let _ = writeln!(out, ".string s{i} \"{}\"", s.escape_default());
+    }
+    for (i, n) in image.natives.iter().enumerate() {
+        let _ = writeln!(out, ".native n{i} \"{n}\"");
+    }
+    if let Some(entry) = image.function(image.entry) {
+        let _ = writeln!(out, ".entry {}", entry.name);
+    }
+    for f in &image.functions {
+        out.push('\n');
+        out.push_str(&disassemble_function(image, f));
+    }
+    out
+}
+
+/// Disassembles one function.
+pub fn disassemble_function(image: &AppImage, f: &Function) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".func {} args={} locals={}", f.name, f.n_args, f.n_locals);
+
+    // Collect every jump target so labels print before their instruction.
+    let targets: BTreeSet<u32> = f
+        .code
+        .iter()
+        .filter_map(|i| match i {
+            Insn::Jump(t) | Insn::JumpIfZero(t) | Insn::JumpIfNonZero(t) => Some(*t),
+            _ => None,
+        })
+        .collect();
+
+    for (pc, insn) in f.code.iter().enumerate() {
+        if targets.contains(&(pc as u32)) {
+            let _ = writeln!(out, "L{pc}:");
+        }
+        let _ = writeln!(out, "  {}", mnemonic(image, insn));
+    }
+    // A label may point one past the last instruction (loop exits).
+    if targets.contains(&(f.code.len() as u32)) {
+        let _ = writeln!(out, "L{}:", f.code.len());
+    }
+    out.push_str(".end\n");
+    out
+}
+
+fn mnemonic(image: &AppImage, insn: &Insn) -> String {
+    match insn {
+        Insn::Nop => "nop".into(),
+        Insn::Halt => "halt".into(),
+        Insn::Dup => "dup".into(),
+        Insn::Pop => "pop".into(),
+        Insn::Swap => "swap".into(),
+        Insn::Add => "add".into(),
+        Insn::Sub => "sub".into(),
+        Insn::Mul => "mul".into(),
+        Insn::Div => "div".into(),
+        Insn::Rem => "rem".into(),
+        Insn::Neg => "neg".into(),
+        Insn::BitAnd => "and".into(),
+        Insn::BitOr => "or".into(),
+        Insn::BitXor => "xor".into(),
+        Insn::Shl => "shl".into(),
+        Insn::Shr => "shr".into(),
+        Insn::CmpEq => "eq".into(),
+        Insn::CmpNe => "ne".into(),
+        Insn::CmpLt => "lt".into(),
+        Insn::CmpLe => "le".into(),
+        Insn::CmpGt => "gt".into(),
+        Insn::CmpGe => "ge".into(),
+        Insn::I2D => "i2d".into(),
+        Insn::D2I => "d2i".into(),
+        Insn::Ret => "ret".into(),
+        Insn::RetVoid => "ret_void".into(),
+        Insn::CloneObj => "clone".into(),
+        Insn::NewArr => "new_arr".into(),
+        Insn::ArrLoad => "arr_load".into(),
+        Insn::ArrStore => "arr_store".into(),
+        Insn::ArrLen => "arr_len".into(),
+        Insn::ArrCopy => "arr_copy".into(),
+        Insn::StrConcat => "concat".into(),
+        Insn::StrCharAt => "char_at".into(),
+        Insn::StrLen => "str_len".into(),
+        Insn::StrSub => "substr".into(),
+        Insn::StrIndexOf => "index_of".into(),
+        Insn::StrEq => "str_eq".into(),
+        Insn::StrFromInt => "str_from_int".into(),
+        Insn::StrFromChar => "str_from_char".into(),
+        Insn::MonitorEnter => "monitor_enter".into(),
+        Insn::MonitorExit => "monitor_exit".into(),
+        Insn::PinLock => "pin_lock".into(),
+        Insn::ConstNull => "const_null".into(),
+        Insn::ConstI(v) => format!("const_i {v}"),
+        Insn::ConstD(v) => format!("const_d {v}"),
+        Insn::ConstS(idx) => {
+            let preview = image
+                .string(*idx)
+                .map(|s| s.chars().take(18).collect::<String>())
+                .unwrap_or_default();
+            format!("const_s s{}    ; \"{}\"", idx.0, preview.escape_default())
+        }
+        Insn::Load(n) => format!("load {n}"),
+        Insn::Store(n) => format!("store {n}"),
+        Insn::GetField(n) => format!("get_field {n}"),
+        Insn::PutField(n) => format!("put_field {n}"),
+        Insn::New(c) => {
+            let name =
+                image.class(*c).map(|d| d.name.as_str()).unwrap_or("?").to_owned();
+            format!("new {name}")
+        }
+        Insn::Call(f) => {
+            let name =
+                image.function(*f).map(|d| d.name.as_str()).unwrap_or("?").to_owned();
+            format!("call {name}")
+        }
+        Insn::CallNative(n, argc) => {
+            let name = image.native(*n).unwrap_or("?").to_owned();
+            format!("call_native n{}  {argc}    ; \"{name}\"", n.0)
+        }
+        Insn::Jump(t) => format!("jmp L{t}"),
+        Insn::JumpIfZero(t) => format!("jz L{t}"),
+        Insn::JumpIfNonZero(t) => format!("jnz L{t}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn disassembly_mentions_everything() {
+        let img = assemble(
+            "demo",
+            r#"
+            .class Point x y
+            .string hi "hello"
+            .native log "sys.log"
+            .func main args=0 locals=1
+              const_s hi
+              call_native log 1
+              pop
+              const_i 3
+              store 0
+            top:
+              load 0
+              jz done
+              load 0
+              const_i 1
+              sub
+              store 0
+              jmp top
+            done:
+              new Point
+              pop
+              const_i 0
+              halt
+            .end
+            "#,
+        )
+        .unwrap();
+        let text = disassemble(&img);
+        for needle in
+            [".class Point x y", ".string s0", ".native n0", ".func main", "jz L", "jmp L",
+             "new Point", "call_native n0", "halt"]
+        {
+            assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn labels_print_before_their_targets() {
+        let img = assemble(
+            "t",
+            ".func main args=0 locals=0\ntop:\n  const_i 0\n  jz top\n  halt\n.end",
+        )
+        .unwrap();
+        let text = disassemble(&img);
+        let label_pos = text.find("L0:").expect("label printed");
+        let jump_pos = text.find("jz L0").expect("jump printed");
+        assert!(label_pos < jump_pos);
+    }
+}

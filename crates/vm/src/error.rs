@@ -1,0 +1,188 @@
+//! VM error type.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::ObjId;
+
+/// An execution error raised by the interpreter.
+///
+/// Errors indicate a malformed program or a bug in an embedder-provided
+/// native, not a recoverable application condition; the runtime layer
+/// surfaces them as failed app runs.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum VmError {
+    /// Popped or peeked an empty operand stack.
+    StackUnderflow {
+        /// Function being executed.
+        func: String,
+        /// Instruction index within it.
+        pc: usize,
+    },
+    /// A value had the wrong type for the instruction.
+    TypeMismatch {
+        /// Function being executed.
+        func: String,
+        /// Instruction index within it.
+        pc: usize,
+        /// The type the instruction required.
+        expected: &'static str,
+        /// The type actually found.
+        found: &'static str,
+    },
+    /// A reference pointed at no live heap object.
+    BadObjId {
+        /// The dangling reference.
+        obj: ObjId,
+    },
+    /// A field index was out of range for the object's class.
+    BadFieldIndex {
+        /// The object accessed.
+        obj: ObjId,
+        /// The out-of-range field index.
+        index: u16,
+        /// The object's field count.
+        len: usize,
+    },
+    /// An array index was out of bounds.
+    IndexOutOfBounds {
+        /// The array (or string) accessed.
+        obj: ObjId,
+        /// The out-of-range index.
+        index: i64,
+        /// The array length.
+        len: usize,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero {
+        /// Function being executed.
+        func: String,
+        /// Instruction index within it.
+        pc: usize,
+    },
+    /// A local-variable slot index was out of range.
+    BadLocal {
+        /// Function being executed.
+        func: String,
+        /// Instruction index within it.
+        pc: usize,
+        /// The out-of-range local slot.
+        index: u16,
+    },
+    /// A jump target fell outside the function body.
+    BadJump {
+        /// Function being executed.
+        func: String,
+        /// Instruction index within it.
+        pc: usize,
+        /// The invalid jump target.
+        target: i64,
+    },
+    /// Referenced a function id not present in the image.
+    NoSuchFunction {
+        /// The unknown function id.
+        id: u32,
+    },
+    /// Referenced a string-pool index not present in the image.
+    NoSuchString {
+        /// The unknown pool index.
+        index: u32,
+    },
+    /// Referenced a class id not present in the image.
+    NoSuchClass {
+        /// The unknown class id.
+        id: u32,
+    },
+    /// Referenced a native id not present in the image's native table.
+    NoSuchNative {
+        /// The unknown native-table id.
+        id: u32,
+    },
+    /// The embedder has no binding for a named native.
+    UnboundNative {
+        /// The unbound native's name.
+        name: String,
+    },
+    /// A native rejected its arguments or failed internally.
+    NativeError {
+        /// The native's name.
+        name: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// The machine was resumed after halting or erroring.
+    NotRunnable {
+        /// The machine's actual status.
+        status: &'static str,
+    },
+    /// Executed a `MonitorExit` without holding the monitor.
+    MonitorStateError {
+        /// The monitor's object.
+        obj: ObjId,
+    },
+    /// Operated on an object of an unexpected heap kind.
+    WrongHeapKind {
+        /// The object accessed.
+        obj: ObjId,
+        /// The kind the instruction required.
+        expected: &'static str,
+        /// The object's actual kind.
+        found: &'static str,
+    },
+    /// A string operation received an invalid argument (e.g. negative
+    /// substring bounds).
+    BadStringOp {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::StackUnderflow { func, pc } => {
+                write!(f, "operand stack underflow in {func} at pc {pc}")
+            }
+            VmError::TypeMismatch { func, pc, expected, found } => {
+                write!(f, "type mismatch in {func} at pc {pc}: expected {expected}, found {found}")
+            }
+            VmError::BadObjId { obj } => write!(f, "dangling object reference {obj:?}"),
+            VmError::BadFieldIndex { obj, index, len } => {
+                write!(f, "field index {index} out of range for {obj:?} ({len} fields)")
+            }
+            VmError::IndexOutOfBounds { obj, index, len } => {
+                write!(f, "index {index} out of bounds for {obj:?} (len {len})")
+            }
+            VmError::DivisionByZero { func, pc } => {
+                write!(f, "division by zero in {func} at pc {pc}")
+            }
+            VmError::BadLocal { func, pc, index } => {
+                write!(f, "bad local slot {index} in {func} at pc {pc}")
+            }
+            VmError::BadJump { func, pc, target } => {
+                write!(f, "jump to {target} out of range in {func} at pc {pc}")
+            }
+            VmError::NoSuchFunction { id } => write!(f, "no function with id {id}"),
+            VmError::NoSuchString { index } => write!(f, "no string-pool entry {index}"),
+            VmError::NoSuchClass { id } => write!(f, "no class with id {id}"),
+            VmError::NoSuchNative { id } => write!(f, "no native-table entry {id}"),
+            VmError::UnboundNative { name } => write!(f, "native '{name}' is not bound"),
+            VmError::NativeError { name, message } => {
+                write!(f, "native '{name}' failed: {message}")
+            }
+            VmError::NotRunnable { status } => {
+                write!(f, "machine is not runnable (status: {status})")
+            }
+            VmError::MonitorStateError { obj } => {
+                write!(f, "monitor-exit on {obj:?} without a matching enter")
+            }
+            VmError::WrongHeapKind { obj, expected, found } => {
+                write!(f, "{obj:?} is a {found}, expected a {expected}")
+            }
+            VmError::BadStringOp { message } => write!(f, "bad string operation: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}

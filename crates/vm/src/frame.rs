@@ -1,0 +1,158 @@
+//! Call frames.
+
+use serde::{Deserialize, Serialize};
+use tinman_taint::TaintSet;
+
+use crate::error::VmError;
+use crate::program::FuncId;
+use crate::value::Value;
+
+/// One activation record: locals, operand stack, and their shadow taint
+/// labels.
+///
+/// Shadow labels exist in every configuration but only the *full* taint
+/// engine ever writes non-empty values into them — the asymmetric client
+/// engine guarantees tainted data never reaches a stack slot (offloading
+/// intervenes first), and the baseline engine tracks nothing.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// The function this frame executes.
+    pub func: FuncId,
+    /// Next instruction index.
+    pub pc: usize,
+    /// Local variable slots (arguments first).
+    pub locals: Vec<Value>,
+    /// Shadow taint for each local slot.
+    pub local_taint: Vec<TaintSet>,
+    /// Operand stack.
+    pub stack: Vec<Value>,
+    /// Shadow taint for each operand-stack slot (kept in lockstep).
+    pub stack_taint: Vec<TaintSet>,
+    /// Name of the function (diagnostics without image lookups).
+    pub func_name: String,
+}
+
+impl Frame {
+    /// Creates a frame with `n_locals` zeroed locals.
+    pub fn new(func: FuncId, func_name: impl Into<String>, n_locals: u16) -> Self {
+        Frame {
+            func,
+            pc: 0,
+            locals: vec![Value::Null; n_locals as usize],
+            local_taint: vec![TaintSet::EMPTY; n_locals as usize],
+            stack: Vec::new(),
+            stack_taint: Vec::new(),
+            func_name: func_name.into(),
+        }
+    }
+
+    /// Pushes a value with its taint.
+    pub fn push(&mut self, v: Value, t: TaintSet) {
+        self.stack.push(v);
+        self.stack_taint.push(t);
+    }
+
+    /// Pops a value with its taint.
+    pub fn pop(&mut self) -> Result<(Value, TaintSet), VmError> {
+        match (self.stack.pop(), self.stack_taint.pop()) {
+            (Some(v), Some(t)) => Ok((v, t)),
+            _ => Err(VmError::StackUnderflow { func: self.func_name.clone(), pc: self.pc }),
+        }
+    }
+
+    /// Peeks `depth` slots below the top (0 = top) without popping.
+    pub fn peek(&self, depth: usize) -> Result<(Value, TaintSet), VmError> {
+        let len = self.stack.len();
+        if depth >= len {
+            return Err(VmError::StackUnderflow { func: self.func_name.clone(), pc: self.pc });
+        }
+        Ok((self.stack[len - 1 - depth], self.stack_taint[len - 1 - depth]))
+    }
+
+    /// Reads a local slot with its taint.
+    pub fn local(&self, index: u16) -> Result<(Value, TaintSet), VmError> {
+        let i = index as usize;
+        if i >= self.locals.len() {
+            return Err(VmError::BadLocal { func: self.func_name.clone(), pc: self.pc, index });
+        }
+        Ok((self.locals[i], self.local_taint[i]))
+    }
+
+    /// Writes a local slot with its taint.
+    pub fn set_local(&mut self, index: u16, v: Value, t: TaintSet) -> Result<(), VmError> {
+        let i = index as usize;
+        if i >= self.locals.len() {
+            return Err(VmError::BadLocal { func: self.func_name.clone(), pc: self.pc, index });
+        }
+        self.locals[i] = v;
+        self.local_taint[i] = t;
+        Ok(())
+    }
+
+    /// Current operand-stack depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// True if any stack slot or local carries taint (used to verify the
+    /// client-side invariant that tainted data never rests on the stack).
+    pub fn any_tainted(&self) -> bool {
+        self.stack_taint.iter().chain(self.local_taint.iter()).any(|t| t.is_tainted())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinman_taint::Label;
+
+    fn frame() -> Frame {
+        Frame::new(FuncId(0), "test", 2)
+    }
+
+    #[test]
+    fn push_pop_round_trip() {
+        let mut f = frame();
+        let t = Label::new(1).unwrap().as_set();
+        f.push(Value::Int(42), t);
+        assert_eq!(f.depth(), 1);
+        let (v, vt) = f.pop().unwrap();
+        assert_eq!(v, Value::Int(42));
+        assert_eq!(vt, t);
+        assert!(matches!(f.pop(), Err(VmError::StackUnderflow { .. })));
+    }
+
+    #[test]
+    fn peek_depths() {
+        let mut f = frame();
+        f.push(Value::Int(1), TaintSet::EMPTY);
+        f.push(Value::Int(2), TaintSet::EMPTY);
+        assert_eq!(f.peek(0).unwrap().0, Value::Int(2));
+        assert_eq!(f.peek(1).unwrap().0, Value::Int(1));
+        assert!(f.peek(2).is_err());
+        assert_eq!(f.depth(), 2, "peek must not pop");
+    }
+
+    #[test]
+    fn locals_bounds() {
+        let mut f = frame();
+        f.set_local(0, Value::Int(9), TaintSet::EMPTY).unwrap();
+        assert_eq!(f.local(0).unwrap().0, Value::Int(9));
+        assert!(matches!(f.local(2), Err(VmError::BadLocal { .. })));
+        assert!(matches!(
+            f.set_local(2, Value::Null, TaintSet::EMPTY),
+            Err(VmError::BadLocal { .. })
+        ));
+    }
+
+    #[test]
+    fn any_tainted_detects_shadow_labels() {
+        let mut f = frame();
+        assert!(!f.any_tainted());
+        f.push(Value::Int(1), Label::new(0).unwrap().as_set());
+        assert!(f.any_tainted());
+        f.pop().unwrap();
+        f.set_local(1, Value::Int(2), Label::new(3).unwrap().as_set()).unwrap();
+        assert!(f.any_tainted());
+    }
+}

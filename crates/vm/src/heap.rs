@@ -1,0 +1,544 @@
+//! The object heap.
+//!
+//! Heap objects carry the per-object taint labels that drive TinMan's
+//! offload triggering, and per-object/per-field dirty bits that drive the
+//! DSM layer's init-versus-dirty synchronization accounting.
+
+use serde::{Deserialize, Serialize};
+use tinman_taint::TaintSet;
+
+use crate::error::VmError;
+use crate::value::{ObjId, Value};
+
+/// The payload of a heap object.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum HeapKind {
+    /// An immutable string.
+    Str(String),
+    /// A mutable array of values.
+    Arr(Vec<Value>),
+    /// A class instance: a class id and its field slots.
+    Obj {
+        /// Index of the class definition in the app image.
+        class: u32,
+        /// Field slots, in class declaration order.
+        fields: Vec<Value>,
+    },
+}
+
+impl HeapKind {
+    /// Short kind name for diagnostics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            HeapKind::Str(_) => "string",
+            HeapKind::Arr(_) => "array",
+            HeapKind::Obj { .. } => "object",
+        }
+    }
+
+    /// Approximate in-memory payload size in bytes, used for DSM transfer
+    /// accounting.
+    pub fn byte_size(&self) -> u64 {
+        match self {
+            HeapKind::Str(s) => s.len() as u64,
+            HeapKind::Arr(v) => v.len() as u64 * 8,
+            HeapKind::Obj { fields, .. } => fields.len() as u64 * 8,
+        }
+    }
+}
+
+/// One heap object: payload, taint, and DSM bookkeeping.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HeapObj {
+    /// The payload.
+    pub kind: HeapKind,
+    /// Taint labels attached to this object. Following TaintDroid, taint is
+    /// tracked per object for heap data (per message/array rather than per
+    /// element).
+    pub taint: TaintSet,
+    /// True if the object was created after the last DSM sync.
+    pub fresh: bool,
+    /// Dirty-field bitmask (bit *i* = field/element region *i* modified
+    /// since the last sync). Arrays use bit 0 for "any element dirty".
+    pub dirty: u64,
+}
+
+impl HeapObj {
+    fn new(kind: HeapKind) -> Self {
+        HeapObj { kind, taint: TaintSet::EMPTY, fresh: true, dirty: 0 }
+    }
+
+    /// True if any field (or the array payload) changed since the last
+    /// sync.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty != 0
+    }
+}
+
+/// The object heap: allocation-ordered, no reclamation, stable ids.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Heap {
+    objects: Vec<HeapObj>,
+    /// Interned pooled-string objects: `intern[i]` is the object id for
+    /// string-pool entry `i`, if materialized.
+    intern: Vec<Option<ObjId>>,
+    /// Total bytes ever allocated (reporting).
+    allocated_bytes: u64,
+}
+
+impl Heap {
+    /// An empty heap.
+    pub fn new() -> Self {
+        Heap::default()
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True if no objects have been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Total bytes ever allocated.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated_bytes
+    }
+
+    /// Allocates an object and returns its id.
+    pub fn alloc(&mut self, kind: HeapKind) -> ObjId {
+        self.allocated_bytes += kind.byte_size();
+        let id = ObjId(self.objects.len() as u32);
+        self.objects.push(HeapObj::new(kind));
+        id
+    }
+
+    /// Allocates a string object.
+    pub fn alloc_str(&mut self, s: impl Into<String>) -> ObjId {
+        self.alloc(HeapKind::Str(s.into()))
+    }
+
+    /// Allocates a string object carrying taint (e.g. a materialized cor
+    /// placeholder).
+    pub fn alloc_str_tainted(&mut self, s: impl Into<String>, taint: TaintSet) -> ObjId {
+        let id = self.alloc(HeapKind::Str(s.into()));
+        self.objects[id.0 as usize].taint = taint;
+        id
+    }
+
+    /// Allocates a zeroed array of `len` elements.
+    pub fn alloc_arr(&mut self, len: usize) -> ObjId {
+        self.alloc(HeapKind::Arr(vec![Value::Int(0); len]))
+    }
+
+    /// Allocates an instance with `n_fields` null fields.
+    pub fn alloc_obj(&mut self, class: u32, n_fields: usize) -> ObjId {
+        self.alloc(HeapKind::Obj { class, fields: vec![Value::Null; n_fields] })
+    }
+
+    /// Immutable access to an object.
+    pub fn get(&self, id: ObjId) -> Result<&HeapObj, VmError> {
+        self.objects.get(id.0 as usize).ok_or(VmError::BadObjId { obj: id })
+    }
+
+    /// Mutable access to an object.
+    pub fn get_mut(&mut self, id: ObjId) -> Result<&mut HeapObj, VmError> {
+        self.objects.get_mut(id.0 as usize).ok_or(VmError::BadObjId { obj: id })
+    }
+
+    /// The object's taint labels.
+    pub fn taint_of(&self, id: ObjId) -> Result<TaintSet, VmError> {
+        Ok(self.get(id)?.taint)
+    }
+
+    /// Replaces the object's taint labels.
+    pub fn set_taint(&mut self, id: ObjId, taint: TaintSet) -> Result<(), VmError> {
+        self.get_mut(id)?.taint = taint;
+        Ok(())
+    }
+
+    /// Unions labels into the object's taint.
+    pub fn add_taint(&mut self, id: ObjId, taint: TaintSet) -> Result<(), VmError> {
+        let obj = self.get_mut(id)?;
+        obj.taint = obj.taint.union(taint);
+        Ok(())
+    }
+
+    /// The string payload of a string object.
+    pub fn str_value(&self, id: ObjId) -> Result<&str, VmError> {
+        match &self.get(id)?.kind {
+            HeapKind::Str(s) => Ok(s),
+            other => Err(VmError::WrongHeapKind {
+                obj: id,
+                expected: "string",
+                found: other.kind_name(),
+            }),
+        }
+    }
+
+    /// Reads array element `index`.
+    pub fn arr_get(&self, id: ObjId, index: i64) -> Result<Value, VmError> {
+        match &self.get(id)?.kind {
+            HeapKind::Arr(v) => {
+                if index < 0 || index as usize >= v.len() {
+                    Err(VmError::IndexOutOfBounds { obj: id, index, len: v.len() })
+                } else {
+                    Ok(v[index as usize])
+                }
+            }
+            other => {
+                Err(VmError::WrongHeapKind { obj: id, expected: "array", found: other.kind_name() })
+            }
+        }
+    }
+
+    /// Writes array element `index`, marking the object dirty.
+    pub fn arr_set(&mut self, id: ObjId, index: i64, value: Value) -> Result<(), VmError> {
+        let obj = self.get_mut(id)?;
+        match &mut obj.kind {
+            HeapKind::Arr(v) => {
+                if index < 0 || index as usize >= v.len() {
+                    return Err(VmError::IndexOutOfBounds { obj: id, index, len: v.len() });
+                }
+                v[index as usize] = value;
+                obj.dirty |= 1;
+                Ok(())
+            }
+            other => {
+                Err(VmError::WrongHeapKind { obj: id, expected: "array", found: other.kind_name() })
+            }
+        }
+    }
+
+    /// Array length.
+    pub fn arr_len(&self, id: ObjId) -> Result<usize, VmError> {
+        match &self.get(id)?.kind {
+            HeapKind::Arr(v) => Ok(v.len()),
+            other => {
+                Err(VmError::WrongHeapKind { obj: id, expected: "array", found: other.kind_name() })
+            }
+        }
+    }
+
+    /// Reads instance field `index`.
+    pub fn field_get(&self, id: ObjId, index: u16) -> Result<Value, VmError> {
+        match &self.get(id)?.kind {
+            HeapKind::Obj { fields, .. } => fields
+                .get(index as usize)
+                .copied()
+                .ok_or(VmError::BadFieldIndex { obj: id, index, len: fields.len() }),
+            other => Err(VmError::WrongHeapKind {
+                obj: id,
+                expected: "object",
+                found: other.kind_name(),
+            }),
+        }
+    }
+
+    /// Writes instance field `index`, marking that field dirty.
+    pub fn field_set(&mut self, id: ObjId, index: u16, value: Value) -> Result<(), VmError> {
+        let obj = self.get_mut(id)?;
+        match &mut obj.kind {
+            HeapKind::Obj { fields, .. } => {
+                let len = fields.len();
+                let slot = fields
+                    .get_mut(index as usize)
+                    .ok_or(VmError::BadFieldIndex { obj: id, index, len })?;
+                *slot = value;
+                obj.dirty |= 1u64 << (index as u64).min(63);
+                Ok(())
+            }
+            other => Err(VmError::WrongHeapKind {
+                obj: id,
+                expected: "object",
+                found: other.kind_name(),
+            }),
+        }
+    }
+
+    /// Shallow-copies an object; the copy keeps the original's taint (a
+    /// heap→heap *copy*, which even the client-side asymmetric engine
+    /// tracks).
+    pub fn clone_obj(&mut self, id: ObjId) -> Result<ObjId, VmError> {
+        let src = self.get(id)?;
+        let kind = src.kind.clone();
+        let taint = src.taint;
+        let new_id = self.alloc(kind);
+        self.objects[new_id.0 as usize].taint = taint;
+        Ok(new_id)
+    }
+
+    /// The interned object for string-pool entry `idx`, materializing it on
+    /// first use. Interned constants are never tainted.
+    pub fn intern_str(&mut self, idx: u32, content: &str) -> ObjId {
+        if self.intern.len() <= idx as usize {
+            self.intern.resize(idx as usize + 1, None);
+        }
+        if let Some(id) = self.intern[idx as usize] {
+            return id;
+        }
+        let id = self.alloc_str(content);
+        self.intern[idx as usize] = Some(id);
+        id
+    }
+
+    /// Inserts or replaces the object at `id` with the given payload and
+    /// taint, clearing its sync marks (the object is by definition in sync
+    /// after being applied from a delta).
+    ///
+    /// `id` must be an existing object or the next allocation slot: DSM
+    /// deltas ship new objects in allocation order, so ids stay consistent
+    /// across endpoints. A gap indicates a corrupted delta.
+    pub fn apply_object(&mut self, id: ObjId, kind: HeapKind, taint: TaintSet) -> Result<(), VmError> {
+        let idx = id.0 as usize;
+        if idx < self.objects.len() {
+            self.allocated_bytes += kind.byte_size();
+            self.objects[idx] = HeapObj { kind, taint, fresh: false, dirty: 0 };
+            Ok(())
+        } else if idx == self.objects.len() {
+            let new_id = self.alloc(kind);
+            debug_assert_eq!(new_id, id);
+            let obj = &mut self.objects[idx];
+            obj.taint = taint;
+            obj.fresh = false;
+            Ok(())
+        } else {
+            Err(VmError::BadObjId { obj: id })
+        }
+    }
+
+    /// Applies a partial field update (a dirty-field delta entry) without
+    /// touching taint or other fields.
+    pub fn apply_fields(&mut self, id: ObjId, updates: &[(u16, Value)]) -> Result<(), VmError> {
+        for &(index, value) in updates {
+            self.field_set(id, index, value)?;
+        }
+        // The entries came from a sync; they are not locally dirty.
+        if let Ok(obj) = self.get_mut(id) {
+            obj.dirty = 0;
+        }
+        Ok(())
+    }
+
+    /// The intern table (string-pool index → object id), shipped as part of
+    /// DSM syncs so `ConstS` resolves identically on both endpoints.
+    pub fn intern_table(&self) -> &[Option<ObjId>] {
+        &self.intern
+    }
+
+    /// Replaces the intern table (applied from a DSM delta).
+    pub fn set_intern_table(&mut self, table: Vec<Option<ObjId>>) {
+        self.intern = table;
+    }
+
+    /// Clears all fresh/dirty marks; called by the DSM layer after a sync.
+    pub fn clear_sync_marks(&mut self) {
+        for obj in &mut self.objects {
+            obj.fresh = false;
+            obj.dirty = 0;
+        }
+    }
+
+    /// Iterates `(id, object)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjId, &HeapObj)> {
+        self.objects.iter().enumerate().map(|(i, o)| (ObjId(i as u32), o))
+    }
+
+    /// Iterates objects created or modified since the last sync.
+    pub fn iter_unsynced(&self) -> impl Iterator<Item = (ObjId, &HeapObj)> {
+        self.iter().filter(|(_, o)| o.fresh || o.is_dirty())
+    }
+
+    /// Raw byte scan of the whole heap for `needle` — the attacker's
+    /// memory-dump search from the paper's motivation (§2.1). Returns the
+    /// ids of objects whose payload contains the needle.
+    pub fn scan_for_bytes(&self, needle: &str) -> Vec<ObjId> {
+        if needle.is_empty() {
+            return Vec::new();
+        }
+        self.iter()
+            .filter(|(_, o)| match &o.kind {
+                HeapKind::Str(s) => s.contains(needle),
+                // Arrays of char codes are also searchable residue.
+                HeapKind::Arr(v) => {
+                    let bytes: String = v
+                        .iter()
+                        .filter_map(|x| match x {
+                            Value::Int(i) if (1..=0x10FFFF).contains(i) => {
+                                char::from_u32(*i as u32)
+                            }
+                            _ => None,
+                        })
+                        .collect();
+                    bytes.contains(needle)
+                }
+                HeapKind::Obj { .. } => false,
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinman_taint::Label;
+
+    #[test]
+    fn alloc_and_access() {
+        let mut h = Heap::new();
+        let s = h.alloc_str("hi");
+        let a = h.alloc_arr(3);
+        let o = h.alloc_obj(0, 2);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.str_value(s).unwrap(), "hi");
+        assert_eq!(h.arr_len(a).unwrap(), 3);
+        assert_eq!(h.field_get(o, 0).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn wrong_kind_errors() {
+        let mut h = Heap::new();
+        let s = h.alloc_str("hi");
+        assert!(matches!(h.arr_len(s), Err(VmError::WrongHeapKind { .. })));
+        assert!(matches!(h.field_get(s, 0), Err(VmError::WrongHeapKind { .. })));
+        assert!(matches!(h.get(ObjId(99)), Err(VmError::BadObjId { .. })));
+    }
+
+    #[test]
+    fn bounds_checks() {
+        let mut h = Heap::new();
+        let a = h.alloc_arr(2);
+        assert!(matches!(h.arr_get(a, 2), Err(VmError::IndexOutOfBounds { .. })));
+        assert!(matches!(h.arr_get(a, -1), Err(VmError::IndexOutOfBounds { .. })));
+        let o = h.alloc_obj(0, 1);
+        assert!(matches!(h.field_set(o, 5, Value::Int(1)), Err(VmError::BadFieldIndex { .. })));
+    }
+
+    #[test]
+    fn dirty_tracking() {
+        let mut h = Heap::new();
+        let o = h.alloc_obj(0, 2);
+        let a = h.alloc_arr(1);
+        h.clear_sync_marks();
+        assert_eq!(h.iter_unsynced().count(), 0);
+        h.field_set(o, 1, Value::Int(5)).unwrap();
+        h.arr_set(a, 0, Value::Int(7)).unwrap();
+        let unsynced: Vec<ObjId> = h.iter_unsynced().map(|(id, _)| id).collect();
+        assert_eq!(unsynced, vec![o, a]);
+        assert_eq!(h.get(o).unwrap().dirty, 0b10);
+    }
+
+    #[test]
+    fn fresh_objects_are_unsynced() {
+        let mut h = Heap::new();
+        h.clear_sync_marks();
+        let o = h.alloc_str("new");
+        assert_eq!(h.iter_unsynced().map(|(id, _)| id).collect::<Vec<_>>(), vec![o]);
+    }
+
+    #[test]
+    fn clone_preserves_taint() {
+        let mut h = Heap::new();
+        let t = Label::new(2).unwrap().as_set();
+        let s = h.alloc_str_tainted("secret99", t);
+        let c = h.clone_obj(s).unwrap();
+        assert_ne!(s, c);
+        assert_eq!(h.taint_of(c).unwrap(), t);
+        assert_eq!(h.str_value(c).unwrap(), "secret99");
+    }
+
+    #[test]
+    fn interning_reuses_objects() {
+        let mut h = Heap::new();
+        let a = h.intern_str(0, "x");
+        let b = h.intern_str(0, "x");
+        assert_eq!(a, b);
+        let c = h.intern_str(3, "y");
+        assert_ne!(a, c);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn scan_finds_string_and_char_array_residue() {
+        let mut h = Heap::new();
+        h.alloc_str("prefix-hunter2-suffix");
+        let a = h.alloc_arr(7);
+        for (i, ch) in "hunter2".chars().enumerate() {
+            h.arr_set(a, i as i64, Value::Int(ch as i64)).unwrap();
+        }
+        h.alloc_str("innocuous");
+        let hits = h.scan_for_bytes("hunter2");
+        assert_eq!(hits.len(), 2);
+        assert!(h.scan_for_bytes("absent").is_empty());
+        assert!(h.scan_for_bytes("").is_empty());
+    }
+
+    #[test]
+    fn apply_object_appends_and_replaces() {
+        let mut h = Heap::new();
+        let a = h.alloc_str("old");
+        // Replace existing.
+        h.apply_object(a, HeapKind::Str("new".into()), TaintSet::EMPTY).unwrap();
+        assert_eq!(h.str_value(a).unwrap(), "new");
+        assert!(!h.get(a).unwrap().fresh);
+        // Append at next slot.
+        let next = ObjId(1);
+        h.apply_object(next, HeapKind::Str("appended".into()), Label::new(1).unwrap().as_set())
+            .unwrap();
+        assert_eq!(h.str_value(next).unwrap(), "appended");
+        assert!(h.taint_of(next).unwrap().is_tainted());
+        assert!(!h.get(next).unwrap().fresh, "applied objects are in sync");
+        // Gap is rejected.
+        assert!(matches!(
+            h.apply_object(ObjId(9), HeapKind::Str("gap".into()), TaintSet::EMPTY),
+            Err(VmError::BadObjId { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_fields_updates_without_dirtying() {
+        let mut h = Heap::new();
+        let o = h.alloc_obj(0, 3);
+        h.clear_sync_marks();
+        h.apply_fields(o, &[(0, Value::Int(1)), (2, Value::Int(3))]).unwrap();
+        assert_eq!(h.field_get(o, 0).unwrap(), Value::Int(1));
+        assert_eq!(h.field_get(o, 2).unwrap(), Value::Int(3));
+        assert!(!h.get(o).unwrap().is_dirty());
+    }
+
+    #[test]
+    fn intern_table_round_trip() {
+        // Sender interns pool entry 2 -> some object; after a sync the
+        // receiver holds the same objects *and* the same table, so ConstS
+        // resolves without a fresh allocation.
+        let mut h = Heap::new();
+        h.alloc_str("pad0");
+        h.alloc_str("pad1");
+        let interned = h.intern_str(2, "x");
+        let table = h.intern_table().to_vec();
+
+        let mut h2 = Heap::new();
+        h2.alloc_str("pad0");
+        h2.alloc_str("pad1");
+        h2.alloc_str("x"); // delta shipped the interned object too
+        h2.set_intern_table(table);
+        assert_eq!(h2.intern_str(2, "x"), interned, "table entry reused, no new alloc");
+        assert_eq!(h2.len(), 3);
+    }
+
+    #[test]
+    fn taint_union_helpers() {
+        let mut h = Heap::new();
+        let s = h.alloc_str("v");
+        let l1 = Label::new(1).unwrap();
+        let l2 = Label::new(2).unwrap();
+        h.add_taint(s, l1.as_set()).unwrap();
+        h.add_taint(s, l2.as_set()).unwrap();
+        assert_eq!(h.taint_of(s).unwrap().len(), 2);
+        h.set_taint(s, TaintSet::EMPTY).unwrap();
+        assert!(h.taint_of(s).unwrap().is_empty());
+    }
+}

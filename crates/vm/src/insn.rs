@@ -1,0 +1,257 @@
+//! The instruction set and its cycle-cost model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::program::{ClassId, FuncId, NativeId, StrIdx};
+
+/// One VM instruction.
+///
+/// The set is deliberately small but sufficient to express the reproduction's
+/// applications (login flows, form handling, hashing glue) and the
+/// Caffeinemark micro-benchmarks (sieve/loop/logic/string/float/method).
+/// Operands follow the JVM convention: an operand stack per frame plus
+/// indexed local slots.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Insn {
+    // ---- constants, locals, stack shuffling ----
+    /// Push an integer constant.
+    ConstI(i64),
+    /// Push a double constant.
+    ConstD(f64),
+    /// Push (an interned reference to) a pooled string constant.
+    ConstS(StrIdx),
+    /// Push the null reference.
+    ConstNull,
+    /// Push local slot `n`.
+    Load(u16),
+    /// Pop into local slot `n`.
+    Store(u16),
+    /// Duplicate the top of stack.
+    Dup,
+    /// Discard the top of stack.
+    Pop,
+    /// Swap the top two stack values.
+    Swap,
+
+    // ---- arithmetic and logic (int or double; both operands popped) ----
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (integer division traps on zero).
+    Div,
+    /// Remainder (traps on zero for ints).
+    Rem,
+    /// Arithmetic negation of the top value.
+    Neg,
+    /// Bitwise AND (ints only).
+    BitAnd,
+    /// Bitwise OR (ints only).
+    BitOr,
+    /// Bitwise XOR (ints only).
+    BitXor,
+    /// Left shift (ints only).
+    Shl,
+    /// Arithmetic right shift (ints only).
+    Shr,
+
+    // ---- comparisons (push 1 or 0) ----
+    /// Equal.
+    CmpEq,
+    /// Not equal.
+    CmpNe,
+    /// Less than.
+    CmpLt,
+    /// Less or equal.
+    CmpLe,
+    /// Greater than.
+    CmpGt,
+    /// Greater or equal.
+    CmpGe,
+
+    // ---- conversions ----
+    /// Int to double.
+    I2D,
+    /// Double to int (truncating).
+    D2I,
+
+    // ---- control flow (absolute target pc) ----
+    /// Unconditional jump.
+    Jump(u32),
+    /// Pop; jump if falsy.
+    JumpIfZero(u32),
+    /// Pop; jump if truthy.
+    JumpIfNonZero(u32),
+
+    // ---- objects ----
+    /// Allocate an instance of the class; fields start null/zeroed; push
+    /// the reference.
+    New(ClassId),
+    /// Pop a reference; push field `n` of the object.
+    GetField(u16),
+    /// Pop a value then a reference; store the value into field `n`.
+    PutField(u16),
+    /// Pop a reference; push a reference to a shallow copy (a heap→heap
+    /// taint copy, one of the two classes the client instruments).
+    CloneObj,
+
+    // ---- arrays ----
+    /// Pop a length; push a reference to a new zeroed array.
+    NewArr,
+    /// Pop index then array ref; push the element.
+    ArrLoad,
+    /// Pop value, index, array ref; store the element.
+    ArrStore,
+    /// Pop an array ref; push its length.
+    ArrLen,
+    /// Pop count, dst-offset, dst ref, src-offset, src ref; copy elements
+    /// (`System.arraycopy` — the other instrumented heap→heap class).
+    ArrCopy,
+
+    // ---- strings (immutable heap objects) ----
+    /// Pop two string refs; push their concatenation (derives a new value,
+    /// so on the client this triggers offloading when an operand is
+    /// tainted — the paper's Figure 11 line 6).
+    StrConcat,
+    /// Pop index then string ref; push the char code (a heap→stack read of
+    /// string *content* — the paper's Figure 10 line 3 trigger).
+    StrCharAt,
+    /// Pop a string ref; push its length. Deliberately *untainted*: the
+    /// placeholder has the same length as the cor, so length reveals
+    /// nothing and must not trigger offloading (§5.1 notes length is not
+    /// protected).
+    StrLen,
+    /// Pop end, start, string ref; push the substring (content-derived).
+    StrSub,
+    /// Pop needle ref then haystack ref; push first index or -1
+    /// (content-dependent).
+    StrIndexOf,
+    /// Pop two string refs; push 1 if contents equal (content-dependent).
+    StrEq,
+    /// Pop an int; push its decimal string representation.
+    StrFromInt,
+    /// Pop a char code; push a one-char string.
+    StrFromChar,
+
+    // ---- calls ----
+    /// Call a function; pops its arguments (last argument on top).
+    Call(FuncId),
+    /// Call an imported native; the operand count is supplied here because
+    /// natives have no declared arity in the image.
+    CallNative(NativeId, u8),
+    /// Return the top of stack to the caller (or halt if in the entry
+    /// frame).
+    Ret,
+    /// Return null.
+    RetVoid,
+
+    // ---- synchronization ----
+    /// Pop a reference; acquire its monitor. Acquiring a monitor whose
+    /// ownership rests with the remote endpoint suspends execution (the
+    /// paper's third DSM-sync cause, observed in the github login).
+    MonitorEnter,
+    /// Pop a reference; release its monitor.
+    MonitorExit,
+    /// Pop a reference; a background (non-migrating) thread acquires its
+    /// monitor at the current endpoint. Models another thread of the app
+    /// holding a lock — the precondition for the lock-transfer DSM sync.
+    PinLock,
+
+    // ---- misc ----
+    /// Do nothing (1 cycle; also a convenient label anchor).
+    Nop,
+    /// Stop the machine; the top of stack (or null) is the program result.
+    Halt,
+}
+
+impl Insn {
+    /// Base execution cost in interpreter cycles, before any taint
+    /// instrumentation surcharge.
+    ///
+    /// The absolute numbers matter only relative to each other and to
+    /// [`tinman_taint::TaintCosts`]; together with a device's
+    /// instructions-per-second rate they produce simulated time. Costs are
+    /// dispatch-dominated (an interpreted instruction costs ~10 cycles
+    /// before it does anything), which is what keeps taint instrumentation
+    /// — a couple of cycles per data movement — in the 10-20% overhead
+    /// range the paper measures, rather than doubling execution time.
+    pub fn base_cost(&self) -> u64 {
+        10 * match self {
+            Insn::Nop | Insn::Pop | Insn::Dup | Insn::Swap => 1,
+            Insn::ConstI(_) | Insn::ConstD(_) | Insn::ConstNull => 1,
+            Insn::Load(_) | Insn::Store(_) => 1,
+            Insn::ConstS(_) => 2,
+            Insn::Add
+            | Insn::Sub
+            | Insn::Neg
+            | Insn::BitAnd
+            | Insn::BitOr
+            | Insn::BitXor
+            | Insn::Shl
+            | Insn::Shr => 1,
+            Insn::Mul => 2,
+            Insn::Div | Insn::Rem => 4,
+            Insn::CmpEq
+            | Insn::CmpNe
+            | Insn::CmpLt
+            | Insn::CmpLe
+            | Insn::CmpGt
+            | Insn::CmpGe => 1,
+            Insn::I2D | Insn::D2I => 1,
+            Insn::Jump(_) | Insn::JumpIfZero(_) | Insn::JumpIfNonZero(_) => 1,
+            Insn::New(_) => 8,
+            Insn::GetField(_) | Insn::PutField(_) => 2,
+            Insn::CloneObj => 12,
+            Insn::NewArr => 8,
+            Insn::ArrLoad | Insn::ArrStore => 2,
+            Insn::ArrLen => 1,
+            Insn::ArrCopy => 6, // plus per-element cost charged by the interpreter
+            Insn::StrConcat => 8, // plus per-byte cost charged by the interpreter
+            Insn::StrCharAt => 2,
+            Insn::StrLen => 1,
+            Insn::StrSub => 6, // plus per-byte cost
+            Insn::StrIndexOf => 6, // plus per-byte cost
+            Insn::StrEq => 3, // plus per-byte cost
+            Insn::StrFromInt => 6,
+            Insn::StrFromChar => 4,
+            Insn::Call(_) => 10,
+            Insn::CallNative(_, _) => 14,
+            Insn::Ret | Insn::RetVoid => 6,
+            Insn::MonitorEnter | Insn::MonitorExit | Insn::PinLock => 4,
+            Insn::Halt => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_are_positive() {
+        // A zero-cost instruction would let a loop run without advancing
+        // simulated time.
+        let samples = [
+            Insn::Nop,
+            Insn::ConstI(0),
+            Insn::Add,
+            Insn::Jump(0),
+            Insn::New(ClassId(0)),
+            Insn::StrConcat,
+            Insn::Call(FuncId(0)),
+            Insn::CallNative(NativeId(0), 0),
+            Insn::Halt,
+        ];
+        for i in samples {
+            assert!(i.base_cost() > 0, "{i:?} must cost at least one cycle");
+        }
+    }
+
+    #[test]
+    fn allocation_costs_more_than_arithmetic() {
+        assert!(Insn::New(ClassId(0)).base_cost() > Insn::Add.base_cost());
+        assert!(Insn::Call(FuncId(0)).base_cost() > Insn::Load(0).base_cost());
+    }
+}

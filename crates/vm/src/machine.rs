@@ -1,0 +1,250 @@
+//! Machine state: heap + call stack + locks + counters.
+//!
+//! The [`Machine`] is the unit of migration: the DSM layer serializes (parts
+//! of) it, ships it across the simulated network, and resumes it on the
+//! other endpoint.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::frame::Frame;
+use crate::heap::Heap;
+use crate::value::{ObjId, Value};
+
+/// Which endpoint a monitor's ownership currently rests with.
+///
+/// COMET establishes happens-before edges at synchronization operations;
+/// entering a monitor whose ownership is on the other endpoint forces a DSM
+/// sync (the paper's third observed sync cause).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LockSite {
+    /// The mobile device.
+    Client,
+    /// The trusted node.
+    TrustedNode,
+}
+
+impl LockSite {
+    /// The opposite endpoint.
+    pub fn other(self) -> LockSite {
+        match self {
+            LockSite::Client => LockSite::TrustedNode,
+            LockSite::TrustedNode => LockSite::Client,
+        }
+    }
+}
+
+/// Lifecycle of a machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MachineStatus {
+    /// Ready to execute (or resume).
+    Runnable,
+    /// Halted normally; `result` holds the program value.
+    Halted,
+    /// Halted with a VM error.
+    Faulted,
+}
+
+impl MachineStatus {
+    /// Short name for diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            MachineStatus::Runnable => "runnable",
+            MachineStatus::Halted => "halted",
+            MachineStatus::Faulted => "faulted",
+        }
+    }
+}
+
+/// Execution counters, cumulative across runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Instructions retired.
+    pub instrs: u64,
+    /// Interpreter cycles charged (base cost + data-size surcharges +
+    /// taint instrumentation).
+    pub cycles: u64,
+    /// `Call` instructions executed — the paper's "method invocations"
+    /// metric for Table 3.
+    pub method_invocations: u64,
+    /// Native calls executed.
+    pub native_calls: u64,
+    /// Cycles spent on taint instrumentation alone.
+    pub taint_cycles: u64,
+    /// Instructions retired since the last move that touched tainted data
+    /// (drives the trusted node's migrate-back-on-idle rule, §3.1 case 1).
+    pub instrs_since_taint_use: u64,
+}
+
+/// A suspended or running VM thread with its heap.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Machine {
+    /// The object heap.
+    pub heap: Heap,
+    /// The call stack; last entry is the active frame.
+    pub frames: Vec<Frame>,
+    /// Monitor table: object → (owning endpoint, recursion count).
+    pub locks: HashMap<ObjId, (LockSite, u32)>,
+    /// Monitors held by background threads that never migrate (a UI
+    /// thread's lock). These do NOT follow the migrating thread; a remote
+    /// `MonitorEnter` on one forces the lock-transfer sync the paper
+    /// observes in the github login (§6.3's third sync cause).
+    pub pinned_locks: HashSet<ObjId>,
+    /// Lifecycle status.
+    pub status: MachineStatus,
+    /// The program result once halted.
+    pub result: Value,
+    /// Counters.
+    pub stats: ExecStats,
+}
+
+impl Machine {
+    /// A fresh machine with an empty heap and no frames. The interpreter
+    /// pushes the entry frame on first run.
+    pub fn new() -> Self {
+        Machine {
+            heap: Heap::new(),
+            frames: Vec::new(),
+            locks: HashMap::new(),
+            pinned_locks: HashSet::new(),
+            status: MachineStatus::Runnable,
+            result: Value::Null,
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// The active frame.
+    pub fn top_frame(&self) -> Option<&Frame> {
+        self.frames.last()
+    }
+
+    /// The active frame, mutably.
+    pub fn top_frame_mut(&mut self) -> Option<&mut Frame> {
+        self.frames.last_mut()
+    }
+
+    /// Call-stack depth.
+    pub fn call_depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True if the machine can execute.
+    pub fn is_runnable(&self) -> bool {
+        self.status == MachineStatus::Runnable
+    }
+
+    /// Ownership site of `obj`'s monitor, if the monitor exists.
+    pub fn lock_site(&self, obj: ObjId) -> Option<LockSite> {
+        self.locks.get(&obj).map(|&(site, _)| site)
+    }
+
+    /// Transfers every monitor owned by `from` to `to`, except pinned
+    /// monitors (held by non-migrating background threads) — performed as
+    /// part of a DSM sync when execution migrates.
+    pub fn transfer_locks(&mut self, from: LockSite, to: LockSite) {
+        for (obj, (site, _)) in self.locks.iter_mut() {
+            if *site == from && !self.pinned_locks.contains(obj) {
+                *site = to;
+            }
+        }
+    }
+
+    /// Transfers monitors including pinned ones, unpinning them — the
+    /// lock-transfer sync handing a background thread's monitor to the
+    /// endpoint that needs it (COMET's happens-before establishment).
+    pub fn transfer_all_locks(&mut self, from: LockSite, to: LockSite) {
+        for (obj, (site, _)) in self.locks.iter_mut() {
+            if *site == from {
+                *site = to;
+                self.pinned_locks.remove(obj);
+            }
+        }
+    }
+
+    /// True if any frame holds tainted data in a stack or local slot.
+    pub fn any_stack_taint(&self) -> bool {
+        self.frames.iter().any(Frame::any_tainted)
+    }
+
+    /// Scans the entire machine (heap payloads; stack slots hold only
+    /// primitives and references, so heap scanning is exhaustive for
+    /// strings) for plaintext residue of `needle`. This is the §5.1
+    /// attacker's memory dump search.
+    pub fn scan_residue(&self, needle: &str) -> Vec<ObjId> {
+        self.heap.scan_for_bytes(needle)
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::FuncId;
+    use tinman_taint::{Label, TaintSet};
+
+    #[test]
+    fn fresh_machine_is_runnable_and_empty() {
+        let m = Machine::new();
+        assert!(m.is_runnable());
+        assert_eq!(m.call_depth(), 0);
+        assert!(m.top_frame().is_none());
+    }
+
+    #[test]
+    fn lock_transfer() {
+        let mut m = Machine::new();
+        m.locks.insert(ObjId(1), (LockSite::Client, 1));
+        m.locks.insert(ObjId(2), (LockSite::TrustedNode, 2));
+        m.transfer_locks(LockSite::Client, LockSite::TrustedNode);
+        assert_eq!(m.lock_site(ObjId(1)), Some(LockSite::TrustedNode));
+        assert_eq!(m.lock_site(ObjId(2)), Some(LockSite::TrustedNode));
+        assert_eq!(m.lock_site(ObjId(3)), None);
+    }
+
+    #[test]
+    fn lock_site_other() {
+        assert_eq!(LockSite::Client.other(), LockSite::TrustedNode);
+        assert_eq!(LockSite::TrustedNode.other(), LockSite::Client);
+    }
+
+    #[test]
+    fn stack_taint_detection_spans_frames() {
+        let mut m = Machine::new();
+        m.frames.push(Frame::new(FuncId(0), "a", 0));
+        m.frames.push(Frame::new(FuncId(1), "b", 1));
+        assert!(!m.any_stack_taint());
+        m.frames[0].push(Value::Int(1), Label::new(5).unwrap().as_set());
+        assert!(m.any_stack_taint());
+        m.frames[0].pop().unwrap();
+        m.frames[1].set_local(0, Value::Int(0), Label::new(1).unwrap().as_set()).unwrap();
+        assert!(m.any_stack_taint());
+        m.frames[1].set_local(0, Value::Int(0), TaintSet::EMPTY).unwrap();
+        assert!(!m.any_stack_taint());
+    }
+
+    #[test]
+    fn residue_scan_delegates_to_heap() {
+        let mut m = Machine::new();
+        m.heap.alloc_str("the-cor-value");
+        assert_eq!(m.scan_residue("cor-value").len(), 1);
+    }
+
+    #[test]
+    fn machine_serializes_round_trip() {
+        let mut m = Machine::new();
+        m.heap.alloc_str("state");
+        m.frames.push(Frame::new(FuncId(0), "main", 3));
+        m.locks.insert(ObjId(0), (LockSite::Client, 1));
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Machine = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.heap.len(), 1);
+        assert_eq!(back.call_depth(), 1);
+        assert_eq!(back.lock_site(ObjId(0)), Some(LockSite::Client));
+    }
+}

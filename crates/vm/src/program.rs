@@ -1,0 +1,218 @@
+//! Program images — the analogue of Android dex files.
+//!
+//! An [`AppImage`] is an immutable, serializable bundle of functions,
+//! classes, a string pool, and a native-import table. The trusted node
+//! identifies an app by the SHA-256 hash of its image ([`AppImage::hash`]),
+//! exactly as TinMan identifies an app by the hash of its dex file for the
+//! app↔cor access-control binding (§3.4).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::insn::Insn;
+
+/// Index into an image's string pool.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StrIdx(pub u32);
+
+/// Index of a function within an image.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FuncId(pub u32);
+
+/// Index of a class definition within an image.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClassId(pub u32);
+
+/// Index into an image's native-import table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NativeId(pub u32);
+
+impl fmt::Debug for StrIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "str:{}", self.0)
+    }
+}
+impl fmt::Debug for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn:{}", self.0)
+    }
+}
+impl fmt::Debug for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class:{}", self.0)
+    }
+}
+impl fmt::Debug for NativeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "native:{}", self.0)
+    }
+}
+
+/// A class definition: a name and an ordered list of field names.
+///
+/// Fields are accessed by index; names exist for diagnostics and reports.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClassDef {
+    /// Class name (diagnostics only).
+    pub name: String,
+    /// Field names, in slot order.
+    pub fields: Vec<String>,
+}
+
+impl ClassDef {
+    /// Number of field slots instances of this class carry.
+    pub fn field_count(&self) -> usize {
+        self.fields.len()
+    }
+}
+
+/// A function body.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Function name (diagnostics, reports, offload accounting).
+    pub name: String,
+    /// Number of arguments, copied into the first locals.
+    pub n_args: u16,
+    /// Total local slots (including arguments).
+    pub n_locals: u16,
+    /// Instruction sequence.
+    pub code: Vec<Insn>,
+}
+
+/// An immutable program image.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AppImage {
+    /// Application name, e.g. `"bankdroid"`.
+    pub name: String,
+    /// All functions; `FuncId` indexes this vector.
+    pub functions: Vec<Function>,
+    /// All class definitions; `ClassId` indexes this vector.
+    pub classes: Vec<ClassDef>,
+    /// Constant string pool; `StrIdx` indexes this vector.
+    pub strings: Vec<String>,
+    /// Imported native names; `NativeId` indexes this vector.
+    pub natives: Vec<String>,
+    /// The entry function.
+    pub entry: FuncId,
+}
+
+impl AppImage {
+    /// Looks up a function.
+    pub fn function(&self, id: FuncId) -> Option<&Function> {
+        self.functions.get(id.0 as usize)
+    }
+
+    /// Looks up a class definition.
+    pub fn class(&self, id: ClassId) -> Option<&ClassDef> {
+        self.classes.get(id.0 as usize)
+    }
+
+    /// Looks up a pooled string.
+    pub fn string(&self, idx: StrIdx) -> Option<&str> {
+        self.strings.get(idx.0 as usize).map(String::as_str)
+    }
+
+    /// Looks up a native-import name.
+    pub fn native(&self, id: NativeId) -> Option<&str> {
+        self.natives.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Finds a function id by name.
+    pub fn find_function(&self, name: &str) -> Option<FuncId> {
+        self.functions.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
+    }
+
+    /// Total instruction count across all functions — a proxy for the dex
+    /// file's code size used when accounting the one-time app upload to the
+    /// trusted node (§6.2's warm-up transfer).
+    pub fn code_len(&self) -> usize {
+        self.functions.iter().map(|f| f.code.len()).sum()
+    }
+
+    /// Approximate serialized size in bytes, used to cost the one-time
+    /// image upload (the paper reports ~2 MB and ~8 s for the PayPal dex).
+    pub fn image_bytes(&self) -> u64 {
+        // Each instruction serializes to a handful of bytes; strings count
+        // verbatim. A fixed per-entry overhead approximates framing.
+        let code = self.code_len() as u64 * 6;
+        let strings: u64 = self.strings.iter().map(|s| s.len() as u64 + 4).sum();
+        let natives: u64 = self.natives.iter().map(|s| s.len() as u64 + 4).sum();
+        let classes: u64 = self
+            .classes
+            .iter()
+            .map(|c| c.name.len() as u64 + c.fields.iter().map(|f| f.len() as u64 + 2).sum::<u64>())
+            .sum();
+        code + strings + natives + classes + 64
+    }
+
+    /// The SHA-256 hash of the image — the trusted node's app identity for
+    /// the app↔cor binding and the malware-database lookup (§3.4).
+    ///
+    /// Hashing is done over the canonical JSON serialization, so any change
+    /// to code, strings, classes or imports changes the identity.
+    pub fn hash(&self) -> [u8; 32] {
+        use sha2::{Digest, Sha256};
+        let json = serde_json::to_vec(self).expect("AppImage serialization cannot fail");
+        let mut hasher = Sha256::new();
+        hasher.update(&json);
+        hasher.finalize().into()
+    }
+
+    /// The image hash as lowercase hex, for logs and policy files.
+    pub fn hash_hex(&self) -> String {
+        self.hash().iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_image() -> AppImage {
+        AppImage {
+            name: "tiny".into(),
+            functions: vec![Function {
+                name: "main".into(),
+                n_args: 0,
+                n_locals: 1,
+                code: vec![Insn::ConstI(1), Insn::Halt],
+            }],
+            classes: vec![ClassDef { name: "Point".into(), fields: vec!["x".into(), "y".into()] }],
+            strings: vec!["hello".into()],
+            natives: vec!["log".into()],
+            entry: FuncId(0),
+        }
+    }
+
+    #[test]
+    fn lookups() {
+        let img = tiny_image();
+        assert_eq!(img.function(FuncId(0)).unwrap().name, "main");
+        assert!(img.function(FuncId(9)).is_none());
+        assert_eq!(img.class(ClassId(0)).unwrap().field_count(), 2);
+        assert_eq!(img.string(StrIdx(0)), Some("hello"));
+        assert_eq!(img.native(NativeId(0)), Some("log"));
+        assert_eq!(img.find_function("main"), Some(FuncId(0)));
+        assert_eq!(img.find_function("nope"), None);
+    }
+
+    #[test]
+    fn hash_is_stable_and_tamper_evident() {
+        let a = tiny_image();
+        let b = tiny_image();
+        assert_eq!(a.hash(), b.hash());
+        let mut c = tiny_image();
+        c.functions[0].code[0] = Insn::ConstI(2);
+        assert_ne!(a.hash(), c.hash(), "changing code must change the identity");
+        assert_eq!(a.hash_hex().len(), 64);
+    }
+
+    #[test]
+    fn image_bytes_grow_with_content() {
+        let a = tiny_image();
+        let mut b = tiny_image();
+        b.strings.push("x".repeat(1000));
+        assert!(b.image_bytes() > a.image_bytes() + 1000);
+    }
+}

@@ -1,0 +1,154 @@
+//! Runtime values.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of an object on the [`crate::Heap`].
+///
+/// Object ids are allocation-ordered and never reused; the VM has no garbage
+/// collector (app runs in this reproduction are short and bounded), which
+/// also means ids are stable across DSM synchronization — the property the
+/// offloading engine relies on to address objects from either endpoint.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjId(pub u32);
+
+impl fmt::Debug for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A VM value: either a primitive (held directly in stack slots and fields)
+/// or a reference to a heap object.
+///
+/// Mirroring the JVM, only primitives and references exist as values;
+/// strings, arrays and records are always behind a reference. Note that —
+/// exactly as the paper points out in §3.5 — *a reference to a tainted
+/// object is not itself tainted*: taint lives on the heap object, and
+/// copying a `Ref` moves no tainted data.
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// The null reference.
+    Null,
+    /// A 64-bit integer (models Java's int/long/char/boolean).
+    Int(i64),
+    /// A 64-bit float (models Java's float/double).
+    Double(f64),
+    /// A reference to a heap object.
+    Ref(ObjId),
+}
+
+impl Value {
+    /// Human-readable type name for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Int(_) => "int",
+            Value::Double(_) => "double",
+            Value::Ref(_) => "ref",
+        }
+    }
+
+    /// The integer payload, or a type error description.
+    pub fn as_int(&self) -> Result<i64, &'static str> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            _ => Err(self.type_name()),
+        }
+    }
+
+    /// The float payload, or a type error description. Ints widen.
+    pub fn as_double(&self) -> Result<f64, &'static str> {
+        match self {
+            Value::Double(d) => Ok(*d),
+            Value::Int(i) => Ok(*i as f64),
+            _ => Err(self.type_name()),
+        }
+    }
+
+    /// The reference payload, or a type error description.
+    pub fn as_ref_id(&self) -> Result<ObjId, &'static str> {
+        match self {
+            Value::Ref(id) => Ok(*id),
+            _ => Err(self.type_name()),
+        }
+    }
+
+    /// True if the value is a reference (or null).
+    pub fn is_ref_like(&self) -> bool {
+        matches!(self, Value::Ref(_) | Value::Null)
+    }
+
+    /// Truthiness used by conditional jumps: zero ints, zero doubles and
+    /// null are false; everything else is true.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Int(i) => *i != 0,
+            Value::Double(d) => *d != 0.0,
+            Value::Ref(_) => true,
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Double(d) => write!(f, "{d}f"),
+            Value::Ref(id) => write!(f, "{id:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(d: f64) -> Value {
+        Value::Double(d)
+    }
+}
+
+impl From<ObjId> for Value {
+    fn from(id: ObjId) -> Value {
+        Value::Ref(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_int(), Ok(3));
+        assert_eq!(Value::Double(2.5).as_double(), Ok(2.5));
+        assert_eq!(Value::Int(2).as_double(), Ok(2.0));
+        assert_eq!(Value::Ref(ObjId(7)).as_ref_id(), Ok(ObjId(7)));
+        assert!(Value::Null.as_int().is_err());
+        assert!(Value::Int(1).as_ref_id().is_err());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(Value::Int(-1).is_truthy());
+        assert!(!Value::Double(0.0).is_truthy());
+        assert!(Value::Double(0.1).is_truthy());
+        assert!(Value::Ref(ObjId(0)).is_truthy());
+    }
+
+    #[test]
+    fn ref_like() {
+        assert!(Value::Null.is_ref_like());
+        assert!(Value::Ref(ObjId(1)).is_ref_like());
+        assert!(!Value::Int(1).is_ref_like());
+    }
+}

@@ -1,0 +1,114 @@
+//! Writing your own app in the text assembly format and running it under
+//! TinMan — no builder API needed.
+//!
+//! The app reads a secret via the cor widget, derives a login body from it
+//! (which triggers offloading), sends it, and checks the reply. We then
+//! disassemble the image to show the round trip.
+//!
+//! ```bash
+//! cargo run --example custom_app
+//! ```
+
+use std::collections::HashMap;
+
+use tinman::apps::servers::{install_auth_server, AuthServerSpec};
+use tinman::core::runtime::{Mode, TinmanConfig, TinmanRuntime};
+use tinman::cor::CorStore;
+use tinman::sim::{LinkProfile, SimDuration};
+use tinman::vm::{assemble, disassemble};
+
+const SOURCE: &str = r#"
+; my-vault: a hand-written TinMan app
+.string desc   "Vault password"
+.string site   "vault.example"
+.string prefix "user=alice&round=0&pass="
+.string okmark "OK"
+
+.native select    "ui.select_cor"
+.native connect   "net.connect"
+.native handshake "net.tls_handshake"
+.native send      "net.send"
+.native recv      "net.recv"
+.native close     "net.close"
+.native show      "ui.show"
+
+.func main args=0 locals=4
+  ; pick the secret from the cor list -> tainted placeholder in local 0
+  const_s desc
+  call_native select 1
+  store 0
+
+  ; open https to the vault
+  const_s site
+  const_i 443
+  call_native connect 2
+  store 1
+  load 1
+  call_native handshake 1
+  pop
+
+  ; body = prefix + secret  (tainted concat => offload happens HERE)
+  const_s prefix
+  load 0
+  concat
+  store 2
+
+  ; send (payload replacement) and read the reply
+  load 1
+  load 2
+  call_native send 2
+  pop
+  load 1
+  call_native recv 1
+  store 3
+
+  ; success = reply contains "OK"
+  load 3
+  const_s okmark
+  index_of
+  const_i 0
+  ge
+  load 1
+  call_native close 1
+  pop
+  halt
+.end
+"#;
+
+fn main() {
+    let app = assemble("my-vault", SOURCE).expect("assembles");
+    println!("assembled '{}' — {} instructions, image hash {}…\n",
+        app.name, app.code_len(), &app.hash_hex()[..16]);
+
+    // World: secret on the trusted node, vault server installed.
+    let secret = "v4ult-s3cret-passphrase";
+    let mut store = CorStore::new(1);
+    store.register(secret, "Vault password", &["vault.example"]).unwrap();
+    let mut rt = TinmanRuntime::new(store, LinkProfile::wifi(), TinmanConfig::default());
+    let tls = rt.server_tls_config();
+    install_auth_server(
+        &mut rt.world,
+        tls,
+        AuthServerSpec {
+            domain: "vault.example",
+            user: "alice",
+            password: secret.to_owned(),
+            hash_login: false,
+            think: SimDuration::from_millis(150),
+            page_bytes: 0,
+        },
+    );
+
+    let report = rt
+        .run_app(&app, Mode::TinMan, &HashMap::new())
+        .expect("app runs");
+    println!("login result:  {:?} (1 = accepted)", report.result);
+    println!("offloads:      {}", report.offloads);
+    println!("residue scan:  {}",
+        if rt.scan_residue(secret).is_clean() { "clean" } else { "FOUND (bug)" });
+
+    println!("\n--- disassembly (first 24 lines) ---");
+    for line in disassemble(&app).lines().take(24) {
+        println!("{line}");
+    }
+}

@@ -1,0 +1,210 @@
+//! `tinman-run` — run a text-assembly app under the TinMan runtime.
+//!
+//! ```bash
+//! tinman-run app.tasm \
+//!     --cor "Vault password=s3cret@vault.example" \
+//!     --input username=alice \
+//!     --link 3g --stock --scan s3cret
+//! ```
+//!
+//! The world is built from the flags: each `--cor` registers a secret on
+//! the trusted node (format `description=plaintext@domain`) and installs an
+//! authentication server for its domain that accepts `user=<any>&...&pass=
+//! <plaintext>`; each `--input` scripts an `app.input` key. After the run,
+//! `--scan <needle>` performs the §5.1 residue scan.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use tinman::apps::servers::{install_auth_server, AuthServerSpec};
+use tinman::core::runtime::{Mode, TinmanConfig, TinmanRuntime};
+use tinman::cor::CorStore;
+use tinman::sim::{LinkProfile, SimDuration};
+use tinman::vm::assemble;
+
+struct Options {
+    source_path: String,
+    cors: Vec<(String, String, String)>, // (description, plaintext, domain)
+    inputs: HashMap<String, String>,
+    link: LinkProfile,
+    stock: bool,
+    scans: Vec<String>,
+    disasm: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: tinman-run <app.tasm> [options]\n\
+     \n\
+     options:\n\
+       --cor <description>=<plaintext>@<domain>   register a cor + its site\n\
+       --input <key>=<value>                      script an app.input key\n\
+       --link wifi|3g                             radio profile (default wifi)\n\
+       --stock                                    run without TinMan (typed secrets)\n\
+       --scan <needle>                            residue-scan after the run\n\
+       --disasm                                   print the disassembly and exit\n"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        source_path: String::new(),
+        cors: Vec::new(),
+        inputs: HashMap::new(),
+        link: LinkProfile::wifi(),
+        stock: false,
+        scans: Vec::new(),
+        disasm: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cor" => {
+                let v = it.next().ok_or("--cor needs a value")?;
+                let (desc, rest) =
+                    v.split_once('=').ok_or("--cor format: description=plaintext@domain")?;
+                let (plain, domain) =
+                    rest.split_once('@').ok_or("--cor format: description=plaintext@domain")?;
+                opts.cors.push((desc.to_owned(), plain.to_owned(), domain.to_owned()));
+            }
+            "--input" => {
+                let v = it.next().ok_or("--input needs a value")?;
+                let (k, val) = v.split_once('=').ok_or("--input format: key=value")?;
+                opts.inputs.insert(k.to_owned(), val.to_owned());
+            }
+            "--link" => {
+                let v = it.next().ok_or("--link needs a value")?;
+                opts.link = match v.as_str() {
+                    "wifi" => LinkProfile::wifi(),
+                    "3g" => LinkProfile::three_g(),
+                    other => return Err(format!("unknown link '{other}'")),
+                };
+            }
+            "--stock" => opts.stock = true,
+            "--scan" => {
+                opts.scans.push(it.next().ok_or("--scan needs a value")?.clone());
+            }
+            "--disasm" => opts.disasm = true,
+            "--help" | "-h" => return Err(String::new()),
+            other if opts.source_path.is_empty() && !other.starts_with('-') => {
+                opts.source_path = other.to_owned();
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if opts.source_path.is_empty() {
+        return Err("no source file given".into());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let source = match std::fs::read_to_string(&opts.source_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", opts.source_path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let name = opts
+        .source_path
+        .rsplit('/')
+        .next()
+        .unwrap_or("app")
+        .trim_end_matches(".tasm")
+        .to_owned();
+    let app = match assemble(&name, &source) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.disasm {
+        print!("{}", tinman::vm::disassemble(&app));
+        return ExitCode::SUCCESS;
+    }
+
+    // Build the world.
+    let mut store = CorStore::new(0xC0FFEE);
+    for (desc, plain, _domain) in &opts.cors {
+        let domains: Vec<&str> = opts
+            .cors
+            .iter()
+            .filter(|(d, _, _)| d == desc)
+            .map(|(_, _, dom)| dom.as_str())
+            .collect();
+        if store.register(plain, desc, &domains).is_none() {
+            eprintln!("error: cor label space exhausted");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut rt = TinmanRuntime::new(store, opts.link.clone(), TinmanConfig::default());
+    let tls = rt.server_tls_config();
+    for (_, plain, domain) in &opts.cors {
+        install_auth_server(
+            &mut rt.world,
+            tls.clone(),
+            AuthServerSpec {
+                domain: Box::leak(domain.clone().into_boxed_str()),
+                user: opts.inputs.get("username").cloned().unwrap_or_default().leak(),
+                password: plain.clone(),
+                hash_login: false,
+                think: SimDuration::from_millis(200),
+                page_bytes: 0,
+            },
+        );
+    }
+
+    let mode = if opts.stock {
+        Mode::Stock(
+            opts.cors.iter().map(|(d, p, _)| (d.clone(), p.clone())).collect(),
+        )
+    } else {
+        Mode::TinMan
+    };
+    match rt.run_app(&app, mode, &opts.inputs) {
+        Ok(report) => {
+            println!("result:    {:?}", report.result);
+            println!("latency:   {}", report.latency);
+            println!("offloads:  {}", report.offloads);
+            println!(
+                "dsm:       {} syncs, {} B init, {} B dirty",
+                report.dsm.sync_count, report.dsm.init_bytes, report.dsm.dirty_bytes
+            );
+            println!(
+                "methods:   {} client / {} node",
+                report.client_methods, report.node_methods
+            );
+            let mut clean = true;
+            for needle in &opts.scans {
+                let r = rt.scan_residue(needle);
+                println!(
+                    "scan {:?}: {}",
+                    needle,
+                    if r.is_clean() { "clean".to_owned() } else { format!("FOUND at {:?}", r.hits) }
+                );
+                clean &= r.is_clean();
+            }
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

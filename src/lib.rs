@@ -1,0 +1,11 @@
+#![warn(missing_docs)]
+//! TinMan facade crate: re-exports the whole reproduction workspace.
+pub use tinman_apps as apps;
+pub use tinman_cor as cor;
+pub use tinman_core as core;
+pub use tinman_dsm as dsm;
+pub use tinman_net as net;
+pub use tinman_sim as sim;
+pub use tinman_taint as taint;
+pub use tinman_tls as tls;
+pub use tinman_vm as vm;

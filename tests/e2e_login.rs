@@ -1,0 +1,164 @@
+//! End-to-end login flows through the full TinMan stack.
+//!
+//! These tests exercise the complete paper pipeline: placeholder selection,
+//! taint-triggered offload, DSM migration with cor tokenization, SSL
+//! session injection, TCP payload replacement, migrate-back, and the §5.1
+//! residue scan — against a strict authentication server that only accepts
+//! the *real* credential.
+
+use std::collections::HashMap;
+
+use tinman::apps::logins::{build_login_app, LoginAppSpec};
+use tinman::apps::servers::{install_auth_server, AuthServerSpec};
+use tinman::core::runtime::{Mode, TinmanConfig, TinmanRuntime};
+use tinman::cor::CorStore;
+use tinman::sim::{LinkProfile, SimDuration};
+use tinman::vm::Value;
+
+const PASSWORD: &str = "hunter2-sUp3r-s3cret";
+
+fn inputs() -> HashMap<String, String> {
+    HashMap::from([("username".to_owned(), "alice".to_owned())])
+}
+
+/// Builds a runtime + server world for one login spec.
+fn setup(spec: &LoginAppSpec, link: LinkProfile) -> TinmanRuntime {
+    let mut store = CorStore::new(99);
+    store
+        .register(PASSWORD, spec.cor_description, &[spec.domain])
+        .expect("label space");
+    let mut rt = TinmanRuntime::new(store, link, TinmanConfig::default());
+    let tls = rt.server_tls_config();
+    install_auth_server(
+        &mut rt.world,
+        tls,
+        AuthServerSpec {
+            domain: spec.domain,
+            user: "alice",
+            password: PASSWORD.to_owned(),
+            hash_login: spec.hash_login,
+            think: SimDuration::from_millis(120),
+            page_bytes: 64_000,
+        },
+    );
+    rt
+}
+
+#[test]
+fn tinman_login_succeeds_and_leaves_no_residue() {
+    let spec = LoginAppSpec::paypal();
+    let app = build_login_app(&spec);
+    let mut rt = setup(&spec, LinkProfile::wifi());
+
+    let report = rt.run_app(&app, Mode::TinMan, &inputs()).expect("login runs");
+    assert_eq!(report.result, Value::Int(1), "server accepted the real credential");
+    assert!(report.offloads >= 1, "cor access must offload");
+    assert!(report.node_methods > 0, "some methods ran on the node");
+    assert!(report.client_methods > report.node_methods, "most code stays on the client");
+
+    // The paper's headline: zero plaintext residue on the device.
+    let residue = rt.scan_residue(PASSWORD);
+    assert!(residue.is_clean(), "found residue at {:?}", residue.hits);
+}
+
+#[test]
+fn stock_android_leaves_residue_tinman_does_not() {
+    let spec = LoginAppSpec::paypal();
+    let app = build_login_app(&spec);
+
+    // Stock: the user types the password.
+    let mut rt = setup(&spec, LinkProfile::wifi());
+    let secrets =
+        HashMap::from([(spec.cor_description.to_owned(), PASSWORD.to_owned())]);
+    let report = rt.run_app(&app, Mode::Stock(secrets), &inputs()).expect("stock login runs");
+    assert_eq!(report.result, Value::Int(1), "stock login also succeeds");
+    assert_eq!(report.offloads, 0, "stock never offloads");
+    let residue = rt.scan_residue(PASSWORD);
+    assert!(
+        !residue.is_clean(),
+        "the stock device must hold plaintext residue (that is the motivation)"
+    );
+}
+
+#[test]
+fn all_table3_apps_login_successfully() {
+    for spec in LoginAppSpec::table3() {
+        let app = build_login_app(&spec);
+        let mut rt = setup(&spec, LinkProfile::wifi());
+        let report = rt.run_app(&app, Mode::TinMan, &inputs()).expect("login runs");
+        assert_eq!(report.result, Value::Int(1), "{} login must succeed", spec.name);
+        assert!(rt.scan_residue(PASSWORD).is_clean(), "{} left residue", spec.name);
+        // Table 3 shape: a handful of syncs, init >> dirty.
+        assert!(
+            (2..=6).contains(&report.dsm.sync_count),
+            "{}: {} syncs",
+            spec.name,
+            report.dsm.sync_count
+        );
+        assert!(
+            report.dsm.init_bytes > report.dsm.dirty_bytes,
+            "{}: init {} <= dirty {}",
+            spec.name,
+            report.dsm.init_bytes,
+            report.dsm.dirty_bytes
+        );
+    }
+}
+
+#[test]
+fn login_on_3g_is_slower_than_wifi() {
+    let spec = LoginAppSpec::ebay();
+    let app = build_login_app(&spec);
+
+    let mut wifi = setup(&spec, LinkProfile::wifi());
+    let r_wifi = wifi.run_app(&app, Mode::TinMan, &inputs()).unwrap();
+    let mut threeg = setup(&spec, LinkProfile::three_g());
+    let r_3g = threeg.run_app(&app, Mode::TinMan, &inputs()).unwrap();
+
+    assert_eq!(r_wifi.result, Value::Int(1));
+    assert_eq!(r_3g.result, Value::Int(1));
+    assert!(
+        r_3g.latency > r_wifi.latency,
+        "3G {} must exceed Wi-Fi {}",
+        r_3g.latency,
+        r_wifi.latency
+    );
+}
+
+#[test]
+fn warm_runs_skip_the_image_upload() {
+    let spec = LoginAppSpec::github();
+    let app = build_login_app(&spec);
+    let mut rt = setup(&spec, LinkProfile::wifi());
+
+    let cold = rt.run_app(&app, Mode::TinMan, &inputs()).unwrap();
+    assert!(cold.breakdown.get("warmup") > SimDuration::ZERO, "first run uploads the image");
+    let warm = rt.run_app(&app, Mode::TinMan, &inputs()).unwrap();
+    assert_eq!(warm.breakdown.get("warmup"), SimDuration::ZERO, "cache hit");
+    assert!(warm.latency < cold.latency);
+}
+
+#[test]
+fn offline_device_cannot_access_cor() {
+    let spec = LoginAppSpec::paypal();
+    let app = build_login_app(&spec);
+    let mut store = CorStore::new(99);
+    store.register(PASSWORD, spec.cor_description, &[spec.domain]).unwrap();
+    let config = TinmanConfig { online: false, ..TinmanConfig::default() };
+    let mut rt = TinmanRuntime::new(store, LinkProfile::wifi(), config);
+    let tls = rt.server_tls_config();
+    install_auth_server(
+        &mut rt.world,
+        tls,
+        AuthServerSpec {
+            domain: spec.domain,
+            user: "alice",
+            password: PASSWORD.to_owned(),
+            hash_login: false,
+            think: SimDuration::ZERO,
+            page_bytes: 0,
+        },
+    );
+    let err = rt.run_app(&app, Mode::TinMan, &inputs()).unwrap_err();
+    assert!(matches!(err, tinman::core::error::RuntimeError::Offline));
+}

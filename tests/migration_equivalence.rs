@@ -1,0 +1,197 @@
+//! Migration transparency: offloading must be semantically invisible.
+//!
+//! The strongest property of COMET-style offloading is that a program
+//! computes the same result whether or not execution migrated mid-way.
+//! These tests run the same computations (a) entirely on one machine and
+//! (b) interrupted by forced migrations at many different points, and
+//! require identical results.
+
+use tinman::dsm::{DsmEngine, PassthroughMaterializer, SyncCause};
+use tinman::taint::TaintEngine;
+use tinman::vm::machine::LockSite;
+use tinman::vm::{interp, ExecConfig, ExecEvent, Insn, Machine, ProgramBuilder, Value};
+
+/// A computation with heap state, calls, strings, and arrays — enough
+/// surface for a migration to corrupt if anything is mis-shipped.
+fn build_workload(seed: i64) -> tinman::vm::AppImage {
+    let mut p = ProgramBuilder::new("mig");
+    let cls = p.class("Acc", &["total", "buf"]);
+    let s_chunk = p.string("chunk-");
+
+    let step = p.define("step", 2, 4, |b, _| {
+        // locals: 0=acc, 1=i, 2=buf, 3=idx
+        // acc.total = (acc.total * 31 + i) mod 1e9+7
+        b.load(0);
+        b.load(0).op(Insn::GetField(0)).const_i(31).op(Insn::Mul);
+        b.load(1).op(Insn::Add);
+        b.const_i(1_000_000_007).op(Insn::Rem);
+        b.op(Insn::PutField(0));
+        // buf[i % len] = buf[i % len] + seed
+        b.load(0).op(Insn::GetField(1)).store(2);
+        b.load(1).load(2).op(Insn::ArrLen).op(Insn::Rem).store(3);
+        b.load(2).load(3); // [arr, idx]
+        b.load(2).load(3).op(Insn::ArrLoad).const_i(seed).op(Insn::Add); // [arr, idx, value]
+        b.op(Insn::ArrStore);
+        b.op(Insn::RetVoid);
+    });
+
+    let main = p.define("main", 0, 5, |b, _| {
+        b.op(Insn::New(cls)).store(0);
+        b.load(0).const_i(seed).op(Insn::PutField(0));
+        b.const_i(8).op(Insn::NewArr).store(3);
+        b.load(0).load(3).op(Insn::PutField(1));
+        b.const_i(60).store(2);
+        b.for_loop(1, 2, |b| {
+            b.load(0).load(1).op(Insn::Call(step)).op(Insn::Pop);
+            // string churn so the heap keeps growing
+            b.op(Insn::ConstS(s_chunk)).load(1).op(Insn::StrFromInt).op(Insn::StrConcat);
+            b.op(Insn::Pop);
+        });
+        // Result: total + buf[3]
+        b.load(0).op(Insn::GetField(0));
+        b.load(0).op(Insn::GetField(1)).const_i(3).op(Insn::ArrLoad);
+        b.op(Insn::Add);
+        b.op(Insn::Halt);
+    });
+    p.build(main)
+}
+
+/// Runs to completion on a single machine.
+fn run_straight(image: &tinman::vm::AppImage) -> Value {
+    let mut m = Machine::new();
+    let mut host = interp::NullHost;
+    let mut engine = TaintEngine::none();
+    match interp::run(&mut m, image, &mut host, &mut engine, ExecConfig::client()).unwrap() {
+        ExecEvent::Halted(v) => v,
+        other => panic!("{other:?}"),
+    }
+}
+
+/// Runs with a forced migration between two machines every `quantum`
+/// instructions, alternating endpoints like real offloading does.
+fn run_with_migrations(image: &tinman::vm::AppImage, quantum: u64) -> (Value, u64) {
+    let mut a = Machine::new(); // "client"
+    let mut b = Machine::new(); // "node"
+    let mut host = interp::NullHost;
+    let mut engine_a = TaintEngine::asymmetric();
+    let mut engine_b = TaintEngine::full();
+    let mut dsm = DsmEngine::new();
+    let mut on_a = true;
+    let mut migrations = 0u64;
+
+    loop {
+        let (machine, engine, site) = if on_a {
+            (&mut a, &mut engine_a, LockSite::Client)
+        } else {
+            (&mut b, &mut engine_b, LockSite::TrustedNode)
+        };
+        let config = ExecConfig { site, taint_idle_limit: None, fuel: Some(quantum) };
+        match interp::run(machine, image, &mut host, engine, config).unwrap() {
+            ExecEvent::Halted(v) => return (v, migrations),
+            ExecEvent::OutOfFuel => {
+                // Quantum expired: migrate to the other endpoint.
+                let (src, dst, from) = if on_a {
+                    (&mut a, &mut b, LockSite::Client)
+                } else {
+                    (&mut b, &mut a, LockSite::TrustedNode)
+                };
+                dsm.migrate(
+                    src,
+                    dst,
+                    from,
+                    SyncCause::OffloadTrigger,
+                    &mut PassthroughMaterializer,
+                    &mut PassthroughMaterializer,
+                )
+                .unwrap();
+                dst.status = tinman::vm::MachineStatus::Runnable;
+                migrations += 1;
+                on_a = !on_a;
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(migrations < 10_000, "must terminate");
+    }
+}
+
+#[test]
+fn result_is_identical_across_migration_schedules() {
+    let image = build_workload(17);
+    let expected = run_straight(&image);
+    for quantum in [23u64, 57, 101, 333, 1000, 5000] {
+        let (v, migrations) = run_with_migrations(&image, quantum);
+        assert_eq!(v, expected, "quantum {quantum} ({migrations} migrations)");
+        if quantum < 200 {
+            assert!(migrations > 2, "small quanta must actually migrate");
+        }
+    }
+}
+
+#[test]
+fn different_seeds_different_results_same_transparency() {
+    for seed in [1, 99, -5, 123456] {
+        let image = build_workload(seed);
+        let expected = run_straight(&image);
+        let (v, _) = run_with_migrations(&image, 77);
+        assert_eq!(v, expected, "seed {seed}");
+    }
+}
+
+#[test]
+fn heaps_converge_after_final_migration() {
+    let image = build_workload(3);
+    let mut a = Machine::new();
+    let mut b = Machine::new();
+    let mut host = interp::NullHost;
+    let mut engine = TaintEngine::none();
+    let mut dsm = DsmEngine::new();
+
+    // Run halfway on A, migrate, finish on B, migrate back.
+    let ev = interp::run(
+        &mut a,
+        &image,
+        &mut host,
+        &mut engine,
+        ExecConfig::client().with_fuel(500),
+    )
+    .unwrap();
+    assert!(matches!(ev, ExecEvent::OutOfFuel));
+    dsm.migrate(
+        &mut a,
+        &mut b,
+        LockSite::Client,
+        SyncCause::OffloadTrigger,
+        &mut PassthroughMaterializer,
+        &mut PassthroughMaterializer,
+    )
+    .unwrap();
+    b.status = tinman::vm::MachineStatus::Runnable;
+    let ev = interp::run(
+        &mut b,
+        &image,
+        &mut host,
+        &mut engine,
+        ExecConfig::trusted_node(u64::MAX),
+    )
+    .unwrap();
+    let result = match ev {
+        ExecEvent::Halted(v) => v,
+        other => panic!("{other:?}"),
+    };
+    dsm.migrate(
+        &mut b,
+        &mut a,
+        LockSite::TrustedNode,
+        SyncCause::TaintIdle,
+        &mut PassthroughMaterializer,
+        &mut PassthroughMaterializer,
+    )
+    .unwrap();
+
+    // Heaps are element-wise identical (no taint in this workload).
+    assert_eq!(a.heap.len(), b.heap.len());
+    for (id, obj) in b.heap.iter() {
+        assert_eq!(&a.heap.get(id).unwrap().kind, &obj.kind, "{id:?}");
+    }
+    assert_eq!(result, run_straight(&image));
+}

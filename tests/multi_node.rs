@@ -1,0 +1,135 @@
+//! Multiple trusted nodes (§5.3): "a user can deploy different trusted
+//! nodes for different passwords to avoid putting all eggs in one basket.
+//! Further, deploying passwords on multiple sites can also tolerate
+//! various kinds of service failure."
+
+use std::collections::HashMap;
+
+use tinman::apps::logins::{build_login_app, LoginAppSpec};
+use tinman::apps::servers::{install_auth_server, AuthServerSpec};
+use tinman::core::error::RuntimeError;
+use tinman::core::runtime::{Mode, TinmanConfig, TinmanRuntime};
+use tinman::cor::{CorStore, PolicyDecision};
+use tinman::sim::{LinkProfile, SimDuration};
+use tinman::vm::Value;
+
+const WORK_PASSWORD: &str = "employer-vault-secret";
+const PERSONAL_PASSWORD: &str = "personal-social-secret";
+
+fn inputs() -> HashMap<String, String> {
+    HashMap::from([("username".to_owned(), "alice".to_owned())])
+}
+
+/// Two trusted nodes: the employer's (labels 0..32, holds the work
+/// password for github.com) and a personal one (labels 32..64, holds the
+/// personal password for askfm.com). Both sites installed.
+fn setup() -> TinmanRuntime {
+    // Employer node: the primary.
+    let mut work_store = CorStore::with_label_range(11, 0, 32);
+    work_store.register(WORK_PASSWORD, "GitHub password", &["github.com"]).unwrap();
+    let mut rt = TinmanRuntime::new(work_store, LinkProfile::wifi(), TinmanConfig::default());
+
+    // Personal node: disjoint label range.
+    let mut personal_store = CorStore::with_label_range(22, 32, 64);
+    personal_store.register(PERSONAL_PASSWORD, "Ask.fm password", &["askfm.com"]).unwrap();
+    let idx = rt.add_trusted_node("personal-node", personal_store);
+    assert_eq!(idx, 1);
+
+    let tls = rt.server_tls_config();
+    for (domain, password) in
+        [("github.com", WORK_PASSWORD), ("askfm.com", PERSONAL_PASSWORD)]
+    {
+        install_auth_server(
+            &mut rt.world,
+            tls.clone(),
+            AuthServerSpec {
+                domain,
+                user: "alice",
+                password: password.to_owned(),
+                hash_login: false,
+                think: SimDuration::from_millis(50),
+                page_bytes: 0,
+            },
+        );
+    }
+    rt
+}
+
+#[test]
+fn each_login_routes_to_its_own_node() {
+    let mut rt = setup();
+    let github = build_login_app(&LoginAppSpec::github());
+    let askfm = build_login_app(&LoginAppSpec::askfm());
+
+    // Work login: served by the primary (employer) node.
+    let r1 = rt.run_app(&github, Mode::TinMan, &inputs()).expect("github login");
+    assert_eq!(r1.result, Value::Int(1));
+    assert!(!rt.node.audit.is_empty(), "employer node audited the access");
+    assert!(rt.extra_nodes[0].audit.is_empty(), "personal node saw nothing");
+
+    // Personal login: served by the personal node.
+    let r2 = rt.run_app(&askfm, Mode::TinMan, &inputs()).expect("askfm login");
+    assert_eq!(r2.result, Value::Int(1));
+    assert!(!rt.extra_nodes[0].audit.is_empty(), "personal node audited the access");
+
+    // Neither secret ever touched the phone.
+    assert!(rt.scan_residue(WORK_PASSWORD).is_clean());
+    assert!(rt.scan_residue(PERSONAL_PASSWORD).is_clean());
+}
+
+#[test]
+fn personal_secrets_never_reach_the_employer_node() {
+    // The §5.3 privacy motivation: the employer's node must not learn the
+    // personal password, even as a derived cor.
+    let mut rt = setup();
+    let askfm = build_login_app(&LoginAppSpec::askfm());
+    rt.run_app(&askfm, Mode::TinMan, &inputs()).expect("askfm login");
+
+    // All derived cors from the personal login live in the personal
+    // node's store, none in the employer's.
+    assert_eq!(rt.node.store.len(), 1, "employer store holds only the work password");
+    assert!(rt.extra_nodes[0].store.len() > 1, "personal store gained derived cors");
+    // And the employer's store has no record whose plaintext embeds the
+    // personal password.
+    assert!(rt.node.store.find_by_plaintext(PERSONAL_PASSWORD).is_none());
+}
+
+#[test]
+fn revoking_one_node_leaves_the_other_usable() {
+    // Service failure / compromise of one basket: the other keeps working.
+    let mut rt = setup();
+    let github = build_login_app(&LoginAppSpec::github());
+    let askfm = build_login_app(&LoginAppSpec::askfm());
+
+    // The employer revokes the device on ITS node only.
+    rt.node.policy.revoke_device("phone-1");
+
+    let err = rt.run_app(&github, Mode::TinMan, &inputs()).unwrap_err();
+    assert!(matches!(err, RuntimeError::PolicyDenied(PolicyDecision::DeniedRevoked)));
+
+    let ok = rt.run_app(&askfm, Mode::TinMan, &inputs()).expect("personal login unaffected");
+    assert_eq!(ok.result, Value::Int(1));
+}
+
+#[test]
+fn directory_lists_cors_from_all_nodes() {
+    let rt = setup();
+    assert!(rt.client.directory.find_by_description("GitHub password").is_some());
+    assert!(rt.client.directory.find_by_description("Ask.fm password").is_some());
+    // The merged directory still contains no plaintext.
+    assert!(!rt.client.directory.contains_text(WORK_PASSWORD));
+    assert!(!rt.client.directory.contains_text(PERSONAL_PASSWORD));
+}
+
+#[test]
+fn warm_caches_are_per_node() {
+    let mut rt = setup();
+    let github = build_login_app(&LoginAppSpec::github());
+    let askfm = build_login_app(&LoginAppSpec::askfm());
+    rt.run_app(&github, Mode::TinMan, &inputs()).unwrap();
+    assert!(rt.node.is_warm(&github.hash()));
+    assert!(!rt.extra_nodes[0].is_warm(&askfm.hash()), "other node still cold");
+    rt.run_app(&askfm, Mode::TinMan, &inputs()).unwrap();
+    assert!(rt.extra_nodes[0].is_warm(&askfm.hash()));
+    assert!(!rt.node.is_warm(&askfm.hash()), "employer node never saw the personal app");
+}

@@ -1,0 +1,318 @@
+//! Property-based tests over the core invariants (proptest).
+//!
+//! These cover the invariants DESIGN.md calls out: cipher round-trips,
+//! TCP delivery under adversarial segment scheduling, DSM convergence with
+//! cor tokenization, taint-engine fidelity (the asymmetric engine never
+//! misses a trigger), placeholder properties, and engine-independence of
+//! program results.
+
+use proptest::prelude::*;
+
+use tinman::cor::CorStore;
+use tinman::dsm::{CorMaterializer, HeapDelta, PassthroughMaterializer};
+use tinman::taint::{EngineKind, Label, PropClass, TaintEngine, TaintSet};
+use tinman::tls::cipher::{cbc_decrypt, cbc_encrypt, Rc4, Xtea, BLOCK};
+use tinman::tls::{CipherSuite, ContentType, TlsRole, TlsSession, TlsVersion};
+use tinman::vm::{Heap, Value};
+
+// ---------- ciphers ----------
+
+proptest! {
+    #[test]
+    fn rc4_round_trips(key in proptest::collection::vec(any::<u8>(), 1..64),
+                       msg in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut enc = Rc4::new(&key);
+        let mut data = msg.clone();
+        enc.apply(&mut data);
+        let mut dec = Rc4::new(&key);
+        dec.apply(&mut data);
+        prop_assert_eq!(data, msg);
+    }
+
+    #[test]
+    fn cbc_round_trips_any_length(key in any::<[u8; 16]>(),
+                                  iv in any::<[u8; BLOCK]>(),
+                                  msg in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let cipher = Xtea::new(&key);
+        let ct = cbc_encrypt(&cipher, &iv, &msg);
+        prop_assert_eq!(ct.len() % BLOCK, 0);
+        prop_assert!(ct.len() > msg.len(), "padding always present");
+        let back = cbc_decrypt(&cipher, &iv, &ct).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn cbc_equal_lengths_stay_equal(key in any::<[u8; 16]>(),
+                                    iv in any::<[u8; BLOCK]>(),
+                                    len in 0usize..300) {
+        // The property payload replacement rests on: two plaintexts of the
+        // same length always seal to ciphertexts of the same length.
+        let cipher = Xtea::new(&key);
+        let a = cbc_encrypt(&cipher, &iv, &vec![0x41; len]);
+        let b = cbc_encrypt(&cipher, &iv, &vec![0x42; len]);
+        prop_assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn tls_records_round_trip_any_payload(
+        payload in proptest::collection::vec(any::<u8>(), 0..2000),
+        use_rc4 in any::<bool>(),
+    ) {
+        let suite = if use_rc4 { CipherSuite::Rc4HmacSha256 } else { CipherSuite::XteaCbcHmacSha256 };
+        let master = [5u8; 32];
+        let mut c = TlsSession::from_master(master, TlsVersion::Tls12, suite, TlsRole::Client, 1);
+        let mut s = TlsSession::from_master(master, TlsVersion::Tls12, suite, TlsRole::Server, 2);
+        let wire = c.seal(ContentType::ApplicationData, &payload);
+        let opened = s.open(&wire).unwrap();
+        prop_assert_eq!(opened.len(), 1);
+        prop_assert_eq!(&opened[0].1, &payload);
+    }
+
+    #[test]
+    fn tls_tampering_any_byte_is_detected(
+        payload in proptest::collection::vec(any::<u8>(), 1..200),
+        flip in any::<usize>(),
+    ) {
+        let master = [5u8; 32];
+        let mut c = TlsSession::from_master(
+            master, TlsVersion::Tls12, CipherSuite::XteaCbcHmacSha256, TlsRole::Client, 1);
+        let mut s = TlsSession::from_master(
+            master, TlsVersion::Tls12, CipherSuite::XteaCbcHmacSha256, TlsRole::Server, 2);
+        let mut wire = c.seal(ContentType::ApplicationData, &payload);
+        // Flip one bit somewhere in the record body (skip the 4-byte
+        // header: header corruption may legitimately parse as a shorter or
+        // pending record).
+        let n = wire.len();
+        let idx = 4 + (flip % (n - 4));
+        wire[idx] ^= 0x01;
+        prop_assert!(s.open(&wire).is_err());
+    }
+}
+
+// ---------- TCP under adversarial scheduling ----------
+
+proptest! {
+    #[test]
+    fn tcp_reassembles_under_reordering_and_duplication(
+        data in proptest::collection::vec(any::<u8>(), 1..8000),
+        order_seed in any::<u64>(),
+        duplicate in any::<bool>(),
+    ) {
+        use tinman::net::tcp::TcpConn;
+        use tinman::net::Addr;
+        use tinman::net::HostId;
+
+        let c_addr = Addr::new(HostId(1), 40000);
+        let s_addr = Addr::new(HostId(2), 443);
+        let (mut client, syn) = TcpConn::connect(c_addr, s_addr, 77);
+        let (mut server, syn_ack) = TcpConn::accept(s_addr, &syn, 990);
+        for a in client.on_segment(&syn_ack) {
+            server.on_segment(&a);
+        }
+
+        let mut segs = client.send(&data);
+        if duplicate {
+            let dup = segs.clone();
+            segs.extend(dup);
+        }
+        // Deterministic shuffle from the seed.
+        let mut rng = order_seed;
+        for i in (1..segs.len()).rev() {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (rng >> 33) as usize % (i + 1);
+            segs.swap(i, j);
+        }
+        for seg in segs {
+            for reply in server.on_segment(&seg) {
+                client.on_segment(&reply);
+            }
+        }
+        prop_assert_eq!(server.read_available(), data);
+    }
+}
+
+// ---------- taint engines ----------
+
+proptest! {
+    /// The asymmetric engine triggers exactly when tainted heap data would
+    /// reach the stack or derive a new value — i.e. it cannot "miss" a flow
+    /// the full engine would track onto the stack.
+    #[test]
+    fn asymmetric_never_misses_a_heap_exit(
+        moves in proptest::collection::vec((0u8..5, any::<bool>()), 1..100),
+    ) {
+        let mut asym = TaintEngine::asymmetric();
+        let tainted = Label::new(3).unwrap().as_set();
+        let mut triggered = false;
+        let mut tainted_escaped_heap = false;
+        for (class, is_tainted) in moves {
+            let src = if is_tainted { tainted } else { TaintSet::EMPTY };
+            let outcome = match class {
+                0 => asym.on_move(PropClass::HeapToHeap, src),
+                1 => asym.on_move(PropClass::HeapToStack, src),
+                2 => asym.on_move(PropClass::StackToStack, src),
+                3 => asym.on_move(PropClass::StackToHeap, src),
+                _ => asym.on_derive(src),
+            };
+            if matches!(class, 1 | 4) && is_tainted && !triggered {
+                tainted_escaped_heap = true;
+            }
+            if outcome.trigger_offload {
+                triggered = true;
+            }
+        }
+        prop_assert_eq!(triggered, tainted_escaped_heap,
+            "trigger iff tainted data attempted to leave the heap");
+    }
+
+    /// A pure computation's result does not depend on the taint engine.
+    #[test]
+    fn results_are_engine_independent(a in -1000i64..1000, b in -1000i64..1000, n in 1u32..20) {
+        use tinman::vm::{interp, ExecConfig, ExecEvent, Insn, Machine, ProgramBuilder};
+
+        let build = || {
+            let mut p = ProgramBuilder::new("prop");
+            let main = p.define("main", 0, 4, |bld, _| {
+                bld.const_i(a).store(0);
+                bld.const_i(n as i64).store(2);
+                bld.for_loop(1, 2, |bld| {
+                    bld.load(0).const_i(b).op(Insn::Add).const_i(3).op(Insn::Mul).store(0);
+                });
+                bld.load(0).op(Insn::Halt);
+            });
+            p.build(main)
+        };
+        let run = |kind: EngineKind| {
+            let image = build();
+            let mut m = Machine::new();
+            let mut host = interp::NullHost;
+            let mut e = match kind {
+                EngineKind::None => TaintEngine::none(),
+                EngineKind::Full => TaintEngine::full(),
+                EngineKind::Asymmetric => TaintEngine::asymmetric(),
+            };
+            match interp::run(&mut m, &image, &mut host, &mut e, ExecConfig::client()).unwrap() {
+                ExecEvent::Halted(v) => v,
+                other => panic!("{other:?}"),
+            }
+        };
+        let r0 = run(EngineKind::None);
+        prop_assert_eq!(run(EngineKind::Full), r0);
+        prop_assert_eq!(run(EngineKind::Asymmetric), r0);
+    }
+}
+
+// ---------- DSM convergence ----------
+
+proptest! {
+    /// After a full sync, the receiving heap matches the sender except for
+    /// tainted content, for arbitrary heaps.
+    #[test]
+    fn dsm_full_sync_converges(
+        strings in proptest::collection::vec(("[a-z]{0,40}", any::<bool>()), 0..40),
+    ) {
+        let mut src = Heap::new();
+        let label = Label::new(7).unwrap().as_set();
+        for (content, tainted) in &strings {
+            if *tainted {
+                src.alloc_str_tainted(content.clone(), label);
+            } else {
+                src.alloc_str(content.clone());
+            }
+        }
+        let mut mat = PassthroughMaterializer;
+        let delta = HeapDelta::build_full(&src, &mut mat).unwrap();
+        let mut dst = Heap::new();
+        delta.apply(&mut dst, &mut mat).unwrap();
+
+        prop_assert_eq!(dst.len(), src.len());
+        for (id, obj) in src.iter() {
+            let d = dst.get(id).unwrap();
+            prop_assert_eq!(d.taint, obj.taint);
+            if obj.taint.is_empty() {
+                prop_assert_eq!(&d.kind, &obj.kind, "untainted content identical");
+            } else {
+                // Tainted content is shape-preserved but scrubbed.
+                prop_assert_eq!(
+                    dst.str_value(id).unwrap().len(),
+                    src.str_value(id).unwrap().len()
+                );
+            }
+        }
+    }
+
+    /// Incremental dirty syncs converge to the same state as one full sync.
+    #[test]
+    fn dsm_dirty_syncs_converge(
+        batches in proptest::collection::vec(
+            proptest::collection::vec("[a-z]{1,20}", 1..10), 1..5),
+    ) {
+        let mut mat = PassthroughMaterializer;
+        let mut src = Heap::new();
+        let mut dst = Heap::new();
+        // Initial sync of an empty heap.
+        HeapDelta::build_full(&src, &mut mat).unwrap().apply(&mut dst, &mut mat).unwrap();
+        src.clear_sync_marks();
+        for batch in &batches {
+            for s in batch {
+                src.alloc_str(s.clone());
+            }
+            let delta = HeapDelta::build_dirty(&src, &mut mat).unwrap();
+            delta.apply(&mut dst, &mut mat).unwrap();
+            src.clear_sync_marks();
+        }
+        prop_assert_eq!(dst.len(), src.len());
+        for (id, obj) in src.iter() {
+            prop_assert_eq!(&dst.get(id).unwrap().kind, &obj.kind);
+        }
+    }
+}
+
+// ---------- cor store ----------
+
+proptest! {
+    #[test]
+    fn placeholders_match_length_never_value(secret in "[!-~]{1,60}") {
+        let mut store = CorStore::new(3);
+        // NB: the description must not share text with the secret — the
+        // residue scan is substring-based and descriptions are public.
+        let id = store.register(&secret, " ", &[]).unwrap();
+        let ph = store.placeholder(id).unwrap();
+        prop_assert_eq!(ph.len(), secret.len());
+        prop_assert_ne!(ph, secret.as_str());
+        // The serialized client directory never contains the secret.
+        let dir = store.client_directory();
+        prop_assert!(!dir.contains_text(&secret));
+    }
+
+    #[test]
+    fn derived_cor_round_trip(parent in "[a-z]{4,20}", derived in "[A-Z0-9]{4,40}") {
+        let mut store = CorStore::new(9);
+        let p = store.register(&parent, "parent", &["site.com"]).unwrap();
+        let d = store.register_derived(&derived, p.taint()).unwrap();
+        prop_assert_eq!(store.plaintext(d).unwrap(), derived.as_str());
+        prop_assert_eq!(store.find_by_plaintext(&derived), Some(d));
+        prop_assert_eq!(store.placeholder(d).unwrap().len(), derived.len());
+        // Whitelist inherited.
+        prop_assert!(store.get(d).unwrap().whitelist.contains(&"site.com".to_owned()));
+    }
+}
+
+// ---------- materializer leak-freedom ----------
+
+proptest! {
+    /// For any plaintext, the node-side tokenization of a tainted string
+    /// never serializes the plaintext.
+    #[test]
+    fn node_tokens_never_leak(secret in "[a-zA-Z0-9]{8,40}") {
+        use tinman::core::materialize::NodeMaterializer;
+        use tinman::vm::HeapKind;
+
+        let mut store = CorStore::new(1);
+        let id = store.register(&secret, "s", &[]).unwrap();
+        let mut nm = NodeMaterializer { store: &mut store };
+        let token = nm.tokenize(&HeapKind::Str(secret.clone()), id.taint()).unwrap();
+        let wire = serde_json::to_string(&token).unwrap();
+        prop_assert!(!wire.contains(&secret));
+    }
+}
