@@ -237,18 +237,18 @@ impl CaffeinemarkResult {
 /// Runs one kernel under the given taint engine on a client-configured
 /// machine; no natives, no offloading — pure interpreter cost, exactly
 /// what Figure 13 isolates.
-pub fn run_kernel(kernel: CaffeinemarkKernel, engine: &mut TaintEngine, scale: u32) -> CaffeinemarkResult {
+pub fn run_kernel(
+    kernel: CaffeinemarkKernel,
+    engine: &mut TaintEngine,
+    scale: u32,
+) -> CaffeinemarkResult {
     let image = kernel.build(scale);
     let mut machine = Machine::new();
     let mut host = tinman_vm::interp::NullHost;
     let event = interp::run(&mut machine, &image, &mut host, engine, ExecConfig::client())
         .expect("caffeinemark kernels cannot fault");
     assert!(matches!(event, ExecEvent::Halted(_)), "kernels must halt");
-    CaffeinemarkResult {
-        kernel,
-        cycles: machine.stats.cycles,
-        instrs: machine.stats.instrs,
-    }
+    CaffeinemarkResult { kernel, cycles: machine.stats.cycles, instrs: machine.stats.instrs }
 }
 
 #[cfg(test)]

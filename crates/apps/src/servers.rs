@@ -34,10 +34,12 @@ pub struct AuthServerSpec {
 
 /// Extracts `key=value` from a `&`-separated body.
 fn form_value<'a>(body: &'a str, key: &str) -> Option<&'a str> {
-    body.split('&').find_map(|kv| kv.strip_prefix(&format!("{key}=")).or({
-        // first pair has no leading '&'; strip_prefix covers it already
-        None
-    }))
+    body.split('&').find_map(|kv| {
+        kv.strip_prefix(&format!("{key}=")).or({
+            // first pair has no leading '&'; strip_prefix covers it already
+            None
+        })
+    })
 }
 
 /// Installs an authentication server for `spec`; returns its host id.
@@ -45,11 +47,7 @@ fn form_value<'a>(body: &'a str, key: &str) -> Option<&'a str> {
 /// The handler accepts requests shaped like the login apps produce
 /// (`user=<u>&round=<n>&pass=<p>`) and replies `200 OK token=<t>` or
 /// `403 FORBIDDEN`.
-pub fn install_auth_server(
-    world: &mut NetWorld,
-    tls: TlsConfig,
-    spec: AuthServerSpec,
-) -> HostId {
+pub fn install_auth_server(world: &mut NetWorld, tls: TlsConfig, spec: AuthServerSpec) -> HostId {
     let host = world.add_host(spec.domain, tinman_sim::LinkProfile::ethernet());
     let expected = if spec.hash_login {
         let d = Sha256::digest(spec.password.as_bytes());

@@ -115,7 +115,12 @@ fn build_game_kernel() -> AppImage {
         b.const_i(400).store(2);
         b.for_loop(1, 2, |b| {
             b.load(3).op(Insn::Call(step)).op(Insn::Pop);
-            b.load(1).op(Insn::I2D).op(Insn::ConstD(0.016)).op(Insn::Mul).op(Insn::D2I).op(Insn::Pop);
+            b.load(1)
+                .op(Insn::I2D)
+                .op(Insn::ConstD(0.016))
+                .op(Insn::Mul)
+                .op(Insn::D2I)
+                .op(Insn::Pop);
         });
         b.const_i(0).op(Insn::Halt);
     });

@@ -84,7 +84,7 @@ fn bench_tls(c: &mut Criterion) {
 fn bench_policy(c: &mut Criterion) {
     let mut engine = PolicyEngine::new();
     engine.set_rule(
-        CorId(0),
+        CorId::new(0).unwrap(),
         PolicyRule {
             bound_app_hash: Some([1u8; 32]),
             domain_whitelist: vec!["site.com".into()],
@@ -94,15 +94,13 @@ fn bench_policy(c: &mut Criterion) {
         },
     );
     let req = AccessRequest {
-        cor: CorId(0),
+        cor: CorId::new(0).unwrap(),
         app_hash: [1u8; 32],
         dest_domain: Some("site.com".into()),
         device: "phone-1".into(),
         now: SimTime::ZERO + tinman_sim::SimDuration::from_secs(10 * 3600),
     };
-    c.bench_function("policy_full_rule_check", |b| {
-        b.iter(|| engine.check(&req, &[]).is_allowed())
-    });
+    c.bench_function("policy_full_rule_check", |b| b.iter(|| engine.check(&req, &[]).is_allowed()));
 }
 
 criterion_group!(benches, bench_interpreter, bench_dsm, bench_tls, bench_policy);

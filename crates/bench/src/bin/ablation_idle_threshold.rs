@@ -15,8 +15,8 @@
 use std::collections::HashMap;
 
 use tinman_bench::{banner, emit_json, secs};
-use tinman_core::runtime::{Mode, TinmanConfig, TinmanRuntime};
 use tinman_cor::CorStore;
+use tinman_core::runtime::{Mode, TinmanConfig, TinmanRuntime};
 use tinman_sim::LinkProfile;
 use tinman_vm::{AppImage, Insn, ProgramBuilder};
 

@@ -8,17 +8,15 @@
 
 use tinman_apps::logins::{build_login_app, LoginAppSpec};
 use tinman_bench::{banner, emit_json, harness_inputs, run_stock_login, secs};
-use tinman_core::runtime::{Mode, TinmanConfig, TinmanRuntime};
 use tinman_cor::CorStore;
+use tinman_core::runtime::{Mode, TinmanConfig, TinmanRuntime};
 use tinman_sim::{LinkProfile, SimDuration};
 
 fn run_with_link(link: LinkProfile) -> (f64, f64, f64, f64) {
     let spec = LoginAppSpec::paypal();
     let app = build_login_app(&spec);
     let mut store = CorStore::new(99);
-    store
-        .register(tinman_bench::HARNESS_PASSWORD, spec.cor_description, &[spec.domain])
-        .unwrap();
+    store.register(tinman_bench::HARNESS_PASSWORD, spec.cor_description, &[spec.domain]).unwrap();
     let mut rt = TinmanRuntime::new(store, link.clone(), TinmanConfig::default());
     let tls = rt.server_tls_config();
     tinman_apps::servers::install_auth_server(
@@ -57,32 +55,41 @@ fn main() {
     let mut rows = Vec::new();
 
     let links: Vec<(&str, LinkProfile)> = vec![
-        ("ethernet-tether", LinkProfile {
-            name: "ethernet-tether",
-            rtt: SimDuration::from_millis(2),
-            bytes_per_sec: 10_000_000,
-            tx_nj_per_byte: 10,
-            rx_nj_per_byte: 10,
-            active_radio_mw: 50,
-        }),
+        (
+            "ethernet-tether",
+            LinkProfile {
+                name: "ethernet-tether",
+                rtt: SimDuration::from_millis(2),
+                bytes_per_sec: 10_000_000,
+                tx_nj_per_byte: 10,
+                rx_nj_per_byte: 10,
+                active_radio_mw: 50,
+            },
+        ),
         ("wifi (paper)", LinkProfile::wifi()),
         ("3g (paper)", LinkProfile::three_g()),
-        ("congested-wifi", LinkProfile {
-            name: "congested-wifi",
-            rtt: SimDuration::from_millis(80),
-            bytes_per_sec: 300_000,
-            tx_nj_per_byte: 300,
-            rx_nj_per_byte: 180,
-            active_radio_mw: 400,
-        }),
-        ("edge-2g", LinkProfile {
-            name: "edge-2g",
-            rtt: SimDuration::from_millis(400),
-            bytes_per_sec: 30_000,
-            tx_nj_per_byte: 2_500,
-            rx_nj_per_byte: 1_200,
-            active_radio_mw: 900,
-        }),
+        (
+            "congested-wifi",
+            LinkProfile {
+                name: "congested-wifi",
+                rtt: SimDuration::from_millis(80),
+                bytes_per_sec: 300_000,
+                tx_nj_per_byte: 300,
+                rx_nj_per_byte: 180,
+                active_radio_mw: 400,
+            },
+        ),
+        (
+            "edge-2g",
+            LinkProfile {
+                name: "edge-2g",
+                rtt: SimDuration::from_millis(400),
+                bytes_per_sec: 30_000,
+                tx_nj_per_byte: 2_500,
+                rx_nj_per_byte: 1_200,
+                active_radio_mw: 900,
+            },
+        ),
     ];
     for (label, link) in links {
         let (stock, tinman, dsm, ssl) = run_with_link(link);

@@ -44,8 +44,7 @@ fn main() {
         let mut host = interp::NullHost;
         // Run only the UI warm-up: a standalone image with the same shape.
         let image = CaffeinemarkKernel::Method.build(4); // call-heavy proxy
-        match interp::run(&mut machine, &image, &mut host, &mut engine, ExecConfig::client())
-        {
+        match interp::run(&mut machine, &image, &mut host, &mut engine, ExecConfig::client()) {
             Ok(ExecEvent::Halted(_)) => {}
             other => panic!("{other:?}"),
         }

@@ -6,5 +6,9 @@
 //! stock averages 4.0 s, TinMan 5.95 s.
 
 fn main() {
-    tinman_bench::login_figure(tinman_sim::LinkProfile::wifi(), "fig14_login_wifi", "Figure 14 (Wi-Fi)");
+    tinman_bench::login_figure(
+        tinman_sim::LinkProfile::wifi(),
+        "fig14_login_wifi",
+        "Figure 14 (Wi-Fi)",
+    );
 }

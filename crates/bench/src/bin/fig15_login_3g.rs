@@ -5,5 +5,9 @@
 //! ~1.6 s of other (SSL/TCP) overhead.
 
 fn main() {
-    tinman_bench::login_figure(tinman_sim::LinkProfile::three_g(), "fig15_login_3g", "Figure 15 (3G)");
+    tinman_bench::login_figure(
+        tinman_sim::LinkProfile::three_g(),
+        "fig15_login_3g",
+        "Figure 15 (3G)",
+    );
 }

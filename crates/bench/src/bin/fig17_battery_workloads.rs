@@ -34,8 +34,7 @@ fn run(kind: EngineKind) -> Vec<(u64, f64)> {
             let d = SimDuration::from_secs(60);
             // CPU: duty-cycled execution, inflated by the measured taint
             // instrumentation ratio.
-            let instrs =
-                (profile.instrs_per_sec as f64 * 60.0 * workload.cpu_duty()) as u64;
+            let instrs = (profile.instrs_per_sec as f64 * 60.0 * workload.cpu_duty()) as u64;
             let cpu = MicroJoules::from_nanojoules(
                 (instrs as f64 * profile.nj_per_instr as f64 * overhead) as u64,
             );

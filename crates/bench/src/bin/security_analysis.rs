@@ -18,9 +18,9 @@ use tinman_apps::logins::{build_login_app, LoginAppSpec};
 use tinman_apps::malicious::{build_exfiltration_app, build_phishing_app};
 use tinman_apps::servers::{install_auth_server, AuthServerSpec};
 use tinman_bench::{banner, emit_json, harness_inputs, login_world, HARNESS_PASSWORD};
+use tinman_cor::{PolicyDecision, PolicyRule};
 use tinman_core::error::RuntimeError;
 use tinman_core::runtime::Mode;
-use tinman_cor::{PolicyDecision, PolicyRule};
 use tinman_sim::{LinkProfile, SimDuration};
 use tinman_tls::attack::demo_implicit_iv_leak;
 use tinman_tls::cipher::Xtea;
@@ -48,10 +48,7 @@ fn main() {
     let secrets = HashMap::from([(spec.cor_description.to_owned(), HARNESS_PASSWORD.to_owned())]);
     rt.run_app(&app, Mode::Stock(secrets), &inputs).expect("stock login");
     let stock_hits = rt.scan_residue(HARNESS_PASSWORD).len();
-    all &= check(
-        &format!("stock Android leaves residue ({stock_hits} sites)"),
-        stock_hits > 0,
-    );
+    all &= check(&format!("stock Android leaves residue ({stock_hits} sites)"), stock_hits > 0);
 
     // 2. Phishing + exfiltration.
     println!("\n[2] §5.2 / §3.4 — phishing app and exfiltration");
@@ -88,24 +85,21 @@ fn main() {
         Err(RuntimeError::PolicyDenied(PolicyDecision::DeniedDomain { .. }))
     );
     all &= check("exfiltration to unlisted domain denied", denied);
-    all &= check("device still clean after the attempt", rt.scan_residue(HARNESS_PASSWORD).is_clean());
+    all &=
+        check("device still clean after the attempt", rt.scan_residue(HARNESS_PASSWORD).is_clean());
 
     // 3. Figure 7: implicit-IV leakage and the version floor.
     println!("\n[3] §3.2 Figure 7 — implicit-IV leakage / TLS version floor");
     let key = Xtea::new(b"session-key-16b!");
     let cor = b"passwd=hunter2-the-cor!!";
     let (recovered, _) = demo_implicit_iv_leak(&key, [0xAA; 8], cor);
-    all &= check(
-        "client recovers the node's plaintext under TLS 1.0 chaining",
-        recovered == cor,
-    );
+    all &= check("client recovers the node's plaintext under TLS 1.0 chaining", recovered == cor);
     let client_cfg = TlsConfig::tinman_client([1u8; 32]);
     let hello = Handshake::client_hello(&client_cfg, [2u8; 32]);
     let legacy = TlsConfig::legacy_tls10([1u8; 32]);
     let refused = matches!(
-        Handshake::accept(&legacy, &hello, [3u8; 32], 1).and_then(|(sh, _)| {
-            Handshake::finish(&client_cfg, &hello, &sh, 2)
-        }),
+        Handshake::accept(&legacy, &hello, [3u8; 32], 1)
+            .and_then(|(sh, _)| { Handshake::finish(&client_cfg, &hello, &sh, 2) }),
         Err(TlsError::VersionBelowFloor { .. })
     );
     all &= check("TinMan client refuses any handshake below TLS 1.1", refused);

@@ -11,8 +11,8 @@ use std::collections::HashMap;
 
 use tinman_apps::logins::{build_login_app, LoginAppSpec};
 use tinman_apps::servers::{install_auth_server, AuthServerSpec};
-use tinman_core::runtime::{Mode, RunReport, TinmanConfig, TinmanRuntime};
 use tinman_cor::CorStore;
+use tinman_core::runtime::{Mode, RunReport, TinmanConfig, TinmanRuntime};
 use tinman_sim::{LinkProfile, SimDuration};
 
 /// The password used by every harness world. Its value is irrelevant to
@@ -32,9 +32,7 @@ pub fn harness_inputs() -> HashMap<String, String> {
 /// installed, mark filter armed.
 pub fn login_world(spec: &LoginAppSpec, link: LinkProfile) -> TinmanRuntime {
     let mut store = CorStore::new(99);
-    store
-        .register(HARNESS_PASSWORD, spec.cor_description, &[spec.domain])
-        .expect("label space");
+    store.register(HARNESS_PASSWORD, spec.cor_description, &[spec.domain]).expect("label space");
     let mut rt = TinmanRuntime::new(store, link, TinmanConfig::default());
     let tls = rt.server_tls_config();
     install_auth_server(
@@ -97,8 +95,7 @@ pub fn run_warm_login(spec: &LoginAppSpec, link: LinkProfile) -> (TinmanRuntime,
 pub fn run_stock_login(spec: &LoginAppSpec, link: LinkProfile) -> (TinmanRuntime, RunReport) {
     let app = build_login_app(spec);
     let mut rt = login_world(spec, link);
-    let secrets =
-        HashMap::from([(spec.cor_description.to_owned(), HARNESS_PASSWORD.to_owned())]);
+    let secrets = HashMap::from([(spec.cor_description.to_owned(), HARNESS_PASSWORD.to_owned())]);
     let report = rt.run_app(&app, Mode::Stock(secrets), &harness_inputs()).expect("stock login");
     assert_eq!(report.result, tinman_vm::Value::Int(1), "{} stock login failed", spec.name);
     (rt, report)

@@ -137,9 +137,8 @@ pub fn analyze(log: &AuditLog, config: &AnomalyConfig) -> Vec<Warning> {
         }
 
         // 4. Novel app: an app hash that never touched this cor.
-        let app_seen = entries[..i]
-            .iter()
-            .any(|p| p.cor == e.cor && p.app_hash_hex == e.app_hash_hex);
+        let app_seen =
+            entries[..i].iter().any(|p| p.cor == e.cor && p.app_hash_hex == e.app_hash_hex);
         if !app_seen && entries[..i].iter().any(|p| p.cor == e.cor) {
             warnings.push(Warning::NovelApp {
                 cor: e.cor,
@@ -179,7 +178,7 @@ mod tests {
         AuditEntry {
             time: SimTime::ZERO + SimDuration::from_secs(secs),
             app_hash_hex: app.to_owned(),
-            cor: CorId(cor),
+            cor: CorId::new(cor).unwrap(),
             domain: domain.map(str::to_owned),
             decision,
             device: "phone-1".into(),
@@ -202,9 +201,13 @@ mod tests {
     #[test]
     fn denials_always_warn() {
         let mut log = AuditLog::new();
-        log.record(entry(0, 10, Some("evil.com"), "appA", PolicyDecision::DeniedDomain {
-            domain: "evil.com".into(),
-        }));
+        log.record(entry(
+            0,
+            10,
+            Some("evil.com"),
+            "appA",
+            PolicyDecision::DeniedDomain { domain: "evil.com".into() },
+        ));
         let w = analyze(&log, &AnomalyConfig::default());
         assert!(matches!(w[0], Warning::Denied { .. }));
     }
@@ -237,9 +240,9 @@ mod tests {
         log.record(allowed(0, 200, "bank.com"));
         log.record(allowed(0, 300, "cdn.bank.com")); // new destination
         let w = analyze(&log, &AnomalyConfig::default());
-        assert!(w.iter().any(
-            |x| matches!(x, Warning::NovelDomain { domain, .. } if domain == "cdn.bank.com")
-        ));
+        assert!(w
+            .iter()
+            .any(|x| matches!(x, Warning::NovelDomain { domain, .. } if domain == "cdn.bank.com")));
     }
 
     #[test]
@@ -248,9 +251,9 @@ mod tests {
         log.record(entry(0, 100, Some("bank.com"), "appA", PolicyDecision::Allow));
         log.record(entry(0, 200, Some("bank.com"), "appB", PolicyDecision::Allow));
         let w = analyze(&log, &AnomalyConfig::default());
-        assert!(w
-            .iter()
-            .any(|x| matches!(x, Warning::NovelApp { app_hash_prefix, .. } if app_hash_prefix == "appB")));
+        assert!(w.iter().any(
+            |x| matches!(x, Warning::NovelApp { app_hash_prefix, .. } if app_hash_prefix == "appB")
+        ));
     }
 
     #[test]

@@ -96,7 +96,7 @@ mod tests {
         AuditEntry {
             time: SimTime::ZERO,
             app_hash_hex: "ab".repeat(32),
-            cor: CorId(cor),
+            cor: CorId::new(cor).unwrap(),
             domain: Some("bank.com".into()),
             decision,
             device: "phone-1".into(),
@@ -109,7 +109,7 @@ mod tests {
         log.record(entry(0, PolicyDecision::Allow));
         log.record(entry(1, PolicyDecision::DeniedRevoked));
         assert_eq!(log.len(), 2);
-        assert_eq!(log.entries()[0].cor, CorId(0));
+        assert_eq!(log.entries()[0].cor, CorId::new(0).unwrap());
     }
 
     #[test]
@@ -127,8 +127,8 @@ mod tests {
         log.record(entry(0, PolicyDecision::Allow));
         log.record(entry(1, PolicyDecision::Allow));
         log.record(entry(0, PolicyDecision::Allow));
-        assert_eq!(log.for_cor(CorId(0)).len(), 2);
-        assert_eq!(log.for_cor(CorId(9)).len(), 0);
+        assert_eq!(log.for_cor(CorId::new(0).unwrap()).len(), 2);
+        assert_eq!(log.for_cor(CorId::new(9).unwrap()).len(), 0);
     }
 
     #[test]

@@ -30,4 +30,4 @@ pub use anomaly::{analyze, AnomalyConfig, Warning};
 pub use audit::{AuditEntry, AuditLog};
 pub use persist::{PersistError, PolicySnapshot, StoreSnapshot};
 pub use policy::{AccessRequest, MalwareDb, PolicyDecision, PolicyEngine, PolicyRule};
-pub use store::{CorId, CorRecord, CorStore, PlaceholderDirectory};
+pub use store::{CorError, CorId, CorRecord, CorStore, PlaceholderDirectory};

@@ -70,11 +70,8 @@ impl CorStore {
     pub fn from_json(json: &str, reseed: u64) -> Result<CorStore, PersistError> {
         let snapshot: StoreSnapshot =
             serde_json::from_str(json).map_err(|e| PersistError(e.to_string()))?;
-        if snapshot.start_id >= snapshot.end_id {
-            return Err(PersistError("invalid label range".into()));
-        }
-        let mut store =
-            CorStore::with_label_range(reseed, snapshot.start_id, snapshot.end_id);
+        let mut store = CorStore::with_label_range(reseed, snapshot.start_id, snapshot.end_id)
+            .map_err(|e| PersistError(e.to_string()))?;
         store.restore_records(snapshot.records, snapshot.next_id)?;
         let _ = SplitMix64::new(snapshot.rng_seed); // field kept for format stability
         Ok(store)
@@ -113,7 +110,7 @@ mod tests {
 
     #[test]
     fn store_round_trips_with_derived_cors() {
-        let mut store = CorStore::with_label_range(7, 8, 24);
+        let mut store = CorStore::with_label_range(7, 8, 24).unwrap();
         let a = store.register("work-password", "Work", &["corp.example"]).unwrap();
         let d = store.register_derived("derived-hash-value", a.taint()).unwrap();
 
@@ -130,20 +127,24 @@ mod tests {
             let mut r = restored;
             r.register("new-after-restore", "New", &[]).unwrap()
         };
-        assert_eq!(next, CorId(10));
+        assert_eq!(next, CorId::new(10).unwrap());
     }
 
     #[test]
     fn malformed_json_is_an_error() {
         assert!(CorStore::from_json("{not json", 1).is_err());
-        assert!(CorStore::from_json("{\"records\":[],\"next_id\":0,\"start_id\":9,\"end_id\":3,\"rng_seed\":0}", 1).is_err());
+        assert!(CorStore::from_json(
+            "{\"records\":[],\"next_id\":0,\"start_id\":9,\"end_id\":3,\"rng_seed\":0}",
+            1
+        )
+        .is_err());
     }
 
     #[test]
     fn policy_round_trips_rules_and_revocations() {
         let mut engine = PolicyEngine::new();
         engine.set_rule(
-            CorId(2),
+            CorId::new(2).unwrap(),
             crate::policy::PolicyRule {
                 bound_app_hash: Some([9u8; 32]),
                 domain_whitelist: vec!["site.com".into()],
@@ -159,7 +160,7 @@ mod tests {
 
         assert!(restored.is_revoked("stolen-phone"));
         let req = AccessRequest {
-            cor: CorId(2),
+            cor: CorId::new(2).unwrap(),
             app_hash: [1u8; 32], // wrong hash
             dest_domain: None,
             device: "phone-1".into(),
@@ -172,7 +173,7 @@ mod tests {
     fn rate_counters_reset_on_restore() {
         let mut engine = PolicyEngine::new();
         engine.set_rule(
-            CorId(0),
+            CorId::new(0).unwrap(),
             crate::policy::PolicyRule {
                 domain_whitelist: vec!["s.com".into()],
                 max_uses_per_day: Some(1),
@@ -180,7 +181,7 @@ mod tests {
             },
         );
         let req = AccessRequest {
-            cor: CorId(0),
+            cor: CorId::new(0).unwrap(),
             app_hash: [0u8; 32],
             dest_domain: Some("s.com".into()),
             device: "d".into(),

@@ -199,11 +199,7 @@ impl PolicyEngine {
     ///
     /// `fallback_whitelist` is the cor record's own whitelist (Table 1),
     /// used when the rule specifies none.
-    pub fn check(
-        &mut self,
-        req: &AccessRequest,
-        fallback_whitelist: &[String],
-    ) -> PolicyDecision {
+    pub fn check(&mut self, req: &AccessRequest, fallback_whitelist: &[String]) -> PolicyDecision {
         if self.revoked_devices.contains(&req.device) {
             return PolicyDecision::DeniedRevoked;
         }
@@ -233,9 +229,12 @@ impl PolicyEngine {
             return PolicyDecision::DeniedNotAuthEndpoint { domain: domain.clone() };
         }
         if let Some((start, end)) = rule.time_window_hours {
-            let hour =
-                ((req.now.as_secs_f64() % SECS_PER_DAY) / 3600.0).floor() as u8;
-            let inside = if start <= end { hour >= start && hour < end } else { hour >= start || hour < end };
+            let hour = ((req.now.as_secs_f64() % SECS_PER_DAY) / 3600.0).floor() as u8;
+            let inside = if start <= end {
+                hour >= start && hour < end
+            } else {
+                hour >= start || hour < end
+            };
             if !inside {
                 return PolicyDecision::DeniedTimeWindow;
             }
@@ -274,7 +273,7 @@ mod tests {
     #[test]
     fn default_rule_allows_computation() {
         let mut e = PolicyEngine::new();
-        let d = e.check(&req(CorId(0), 1, None, SimTime::ZERO), &[]);
+        let d = e.check(&req(CorId::new(0).unwrap(), 1, None, SimTime::ZERO), &[]);
         assert!(d.is_allowed());
     }
 
@@ -282,12 +281,12 @@ mod tests {
     fn app_binding_blocks_phishing_app() {
         let mut e = PolicyEngine::new();
         e.set_rule(
-            CorId(0),
+            CorId::new(0).unwrap(),
             PolicyRule { bound_app_hash: Some([1u8; 32]), ..Default::default() },
         );
-        assert!(e.check(&req(CorId(0), 1, None, SimTime::ZERO), &[]).is_allowed());
+        assert!(e.check(&req(CorId::new(0).unwrap(), 1, None, SimTime::ZERO), &[]).is_allowed());
         assert_eq!(
-            e.check(&req(CorId(0), 2, None, SimTime::ZERO), &[]),
+            e.check(&req(CorId::new(0).unwrap(), 2, None, SimTime::ZERO), &[]),
             PolicyDecision::DeniedAppMismatch
         );
     }
@@ -296,16 +295,18 @@ mod tests {
     fn domain_whitelist_with_subdomains() {
         let mut e = PolicyEngine::new();
         let wl = vec!["citibank.com".to_owned()];
-        assert!(e.check(&req(CorId(0), 1, Some("citibank.com"), SimTime::ZERO), &wl).is_allowed());
         assert!(e
-            .check(&req(CorId(0), 1, Some("auth.citibank.com"), SimTime::ZERO), &wl)
+            .check(&req(CorId::new(0).unwrap(), 1, Some("citibank.com"), SimTime::ZERO), &wl)
+            .is_allowed());
+        assert!(e
+            .check(&req(CorId::new(0).unwrap(), 1, Some("auth.citibank.com"), SimTime::ZERO), &wl)
             .is_allowed());
         assert_eq!(
-            e.check(&req(CorId(0), 1, Some("evil.com"), SimTime::ZERO), &wl),
+            e.check(&req(CorId::new(0).unwrap(), 1, Some("evil.com"), SimTime::ZERO), &wl),
             PolicyDecision::DeniedDomain { domain: "evil.com".into() }
         );
         assert_eq!(
-            e.check(&req(CorId(0), 1, Some("notcitibank.com"), SimTime::ZERO), &wl),
+            e.check(&req(CorId::new(0).unwrap(), 1, Some("notcitibank.com"), SimTime::ZERO), &wl),
             PolicyDecision::DeniedDomain { domain: "notcitibank.com".into() },
             "suffix matching must not over-match"
         );
@@ -315,13 +316,15 @@ mod tests {
     fn rule_whitelist_overrides_fallback() {
         let mut e = PolicyEngine::new();
         e.set_rule(
-            CorId(0),
+            CorId::new(0).unwrap(),
             PolicyRule { domain_whitelist: vec!["only.com".into()], ..Default::default() },
         );
         let fallback = vec!["other.com".to_owned()];
-        assert!(e.check(&req(CorId(0), 1, Some("only.com"), SimTime::ZERO), &fallback).is_allowed());
+        assert!(e
+            .check(&req(CorId::new(0).unwrap(), 1, Some("only.com"), SimTime::ZERO), &fallback)
+            .is_allowed());
         assert!(!e
-            .check(&req(CorId(0), 1, Some("other.com"), SimTime::ZERO), &fallback)
+            .check(&req(CorId::new(0).unwrap(), 1, Some("other.com"), SimTime::ZERO), &fallback)
             .is_allowed());
     }
 
@@ -331,7 +334,7 @@ mod tests {
         // endpoint — posting it as a comment to www.facebook.com is denied.
         let mut e = PolicyEngine::new();
         e.set_rule(
-            CorId(0),
+            CorId::new(0).unwrap(),
             PolicyRule {
                 domain_whitelist: vec!["facebook.com".into()],
                 auth_endpoints: vec!["auth.facebook.com".into()],
@@ -339,10 +342,10 @@ mod tests {
             },
         );
         assert!(e
-            .check(&req(CorId(0), 1, Some("auth.facebook.com"), SimTime::ZERO), &[])
+            .check(&req(CorId::new(0).unwrap(), 1, Some("auth.facebook.com"), SimTime::ZERO), &[])
             .is_allowed());
         assert_eq!(
-            e.check(&req(CorId(0), 1, Some("www.facebook.com"), SimTime::ZERO), &[]),
+            e.check(&req(CorId::new(0).unwrap(), 1, Some("www.facebook.com"), SimTime::ZERO), &[]),
             PolicyDecision::DeniedNotAuthEndpoint { domain: "www.facebook.com".into() }
         );
     }
@@ -351,20 +354,22 @@ mod tests {
     fn time_window_enforced() {
         let mut e = PolicyEngine::new();
         e.set_rule(
-            CorId(0),
+            CorId::new(0).unwrap(),
             PolicyRule {
                 domain_whitelist: vec!["shop.com".into()],
                 time_window_hours: Some((10, 22)),
                 ..Default::default()
             },
         );
-        assert!(e.check(&req(CorId(0), 1, Some("shop.com"), at_hour(12)), &[]).is_allowed());
+        assert!(e
+            .check(&req(CorId::new(0).unwrap(), 1, Some("shop.com"), at_hour(12)), &[])
+            .is_allowed());
         assert_eq!(
-            e.check(&req(CorId(0), 1, Some("shop.com"), at_hour(23)), &[]),
+            e.check(&req(CorId::new(0).unwrap(), 1, Some("shop.com"), at_hour(23)), &[]),
             PolicyDecision::DeniedTimeWindow
         );
         assert_eq!(
-            e.check(&req(CorId(0), 1, Some("shop.com"), at_hour(3)), &[]),
+            e.check(&req(CorId::new(0).unwrap(), 1, Some("shop.com"), at_hour(3)), &[]),
             PolicyDecision::DeniedTimeWindow
         );
     }
@@ -373,30 +378,36 @@ mod tests {
     fn wrapping_time_window() {
         let mut e = PolicyEngine::new();
         e.set_rule(
-            CorId(0),
+            CorId::new(0).unwrap(),
             PolicyRule {
                 domain_whitelist: vec!["s.com".into()],
                 time_window_hours: Some((22, 6)), // overnight window
                 ..Default::default()
             },
         );
-        assert!(e.check(&req(CorId(0), 1, Some("s.com"), at_hour(23)), &[]).is_allowed());
-        assert!(e.check(&req(CorId(0), 1, Some("s.com"), at_hour(5)), &[]).is_allowed());
-        assert!(!e.check(&req(CorId(0), 1, Some("s.com"), at_hour(12)), &[]).is_allowed());
+        assert!(e
+            .check(&req(CorId::new(0).unwrap(), 1, Some("s.com"), at_hour(23)), &[])
+            .is_allowed());
+        assert!(e
+            .check(&req(CorId::new(0).unwrap(), 1, Some("s.com"), at_hour(5)), &[])
+            .is_allowed());
+        assert!(!e
+            .check(&req(CorId::new(0).unwrap(), 1, Some("s.com"), at_hour(12)), &[])
+            .is_allowed());
     }
 
     #[test]
     fn rate_limit_resets_daily() {
         let mut e = PolicyEngine::new();
         e.set_rule(
-            CorId(0),
+            CorId::new(0).unwrap(),
             PolicyRule {
                 domain_whitelist: vec!["shop.com".into()],
                 max_uses_per_day: Some(2),
                 ..Default::default()
             },
         );
-        let r = |t| req(CorId(0), 1, Some("shop.com"), t);
+        let r = |t| req(CorId::new(0).unwrap(), 1, Some("shop.com"), t);
         assert!(e.check(&r(at_hour(1)), &[]).is_allowed());
         assert!(e.check(&r(at_hour(2)), &[]).is_allowed());
         assert_eq!(e.check(&r(at_hour(3)), &[]), PolicyDecision::DeniedRateLimit);
@@ -409,11 +420,11 @@ mod tests {
         let mut e = PolicyEngine::new();
         e.revoke_device("phone-1");
         assert_eq!(
-            e.check(&req(CorId(0), 1, None, SimTime::ZERO), &[]),
+            e.check(&req(CorId::new(0).unwrap(), 1, None, SimTime::ZERO), &[]),
             PolicyDecision::DeniedRevoked
         );
         e.unrevoke_device("phone-1");
-        assert!(e.check(&req(CorId(0), 1, None, SimTime::ZERO), &[]).is_allowed());
+        assert!(e.check(&req(CorId::new(0).unwrap(), 1, None, SimTime::ZERO), &[]).is_allowed());
     }
 
     #[test]
@@ -421,7 +432,7 @@ mod tests {
         let mut e = PolicyEngine::new();
         e.malware_db_mut().add([66u8; 32]);
         assert_eq!(
-            e.check(&req(CorId(0), 66, None, SimTime::ZERO), &[]),
+            e.check(&req(CorId::new(0).unwrap(), 66, None, SimTime::ZERO), &[]),
             PolicyDecision::DeniedMalware
         );
         assert_eq!(e.malware_db().len(), 1);
@@ -431,7 +442,7 @@ mod tests {
     fn denied_requests_do_not_consume_rate_budget() {
         let mut e = PolicyEngine::new();
         e.set_rule(
-            CorId(0),
+            CorId::new(0).unwrap(),
             PolicyRule {
                 domain_whitelist: vec!["ok.com".into()],
                 max_uses_per_day: Some(1),
@@ -439,7 +450,11 @@ mod tests {
             },
         );
         // A denied-by-domain request must not consume the budget.
-        assert!(!e.check(&req(CorId(0), 1, Some("bad.com"), at_hour(1)), &[]).is_allowed());
-        assert!(e.check(&req(CorId(0), 1, Some("ok.com"), at_hour(1)), &[]).is_allowed());
+        assert!(!e
+            .check(&req(CorId::new(0).unwrap(), 1, Some("bad.com"), at_hour(1)), &[])
+            .is_allowed());
+        assert!(e
+            .check(&req(CorId::new(0).unwrap(), 1, Some("ok.com"), at_hour(1)), &[])
+            .is_allowed());
     }
 }

@@ -70,7 +70,9 @@ impl fmt::Display for RuntimeError {
             ),
             RuntimeError::FuelExhausted => write!(f, "instruction budget exhausted"),
             RuntimeError::MissingInput(k) => write!(f, "no scripted input for key '{k}'"),
-            RuntimeError::Offline => write!(f, "device is offline; cor access requires the trusted node"),
+            RuntimeError::Offline => {
+                write!(f, "device is offline; cor access requires the trusted node")
+            }
             RuntimeError::CrossNodeCor { node_a, node_b } => write!(
                 f,
                 "cor labels span trusted nodes {node_a} and {node_b}; a derived value \

@@ -10,7 +10,9 @@
 use std::collections::HashMap;
 
 use sha2::{Digest, Sha256};
-use tinman_cor::{AccessRequest, AuditEntry, AuditLog, CorId, CorStore, PlaceholderDirectory, PolicyEngine};
+use tinman_cor::{
+    AccessRequest, AuditEntry, AuditLog, CorId, CorStore, PlaceholderDirectory, PolicyEngine,
+};
 use tinman_net::{HostId, NetWorld};
 use tinman_sim::{Breakdown, SimClock, SplitMix64};
 use tinman_tls::{ContentType, Handshake, Record, TlsError, TlsSession};
@@ -153,10 +155,8 @@ impl NativeHost for ClientHost<'_> {
             natives::NET_CONNECT => {
                 let domain = ctx.str_arg(0)?.to_owned();
                 let port = ctx.int_arg(1)? as u16;
-                let server = self
-                    .world
-                    .lookup(&domain)
-                    .map_err(|e| ctx.error(format!("dns: {e}")))?;
+                let server =
+                    self.world.lookup(&domain).map_err(|e| ctx.error(format!("dns: {e}")))?;
                 let conn = self
                     .world
                     .connect(self.host, tinman_net::Addr::new(server, port))
@@ -190,8 +190,7 @@ impl NativeHost for ClientHost<'_> {
                 let parsed = Record::parse(&reply)
                     .map_err(|e| ctx.error(format!("parse server hello: {e}")))?;
                 let Some((rec, _)) = parsed else {
-                    *self.last_tls_error =
-                        Some(TlsError::BadHandshake("no server hello".into()));
+                    *self.last_tls_error = Some(TlsError::BadHandshake("no server hello".into()));
                     return Ok(NativeOutcome::ret(Value::Int(0)));
                 };
                 if rec.content_type == ContentType::Alert {
@@ -230,14 +229,10 @@ impl NativeHost for ClientHost<'_> {
                     .conns
                     .get_mut(&handle)
                     .ok_or_else(|| ctx.error(format!("bad conn handle {handle}")))?;
-                let session = state
-                    .tls
-                    .as_mut()
-                    .ok_or_else(|| ctx.error("send before TLS handshake"))?;
+                let session =
+                    state.tls.as_mut().ok_or_else(|| ctx.error("send before TLS handshake"))?;
                 let wire = session.seal(ContentType::ApplicationData, data.as_bytes());
-                self.world
-                    .send(state.conn, &wire)
-                    .map_err(|e| ctx.error(format!("send: {e}")))?;
+                self.world.send(state.conn, &wire).map_err(|e| ctx.error(format!("send: {e}")))?;
                 Ok(NativeOutcome::Ret {
                     value: Value::Int(1),
                     taint: tinman_taint::TaintSet::EMPTY,
@@ -254,15 +249,12 @@ impl NativeHost for ClientHost<'_> {
                     .world
                     .recv_available(state.conn)
                     .map_err(|e| ctx.error(format!("recv: {e}")))?;
-                let session = state
-                    .tls
-                    .as_mut()
-                    .ok_or_else(|| ctx.error("recv before TLS handshake"))?;
+                let session =
+                    state.tls.as_mut().ok_or_else(|| ctx.error("recv before TLS handshake"))?;
                 let mut text = String::new();
                 if !wire.is_empty() {
-                    let opened = session
-                        .open(&wire)
-                        .map_err(|e| ctx.error(format!("open records: {e}")))?;
+                    let opened =
+                        session.open(&wire).map_err(|e| ctx.error(format!("open records: {e}")))?;
                     for (ctype, plaintext) in opened {
                         if ctype == ContentType::ApplicationData {
                             text.push_str(&String::from_utf8_lossy(&plaintext));
@@ -396,7 +388,7 @@ impl NodeHost<'_> {
         // -- policy: every cor label in the payload must be sendable to
         // this destination (the derived cor inherited its parents'
         // whitelists).
-        let labels: Vec<CorId> = taint.iter().map(|l| CorId(l.id())).collect();
+        let labels: Vec<CorId> = taint.iter().map(CorId::from_label).collect();
         for cor in &labels {
             if !self.check_access(*cor, Some(&domain)) {
                 return Ok(NativeOutcome::ret(Value::Int(0)));
@@ -405,10 +397,8 @@ impl NodeHost<'_> {
 
         // -- figure 8 step 1: the client exports its SSL session state.
         let state = self.conns.get_mut(&handle).expect("checked above");
-        let session = state
-            .tls
-            .as_mut()
-            .ok_or_else(|| ctx.error("cor send before TLS handshake"))?;
+        let session =
+            state.tls.as_mut().ok_or_else(|| ctx.error("cor send before TLS handshake"))?;
         let exported = session.export_state();
         // The state crosses client -> node; its serialized size is tiny but
         // the transfer is real.
@@ -483,12 +473,7 @@ impl NodeHost<'_> {
         // client's received bytes.
         let rx_bytes = self.world.traffic(self.client_host).rx_bytes - rx_start;
         let download = self.client_link.serialize_time(rx_bytes);
-        let flow = self
-            .clock
-            .now()
-            .since(t_start)
-            .saturating_sub(think)
-            .saturating_sub(download);
+        let flow = self.clock.now().since(t_start).saturating_sub(think).saturating_sub(download);
         let coordination = self.ssl_coordination_fixed
             + self.client_link.rtt * self.ssl_coordination_rtts as u64
             + self.client_link.transfer_time(state_bytes);
@@ -512,7 +497,7 @@ impl NativeHost for NodeHost<'_> {
                 // touch each cor at all (the app↔cor binding; phishing apps
                 // stop here).
                 for label in taint.iter() {
-                    if !self.check_access(CorId(label.id()), None) {
+                    if !self.check_access(CorId::from_label(label), None) {
                         return Ok(NativeOutcome::ret(Value::Null));
                     }
                 }

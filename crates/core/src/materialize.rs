@@ -45,7 +45,7 @@ impl CorMaterializer for ClientMaterializer<'_> {
                 // Remember the placeholder for derived cors so future UI /
                 // tokenization sees a consistent value.
                 if let Some(label) = token.labels.iter().next() {
-                    let id = CorId(label.id());
+                    let id = CorId::from_label(label);
                     if self.directory.placeholder(id).is_none() {
                         self.directory.insert(id, &format!("(derived #{})", label.id()), p);
                     }
@@ -88,11 +88,7 @@ impl CorMaterializer for NodeMaterializer<'_> {
                     placeholder: Some(placeholder.to_owned()),
                 })
             }
-            other => Ok(CorToken {
-                labels: taint,
-                shape: ObjShape::of(other),
-                placeholder: None,
-            }),
+            other => Ok(CorToken { labels: taint, shape: ObjShape::of(other), placeholder: None }),
         }
     }
 
@@ -101,7 +97,7 @@ impl CorMaterializer for NodeMaterializer<'_> {
             // Single-label string tokens resolve to plaintext.
             let labels: Vec<_> = token.labels.iter().collect();
             if labels.len() == 1 {
-                let id = CorId(labels[0].id());
+                let id = CorId::from_label(labels[0]);
                 if let Some(p) = self.store.plaintext(id) {
                     if p.len() != len {
                         return Err(DsmError::ShapeMismatch {
@@ -139,8 +135,7 @@ mod tests {
 
         // Client tokenizes its placeholder...
         let mut cm = ClientMaterializer { directory: &mut dir };
-        let token =
-            cm.tokenize(&HeapKind::Str(placeholder.clone()), id.taint()).unwrap();
+        let token = cm.tokenize(&HeapKind::Str(placeholder.clone()), id.taint()).unwrap();
         assert_eq!(token.placeholder.as_deref(), Some(placeholder.as_str()));
 
         // ...and the node materializes the real plaintext.
@@ -171,7 +166,7 @@ mod tests {
         assert_eq!(kind, HeapKind::Str(ph.clone()));
         assert_eq!(taint, token.labels);
         let label = token.labels.iter().next().unwrap();
-        assert_eq!(dir.placeholder(CorId(label.id())), Some(ph.as_str()));
+        assert_eq!(dir.placeholder(CorId::from_label(label)), Some(ph.as_str()));
     }
 
     #[test]
@@ -189,8 +184,7 @@ mod tests {
         let token2 = ClientMaterializer { directory: &mut dir }
             .tokenize(&client_kind, client_taint)
             .unwrap();
-        let (node_kind, _) =
-            NodeMaterializer { store: &mut store }.materialize(&token2).unwrap();
+        let (node_kind, _) = NodeMaterializer { store: &mut store }.materialize(&token2).unwrap();
         assert_eq!(node_kind, HeapKind::Str(derived_plain.into()));
     }
 

@@ -219,12 +219,10 @@ impl TinmanRuntime {
     fn route_labels(&self, labels: tinman_taint::TaintSet) -> Result<usize, RuntimeError> {
         let mut chosen: Option<usize> = None;
         for l in labels.iter() {
-            let id = tinman_cor::CorId(l.id());
+            let id = tinman_cor::CorId::from_label(l);
             let idx = if self.node.store.owns_label(id) {
                 0
-            } else if let Some(i) =
-                self.extra_nodes.iter().position(|n| n.store.owns_label(id))
-            {
+            } else if let Some(i) = self.extra_nodes.iter().position(|n| n.store.owns_label(id)) {
                 i + 1
             } else {
                 0 // unknown labels default to the primary node
@@ -327,11 +325,8 @@ impl TinmanRuntime {
 
         // Fresh machines; the client engine depends on the mode (and on
         // the selective-tainting list, §3.5).
-        let selective_off = self
-            .config
-            .critical_apps
-            .as_ref()
-            .is_some_and(|list| !list.contains(&app_hash));
+        let selective_off =
+            self.config.critical_apps.as_ref().is_some_and(|list| !list.contains(&app_hash));
         let (client_engine, client_mode, tls_config) = match &mode {
             Mode::TinMan => (
                 if selective_off { TaintEngine::none() } else { TaintEngine::asymmetric() },
@@ -343,11 +338,9 @@ impl TinmanRuntime {
                 ClientMode::Stock(secrets.clone()),
                 TlsConfig::permissive(self.config.psk),
             ),
-            Mode::FullTaint => (
-                TaintEngine::full(),
-                ClientMode::TinMan,
-                TlsConfig::tinman_client(self.config.psk),
-            ),
+            Mode::FullTaint => {
+                (TaintEngine::full(), ClientMode::TinMan, TlsConfig::tinman_client(self.config.psk))
+            }
         };
         self.client.reset_for_run(client_engine);
         self.client.tls_config = tls_config;
@@ -431,8 +424,13 @@ impl TinmanRuntime {
                 ExecEvent::LockRemote(_) => {
                     // The node endpoint holds the monitor: exchange state
                     // and transfer ownership to the client.
-                    let node = if active == 0 { &mut self.node } else { &mut self.extra_nodes[active - 1] };
-                    let dsm = if active == 0 { &mut self.dsm } else { &mut self.extra_dsms[active - 1] };
+                    let node = if active == 0 {
+                        &mut self.node
+                    } else {
+                        &mut self.extra_nodes[active - 1]
+                    };
+                    let dsm =
+                        if active == 0 { &mut self.dsm } else { &mut self.extra_dsms[active - 1] };
                     let bytes = dsm.lock_transfer(
                         &mut self.client.machine,
                         &mut node.machine,
@@ -491,7 +489,11 @@ impl TinmanRuntime {
                     }
 
                     // §3.4: the node refuses known malware outright.
-                    let node = if active == 0 { &mut self.node } else { &mut self.extra_nodes[active - 1] };
+                    let node = if active == 0 {
+                        &mut self.node
+                    } else {
+                        &mut self.extra_nodes[active - 1]
+                    };
                     if node.policy.malware_db().contains(&app_hash) {
                         return Err(RuntimeError::MalwareRejected {
                             app_hash_hex: image.hash_hex(),
@@ -506,7 +508,8 @@ impl TinmanRuntime {
                         node.mark_warm(app_hash);
                     }
                     // Migrate client -> the active node.
-                    let dsm = if active == 0 { &mut self.dsm } else { &mut self.extra_dsms[active - 1] };
+                    let dsm =
+                        if active == 0 { &mut self.dsm } else { &mut self.extra_dsms[active - 1] };
                     let packet = dsm.migrate(
                         &mut self.client.machine,
                         &mut node.machine,
@@ -536,8 +539,7 @@ impl TinmanRuntime {
                     let client_host_id = self.client.host;
                     let client_link = self.client.link.clone();
                     let device_name = self.client.name.clone();
-                    let TrustedNode { machine, engine, store, policy, audit, .. } =
-                        active_node;
+                    let TrustedNode { machine, engine, store, policy, audit, .. } = active_node;
                     let mut host = NodeHost {
                         world: &mut self.world,
                         node_host: node_host_id,
@@ -582,17 +584,23 @@ impl TinmanRuntime {
                     ExecEvent::Halted(v) => {
                         // Final migrate-back so the client sees the end
                         // state (tokenized).
-                        let node = if active == 0 { &mut self.node } else { &mut self.extra_nodes[active - 1] };
-                        let dsm = if active == 0 { &mut self.dsm } else { &mut self.extra_dsms[active - 1] };
+                        let node = if active == 0 {
+                            &mut self.node
+                        } else {
+                            &mut self.extra_nodes[active - 1]
+                        };
+                        let dsm = if active == 0 {
+                            &mut self.dsm
+                        } else {
+                            &mut self.extra_dsms[active - 1]
+                        };
                         let packet = dsm.migrate(
                             &mut node.machine,
                             &mut self.client.machine,
                             LockSite::TrustedNode,
                             SyncCause::TaintIdle,
                             &mut NodeMaterializer { store: &mut node.store },
-                            &mut ClientMaterializer {
-                                directory: &mut self.client.directory,
-                            },
+                            &mut ClientMaterializer { directory: &mut self.client.directory },
                         )?;
                         self.charge_migration(packet.wire_bytes(), &mut breakdown);
                         break 'outer v;
@@ -604,16 +612,22 @@ impl TinmanRuntime {
                     ExecEvent::LockRemote(_) => {
                         // A client-side (background-thread) monitor blocks
                         // the offloaded code — the github case.
-                        let node = if active == 0 { &mut self.node } else { &mut self.extra_nodes[active - 1] };
-                        let dsm = if active == 0 { &mut self.dsm } else { &mut self.extra_dsms[active - 1] };
+                        let node = if active == 0 {
+                            &mut self.node
+                        } else {
+                            &mut self.extra_nodes[active - 1]
+                        };
+                        let dsm = if active == 0 {
+                            &mut self.dsm
+                        } else {
+                            &mut self.extra_dsms[active - 1]
+                        };
                         let bytes = dsm.lock_transfer(
                             &mut node.machine,
                             &mut self.client.machine,
                             LockSite::Client,
                             &mut NodeMaterializer { store: &mut node.store },
-                            &mut ClientMaterializer {
-                                directory: &mut self.client.directory,
-                            },
+                            &mut ClientMaterializer { directory: &mut self.client.directory },
                         )?;
                         self.charge_migration(bytes, &mut breakdown);
                         continue;
@@ -623,17 +637,23 @@ impl TinmanRuntime {
                             ExecEvent::TaintIdle => SyncCause::TaintIdle,
                             _ => SyncCause::NonOffloadableNative,
                         };
-                        let node = if active == 0 { &mut self.node } else { &mut self.extra_nodes[active - 1] };
-                        let dsm = if active == 0 { &mut self.dsm } else { &mut self.extra_dsms[active - 1] };
+                        let node = if active == 0 {
+                            &mut self.node
+                        } else {
+                            &mut self.extra_nodes[active - 1]
+                        };
+                        let dsm = if active == 0 {
+                            &mut self.dsm
+                        } else {
+                            &mut self.extra_dsms[active - 1]
+                        };
                         let packet = dsm.migrate(
                             &mut node.machine,
                             &mut self.client.machine,
                             LockSite::TrustedNode,
                             cause,
                             &mut NodeMaterializer { store: &mut node.store },
-                            &mut ClientMaterializer {
-                                directory: &mut self.client.directory,
-                            },
+                            &mut ClientMaterializer { directory: &mut self.client.directory },
                         )?;
                         self.charge_migration(packet.wire_bytes(), &mut breakdown);
                         self.client.machine.status = tinman_vm::MachineStatus::Runnable;
@@ -664,11 +684,7 @@ impl TinmanRuntime {
             dsm_stats.absorb(d.stats());
         }
         let node_methods: u64 = self.node.machine.stats.method_invocations
-            + self
-                .extra_nodes
-                .iter()
-                .map(|n| n.machine.stats.method_invocations)
-                .sum::<u64>();
+            + self.extra_nodes.iter().map(|n| n.machine.stats.method_invocations).sum::<u64>();
         let bursts = 2 + dsm_stats.sync_count + 2 * offloads;
         let tail = MicroJoules::from_power(
             self.client.link.active_radio_mw,

@@ -11,9 +11,7 @@ use std::collections::HashMap;
 
 use tinman_net::{Addr, ServerApp, ServerReply};
 use tinman_sim::SimDuration;
-use tinman_tls::{
-    ClientHello, ContentType, Handshake, Record, TlsConfig, TlsSession,
-};
+use tinman_tls::{ClientHello, ContentType, Handshake, Record, TlsConfig, TlsSession};
 
 /// A plain application-layer request handler.
 pub trait HttpHandler {
@@ -51,7 +49,13 @@ pub struct HttpsServerApp<H: HttpHandler> {
 impl<H: HttpHandler> HttpsServerApp<H> {
     /// Wraps `handler` behind the toy TLS with the given config.
     pub fn new(config: TlsConfig, handler: H) -> Self {
-        HttpsServerApp { config, handler, conns: HashMap::new(), nonce_counter: 1, requests_served: 0 }
+        HttpsServerApp {
+            config,
+            handler,
+            conns: HashMap::new(),
+            nonce_counter: 1,
+            requests_served: 0,
+        }
     }
 
     fn fresh_random(&mut self) -> [u8; 32] {
@@ -90,8 +94,8 @@ impl<H: HttpHandler> ServerApp for HttpsServerApp<H> {
                 match Handshake::accept(&self.config, &hello, random, seed) {
                     Ok((server_hello, session)) => {
                         *state = ConnTls::Ready(Box::new(session));
-                        let body = serde_json::to_vec(&server_hello)
-                            .expect("ServerHello serializes");
+                        let body =
+                            serde_json::to_vec(&server_hello).expect("ServerHello serializes");
                         let rec = Record {
                             content_type: ContentType::Handshake,
                             version: server_hello.version,
@@ -268,7 +272,7 @@ mod tests {
         let (mut w, phone, addr) = https_world();
         let conn = w.connect(phone, addr).unwrap();
         w.send(conn, b"\x16\x33\x00\x03abc").unwrap(); // bogus hello body
-        // Server ignored the malformed hello (no panic, no reply or alert).
+                                                       // Server ignored the malformed hello (no panic, no reply or alert).
         let _ = w.recv_available(conn).unwrap();
     }
 }

@@ -424,7 +424,15 @@ mod tests {
         let mut a = Machine::new();
         let mut b = Machine::new();
         for cause in [SyncCause::OffloadTrigger, SyncCause::TaintIdle, SyncCause::TaintIdle] {
-            eng.migrate(&mut a, &mut b, LockSite::Client, cause, &mut PassthroughMaterializer, &mut PassthroughMaterializer).unwrap();
+            eng.migrate(
+                &mut a,
+                &mut b,
+                LockSite::Client,
+                cause,
+                &mut PassthroughMaterializer,
+                &mut PassthroughMaterializer,
+            )
+            .unwrap();
         }
         assert_eq!(eng.stats().cause_count(SyncCause::OffloadTrigger), 1);
         assert_eq!(eng.stats().cause_count(SyncCause::TaintIdle), 2);

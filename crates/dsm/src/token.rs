@@ -120,10 +120,7 @@ mod tests {
     #[test]
     fn shapes_capture_kind_and_size() {
         assert_eq!(ObjShape::of(&HeapKind::Str("abcd".into())), ObjShape::Str { len: 4 });
-        assert_eq!(
-            ObjShape::of(&HeapKind::Arr(vec![Value::Int(0); 3])),
-            ObjShape::Arr { len: 3 }
-        );
+        assert_eq!(ObjShape::of(&HeapKind::Arr(vec![Value::Int(0); 3])), ObjShape::Arr { len: 3 });
         assert_eq!(
             ObjShape::of(&HeapKind::Obj { class: 7, fields: vec![Value::Null; 2] }),
             ObjShape::Obj { class: 7, n_fields: 2 }

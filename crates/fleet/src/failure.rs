@@ -1,0 +1,109 @@
+//! Failure model: per-node health, fault-injection hooks, and the
+//! deterministic retry/backoff schedule.
+
+use tinman_sim::{LinkProfile, SimDuration};
+
+/// A trusted node's health as the fleet sees it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeHealth {
+    /// Serving normally.
+    Healthy,
+    /// Serving, but behind a degraded link (sessions still succeed, just
+    /// slower).
+    Degraded,
+    /// Not serving; sessions placed here fail over to a replica.
+    Down,
+}
+
+impl NodeHealth {
+    /// Stable lowercase name for reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NodeHealth::Healthy => "healthy",
+            NodeHealth::Degraded => "degraded",
+            NodeHealth::Down => "down",
+        }
+    }
+}
+
+/// Static fault injection applied when the pool is built. Dynamic
+/// injection mid-run goes through [`crate::pool::NodePool::set_health`].
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Nodes that refuse every session (tested by the failover path).
+    pub down_nodes: Vec<usize>,
+    /// Nodes reachable only over a degraded link.
+    pub slow_nodes: Vec<usize>,
+}
+
+impl FaultPlan {
+    /// True if `node` starts the run down.
+    pub fn is_down(&self, node: usize) -> bool {
+        self.down_nodes.contains(&node)
+    }
+
+    /// True if `node` starts the run behind a slow link.
+    pub fn is_slow(&self, node: usize) -> bool {
+        self.slow_nodes.contains(&node)
+    }
+
+    /// The health a node starts with under this plan.
+    pub fn initial_health(&self, node: usize) -> NodeHealth {
+        if self.is_down(node) {
+            NodeHealth::Down
+        } else if self.is_slow(node) {
+            NodeHealth::Degraded
+        } else {
+            NodeHealth::Healthy
+        }
+    }
+}
+
+/// Simulated wait before retry attempt `attempt` (0-based): exponential,
+/// `base * 2^attempt`. Purely simulated time — it is added to the
+/// session's reported latency, never slept.
+pub fn backoff_delay(base: SimDuration, attempt: u32) -> SimDuration {
+    base * (1u64 << attempt.min(16))
+}
+
+/// The link a session sees when its node is degraded: 4x the round-trip
+/// time and a quarter of the goodput of `base`.
+pub fn degraded_link(base: &LinkProfile) -> LinkProfile {
+    LinkProfile {
+        name: "degraded",
+        rtt: base.rtt * 4,
+        bytes_per_sec: (base.bytes_per_sec / 4).max(1),
+        tx_nj_per_byte: base.tx_nj_per_byte,
+        rx_nj_per_byte: base.rx_nj_per_byte,
+        active_radio_mw: base.active_radio_mw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential() {
+        let base = SimDuration::from_millis(100);
+        assert_eq!(backoff_delay(base, 0), SimDuration::from_millis(100));
+        assert_eq!(backoff_delay(base, 1), SimDuration::from_millis(200));
+        assert_eq!(backoff_delay(base, 3), SimDuration::from_millis(800));
+    }
+
+    #[test]
+    fn fault_plan_maps_to_health() {
+        let plan = FaultPlan { down_nodes: vec![1], slow_nodes: vec![2] };
+        assert_eq!(plan.initial_health(0), NodeHealth::Healthy);
+        assert_eq!(plan.initial_health(1), NodeHealth::Down);
+        assert_eq!(plan.initial_health(2), NodeHealth::Degraded);
+    }
+
+    #[test]
+    fn degraded_link_is_slower() {
+        let wifi = LinkProfile::wifi();
+        let slow = degraded_link(&wifi);
+        assert!(slow.rtt > wifi.rtt);
+        assert!(slow.bytes_per_sec < wifi.bytes_per_sec);
+    }
+}

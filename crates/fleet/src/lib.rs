@@ -1,0 +1,40 @@
+//! **tinman-fleet** — a concurrent session-serving subsystem that drives
+//! many deterministic TinMan device sessions against a pool of trusted
+//! nodes.
+//!
+//! The paper evaluates TinMan one device at a time; this crate answers
+//! the deployment question: what does a *node* see when it serves
+//! thousands of devices? It is built from four parts:
+//!
+//! - [`pool`] — trusted-node shards partitioning the cor label space,
+//!   with consistent-hash placement (a user's cors always land on the
+//!   same node), per-node admission control, and health state.
+//! - [`spec`] — deterministic generation of session specs (workload,
+//!   link, seed) from a single fleet seed.
+//! - [`sched`] — the worker-thread scheduler: bounded-queue fan-out with
+//!   backpressure, retry-with-backoff failover onto replica shards.
+//! - [`report`] — the aggregated [`FleetReport`]: throughput, latency
+//!   percentiles, offload totals, per-node utilization, JSON export.
+//!
+//! # Determinism contract
+//!
+//! Every session's **simulated** result is a pure function of the fleet
+//! seed, the session id, and the static topology (node count, fault
+//! plan). Worker count, admission stalls, and OS scheduling affect only
+//! the wall-clock fields. Concretely:
+//! [`FleetReport::simulated_value`] serializes to identical bytes for
+//! `workers = 1` and `workers = 8` — the tests enforce it.
+
+pub mod failure;
+pub mod pool;
+pub mod report;
+pub mod sched;
+pub mod session;
+pub mod spec;
+
+pub use failure::{backoff_delay, degraded_link, FaultPlan, NodeHealth};
+pub use pool::{CapacityPermit, NodePool, NodeShard};
+pub use report::{FleetReport, LatencyStats, NodeReport};
+pub use sched::{execute_with_failover, run_fleet};
+pub use session::{run_session, SessionOutcome};
+pub use spec::{build_session_specs, FleetConfig, LinkKind, SessionSpec, WorkloadKind};

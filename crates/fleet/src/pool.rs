@@ -1,0 +1,221 @@
+//! The trusted-node pool: label-space sharding, consistent-hash
+//! placement, per-node admission control, and health tracking.
+
+use parking_lot::{Condvar, Mutex};
+use tinman_sim::SplitMix64;
+use tinman_taint::Label;
+
+use crate::failure::{FaultPlan, NodeHealth};
+
+/// Virtual points per node on the consistent-hash ring. Enough to spread
+/// load within a few percent at fleet scale.
+const VNODES: usize = 16;
+
+/// One trusted-node shard: a disjoint slice of the cor label space plus
+/// the shared-state the scheduler needs (health, in-flight count).
+pub struct NodeShard {
+    /// Shard index, `0..nodes`.
+    pub id: usize,
+    /// Host name sessions connect to.
+    pub name: String,
+    /// Inclusive lower bound of this shard's label range.
+    pub label_start: u8,
+    /// Exclusive upper bound of this shard's label range.
+    pub label_end: u8,
+    health: Mutex<NodeHealth>,
+    inflight: Mutex<usize>,
+    admit: Condvar,
+    capacity: usize,
+}
+
+/// RAII admission permit: holding one counts against the node's capacity.
+pub struct CapacityPermit<'a> {
+    shard: &'a NodeShard,
+}
+
+impl Drop for CapacityPermit<'_> {
+    fn drop(&mut self) {
+        let mut inflight = self.shard.inflight.lock();
+        *inflight -= 1;
+        drop(inflight);
+        self.shard.admit.notify_one();
+    }
+}
+
+impl NodeShard {
+    /// Current health.
+    pub fn health(&self) -> NodeHealth {
+        *self.health.lock()
+    }
+
+    /// Sessions currently admitted.
+    pub fn inflight(&self) -> usize {
+        *self.inflight.lock()
+    }
+
+    /// Blocks until the node has capacity, then admits the caller.
+    /// Admission is wall-clock flow control only; it never changes
+    /// simulated results.
+    pub fn acquire(&self) -> CapacityPermit<'_> {
+        let mut inflight = self.inflight.lock();
+        while *inflight >= self.capacity {
+            self.admit.wait(&mut inflight);
+        }
+        *inflight += 1;
+        CapacityPermit { shard: self }
+    }
+}
+
+/// The pool of trusted-node shards a fleet runs against.
+pub struct NodePool {
+    shards: Vec<NodeShard>,
+    /// Consistent-hash ring: `(point, shard)` sorted by point.
+    ring: Vec<(u64, usize)>,
+}
+
+impl NodePool {
+    /// Builds `nodes` shards partitioning the label space evenly, each
+    /// with the given concurrent-session capacity, health-initialized from
+    /// the fault plan. Caps the node count so every shard keeps at least
+    /// four labels (a session registers one user cor plus a few derived
+    /// ones).
+    pub fn new(nodes: usize, capacity: usize, faults: &FaultPlan) -> NodePool {
+        let max_nodes = (Label::MAX_LABELS as usize) / 4;
+        let n = nodes.clamp(1, max_nodes);
+        let span = Label::MAX_LABELS as usize;
+        let shards: Vec<NodeShard> = (0..n)
+            .map(|i| NodeShard {
+                id: i,
+                name: format!("node{i}.pool.tinman"),
+                label_start: (i * span / n) as u8,
+                label_end: ((i + 1) * span / n) as u8,
+                health: Mutex::new(faults.initial_health(i)),
+                inflight: Mutex::new(0),
+                admit: Condvar::new(),
+                capacity: capacity.max(1),
+            })
+            .collect();
+        let mut ring = Vec::with_capacity(n * VNODES);
+        for shard in &shards {
+            let mut h = SplitMix64::new(0xf1ee_7000 ^ shard.id as u64);
+            for _ in 0..VNODES {
+                ring.push((h.next_u64(), shard.id));
+            }
+        }
+        ring.sort_unstable();
+        NodePool { shards, ring }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True if the pool has no shards (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The shard at `id`.
+    pub fn shard(&self, id: usize) -> &NodeShard {
+        &self.shards[id]
+    }
+
+    /// The primary shard for a placement key: the first ring point at or
+    /// after the key, wrapping.
+    pub fn place(&self, key: u64) -> usize {
+        let i = self.ring.partition_point(|&(p, _)| p < key);
+        self.ring[i % self.ring.len()].1
+    }
+
+    /// Primary followed by replicas: the distinct shards in ring order
+    /// starting at the key. Failover walks this list.
+    pub fn replica_order(&self, key: u64) -> Vec<usize> {
+        let start = self.ring.partition_point(|&(p, _)| p < key);
+        let mut order = Vec::with_capacity(self.shards.len());
+        for off in 0..self.ring.len() {
+            let shard = self.ring[(start + off) % self.ring.len()].1;
+            if !order.contains(&shard) {
+                order.push(shard);
+                if order.len() == self.shards.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// Fault-injection hook: flips a node's health mid-run. Sessions
+    /// placed on a `Down` node fail over per their retry schedule.
+    pub fn set_health(&self, node: usize, health: NodeHealth) {
+        *self.shards[node].health.lock() = health;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_ranges_partition_the_space() {
+        let pool = NodePool::new(4, 2, &FaultPlan::default());
+        let mut covered = vec![false; Label::MAX_LABELS as usize];
+        for i in 0..pool.len() {
+            let s = pool.shard(i);
+            assert!(s.label_start < s.label_end);
+            for l in s.label_start..s.label_end {
+                assert!(!covered[l as usize], "label {l} owned twice");
+                covered[l as usize] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "every label owned");
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_spread() {
+        let pool = NodePool::new(4, 2, &FaultPlan::default());
+        let mut counts = vec![0usize; pool.len()];
+        let mut h = SplitMix64::new(9);
+        for _ in 0..4000 {
+            let key = h.next_u64();
+            let a = pool.place(key);
+            assert_eq!(a, pool.place(key), "placement is a pure function");
+            counts[a] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 400, "shard {i} got only {c}/4000 sessions");
+        }
+    }
+
+    #[test]
+    fn replica_order_starts_at_primary_and_covers_all() {
+        let pool = NodePool::new(3, 2, &FaultPlan::default());
+        let order = pool.replica_order(12345);
+        assert_eq!(order[0], pool.place(12345));
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn capacity_gates_admission() {
+        let pool = NodePool::new(1, 2, &FaultPlan::default());
+        let s = pool.shard(0);
+        let a = s.acquire();
+        let _b = s.acquire();
+        assert_eq!(s.inflight(), 2);
+        drop(a);
+        assert_eq!(s.inflight(), 1);
+        let _c = s.acquire();
+        assert_eq!(s.inflight(), 2);
+    }
+
+    #[test]
+    fn health_hooks_flip_state() {
+        let pool = NodePool::new(2, 1, &FaultPlan { down_nodes: vec![1], slow_nodes: vec![] });
+        assert_eq!(pool.shard(0).health(), NodeHealth::Healthy);
+        assert_eq!(pool.shard(1).health(), NodeHealth::Down);
+        pool.set_health(1, NodeHealth::Healthy);
+        assert_eq!(pool.shard(1).health(), NodeHealth::Healthy);
+    }
+}

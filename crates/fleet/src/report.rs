@@ -1,0 +1,326 @@
+//! Fleet-wide aggregation: throughput, latency percentiles, offload
+//! totals, and per-node utilization, with a JSON export.
+//!
+//! The report splits into a **simulated** subset (a pure function of the
+//! fleet config — identical for any worker count) and wall-clock fields
+//! (`wall_secs`, `wall_throughput`), which measure the host machine.
+//! [`FleetReport::simulated_value`] serializes only the former; the
+//! determinism tests compare those byte-for-byte across worker counts.
+
+use serde_json::Value;
+use tinman_sim::SimDuration;
+
+use crate::pool::NodePool;
+use crate::session::SessionOutcome;
+use crate::spec::FleetConfig;
+
+/// Latency distribution over the successful sessions (simulated time,
+/// backoff included).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Arithmetic mean.
+    pub mean: SimDuration,
+    /// Median (nearest-rank).
+    pub p50: SimDuration,
+    /// 95th percentile (nearest-rank).
+    pub p95: SimDuration,
+    /// 99th percentile (nearest-rank).
+    pub p99: SimDuration,
+}
+
+impl LatencyStats {
+    fn from_sorted(sorted: &[SimDuration]) -> LatencyStats {
+        if sorted.is_empty() {
+            return LatencyStats {
+                mean: SimDuration::ZERO,
+                p50: SimDuration::ZERO,
+                p95: SimDuration::ZERO,
+                p99: SimDuration::ZERO,
+            };
+        }
+        let total: u64 = sorted.iter().map(|d| d.as_nanos()).sum();
+        let nearest = |q: u64| {
+            // Nearest-rank: the ceil(q/100 * n)-th smallest, 1-indexed.
+            let n = sorted.len() as u64;
+            let rank = (q * n).div_ceil(100).max(1);
+            sorted[(rank - 1) as usize]
+        };
+        LatencyStats {
+            mean: SimDuration::from_nanos(total / sorted.len() as u64),
+            p50: nearest(50),
+            p95: nearest(95),
+            p99: nearest(99),
+        }
+    }
+}
+
+/// One trusted node's share of the run.
+#[derive(Clone, Debug)]
+pub struct NodeReport {
+    /// Shard index.
+    pub node: usize,
+    /// Host name.
+    pub name: String,
+    /// Health at the end of the run.
+    pub health: &'static str,
+    /// Sessions this node served to completion.
+    pub sessions: u64,
+    /// Total simulated busy time (sum of served-session latencies).
+    pub busy: SimDuration,
+    /// `busy / sim_makespan`: 1.0 for the busiest node.
+    pub utilization: f64,
+}
+
+/// The aggregated result of one fleet run.
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// Sessions driven.
+    pub sessions: u64,
+    /// Sessions that completed their workload successfully.
+    pub ok: u64,
+    /// Sessions that exhausted every placement.
+    pub failed: u64,
+    /// Placements retried fleet-wide (`attempts - sessions` for the
+    /// sessions that eventually ran somewhere).
+    pub failovers: u64,
+    /// Placements tried fleet-wide.
+    pub attempts: u64,
+    /// Client→node execution migrations, total.
+    pub offloads: u64,
+    /// Method invocations on trusted nodes, total.
+    pub node_methods: u64,
+    /// Method invocations on clients, total.
+    pub client_methods: u64,
+    /// DSM synchronizations, total.
+    pub dsm_syncs: u64,
+    /// Client battery energy, microjoules, total.
+    pub energy_uj: u64,
+    /// Client radio bytes sent, total.
+    pub tx_bytes: u64,
+    /// Client radio bytes received, total.
+    pub rx_bytes: u64,
+    /// Latency distribution over successful sessions.
+    pub latency: LatencyStats,
+    /// Per-shard breakdown, in shard order.
+    pub per_node: Vec<NodeReport>,
+    /// Simulated makespan: the busiest node's busy time.
+    pub sim_makespan: SimDuration,
+    /// `ok / sim_makespan` in sessions per simulated second.
+    pub sim_throughput: f64,
+    /// Worker threads used (wall-clock only).
+    pub workers: usize,
+    /// Host wall-clock seconds for the whole run.
+    pub wall_secs: f64,
+    /// `ok / wall_secs` in sessions per wall-clock second.
+    pub wall_throughput: f64,
+    /// Every session's outcome, sorted by session id.
+    pub outcomes: Vec<SessionOutcome>,
+}
+
+impl FleetReport {
+    /// Folds sorted outcomes into the aggregate. `outcomes` must already
+    /// be sorted by session id (the scheduler guarantees it).
+    pub fn aggregate(
+        cfg: &FleetConfig,
+        pool: &NodePool,
+        outcomes: Vec<SessionOutcome>,
+        wall_secs: f64,
+    ) -> FleetReport {
+        let ok = outcomes.iter().filter(|o| o.success).count() as u64;
+        let failed = outcomes.len() as u64 - ok;
+        let attempts: u64 = outcomes.iter().map(|o| u64::from(o.attempts)).sum();
+        let failovers: u64 = outcomes.iter().map(|o| u64::from(o.attempts) - 1).sum();
+
+        let mut node_sessions = vec![0u64; pool.len()];
+        let mut node_busy = vec![SimDuration::ZERO; pool.len()];
+        for o in outcomes.iter().filter(|o| o.success) {
+            if let Some(n) = o.node {
+                node_sessions[n] += 1;
+                node_busy[n] += o.latency;
+            }
+        }
+        let sim_makespan = node_busy.iter().copied().max().unwrap_or(SimDuration::ZERO);
+        let per_node = (0..pool.len())
+            .map(|n| {
+                let shard = pool.shard(n);
+                NodeReport {
+                    node: n,
+                    name: shard.name.clone(),
+                    health: shard.health().as_str(),
+                    sessions: node_sessions[n],
+                    busy: node_busy[n],
+                    utilization: if sim_makespan == SimDuration::ZERO {
+                        0.0
+                    } else {
+                        node_busy[n].as_nanos() as f64 / sim_makespan.as_nanos() as f64
+                    },
+                }
+            })
+            .collect();
+
+        let mut ok_latencies: Vec<SimDuration> =
+            outcomes.iter().filter(|o| o.success).map(|o| o.latency).collect();
+        ok_latencies.sort_unstable();
+
+        let sum = |f: fn(&SessionOutcome) -> u64| -> u64 { outcomes.iter().map(f).sum() };
+        FleetReport {
+            sessions: outcomes.len() as u64,
+            ok,
+            failed,
+            failovers,
+            attempts,
+            offloads: sum(|o| o.offloads),
+            node_methods: sum(|o| o.node_methods),
+            client_methods: sum(|o| o.client_methods),
+            dsm_syncs: sum(|o| o.dsm_syncs),
+            energy_uj: sum(|o| o.energy_uj),
+            tx_bytes: sum(|o| o.tx_bytes),
+            rx_bytes: sum(|o| o.rx_bytes),
+            latency: LatencyStats::from_sorted(&ok_latencies),
+            per_node,
+            sim_makespan,
+            sim_throughput: if sim_makespan == SimDuration::ZERO {
+                0.0
+            } else {
+                ok as f64 / sim_makespan.as_secs_f64()
+            },
+            workers: cfg.workers,
+            wall_secs,
+            wall_throughput: if wall_secs > 0.0 { ok as f64 / wall_secs } else { 0.0 },
+            outcomes,
+        }
+    }
+
+    /// The deterministic subset: everything that is a pure function of
+    /// the fleet config. Two runs of the same config — at any worker
+    /// count — serialize this to identical bytes.
+    pub fn simulated_value(&self) -> Value {
+        let mut map: Vec<(String, Value)> = Vec::new();
+        let mut put = |k: &str, v: Value| map.push((k.to_owned(), v));
+        put("sessions", Value::U64(self.sessions));
+        put("ok", Value::U64(self.ok));
+        put("failed", Value::U64(self.failed));
+        put("failovers", Value::U64(self.failovers));
+        put("attempts", Value::U64(self.attempts));
+        put("offloads", Value::U64(self.offloads));
+        put("node_methods", Value::U64(self.node_methods));
+        put("client_methods", Value::U64(self.client_methods));
+        put("dsm_syncs", Value::U64(self.dsm_syncs));
+        put("energy_uj", Value::U64(self.energy_uj));
+        put("tx_bytes", Value::U64(self.tx_bytes));
+        put("rx_bytes", Value::U64(self.rx_bytes));
+        put(
+            "latency_ns",
+            Value::Map(vec![
+                ("mean".to_owned(), Value::U64(self.latency.mean.as_nanos())),
+                ("p50".to_owned(), Value::U64(self.latency.p50.as_nanos())),
+                ("p95".to_owned(), Value::U64(self.latency.p95.as_nanos())),
+                ("p99".to_owned(), Value::U64(self.latency.p99.as_nanos())),
+            ]),
+        );
+        put(
+            "per_node",
+            Value::Seq(
+                self.per_node
+                    .iter()
+                    .map(|n| {
+                        Value::Map(vec![
+                            ("node".to_owned(), Value::U64(n.node as u64)),
+                            ("name".to_owned(), Value::Str(n.name.clone())),
+                            ("health".to_owned(), Value::Str(n.health.to_owned())),
+                            ("sessions".to_owned(), Value::U64(n.sessions)),
+                            ("busy_ns".to_owned(), Value::U64(n.busy.as_nanos())),
+                            ("utilization".to_owned(), Value::F64(n.utilization)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        put("sim_makespan_ns", Value::U64(self.sim_makespan.as_nanos()));
+        put("sim_throughput", Value::F64(self.sim_throughput));
+        Value::Map(map)
+    }
+
+    /// The full report: the simulated subset plus the wall-clock fields.
+    pub fn to_value(&self) -> Value {
+        let mut map = match self.simulated_value() {
+            Value::Map(m) => m,
+            _ => unreachable!("simulated_value always builds a map"),
+        };
+        map.push(("workers".to_owned(), Value::U64(self.workers as u64)));
+        map.push(("wall_secs".to_owned(), Value::F64(self.wall_secs)));
+        map.push(("wall_throughput".to_owned(), Value::F64(self.wall_throughput)));
+        Value::Map(map)
+    }
+
+    /// Pretty-printed JSON of [`Self::to_value`].
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).unwrap_or_else(|_| "{}".to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::FaultPlan;
+
+    fn outcome(id: u64, node: usize, latency_ms: u64) -> SessionOutcome {
+        SessionOutcome {
+            id,
+            node: Some(node),
+            attempts: 1,
+            success: true,
+            latency: SimDuration::from_millis(latency_ms),
+            offloads: 2,
+            node_methods: 10,
+            client_methods: 5,
+            dsm_syncs: 3,
+            energy_uj: 1000,
+            tx_bytes: 200,
+            rx_bytes: 400,
+        }
+    }
+
+    #[test]
+    fn aggregate_totals_and_percentiles() {
+        let cfg = FleetConfig::new(4, 2);
+        let pool = NodePool::new(2, 4, &FaultPlan::default());
+        let outcomes = vec![
+            outcome(0, 0, 100),
+            outcome(1, 1, 200),
+            outcome(2, 0, 300),
+            SessionOutcome::failed(3, 3, SimDuration::from_millis(250)),
+        ];
+        let r = FleetReport::aggregate(&cfg, &pool, outcomes, 0.5);
+        assert_eq!(r.sessions, 4);
+        assert_eq!(r.ok, 3);
+        assert_eq!(r.failed, 1);
+        assert_eq!(r.failovers, 2, "the failed session burned two failovers");
+        assert_eq!(r.offloads, 6);
+        assert_eq!(r.latency.mean, SimDuration::from_millis(200));
+        assert_eq!(r.latency.p50, SimDuration::from_millis(200));
+        assert_eq!(r.latency.p99, SimDuration::from_millis(300));
+        // Node 0 served 100+300ms, node 1 served 200ms.
+        assert_eq!(r.sim_makespan, SimDuration::from_millis(400));
+        assert!((r.per_node[0].utilization - 1.0).abs() < 1e-9);
+        assert!((r.per_node[1].utilization - 0.5).abs() < 1e-9);
+        assert_eq!(r.wall_throughput, 6.0);
+    }
+
+    #[test]
+    fn simulated_value_excludes_wall_clock() {
+        let cfg = FleetConfig::new(1, 8);
+        let pool = NodePool::new(1, 1, &FaultPlan::default());
+        let a = FleetReport::aggregate(&cfg, &pool, vec![outcome(0, 0, 50)], 0.1);
+        let b = FleetReport::aggregate(&cfg, &pool, vec![outcome(0, 0, 50)], 9.9);
+        assert_eq!(
+            serde_json::to_string(&a.simulated_value()).unwrap(),
+            serde_json::to_string(&b.simulated_value()).unwrap(),
+            "wall clock must not leak into the simulated subset"
+        );
+        assert_ne!(
+            serde_json::to_string(&a.to_value()).unwrap(),
+            serde_json::to_string(&b.to_value()).unwrap()
+        );
+    }
+}

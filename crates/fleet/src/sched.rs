@@ -1,0 +1,158 @@
+//! The fleet scheduler: fans session specs out to a worker-thread pool
+//! over a bounded channel (backpressure), executes each with
+//! failover-on-down-node, and aggregates the outcomes.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel;
+use tinman_sim::SimDuration;
+
+use crate::failure::{backoff_delay, degraded_link, NodeHealth};
+use crate::pool::NodePool;
+use crate::report::FleetReport;
+use crate::session::{base_link, outcome_from_report, run_session, SessionOutcome};
+use crate::spec::{build_session_specs, FleetConfig, SessionSpec};
+
+/// Runs one session with the fleet's retry policy: walk the replica
+/// order, skip `Down` nodes (charging simulated backoff), run on the
+/// first live node, degrade the link when that node is `Degraded`.
+///
+/// With a static [`crate::failure::FaultPlan`] this is a pure function of
+/// `(cfg, spec, pool topology)` — no wall-clock state feeds the result.
+pub fn execute_with_failover(
+    cfg: &FleetConfig,
+    pool: &NodePool,
+    spec: &SessionSpec,
+) -> SessionOutcome {
+    let order = pool.replica_order(spec.placement_key());
+    let mut penalty = SimDuration::ZERO;
+    let mut attempts = 0u32;
+    for (i, &node) in order.iter().take(cfg.max_attempts as usize).enumerate() {
+        attempts += 1;
+        let shard = pool.shard(node);
+        let health = shard.health();
+        if health == NodeHealth::Down {
+            penalty += backoff_delay(cfg.backoff, i as u32);
+            continue;
+        }
+        let base = base_link(spec.link);
+        let link = if health == NodeHealth::Degraded { degraded_link(&base) } else { base };
+        // Admission control: wall-clock flow only, no simulated effect.
+        let _permit = shard.acquire();
+        match run_session(spec, (shard.label_start, shard.label_end), link) {
+            Ok(report) => return outcome_from_report(spec, node, attempts, penalty, &report),
+            Err(_) => {
+                penalty += backoff_delay(cfg.backoff, i as u32);
+            }
+        }
+    }
+    SessionOutcome::failed(spec.id, attempts, penalty)
+}
+
+/// Drives `cfg.sessions` device sessions across `cfg.workers` threads
+/// against a fresh node pool and returns the aggregated report.
+///
+/// The simulated aggregate ([`FleetReport::simulated_value`]) is
+/// bit-identical for any worker count: every session's result depends
+/// only on its spec and its (deterministic) placement, outcomes are
+/// re-sorted by session id before aggregation, and wall-clock never
+/// enters the simulated fields.
+pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    let specs = build_session_specs(cfg);
+    let pool = Arc::new(NodePool::new(cfg.nodes, cfg.node_capacity, &cfg.faults));
+    let start = Instant::now();
+
+    let (spec_tx, spec_rx) = channel::bounded::<SessionSpec>(cfg.queue_depth.max(1));
+    let (out_tx, out_rx) = channel::unbounded::<SessionOutcome>();
+
+    std::thread::scope(|s| {
+        for _ in 0..cfg.workers.max(1) {
+            let rx = spec_rx.clone();
+            let tx = out_tx.clone();
+            let pool = Arc::clone(&pool);
+            s.spawn(move || {
+                for spec in rx.iter() {
+                    let outcome = execute_with_failover(cfg, &pool, &spec);
+                    let _ = tx.send(outcome);
+                }
+            });
+        }
+        drop(spec_rx);
+        drop(out_tx);
+        for spec in specs {
+            spec_tx.send(spec).expect("a worker is always draining the queue");
+        }
+        drop(spec_tx);
+    });
+
+    let wall_secs = start.elapsed().as_secs_f64();
+    let mut outcomes: Vec<SessionOutcome> = out_rx.iter().collect();
+    outcomes.sort_by_key(|o| o.id);
+    FleetReport::aggregate(cfg, &pool, outcomes, wall_secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::FaultPlan;
+
+    #[test]
+    fn small_fleet_completes_every_session() {
+        let mut cfg = FleetConfig::new(12, 4);
+        cfg.queue_depth = 2; // exercise backpressure
+        let report = run_fleet(&cfg);
+        assert_eq!(report.sessions, 12);
+        assert_eq!(report.ok, 12, "all sessions succeed on a healthy pool");
+        assert_eq!(report.failovers, 0);
+        assert!(report.offloads >= 12, "every workload offloads at least once");
+        assert_eq!(report.outcomes.len(), 12);
+        assert!(report.outcomes.windows(2).all(|w| w[0].id < w[1].id), "sorted by id");
+    }
+
+    #[test]
+    fn down_primary_fails_over_to_replica() {
+        let mut cfg = FleetConfig::new(6, 2);
+        cfg.nodes = 2;
+        cfg.faults = FaultPlan { down_nodes: vec![0], slow_nodes: vec![] };
+        let report = run_fleet(&cfg);
+        assert_eq!(report.ok, 6, "replica absorbs the downed node's sessions");
+        let served_by_down: u64 =
+            report.outcomes.iter().filter(|o| o.node == Some(0)).count() as u64;
+        assert_eq!(served_by_down, 0, "nothing runs on the downed node");
+        assert!(report.failovers > 0, "some primaries were down");
+        // Failed-over sessions carry the simulated backoff penalty.
+        let penalized = report.outcomes.iter().find(|o| o.attempts > 1).expect("a failover");
+        assert!(penalized.latency >= cfg.backoff);
+    }
+
+    #[test]
+    fn all_nodes_down_reports_failures_not_panics() {
+        let mut cfg = FleetConfig::new(3, 2);
+        cfg.nodes = 2;
+        cfg.faults = FaultPlan { down_nodes: vec![0, 1], slow_nodes: vec![] };
+        let report = run_fleet(&cfg);
+        assert_eq!(report.ok, 0);
+        assert_eq!(report.failed, 3);
+        assert!(report.outcomes.iter().all(|o| !o.success && o.node.is_none()));
+    }
+
+    #[test]
+    fn degraded_node_still_serves_but_slower() {
+        let mut base = FleetConfig::new(4, 2);
+        base.nodes = 1;
+        let healthy = run_fleet(&base);
+
+        let mut slow = base.clone();
+        slow.faults = FaultPlan { down_nodes: vec![], slow_nodes: vec![0] };
+        let degraded = run_fleet(&slow);
+
+        assert_eq!(degraded.ok, 4);
+        assert!(
+            degraded.latency.mean > healthy.latency.mean,
+            "degraded link must cost simulated time: {:?} vs {:?}",
+            degraded.latency.mean,
+            healthy.latency.mean
+        );
+    }
+}

@@ -1,0 +1,314 @@
+//! Worker-side session execution: builds a hermetic TinMan world for one
+//! device session and runs its workload to completion.
+//!
+//! Everything here is a pure function of the [`SessionSpec`] plus the
+//! placement decided by the pool — runtimes are constructed inside the
+//! worker thread (they are not `Send` and never need to be), and two
+//! executions of the same spec on the same shard produce identical
+//! simulated results on any thread.
+
+use std::collections::{HashMap, HashSet};
+
+use sha2::{Digest, Sha256};
+use tinman_apps::bankdroid::{build_bankdroid, SAMPLE_TRANSACTIONS};
+use tinman_apps::browser::build_browser_checkout;
+use tinman_apps::logins::{build_login_app, LoginAppSpec};
+use tinman_apps::servers::{install_auth_server, install_payment_server, AuthServerSpec};
+use tinman_cor::CorStore;
+use tinman_core::runtime::{Mode, RunReport, TinmanConfig, TinmanRuntime};
+use tinman_core::server::HttpsServerApp;
+use tinman_net::{Addr, NetWorld};
+use tinman_sim::{LinkProfile, SimDuration, SplitMix64};
+use tinman_tls::TlsConfig;
+use tinman_vm::Value;
+
+use crate::spec::{LinkKind, SessionSpec, WorkloadKind};
+
+/// What one session contributed to the fleet, all plain data. The
+/// simulated fields depend only on (spec, shard, link) — never on worker
+/// count or wall-clock interleaving.
+#[derive(Clone, Debug)]
+pub struct SessionOutcome {
+    /// The session this outcome belongs to.
+    pub id: u64,
+    /// Shard that ultimately served the session (`None` if every attempt
+    /// found its node down).
+    pub node: Option<usize>,
+    /// Placements tried (1 = primary served it directly).
+    pub attempts: u32,
+    /// Whether the workload completed with its expected result.
+    pub success: bool,
+    /// End-to-end simulated latency, including retry backoff.
+    pub latency: SimDuration,
+    /// Client→node execution migrations.
+    pub offloads: u64,
+    /// Method invocations on the trusted node.
+    pub node_methods: u64,
+    /// Method invocations on the client.
+    pub client_methods: u64,
+    /// DSM synchronizations.
+    pub dsm_syncs: u64,
+    /// Client battery energy, microjoules.
+    pub energy_uj: u64,
+    /// Client radio bytes sent.
+    pub tx_bytes: u64,
+    /// Client radio bytes received.
+    pub rx_bytes: u64,
+}
+
+impl SessionOutcome {
+    /// A failed outcome carrying only the accumulated backoff latency.
+    pub fn failed(id: u64, attempts: u32, backoff: SimDuration) -> SessionOutcome {
+        SessionOutcome {
+            id,
+            node: None,
+            attempts,
+            success: false,
+            latency: backoff,
+            offloads: 0,
+            node_methods: 0,
+            client_methods: 0,
+            dsm_syncs: 0,
+            energy_uj: 0,
+            tx_bytes: 0,
+            rx_bytes: 0,
+        }
+    }
+}
+
+/// The base link profile for a session's radio.
+pub fn base_link(kind: LinkKind) -> LinkProfile {
+    match kind {
+        LinkKind::Wifi => LinkProfile::wifi(),
+        LinkKind::ThreeG => LinkProfile::three_g(),
+    }
+}
+
+fn session_inputs() -> HashMap<String, String> {
+    HashMap::from([
+        ("username".to_owned(), "alice".to_owned()),
+        ("amount".to_owned(), "99.95".to_owned()),
+    ])
+}
+
+/// The per-session derivation stream plus the cor store it seeds. Cors
+/// are registered into the store *before* the runtime is built (they are
+/// provisioned "in a safe environment in advance", §2.3).
+fn session_store(spec: &SessionSpec, labels: (u8, u8)) -> (CorStore, SplitMix64, u64) {
+    let mut stream = SplitMix64::new(spec.seed);
+    let store_seed = stream.next_u64();
+    let runtime_seed = stream.next_u64();
+    let store = CorStore::with_label_range(store_seed, labels.0, labels.1)
+        .expect("pool shards carry valid label ranges");
+    (store, stream, runtime_seed)
+}
+
+fn session_runtime(store: CorStore, link: LinkProfile, runtime_seed: u64) -> TinmanRuntime {
+    let config = TinmanConfig { seed: runtime_seed, ..TinmanConfig::default() };
+    TinmanRuntime::new(store, link, config)
+}
+
+/// A bank that expects `sha256(password)` and serves transactions after a
+/// successful login on the same connection (the §4.1 server, stateful).
+fn install_bank_server(
+    world: &mut NetWorld,
+    tls: TlsConfig,
+    domain: &'static str,
+    password: &str,
+    think: SimDuration,
+) {
+    let expected_hash: String =
+        Sha256::digest(password.as_bytes()).iter().map(|b| format!("{b:02x}")).collect();
+    let mut authed: HashSet<Addr> = HashSet::new();
+    let app = HttpsServerApp::new(tls, move |peer: Addr, request: &str| {
+        if request.starts_with("GET /transactions") {
+            if authed.contains(&peer) {
+                (SAMPLE_TRANSACTIONS.to_owned(), think)
+            } else {
+                ("401 UNAUTHENTICATED".to_owned(), SimDuration::from_millis(10))
+            }
+        } else {
+            let user = request.split('&').find_map(|kv| kv.strip_prefix("user=")).unwrap_or("");
+            let pass = request.split('&').find_map(|kv| kv.strip_prefix("pass=")).unwrap_or("");
+            if user == "alice" && pass == expected_hash {
+                authed.insert(peer);
+                ("200 OK welcome".to_owned(), think)
+            } else {
+                ("403 FORBIDDEN".to_owned(), SimDuration::from_millis(20))
+            }
+        }
+    });
+    let host = world.add_host(domain, LinkProfile::ethernet());
+    world.install_server(Addr::new(host, 443), Box::new(app));
+}
+
+/// Runs one session on the shard owning labels `labels`, over `link`.
+/// Returns the runtime's report; the caller folds in placement metadata.
+pub fn run_session(
+    spec: &SessionSpec,
+    labels: (u8, u8),
+    link: LinkProfile,
+) -> Result<RunReport, String> {
+    match spec.workload {
+        WorkloadKind::Login(idx) => {
+            let apps = LoginAppSpec::table3();
+            let login = &apps[idx % apps.len()];
+            let (mut store, mut stream, runtime_seed) = session_store(spec, labels);
+            let password = stream.alphanumeric(16);
+            store
+                .register(&password, login.cor_description, &[login.domain])
+                .ok_or_else(|| "label space exhausted".to_owned())?;
+            let mut rt = session_runtime(store, link, runtime_seed);
+            let tls = rt.server_tls_config();
+            install_auth_server(
+                &mut rt.world,
+                tls,
+                AuthServerSpec {
+                    domain: login.domain,
+                    user: "alice",
+                    password,
+                    hash_login: login.hash_login,
+                    think: SimDuration::from_millis(300),
+                    page_bytes: 60_000,
+                },
+            );
+            let app = build_login_app(login);
+            let report =
+                rt.run_app(&app, Mode::TinMan, &session_inputs()).map_err(|e| e.to_string())?;
+            expect_success(&report, login.name)?;
+            Ok(report)
+        }
+        WorkloadKind::Bankdroid => {
+            let (mut store, mut stream, runtime_seed) = session_store(spec, labels);
+            let password = stream.alphanumeric(16);
+            store
+                .register(&password, "Citibank password", &["citibank.com"])
+                .ok_or_else(|| "label space exhausted".to_owned())?;
+            let mut rt = session_runtime(store, link, runtime_seed);
+            let tls = rt.server_tls_config();
+            install_bank_server(
+                &mut rt.world,
+                tls,
+                "citibank.com",
+                &password,
+                SimDuration::from_millis(150),
+            );
+            let app = build_bankdroid("citibank.com", "Citibank password");
+            let report =
+                rt.run_app(&app, Mode::TinMan, &session_inputs()).map_err(|e| e.to_string())?;
+            expect_success(&report, "bankdroid")?;
+            Ok(report)
+        }
+        WorkloadKind::BrowserCheckout => {
+            let (mut store, mut stream, runtime_seed) = session_store(spec, labels);
+            let mut card = String::with_capacity(16);
+            for _ in 0..16 {
+                card.push(char::from(b'0' + stream.below(10) as u8));
+            }
+            let mut cvv = String::with_capacity(3);
+            for _ in 0..3 {
+                cvv.push(char::from(b'0' + stream.below(10) as u8));
+            }
+            store
+                .register(&card, "Visa card number", &["shop.com"])
+                .ok_or_else(|| "label space exhausted".to_owned())?;
+            store
+                .register(&cvv, "Visa security code", &["shop.com"])
+                .ok_or_else(|| "label space exhausted".to_owned())?;
+            let mut rt = session_runtime(store, link, runtime_seed);
+            let tls = rt.server_tls_config();
+            install_payment_server(
+                &mut rt.world,
+                tls,
+                "shop.com",
+                &card,
+                &cvv,
+                SimDuration::from_millis(200),
+            );
+            let app = build_browser_checkout("shop.com", "Visa card number", "Visa security code");
+            let report =
+                rt.run_app(&app, Mode::TinMan, &session_inputs()).map_err(|e| e.to_string())?;
+            expect_success(&report, "browser-checkout")?;
+            Ok(report)
+        }
+    }
+}
+
+fn expect_success(report: &RunReport, workload: &str) -> Result<(), String> {
+    if report.result == Value::Int(1) {
+        Ok(())
+    } else {
+        Err(format!("{workload} finished with {:?}, expected Int(1)", report.result))
+    }
+}
+
+/// Folds a run report plus placement metadata into an outcome row.
+pub fn outcome_from_report(
+    spec: &SessionSpec,
+    node: usize,
+    attempts: u32,
+    backoff: SimDuration,
+    report: &RunReport,
+) -> SessionOutcome {
+    SessionOutcome {
+        id: spec.id,
+        node: Some(node),
+        attempts,
+        success: true,
+        latency: report.latency + backoff,
+        offloads: report.offloads,
+        node_methods: report.node_methods,
+        client_methods: report.client_methods,
+        dsm_syncs: report.dsm.sync_count,
+        energy_uj: report.energy.as_microjoules(),
+        tx_bytes: report.traffic.tx_bytes,
+        rx_bytes: report.traffic.rx_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FleetConfig, SessionSpec};
+
+    fn spec(id: u64, workload: WorkloadKind) -> SessionSpec {
+        SessionSpec { id, workload, link: LinkKind::Wifi, seed: 42 + id }
+    }
+
+    #[test]
+    fn every_workload_family_completes() {
+        for (i, w) in [
+            WorkloadKind::Login(0),
+            WorkloadKind::Login(2),
+            WorkloadKind::Bankdroid,
+            WorkloadKind::BrowserCheckout,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let s = spec(i as u64, w);
+            let report = run_session(&s, (0, 16), LinkProfile::wifi()).expect("session runs");
+            assert!(report.offloads >= 1, "{w:?} offloaded");
+        }
+    }
+
+    #[test]
+    fn same_spec_same_shard_is_bit_identical() {
+        let s = spec(7, WorkloadKind::Bankdroid);
+        let a = run_session(&s, (16, 32), LinkProfile::wifi()).unwrap();
+        let b = run_session(&s, (16, 32), LinkProfile::wifi()).unwrap();
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.offloads, b.offloads);
+        assert_eq!(a.traffic.tx_bytes, b.traffic.tx_bytes);
+        assert_eq!(a.energy.as_microjoules(), b.energy.as_microjoules());
+    }
+
+    #[test]
+    fn specs_from_config_all_run() {
+        let cfg = FleetConfig::new(6, 1);
+        for s in crate::spec::build_session_specs(&cfg) {
+            let link = base_link(s.link);
+            run_session(&s, (0, 16), link).expect("config-derived session runs");
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Fleet configuration and deterministic session-spec generation.
+
+use tinman_sim::{SimDuration, SplitMix64};
+
+use crate::failure::FaultPlan;
+
+/// Which application a session runs. The fleet cycles through the three
+/// workload families the paper evaluates (§4 case studies + §6 logins).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// One of the Table 3 login apps (index into
+    /// `LoginAppSpec::table3()`).
+    Login(usize),
+    /// The §4.1 BankDroid hash-of-password login.
+    Bankdroid,
+    /// The §4.2 browser checkout with credit-card cors.
+    BrowserCheckout,
+}
+
+/// The device's radio link for a session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkKind {
+    /// Home/office Wi-Fi.
+    Wifi,
+    /// Cellular 3G.
+    ThreeG,
+}
+
+/// Everything a worker needs to run one device session, all plain data
+/// (`Send`): the runtime itself is constructed inside the worker thread.
+#[derive(Clone, Debug)]
+pub struct SessionSpec {
+    /// Session index, `0..sessions`; doubles as the user identity.
+    pub id: u64,
+    /// Which app this session runs.
+    pub workload: WorkloadKind,
+    /// Which link profile the device uses.
+    pub link: LinkKind,
+    /// Seed for all of this session's randomness (cor plaintexts,
+    /// placeholder minting, runtime nonces). Derived from the fleet seed
+    /// and `id` only, so results are independent of scheduling.
+    pub seed: u64,
+}
+
+impl SessionSpec {
+    /// The consistent-hash key placing this session's cors on a shard.
+    /// Keyed by the user identity, not the arrival order, so the same
+    /// user's secrets always live on the same trusted node.
+    pub fn placement_key(&self) -> u64 {
+        SplitMix64::new(self.id ^ 0x9e37_79b9_7f4a_7c15).next_u64()
+    }
+}
+
+/// Fleet-wide configuration.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Number of device sessions to drive.
+    pub sessions: usize,
+    /// Worker threads executing sessions. Affects wall-clock only; the
+    /// simulated aggregate is bit-identical for any worker count.
+    pub workers: usize,
+    /// Trusted-node shards partitioning the cor label space.
+    pub nodes: usize,
+    /// Max sessions one node serves concurrently (admission control;
+    /// wall-clock only).
+    pub node_capacity: usize,
+    /// Bound of the dispatch queue — producers block when it fills, which
+    /// is the fleet's backpressure.
+    pub queue_depth: usize,
+    /// Master seed; every per-session seed derives from it.
+    pub seed: u64,
+    /// Injected faults (downed nodes, slow links).
+    pub faults: FaultPlan,
+    /// How many placements a session tries (primary + replicas) before it
+    /// is reported failed.
+    pub max_attempts: u32,
+    /// Base simulated retry backoff; attempt `n` waits `base * 2^n`.
+    pub backoff: SimDuration,
+}
+
+impl FleetConfig {
+    /// A config with sensible defaults for the given scale.
+    pub fn new(sessions: usize, workers: usize) -> Self {
+        FleetConfig {
+            sessions,
+            workers: workers.max(1),
+            nodes: 4,
+            node_capacity: 8,
+            queue_depth: 64,
+            seed: 0x7153_1a2b_3c4d_5e6f,
+            faults: FaultPlan::default(),
+            max_attempts: 3,
+            backoff: SimDuration::from_millis(250),
+        }
+    }
+}
+
+/// The deterministic spec list for a config: workloads cycle through the
+/// families, links and seeds come from per-session streams of the master
+/// seed. Independent of worker count and of execution order by
+/// construction.
+pub fn build_session_specs(cfg: &FleetConfig) -> Vec<SessionSpec> {
+    (0..cfg.sessions as u64)
+        .map(|id| {
+            let mut stream = SplitMix64::new(cfg.seed ^ id.wrapping_mul(0xa076_1d64_78bd_642f));
+            let workload = match id % 6 {
+                0 => WorkloadKind::Login(0),
+                1 => WorkloadKind::Login(1),
+                2 => WorkloadKind::Login(2),
+                3 => WorkloadKind::Login(3),
+                4 => WorkloadKind::Bankdroid,
+                _ => WorkloadKind::BrowserCheckout,
+            };
+            let link = if stream.below(4) == 0 { LinkKind::ThreeG } else { LinkKind::Wifi };
+            SessionSpec { id, workload, link, seed: stream.next_u64() }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_are_deterministic_and_cover_all_workloads() {
+        let cfg = FleetConfig::new(24, 4);
+        let a = build_session_specs(&cfg);
+        let b = build_session_specs(&cfg);
+        assert_eq!(a.len(), 24);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.workload, y.workload);
+            assert_eq!(x.link, y.link);
+            assert_eq!(x.seed, y.seed);
+        }
+        assert!(a.iter().any(|s| s.workload == WorkloadKind::Bankdroid));
+        assert!(a.iter().any(|s| s.workload == WorkloadKind::BrowserCheckout));
+        assert!(a.iter().any(|s| matches!(s.workload, WorkloadKind::Login(_))));
+    }
+
+    #[test]
+    fn different_fleet_seeds_give_different_session_seeds() {
+        let mut a = FleetConfig::new(8, 1);
+        let mut b = FleetConfig::new(8, 1);
+        a.seed = 1;
+        b.seed = 2;
+        let sa = build_session_specs(&a);
+        let sb = build_session_specs(&b);
+        assert!(sa.iter().zip(&sb).any(|(x, y)| x.seed != y.seed));
+    }
+}

@@ -324,8 +324,7 @@ impl TcpConn {
     /// paper lists socket buffers among the places plaintext lingers
     /// (the paper's §1 cites prior residue studies).
     pub fn scan_buffer(&self, needle: &[u8]) -> bool {
-        !needle.is_empty()
-            && self.recv_buf.windows(needle.len()).any(|w| w == needle)
+        !needle.is_empty() && self.recv_buf.windows(needle.len()).any(|w| w == needle)
     }
 }
 

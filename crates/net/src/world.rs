@@ -343,14 +343,11 @@ impl NetWorld {
     /// or diversion.
     fn route_from_client(&mut self, conn: ConnId, seg: Segment) -> Result<(), NetError> {
         let client_host = seg.src.host;
-        let action = match self
-            .hosts
-            .get_mut(client_host.0 as usize)
-            .and_then(|h| h.filter.as_mut())
-        {
-            Some(f) => f.inspect(&seg),
-            None => FilterAction::Pass,
-        };
+        let action =
+            match self.hosts.get_mut(client_host.0 as usize).and_then(|h| h.filter.as_mut()) {
+                Some(f) => f.inspect(&seg),
+                None => FilterAction::Pass,
+            };
         match action {
             FilterAction::Pass => {
                 self.charge_serialization(client_host, seg.dst.host, seg.wire_bytes());

@@ -215,9 +215,6 @@ mod tests {
 
     #[test]
     fn trusted_node_exec_energy_is_free() {
-        assert_eq!(
-            DeviceProfile::trusted_pc().exec_energy(1_000_000).as_microjoules(),
-            0
-        );
+        assert_eq!(DeviceProfile::trusted_pc().exec_energy(1_000_000).as_microjoules(), 0);
     }
 }

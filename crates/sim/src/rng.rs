@@ -54,9 +54,7 @@ impl SplitMix64 {
     /// `[A-Za-z0-9]`. Used to generate cor placeholders of a given length.
     pub fn alphanumeric(&mut self, len: usize) -> String {
         const ALPHABET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
-        (0..len)
-            .map(|_| ALPHABET[self.below(ALPHABET.len() as u64) as usize] as char)
-            .collect()
+        (0..len).map(|_| ALPHABET[self.below(ALPHABET.len() as u64) as usize] as char).collect()
     }
 }
 

@@ -130,13 +130,21 @@ pub struct TaintEngine {
 impl TaintEngine {
     /// The no-tracking baseline engine.
     pub fn none() -> Self {
-        TaintEngine { kind: EngineKind::None, costs: TaintCosts::default(), stats: MoveStats::default() }
+        TaintEngine {
+            kind: EngineKind::None,
+            costs: TaintCosts::default(),
+            stats: MoveStats::default(),
+        }
     }
 
     /// The full four-class engine (TaintDroid-equivalent; used on the
     /// trusted node, or on the client for the Figure 13 comparison).
     pub fn full() -> Self {
-        TaintEngine { kind: EngineKind::Full, costs: TaintCosts::default(), stats: MoveStats::default() }
+        TaintEngine {
+            kind: EngineKind::Full,
+            costs: TaintCosts::default(),
+            stats: MoveStats::default(),
+        }
     }
 
     /// TinMan's asymmetric client engine (§3.5).

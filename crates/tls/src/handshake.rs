@@ -105,7 +105,7 @@ fn master_secret(psk: &[u8; 32], cr: &[u8; 32], sr: &[u8; 32]) -> [u8; 32] {
     h.update(cr);
     h.update(sr);
     h.update(psk);
-    h.finalize().into()
+    h.finalize()
 }
 
 /// Handshake driver — free functions matching the two round-trip halves.
@@ -145,8 +145,7 @@ impl Handshake {
             .find(|s| hello.suites.contains(&suite_byte(*s)))
             .ok_or(TlsError::NoCommonSuite)?;
         let master = master_secret(&config.psk, &hello.random, &server_random);
-        let session =
-            TlsSession::from_master(master, version, suite, TlsRole::Server, nonce_seed);
+        let session = TlsSession::from_master(master, version, suite, TlsRole::Server, nonce_seed);
         Ok((
             ServerHello {
                 version: version.to_byte(),

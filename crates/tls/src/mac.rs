@@ -32,7 +32,7 @@ fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
     let mut outer = Sha256::new();
     outer.update(opad);
     outer.update(inner);
-    outer.finalize().into()
+    outer.finalize()
 }
 
 /// Computes the truncated record MAC.
@@ -70,9 +70,9 @@ mod tests {
         // nothing?".
         let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
         let expected = [
-            0x5bu8, 0xdc, 0xc1, 0x46, 0xbf, 0x60, 0x75, 0x4e, 0x6a, 0x04, 0x24, 0x26, 0x08,
-            0x95, 0x75, 0xc7, 0x5a, 0x00, 0x3f, 0x08, 0x9d, 0x27, 0x39, 0x83, 0x9d, 0xec,
-            0x58, 0xb9, 0x64, 0xec, 0x38, 0x43,
+            0x5bu8, 0xdc, 0xc1, 0x46, 0xbf, 0x60, 0x75, 0x4e, 0x6a, 0x04, 0x24, 0x26, 0x08, 0x95,
+            0x75, 0xc7, 0x5a, 0x00, 0x3f, 0x08, 0x9d, 0x27, 0x39, 0x83, 0x9d, 0xec, 0x58, 0xb9,
+            0x64, 0xec, 0x38, 0x43,
         ];
         assert_eq!(mac, expected);
     }

@@ -132,11 +132,7 @@ mod tests {
 
     #[test]
     fn partial_buffers_return_none() {
-        let r = Record {
-            content_type: ContentType::Handshake,
-            version: 1,
-            body: vec![0; 100],
-        };
+        let r = Record { content_type: ContentType::Handshake, version: 1, body: vec![0; 100] };
         let wire = r.to_bytes();
         assert!(Record::parse(&wire[..3]).unwrap().is_none());
         assert!(Record::parse(&wire[..50]).unwrap().is_none());
@@ -146,11 +142,7 @@ mod tests {
     #[test]
     fn parse_all_consumes_multiple_and_leaves_tail() {
         let a = Record { content_type: ContentType::Handshake, version: 1, body: vec![1] };
-        let b = Record {
-            content_type: ContentType::ApplicationData,
-            version: 1,
-            body: vec![2, 3],
-        };
+        let b = Record { content_type: ContentType::ApplicationData, version: 1, body: vec![2, 3] };
         let mut wire = a.to_bytes();
         wire.extend(b.to_bytes());
         wire.extend([23, 1]); // truncated third record

@@ -198,9 +198,12 @@ impl TlsSession {
     ///
     /// With TLS 1.0 the chaining IV would also have to be imported — that
     /// import is exactly the Figure 7 leak, so it is refused here.
-    pub fn import_progress(&mut self, send_seq: u64, send_stream_offset: u64) -> Result<(), TlsError> {
-        if self.state.suite == CipherSuite::XteaCbcHmacSha256 && !self.state.version.explicit_iv()
-        {
+    pub fn import_progress(
+        &mut self,
+        send_seq: u64,
+        send_stream_offset: u64,
+    ) -> Result<(), TlsError> {
+        if self.state.suite == CipherSuite::XteaCbcHmacSha256 && !self.state.version.explicit_iv() {
             return Err(TlsError::BadSessionState(
                 "implicit-IV CBC cannot resume after remote sends without importing \
                  ciphertext (the Figure 7 leak); refuse and re-handshake instead"
@@ -271,9 +274,7 @@ impl TlsSession {
                 } else {
                     let ct = cbc_encrypt(&key, &self.state.send_chain_iv, &authed);
                     // Implicit IV: chain to the last ciphertext block.
-                    self.state
-                        .send_chain_iv
-                        .copy_from_slice(&ct[ct.len() - BLOCK..]);
+                    self.state.send_chain_iv.copy_from_slice(&ct[ct.len() - BLOCK..]);
                     ct
                 }
             }
@@ -319,9 +320,7 @@ impl TlsSession {
                     if rec.body.len() < BLOCK {
                         return Err(TlsError::BadRecord("short CBC record".into()));
                     }
-                    self.state
-                        .recv_chain_iv
-                        .copy_from_slice(&rec.body[rec.body.len() - BLOCK..]);
+                    self.state.recv_chain_iv.copy_from_slice(&rec.body[rec.body.len() - BLOCK..]);
                     cbc_decrypt(&key, &iv, &rec.body)?
                 }
             }

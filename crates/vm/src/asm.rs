@@ -193,10 +193,8 @@ impl Assembler {
                     return Err(err(line, ".class needs a name"));
                 }
                 let id = ClassId(self.classes.len() as u32);
-                self.classes.push(ClassDef {
-                    name: tokens[1].clone(),
-                    fields: tokens[2..].to_vec(),
-                });
+                self.classes
+                    .push(ClassDef { name: tokens[1].clone(), fields: tokens[2..].to_vec() });
                 self.class_names.insert(tokens[1].clone(), id);
                 Ok(())
             }
@@ -272,10 +270,7 @@ impl Assembler {
                 Ok(())
             }
             ".end" => {
-                let mut f = self
-                    .current
-                    .take()
-                    .ok_or_else(|| err(line, ".end outside a .func"))?;
+                let mut f = self.current.take().ok_or_else(|| err(line, ".end outside a .func"))?;
                 for (at, label, fix_line) in std::mem::take(&mut f.fixups) {
                     let target = *f
                         .labels
@@ -294,10 +289,7 @@ impl Assembler {
                 Ok(())
             }
             _ if head.ends_with(':') && tokens.len() == 1 => {
-                let f = self
-                    .current
-                    .as_mut()
-                    .ok_or_else(|| err(line, "label outside a .func"))?;
+                let f = self.current.as_mut().ok_or_else(|| err(line, "label outside a .func"))?;
                 let name = head.trim_end_matches(':').to_owned();
                 if f.labels.insert(name.clone(), f.code.len() as u32).is_some() {
                     return Err(err(line, format!("duplicate label '{name}'")));
@@ -311,10 +303,7 @@ impl Assembler {
     fn instruction(&mut self, tokens: &[String], line: usize) -> Result<(), AsmError> {
         // Resolve operand lookups before borrowing the function mutably.
         let insn = self.parse_insn(tokens, line)?;
-        let f = self
-            .current
-            .as_mut()
-            .ok_or_else(|| err(line, "instruction outside a .func"))?;
+        let f = self.current.as_mut().ok_or_else(|| err(line, "instruction outside a .func"))?;
         if let Some((_, label)) = insn_jump_label(&insn, tokens) {
             f.fixups.push((f.code.len(), label, line));
         }
@@ -415,8 +404,7 @@ impl Assembler {
                 Insn::Call(*id)
             }
             "call_native" => {
-                let name =
-                    tokens.get(1).ok_or_else(|| err(line, "call_native needs a native"))?;
+                let name = tokens.get(1).ok_or_else(|| err(line, "call_native needs a native"))?;
                 let id = self
                     .native_names
                     .get(name)
@@ -452,9 +440,8 @@ fn insn_jump_label(insn: &Insn, tokens: &[String]) -> Option<((), String)> {
 /// Convenience: assemble and run a source program with no natives,
 /// returning its result value. Intended for tests and quick exploration.
 pub fn assemble_and_run(name: &str, source: &str) -> Result<crate::Value, VmError> {
-    let image = assemble(name, source).map_err(|e| VmError::BadStringOp {
-        message: e.to_string(),
-    })?;
+    let image =
+        assemble(name, source).map_err(|e| VmError::BadStringOp { message: e.to_string() })?;
     let mut machine = crate::Machine::new();
     let mut host = crate::interp::NullHost;
     let mut engine = tinman_taint::TaintEngine::none();

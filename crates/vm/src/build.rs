@@ -167,12 +167,7 @@ impl ProgramBuilder {
             return id;
         }
         let id = FuncId(self.functions.len() as u32);
-        self.functions.push(Function {
-            name: name.to_owned(),
-            n_args,
-            n_locals,
-            code: Vec::new(),
-        });
+        self.functions.push(Function { name: name.to_owned(), n_args, n_locals, code: Vec::new() });
         self.func_ids.insert(name.to_owned(), id);
         id
     }

@@ -11,8 +11,13 @@ use crate::program::{AppImage, Function};
 /// Disassembles a whole image.
 pub fn disassemble(image: &AppImage) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "; image: {} ({} bytes, hash {})",
-        image.name, image.image_bytes(), &image.hash_hex()[..16]);
+    let _ = writeln!(
+        out,
+        "; image: {} ({} bytes, hash {})",
+        image.name,
+        image.image_bytes(),
+        &image.hash_hex()[..16]
+    );
     for c in &image.classes {
         let _ = writeln!(out, ".class {} {}", c.name, c.fields.join(" "));
     }
@@ -121,13 +126,11 @@ fn mnemonic(image: &AppImage, insn: &Insn) -> String {
         Insn::GetField(n) => format!("get_field {n}"),
         Insn::PutField(n) => format!("put_field {n}"),
         Insn::New(c) => {
-            let name =
-                image.class(*c).map(|d| d.name.as_str()).unwrap_or("?").to_owned();
+            let name = image.class(*c).map(|d| d.name.as_str()).unwrap_or("?").to_owned();
             format!("new {name}")
         }
         Insn::Call(f) => {
-            let name =
-                image.function(*f).map(|d| d.name.as_str()).unwrap_or("?").to_owned();
+            let name = image.function(*f).map(|d| d.name.as_str()).unwrap_or("?").to_owned();
             format!("call {name}")
         }
         Insn::CallNative(n, argc) => {
@@ -177,21 +180,26 @@ mod tests {
         )
         .unwrap();
         let text = disassemble(&img);
-        for needle in
-            [".class Point x y", ".string s0", ".native n0", ".func main", "jz L", "jmp L",
-             "new Point", "call_native n0", "halt"]
-        {
+        for needle in [
+            ".class Point x y",
+            ".string s0",
+            ".native n0",
+            ".func main",
+            "jz L",
+            "jmp L",
+            "new Point",
+            "call_native n0",
+            "halt",
+        ] {
             assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
         }
     }
 
     #[test]
     fn labels_print_before_their_targets() {
-        let img = assemble(
-            "t",
-            ".func main args=0 locals=0\ntop:\n  const_i 0\n  jz top\n  halt\n.end",
-        )
-        .unwrap();
+        let img =
+            assemble("t", ".func main args=0 locals=0\ntop:\n  const_i 0\n  jz top\n  halt\n.end")
+                .unwrap();
         let text = disassemble(&img);
         let label_pos = text.find("L0:").expect("label printed");
         let jump_pos = text.find("jz L0").expect("jump printed");

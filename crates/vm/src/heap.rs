@@ -243,9 +243,11 @@ impl Heap {
         match &mut obj.kind {
             HeapKind::Obj { fields, .. } => {
                 let len = fields.len();
-                let slot = fields
-                    .get_mut(index as usize)
-                    .ok_or(VmError::BadFieldIndex { obj: id, index, len })?;
+                let slot = fields.get_mut(index as usize).ok_or(VmError::BadFieldIndex {
+                    obj: id,
+                    index,
+                    len,
+                })?;
                 *slot = value;
                 obj.dirty |= 1u64 << (index as u64).min(63);
                 Ok(())
@@ -291,7 +293,12 @@ impl Heap {
     /// `id` must be an existing object or the next allocation slot: DSM
     /// deltas ship new objects in allocation order, so ids stay consistent
     /// across endpoints. A gap indicates a corrupted delta.
-    pub fn apply_object(&mut self, id: ObjId, kind: HeapKind, taint: TaintSet) -> Result<(), VmError> {
+    pub fn apply_object(
+        &mut self,
+        id: ObjId,
+        kind: HeapKind,
+        taint: TaintSet,
+    ) -> Result<(), VmError> {
         let idx = id.0 as usize;
         if idx < self.objects.len() {
             self.allocated_bytes += kind.byte_size();

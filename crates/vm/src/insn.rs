@@ -193,12 +193,7 @@ impl Insn {
             | Insn::Shr => 1,
             Insn::Mul => 2,
             Insn::Div | Insn::Rem => 4,
-            Insn::CmpEq
-            | Insn::CmpNe
-            | Insn::CmpLt
-            | Insn::CmpLe
-            | Insn::CmpGt
-            | Insn::CmpGe => 1,
+            Insn::CmpEq | Insn::CmpNe | Insn::CmpLt | Insn::CmpLe | Insn::CmpGt | Insn::CmpGe => 1,
             Insn::I2D | Insn::D2I => 1,
             Insn::Jump(_) | Insn::JumpIfZero(_) | Insn::JumpIfNonZero(_) => 1,
             Insn::New(_) => 8,
@@ -211,9 +206,9 @@ impl Insn {
             Insn::StrConcat => 8, // plus per-byte cost charged by the interpreter
             Insn::StrCharAt => 2,
             Insn::StrLen => 1,
-            Insn::StrSub => 6, // plus per-byte cost
+            Insn::StrSub => 6,     // plus per-byte cost
             Insn::StrIndexOf => 6, // plus per-byte cost
-            Insn::StrEq => 3, // plus per-byte cost
+            Insn::StrEq => 3,      // plus per-byte cost
             Insn::StrFromInt => 6,
             Insn::StrFromChar => 4,
             Insn::Call(_) => 10,

@@ -266,10 +266,7 @@ impl<'a, H: NativeHost> Interp<'a, H> {
     fn ensure_started(&mut self) -> Result<(), VmError> {
         if self.machine.frames.is_empty() && self.machine.status == MachineStatus::Runnable {
             let entry = self.image.entry;
-            let f = self
-                .image
-                .function(entry)
-                .ok_or(VmError::NoSuchFunction { id: entry.0 })?;
+            let f = self.image.function(entry).ok_or(VmError::NoSuchFunction { id: entry.0 })?;
             self.machine.frames.push(Frame::new(entry, f.name.clone(), f.n_locals));
         }
         Ok(())
@@ -341,10 +338,8 @@ impl<'a, H: NativeHost> Interp<'a, H> {
     /// Fetches the current instruction.
     fn fetch(&self) -> Result<(Insn, usize), VmError> {
         let frame = self.machine.top_frame().expect("running machine has a frame");
-        let func = self
-            .image
-            .function(frame.func)
-            .ok_or(VmError::NoSuchFunction { id: frame.func.0 })?;
+        let func =
+            self.image.function(frame.func).ok_or(VmError::NoSuchFunction { id: frame.func.0 })?;
         match func.code.get(frame.pc) {
             Some(&insn) => Ok((insn, frame.pc)),
             // Falling off the end behaves as RetVoid, matching builder
@@ -511,8 +506,7 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                 }
             }
             Insn::New(class) => {
-                let def =
-                    self.image.class(class).ok_or(VmError::NoSuchClass { id: class.0 })?;
+                let def = self.image.class(class).ok_or(VmError::NoSuchClass { id: class.0 })?;
                 let id = self.machine.heap.alloc_obj(class.0, def.field_count());
                 self.frame().push(Value::Ref(id), TaintSet::EMPTY);
                 advance!()
@@ -676,8 +670,7 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                 let (av, _) = self.frame().peek(1)?;
                 let b = bv.as_ref_id().map_err(|f| self.type_err("ref", f))?;
                 let a = av.as_ref_id().map_err(|f| self.type_err("ref", f))?;
-                let srcs =
-                    self.machine.heap.taint_of(a)?.union(self.machine.heap.taint_of(b)?);
+                let srcs = self.machine.heap.taint_of(a)?.union(self.machine.heap.taint_of(b)?);
                 // Concatenation derives a new value: on the client this is
                 // the Figure 11 line-6 trigger.
                 let out = self.engine.on_derive(srcs);
@@ -720,9 +713,11 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                 }
                 self.note_taint_touch(src);
                 let content = self.machine.heap.str_value(s)?;
-                let ch = content.as_bytes().get(index.max(0) as usize).copied().ok_or(
-                    VmError::IndexOutOfBounds { obj: s, index, len: content.len() },
-                )?;
+                let ch = content
+                    .as_bytes()
+                    .get(index.max(0) as usize)
+                    .copied()
+                    .ok_or(VmError::IndexOutOfBounds { obj: s, index, len: content.len() })?;
                 self.frame().pop()?;
                 self.frame().pop()?;
                 self.frame().push(Value::Int(ch as i64), out.dst_taint);
@@ -775,11 +770,8 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                 let (hayv, _) = self.frame().peek(1)?;
                 let needle = needlev.as_ref_id().map_err(|f| self.type_err("ref", f))?;
                 let hay = hayv.as_ref_id().map_err(|f| self.type_err("ref", f))?;
-                let srcs = self
-                    .machine
-                    .heap
-                    .taint_of(needle)?
-                    .union(self.machine.heap.taint_of(hay)?);
+                let srcs =
+                    self.machine.heap.taint_of(needle)?.union(self.machine.heap.taint_of(hay)?);
                 let out = self.engine.on_move(PropClass::HeapToStack, srcs);
                 self.charge_taint(out.extra_cycles);
                 if out.trigger_offload {
@@ -805,8 +797,7 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                 let (av, _) = self.frame().peek(1)?;
                 let b = bv.as_ref_id().map_err(|f| self.type_err("ref", f))?;
                 let a = av.as_ref_id().map_err(|f| self.type_err("ref", f))?;
-                let srcs =
-                    self.machine.heap.taint_of(a)?.union(self.machine.heap.taint_of(b)?);
+                let srcs = self.machine.heap.taint_of(a)?.union(self.machine.heap.taint_of(b)?);
                 // Comparing contents is a value-dependent heap read: a
                 // placeholder would compare wrongly, so this must offload.
                 let out = self.engine.on_move(PropClass::HeapToStack, srcs);
@@ -846,8 +837,7 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                 self.note_taint_touch(vt);
                 let i = v.as_int().map_err(|f| self.type_err("int", f))?;
                 let ch = char::from_u32(i as u32).unwrap_or('?');
-                let id =
-                    self.machine.heap.alloc_str_tainted(ch.to_string(), out.dst_taint);
+                let id = self.machine.heap.alloc_str_tainted(ch.to_string(), out.dst_taint);
                 self.frame().push(Value::Ref(id), TaintSet::EMPTY);
                 advance!()
             }
@@ -870,11 +860,8 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                 Ok(Step::Continue)
             }
             Insn::CallNative(nid, argc) => {
-                let name = self
-                    .image
-                    .native(nid)
-                    .ok_or(VmError::NoSuchNative { id: nid.0 })?
-                    .to_owned();
+                let name =
+                    self.image.native(nid).ok_or(VmError::NoSuchNative { id: nid.0 })?.to_owned();
                 let argc = argc as usize;
                 let frame = self.machine.top_frame().expect("frame");
                 if frame.depth() < argc {
@@ -980,11 +967,7 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                 advance!()
             }
             Insn::Halt => {
-                let v = if self.frame().depth() > 0 {
-                    self.frame().pop()?.0
-                } else {
-                    Value::Null
-                };
+                let v = if self.frame().depth() > 0 { self.frame().pop()?.0 } else { Value::Null };
                 Ok(Step::Event(ExecEvent::Halted(v)))
             }
         }
@@ -992,10 +975,8 @@ impl<'a, H: NativeHost> Interp<'a, H> {
 
     fn jump(&mut self, target: u32) -> Result<Step, VmError> {
         let frame = self.machine.top_frame().expect("frame");
-        let func = self
-            .image
-            .function(frame.func)
-            .ok_or(VmError::NoSuchFunction { id: frame.func.0 })?;
+        let func =
+            self.image.function(frame.func).ok_or(VmError::NoSuchFunction { id: frame.func.0 })?;
         if target as usize > func.code.len() {
             return Err(VmError::BadJump {
                 func: frame.func_name.clone(),

@@ -156,7 +156,7 @@ impl AppImage {
         let json = serde_json::to_vec(self).expect("AppImage serialization cannot fail");
         let mut hasher = Sha256::new();
         hasher.update(&json);
-        hasher.finalize().into()
+        hasher.finalize()
     }
 
     /// The image hash as lowercase hex, for logs and policy files.

@@ -209,14 +209,14 @@ fn string_operations_full_tour() {
         // charAt(1) = 'e' (101)
         b.load(0).const_i(1).op(Insn::StrCharAt);
         b.op(Insn::Add); // 102
-        // substring [1,4) = "ell"; eq -> 1
+                         // substring [1,4) = "ell"; eq -> 1
         b.load(0).const_i(1).const_i(4).op(Insn::StrSub);
         b.op(Insn::ConstS(ell)).op(Insn::StrEq);
         b.op(Insn::Add); // 103
-        // from_int(40) has len 2
+                         // from_int(40) has len 2
         b.const_i(40).op(Insn::StrFromInt).op(Insn::StrLen);
         b.op(Insn::Add); // 105
-        // from_char(65) = "A", len 1
+                         // from_char(65) = "A", len 1
         b.const_i(65).op(Insn::StrFromChar).op(Insn::StrLen);
         b.op(Insn::Add); // 106
         b.op(Insn::Halt);

@@ -16,8 +16,8 @@ use std::collections::HashMap;
 use sha2::{Digest, Sha256};
 use tinman::apps::bankdroid::build_bankdroid;
 use tinman::apps::servers::{install_auth_server, AuthServerSpec};
-use tinman::core::runtime::{Mode, TinmanConfig, TinmanRuntime};
 use tinman::cor::CorStore;
+use tinman::core::runtime::{Mode, TinmanConfig, TinmanRuntime};
 use tinman::sim::{LinkProfile, SimDuration};
 
 fn main() {

@@ -13,9 +13,9 @@ use std::collections::HashMap;
 
 use tinman::apps::browser::build_browser_checkout;
 use tinman::apps::servers::install_payment_server;
+use tinman::cor::{CorStore, PolicyRule};
 use tinman::core::error::RuntimeError;
 use tinman::core::runtime::{Mode, TinmanConfig, TinmanRuntime};
-use tinman::cor::{CorStore, PolicyRule};
 use tinman::sim::{LinkProfile, SimDuration};
 
 fn main() {
@@ -28,7 +28,14 @@ fn main() {
 
     let mut rt = TinmanRuntime::new(store, LinkProfile::wifi(), TinmanConfig::default());
     let tls = rt.server_tls_config();
-    install_payment_server(&mut rt.world, tls, "shop.com", card, cvv, SimDuration::from_millis(350));
+    install_payment_server(
+        &mut rt.world,
+        tls,
+        "shop.com",
+        card,
+        cvv,
+        SimDuration::from_millis(350),
+    );
 
     // §4.2 rules: one purchase per day, only to shop.com.
     for cor in rt.node.store.ids() {
@@ -48,7 +55,10 @@ fn main() {
     // First checkout: accepted.
     let report = rt.run_app(&app, Mode::TinMan, &inputs).expect("checkout runs");
     println!("first checkout:  result {:?} (1 = PAID)", report.result);
-    println!("card residue:    {}", if rt.scan_residue(card).is_clean() { "none" } else { "FOUND" });
+    println!(
+        "card residue:    {}",
+        if rt.scan_residue(card).is_clean() { "none" } else { "FOUND" }
+    );
     println!("cvv residue:     {}", if rt.scan_residue(cvv).is_clean() { "none" } else { "FOUND" });
 
     // Second checkout the same day: the rate limit stops it on the node.
@@ -61,9 +71,6 @@ fn main() {
 
     println!("\naudit trail:");
     for e in rt.node.audit.entries() {
-        println!(
-            "  | cor={:?} domain={:?} decision={:?}",
-            e.cor, e.domain, e.decision
-        );
+        println!("  | cor={:?} domain={:?} decision={:?}", e.cor, e.domain, e.decision);
     }
 }

@@ -12,8 +12,8 @@
 use std::collections::HashMap;
 
 use tinman::apps::servers::{install_auth_server, AuthServerSpec};
-use tinman::core::runtime::{Mode, TinmanConfig, TinmanRuntime};
 use tinman::cor::CorStore;
+use tinman::core::runtime::{Mode, TinmanConfig, TinmanRuntime};
 use tinman::sim::{LinkProfile, SimDuration};
 use tinman::vm::{assemble, disassemble};
 
@@ -77,8 +77,12 @@ const SOURCE: &str = r#"
 
 fn main() {
     let app = assemble("my-vault", SOURCE).expect("assembles");
-    println!("assembled '{}' — {} instructions, image hash {}…\n",
-        app.name, app.code_len(), &app.hash_hex()[..16]);
+    println!(
+        "assembled '{}' — {} instructions, image hash {}…\n",
+        app.name,
+        app.code_len(),
+        &app.hash_hex()[..16]
+    );
 
     // World: secret on the trusted node, vault server installed.
     let secret = "v4ult-s3cret-passphrase";
@@ -99,13 +103,13 @@ fn main() {
         },
     );
 
-    let report = rt
-        .run_app(&app, Mode::TinMan, &HashMap::new())
-        .expect("app runs");
+    let report = rt.run_app(&app, Mode::TinMan, &HashMap::new()).expect("app runs");
     println!("login result:  {:?} (1 = accepted)", report.result);
     println!("offloads:      {}", report.offloads);
-    println!("residue scan:  {}",
-        if rt.scan_residue(secret).is_clean() { "clean" } else { "FOUND (bug)" });
+    println!(
+        "residue scan:  {}",
+        if rt.scan_residue(secret).is_clean() { "clean" } else { "FOUND (bug)" }
+    );
 
     println!("\n--- disassembly (first 24 lines) ---");
     for line in disassemble(&app).lines().take(24) {

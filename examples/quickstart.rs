@@ -12,8 +12,8 @@ use std::collections::HashMap;
 
 use tinman::apps::logins::{build_login_app, LoginAppSpec};
 use tinman::apps::servers::{install_auth_server, AuthServerSpec};
-use tinman::core::runtime::{Mode, TinmanConfig, TinmanRuntime};
 use tinman::cor::CorStore;
+use tinman::core::runtime::{Mode, TinmanConfig, TinmanRuntime};
 use tinman::sim::{LinkProfile, SimDuration};
 
 fn main() {
@@ -52,8 +52,10 @@ fn main() {
     println!("login result:        {:?} (1 = site accepted the real credential)", report.result);
     println!("simulated latency:   {}", report.latency);
     println!("offloads:            {}", report.offloads);
-    println!("DSM syncs:           {} ({} B init, {} B dirty)",
-        report.dsm.sync_count, report.dsm.init_bytes, report.dsm.dirty_bytes);
+    println!(
+        "DSM syncs:           {} ({} B init, {} B dirty)",
+        report.dsm.sync_count, report.dsm.init_bytes, report.dsm.dirty_bytes
+    );
     println!(
         "methods client/node: {} / {} ({:.1}% offloaded)",
         report.client_methods,
@@ -63,8 +65,13 @@ fn main() {
 
     // 4. The attacker's move: scan the whole device for the password.
     let residue = rt.scan_residue(password);
-    println!("\ndevice residue scan: {}",
-        if residue.is_clean() { "CLEAN — no plaintext anywhere on the phone" }
-        else { "FOUND (this would be a bug)" });
+    println!(
+        "\ndevice residue scan: {}",
+        if residue.is_clean() {
+            "CLEAN — no plaintext anywhere on the phone"
+        } else {
+            "FOUND (this would be a bug)"
+        }
+    );
     assert!(residue.is_clean());
 }

@@ -13,9 +13,9 @@ use std::collections::HashMap;
 
 use tinman::apps::logins::{build_login_app, LoginAppSpec};
 use tinman::apps::servers::{install_auth_server, AuthServerSpec};
+use tinman::cor::{CorStore, PolicyDecision};
 use tinman::core::error::RuntimeError;
 use tinman::core::runtime::{Mode, TinmanConfig, TinmanRuntime};
-use tinman::cor::{CorStore, PolicyDecision};
 use tinman::sim::{LinkProfile, SimDuration};
 
 fn main() {
@@ -51,18 +51,18 @@ fn main() {
     let residue = rt.scan_residue(password);
     println!(
         "\n[attack 1] full memory/disk dump scan: {}",
-        if residue.is_clean() { "NOTHING FOUND — no cor plaintext exists on the device" }
-        else { "found secrets (bug!)" }
+        if residue.is_clean() {
+            "NOTHING FOUND — no cor plaintext exists on the device"
+        } else {
+            "found secrets (bug!)"
+        }
     );
 
     // Attack 2: the thief runs the app (phone unlocked). Before the victim
     // reacts, the trusted node still honours the device... and the thief
     // can log in (cor *abuse* — §5.4 acknowledges this window).
     let report = rt.run_app(&app, Mode::TinMan, &inputs).expect("thief's login");
-    println!(
-        "\n[attack 2] thief runs the app before revocation: login {:?}",
-        report.result
-    );
+    println!("\n[attack 2] thief runs the app before revocation: login {:?}", report.result);
     println!("           (the password itself still never touched the phone;");
     println!("            every access is on the audit log and cannot be denied)");
 
@@ -75,7 +75,9 @@ fn main() {
         other => println!("unexpected: {other:?}"),
     }
 
-    println!("\naudit log had {} entries, {} abnormal.",
+    println!(
+        "\naudit log had {} entries, {} abnormal.",
         rt.node.audit.len(),
-        rt.node.audit.abnormal().len());
+        rt.node.audit.abnormal().len()
+    );
 }

@@ -17,8 +17,8 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use tinman::apps::servers::{install_auth_server, AuthServerSpec};
-use tinman::core::runtime::{Mode, TinmanConfig, TinmanRuntime};
 use tinman::cor::CorStore;
+use tinman::core::runtime::{Mode, TinmanConfig, TinmanRuntime};
 use tinman::sim::{LinkProfile, SimDuration};
 use tinman::vm::assemble;
 
@@ -116,13 +116,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let name = opts
-        .source_path
-        .rsplit('/')
-        .next()
-        .unwrap_or("app")
-        .trim_end_matches(".tasm")
-        .to_owned();
+    let name =
+        opts.source_path.rsplit('/').next().unwrap_or("app").trim_end_matches(".tasm").to_owned();
     let app = match assemble(&name, &source) {
         Ok(a) => a,
         Err(e) => {
@@ -167,9 +162,7 @@ fn main() -> ExitCode {
     }
 
     let mode = if opts.stock {
-        Mode::Stock(
-            opts.cors.iter().map(|(d, p, _)| (d.clone(), p.clone())).collect(),
-        )
+        Mode::Stock(opts.cors.iter().map(|(d, p, _)| (d.clone(), p.clone())).collect())
     } else {
         Mode::TinMan
     };
@@ -182,17 +175,18 @@ fn main() -> ExitCode {
                 "dsm:       {} syncs, {} B init, {} B dirty",
                 report.dsm.sync_count, report.dsm.init_bytes, report.dsm.dirty_bytes
             );
-            println!(
-                "methods:   {} client / {} node",
-                report.client_methods, report.node_methods
-            );
+            println!("methods:   {} client / {} node", report.client_methods, report.node_methods);
             let mut clean = true;
             for needle in &opts.scans {
                 let r = rt.scan_residue(needle);
                 println!(
                     "scan {:?}: {}",
                     needle,
-                    if r.is_clean() { "clean".to_owned() } else { format!("FOUND at {:?}", r.hits) }
+                    if r.is_clean() {
+                        "clean".to_owned()
+                    } else {
+                        format!("FOUND at {:?}", r.hits)
+                    }
                 );
                 clean &= r.is_clean();
             }

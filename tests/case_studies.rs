@@ -7,9 +7,9 @@ use std::collections::HashMap;
 use tinman::apps::bankdroid::{build_bankdroid, SAMPLE_TRANSACTIONS};
 use tinman::apps::browser::build_browser_checkout;
 use tinman::apps::servers::install_payment_server;
+use tinman::cor::{CorStore, PolicyDecision, PolicyRule};
 use tinman::core::error::RuntimeError;
 use tinman::core::runtime::{Mode, TinmanConfig, TinmanRuntime};
-use tinman::cor::{CorStore, PolicyDecision, PolicyRule};
 use tinman::net::{Addr, ServerApp, ServerReply};
 use tinman::sim::{LinkProfile, SimDuration};
 use tinman::vm::Value;
@@ -25,10 +25,12 @@ fn inputs() -> HashMap<String, String> {
     ])
 }
 
+type BankHandler = Box<dyn FnMut(Addr, &str) -> (String, SimDuration)>;
+
 /// A bank that expects `sha256(password)` and serves transactions after a
 /// successful login (stateful across requests on one connection).
 struct BankServer {
-    tls: tinman::core::server::HttpsServerApp<Box<dyn FnMut(Addr, &str) -> (String, SimDuration)>>,
+    tls: tinman::core::server::HttpsServerApp<BankHandler>,
 }
 
 impl BankServer {
@@ -36,37 +38,29 @@ impl BankServer {
         use sha2::{Digest, Sha256};
         let hash: String =
             Sha256::digest(password.as_bytes()).iter().map(|b| format!("{b:02x}")).collect();
-        let authed = std::rc::Rc::new(std::cell::RefCell::new(
-            std::collections::HashSet::<Addr>::new(),
-        ));
+        let authed =
+            std::rc::Rc::new(std::cell::RefCell::new(std::collections::HashSet::<Addr>::new()));
         let a2 = authed;
         let eu = "alice".to_owned();
         let eh = hash;
-        let handler: Box<dyn FnMut(Addr, &str) -> (String, SimDuration)> =
-            Box::new(move |peer, request| {
-                if request.starts_with("GET /transactions") {
-                    if a2.borrow().contains(&peer) {
-                        (SAMPLE_TRANSACTIONS.to_owned(), SimDuration::from_millis(60))
-                    } else {
-                        ("401 UNAUTHENTICATED".to_owned(), SimDuration::from_millis(10))
-                    }
+        let handler: BankHandler = Box::new(move |peer, request| {
+            if request.starts_with("GET /transactions") {
+                if a2.borrow().contains(&peer) {
+                    (SAMPLE_TRANSACTIONS.to_owned(), SimDuration::from_millis(60))
                 } else {
-                    let user = request
-                        .split('&')
-                        .find_map(|kv| kv.strip_prefix("user="))
-                        .unwrap_or("");
-                    let pass = request
-                        .split('&')
-                        .find_map(|kv| kv.strip_prefix("pass="))
-                        .unwrap_or("");
-                    if user == eu && pass == eh {
-                        a2.borrow_mut().insert(peer);
-                        ("200 OK welcome".to_owned(), SimDuration::from_millis(150))
-                    } else {
-                        ("403 FORBIDDEN".to_owned(), SimDuration::from_millis(20))
-                    }
+                    ("401 UNAUTHENTICATED".to_owned(), SimDuration::from_millis(10))
                 }
-            });
+            } else {
+                let user = request.split('&').find_map(|kv| kv.strip_prefix("user=")).unwrap_or("");
+                let pass = request.split('&').find_map(|kv| kv.strip_prefix("pass=")).unwrap_or("");
+                if user == eu && pass == eh {
+                    a2.borrow_mut().insert(peer);
+                    ("200 OK welcome".to_owned(), SimDuration::from_millis(150))
+                } else {
+                    ("403 FORBIDDEN".to_owned(), SimDuration::from_millis(20))
+                }
+            }
+        });
         BankServer { tls: tinman::core::server::HttpsServerApp::new(tls_config, handler) }
     }
 }
@@ -102,10 +96,8 @@ fn bankdroid_hash_login_works_and_hash_is_a_derived_cor() {
 
     // Neither the password nor its hash may exist on the device.
     use sha2::{Digest, Sha256};
-    let hash_hex: String = Sha256::digest(BANK_PASSWORD.as_bytes())
-        .iter()
-        .map(|b| format!("{b:02x}"))
-        .collect();
+    let hash_hex: String =
+        Sha256::digest(BANK_PASSWORD.as_bytes()).iter().map(|b| format!("{b:02x}")).collect();
     assert!(rt.scan_residue(BANK_PASSWORD).is_clean(), "password residue");
     assert!(rt.scan_residue(&hash_hex).is_clean(), "hash residue (it is a derived cor)");
 
@@ -125,8 +117,7 @@ fn bankdroid_with_wrong_password_cor_fails_cleanly() {
     let mut rt = TinmanRuntime::new(store, LinkProfile::wifi(), TinmanConfig::default());
     let tls = rt.server_tls_config();
     let host = rt.world.add_host("citibank.com", LinkProfile::ethernet());
-    rt.world
-        .install_server(Addr::new(host, 443), Box::new(BankServer::new(tls, BANK_PASSWORD)));
+    rt.world.install_server(Addr::new(host, 443), Box::new(BankServer::new(tls, BANK_PASSWORD)));
     let report = rt.run_app(&app, Mode::TinMan, &inputs()).expect("run completes");
     assert_eq!(report.result, Value::Int(0), "server rejects the wrong hash");
 }
@@ -157,7 +148,7 @@ fn browser_checkout_pays_without_card_data_on_device() {
     assert!(rt.scan_residue(CARD_NUMBER).is_clean(), "card number residue");
     assert!(rt.scan_residue(CARD_CVV).is_clean(), "cvv residue");
     // The amount is NOT a cor and was typed normally.
-    assert_eq!(report.offloads >= 1, true);
+    assert!(report.offloads >= 1);
 }
 
 #[test]
@@ -167,10 +158,9 @@ fn card_time_window_rule_applies_to_checkout() {
     let app = build_browser_checkout("shop.com", "Visa card number", "Visa security code");
     let mut rt = shop_runtime();
     for cor in rt.node.store.ids() {
-        rt.node.policy.set_rule(
-            cor,
-            PolicyRule { time_window_hours: Some((10, 22)), ..Default::default() },
-        );
+        rt.node
+            .policy
+            .set_rule(cor, PolicyRule { time_window_hours: Some((10, 22)), ..Default::default() });
     }
     let err = rt.run_app(&app, Mode::TinMan, &inputs()).unwrap_err();
     assert!(matches!(err, RuntimeError::PolicyDenied(PolicyDecision::DeniedTimeWindow)));

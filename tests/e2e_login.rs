@@ -10,8 +10,8 @@ use std::collections::HashMap;
 
 use tinman::apps::logins::{build_login_app, LoginAppSpec};
 use tinman::apps::servers::{install_auth_server, AuthServerSpec};
-use tinman::core::runtime::{Mode, TinmanConfig, TinmanRuntime};
 use tinman::cor::CorStore;
+use tinman::core::runtime::{Mode, TinmanConfig, TinmanRuntime};
 use tinman::sim::{LinkProfile, SimDuration};
 use tinman::vm::Value;
 
@@ -24,9 +24,7 @@ fn inputs() -> HashMap<String, String> {
 /// Builds a runtime + server world for one login spec.
 fn setup(spec: &LoginAppSpec, link: LinkProfile) -> TinmanRuntime {
     let mut store = CorStore::new(99);
-    store
-        .register(PASSWORD, spec.cor_description, &[spec.domain])
-        .expect("label space");
+    store.register(PASSWORD, spec.cor_description, &[spec.domain]).expect("label space");
     let mut rt = TinmanRuntime::new(store, link, TinmanConfig::default());
     let tls = rt.server_tls_config();
     install_auth_server(
@@ -68,8 +66,7 @@ fn stock_android_leaves_residue_tinman_does_not() {
 
     // Stock: the user types the password.
     let mut rt = setup(&spec, LinkProfile::wifi());
-    let secrets =
-        HashMap::from([(spec.cor_description.to_owned(), PASSWORD.to_owned())]);
+    let secrets = HashMap::from([(spec.cor_description.to_owned(), PASSWORD.to_owned())]);
     let report = rt.run_app(&app, Mode::Stock(secrets), &inputs()).expect("stock login runs");
     assert_eq!(report.result, Value::Int(1), "stock login also succeeds");
     assert_eq!(report.offloads, 0, "stock never offloads");

@@ -6,8 +6,8 @@ use std::collections::HashMap;
 
 use tinman::apps::logins::{build_login_app, LoginAppSpec};
 use tinman::apps::servers::{install_auth_server, AuthServerSpec};
-use tinman::core::runtime::{Mode, TinmanConfig, TinmanRuntime};
 use tinman::cor::CorStore;
+use tinman::core::runtime::{Mode, TinmanConfig, TinmanRuntime};
 use tinman::sim::{LinkProfile, SimDuration};
 use tinman::vm::Value;
 
@@ -43,8 +43,7 @@ fn selective_tainting_critical_app_is_protected() {
     // usual: tainted placeholder, offload, successful login, clean device.
     let spec = LoginAppSpec::github();
     let app = build_login_app(&spec);
-    let config =
-        TinmanConfig { critical_apps: Some(vec![app.hash()]), ..TinmanConfig::default() };
+    let config = TinmanConfig { critical_apps: Some(vec![app.hash()]), ..TinmanConfig::default() };
     let mut rt = world(&spec, config);
     let report = rt.run_app(&app, Mode::TinMan, &inputs()).expect("critical app runs");
     assert_eq!(report.result, Value::Int(1));
@@ -82,9 +81,8 @@ fn generated_password_logs_in_without_anyone_typing_it() {
     // log in through TinMan.
     let spec = LoginAppSpec::github();
     let mut store = CorStore::new(123);
-    let id = store
-        .generate_password(24, spec.cor_description, &[spec.domain])
-        .expect("label space");
+    let id =
+        store.generate_password(24, spec.cor_description, &[spec.domain]).expect("label space");
     let generated = store.plaintext(id).unwrap().to_owned();
 
     let mut rt = TinmanRuntime::new(store, LinkProfile::wifi(), TinmanConfig::default());
@@ -144,10 +142,7 @@ fn full_taint_mode_runs_taint_free_workloads_with_higher_cost() {
     rt.run_app(&probe, Mode::FullTaint, &inputs()).expect("full run");
     let full_cycles = rt.client.machine.stats.taint_cycles;
 
-    assert!(
-        full_cycles > asym_cycles,
-        "full {full_cycles} must exceed asymmetric {asym_cycles}"
-    );
+    assert!(full_cycles > asym_cycles, "full {full_cycles} must exceed asymmetric {asym_cycles}");
 }
 
 #[test]
@@ -171,14 +166,8 @@ fn anomaly_detection_flags_the_phishing_attempt() {
     let _ = rt.run_app(&phish, Mode::TinMan, &inputs()); // denied
 
     let warnings = analyze(&rt.node.audit, &AnomalyConfig::default());
-    assert!(
-        warnings.iter().any(|w| matches!(w, Warning::Denied { .. })),
-        "{warnings:?}"
-    );
-    assert!(
-        warnings.iter().any(|w| matches!(w, Warning::NovelApp { .. })),
-        "{warnings:?}"
-    );
+    assert!(warnings.iter().any(|w| matches!(w, Warning::Denied { .. })), "{warnings:?}");
+    assert!(warnings.iter().any(|w| matches!(w, Warning::NovelApp { .. })), "{warnings:?}");
 }
 
 #[test]

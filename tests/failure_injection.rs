@@ -8,9 +8,9 @@ use std::collections::HashMap;
 
 use tinman::apps::logins::{build_login_app, LoginAppSpec};
 use tinman::apps::servers::{install_auth_server, AuthServerSpec};
+use tinman::cor::CorStore;
 use tinman::core::error::RuntimeError;
 use tinman::core::runtime::{Mode, TinmanConfig, TinmanRuntime};
-use tinman::cor::CorStore;
 use tinman::net::{Addr, FilterAction, NetWorld, Segment, ServerApp, ServerReply};
 use tinman::sim::{LinkProfile, SimClock, SimDuration};
 use tinman::tls::{ContentType, Record};
@@ -89,8 +89,10 @@ fn server_that_garbles_records_fails_the_login_not_the_runtime() {
     // A server that answers the handshake, then replies with corrupt
     // records: the client's record layer rejects them, the app sees an
     // empty/failed response, and the run completes with result 0.
+    type PlainHandler = fn(Addr, &str) -> (String, SimDuration);
+
     struct Garbler {
-        inner: tinman::core::server::HttpsServerApp<fn(Addr, &str) -> (String, SimDuration)>,
+        inner: tinman::core::server::HttpsServerApp<PlainHandler>,
         after_handshake: bool,
     }
     impl ServerApp for Garbler {

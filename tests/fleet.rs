@@ -1,0 +1,67 @@
+//! Fleet-level guarantees: the simulated aggregate is a pure function of
+//! the fleet config (worker count changes wall clock only), and a downed
+//! node's sessions complete on its replica shard.
+
+use tinman::fleet::{run_fleet, FaultPlan, FleetConfig};
+
+fn config(sessions: usize, workers: usize) -> FleetConfig {
+    let mut cfg = FleetConfig::new(sessions, workers);
+    cfg.nodes = 4;
+    cfg
+}
+
+#[test]
+fn simulated_aggregate_is_identical_at_1_4_and_8_workers() {
+    let reports: Vec<String> = [1usize, 4, 8]
+        .iter()
+        .map(|&w| {
+            let r = run_fleet(&config(24, w));
+            assert_eq!(r.ok, 24, "all sessions succeed at {w} workers");
+            serde_json::to_string(&r.simulated_value()).expect("serializes")
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1], "1 vs 4 workers");
+    assert_eq!(reports[0], reports[2], "1 vs 8 workers");
+}
+
+#[test]
+fn different_seeds_change_the_simulated_aggregate() {
+    let mut a = config(12, 2);
+    let mut b = config(12, 2);
+    a.seed = 101;
+    b.seed = 202;
+    let ra = serde_json::to_string(&run_fleet(&a).simulated_value()).unwrap();
+    let rb = serde_json::to_string(&run_fleet(&b).simulated_value()).unwrap();
+    assert_ne!(ra, rb, "the fleet seed must actually feed the sessions");
+}
+
+#[test]
+fn downed_node_fails_over_to_its_replica() {
+    // First find which node the healthy fleet loads, then down it.
+    let healthy = run_fleet(&config(18, 4));
+    let victim = healthy.per_node.iter().max_by_key(|n| n.sessions).expect("nodes exist").node;
+    assert!(healthy.per_node[victim].sessions > 0);
+
+    let mut cfg = config(18, 4);
+    cfg.faults = FaultPlan { down_nodes: vec![victim], slow_nodes: vec![] };
+    let report = run_fleet(&cfg);
+
+    assert_eq!(report.ok, 18, "every session completes despite the downed node");
+    assert_eq!(report.per_node[victim].sessions, 0, "the downed node serves nothing");
+    assert!(report.failovers > 0, "the victim's sessions failed over");
+    // Failover costs simulated time: the failed-over sessions pay backoff.
+    let moved =
+        report.outcomes.iter().find(|o| o.attempts > 1).expect("at least one session retried");
+    assert!(moved.success);
+    assert!(moved.latency >= cfg.backoff, "retry backoff charged to latency");
+}
+
+#[test]
+fn failover_is_deterministic_too() {
+    let mut cfg = config(12, 1);
+    cfg.faults = FaultPlan { down_nodes: vec![0], slow_nodes: vec![] };
+    let a = serde_json::to_string(&run_fleet(&cfg).simulated_value()).unwrap();
+    cfg.workers = 8;
+    let b = serde_json::to_string(&run_fleet(&cfg).simulated_value()).unwrap();
+    assert_eq!(a, b, "failover schedule must not depend on worker count");
+}

@@ -147,14 +147,9 @@ fn heaps_converge_after_final_migration() {
     let mut dsm = DsmEngine::new();
 
     // Run halfway on A, migrate, finish on B, migrate back.
-    let ev = interp::run(
-        &mut a,
-        &image,
-        &mut host,
-        &mut engine,
-        ExecConfig::client().with_fuel(500),
-    )
-    .unwrap();
+    let ev =
+        interp::run(&mut a, &image, &mut host, &mut engine, ExecConfig::client().with_fuel(500))
+            .unwrap();
     assert!(matches!(ev, ExecEvent::OutOfFuel));
     dsm.migrate(
         &mut a,
@@ -166,14 +161,9 @@ fn heaps_converge_after_final_migration() {
     )
     .unwrap();
     b.status = tinman::vm::MachineStatus::Runnable;
-    let ev = interp::run(
-        &mut b,
-        &image,
-        &mut host,
-        &mut engine,
-        ExecConfig::trusted_node(u64::MAX),
-    )
-    .unwrap();
+    let ev =
+        interp::run(&mut b, &image, &mut host, &mut engine, ExecConfig::trusted_node(u64::MAX))
+            .unwrap();
     let result = match ev {
         ExecEvent::Halted(v) => v,
         other => panic!("{other:?}"),

@@ -7,9 +7,9 @@ use std::collections::HashMap;
 
 use tinman::apps::logins::{build_login_app, LoginAppSpec};
 use tinman::apps::servers::{install_auth_server, AuthServerSpec};
+use tinman::cor::{CorStore, PolicyDecision};
 use tinman::core::error::RuntimeError;
 use tinman::core::runtime::{Mode, TinmanConfig, TinmanRuntime};
-use tinman::cor::{CorStore, PolicyDecision};
 use tinman::sim::{LinkProfile, SimDuration};
 use tinman::vm::Value;
 
@@ -25,20 +25,18 @@ fn inputs() -> HashMap<String, String> {
 /// personal password for askfm.com). Both sites installed.
 fn setup() -> TinmanRuntime {
     // Employer node: the primary.
-    let mut work_store = CorStore::with_label_range(11, 0, 32);
+    let mut work_store = CorStore::with_label_range(11, 0, 32).unwrap();
     work_store.register(WORK_PASSWORD, "GitHub password", &["github.com"]).unwrap();
     let mut rt = TinmanRuntime::new(work_store, LinkProfile::wifi(), TinmanConfig::default());
 
     // Personal node: disjoint label range.
-    let mut personal_store = CorStore::with_label_range(22, 32, 64);
+    let mut personal_store = CorStore::with_label_range(22, 32, 64).unwrap();
     personal_store.register(PERSONAL_PASSWORD, "Ask.fm password", &["askfm.com"]).unwrap();
     let idx = rt.add_trusted_node("personal-node", personal_store);
     assert_eq!(idx, 1);
 
     let tls = rt.server_tls_config();
-    for (domain, password) in
-        [("github.com", WORK_PASSWORD), ("askfm.com", PERSONAL_PASSWORD)]
-    {
+    for (domain, password) in [("github.com", WORK_PASSWORD), ("askfm.com", PERSONAL_PASSWORD)] {
         install_auth_server(
             &mut rt.world,
             tls.clone(),

@@ -13,7 +13,7 @@ use tinman::dsm::{CorMaterializer, HeapDelta, PassthroughMaterializer};
 use tinman::taint::{EngineKind, Label, PropClass, TaintEngine, TaintSet};
 use tinman::tls::cipher::{cbc_decrypt, cbc_encrypt, Rc4, Xtea, BLOCK};
 use tinman::tls::{CipherSuite, ContentType, TlsRole, TlsSession, TlsVersion};
-use tinman::vm::{Heap, Value};
+use tinman::vm::Heap;
 
 // ---------- ciphers ----------
 

@@ -6,9 +6,9 @@ use std::collections::HashMap;
 use tinman::apps::logins::{build_login_app, LoginAppSpec};
 use tinman::apps::malicious::{build_exfiltration_app, build_phishing_app, build_residue_probe};
 use tinman::apps::servers::{install_auth_server, AuthServerSpec};
+use tinman::cor::{CorStore, PolicyDecision, PolicyRule};
 use tinman::core::error::RuntimeError;
 use tinman::core::runtime::{Mode, TinmanConfig, TinmanRuntime};
-use tinman::cor::{CorStore, PolicyDecision, PolicyRule};
 use tinman::sim::{LinkProfile, SimDuration};
 use tinman::vm::Value;
 
@@ -60,10 +60,9 @@ fn phishing_app_is_rejected_by_the_app_binding() {
     let legit = build_login_app(&LoginAppSpec::paypal());
     // Bind the cor to the legitimate app's image hash.
     let cor = rt.node.store.ids()[0];
-    rt.node.policy.set_rule(
-        cor,
-        PolicyRule { bound_app_hash: Some(legit.hash()), ..Default::default() },
-    );
+    rt.node
+        .policy
+        .set_rule(cor, PolicyRule { bound_app_hash: Some(legit.hash()), ..Default::default() });
 
     // The legitimate app logs in fine under the binding.
     let report = rt.run_app(&legit, Mode::TinMan, &inputs()).expect("legit app runs");
@@ -77,7 +76,12 @@ fn phishing_app_is_rejected_by_the_app_binding() {
         "got {err:?}"
     );
     // The denial is on the audit log.
-    assert!(rt.node.audit.abnormal().iter().any(|e| e.decision == PolicyDecision::DeniedAppMismatch));
+    assert!(rt
+        .node
+        .audit
+        .abnormal()
+        .iter()
+        .any(|e| e.decision == PolicyDecision::DeniedAppMismatch));
     // And the password never reached the attacker or the device.
     assert!(rt.scan_residue(PASSWORD).is_clean());
 }
@@ -131,10 +135,7 @@ fn auth_endpoint_narrowing_blocks_in_domain_misuse() {
     let misuse = build_exfiltration_app("www.paypal.com", "PayPal password");
     let err = rt.run_app(&misuse, Mode::TinMan, &inputs()).unwrap_err();
     assert!(
-        matches!(
-            err,
-            RuntimeError::PolicyDenied(PolicyDecision::DeniedNotAuthEndpoint { .. })
-        ),
+        matches!(err, RuntimeError::PolicyDenied(PolicyDecision::DeniedNotAuthEndpoint { .. })),
         "got {err:?}"
     );
 }
@@ -168,10 +169,7 @@ fn rate_limit_applies_across_logins() {
     let mut rt = setup();
     let app = build_login_app(&LoginAppSpec::paypal());
     let cor = rt.node.store.ids()[0];
-    rt.node.policy.set_rule(
-        cor,
-        PolicyRule { max_uses_per_day: Some(2), ..Default::default() },
-    );
+    rt.node.policy.set_rule(cor, PolicyRule { max_uses_per_day: Some(2), ..Default::default() });
     assert!(rt.run_app(&app, Mode::TinMan, &inputs()).is_ok());
     assert!(rt.run_app(&app, Mode::TinMan, &inputs()).is_ok());
     let err = rt.run_app(&app, Mode::TinMan, &inputs()).unwrap_err();

@@ -1,0 +1,638 @@
+//! Offline, API-compatible subset of `serde` for this repository.
+//!
+//! The build environment has no crates.io access, so the real `serde`
+//! cannot be fetched. This crate implements the subset the workspace
+//! actually uses: the `Serialize`/`Deserialize` traits (via a simplified
+//! self-describing [`Value`] data model rather than serde's visitor
+//! machinery), derive macros for non-generic structs and enums, and
+//! implementations for the std types that appear in derived fields.
+//!
+//! The wire behaviour mirrors serde's JSON conventions where it matters:
+//! structs become maps, newtype structs are transparent, enums are
+//! externally tagged (`"Variant"` / `{"Variant": ...}`), `Option::None`
+//! is null. Maps and sets serialize in sorted order so equal values
+//! always produce byte-identical encodings (the repo hashes encodings).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every value serializes into.
+///
+/// This plays the role of both serde's serializer output and its
+/// deserializer input; `serde_json` renders it to/from JSON text.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer outside the i64 range (or any u64 source).
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object; insertion-ordered `(key, value)` pairs.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Map lookup by key (linear; maps here are small).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map().and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// Short description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+}
+
+// Matches serde_json's Display: compact JSON text. The float rule (append
+// `.0` when the shortest form has no `.`/exponent) must stay in sync with
+// serde_json's writer so `format!("{v}")` equals `to_string(&v)`.
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::I64(n) => write!(f, "{n}"),
+            Value::U64(n) => write!(f, "{n}"),
+            Value::F64(x) => {
+                if x.is_finite() {
+                    let s = format!("{x}");
+                    if s.contains(['.', 'e', 'E']) {
+                        f.write_str(&s)
+                    } else {
+                        write!(f, "{s}.0")
+                    }
+                } else {
+                    f.write_str("null")
+                }
+            }
+            Value::Str(s) => {
+                f.write_str("\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => f.write_str("\\\"")?,
+                        '\\' => f.write_str("\\\\")?,
+                        '\n' => f.write_str("\\n")?,
+                        '\r' => f.write_str("\\r")?,
+                        '\t' => f.write_str("\\t")?,
+                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                f.write_str("\"")
+            }
+            Value::Seq(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Map(entries) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{}:{v}", Value::Str(k.clone()))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`].
+    fn serialize_value(&self) -> Value;
+}
+
+/// Types reconstructible from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Deserializes a value of this type out of `v`.
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- helpers used by the derive expansion ----
+
+/// Looks up a struct field in a serialized map and deserializes it.
+#[doc(hidden)]
+pub fn field<T: Deserialize>(map: &[(String, Value)], name: &str, ty: &str) -> Result<T, Error> {
+    match map.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::deserialize_value(v).map_err(|e| Error(format!("{ty}.{name}: {e}"))),
+        None => Err(Error(format!("{ty}: missing field `{name}`"))),
+    }
+}
+
+/// Type-mismatch error constructor used by the derive expansion.
+#[doc(hidden)]
+pub fn unexpected(ty: &str, want: &str, got: &Value) -> Error {
+    Error(format!("{ty}: expected {want}, got {}", got.kind()))
+}
+
+// ---- primitive impls ----
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(unexpected("bool", "bool", v)),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let n: i64 = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range"))?,
+                    _ => return Err(unexpected(stringify!($t), "integer", v)),
+                };
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )+};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let n: u64 = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) => u64::try_from(*n)
+                        .map_err(|_| Error::custom("negative integer for unsigned type"))?,
+                    _ => return Err(unexpected(stringify!($t), "integer", v)),
+                };
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )+};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let f = *self as f64;
+                // JSON has no non-finite numbers; mirror serde_json's null.
+                if f.is_finite() { Value::F64(f) } else { Value::Null }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::F64(f) => Ok(*f as $t),
+                    Value::I64(n) => Ok(*n as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    _ => Err(unexpected(stringify!($t), "number", v)),
+                }
+            }
+        }
+    )+};
+}
+impl_float!(f32, f64);
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(unexpected("char", "single-character string", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(unexpected("String", "string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+// `&'static str` fields appear in derived structs (device/link profile
+// names). Deserializing one has to intern the owned string; these are a
+// handful of short, fixed names, so leaking is fine.
+impl Deserialize for &'static str {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => Err(unexpected("&str", "string", v)),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn serialize_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(unexpected("()", "null", v)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(t) => t.serialize_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+// ---- sequences ----
+
+fn seq_of<'a>(v: &'a Value, ty: &str) -> Result<&'a [Value], Error> {
+    v.as_seq().ok_or_else(|| unexpected(ty, "array", v))
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        seq_of(v, "Vec")?.iter().map(T::deserialize_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        seq_of(v, "VecDeque")?.iter().map(T::deserialize_value).collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let items = seq_of(v, "array")?;
+        if items.len() != N {
+            return Err(Error(format!("array: expected {N} elements, got {}", items.len())));
+        }
+        let vec: Vec<T> = items.iter().map(T::deserialize_value).collect::<Result<_, _>>()?;
+        vec.try_into().map_err(|_| Error::custom("array length mismatch"))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let items = seq_of(v, "tuple")?;
+                let expect = [$(stringify!($n)),+].len();
+                if items.len() != expect {
+                    return Err(Error(format!(
+                        "tuple: expected {expect} elements, got {}", items.len()
+                    )));
+                }
+                Ok(($($t::deserialize_value(&items[$n])?,)+))
+            }
+        }
+    )+};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+// ---- maps and sets (sorted encodings for determinism) ----
+
+fn sorted_pairs<K: Serialize, V: Serialize>(it: impl Iterator<Item = (K, V)>) -> Value {
+    let mut pairs: Vec<Value> =
+        it.map(|(k, v)| Value::Seq(vec![k.serialize_value(), v.serialize_value()])).collect();
+    pairs.sort_by(cmp_value);
+    Value::Seq(pairs)
+}
+
+fn sorted_items<T: Serialize>(it: impl Iterator<Item = T>) -> Value {
+    let mut items: Vec<Value> = it.map(|v| v.serialize_value()).collect();
+    items.sort_by(cmp_value);
+    Value::Seq(items)
+}
+
+/// Total order over values, used only to sort map/set encodings.
+fn cmp_value(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => 2,
+            Value::Str(_) => 3,
+            Value::Seq(_) => 4,
+            Value::Map(_) => 5,
+        }
+    }
+    match (a, b) {
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::I64(x), Value::I64(y)) => x.cmp(y),
+        (Value::U64(x), Value::U64(y)) => x.cmp(y),
+        (Value::I64(x), Value::U64(y)) => {
+            if *x < 0 {
+                Ordering::Less
+            } else {
+                (*x as u64).cmp(y)
+            }
+        }
+        (Value::U64(x), Value::I64(y)) => {
+            if *y < 0 {
+                Ordering::Greater
+            } else {
+                x.cmp(&(*y as u64))
+            }
+        }
+        (Value::F64(x), Value::F64(y)) => x.partial_cmp(y).unwrap_or(Ordering::Equal),
+        (Value::F64(x), Value::I64(y)) => x.partial_cmp(&(*y as f64)).unwrap_or(Ordering::Equal),
+        (Value::I64(x), Value::F64(y)) => (*x as f64).partial_cmp(y).unwrap_or(Ordering::Equal),
+        (Value::F64(x), Value::U64(y)) => x.partial_cmp(&(*y as f64)).unwrap_or(Ordering::Equal),
+        (Value::U64(x), Value::F64(y)) => (*x as f64).partial_cmp(y).unwrap_or(Ordering::Equal),
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        (Value::Seq(x), Value::Seq(y)) => {
+            for (i, j) in x.iter().zip(y.iter()) {
+                let c = cmp_value(i, j);
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (Value::Map(x), Value::Map(y)) => {
+            for ((ka, va), (kb, vb)) in x.iter().zip(y.iter()) {
+                let c = ka.cmp(kb).then_with(|| cmp_value(va, vb));
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        _ => rank(a).cmp(&rank(b)),
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize_value(&self) -> Value {
+        sorted_pairs(self.iter())
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        seq_of(v, "map")?.iter().map(<(K, V)>::deserialize_value).collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        sorted_pairs(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        seq_of(v, "map")?.iter().map(<(K, V)>::deserialize_value).collect()
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn serialize_value(&self) -> Value {
+        sorted_items(self.iter())
+    }
+}
+
+impl<T, S> Deserialize for HashSet<T, S>
+where
+    T: Deserialize + Eq + Hash,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        seq_of(v, "set")?.iter().map(T::deserialize_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize_value(&self) -> Value {
+        sorted_items(self.iter())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        seq_of(v, "set")?.iter().map(T::deserialize_value).collect()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_round_trip() {
+        let some: Option<u32> = Some(7);
+        let none: Option<u32> = None;
+        assert_eq!(Option::<u32>::deserialize_value(&some.serialize_value()).unwrap(), some);
+        assert_eq!(Option::<u32>::deserialize_value(&none.serialize_value()).unwrap(), none);
+    }
+
+    #[test]
+    fn map_encoding_is_sorted() {
+        let mut m = HashMap::new();
+        m.insert("b".to_owned(), 2u8);
+        m.insert("a".to_owned(), 1u8);
+        let v = m.serialize_value();
+        let items = v.as_seq().unwrap();
+        assert_eq!(items[0].as_seq().unwrap()[0], Value::Str("a".into()));
+        let back: HashMap<String, u8> = Deserialize::deserialize_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let a: [u8; 4] = [1, 2, 3, 4];
+        let back: [u8; 4] = Deserialize::deserialize_value(&a.serialize_value()).unwrap();
+        assert_eq!(back, a);
+    }
+}

@@ -1,0 +1,381 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline serde
+//! subset.
+//!
+//! The build environment has no registry access, so `syn`/`quote` are
+//! unavailable; this macro parses the item declaration directly from the
+//! `proc_macro` token stream. Supported shapes — which cover every derived
+//! type in this workspace — are non-generic structs (named, tuple, unit)
+//! and non-generic enums with unit, tuple and struct variants. `#[serde]`
+//! attributes are not supported (none are used here); generics produce a
+//! compile error rather than bad code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives the offline `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the offline `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---- parsing ----
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+    let kw = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive (offline subset): generic type `{name}` is not supported"
+        ));
+    }
+    let shape = match kw.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Item { name, shape })
+}
+
+type Peekable = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips outer attributes (`#[...]`, including doc comments) and a
+/// visibility qualifier (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(toks: &mut Peekable) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                toks.next();
+                if matches!(
+                    toks.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    toks.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consumes a type up to a top-level comma. Angle brackets appear as plain
+/// punctuation in the token stream, so nesting depth is tracked explicitly;
+/// commas inside `()`/`[]` groups are invisible (groups are atomic tokens).
+fn skip_type(toks: &mut Peekable) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = toks.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        toks.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        match toks.next() {
+            None => return Ok(fields),
+            Some(TokenTree::Ident(i)) => {
+                fields.push(i.to_string());
+                match toks.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => return Err(format!("expected `:` after field, got {other:?}")),
+                }
+                skip_type(&mut toks);
+                toks.next(); // the comma (or None at end)
+            }
+            other => return Err(format!("expected field name, got {other:?}")),
+        }
+    }
+}
+
+/// Counts tuple-struct / tuple-variant fields: top-level commas + 1.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut toks = stream.into_iter().peekable();
+    let mut n = 0;
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        if toks.peek().is_none() {
+            return n;
+        }
+        skip_type(&mut toks);
+        n += 1;
+        toks.next(); // the comma
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, VariantShape)>, String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let shape = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                toks.next();
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the comma.
+        while let Some(tt) = toks.peek() {
+            if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+            toks.next();
+        }
+        toks.next(); // the comma
+        variants.push((name, shape));
+    }
+}
+
+// ---- code generation ----
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.push((::std::string::String::from({f:?}), \
+                         ::serde::Serialize::serialize_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new(); {pushes} ::serde::Value::Map(__m)"
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::serialize_value(&self.0)".to_owned(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(","))
+        }
+        Shape::Unit => "::serde::Value::Null".to_owned(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    VariantShape::Unit => format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from({v:?})),"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::serialize_value(__f0)".to_owned()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", items.join(","))
+                        };
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from({v:?}), {payload})]),",
+                            binds.join(",")
+                        )
+                    }
+                    VariantShape::Named(fields) => {
+                        let pushes: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "__m.push((::std::string::String::from({f:?}), \
+                                     ::serde::Serialize::serialize_value({f})));"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {} }} => {{ \
+                             let mut __m: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new(); {pushes} \
+                             ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from({v:?}), \
+                             ::serde::Value::Map(__m))]) }},",
+                            fields.join(",")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn serialize_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(__m, {f:?}, {name:?})?"))
+                .collect();
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| \
+                 ::serde::unexpected({name:?}, \"object\", __v))?; \
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(",")
+            )
+        }
+        Shape::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(__v)?))"
+        ),
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| \
+                 ::serde::unexpected({name:?}, \"array\", __v))?; \
+                 if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::custom(::std::format!(\
+                 \"{name}: expected {n} elements, got {{}}\", __s.len()))); }} \
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(",")
+            )
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, s)| matches!(s, VariantShape::Unit))
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|(v, shape)| match shape {
+                    VariantShape::Unit => None,
+                    VariantShape::Tuple(1) => Some(format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::deserialize_value(__val)?)),"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::deserialize_value(&__s[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "{v:?} => {{ let __s = __val.as_seq().ok_or_else(|| \
+                             ::serde::unexpected({name:?}, \"array\", __val))?; \
+                             if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::Error::custom(\"{name}::{v}: wrong arity\")); }} \
+                             ::std::result::Result::Ok({name}::{v}({})) }},",
+                            inits.join(",")
+                        ))
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(__m, {f:?}, {name:?})?"))
+                            .collect();
+                        Some(format!(
+                            "{v:?} => {{ let __m = __val.as_map().ok_or_else(|| \
+                             ::serde::unexpected({name:?}, \"object\", __val))?; \
+                             ::std::result::Result::Ok({name}::{v} {{ {} }}) }},",
+                            inits.join(",")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{ \
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ {unit_arms} \
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"{name}: unknown variant {{__other}}\"))), }}, \
+                 ::serde::Value::Map(__entries) if __entries.len() == 1 => {{ \
+                 let (__tag, __val) = &__entries[0]; \
+                 match __tag.as_str() {{ {data_arms} \
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"{name}: unknown variant {{__other}}\"))), }} }}, \
+                 __other => ::std::result::Result::Err(\
+                 ::serde::unexpected({name:?}, \"variant\", __other)), }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn deserialize_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+}

@@ -1,0 +1,528 @@
+//! Offline, API-compatible subset of `serde_json` for this repository.
+//!
+//! Renders the offline serde [`Value`] data model to JSON text and parses
+//! it back. Struct maps become JSON objects; `HashMap`/`BTreeMap` encode
+//! as arrays of `[key, value]` pairs (keys need not be strings), sorted so
+//! equal maps produce byte-identical text — the workspace hashes and
+//! compares encodings.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+pub use serde::{Error, Value};
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` into the [`Value`] data model.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize_value()
+}
+
+/// Serializes `value` to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to 2-space-indented JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serializes `value` to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parses a value of type `T` from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = Parser { input: s.as_bytes(), pos: 0 }.parse_document()?;
+    T::deserialize_value(&value)
+}
+
+/// Parses a value of type `T` from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::custom(format!("invalid utf-8: {e}")))?;
+    from_str(s)
+}
+
+// ---- writer ----
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::I64(n) => {
+            let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
+        }
+        Value::U64(n) => {
+            let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
+        }
+        Value::F64(f) => {
+            if f.is_finite() {
+                // Rust's shortest-round-trip formatting; add `.0` so the
+                // text re-parses as a float, matching serde_json.
+                let s = format!("{f}");
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parser ----
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse_document(mut self) -> Result<Value> {
+        let v = self.parse_value(0)?;
+        self.skip_ws();
+        if self.pos != self.input.len() {
+            return Err(self.err("trailing characters"));
+        }
+        Ok(v)
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::custom(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.input.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.input[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value> {
+        if depth > 192 {
+            return Err(self.err("recursion limit exceeded"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => {
+                if self.eat_keyword("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.eat_keyword("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_keyword("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value(depth + 1)?);
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.expect(b':')?;
+                    let val = self.parse_value(depth + 1)?;
+                    entries.push((key, val));
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(_) => self.parse_number(),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        if self.peek() != Some(b'"') {
+            return Err(self.err("expected string"));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.input.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.input.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if !self.eat_keyword("\\u") {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                b if b < 0x20 => return Err(self.err("control character in string")),
+                _ => {
+                    // Re-borrow the full UTF-8 sequence starting here.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.input[start..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        let s = self
+            .input
+            .get(self.pos..end)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.input.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.input.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos]).unwrap();
+        if text.is_empty() || text == "-" {
+            return Err(self.err("invalid number"));
+        }
+        if !is_float {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+        }
+        text.parse::<f64>().map(Value::F64).map_err(|_| self.err("invalid number"))
+    }
+}
+
+// ---- json! macro ----
+
+/// Builds a [`Value`] from JSON-like syntax, like `serde_json::json!`.
+///
+/// Supports `null`, nested arrays/objects with string-literal keys, and
+/// arbitrary expressions whose types implement `Serialize`.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => { $crate::json_internal!($($tt)+) };
+}
+
+/// Implementation detail of [`json!`] (tt-muncher).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    (null) => { $crate::Value::Null };
+    ([]) => { $crate::Value::Seq(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => { $crate::json_internal!(@array [] (@buf) $($tt)+) };
+    ({}) => { $crate::Value::Map(::std::vec::Vec::new()) };
+    ({ $($tt:tt)+ }) => { $crate::json_internal!(@object [] $($tt)+) };
+    ($other:expr) => { $crate::to_value(&$other) };
+
+    // -- array muncher: accumulate element tokens until a top-level comma --
+    (@array [$($done:expr),*] (@buf $($buf:tt)+) , $($rest:tt)*) => {
+        $crate::json_internal!(@array
+            [$($done,)* $crate::json_internal!($($buf)+)] (@buf) $($rest)*)
+    };
+    (@array [$($done:expr),*] (@buf $($buf:tt)+)) => {
+        $crate::Value::Seq(::std::vec![$($done,)* $crate::json_internal!($($buf)+)])
+    };
+    (@array [$($done:expr),*] (@buf)) => {
+        $crate::Value::Seq(::std::vec![$($done),*])
+    };
+    (@array [$($done:expr),*] (@buf $($buf:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($done),*] (@buf $($buf)* $next) $($rest)*)
+    };
+
+    // -- object muncher: `"key": <value tokens>` entries --
+    (@object [$($done:expr),*]) => {
+        $crate::Value::Map(::std::vec![$($done),*])
+    };
+    (@object [$($done:expr),*] $key:literal : $($rest:tt)*) => {
+        $crate::json_internal!(@objval [$($done),*] $key (@buf) $($rest)*)
+    };
+    (@objval [$($done:expr),*] $key:literal (@buf $($buf:tt)+) , $($rest:tt)*) => {
+        $crate::json_internal!(@object
+            [$($done,)* (::std::string::String::from($key),
+                         $crate::json_internal!($($buf)+))] $($rest)*)
+    };
+    (@objval [$($done:expr),*] $key:literal (@buf $($buf:tt)+)) => {
+        $crate::Value::Map(::std::vec![$($done,)*
+            (::std::string::String::from($key), $crate::json_internal!($($buf)+))])
+    };
+    (@objval [$($done:expr),*] $key:literal (@buf $($buf:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal!(@objval [$($done),*] $key (@buf $($buf)* $next) $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for text in ["null", "true", "false", "0", "-17", "3.5", "\"hi\\n\""] {
+            let v: Value = from_str(text).unwrap();
+            assert_eq!(to_string(&v).unwrap(), text);
+        }
+    }
+
+    #[test]
+    fn big_u64_round_trips() {
+        let v: Value = from_str("18446744073709551615").unwrap();
+        assert_eq!(v, Value::U64(u64::MAX));
+        assert_eq!(to_string(&v).unwrap(), "18446744073709551615");
+    }
+
+    #[test]
+    fn float_text_reparses_as_float() {
+        let s = to_string(&2.0f64).unwrap();
+        assert_eq!(s, "2.0");
+        let back: f64 = from_str(&s).unwrap();
+        assert_eq!(back, 2.0);
+    }
+
+    #[test]
+    fn nested_document_round_trips() {
+        let text = r#"{"a":[1,2,{"b":"x"}],"c":null}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(to_string(&v).unwrap(), text);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let v: Value = from_str(r#""\u0041\ud83d\ude00""#).unwrap();
+        assert_eq!(v, Value::Str("A😀".to_owned()));
+    }
+
+    #[test]
+    fn json_macro_builds_documents() {
+        let rows = vec![json!({"x": 1})];
+        let n = 2u32;
+        let v = json!({
+            "experiment": "demo",
+            "rows": rows,
+            "avg": (n as f64) / 2.0,
+            "nested": { "list": [1, 2, 3], "flag": true, "none": null },
+        });
+        assert_eq!(v.get("experiment").unwrap().as_str(), Some("demo"));
+        assert_eq!(v.get("rows").unwrap().as_seq().unwrap().len(), 1);
+        assert_eq!(v.get("avg").unwrap(), &Value::F64(1.0));
+        let nested = v.get("nested").unwrap();
+        assert_eq!(nested.get("list").unwrap().as_seq().unwrap().len(), 3);
+        assert_eq!(nested.get("none").unwrap(), &Value::Null);
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_reparses() {
+        let v = json!({"a": [1, 2], "b": {"c": true}});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": ["));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(from_str::<Value>("{\"a\":").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("\"\\q\"").is_err());
+    }
+
+    #[test]
+    fn display_matches_compact_to_string() {
+        let v = json!({
+            "s": "a\"b\\c\nd",
+            "ints": [1, -2, 18446744073709551615u64],
+            "f": 2.0,
+            "g": 0.25,
+            "flag": true,
+            "none": null
+        });
+        assert_eq!(format!("{v}"), to_string(&v).unwrap());
+    }
+}
