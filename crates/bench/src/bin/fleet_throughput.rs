@@ -3,14 +3,20 @@
 //! percentiles, and per-node utilization.
 //!
 //! Usage: `fleet_throughput [--sessions N] [--workers N] [--nodes N]
-//! [--seed N] [--down NODE ...]`
+//! [--seed N] [--down NODE ...] [--trace PATH]`
 //!
 //! The simulated aggregate is bit-identical for any `--workers` value;
 //! only the wall-clock fields change. Run with `--workers 1` and
 //! `--workers 8` and diff the `simulated` blobs to check.
+//!
+//! `--trace PATH` writes a Chrome trace_event JSON of the whole run
+//! (one track per device session) — open it at `chrome://tracing` or
+//! <https://ui.perfetto.dev>. Tracing never changes the simulated
+//! aggregate.
 
 use tinman_bench::{banner, emit_json};
-use tinman_fleet::{run_fleet, FleetConfig};
+use tinman_fleet::{run_fleet_obs, FleetConfig, FleetObs};
+use tinman_obs::{chrome_trace_json, TraceHandle};
 
 struct Args {
     sessions: usize,
@@ -18,10 +24,12 @@ struct Args {
     nodes: usize,
     seed: Option<u64>,
     down: Vec<usize>,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { sessions: 200, workers: 4, nodes: 4, seed: None, down: Vec::new() };
+    let mut args =
+        Args { sessions: 200, workers: 4, nodes: 4, seed: None, down: Vec::new(), trace: None };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
@@ -31,11 +39,16 @@ fn parse_args() -> Args {
             "--nodes" => args.nodes = value("--nodes").parse().expect("--nodes"),
             "--seed" => args.seed = Some(value("--seed").parse().expect("--seed")),
             "--down" => args.down.push(value("--down").parse().expect("--down")),
+            "--trace" => args.trace = Some(value("--trace")),
             other => panic!("unknown flag {other}"),
         }
     }
     args
 }
+
+/// Ring capacity for `--trace`: roughly 60 events per login session,
+/// with headroom; the sink drops oldest past this and reports the count.
+const TRACE_CAPACITY: usize = 1 << 20;
 
 fn main() {
     let parsed = parse_args();
@@ -54,7 +67,25 @@ fn main() {
     }
     cfg.faults.down_nodes = parsed.down;
 
-    let report = run_fleet(&cfg);
+    let mut obs = FleetObs::default();
+    let sink = parsed.trace.as_ref().map(|_| {
+        let (handle, sink) = TraceHandle::ring(TRACE_CAPACITY);
+        obs.trace = handle;
+        sink
+    });
+
+    let report = run_fleet_obs(&cfg, &obs);
+
+    if let (Some(path), Some(sink)) = (parsed.trace.as_deref(), sink) {
+        let records = sink.snapshot();
+        std::fs::write(path, chrome_trace_json(&records)).expect("write --trace file");
+        let dropped = sink.dropped();
+        println!(
+            "trace: {} events -> {path}{}",
+            records.len(),
+            if dropped > 0 { format!(" ({dropped} oldest dropped)") } else { String::new() }
+        );
+    }
 
     println!(
         "\nsessions {} | ok {} | failed {} | failovers {}",

@@ -325,6 +325,11 @@ pub struct NodeHost<'a> {
     pub ssl_coordination_fixed: tinman_sim::SimDuration,
     /// Control-protocol round trips per cor send.
     pub ssl_coordination_rtts: u32,
+    /// Trace emitter (no-op by default): the SSL/TCP offload path emits
+    /// `ssl_injection` and `tcp_payload_replace` events.
+    pub trace: tinman_obs::TraceHandle,
+    /// The track those events land on.
+    pub trace_track: u64,
 }
 
 impl NodeHost<'_> {
@@ -439,6 +444,13 @@ impl NodeHost<'_> {
             return Err(ctx.error("marked packet was not diverted (filter not installed?)"));
         };
         let mut node_session = TlsSession::from_state(exported, self.rng.next_u64());
+        if self.trace.is_enabled() {
+            self.trace.emit_on(
+                self.trace_track,
+                self.clock.now(),
+                tinman_obs::TraceEvent::SslInjection { domain: domain.clone(), state_bytes },
+            );
+        }
         let real_wire = node_session.seal(ContentType::ApplicationData, data.as_bytes());
         if real_wire.len() != seg.payload.len() {
             return Err(ctx.error(format!(
@@ -448,6 +460,13 @@ impl NodeHost<'_> {
             )));
         }
         seg.payload = real_wire;
+        if self.trace.is_enabled() {
+            self.trace.emit_on(
+                self.trace_track,
+                self.clock.now(),
+                tinman_obs::TraceEvent::TcpPayloadReplace { bytes: seg.payload.len() as u64 },
+            );
+        }
         self.world
             .inject(self.node_host, seg)
             .map_err(|e| ctx.error(format!("inject reframed packet: {e}")))?;

@@ -16,6 +16,7 @@ use std::collections::HashMap;
 use tinman_cor::{CorStore, PolicyDecision};
 use tinman_dsm::{DsmEngine, DsmStats, SyncCause};
 use tinman_net::{HostId, MarkFilter, NetWorld, Traffic};
+use tinman_obs::{MetricsRegistry, TraceEvent, TraceHandle};
 use tinman_sim::{Breakdown, MicroJoules, SimClock, SimDuration, SplitMix64};
 use tinman_taint::TaintEngine;
 use tinman_tls::{TlsConfig, TINMAN_MARK};
@@ -151,6 +152,9 @@ pub struct TinmanRuntime {
     config: TinmanConfig,
     rng: SplitMix64,
     clock: SimClock,
+    trace: TraceHandle,
+    trace_track: u64,
+    metrics: MetricsRegistry,
 }
 
 impl TinmanRuntime {
@@ -189,7 +193,35 @@ impl TinmanRuntime {
             config,
             rng,
             clock,
+            trace: TraceHandle::noop(),
+            trace_track: 0,
+            metrics: MetricsRegistry::new(),
         }
+    }
+
+    /// Wires the runtime (and its world) to a trace sink. Every event the
+    /// runtime emits — offload triggers, DSM syncs, SSL injection, payload
+    /// replacement, migrate-back, plus the `run_app`/`offload` spans —
+    /// lands on `track` (one track per device session in a fleet).
+    pub fn set_trace(&mut self, trace: TraceHandle, track: u64) {
+        self.world.set_trace(trace.clone(), track);
+        self.trace = trace;
+        self.trace_track = track;
+    }
+
+    /// The runtime's metrics registry. [`RunReport::offloads`] is read
+    /// from the `runtime.offloads` counter here rather than from a
+    /// hand-threaded local.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Replaces the metrics registry. Each runtime reads per-run counter
+    /// *deltas* out of its registry, so give concurrent runtimes their own
+    /// registries (the default) — sharing one across threads would mix
+    /// their deltas.
+    pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = metrics;
     }
 
     /// Adds another trusted node owning `store`'s label range (§5.3 —
@@ -352,12 +384,24 @@ impl TinmanRuntime {
         for d in &mut self.extra_dsms {
             *d = DsmEngine::new();
         }
+        // Engines are rebuilt per run, so re-wire them to the trace sink.
+        if self.trace.is_enabled() {
+            self.dsm.set_trace(self.trace.clone(), self.clock.clone(), self.trace_track);
+            for d in &mut self.extra_dsms {
+                d.set_trace(self.trace.clone(), self.clock.clone(), self.trace_track);
+            }
+        }
+        let _run_span = self.trace.span_guard(self.trace_track, &self.clock, "run_app");
         // Which trusted node the current offload episode targets.
         let mut active: usize = 0;
 
         let mut last_tls_error: Option<tinman_tls::TlsError> = None;
         let mut last_denial: Option<PolicyDecision> = None;
-        let mut offloads = 0u64;
+        // Offloads are counted in the metrics registry; the report reads
+        // the delta back at the end of the run.
+        let offloads_start = self.metrics.get("runtime.offloads");
+        // Whether an "offload" span is currently open on our track.
+        let mut offload_span_open = false;
         // Ping-pong detector: (func name, pc, client instrs at trigger,
         // consecutive no-progress count). A loop may legitimately trigger
         // at the same pc many times; the pathological case is re-triggering
@@ -470,6 +514,19 @@ impl TinmanRuntime {
                     let frame = self.client.machine.top_frame().expect("suspended frame");
                     let key = (frame.func_name.clone(), frame.pc);
                     let instrs_now = self.client.machine.stats.instrs;
+                    if self.trace.is_enabled() {
+                        self.trace.emit_on(
+                            self.trace_track,
+                            self.clock.now(),
+                            TraceEvent::OffloadTrigger {
+                                labels: labels.iter().map(|l| l.id()).collect(),
+                                func: key.0.clone(),
+                                pc: key.1 as u64,
+                            },
+                        );
+                        self.trace.span_start(self.trace_track, self.clock.now(), "offload");
+                        offload_span_open = true;
+                    }
                     match &mut last_trigger {
                         Some((f, pc, instrs, n))
                             if *f == key.0
@@ -518,7 +575,7 @@ impl TinmanRuntime {
                         &mut ClientMaterializer { directory: &mut self.client.directory },
                         &mut NodeMaterializer { store: &mut node.store },
                     )?;
-                    offloads += 1;
+                    self.metrics.incr("runtime.offloads");
                     // Carry execution counters over so stats stay cumulative
                     // per machine (each machine counts its own retire).
                     node.machine.status = tinman_vm::MachineStatus::Runnable;
@@ -557,6 +614,8 @@ impl TinmanRuntime {
                         client_link,
                         ssl_coordination_fixed: self.config.ssl_coordination_fixed,
                         ssl_coordination_rtts: self.config.ssl_coordination_rtts,
+                        trace: self.trace.clone(),
+                        trace_track: self.trace_track,
                     };
                     tinman_vm::interp::run(
                         machine,
@@ -603,6 +662,17 @@ impl TinmanRuntime {
                             &mut ClientMaterializer { directory: &mut self.client.directory },
                         )?;
                         self.charge_migration(packet.wire_bytes(), &mut breakdown);
+                        if self.trace.is_enabled() {
+                            self.trace.emit_on(
+                                self.trace_track,
+                                self.clock.now(),
+                                TraceEvent::MigrateBack { cause: "run_complete" },
+                            );
+                            if offload_span_open {
+                                // The run ends here; no need to clear the flag.
+                                self.trace.span_end(self.trace_track, self.clock.now(), "offload");
+                            }
+                        }
                         break 'outer v;
                     }
                     ExecEvent::OutOfFuel => return Err(RuntimeError::FuelExhausted),
@@ -656,6 +726,17 @@ impl TinmanRuntime {
                             &mut ClientMaterializer { directory: &mut self.client.directory },
                         )?;
                         self.charge_migration(packet.wire_bytes(), &mut breakdown);
+                        if self.trace.is_enabled() {
+                            self.trace.emit_on(
+                                self.trace_track,
+                                self.clock.now(),
+                                TraceEvent::MigrateBack { cause: cause.as_str() },
+                            );
+                            if offload_span_open {
+                                self.trace.span_end(self.trace_track, self.clock.now(), "offload");
+                                offload_span_open = false;
+                            }
+                        }
                         self.client.machine.status = tinman_vm::MachineStatus::Runnable;
                         break; // back to the client loop
                     }
@@ -685,6 +766,11 @@ impl TinmanRuntime {
         }
         let node_methods: u64 = self.node.machine.stats.method_invocations
             + self.extra_nodes.iter().map(|n| n.machine.stats.method_invocations).sum::<u64>();
+        // The report reads the run's offload count back from the registry
+        // (this runtime is single-threaded, so the delta is exact).
+        let offloads = self.metrics.get("runtime.offloads") - offloads_start;
+        self.metrics.observe("runtime.latency_ns", latency.as_nanos());
+        self.metrics.add("runtime.dsm_syncs", dsm_stats.sync_count);
         let bursts = 2 + dsm_stats.sync_count + 2 * offloads;
         let tail = MicroJoules::from_power(
             self.client.link.active_radio_mw,

@@ -4,6 +4,8 @@
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
+use tinman_obs::{TraceEvent, TraceHandle};
+use tinman_sim::SimClock;
 use tinman_vm::machine::LockSite;
 use tinman_vm::{Frame, Machine, ObjId};
 
@@ -23,6 +25,18 @@ pub enum SyncCause {
     LockTransfer,
     /// The trusted node went taint-idle (migrate back, §3.1 case 1).
     TaintIdle,
+}
+
+impl SyncCause {
+    /// Stable snake_case name for trace events and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SyncCause::OffloadTrigger => "offload_trigger",
+            SyncCause::NonOffloadableNative => "non_offloadable_native",
+            SyncCause::LockTransfer => "lock_transfer",
+            SyncCause::TaintIdle => "taint_idle",
+        }
+    }
 }
 
 /// Cumulative DSM statistics for one app session — the raw material of
@@ -119,12 +133,33 @@ impl MigrationPacket {
 pub struct DsmEngine {
     stats: DsmStats,
     init_done: bool,
+    /// Tracing wiring: `(handle, clock, track)`. `None` (the default)
+    /// keeps every sync path free of clock reads and event construction.
+    trace: Option<(TraceHandle, SimClock, u64)>,
 }
 
 impl DsmEngine {
     /// A fresh engine (no sync performed yet).
     pub fn new() -> Self {
         DsmEngine::default()
+    }
+
+    /// Wires the engine to a trace sink: every synchronization emits a
+    /// `dsm_sync` event (cause, direction, wire bytes) stamped with
+    /// `clock` on `track`. The runtime re-wires its engines at the start
+    /// of each run (engines are rebuilt per run).
+    pub fn set_trace(&mut self, trace: TraceHandle, clock: SimClock, track: u64) {
+        self.trace = if trace.is_enabled() { Some((trace, clock, track)) } else { None };
+    }
+
+    fn emit_sync(&self, cause: SyncCause, init: bool, bytes: u64) {
+        if let Some((trace, clock, track)) = &self.trace {
+            trace.emit_on(
+                *track,
+                clock.now(),
+                TraceEvent::DsmSync { cause: cause.as_str(), init, bytes },
+            );
+        }
     }
 
     /// Cumulative statistics.
@@ -170,6 +205,7 @@ impl DsmEngine {
         // The thread leaves this endpoint: monitors it holds go with it.
         machine.transfer_locks(from, from.other());
         let bytes = packet.wire_bytes();
+        let init = !self.init_done;
         if self.init_done {
             self.stats.dirty_bytes += bytes;
         } else {
@@ -178,6 +214,7 @@ impl DsmEngine {
         }
         self.stats.sync_count += 1;
         self.stats.record_cause(cause);
+        self.emit_sync(cause, init, bytes);
         Ok(packet)
     }
 
@@ -251,6 +288,7 @@ impl DsmEngine {
         self.stats.dirty_bytes += bytes;
         self.stats.sync_count += 1;
         self.stats.record_cause(SyncCause::LockTransfer);
+        self.emit_sync(SyncCause::LockTransfer, false, bytes);
         Ok(bytes)
     }
 }
@@ -416,6 +454,50 @@ mod tests {
             )
             .unwrap();
         assert!(!p.wire_contains("plaintext-cor-99"));
+    }
+
+    #[test]
+    fn wired_engine_emits_sync_events() {
+        let (h, sink) = TraceHandle::ring(16);
+        let mut eng = DsmEngine::new();
+        eng.set_trace(h, SimClock::new(), 7);
+        let mut a = machine_with_data();
+        let mut b = Machine::new();
+        eng.migrate(
+            &mut a,
+            &mut b,
+            LockSite::Client,
+            SyncCause::OffloadTrigger,
+            &mut PassthroughMaterializer,
+            &mut PassthroughMaterializer,
+        )
+        .unwrap();
+        eng.lock_transfer(
+            &mut b,
+            &mut a,
+            LockSite::Client,
+            &mut PassthroughMaterializer,
+            &mut PassthroughMaterializer,
+        )
+        .unwrap();
+        let recs = sink.snapshot();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].track, 7);
+        match &recs[0].event {
+            TraceEvent::DsmSync { cause, init, bytes } => {
+                assert_eq!(*cause, "offload_trigger");
+                assert!(*init, "first sync ships the full heap");
+                assert!(*bytes > 0);
+            }
+            other => panic!("expected DsmSync, got {other:?}"),
+        }
+        match &recs[1].event {
+            TraceEvent::DsmSync { cause, init, .. } => {
+                assert_eq!(*cause, "lock_transfer");
+                assert!(!*init);
+            }
+            other => panic!("expected DsmSync, got {other:?}"),
+        }
     }
 
     #[test]

@@ -59,11 +59,20 @@ impl FaultPlan {
     }
 }
 
+/// Hard ceiling on any single retry delay. Exponential backoff with only
+/// a shift clamp still reaches `base * 65536` — for the default 250ms base
+/// that is over four simulated hours charged to one session's latency.
+/// Thirty seconds is already far past the point where a replica either
+/// answered or the session failed.
+pub const MAX_BACKOFF: SimDuration = SimDuration::from_secs(30);
+
 /// Simulated wait before retry attempt `attempt` (0-based): exponential,
-/// `base * 2^attempt`. Purely simulated time — it is added to the
-/// session's reported latency, never slept.
+/// `base * 2^attempt`, capped at [`MAX_BACKOFF`]. Purely simulated time —
+/// it is added to the session's reported latency, never slept.
+/// The multiply saturates (see [`SimDuration`]'s `Mul`), so even an absurd
+/// `base` cannot wrap; the explicit ceiling keeps the schedule bounded.
 pub fn backoff_delay(base: SimDuration, attempt: u32) -> SimDuration {
-    base * (1u64 << attempt.min(16))
+    (base * (1u64 << attempt.min(16))).min(MAX_BACKOFF)
 }
 
 /// The link a session sees when its node is degraded: 4x the round-trip
@@ -89,6 +98,19 @@ mod tests {
         assert_eq!(backoff_delay(base, 0), SimDuration::from_millis(100));
         assert_eq!(backoff_delay(base, 1), SimDuration::from_millis(200));
         assert_eq!(backoff_delay(base, 3), SimDuration::from_millis(800));
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let base = SimDuration::from_millis(250);
+        // 250ms << 16 = ~4.5 hours without the ceiling.
+        assert_eq!(backoff_delay(base, 16), MAX_BACKOFF);
+        assert_eq!(backoff_delay(base, u32::MAX), MAX_BACKOFF);
+        // A huge base saturates the multiply instead of wrapping, then caps.
+        let huge = SimDuration::from_nanos(u64::MAX);
+        assert_eq!(backoff_delay(huge, 8), MAX_BACKOFF);
+        // The cap never *raises* a small delay.
+        assert!(backoff_delay(base, 2) < MAX_BACKOFF);
     }
 
     #[test]

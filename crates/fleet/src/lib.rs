@@ -32,9 +32,11 @@ pub mod sched;
 pub mod session;
 pub mod spec;
 
-pub use failure::{backoff_delay, degraded_link, FaultPlan, NodeHealth};
-pub use pool::{CapacityPermit, NodePool, NodeShard};
+pub use failure::{backoff_delay, degraded_link, FaultPlan, NodeHealth, MAX_BACKOFF};
+pub use pool::{CapacityPermit, NoSuchNode, NodePool, NodeShard};
 pub use report::{FleetReport, LatencyStats, NodeReport};
-pub use sched::{execute_with_failover, run_fleet};
-pub use session::{run_session, SessionOutcome};
+pub use sched::{
+    execute_with_failover, execute_with_failover_obs, run_fleet, run_fleet_obs, FleetObs,
+};
+pub use session::{run_session, run_session_traced, SessionOutcome};
 pub use spec::{build_session_specs, FleetConfig, LinkKind, SessionSpec, WorkloadKind};

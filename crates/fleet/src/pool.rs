@@ -66,22 +66,52 @@ impl NodeShard {
     }
 }
 
+/// Error from [`NodePool::set_health`]: the shard index does not exist.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NoSuchNode {
+    /// The out-of-range index the caller passed.
+    pub node: usize,
+    /// How many shards the pool actually has.
+    pub pool_len: usize,
+}
+
+impl std::fmt::Display for NoSuchNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no node {} in a pool of {} shards", self.node, self.pool_len)
+    }
+}
+
+impl std::error::Error for NoSuchNode {}
+
 /// The pool of trusted-node shards a fleet runs against.
 pub struct NodePool {
     shards: Vec<NodeShard>,
     /// Consistent-hash ring: `(point, shard)` sorted by point.
     ring: Vec<(u64, usize)>,
+    /// The node count the caller asked for, before clamping.
+    requested: usize,
 }
 
 impl NodePool {
+    /// The largest shard count a pool will build: every shard must keep at
+    /// least four labels of the cor label space (a session registers one
+    /// user cor plus a few derived ones), so with [`Label::MAX_LABELS`]
+    /// labels this is `MAX_LABELS / 4`.
+    pub fn max_nodes() -> usize {
+        (Label::MAX_LABELS as usize) / 4
+    }
+
     /// Builds `nodes` shards partitioning the label space evenly, each
     /// with the given concurrent-session capacity, health-initialized from
-    /// the fault plan. Caps the node count so every shard keeps at least
-    /// four labels (a session registers one user cor plus a few derived
-    /// ones).
+    /// the fault plan.
+    ///
+    /// The shard count is clamped to `1..=`[`NodePool::max_nodes`]. A
+    /// clamped request is **not** silent: [`NodePool::requested_nodes`]
+    /// and [`NodePool::was_clamped`] expose it, the fleet report carries
+    /// `nodes_requested`/`nodes_effective`, and the scheduler emits a
+    /// `pool_clamp` trace event when tracing is on.
     pub fn new(nodes: usize, capacity: usize, faults: &FaultPlan) -> NodePool {
-        let max_nodes = (Label::MAX_LABELS as usize) / 4;
-        let n = nodes.clamp(1, max_nodes);
+        let n = nodes.clamp(1, NodePool::max_nodes());
         let span = Label::MAX_LABELS as usize;
         let shards: Vec<NodeShard> = (0..n)
             .map(|i| NodeShard {
@@ -103,12 +133,24 @@ impl NodePool {
             }
         }
         ring.sort_unstable();
-        NodePool { shards, ring }
+        NodePool { shards, ring, requested: nodes }
     }
 
     /// Number of shards.
     pub fn len(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The shard count the caller asked [`NodePool::new`] for, before
+    /// clamping to `1..=`[`NodePool::max_nodes`].
+    pub fn requested_nodes(&self) -> usize {
+        self.requested
+    }
+
+    /// True if the pool is running fewer (or more — `nodes: 0` rounds up
+    /// to one) shards than requested.
+    pub fn was_clamped(&self) -> bool {
+        self.requested != self.shards.len()
     }
 
     /// True if the pool has no shards (never, by construction).
@@ -147,8 +189,15 @@ impl NodePool {
 
     /// Fault-injection hook: flips a node's health mid-run. Sessions
     /// placed on a `Down` node fail over per their retry schedule.
-    pub fn set_health(&self, node: usize, health: NodeHealth) {
-        *self.shards[node].health.lock() = health;
+    ///
+    /// Returns [`NoSuchNode`] for an out-of-range index instead of
+    /// panicking — fault plans are frequently written against the
+    /// *requested* node count, which the pool may have clamped down.
+    pub fn set_health(&self, node: usize, health: NodeHealth) -> Result<(), NoSuchNode> {
+        let shard =
+            self.shards.get(node).ok_or(NoSuchNode { node, pool_len: self.shards.len() })?;
+        *shard.health.lock() = health;
+        Ok(())
     }
 }
 
@@ -215,7 +264,35 @@ mod tests {
         let pool = NodePool::new(2, 1, &FaultPlan { down_nodes: vec![1], slow_nodes: vec![] });
         assert_eq!(pool.shard(0).health(), NodeHealth::Healthy);
         assert_eq!(pool.shard(1).health(), NodeHealth::Down);
-        pool.set_health(1, NodeHealth::Healthy);
+        pool.set_health(1, NodeHealth::Healthy).unwrap();
         assert_eq!(pool.shard(1).health(), NodeHealth::Healthy);
+    }
+
+    #[test]
+    fn set_health_rejects_bad_index_without_panicking() {
+        let pool = NodePool::new(2, 1, &FaultPlan::default());
+        let err = pool.set_health(7, NodeHealth::Down).unwrap_err();
+        assert_eq!(err, NoSuchNode { node: 7, pool_len: 2 });
+        assert!(err.to_string().contains("no node 7"));
+        // Healthy state untouched by the failed call.
+        assert_eq!(pool.shard(0).health(), NodeHealth::Healthy);
+        assert_eq!(pool.shard(1).health(), NodeHealth::Healthy);
+    }
+
+    #[test]
+    fn clamp_is_surfaced_not_silent() {
+        let max = NodePool::max_nodes();
+        let big = NodePool::new(max + 10, 1, &FaultPlan::default());
+        assert_eq!(big.len(), max);
+        assert_eq!(big.requested_nodes(), max + 10);
+        assert!(big.was_clamped());
+
+        let zero = NodePool::new(0, 1, &FaultPlan::default());
+        assert_eq!(zero.len(), 1);
+        assert!(zero.was_clamped());
+
+        let exact = NodePool::new(4, 1, &FaultPlan::default());
+        assert_eq!(exact.requested_nodes(), 4);
+        assert!(!exact.was_clamped());
     }
 }

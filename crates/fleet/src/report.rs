@@ -29,7 +29,10 @@ pub struct LatencyStats {
 }
 
 impl LatencyStats {
-    fn from_sorted(sorted: &[SimDuration]) -> LatencyStats {
+    /// Folds an ascending-sorted latency slice into `{mean, p50, p95,
+    /// p99}` using nearest-rank percentiles. An empty slice yields all
+    /// zeros. Callers must pre-sort; this does not check.
+    pub fn from_sorted(sorted: &[SimDuration]) -> LatencyStats {
         if sorted.is_empty() {
             return LatencyStats {
                 mean: SimDuration::ZERO,
@@ -101,6 +104,13 @@ pub struct FleetReport {
     pub rx_bytes: u64,
     /// Latency distribution over successful sessions.
     pub latency: LatencyStats,
+    /// Shard count the config asked for — may exceed what the label
+    /// space supports (see [`NodePool::max_nodes`]).
+    pub nodes_requested: u64,
+    /// Shard count the pool actually built. When this is below
+    /// `nodes_requested`, the pool clamped (loudly — the scheduler logs
+    /// it and emits a `pool_clamp` trace event).
+    pub nodes_effective: u64,
     /// Per-shard breakdown, in shard order.
     pub per_node: Vec<NodeReport>,
     /// Simulated makespan: the busiest node's busy time.
@@ -177,6 +187,8 @@ impl FleetReport {
             tx_bytes: sum(|o| o.tx_bytes),
             rx_bytes: sum(|o| o.rx_bytes),
             latency: LatencyStats::from_sorted(&ok_latencies),
+            nodes_requested: pool.requested_nodes() as u64,
+            nodes_effective: pool.len() as u64,
             per_node,
             sim_makespan,
             sim_throughput: if sim_makespan == SimDuration::ZERO {
@@ -218,6 +230,8 @@ impl FleetReport {
                 ("p99".to_owned(), Value::U64(self.latency.p99.as_nanos())),
             ]),
         );
+        put("nodes_requested", Value::U64(self.nodes_requested));
+        put("nodes_effective", Value::U64(self.nodes_effective));
         put(
             "per_node",
             Value::Seq(

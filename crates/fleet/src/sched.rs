@@ -2,17 +2,34 @@
 //! over a bounded channel (backpressure), executes each with
 //! failover-on-down-node, and aggregates the outcomes.
 
-use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam::channel;
-use tinman_sim::SimDuration;
+use tinman_obs::{MetricsRegistry, TraceEvent, TraceHandle};
+use tinman_sim::{SimDuration, SimTime};
 
 use crate::failure::{backoff_delay, degraded_link, NodeHealth};
 use crate::pool::NodePool;
 use crate::report::FleetReport;
-use crate::session::{base_link, outcome_from_report, run_session, SessionOutcome};
+use crate::session::{base_link, outcome_from_report, run_session_traced, SessionOutcome};
 use crate::spec::{build_session_specs, FleetConfig, SessionSpec};
+
+/// Observability wiring for a fleet run: a trace emitter shared by the
+/// scheduler and every session runtime, plus the fleet-level metrics
+/// registry ([`FleetReport`] reads `fleet.attempts` / `fleet.failovers`
+/// out of it). The default is fully disabled tracing and a fresh
+/// registry — the configuration the determinism tests pin down.
+#[derive(Clone, Debug, Default)]
+pub struct FleetObs {
+    /// Trace emitter. Scheduler events (placement, failover, backoff,
+    /// pool clamp) and each session's runtime events share the sink;
+    /// session `spec.id` is the track.
+    pub trace: TraceHandle,
+    /// Fleet-level counters and histograms. Counter sums commute across
+    /// worker threads, so registry-sourced report fields stay
+    /// deterministic at any worker count.
+    pub metrics: MetricsRegistry,
+}
 
 /// Runs one session with the fleet's retry policy: walk the replica
 /// order, skip `Down` nodes (charging simulated backoff), run on the
@@ -25,25 +42,80 @@ pub fn execute_with_failover(
     pool: &NodePool,
     spec: &SessionSpec,
 ) -> SessionOutcome {
+    execute_with_failover_obs(cfg, pool, spec, &FleetObs::default())
+}
+
+/// [`execute_with_failover`] with observability: emits
+/// `fleet_placement` / `fleet_failover` / `fleet_backoff` events on the
+/// session's track (stamped with the session's accumulated simulated
+/// backoff — each session runs on its own simulated timeline) and keeps
+/// the `fleet.*` counters.
+pub fn execute_with_failover_obs(
+    cfg: &FleetConfig,
+    pool: &NodePool,
+    spec: &SessionSpec,
+    obs: &FleetObs,
+) -> SessionOutcome {
     let order = pool.replica_order(spec.placement_key());
     let mut penalty = SimDuration::ZERO;
     let mut attempts = 0u32;
     for (i, &node) in order.iter().take(cfg.max_attempts as usize).enumerate() {
         attempts += 1;
+        obs.metrics.incr("fleet.attempts");
+        if i > 0 {
+            // A retry: the previous placement was skipped or failed.
+            obs.metrics.incr("fleet.failovers");
+        }
         let shard = pool.shard(node);
         let health = shard.health();
         if health == NodeHealth::Down {
-            penalty += backoff_delay(cfg.backoff, i as u32);
+            let delay = backoff_delay(cfg.backoff, i as u32);
+            penalty += delay;
+            obs.metrics.add("fleet.backoff_ns", delay.as_nanos());
+            if obs.trace.is_enabled() {
+                let t = SimTime::ZERO + penalty;
+                obs.trace.emit_on(
+                    spec.id,
+                    t,
+                    TraceEvent::FleetFailover {
+                        session: spec.id,
+                        node: node as u64,
+                        attempt: i as u32,
+                    },
+                );
+                obs.trace.emit_on(
+                    spec.id,
+                    t,
+                    TraceEvent::FleetBackoff {
+                        session: spec.id,
+                        attempt: i as u32,
+                        delay_ns: delay.as_nanos(),
+                    },
+                );
+            }
             continue;
         }
         let base = base_link(spec.link);
         let link = if health == NodeHealth::Degraded { degraded_link(&base) } else { base };
+        if obs.trace.is_enabled() {
+            obs.trace.emit_on(
+                spec.id,
+                SimTime::ZERO + penalty,
+                TraceEvent::FleetPlacement { session: spec.id, node: node as u64 },
+            );
+        }
         // Admission control: wall-clock flow only, no simulated effect.
         let _permit = shard.acquire();
-        match run_session(spec, (shard.label_start, shard.label_end), link) {
-            Ok(report) => return outcome_from_report(spec, node, attempts, penalty, &report),
+        match run_session_traced(spec, (shard.label_start, shard.label_end), link, &obs.trace) {
+            Ok(report) => {
+                obs.metrics
+                    .observe("fleet.session_latency_ns", (report.latency + penalty).as_nanos());
+                return outcome_from_report(spec, node, attempts, penalty, &report);
+            }
             Err(_) => {
-                penalty += backoff_delay(cfg.backoff, i as u32);
+                let delay = backoff_delay(cfg.backoff, i as u32);
+                penalty += delay;
+                obs.metrics.add("fleet.backoff_ns", delay.as_nanos());
             }
         }
     }
@@ -59,37 +131,113 @@ pub fn execute_with_failover(
 /// re-sorted by session id before aggregation, and wall-clock never
 /// enters the simulated fields.
 pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
-    let specs = build_session_specs(cfg);
-    let pool = Arc::new(NodePool::new(cfg.nodes, cfg.node_capacity, &cfg.faults));
-    let start = Instant::now();
+    run_fleet_obs(cfg, &FleetObs::default())
+}
 
-    let (spec_tx, spec_rx) = channel::bounded::<SessionSpec>(cfg.queue_depth.max(1));
+/// Feeds specs into the bounded queue. A `send` only fails when every
+/// worker has exited — with specs still unsent that means a worker
+/// panicked, so the producer stops quietly and lets the pool join
+/// re-raise the worker's own panic instead of masking it with a
+/// producer-side `expect` (the old behavior buried the real backtrace).
+/// Returns how many specs were enqueued.
+fn feed_specs(spec_tx: &channel::Sender<SessionSpec>, specs: Vec<SessionSpec>) -> usize {
+    let mut sent = 0;
+    for spec in specs {
+        if spec_tx.send(spec).is_err() {
+            break;
+        }
+        sent += 1;
+    }
+    sent
+}
+
+/// Fans `specs` out to `workers` threads over a bounded queue
+/// (backpressure) and collects every outcome. If a worker panics, its
+/// original panic payload is re-raised here — not swallowed by a failed
+/// `send` on the producer side, and not replaced by `thread::scope`'s
+/// generic "a scoped thread panicked".
+fn run_worker_pool<F>(
+    workers: usize,
+    queue_depth: usize,
+    specs: Vec<SessionSpec>,
+    work: F,
+) -> Vec<SessionOutcome>
+where
+    F: Fn(SessionSpec) -> SessionOutcome + Sync,
+{
+    let (spec_tx, spec_rx) = channel::bounded::<SessionSpec>(queue_depth.max(1));
     let (out_tx, out_rx) = channel::unbounded::<SessionOutcome>();
-
     std::thread::scope(|s| {
-        for _ in 0..cfg.workers.max(1) {
+        let mut handles = Vec::new();
+        for _ in 0..workers.max(1) {
             let rx = spec_rx.clone();
             let tx = out_tx.clone();
-            let pool = Arc::clone(&pool);
-            s.spawn(move || {
+            let work = &work;
+            handles.push(s.spawn(move || {
                 for spec in rx.iter() {
-                    let outcome = execute_with_failover(cfg, &pool, &spec);
-                    let _ = tx.send(outcome);
+                    let _ = tx.send(work(spec));
                 }
-            });
+            }));
         }
         drop(spec_rx);
         drop(out_tx);
-        for spec in specs {
-            spec_tx.send(spec).expect("a worker is always draining the queue");
-        }
+        feed_specs(&spec_tx, specs);
         drop(spec_tx);
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    out_rx.iter().collect()
+}
+
+/// [`run_fleet`] with observability: scheduler and session events land in
+/// `obs.trace`, and the report's `attempts` / `failovers` are read back
+/// from `obs.metrics` (registry deltas) rather than recomputed — the
+/// registry is the source of truth the outcomes merely mirror.
+pub fn run_fleet_obs(cfg: &FleetConfig, obs: &FleetObs) -> FleetReport {
+    let specs = build_session_specs(cfg);
+    let pool = NodePool::new(cfg.nodes, cfg.node_capacity, &cfg.faults);
+    if pool.was_clamped() {
+        eprintln!(
+            "tinman-fleet: requested {} nodes but the label space only supports {}; \
+             running with {} shards",
+            pool.requested_nodes(),
+            NodePool::max_nodes(),
+            pool.len()
+        );
+        obs.metrics.incr("fleet.pool_clamped");
+        if obs.trace.is_enabled() {
+            obs.trace.emit_on(
+                0,
+                SimTime::ZERO,
+                TraceEvent::PoolClamp {
+                    requested: pool.requested_nodes() as u64,
+                    effective: pool.len() as u64,
+                },
+            );
+        }
+    }
+    // Snapshot the registry so report fields are per-run deltas even when
+    // the caller reuses one registry across several fleet runs.
+    let attempts_start = obs.metrics.get("fleet.attempts");
+    let failovers_start = obs.metrics.get("fleet.failovers");
+    let start = Instant::now();
+
+    let mut outcomes = run_worker_pool(cfg.workers, cfg.queue_depth, specs, |spec| {
+        execute_with_failover_obs(cfg, &pool, &spec, obs)
     });
 
     let wall_secs = start.elapsed().as_secs_f64();
-    let mut outcomes: Vec<SessionOutcome> = out_rx.iter().collect();
     outcomes.sort_by_key(|o| o.id);
-    FleetReport::aggregate(cfg, &pool, outcomes, wall_secs)
+    let mut report = FleetReport::aggregate(cfg, &pool, outcomes, wall_secs);
+    // The scheduler counted every attempt and retry as it made them;
+    // surface those registry deltas instead of the outcome-derived sums
+    // (they agree by construction — `registry_and_outcomes_agree` pins it).
+    report.attempts = obs.metrics.get("fleet.attempts") - attempts_start;
+    report.failovers = obs.metrics.get("fleet.failovers") - failovers_start;
+    report
 }
 
 #[cfg(test)]
@@ -135,6 +283,60 @@ mod tests {
         assert_eq!(report.ok, 0);
         assert_eq!(report.failed, 3);
         assert!(report.outcomes.iter().all(|o| !o.success && o.node.is_none()));
+    }
+
+    #[test]
+    fn worker_panic_is_propagated_not_masked() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        // Enough specs that the producer is still feeding the bounded
+        // queue when the lone worker dies on the first one — the old
+        // `send(..).expect(..)` producer panicked here with its own
+        // message, burying the worker's.
+        let specs = build_session_specs(&FleetConfig::new(64, 1));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_worker_pool(1, 1, specs, |_spec| panic!("worker died mid-session"))
+        }));
+        let payload = result.expect_err("the worker panic must surface");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(
+            msg, "worker died mid-session",
+            "the producer masked the worker's panic with its own"
+        );
+    }
+
+    #[test]
+    fn registry_and_outcomes_agree() {
+        let mut cfg = FleetConfig::new(6, 2);
+        cfg.nodes = 2;
+        cfg.faults = FaultPlan { down_nodes: vec![0], slow_nodes: vec![] };
+        let obs = FleetObs::default();
+        let report = run_fleet_obs(&cfg, &obs);
+        let attempts: u64 = report.outcomes.iter().map(|o| u64::from(o.attempts)).sum();
+        let failovers: u64 = report.outcomes.iter().map(|o| u64::from(o.attempts) - 1).sum();
+        assert_eq!(report.attempts, attempts, "registry delta == outcome-derived attempts");
+        assert_eq!(report.failovers, failovers, "registry delta == outcome-derived failovers");
+        assert_eq!(report.attempts, obs.metrics.get("fleet.attempts"));
+        assert!(report.failovers > 0, "the downed primary forces failovers");
+    }
+
+    #[test]
+    fn fleet_trace_records_placements_and_failovers() {
+        let (handle, sink) = TraceHandle::ring(4096);
+        let obs = FleetObs { trace: handle, metrics: MetricsRegistry::default() };
+        let mut cfg = FleetConfig::new(4, 1);
+        cfg.nodes = 2;
+        cfg.faults = FaultPlan { down_nodes: vec![0], slow_nodes: vec![] };
+        let report = run_fleet_obs(&cfg, &obs);
+        assert_eq!(report.ok, 4);
+        let records = sink.snapshot();
+        let count = |name: &str| records.iter().filter(|r| r.event.name() == name).count() as u64;
+        assert_eq!(count("fleet_placement"), report.ok);
+        assert_eq!(count("fleet_failover"), report.failovers);
+        assert_eq!(count("fleet_backoff"), report.failovers);
+        assert!(
+            records.iter().any(|r| r.event.name() == "offload_trigger"),
+            "session runtime events share the fleet sink"
+        );
     }
 
     #[test]

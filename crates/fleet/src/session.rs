@@ -18,6 +18,7 @@ use tinman_cor::CorStore;
 use tinman_core::runtime::{Mode, RunReport, TinmanConfig, TinmanRuntime};
 use tinman_core::server::HttpsServerApp;
 use tinman_net::{Addr, NetWorld};
+use tinman_obs::TraceHandle;
 use tinman_sim::{LinkProfile, SimDuration, SplitMix64};
 use tinman_tls::TlsConfig;
 use tinman_vm::Value;
@@ -103,9 +104,19 @@ fn session_store(spec: &SessionSpec, labels: (u8, u8)) -> (CorStore, SplitMix64,
     (store, stream, runtime_seed)
 }
 
-fn session_runtime(store: CorStore, link: LinkProfile, runtime_seed: u64) -> TinmanRuntime {
+fn session_runtime(
+    store: CorStore,
+    link: LinkProfile,
+    runtime_seed: u64,
+    trace: &TraceHandle,
+    track: u64,
+) -> TinmanRuntime {
     let config = TinmanConfig { seed: runtime_seed, ..TinmanConfig::default() };
-    TinmanRuntime::new(store, link, config)
+    let mut rt = TinmanRuntime::new(store, link, config);
+    if trace.is_enabled() {
+        rt.set_trace(trace.clone(), track);
+    }
+    rt
 }
 
 /// A bank that expects `sha256(password)` and serves transactions after a
@@ -149,6 +160,20 @@ pub fn run_session(
     labels: (u8, u8),
     link: LinkProfile,
 ) -> Result<RunReport, String> {
+    run_session_traced(spec, labels, link, &TraceHandle::noop())
+}
+
+/// [`run_session`] with a trace sink: the session's runtime events land
+/// on track `spec.id`, so a fleet trace shows one row per device session.
+/// Tracing never changes the simulated result — the scheduler's
+/// determinism tests run with the no-op handle, and the observability
+/// integration tests compare traced and untraced reports.
+pub fn run_session_traced(
+    spec: &SessionSpec,
+    labels: (u8, u8),
+    link: LinkProfile,
+    trace: &TraceHandle,
+) -> Result<RunReport, String> {
     match spec.workload {
         WorkloadKind::Login(idx) => {
             let apps = LoginAppSpec::table3();
@@ -158,7 +183,7 @@ pub fn run_session(
             store
                 .register(&password, login.cor_description, &[login.domain])
                 .ok_or_else(|| "label space exhausted".to_owned())?;
-            let mut rt = session_runtime(store, link, runtime_seed);
+            let mut rt = session_runtime(store, link, runtime_seed, trace, spec.id);
             let tls = rt.server_tls_config();
             install_auth_server(
                 &mut rt.world,
@@ -184,7 +209,7 @@ pub fn run_session(
             store
                 .register(&password, "Citibank password", &["citibank.com"])
                 .ok_or_else(|| "label space exhausted".to_owned())?;
-            let mut rt = session_runtime(store, link, runtime_seed);
+            let mut rt = session_runtime(store, link, runtime_seed, trace, spec.id);
             let tls = rt.server_tls_config();
             install_bank_server(
                 &mut rt.world,
@@ -215,7 +240,7 @@ pub fn run_session(
             store
                 .register(&cvv, "Visa security code", &["shop.com"])
                 .ok_or_else(|| "label space exhausted".to_owned())?;
-            let mut rt = session_runtime(store, link, runtime_seed);
+            let mut rt = session_runtime(store, link, runtime_seed, trace, spec.id);
             let tls = rt.server_tls_config();
             install_payment_server(
                 &mut rt.world,

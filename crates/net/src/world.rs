@@ -11,6 +11,7 @@
 
 use std::collections::HashMap;
 
+use tinman_obs::{TraceEvent, TraceHandle};
 use tinman_sim::{LinkProfile, SimClock, SimDuration};
 
 use crate::addr::{Addr, HostId};
@@ -96,6 +97,9 @@ pub struct NetWorld {
     /// attribute latency to the site rather than to the network or to
     /// TinMan's mechanisms.
     think_total: SimDuration,
+    /// Trace emitter (no-op by default) and the track its events land on.
+    trace: TraceHandle,
+    trace_track: u64,
 }
 
 impl NetWorld {
@@ -111,7 +115,16 @@ impl NetWorld {
             next_port: 40000,
             isn_counter: 1000,
             think_total: SimDuration::ZERO,
+            trace: TraceHandle::noop(),
+            trace_track: 0,
         }
+    }
+
+    /// Wires the world to a trace sink: diverted (`net_redirect`) and
+    /// injected (`net_inject`) segments emit events on `track`.
+    pub fn set_trace(&mut self, trace: TraceHandle, track: u64) {
+        self.trace = trace;
+        self.trace_track = track;
     }
 
     /// Total server think time accumulated so far.
@@ -336,6 +349,13 @@ impl NetWorld {
             .map(|(id, _)| ConnId(*id))
             .ok_or(NetError::NoMatchingFlow(seg.src, seg.dst))?;
         self.charge_transfer(physical_src, seg.dst.host, seg.wire_bytes());
+        if self.trace.is_enabled() {
+            self.trace.emit_on(
+                self.trace_track,
+                self.clock.now(),
+                TraceEvent::NetInject { bytes: seg.payload.len() as u64 },
+            );
+        }
         self.deliver_to_server(conn, seg)
     }
 
@@ -355,6 +375,13 @@ impl NetWorld {
             }
             FilterAction::Redirect(to) => {
                 self.charge_transfer(client_host, to, seg.wire_bytes());
+                if self.trace.is_enabled() {
+                    self.trace.emit_on(
+                        self.trace_track,
+                        self.clock.now(),
+                        TraceEvent::NetRedirect { bytes: seg.payload.len() as u64 },
+                    );
+                }
                 self.hosts
                     .get_mut(to.0 as usize)
                     .ok_or(NetError::UnknownHost(to))?
@@ -597,6 +624,25 @@ mod tests {
         w.inject(node, seg).unwrap();
         // The echo server processed it as if the client had sent it.
         assert_eq!(w.recv_available(conn).unwrap(), real.to_ascii_uppercase());
+    }
+
+    #[test]
+    fn redirect_and_inject_emit_trace_events() {
+        let (mut w, phone, _server, addr) = world();
+        let node = w.add_host("trusted-node", LinkProfile::ethernet());
+        w.set_egress_filter(phone, Box::new(MarkFilter { mark: 0x7f, to: node }));
+        let (h, sink) = TraceHandle::ring(16);
+        w.set_trace(h, 3);
+        let conn = w.connect(phone, addr).unwrap();
+        w.send(conn, b"\x7fdiverted").unwrap();
+        let seg = w.take_redirected(node).pop().unwrap();
+        w.inject(node, seg).unwrap();
+        let recs = sink.snapshot();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].track, 3);
+        assert_eq!(recs[0].event, TraceEvent::NetRedirect { bytes: 9 });
+        assert_eq!(recs[1].event, TraceEvent::NetInject { bytes: 9 });
+        assert!(recs[1].sim_ns >= recs[0].sim_ns, "simulated stamps are monotone");
     }
 
     #[test]

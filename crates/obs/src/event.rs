@@ -1,0 +1,192 @@
+//! The typed event taxonomy.
+//!
+//! Every policy- or measurement-relevant thing that happens in a TinMan
+//! run has a variant here: the paper's evaluation (§6) is built entirely
+//! from these occurrences, and a flow-enforcement system needs an audit
+//! trail of each one. Events carry structured payloads rather than
+//! preformatted strings so exporters and tests can match on fields.
+
+use serde_json::Value;
+
+/// One policy- or measurement-relevant occurrence in a TinMan run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// The client touched a tainted placeholder and must offload (§3.1).
+    OffloadTrigger {
+        /// The taint labels (cor classes) on the touched value.
+        labels: Vec<u8>,
+        /// The function whose frame triggered.
+        func: String,
+        /// Program counter at the trigger.
+        pc: u64,
+    },
+    /// One DSM synchronization, either direction (§3.1, Table 3).
+    DsmSync {
+        /// Why the sync happened (`SyncCause` name).
+        cause: &'static str,
+        /// True for the initial full-heap sync, false for dirty syncs.
+        init: bool,
+        /// Serialized packet bytes on the wire.
+        bytes: u64,
+    },
+    /// The trusted node rebuilt the client's TLS session from exported
+    /// state — SSL session injection (§3.2, Figure 8 step 2).
+    SslInjection {
+        /// Destination domain of the cor-bearing send.
+        domain: String,
+        /// Serialized size of the exported session state.
+        state_bytes: u64,
+    },
+    /// The node swapped a diverted segment's placeholder payload for the
+    /// sealed cor — TCP payload replacement (§3.3, Figure 8 step 4).
+    TcpPayloadReplace {
+        /// Payload bytes replaced (old and new are equal length).
+        bytes: u64,
+    },
+    /// Execution returned from the trusted node to the client.
+    MigrateBack {
+        /// Why (`SyncCause` name: taint idle or non-offloadable native).
+        cause: &'static str,
+    },
+    /// The egress filter diverted a marked segment to the trusted node.
+    NetRedirect {
+        /// Wire bytes of the diverted segment.
+        bytes: u64,
+    },
+    /// The trusted node re-injected a reframed segment as the client.
+    NetInject {
+        /// Wire bytes of the injected segment.
+        bytes: u64,
+    },
+    /// The fleet scheduler placed a session on its primary shard.
+    FleetPlacement {
+        /// Session id.
+        session: u64,
+        /// Primary shard index.
+        node: u64,
+    },
+    /// A session left a shard (down or erroring) for the next replica.
+    FleetFailover {
+        /// Session id.
+        session: u64,
+        /// The shard being abandoned.
+        node: u64,
+        /// 1-based attempt number that failed.
+        attempt: u32,
+    },
+    /// Simulated retry backoff charged to a session.
+    FleetBackoff {
+        /// Session id.
+        session: u64,
+        /// 0-based retry attempt.
+        attempt: u32,
+        /// Simulated delay charged, nanoseconds.
+        delay_ns: u64,
+    },
+    /// The node pool clamped a requested node count to keep shards at
+    /// least four labels wide.
+    PoolClamp {
+        /// Nodes the config asked for.
+        requested: u64,
+        /// Nodes the pool actually built.
+        effective: u64,
+    },
+    /// A named span; appears with [`crate::TracePhase::Begin`] and
+    /// [`crate::TracePhase::End`] records (Chrome `B`/`E` semantics:
+    /// spans nest per track, stack-wise).
+    Span {
+        /// Span name, e.g. `"run_app"` or `"offload"`.
+        name: String,
+    },
+}
+
+impl TraceEvent {
+    /// Stable snake_case name, used as the exported event name.
+    pub fn name(&self) -> &str {
+        match self {
+            TraceEvent::OffloadTrigger { .. } => "offload_trigger",
+            TraceEvent::DsmSync { .. } => "dsm_sync",
+            TraceEvent::SslInjection { .. } => "ssl_injection",
+            TraceEvent::TcpPayloadReplace { .. } => "tcp_payload_replace",
+            TraceEvent::MigrateBack { .. } => "migrate_back",
+            TraceEvent::NetRedirect { .. } => "net_redirect",
+            TraceEvent::NetInject { .. } => "net_inject",
+            TraceEvent::FleetPlacement { .. } => "fleet_placement",
+            TraceEvent::FleetFailover { .. } => "fleet_failover",
+            TraceEvent::FleetBackoff { .. } => "fleet_backoff",
+            TraceEvent::PoolClamp { .. } => "pool_clamp",
+            TraceEvent::Span { name } => name,
+        }
+    }
+
+    /// The structured payload as insertion-ordered JSON map entries
+    /// (exporters put these under `args`).
+    pub fn args(&self) -> Vec<(String, Value)> {
+        let s = |v: &str| Value::Str(v.to_owned());
+        match self {
+            TraceEvent::OffloadTrigger { labels, func, pc } => vec![
+                (
+                    "labels".to_owned(),
+                    Value::Seq(labels.iter().map(|&l| Value::U64(l as u64)).collect()),
+                ),
+                ("func".to_owned(), s(func)),
+                ("pc".to_owned(), Value::U64(*pc)),
+            ],
+            TraceEvent::DsmSync { cause, init, bytes } => vec![
+                ("cause".to_owned(), s(cause)),
+                ("init".to_owned(), Value::Bool(*init)),
+                ("bytes".to_owned(), Value::U64(*bytes)),
+            ],
+            TraceEvent::SslInjection { domain, state_bytes } => vec![
+                ("domain".to_owned(), s(domain)),
+                ("state_bytes".to_owned(), Value::U64(*state_bytes)),
+            ],
+            TraceEvent::TcpPayloadReplace { bytes } => {
+                vec![("bytes".to_owned(), Value::U64(*bytes))]
+            }
+            TraceEvent::MigrateBack { cause } => vec![("cause".to_owned(), s(cause))],
+            TraceEvent::NetRedirect { bytes } => vec![("bytes".to_owned(), Value::U64(*bytes))],
+            TraceEvent::NetInject { bytes } => vec![("bytes".to_owned(), Value::U64(*bytes))],
+            TraceEvent::FleetPlacement { session, node } => vec![
+                ("session".to_owned(), Value::U64(*session)),
+                ("node".to_owned(), Value::U64(*node)),
+            ],
+            TraceEvent::FleetFailover { session, node, attempt } => vec![
+                ("session".to_owned(), Value::U64(*session)),
+                ("node".to_owned(), Value::U64(*node)),
+                ("attempt".to_owned(), Value::U64(*attempt as u64)),
+            ],
+            TraceEvent::FleetBackoff { session, attempt, delay_ns } => vec![
+                ("session".to_owned(), Value::U64(*session)),
+                ("attempt".to_owned(), Value::U64(*attempt as u64)),
+                ("delay_ns".to_owned(), Value::U64(*delay_ns)),
+            ],
+            TraceEvent::PoolClamp { requested, effective } => vec![
+                ("requested".to_owned(), Value::U64(*requested)),
+                ("effective".to_owned(), Value::U64(*effective)),
+            ],
+            TraceEvent::Span { .. } => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        let e = TraceEvent::DsmSync { cause: "offload_trigger", init: true, bytes: 9 };
+        assert_eq!(e.name(), "dsm_sync");
+        let sp = TraceEvent::Span { name: "offload".to_owned() };
+        assert_eq!(sp.name(), "offload");
+    }
+
+    #[test]
+    fn args_carry_typed_fields() {
+        let e = TraceEvent::FleetBackoff { session: 3, attempt: 1, delay_ns: 500 };
+        let args = e.args();
+        assert_eq!(args[0], ("session".to_owned(), Value::U64(3)));
+        assert_eq!(args[2], ("delay_ns".to_owned(), Value::U64(500)));
+    }
+}

@@ -1,0 +1,154 @@
+//! Exporters: Chrome `trace_event` JSON (loads in `chrome://tracing` and
+//! Perfetto) and JSON-lines.
+//!
+//! The Chrome format is the JSON-object flavor: `{"traceEvents": [...]}`
+//! with `B`/`E`/`i` phases. `ts` is **simulated** microseconds (the
+//! timeline the evaluation reasons about); the wall stamp travels in
+//! `args.wall_ns` so host-side interleaving stays inspectable.
+
+use serde_json::Value;
+
+use crate::sink::{TracePhase, TraceRecord};
+
+fn phase_str(phase: TracePhase) -> &'static str {
+    match phase {
+        TracePhase::Instant => "i",
+        TracePhase::Begin => "B",
+        TracePhase::End => "E",
+    }
+}
+
+fn record_value(rec: &TraceRecord) -> Value {
+    let mut args = rec.event.args();
+    args.push(("seq".to_owned(), Value::U64(rec.seq)));
+    args.push(("sim_ns".to_owned(), Value::U64(rec.sim_ns)));
+    args.push(("wall_ns".to_owned(), Value::U64(rec.wall_ns)));
+    let mut map: Vec<(String, Value)> = vec![
+        ("name".to_owned(), Value::Str(rec.event.name().to_owned())),
+        ("cat".to_owned(), Value::Str("tinman".to_owned())),
+        ("ph".to_owned(), Value::Str(phase_str(rec.phase).to_owned())),
+        // Fractional microseconds keep sub-µs event ordering visible.
+        ("ts".to_owned(), Value::F64(rec.sim_ns as f64 / 1_000.0)),
+        ("pid".to_owned(), Value::U64(1)),
+        ("tid".to_owned(), Value::U64(rec.track)),
+    ];
+    if rec.phase == TracePhase::Instant {
+        // Thread-scoped instant, the narrowest marker Perfetto draws.
+        map.push(("s".to_owned(), Value::Str("t".to_owned())));
+    }
+    map.push(("args".to_owned(), Value::Map(args)));
+    Value::Map(map)
+}
+
+/// The records as a Chrome `trace_event` document ([`Value`] form).
+pub fn chrome_trace_value(records: &[TraceRecord]) -> Value {
+    Value::Map(vec![
+        ("traceEvents".to_owned(), Value::Seq(records.iter().map(record_value).collect())),
+        ("displayTimeUnit".to_owned(), Value::Str("ms".to_owned())),
+        (
+            "otherData".to_owned(),
+            Value::Map(vec![(
+                "clock".to_owned(),
+                Value::Str("ts is simulated time; wall time is in args.wall_ns".to_owned()),
+            )]),
+        ),
+    ])
+}
+
+/// The records as Chrome `trace_event` JSON text — save to a file and
+/// open in `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
+    serde_json::to_string_pretty(&chrome_trace_value(records)).unwrap_or_else(|_| "{}".to_owned())
+}
+
+/// The records as JSON-lines: one compact object per record, in order —
+/// the grep/jq-friendly form.
+pub fn json_lines(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        let mut map: Vec<(String, Value)> = vec![
+            ("seq".to_owned(), Value::U64(rec.seq)),
+            ("track".to_owned(), Value::U64(rec.track)),
+            ("sim_ns".to_owned(), Value::U64(rec.sim_ns)),
+            ("wall_ns".to_owned(), Value::U64(rec.wall_ns)),
+            ("phase".to_owned(), Value::Str(phase_str(rec.phase).to_owned())),
+            ("event".to_owned(), Value::Str(rec.event.name().to_owned())),
+            ("args".to_owned(), Value::Map(rec.event.args())),
+        ];
+        let line = serde_json::to_string(&Value::Map(std::mem::take(&mut map)))
+            .unwrap_or_else(|_| "{}".to_owned());
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use crate::sink::TraceHandle;
+    use tinman_sim::{SimClock, SimDuration};
+
+    fn sample_records() -> Vec<TraceRecord> {
+        let clock = SimClock::new();
+        let (h, sink) = TraceHandle::ring(16);
+        h.span_start(0, clock.now(), "run_app");
+        clock.advance(SimDuration::from_micros(3));
+        h.emit(
+            clock.now(),
+            TraceEvent::OffloadTrigger { labels: vec![0], func: "main".to_owned(), pc: 7 },
+        );
+        clock.advance(SimDuration::from_micros(2));
+        h.span_end(0, clock.now(), "run_app");
+        sink.snapshot()
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_and_has_required_keys() {
+        let json = chrome_trace_json(&sample_records());
+        let doc: Value = serde_json::from_str(&json).expect("exporter emits valid JSON");
+        let map = doc.as_map().expect("object document");
+        let events = map
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .and_then(|(_, v)| v.as_seq())
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 3);
+        for ev in events {
+            let fields = ev.as_map().expect("event object");
+            for key in ["name", "ph", "ts", "pid", "tid", "args"] {
+                assert!(fields.iter().any(|(k, _)| k == key), "missing {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn chrome_phases_and_sim_microseconds() {
+        let doc = chrome_trace_value(&sample_records());
+        let events = doc.as_map().unwrap()[0].1.as_seq().unwrap();
+        let ph = |i: usize| match &events[i].as_map().unwrap()[2].1 {
+            Value::Str(s) => s.clone(),
+            other => panic!("ph not a string: {other:?}"),
+        };
+        assert_eq!(ph(0), "B");
+        assert_eq!(ph(1), "i");
+        assert_eq!(ph(2), "E");
+        match &events[1].as_map().unwrap()[3].1 {
+            Value::F64(ts) => assert!((*ts - 3.0).abs() < 1e-9, "ts is sim microseconds"),
+            other => panic!("ts not a number: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_lines_parse_one_per_record() {
+        let recs = sample_records();
+        let text = json_lines(&recs);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), recs.len());
+        for line in lines {
+            let v: Value = serde_json::from_str(line).expect("each line is JSON");
+            assert!(v.as_map().is_some());
+        }
+    }
+}

@@ -90,23 +90,35 @@ impl AddAssign for SimDuration {
     }
 }
 
+/// Saturating subtraction: `a - b` is [`SimDuration::ZERO`] when `b > a`.
+///
+/// Durations are unsigned spans of simulated time; a negative span has no
+/// meaning here, and the subtractions that can go "negative" in practice
+/// (attributing overlapping latency components, backoff bookkeeping on
+/// failure paths) all want the floor, not a panic in debug builds or a
+/// silent wrap in release builds.
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0 - rhs.0)
+        SimDuration(self.0.saturating_sub(rhs.0))
     }
 }
 
+/// Saturating, like [`Sub`].
 impl SubAssign for SimDuration {
     fn sub_assign(&mut self, rhs: SimDuration) {
-        self.0 -= rhs.0;
+        self.0 = self.0.saturating_sub(rhs.0);
     }
 }
 
+/// Saturating multiplication: overflow clamps to the maximum
+/// representable duration (~584 simulated years) instead of wrapping
+/// silently in release builds — exponential backoff with a large shift
+/// must stay monotone, never wrap small.
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: u64) -> SimDuration {
-        SimDuration(self.0 * rhs)
+        SimDuration(self.0.saturating_mul(rhs))
     }
 }
 
@@ -263,6 +275,25 @@ mod tests {
         assert_eq!(a * 3, SimDuration::from_millis(30));
         assert_eq!(a / 2, SimDuration::from_millis(5));
         assert_eq!(b.saturating_sub(a), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_sub_saturates_instead_of_panicking() {
+        let a = SimDuration::from_millis(10);
+        let b = SimDuration::from_millis(4);
+        assert_eq!(b - a, SimDuration::ZERO);
+        let mut c = b;
+        c -= a;
+        assert_eq!(c, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_mul_saturates_instead_of_wrapping() {
+        let big = SimDuration::from_nanos(u64::MAX);
+        assert_eq!(big * 2, SimDuration::from_nanos(u64::MAX));
+        assert_eq!((SimDuration::from_secs(1) * u64::MAX).as_nanos(), u64::MAX);
+        // Non-overflowing products are untouched.
+        assert_eq!(SimDuration::from_millis(3) * 4, SimDuration::from_millis(12));
     }
 
     #[test]

@@ -316,3 +316,77 @@ proptest! {
         prop_assert!(!wire.contains(&secret));
     }
 }
+
+// ---------- fleet report stats & pool placement ----------
+
+use tinman::fleet::{FaultPlan, LatencyStats, NodePool};
+use tinman::sim::SimDuration;
+
+proptest! {
+    /// Quantiles of any latency sample are ordered and bounded by the
+    /// sample's min/max; the empty sample is all zeros.
+    #[test]
+    fn latency_stats_quantiles_are_ordered_and_bounded(
+        nanos in proptest::collection::vec(0u64..10_000_000_000, 0..200)
+    ) {
+        let mut sorted: Vec<SimDuration> =
+            nanos.iter().map(|&n| SimDuration::from_nanos(n)).collect();
+        sorted.sort_unstable();
+        let stats = LatencyStats::from_sorted(&sorted);
+        if sorted.is_empty() {
+            prop_assert_eq!(stats.mean, SimDuration::ZERO);
+            prop_assert_eq!(stats.p50, SimDuration::ZERO);
+            prop_assert_eq!(stats.p99, SimDuration::ZERO);
+        } else {
+            let min = sorted[0];
+            let max = *sorted.last().unwrap();
+            prop_assert!(stats.p50 <= stats.p95);
+            prop_assert!(stats.p95 <= stats.p99);
+            prop_assert!(min <= stats.p50 && stats.p99 <= max);
+            prop_assert!(min <= stats.mean && stats.mean <= max,
+                "mean sits between min and max");
+        }
+    }
+
+    /// A single sample IS every quantile and the mean.
+    #[test]
+    fn latency_stats_single_sample_is_every_quantile(n in 0u64..1 << 62) {
+        let d = SimDuration::from_nanos(n);
+        let stats = LatencyStats::from_sorted(&[d]);
+        prop_assert_eq!(stats.mean, d);
+        prop_assert_eq!(stats.p50, d);
+        prop_assert_eq!(stats.p95, d);
+        prop_assert_eq!(stats.p99, d);
+    }
+
+    /// Nearest-rank boundary behavior: over the sample `1ns..=len ns`
+    /// the q-th percentile is exactly the `max(1, ceil(q*len/100))`-th
+    /// smallest — checked against an independent formula so off-by-one
+    /// rank arithmetic (the classic `(q*n)/100` truncation bug) fails.
+    #[test]
+    fn latency_stats_nearest_rank_boundaries(len in 1u64..150) {
+        let sorted: Vec<SimDuration> = (1..=len).map(SimDuration::from_nanos).collect();
+        let stats = LatencyStats::from_sorted(&sorted);
+        let nearest = |q: u64| SimDuration::from_nanos((q * len).div_ceil(100).max(1));
+        prop_assert_eq!(stats.p50, nearest(50));
+        prop_assert_eq!(stats.p95, nearest(95));
+        prop_assert_eq!(stats.p99, nearest(99));
+    }
+
+    /// The failover walk starts at the consistent-hash primary, never
+    /// repeats a shard, and reaches every shard in the pool.
+    #[test]
+    fn replica_order_starts_at_primary_distinct_covers_all(
+        nodes in 1usize..17, capacity in 1usize..4, key in any::<u64>()
+    ) {
+        let pool = NodePool::new(nodes, capacity, &FaultPlan::default());
+        let order = pool.replica_order(key);
+        prop_assert_eq!(order[0], pool.place(key), "walk starts at the primary");
+        let mut dedup = order.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), order.len(), "no shard appears twice");
+        prop_assert_eq!(order.len(), pool.len(), "walk covers every shard");
+        prop_assert!(order.iter().all(|&n| n < pool.len()), "indices in range");
+    }
+}
