@@ -3,7 +3,8 @@
 //! percentiles, and per-node utilization.
 //!
 //! Usage: `fleet_throughput [--sessions N] [--workers N] [--nodes N]
-//! [--seed N] [--down NODE ...] [--trace PATH]`
+//! [--seed N] [--down NODE ...] [--trace PATH] [--chaos PLAN]
+//! [--chaos-seed N]`
 //!
 //! The simulated aggregate is bit-identical for any `--workers` value;
 //! only the wall-clock fields change. Run with `--workers 1` and
@@ -13,9 +14,16 @@
 //! (one track per device session) — open it at `chrome://tracing` or
 //! <https://ui.perfetto.dev>. Tracing never changes the simulated
 //! aggregate.
+//!
+//! `--chaos PLAN` runs the fleet under a canned `tinman-chaos` fault
+//! plan (`crash-primary`, `recovery`, `partition`, `wire-noise`) with
+//! circuit-breaker placement and checkpoint/replay recovery.
+//! `--chaos-seed N` reseeds the plan's fault dice; two runs with the
+//! same seeds emit byte-identical simulated aggregates.
 
 use tinman_bench::{banner, emit_json};
-use tinman_fleet::{run_fleet_obs, FleetConfig, FleetObs};
+use tinman_chaos::ChaosPlan;
+use tinman_fleet::{run_fleet_chaos, run_fleet_obs, FleetConfig, FleetObs};
 use tinman_obs::{chrome_trace_json, TraceHandle};
 
 struct Args {
@@ -25,11 +33,21 @@ struct Args {
     seed: Option<u64>,
     down: Vec<usize>,
     trace: Option<String>,
+    chaos: Option<String>,
+    chaos_seed: Option<u64>,
 }
 
 fn parse_args() -> Args {
-    let mut args =
-        Args { sessions: 200, workers: 4, nodes: 4, seed: None, down: Vec::new(), trace: None };
+    let mut args = Args {
+        sessions: 200,
+        workers: 4,
+        nodes: 4,
+        seed: None,
+        down: Vec::new(),
+        trace: None,
+        chaos: None,
+        chaos_seed: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
@@ -40,6 +58,10 @@ fn parse_args() -> Args {
             "--seed" => args.seed = Some(value("--seed").parse().expect("--seed")),
             "--down" => args.down.push(value("--down").parse().expect("--down")),
             "--trace" => args.trace = Some(value("--trace")),
+            "--chaos" => args.chaos = Some(value("--chaos")),
+            "--chaos-seed" => {
+                args.chaos_seed = Some(value("--chaos-seed").parse().expect("--chaos-seed"));
+            }
             other => panic!("unknown flag {other}"),
         }
     }
@@ -74,7 +96,28 @@ fn main() {
         sink
     });
 
-    let report = run_fleet_obs(&cfg, &obs);
+    let plan = parsed.chaos.as_deref().map(|name| {
+        let mut plan = ChaosPlan::canned(name).unwrap_or_else(|| {
+            eprintln!(
+                "unknown chaos plan {name:?}; known plans: {}",
+                ChaosPlan::canned_names().join(", ")
+            );
+            std::process::exit(2);
+        });
+        if let Some(seed) = parsed.chaos_seed {
+            plan.seed = seed;
+        }
+        plan
+    });
+
+    let report = match &plan {
+        Some(plan) => run_fleet_chaos(&cfg, plan, &obs),
+        None => run_fleet_obs(&cfg, &obs),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("fleet refused to start: {e}");
+        std::process::exit(2);
+    });
 
     if let (Some(path), Some(sink)) = (parsed.trace.as_deref(), sink) {
         let records = sink.snapshot();
@@ -91,6 +134,18 @@ fn main() {
         "\nsessions {} | ok {} | failed {} | failovers {}",
         report.sessions, report.ok, report.failed, report.failovers
     );
+    if plan.is_some() {
+        println!(
+            "chaos    replays {} | success-after-retry {} | fail-closed {} | \
+             deliveries {} (+{} deduped) | residue violations {}",
+            report.replays,
+            report.success_after_retry,
+            report.fail_closed,
+            report.deliveries,
+            report.duplicate_deliveries,
+            report.residue_violations,
+        );
+    }
     println!(
         "latency  p50 {:>8.2}s  p95 {:>8.2}s  p99 {:>8.2}s  mean {:>8.2}s",
         report.latency.p50.as_secs_f64(),
@@ -103,7 +158,7 @@ fn main() {
         report.offloads, report.node_methods, report.dsm_syncs, report.tx_bytes, report.rx_bytes
     );
     for n in &report.per_node {
-        println!(
+        print!(
             "  {:<20} {:>5} sessions  busy {:>9.2}s  util {:>5.1}%  [{}]",
             n.name,
             n.sessions,
@@ -111,6 +166,13 @@ fn main() {
             n.utilization * 100.0,
             n.health
         );
+        if plan.is_some() {
+            print!(
+                "  breaker closed/open/half {}/{}/{}",
+                n.breaker_closed, n.breaker_open, n.breaker_half_open
+            );
+        }
+        println!();
     }
     println!(
         "throughput: {:.2} sessions/sim-s | {:.2} sessions/wall-s ({} workers, {:.2}s wall)",

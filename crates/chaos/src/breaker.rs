@@ -1,0 +1,281 @@
+//! Per-node circuit breakers on the fleet's session-id axis.
+//!
+//! A breaker replaces the raw down/degraded health flip: after
+//! `trip_after` consecutive failures the node is Open (placements skip it
+//! without paying a session attempt), and while Open every `probe_every`-th
+//! placement becomes a HalfOpen probe — one real attempt that recloses the
+//! breaker on success or re-opens it on failure.
+//!
+//! Fleet sessions run concurrently on worker threads, so a live shared
+//! breaker would make placement depend on scheduling. Instead,
+//! [`BreakerSchedule::build`] replays the breaker deterministically over
+//! the session-id axis (a session's attempt against a node fails iff the
+//! plan crashes that node for that session id), producing a pure
+//! `(node, session) -> state` table every worker reads identically.
+
+use crate::plan::ChaosPlan;
+
+/// The three breaker states.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum BreakerState {
+    /// Requests flow; consecutive failures are counted.
+    #[default]
+    Closed,
+    /// Requests are skipped without an attempt (fast failover).
+    Open,
+    /// One probe request is allowed through to test recovery.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable snake_case name for trace events and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// The breaker state machine for one node.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    trip_after: u64,
+    probe_every: u64,
+    state: BreakerState,
+    consecutive_failures: u64,
+    open_requests: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker tripping after `trip_after` consecutive failures
+    /// and probing every `probe_every`-th request while open. Zeros are
+    /// clamped to one.
+    pub fn new(trip_after: u64, probe_every: u64) -> Self {
+        CircuitBreaker {
+            trip_after: trip_after.max(1),
+            probe_every: probe_every.max(1),
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            open_requests: 0,
+        }
+    }
+
+    /// Called for each placement considering this node; advances the probe
+    /// schedule and returns the state the request observes.
+    pub fn before_request(&mut self) -> BreakerState {
+        if self.state == BreakerState::Open {
+            self.open_requests += 1;
+            if self.open_requests >= self.probe_every {
+                self.state = BreakerState::HalfOpen;
+                self.open_requests = 0;
+            }
+        }
+        self.state
+    }
+
+    /// Records a successful attempt: the breaker (re)closes.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// Records a failed attempt: Closed trips after `trip_after` in a row,
+    /// a HalfOpen probe re-opens immediately.
+    pub fn record_failure(&mut self) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.trip_after {
+                    self.state = BreakerState::Open;
+                    self.open_requests = 0;
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open;
+                self.open_requests = 0;
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+}
+
+/// The deterministic `(node, session) -> state` table for one fleet run.
+#[derive(Clone, Debug)]
+pub struct BreakerSchedule {
+    /// `states[node][session]` = state that session's placement observes.
+    states: Vec<Vec<BreakerState>>,
+}
+
+impl BreakerSchedule {
+    /// Replays each node's breaker over sessions `0..sessions`: the
+    /// attempt for session `s` fails iff `plan` has the node crashed for
+    /// that session id. (Open placements record nothing — no attempt ran.)
+    pub fn build(plan: &ChaosPlan, pool_len: usize, sessions: u64) -> BreakerSchedule {
+        let mut states = Vec::with_capacity(pool_len);
+        for node in 0..pool_len {
+            let crash = plan.crash_interval(node);
+            let mut br = CircuitBreaker::new(plan.trip_after, plan.probe_every);
+            let mut per_session = Vec::with_capacity(sessions as usize);
+            for s in 0..sessions {
+                let view = br.before_request();
+                per_session.push(view);
+                if view != BreakerState::Open {
+                    let down = crash.is_some_and(|(from, until, _)| s >= from && s < until);
+                    if down {
+                        br.record_failure();
+                    } else {
+                        br.record_success();
+                    }
+                }
+            }
+            states.push(per_session);
+        }
+        BreakerSchedule { states }
+    }
+
+    /// The state session `session`'s placement observes for `node`.
+    /// Out-of-range lookups read as Closed (no breaker information).
+    pub fn view(&self, node: usize, session: u64) -> BreakerState {
+        self.states
+            .get(node)
+            .and_then(|v| v.get(session as usize))
+            .copied()
+            .unwrap_or(BreakerState::Closed)
+    }
+
+    /// Sessions `node` spent in each state: `(closed, open, half_open)`.
+    /// The fleet's session-id axis is its availability timeline, so these
+    /// are the "breaker time-in-state" numbers the report publishes.
+    pub fn time_in_state(&self, node: usize) -> (u64, u64, u64) {
+        let (mut c, mut o, mut h) = (0, 0, 0);
+        for s in self.states.get(node).map(|v| v.as_slice()).unwrap_or(&[]) {
+            match s {
+                BreakerState::Closed => c += 1,
+                BreakerState::Open => o += 1,
+                BreakerState::HalfOpen => h += 1,
+            }
+        }
+        (c, o, h)
+    }
+
+    /// The node's state transitions as `(session, from, to)` — what the
+    /// trace layer emits as `breaker_transition` events.
+    pub fn transitions(&self, node: usize) -> Vec<(u64, BreakerState, BreakerState)> {
+        let states = self.states.get(node).map(|v| v.as_slice()).unwrap_or(&[]);
+        let mut out = Vec::new();
+        let mut prev = BreakerState::Closed;
+        for (s, &cur) in states.iter().enumerate() {
+            if cur != prev {
+                out.push((s as u64, prev, cur));
+                prev = cur;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ChaosEvent;
+    use tinman_sim::SimDuration;
+
+    #[test]
+    fn breaker_trips_probes_and_recloses() {
+        let mut br = CircuitBreaker::new(2, 3);
+        assert_eq!(br.before_request(), BreakerState::Closed);
+        br.record_failure();
+        assert_eq!(br.state(), BreakerState::Closed, "one failure is not enough");
+        br.record_failure();
+        assert_eq!(br.state(), BreakerState::Open, "trips after trip_after");
+        // Two fast skips, then the third request is a probe.
+        assert_eq!(br.before_request(), BreakerState::Open);
+        assert_eq!(br.before_request(), BreakerState::Open);
+        assert_eq!(br.before_request(), BreakerState::HalfOpen);
+        br.record_failure();
+        assert_eq!(br.state(), BreakerState::Open, "failed probe re-opens");
+        assert_eq!(br.before_request(), BreakerState::Open);
+        assert_eq!(br.before_request(), BreakerState::Open);
+        assert_eq!(br.before_request(), BreakerState::HalfOpen);
+        br.record_success();
+        assert_eq!(br.state(), BreakerState::Closed, "successful probe recloses");
+    }
+
+    #[test]
+    fn zero_config_is_clamped_not_divided_by() {
+        let mut br = CircuitBreaker::new(0, 0);
+        br.record_failure();
+        assert_eq!(br.state(), BreakerState::Open);
+        assert_eq!(br.before_request(), BreakerState::HalfOpen);
+    }
+
+    fn crash_recover_plan() -> ChaosPlan {
+        let mut plan = ChaosPlan::empty();
+        plan.trip_after = 2;
+        plan.probe_every = 3;
+        plan.events = vec![
+            ChaosEvent::NodeCrash { node: 0, at: SimDuration::ZERO, from_session: 0 },
+            ChaosEvent::NodeRecover { node: 0, from_session: 6 },
+        ];
+        plan
+    }
+
+    #[test]
+    fn schedule_replays_trip_skip_probe_reclose() {
+        let sched = BreakerSchedule::build(&crash_recover_plan(), 2, 12);
+        use BreakerState::{Closed, HalfOpen, Open};
+        // Sessions 0,1 attempt and fail (trip_after=2) -> Open from 2.
+        // Probes every 3rd open request: 2,3 skip, 4 probes (fails, node
+        // still down until 6), 5,6 skip, 7 probes (succeeds, recovered at
+        // 6) -> Closed from 8 on.
+        let got: Vec<_> = (0..12).map(|s| sched.view(0, s)).collect();
+        assert_eq!(
+            got,
+            vec![
+                Closed, Closed, Open, Open, HalfOpen, Open, Open, HalfOpen, Closed, Closed, Closed,
+                Closed
+            ]
+        );
+        // The healthy node never leaves Closed.
+        assert!((0..12).all(|s| sched.view(1, s) == Closed));
+        assert_eq!(sched.time_in_state(0), (6, 4, 2));
+        assert_eq!(sched.time_in_state(1), (12, 0, 0));
+        assert_eq!(
+            sched.transitions(0),
+            vec![
+                (2, Closed, Open),
+                (4, Open, HalfOpen),
+                (5, HalfOpen, Open),
+                (7, Open, HalfOpen),
+                (8, HalfOpen, Closed)
+            ]
+        );
+        assert!(sched.transitions(1).is_empty());
+    }
+
+    #[test]
+    fn schedule_is_pure() {
+        let plan = crash_recover_plan();
+        let a = BreakerSchedule::build(&plan, 3, 40);
+        let b = BreakerSchedule::build(&plan, 3, 40);
+        for node in 0..3 {
+            assert_eq!(a.time_in_state(node), b.time_in_state(node));
+            assert_eq!(a.transitions(node), b.transitions(node));
+        }
+    }
+
+    #[test]
+    fn out_of_range_views_read_closed() {
+        let sched = BreakerSchedule::build(&ChaosPlan::empty(), 1, 2);
+        assert_eq!(sched.view(5, 0), BreakerState::Closed);
+        assert_eq!(sched.view(0, 99), BreakerState::Closed);
+        assert_eq!(sched.time_in_state(9), (0, 0, 0));
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! Deterministic fault injection and recovery primitives.
+//!
+//! TinMan's security argument is only as strong as its failure behaviour:
+//! cor never exists on the device, so every failure of the trusted-node
+//! path must fail *closed* — the placeholder stays a placeholder, the
+//! session degrades or retries, and plaintext never appears as a
+//! consolation prize. This crate provides the pieces the fleet layer uses
+//! to prove that under injected faults:
+//!
+//! * [`plan`] — the [`ChaosPlan`]: a validated, seeded schedule of
+//!   [`ChaosEvent`]s (node crash/recover, link flap, packet
+//!   loss/corruption/delay, host partitions, DSM sync timeouts) on two
+//!   time axes: within-session sim-time offsets and the fleet's session-id
+//!   axis. [`session_faults`] projects a plan onto one (node, session)
+//!   pair as plain data the executor applies to a hermetic session world.
+//! * [`breaker`] — a per-node [`CircuitBreaker`]
+//!   (Closed → Open → HalfOpen) and the [`BreakerSchedule`], a pure replay
+//!   of the breaker over the session-id axis so placement decisions are
+//!   deterministic and independent of worker interleaving.
+//! * [`replay`] — the [`DeliveryLedger`] enforcing exactly-once TCP
+//!   payload replacement toward the origin server across session replays.
+//!
+//! Everything here is a pure function of the plan and its seeds; the crate
+//! depends only on `tinman-sim`. The net/dsm layers own their fault hooks
+//! (`NetChaos`, `SyncFault`); the fleet layer translates a plan into those
+//! hooks and runs the recovery loop.
+
+pub mod breaker;
+pub mod plan;
+pub mod replay;
+
+pub use breaker::{BreakerSchedule, BreakerState, CircuitBreaker};
+pub use plan::{session_faults, ChaosEvent, ChaosPlan, ChaosPlanError, SessionFaults};
+pub use replay::DeliveryLedger;

@@ -1,0 +1,461 @@
+//! Chaos plans: validated, seeded fault schedules.
+//!
+//! A plan speaks two time axes. *Within-session* offsets ([`SimDuration`])
+//! are interpreted on each session's own hermetic clock (every session sim
+//! starts at `SimTime::ZERO`): a crash "at 600 ms" hits every affected
+//! session 600 ms into its run. The *fleet* axis is the session-id order
+//! (`from_session`/`until_session`): a crash "from session 3" means
+//! sessions 0–2 saw a healthy node and later ones hit the outage — this is
+//! what drives the circuit breaker's deterministic history.
+
+use std::fmt;
+
+use tinman_sim::{SimDuration, SplitMix64};
+
+/// One scheduled fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// Node `node` stops answering DSM syncs `at` into each affected
+    /// session, for every session id ≥ `from_session` (until a matching
+    /// [`ChaosEvent::NodeRecover`]).
+    NodeCrash {
+        /// Pool index of the crashed node.
+        node: usize,
+        /// Within-session offset at which syncs start timing out.
+        at: SimDuration,
+        /// First session id that observes the crash.
+        from_session: u64,
+    },
+    /// Node `node` answers again for session ids ≥ `from_session`.
+    NodeRecover {
+        /// Pool index of the recovering node.
+        node: usize,
+        /// First session id that observes the recovery.
+        from_session: u64,
+    },
+    /// Radio outage window `[from, until)` on every session's timeline:
+    /// transfers that start inside it stall until it closes.
+    LinkFlap {
+        /// Window start (within-session offset).
+        from: SimDuration,
+        /// Window end (within-session offset).
+        until: SimDuration,
+    },
+    /// Percent (0–100) of data segments lost and retransmitted.
+    PacketLoss {
+        /// Loss probability in percent.
+        pct: u8,
+    },
+    /// Percent (0–100) of data segments corrupted and retransmitted.
+    PacketCorrupt {
+        /// Corruption probability in percent.
+        pct: u8,
+    },
+    /// Extra one-way delay on every data segment.
+    PacketDelay {
+        /// The added delay.
+        delay: SimDuration,
+    },
+    /// Node `node` is unreachable from the phone for session ids in
+    /// `[from_session, until_session)`. Marked segments diverted toward it
+    /// die on the wire (fail-closed by construction).
+    Partition {
+        /// Pool index of the unreachable node.
+        node: usize,
+        /// First session id that observes the partition.
+        from_session: u64,
+        /// First session id that no longer observes it.
+        until_session: u64,
+    },
+    /// DSM syncs against `node` time out inside `[from, until)` on every
+    /// affected session's timeline (transient stall rather than a crash).
+    SyncTimeout {
+        /// Pool index of the stalling node.
+        node: usize,
+        /// Window start (within-session offset).
+        from: SimDuration,
+        /// Window end (within-session offset).
+        until: SimDuration,
+    },
+}
+
+/// A plan that failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChaosPlanError {
+    /// An event referenced a node index outside the pool.
+    BadNode {
+        /// The offending index.
+        node: usize,
+        /// The pool size it was checked against.
+        pool_len: usize,
+    },
+    /// A percentage was above 100.
+    BadPercent {
+        /// The offending value.
+        pct: u8,
+    },
+    /// A window's end was not after its start.
+    EmptyWindow,
+    /// `trip_after` or `probe_every` was zero.
+    BadBreakerConfig,
+}
+
+impl fmt::Display for ChaosPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosPlanError::BadNode { node, pool_len } => {
+                write!(f, "chaos event references node {node}, but the pool has {pool_len} nodes")
+            }
+            ChaosPlanError::BadPercent { pct } => {
+                write!(f, "chaos percentage {pct} is above 100")
+            }
+            ChaosPlanError::EmptyWindow => write!(f, "chaos window end is not after its start"),
+            ChaosPlanError::BadBreakerConfig => {
+                write!(f, "breaker trip_after and probe_every must be nonzero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChaosPlanError {}
+
+/// A complete fault schedule plus recovery policy for one fleet run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Seed of every dice stream the plan spawns (packet loss/corruption).
+    pub seed: u64,
+    /// Per-session budget of *penalty* time (failed attempts + backoff).
+    /// A session whose accumulated penalty exceeds this fails closed
+    /// instead of retrying further.
+    pub deadline: SimDuration,
+    /// Consecutive failures before a node's breaker opens.
+    pub trip_after: u64,
+    /// While Open, every `probe_every`-th placement becomes a HalfOpen
+    /// probe instead of a fast skip.
+    pub probe_every: u64,
+    /// The scheduled faults.
+    pub events: Vec<ChaosEvent>,
+}
+
+impl Default for ChaosPlan {
+    fn default() -> Self {
+        ChaosPlan {
+            seed: 0xc4a0_5bad_c0ff_ee00,
+            deadline: SimDuration::from_secs(60),
+            trip_after: 3,
+            probe_every: 4,
+            events: Vec::new(),
+        }
+    }
+}
+
+impl ChaosPlan {
+    /// An empty plan (no faults, default recovery policy) — the chaos
+    /// executor under an empty plan must reproduce a fault-free run.
+    pub fn empty() -> Self {
+        ChaosPlan::default()
+    }
+
+    /// Checks every event against a pool of `pool_len` nodes. Mirrors the
+    /// `FaultPlan` index validation: a plan naming a nonexistent node is a
+    /// configuration bug, not something to silently ignore.
+    pub fn validate(&self, pool_len: usize) -> Result<(), ChaosPlanError> {
+        if self.trip_after == 0 || self.probe_every == 0 {
+            return Err(ChaosPlanError::BadBreakerConfig);
+        }
+        for ev in &self.events {
+            let node = match *ev {
+                ChaosEvent::NodeCrash { node, .. }
+                | ChaosEvent::NodeRecover { node, .. }
+                | ChaosEvent::Partition { node, .. }
+                | ChaosEvent::SyncTimeout { node, .. } => Some(node),
+                _ => None,
+            };
+            if let Some(node) = node {
+                if node >= pool_len {
+                    return Err(ChaosPlanError::BadNode { node, pool_len });
+                }
+            }
+            match *ev {
+                ChaosEvent::PacketLoss { pct } | ChaosEvent::PacketCorrupt { pct } if pct > 100 => {
+                    return Err(ChaosPlanError::BadPercent { pct });
+                }
+                ChaosEvent::LinkFlap { from, until } if until <= from => {
+                    return Err(ChaosPlanError::EmptyWindow);
+                }
+                ChaosEvent::SyncTimeout { from, until, .. } if until <= from => {
+                    return Err(ChaosPlanError::EmptyWindow);
+                }
+                ChaosEvent::Partition { from_session, until_session, .. }
+                    if until_session <= from_session =>
+                {
+                    return Err(ChaosPlanError::EmptyWindow);
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// A named, canned scenario. `None` for an unknown name; see
+    /// [`ChaosPlan::canned_names`].
+    pub fn canned(name: &str) -> Option<ChaosPlan> {
+        let mut plan = ChaosPlan::default();
+        match name {
+            // The acceptance scenario: crash the primary mid-session with
+            // 5% packet loss and one radio flap. Sessions placed on node 0
+            // fail their first attempt partway through and succeed on a
+            // replica via checkpoint/replay. The 900 ms offset lands after
+            // a typical session's first TCP payload replacement, so the
+            // replay re-sends it and the origin-side dedup has real work.
+            "crash-primary" => {
+                plan.events = vec![
+                    ChaosEvent::NodeCrash {
+                        node: 0,
+                        at: SimDuration::from_millis(900),
+                        from_session: 0,
+                    },
+                    ChaosEvent::PacketLoss { pct: 5 },
+                    ChaosEvent::LinkFlap {
+                        from: SimDuration::from_millis(200),
+                        until: SimDuration::from_millis(350),
+                    },
+                ];
+            }
+            // Crash then recover on the session axis: exercises the full
+            // breaker cycle (trip, fast skips, HalfOpen probes, reclose).
+            "recovery" => {
+                plan.trip_after = 2;
+                plan.probe_every = 3;
+                plan.events = vec![
+                    ChaosEvent::NodeCrash { node: 0, at: SimDuration::ZERO, from_session: 0 },
+                    ChaosEvent::NodeRecover { node: 0, from_session: 12 },
+                ];
+            }
+            // Hard partition of the first four nodes: sessions whose whole
+            // replica set is unreachable must fail closed.
+            "partition" => {
+                plan.events = (0..4)
+                    .map(|node| ChaosEvent::Partition {
+                        node,
+                        from_session: 0,
+                        until_session: u64::MAX,
+                    })
+                    .collect();
+            }
+            // A noisy but survivable wire: loss, corruption, and delay.
+            "wire-noise" => {
+                plan.events = vec![
+                    ChaosEvent::PacketLoss { pct: 10 },
+                    ChaosEvent::PacketCorrupt { pct: 5 },
+                    ChaosEvent::PacketDelay { delay: SimDuration::from_millis(20) },
+                ];
+            }
+            _ => return None,
+        }
+        Some(plan)
+    }
+
+    /// The names [`ChaosPlan::canned`] recognizes.
+    pub fn canned_names() -> &'static [&'static str] {
+        &["crash-primary", "recovery", "partition", "wire-noise"]
+    }
+
+    /// The first session id at which `node` recovers (`u64::MAX` if it
+    /// never does).
+    fn recover_session(&self, node: usize) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|ev| match *ev {
+                ChaosEvent::NodeRecover { node: n, from_session } if n == node => {
+                    Some(from_session)
+                }
+                _ => None,
+            })
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// The crash interval for `node` on the session axis:
+    /// `(from_session, recover_session, within-session offset)`.
+    pub fn crash_interval(&self, node: usize) -> Option<(u64, u64, SimDuration)> {
+        self.events
+            .iter()
+            .filter_map(|ev| match *ev {
+                ChaosEvent::NodeCrash { node: n, at, from_session } if n == node => {
+                    Some((from_session, at))
+                }
+                _ => None,
+            })
+            .min()
+            .map(|(from, at)| (from, self.recover_session(node).max(from), at))
+    }
+}
+
+/// A plan projected onto one (node, session) pair: plain data the executor
+/// translates into `NetChaos` + `SyncFault` for that session's hermetic
+/// world.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SessionFaults {
+    /// Within-session offset at which the node stops answering syncs
+    /// (`None` = no crash for this session).
+    pub crash: Option<SimDuration>,
+    /// Transient DSM-timeout windows `[from, until)`.
+    pub sync_windows: Vec<(SimDuration, SimDuration)>,
+    /// Packet-loss percent (summed over events, capped at 100).
+    pub loss_pct: u8,
+    /// Packet-corruption percent (summed over events, capped at 100).
+    pub corrupt_pct: u8,
+    /// Extra one-way delay per data segment.
+    pub delay: SimDuration,
+    /// Radio flap window `[from, until)`.
+    pub flap: Option<(SimDuration, SimDuration)>,
+    /// True if the phone cannot reach this node at all.
+    pub partitioned: bool,
+    /// Seed of this session's loss/corruption dice stream.
+    pub dice_seed: u64,
+}
+
+/// Projects `plan` onto the session with id `session` (and per-session
+/// seed `session_seed`) attempting node `node`. Pure: the same inputs
+/// always produce the same faults, regardless of worker interleaving.
+pub fn session_faults(
+    plan: &ChaosPlan,
+    node: usize,
+    session: u64,
+    session_seed: u64,
+) -> SessionFaults {
+    let mut f = SessionFaults {
+        dice_seed: SplitMix64::new(
+            plan.seed
+                ^ session_seed.rotate_left(17)
+                ^ (node as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        )
+        .next_u64(),
+        ..SessionFaults::default()
+    };
+    if let Some((from, recover, at)) = plan.crash_interval(node) {
+        if session >= from && session < recover {
+            f.crash = Some(at);
+        }
+    }
+    for ev in &plan.events {
+        match *ev {
+            ChaosEvent::LinkFlap { from, until } => f.flap = Some((from, until)),
+            ChaosEvent::PacketLoss { pct } => {
+                f.loss_pct = f.loss_pct.saturating_add(pct).min(100);
+            }
+            ChaosEvent::PacketCorrupt { pct } => {
+                f.corrupt_pct = f.corrupt_pct.saturating_add(pct).min(100);
+            }
+            ChaosEvent::PacketDelay { delay } => f.delay += delay,
+            ChaosEvent::Partition { node: n, from_session, until_session }
+                if n == node && session >= from_session && session < until_session =>
+            {
+                f.partitioned = true;
+            }
+            ChaosEvent::SyncTimeout { node: n, from, until } if n == node => {
+                f.sync_windows.push((from, until));
+            }
+            _ => {}
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_rejects_out_of_range_nodes() {
+        let mut plan = ChaosPlan::empty();
+        plan.events =
+            vec![ChaosEvent::NodeCrash { node: 7, at: SimDuration::ZERO, from_session: 0 }];
+        assert_eq!(plan.validate(4), Err(ChaosPlanError::BadNode { node: 7, pool_len: 4 }));
+        assert_eq!(plan.validate(8), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_bad_percent_and_empty_windows() {
+        let mut plan = ChaosPlan::empty();
+        plan.events = vec![ChaosEvent::PacketLoss { pct: 101 }];
+        assert_eq!(plan.validate(1), Err(ChaosPlanError::BadPercent { pct: 101 }));
+        plan.events = vec![ChaosEvent::LinkFlap {
+            from: SimDuration::from_millis(5),
+            until: SimDuration::from_millis(5),
+        }];
+        assert_eq!(plan.validate(1), Err(ChaosPlanError::EmptyWindow));
+        plan.events = vec![ChaosEvent::Partition { node: 0, from_session: 3, until_session: 3 }];
+        assert_eq!(plan.validate(1), Err(ChaosPlanError::EmptyWindow));
+        plan.events.clear();
+        plan.trip_after = 0;
+        assert_eq!(plan.validate(1), Err(ChaosPlanError::BadBreakerConfig));
+    }
+
+    #[test]
+    fn canned_plans_validate_against_default_pool() {
+        for name in ChaosPlan::canned_names() {
+            let plan = ChaosPlan::canned(name).unwrap();
+            plan.validate(4).unwrap_or_else(|e| panic!("canned plan {name} invalid: {e}"));
+        }
+        assert!(ChaosPlan::canned("nope").is_none());
+    }
+
+    #[test]
+    fn crash_interval_respects_recovery_order() {
+        let mut plan = ChaosPlan::empty();
+        plan.events = vec![
+            ChaosEvent::NodeCrash { node: 1, at: SimDuration::from_millis(9), from_session: 4 },
+            ChaosEvent::NodeRecover { node: 1, from_session: 10 },
+            ChaosEvent::NodeRecover { node: 0, from_session: 1 },
+        ];
+        assert_eq!(plan.crash_interval(1), Some((4, 10, SimDuration::from_millis(9))));
+        assert_eq!(plan.crash_interval(0), None);
+    }
+
+    #[test]
+    fn session_faults_projects_both_axes() {
+        let mut plan = ChaosPlan::empty();
+        plan.events = vec![
+            ChaosEvent::NodeCrash { node: 0, at: SimDuration::from_millis(50), from_session: 2 },
+            ChaosEvent::NodeRecover { node: 0, from_session: 5 },
+            ChaosEvent::PacketLoss { pct: 60 },
+            ChaosEvent::PacketLoss { pct: 70 },
+            ChaosEvent::Partition { node: 1, from_session: 0, until_session: 3 },
+            ChaosEvent::SyncTimeout {
+                node: 0,
+                from: SimDuration::from_millis(1),
+                until: SimDuration::from_millis(2),
+            },
+        ];
+        // Session axis: before / inside / after the crash interval.
+        assert_eq!(session_faults(&plan, 0, 1, 9).crash, None);
+        assert_eq!(session_faults(&plan, 0, 2, 9).crash, Some(SimDuration::from_millis(50)));
+        assert_eq!(session_faults(&plan, 0, 5, 9).crash, None);
+        // Other nodes never see the crash.
+        assert_eq!(session_faults(&plan, 1, 2, 9).crash, None);
+        // Percentages cap at 100; global events reach every node.
+        assert_eq!(session_faults(&plan, 1, 0, 9).loss_pct, 100);
+        // Partition respects its session window and node.
+        assert!(session_faults(&plan, 1, 2, 9).partitioned);
+        assert!(!session_faults(&plan, 1, 3, 9).partitioned);
+        assert!(!session_faults(&plan, 0, 2, 9).partitioned);
+        // Sync windows land only on their node.
+        assert_eq!(session_faults(&plan, 0, 0, 9).sync_windows.len(), 1);
+        assert!(session_faults(&plan, 1, 0, 9).sync_windows.is_empty());
+    }
+
+    #[test]
+    fn dice_seed_varies_by_every_input() {
+        let plan = ChaosPlan::empty();
+        let base = session_faults(&plan, 0, 0, 1).dice_seed;
+        assert_ne!(session_faults(&plan, 1, 0, 1).dice_seed, base);
+        assert_ne!(session_faults(&plan, 0, 0, 2).dice_seed, base);
+        let mut other = ChaosPlan::empty();
+        other.seed ^= 1;
+        assert_ne!(session_faults(&other, 0, 0, 1).dice_seed, base);
+        // But it is a pure function.
+        assert_eq!(session_faults(&plan, 0, 0, 1).dice_seed, base);
+    }
+}

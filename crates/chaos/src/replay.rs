@@ -1,0 +1,93 @@
+//! Exactly-once delivery accounting across session replays.
+//!
+//! A session attempt is a deterministic simulation: the k-th payload
+//! replacement it performs toward the origin server is byte-identical on
+//! every replay of the same session. The ledger exploits that: deliveries
+//! are numbered by their position in the session's send order, and a
+//! replay that re-performs deliveries `0..n` after a predecessor already
+//! delivered `0..m` has `min(n, m)` duplicates the origin server
+//! suppresses (it keys on `(session, seq)`) and `n - m` new deliveries.
+//! At-least-once retries plus origin-side dedup compose to exactly-once.
+
+/// Per-session delivery ledger.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeliveryLedger {
+    /// Highest delivery count any attempt reached (= unique deliveries).
+    high: u64,
+    /// Total re-deliveries suppressed across all attempts.
+    duplicates: u64,
+}
+
+impl DeliveryLedger {
+    /// A fresh ledger (nothing delivered).
+    pub fn new() -> Self {
+        DeliveryLedger::default()
+    }
+
+    /// Records one attempt that performed deliveries `0..delivered`.
+    /// Returns `(new, suppressed)`: deliveries the origin saw for the
+    /// first time, and re-sends it deduplicated.
+    pub fn record_attempt(&mut self, delivered: u64) -> (u64, u64) {
+        let new = delivered.saturating_sub(self.high);
+        let suppressed = delivered.min(self.high);
+        self.high = self.high.max(delivered);
+        self.duplicates += suppressed;
+        (new, suppressed)
+    }
+
+    /// Unique deliveries the origin server accepted.
+    pub fn unique(&self) -> u64 {
+        self.high
+    }
+
+    /// Re-deliveries the origin server suppressed.
+    pub fn suppressed(&self) -> u64 {
+        self.duplicates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_clean_attempt_has_no_duplicates() {
+        let mut ledger = DeliveryLedger::new();
+        assert_eq!(ledger.record_attempt(3), (3, 0));
+        assert_eq!(ledger.unique(), 3);
+        assert_eq!(ledger.suppressed(), 0);
+    }
+
+    #[test]
+    fn crash_before_delivery_then_replay_is_exactly_once() {
+        let mut ledger = DeliveryLedger::new();
+        // First attempt dies before any payload replacement.
+        assert_eq!(ledger.record_attempt(0), (0, 0));
+        // The replay delivers once.
+        assert_eq!(ledger.record_attempt(1), (1, 0));
+        assert_eq!(ledger.unique(), 1);
+        assert_eq!(ledger.suppressed(), 0);
+    }
+
+    #[test]
+    fn crash_after_delivery_then_replay_suppresses_the_resend() {
+        let mut ledger = DeliveryLedger::new();
+        // First attempt delivered, then crashed before completing.
+        assert_eq!(ledger.record_attempt(1), (1, 0));
+        // The replay re-performs the same delivery (same seq) and the
+        // origin drops it: still exactly one unique delivery.
+        assert_eq!(ledger.record_attempt(1), (0, 1));
+        assert_eq!(ledger.unique(), 1);
+        assert_eq!(ledger.suppressed(), 1);
+    }
+
+    #[test]
+    fn multi_delivery_sessions_dedup_the_replayed_prefix() {
+        let mut ledger = DeliveryLedger::new();
+        assert_eq!(ledger.record_attempt(2), (2, 0));
+        assert_eq!(ledger.record_attempt(5), (3, 2));
+        assert_eq!(ledger.record_attempt(4), (0, 4), "shorter replay is all duplicates");
+        assert_eq!(ledger.unique(), 5);
+        assert_eq!(ledger.suppressed(), 6);
+    }
+}

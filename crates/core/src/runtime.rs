@@ -155,6 +155,10 @@ pub struct TinmanRuntime {
     trace: TraceHandle,
     trace_track: u64,
     metrics: MetricsRegistry,
+    /// DSM sync-fault window installed by the chaos layer. Like tracing,
+    /// it must be re-applied to the engines each run (engines are rebuilt
+    /// per run).
+    dsm_fault: Option<tinman_dsm::SyncFault>,
 }
 
 impl TinmanRuntime {
@@ -196,6 +200,7 @@ impl TinmanRuntime {
             trace: TraceHandle::noop(),
             trace_track: 0,
             metrics: MetricsRegistry::new(),
+            dsm_fault: None,
         }
     }
 
@@ -207,6 +212,23 @@ impl TinmanRuntime {
         self.world.set_trace(trace.clone(), track);
         self.trace = trace;
         self.trace_track = track;
+    }
+
+    /// Installs a DSM sync-fault window (chaos-injected node outage).
+    /// Synchronizations attempted while the session clock is inside a
+    /// window fail with [`tinman_dsm::DsmError::SyncTimeout`], which
+    /// surfaces from [`TinmanRuntime::run_app`] as [`RuntimeError::Dsm`].
+    /// Installing a fault (even an inert one) also turns on checkpoint
+    /// recording — see [`TinmanRuntime::dsm_checkpoint`].
+    pub fn set_dsm_fault(&mut self, fault: tinman_dsm::SyncFault) {
+        self.dsm_fault = Some(fault);
+    }
+
+    /// The instant of the primary engine's last completed synchronization —
+    /// the checkpoint a chaos replay resumes from. `None` before the first
+    /// sync or when no fault has been installed.
+    pub fn dsm_checkpoint(&self) -> Option<tinman_sim::SimTime> {
+        self.dsm.last_sync_at()
     }
 
     /// The runtime's metrics registry. [`RunReport::offloads`] is read
@@ -389,6 +411,14 @@ impl TinmanRuntime {
             self.dsm.set_trace(self.trace.clone(), self.clock.clone(), self.trace_track);
             for d in &mut self.extra_dsms {
                 d.set_trace(self.trace.clone(), self.clock.clone(), self.trace_track);
+            }
+        }
+        // ... and to the chaos fault window, which also enables
+        // checkpoint recording.
+        if let Some(fault) = &self.dsm_fault {
+            self.dsm.set_fault(fault.clone(), self.clock.clone());
+            for d in &mut self.extra_dsms {
+                d.set_fault(fault.clone(), self.clock.clone());
             }
         }
         let _run_span = self.trace.span_guard(self.trace_track, &self.clock, "run_app");

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 use tinman_obs::{TraceEvent, TraceHandle};
-use tinman_sim::SimClock;
+use tinman_sim::{SimClock, SimTime};
 use tinman_vm::machine::LockSite;
 use tinman_vm::{Frame, Machine, ObjId};
 
@@ -123,6 +123,37 @@ impl MigrationPacket {
     }
 }
 
+/// A scheduled DSM outage: synchronizations attempted while the clock is
+/// inside any of the `windows` fail with [`DsmError::SyncTimeout`] — the
+/// simulated form of "the trusted node stopped answering mid-session".
+///
+/// An empty window list is a valid, inert fault: the chaos layer installs
+/// one unconditionally so checkpoint recording behaves identically whether
+/// or not a crash is scheduled.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SyncFault {
+    /// Half-open outage windows `[from, until)` on the session timeline.
+    pub windows: Vec<(SimTime, SimTime)>,
+}
+
+impl SyncFault {
+    /// A fault with no outage windows (checkpoint recording only).
+    pub fn inert() -> Self {
+        SyncFault::default()
+    }
+
+    /// A single open-ended outage starting at `from` — a node crash with
+    /// no recovery inside this session.
+    pub fn crash_at(from: SimTime) -> Self {
+        SyncFault { windows: vec![(from, SimTime::MAX)] }
+    }
+
+    /// True if `now` falls inside any outage window.
+    pub fn active_at(&self, now: SimTime) -> bool {
+        self.windows.iter().any(|&(from, until)| now >= from && now < until)
+    }
+}
+
 /// The offloading engine for one (client, trusted node) machine pair.
 ///
 /// The engine itself is endpoint-agnostic: the runtime holds one instance
@@ -136,6 +167,14 @@ pub struct DsmEngine {
     /// Tracing wiring: `(handle, clock, track)`. `None` (the default)
     /// keeps every sync path free of clock reads and event construction.
     trace: Option<(TraceHandle, SimClock, u64)>,
+    /// Fault wiring: `(fault, clock)`. `None` (the default) keeps sync
+    /// paths free of clock reads; checkpoints are recorded only when this
+    /// is present, never from the trace wiring, so traced and untraced
+    /// runs stay byte-identical.
+    fault: Option<(SyncFault, SimClock)>,
+    /// The instant of the most recent completed synchronization — the
+    /// checkpoint a replay can resume from.
+    last_sync_at: Option<SimTime>,
 }
 
 impl DsmEngine {
@@ -150,6 +189,37 @@ impl DsmEngine {
     /// of each run (engines are rebuilt per run).
     pub fn set_trace(&mut self, trace: TraceHandle, clock: SimClock, track: u64) {
         self.trace = if trace.is_enabled() { Some((trace, clock, track)) } else { None };
+    }
+
+    /// Installs a sync-fault window read against `clock`. Synchronizations
+    /// attempted inside a window fail with [`DsmError::SyncTimeout`];
+    /// completed synchronizations record a checkpoint readable via
+    /// [`DsmEngine::last_sync_at`]. Like [`DsmEngine::set_trace`], this
+    /// must be re-applied each run (the runtime rebuilds engines).
+    pub fn set_fault(&mut self, fault: SyncFault, clock: SimClock) {
+        self.fault = Some((fault, clock));
+    }
+
+    /// The checkpoint: when the last completed synchronization happened.
+    /// `None` before the first sync or when no fault wiring is installed.
+    pub fn last_sync_at(&self) -> Option<SimTime> {
+        self.last_sync_at
+    }
+
+    fn check_sync_fault(&self) -> Result<(), DsmError> {
+        if let Some((fault, clock)) = &self.fault {
+            let now = clock.now();
+            if fault.active_at(now) {
+                return Err(DsmError::SyncTimeout { at_ns: now.as_nanos() });
+            }
+        }
+        Ok(())
+    }
+
+    fn record_checkpoint(&mut self) {
+        if let Some((_, clock)) = &self.fault {
+            self.last_sync_at = Some(clock.now());
+        }
     }
 
     fn emit_sync(&self, cause: SyncCause, init: bool, bytes: u64) {
@@ -188,6 +258,7 @@ impl DsmEngine {
         cause: SyncCause,
         mat: &mut dyn CorMaterializer,
     ) -> Result<MigrationPacket, DsmError> {
+        self.check_sync_fault()?;
         let delta = if self.init_done {
             HeapDelta::build_dirty(&machine.heap, mat)?
         } else {
@@ -214,6 +285,7 @@ impl DsmEngine {
         }
         self.stats.sync_count += 1;
         self.stats.record_cause(cause);
+        self.record_checkpoint();
         self.emit_sync(cause, init, bytes);
         Ok(packet)
     }
@@ -266,6 +338,7 @@ impl DsmEngine {
         requester_mat: &mut dyn CorMaterializer,
         holder_mat: &mut dyn CorMaterializer,
     ) -> Result<u64, DsmError> {
+        self.check_sync_fault()?;
         // holder -> requester: anything the paused side still has unsynced.
         let d1 = HeapDelta::build_dirty(&holder.heap, holder_mat)?;
         d1.apply(&mut requester.heap, requester_mat)?;
@@ -288,6 +361,7 @@ impl DsmEngine {
         self.stats.dirty_bytes += bytes;
         self.stats.sync_count += 1;
         self.stats.record_cause(SyncCause::LockTransfer);
+        self.record_checkpoint();
         self.emit_sync(SyncCause::LockTransfer, false, bytes);
         Ok(bytes)
     }
@@ -498,6 +572,99 @@ mod tests {
             }
             other => panic!("expected DsmSync, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn sync_fault_window_times_out_and_checkpoints_survive() {
+        use tinman_sim::SimDuration;
+        let clock = SimClock::new();
+        let mut eng = DsmEngine::new();
+        let from = SimTime::ZERO + SimDuration::from_millis(100);
+        eng.set_fault(SyncFault { windows: vec![(from, SimTime::MAX)] }, clock.clone());
+        let mut a = machine_with_data();
+        let mut b = Machine::new();
+
+        // Before the window: sync succeeds and records a checkpoint.
+        assert_eq!(eng.last_sync_at(), None);
+        clock.advance(SimDuration::from_millis(40));
+        eng.migrate(
+            &mut a,
+            &mut b,
+            LockSite::Client,
+            SyncCause::OffloadTrigger,
+            &mut PassthroughMaterializer,
+            &mut PassthroughMaterializer,
+        )
+        .unwrap();
+        let cp = eng.last_sync_at().expect("checkpoint recorded");
+        assert_eq!(cp.as_nanos(), 40_000_000);
+
+        // Inside the window: both sync flavors time out, checkpoint keeps
+        // its pre-crash value, and stats are untouched by the failures.
+        clock.advance(SimDuration::from_millis(100));
+        let synced = eng.stats().sync_count;
+        let err = eng
+            .migrate(
+                &mut a,
+                &mut b,
+                LockSite::Client,
+                SyncCause::TaintIdle,
+                &mut PassthroughMaterializer,
+                &mut PassthroughMaterializer,
+            )
+            .unwrap_err();
+        assert!(matches!(err, DsmError::SyncTimeout { at_ns: 140_000_000 }));
+        assert!(matches!(
+            eng.lock_transfer(
+                &mut a,
+                &mut b,
+                LockSite::Client,
+                &mut PassthroughMaterializer,
+                &mut PassthroughMaterializer,
+            )
+            .unwrap_err(),
+            DsmError::SyncTimeout { .. }
+        ));
+        assert_eq!(eng.last_sync_at(), Some(cp));
+        assert_eq!(eng.stats().sync_count, synced);
+    }
+
+    #[test]
+    fn inert_fault_records_checkpoints_without_failing() {
+        use tinman_sim::SimDuration;
+        let clock = SimClock::new();
+        let mut eng = DsmEngine::new();
+        eng.set_fault(SyncFault::inert(), clock.clone());
+        let mut a = machine_with_data();
+        let mut b = Machine::new();
+        clock.advance(SimDuration::from_millis(7));
+        eng.migrate(
+            &mut a,
+            &mut b,
+            LockSite::Client,
+            SyncCause::OffloadTrigger,
+            &mut PassthroughMaterializer,
+            &mut PassthroughMaterializer,
+        )
+        .unwrap();
+        assert_eq!(eng.last_sync_at().unwrap().as_nanos(), 7_000_000);
+    }
+
+    #[test]
+    fn no_fault_wiring_means_no_checkpoints() {
+        let mut eng = DsmEngine::new();
+        let mut a = machine_with_data();
+        let mut b = Machine::new();
+        eng.migrate(
+            &mut a,
+            &mut b,
+            LockSite::Client,
+            SyncCause::OffloadTrigger,
+            &mut PassthroughMaterializer,
+            &mut PassthroughMaterializer,
+        )
+        .unwrap();
+        assert_eq!(eng.last_sync_at(), None, "checkpoints need explicit fault wiring");
     }
 
     #[test]

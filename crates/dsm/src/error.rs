@@ -29,6 +29,12 @@ pub enum DsmError {
         /// The offending object.
         obj: ObjId,
     },
+    /// A synchronization was attempted while the peer endpoint was inside a
+    /// scheduled outage window (chaos-injected node crash or DSM timeout).
+    SyncTimeout {
+        /// Simulated time of the attempt, in nanoseconds since epoch.
+        at_ns: u64,
+    },
     /// The endpoint attempted to ship plaintext cor content — the invariant
     /// the whole system exists to maintain. Raised by the delta-building
     /// guards, which refuse to serialize tainted content.
@@ -52,6 +58,9 @@ impl fmt::Display for DsmError {
             }
             DsmError::BadDeltaEntry { obj } => {
                 write!(f, "delta entry for {obj:?} cannot be applied")
+            }
+            DsmError::SyncTimeout { at_ns } => {
+                write!(f, "sync timed out at t={at_ns}ns: peer endpoint unreachable")
             }
             DsmError::CorLeakPrevented { obj, labels } => {
                 write!(f, "refused to serialize tainted content of {obj:?} (labels {labels:?})")

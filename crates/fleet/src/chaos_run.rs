@@ -1,0 +1,413 @@
+//! The chaos scheduler: runs a fleet under a [`ChaosPlan`] with
+//! fail-closed session recovery.
+//!
+//! This is the clean scheduler ([`crate::sched`]) plus four mechanisms:
+//!
+//! 1. **Fault arming** — before each attempt the plan is projected onto
+//!    the `(node, session)` pair ([`session_faults`]) and translated into
+//!    the session world's own fault hooks (`NetChaos` on the wire,
+//!    `SyncFault` on the DSM engine). The projection is pure, so worker
+//!    interleaving cannot change what any session experiences.
+//! 2. **Circuit breaking** — placement consults a precomputed
+//!    [`BreakerSchedule`] view instead of raw health flips: an Open
+//!    breaker skips the node (fast failover), a HalfOpen view lets a
+//!    deterministic probe through.
+//! 3. **Checkpoint/replay** — a crashed attempt leaves its last completed
+//!    DSM sync boundary behind as a checkpoint; the replay on a replica
+//!    re-runs the deterministic session and is *credited* the
+//!    checkpointed prefix, so recovered latency reflects resuming, not
+//!    restarting. The per-session [`DeliveryLedger`] keeps TCP payload
+//!    replacement exactly-once toward the origin server across replays.
+//! 4. **Fail-closed enforcement** — a session that exhausts its attempts
+//!    or its deadline budget degrades to a placeholder-only failure, and
+//!    *every* attempt (crashed or not) is residue-scanned so the "no cor
+//!    bytes on a device host" invariant is checked, not assumed.
+
+use std::time::Instant;
+
+use tinman_chaos::{
+    session_faults, BreakerSchedule, BreakerState, ChaosPlan, DeliveryLedger, SessionFaults,
+};
+use tinman_core::runtime::{Mode, TinmanRuntime};
+use tinman_core::RuntimeError;
+use tinman_dsm::{DsmError, SyncFault};
+use tinman_net::NetChaos;
+use tinman_obs::TraceEvent;
+use tinman_sim::{SimDuration, SimTime};
+
+use crate::failure::{backoff_delay, degraded_link, FleetError, NodeHealth};
+use crate::pool::NodePool;
+use crate::report::FleetReport;
+use crate::sched::{run_worker_pool, surface_clamp, FleetObs};
+use crate::session::{
+    base_link, build_session_world, expect_success, outcome_from_report, session_inputs,
+    SessionOutcome,
+};
+use crate::spec::{build_session_specs, FleetConfig, SessionSpec};
+
+/// Translates a session's projected faults into the hermetic world's own
+/// hooks. The DSM fault is installed even when inert (no windows): that
+/// keeps checkpoint recording on for every chaos session, so traced and
+/// untraced runs see identical replay credits.
+pub fn apply_session_faults(rt: &mut TinmanRuntime, faults: &SessionFaults) {
+    let at = |d: SimDuration| SimTime::ZERO + d;
+    rt.world.set_chaos(NetChaos {
+        loss_pct: faults.loss_pct,
+        corrupt_pct: faults.corrupt_pct,
+        extra_delay: faults.delay,
+        flap: faults.flap.map(|(from, until)| (at(from), at(until))),
+        partitions: if faults.partitioned {
+            vec![(rt.phone_host(), rt.node_host())]
+        } else {
+            Vec::new()
+        },
+        seed: faults.dice_seed,
+    });
+    let mut windows: Vec<(SimTime, SimTime)> = Vec::new();
+    if let Some(crash) = faults.crash {
+        windows.push((at(crash), SimTime::MAX));
+    }
+    for &(from, until) in &faults.sync_windows {
+        windows.push((at(from), at(until)));
+    }
+    rt.set_dsm_fault(SyncFault { windows });
+}
+
+/// One `chaos_inject` event per armed fault kind, on the session's track.
+fn emit_fault_events(
+    faults: &SessionFaults,
+    node: usize,
+    session: u64,
+    penalty: SimDuration,
+    obs: &FleetObs,
+) {
+    let t = SimTime::ZERO + penalty;
+    let emit = |kind: &'static str| {
+        obs.trace.emit_on(session, t, TraceEvent::ChaosInject { kind, node: node as u64, session });
+    };
+    if faults.crash.is_some() {
+        emit("crash");
+    }
+    if faults.partitioned {
+        emit("partition");
+    }
+    if !faults.sync_windows.is_empty() {
+        emit("sync_timeout");
+    }
+    if faults.loss_pct > 0 {
+        emit("packet_loss");
+    }
+    if faults.corrupt_pct > 0 {
+        emit("packet_corrupt");
+    }
+    if faults.delay > SimDuration::ZERO {
+        emit("packet_delay");
+    }
+    if faults.flap.is_some() {
+        emit("link_flap");
+    }
+}
+
+fn emit_failover(
+    obs: &FleetObs,
+    session: u64,
+    node: usize,
+    i: usize,
+    penalty: SimDuration,
+    delay: SimDuration,
+) {
+    if !obs.trace.is_enabled() {
+        return;
+    }
+    let t = SimTime::ZERO + penalty;
+    obs.trace.emit_on(
+        session,
+        t,
+        TraceEvent::FleetFailover { session, node: node as u64, attempt: i as u32 },
+    );
+    obs.trace.emit_on(
+        session,
+        t,
+        TraceEvent::FleetBackoff { session, attempt: i as u32, delay_ns: delay.as_nanos() },
+    );
+}
+
+/// Runs one session under the plan: walk the replica order, skip nodes
+/// whose breaker is Open (or whose static health is Down), arm the
+/// projected faults, run, and on a mid-session failure retry on the next
+/// replica with a checkpoint credit — until success, attempt exhaustion,
+/// or the deadline budget runs out. Exhaustion is a *fail-closed*
+/// outcome: the device keeps only placeholders; no retry path ever
+/// relaxes that.
+pub fn execute_with_chaos(
+    cfg: &FleetConfig,
+    pool: &NodePool,
+    spec: &SessionSpec,
+    plan: &ChaosPlan,
+    schedule: &BreakerSchedule,
+    obs: &FleetObs,
+) -> SessionOutcome {
+    let order = pool.replica_order(spec.placement_key());
+    let mut penalty = SimDuration::ZERO;
+    let mut attempts = 0u32;
+    let mut replays = 0u32;
+    let mut ledger = DeliveryLedger::new();
+    let mut residue_violations = 0u64;
+    // Session time already covered by completed DSM syncs on a failed
+    // attempt — the replay resumes from this boundary.
+    let mut credit = SimDuration::ZERO;
+    let mut ran_before = false;
+    let mut deadline_hit = false;
+
+    for (i, &node) in order.iter().take(cfg.max_attempts as usize).enumerate() {
+        if penalty > plan.deadline {
+            deadline_hit = true;
+            break;
+        }
+        attempts += 1;
+        obs.metrics.incr("fleet.attempts");
+        if i > 0 {
+            obs.metrics.incr("fleet.failovers");
+        }
+        let shard = pool.shard(node);
+        let health = shard.health();
+        let breaker = schedule.view(node, spec.id);
+        if health == NodeHealth::Down || breaker == BreakerState::Open {
+            if breaker == BreakerState::Open {
+                obs.metrics.incr("chaos.breaker_skips");
+            }
+            let delay = backoff_delay(cfg.backoff, i as u32);
+            penalty += delay;
+            obs.metrics.add("fleet.backoff_ns", delay.as_nanos());
+            emit_failover(obs, spec.id, node, i, penalty, delay);
+            continue;
+        }
+        let faults = session_faults(plan, node, spec.id, spec.seed);
+        let base = base_link(spec.link);
+        let link = if health == NodeHealth::Degraded { degraded_link(&base) } else { base };
+        if obs.trace.is_enabled() {
+            obs.trace.emit_on(
+                spec.id,
+                SimTime::ZERO + penalty,
+                TraceEvent::FleetPlacement { session: spec.id, node: node as u64 },
+            );
+            emit_fault_events(&faults, node, spec.id, penalty, obs);
+        }
+        // Admission control: wall-clock flow only, no simulated effect.
+        let _permit = shard.acquire();
+        let mut world =
+            match build_session_world(spec, (shard.label_start, shard.label_end), link, &obs.trace)
+            {
+                Ok(w) => w,
+                Err(_) => {
+                    let delay = backoff_delay(cfg.backoff, i as u32);
+                    penalty += delay;
+                    obs.metrics.add("fleet.backoff_ns", delay.as_nanos());
+                    emit_failover(obs, spec.id, node, i, penalty, delay);
+                    continue;
+                }
+            };
+        apply_session_faults(&mut world.rt, &faults);
+        if ran_before {
+            replays += 1;
+            obs.metrics.incr("chaos.replays");
+            if obs.trace.is_enabled() {
+                obs.trace.emit_on(
+                    spec.id,
+                    SimTime::ZERO + penalty,
+                    TraceEvent::SessionReplay {
+                        session: spec.id,
+                        node: node as u64,
+                        attempt: attempts,
+                        resume_ns: credit.as_nanos(),
+                    },
+                );
+            }
+        }
+        ran_before = true;
+        let run = world.rt.run_app(&world.app, Mode::TinMan, &session_inputs());
+        // Exactly-once accounting: the k-th payload replacement of a
+        // deterministic session is byte-identical on every replay, so the
+        // origin's (session, seq) dedup reduces to prefix bookkeeping.
+        let (_, suppressed) = ledger.record_attempt(world.rt.world.injected_count());
+        if suppressed > 0 {
+            obs.metrics.add("chaos.dedup_suppressed", suppressed);
+            if obs.trace.is_enabled() {
+                obs.trace.emit_on(
+                    spec.id,
+                    SimTime::ZERO + penalty,
+                    TraceEvent::DeliveryDedup { session: spec.id, duplicates: suppressed },
+                );
+            }
+        }
+        // The invariant is checked on *every* attempt: a crash mid-run
+        // must not have left cor plaintext anywhere on the device host.
+        for secret in &world.secrets {
+            let hits = world.rt.scan_residue(secret).len() as u64;
+            if hits > 0 {
+                residue_violations += hits;
+                obs.metrics.add("chaos.residue_violations", hits);
+            }
+        }
+        match run {
+            Ok(report) if expect_success(&report, world.workload).is_ok() => {
+                // The replay re-simulated the checkpointed prefix; credit
+                // it back so latency reflects resume-from-checkpoint.
+                let effective = penalty + (report.latency - credit);
+                obs.metrics.observe("fleet.session_latency_ns", effective.as_nanos());
+                if attempts > 1 {
+                    obs.metrics.incr("chaos.success_after_retry");
+                }
+                let mut out = outcome_from_report(spec, node, attempts, penalty, &report);
+                out.latency = effective;
+                out.replays = replays;
+                out.deliveries = ledger.unique();
+                out.duplicate_deliveries = ledger.suppressed();
+                out.residue_violations = residue_violations;
+                return out;
+            }
+            other => {
+                if matches!(&other, Err(RuntimeError::Dsm(DsmError::SyncTimeout { .. }))) {
+                    obs.metrics.incr("chaos.crashes");
+                }
+                // Where the attempt died on its own timeline: that much
+                // simulated time was genuinely burned.
+                let t_fail = world.rt.clock().now().since(SimTime::ZERO);
+                if let Some(cp) = world.rt.dsm_checkpoint() {
+                    credit = credit.max(cp.since(SimTime::ZERO));
+                }
+                let delay = backoff_delay(cfg.backoff, i as u32);
+                penalty += t_fail + delay;
+                obs.metrics.add("fleet.backoff_ns", delay.as_nanos());
+                emit_failover(obs, spec.id, node, i, penalty, delay);
+            }
+        }
+    }
+
+    let reason = if deadline_hit { "deadline" } else { "attempts_exhausted" };
+    obs.metrics.incr("chaos.fail_closed");
+    if obs.trace.is_enabled() {
+        obs.trace.emit_on(
+            spec.id,
+            SimTime::ZERO + penalty,
+            TraceEvent::FailClosed { session: spec.id, reason },
+        );
+    }
+    let mut out = SessionOutcome::failed(spec.id, attempts, penalty);
+    out.fail_closed = true;
+    out.replays = replays;
+    out.deliveries = ledger.unique();
+    out.duplicate_deliveries = ledger.suppressed();
+    out.residue_violations = residue_violations;
+    out
+}
+
+/// [`crate::run_fleet_obs`] under a chaos plan: validates the plan against
+/// the (post-clamp) pool, precomputes the deterministic breaker schedule,
+/// runs every session through [`execute_with_chaos`], and folds breaker
+/// time-in-state into the per-node report rows.
+pub fn run_fleet_chaos(
+    cfg: &FleetConfig,
+    plan: &ChaosPlan,
+    obs: &FleetObs,
+) -> Result<FleetReport, FleetError> {
+    let specs = build_session_specs(cfg);
+    let pool = NodePool::new(cfg.nodes, cfg.node_capacity, &cfg.faults)?;
+    plan.validate(pool.len())?;
+    surface_clamp(&pool, obs);
+    let schedule = BreakerSchedule::build(plan, pool.len(), cfg.sessions as u64);
+    if obs.trace.is_enabled() {
+        for node in 0..pool.len() {
+            for (session, from, to) in schedule.transitions(node) {
+                obs.trace.emit_on(
+                    session,
+                    SimTime::ZERO,
+                    TraceEvent::BreakerTransition {
+                        node: node as u64,
+                        session,
+                        from: from.as_str(),
+                        to: to.as_str(),
+                    },
+                );
+            }
+        }
+    }
+    let attempts_start = obs.metrics.get("fleet.attempts");
+    let failovers_start = obs.metrics.get("fleet.failovers");
+    let start = Instant::now();
+
+    let mut outcomes = run_worker_pool(cfg.workers, cfg.queue_depth, specs, |spec| {
+        execute_with_chaos(cfg, &pool, &spec, plan, &schedule, obs)
+    });
+
+    let wall_secs = start.elapsed().as_secs_f64();
+    outcomes.sort_by_key(|o| o.id);
+    let mut report = FleetReport::aggregate(cfg, &pool, outcomes, wall_secs);
+    report.attempts = obs.metrics.get("fleet.attempts") - attempts_start;
+    report.failovers = obs.metrics.get("fleet.failovers") - failovers_start;
+    for node in 0..pool.len() {
+        let (closed, open, half_open) = schedule.time_in_state(node);
+        let row = &mut report.per_node[node];
+        row.breaker_closed = closed;
+        row.breaker_open = open;
+        row.breaker_half_open = half_open;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinman_chaos::ChaosEvent;
+
+    fn chaos_cfg(sessions: usize, nodes: usize) -> FleetConfig {
+        let mut cfg = FleetConfig::new(sessions, 2);
+        cfg.nodes = nodes;
+        cfg
+    }
+
+    #[test]
+    fn empty_plan_matches_clean_scheduler_counts() {
+        let cfg = chaos_cfg(6, 2);
+        let plan = ChaosPlan::empty();
+        let chaos = run_fleet_chaos(&cfg, &plan, &FleetObs::default()).expect("runs");
+        let clean = crate::sched::run_fleet(&cfg).expect("runs");
+        assert_eq!(chaos.ok, clean.ok);
+        assert_eq!(chaos.failed, 0);
+        assert_eq!(chaos.replays, 0);
+        assert_eq!(chaos.fail_closed, 0);
+        assert_eq!(chaos.duplicate_deliveries, 0);
+        assert_eq!(chaos.residue_violations, 0);
+        assert_eq!(chaos.offloads, clean.offloads);
+        assert_eq!(chaos.dsm_syncs, clean.dsm_syncs);
+        assert!(chaos.deliveries > 0, "payload replacements happen and are counted");
+    }
+
+    #[test]
+    fn bad_plan_is_rejected_before_running() {
+        let cfg = chaos_cfg(2, 2);
+        let mut plan = ChaosPlan::empty();
+        plan.events =
+            vec![ChaosEvent::NodeCrash { node: 9, at: SimDuration::ZERO, from_session: 0 }];
+        let err = run_fleet_chaos(&cfg, &plan, &FleetObs::default()).unwrap_err();
+        assert!(matches!(err, FleetError::ChaosPlan(_)));
+        let mut cfg_bad = chaos_cfg(2, 2);
+        cfg_bad.faults.down_nodes = vec![5];
+        let err = run_fleet_chaos(&cfg_bad, &ChaosPlan::empty(), &FleetObs::default()).unwrap_err();
+        assert!(matches!(err, FleetError::FaultPlan(_)));
+    }
+
+    #[test]
+    fn partitioned_pool_fails_closed_without_leaks() {
+        let cfg = chaos_cfg(4, 2);
+        let mut plan = ChaosPlan::empty();
+        plan.events = (0..2)
+            .map(|node| ChaosEvent::Partition { node, from_session: 0, until_session: u64::MAX })
+            .collect();
+        let report = run_fleet_chaos(&cfg, &plan, &FleetObs::default()).expect("runs");
+        assert_eq!(report.ok, 0);
+        assert_eq!(report.fail_closed, report.sessions);
+        assert_eq!(report.residue_violations, 0, "fail-closed sessions never leak cor bytes");
+        assert!(report.outcomes.iter().all(|o| o.fail_closed && !o.success));
+    }
+}

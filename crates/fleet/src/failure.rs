@@ -57,6 +57,82 @@ impl FaultPlan {
             NodeHealth::Healthy
         }
     }
+
+    /// Checks every node index against the (effective, post-clamp) pool
+    /// size. A plan naming nodes that don't exist used to be silently
+    /// ignored — the operator thought they had injected a fault and the
+    /// run quietly tested nothing.
+    pub fn validate(&self, pool_len: usize) -> Result<(), FaultPlanError> {
+        let bad = |ns: &[usize]| -> Vec<usize> {
+            let mut v: Vec<usize> = ns.iter().copied().filter(|&n| n >= pool_len).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let bad_down = bad(&self.down_nodes);
+        let bad_slow = bad(&self.slow_nodes);
+        if bad_down.is_empty() && bad_slow.is_empty() {
+            Ok(())
+        } else {
+            Err(FaultPlanError { bad_down, bad_slow, pool_len })
+        }
+    }
+}
+
+/// A [`FaultPlan`] referenced nodes outside the pool.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlanError {
+    /// `down_nodes` entries with no matching shard, sorted and deduped.
+    pub bad_down: Vec<usize>,
+    /// `slow_nodes` entries with no matching shard, sorted and deduped.
+    pub bad_slow: Vec<usize>,
+    /// The effective pool size the plan was checked against.
+    pub pool_len: usize,
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fault plan names nodes outside the pool of {} shards: down {:?}, slow {:?}",
+            self.pool_len, self.bad_down, self.bad_slow
+        )
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// Any error a fleet run can refuse to start with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FleetError {
+    /// The static fault plan names nonexistent nodes.
+    FaultPlan(FaultPlanError),
+    /// The chaos plan is internally inconsistent or names nonexistent
+    /// nodes.
+    ChaosPlan(tinman_chaos::ChaosPlanError),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::FaultPlan(e) => write!(f, "{e}"),
+            FleetError::ChaosPlan(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<FaultPlanError> for FleetError {
+    fn from(e: FaultPlanError) -> Self {
+        FleetError::FaultPlan(e)
+    }
+}
+
+impl From<tinman_chaos::ChaosPlanError> for FleetError {
+    fn from(e: tinman_chaos::ChaosPlanError) -> Self {
+        FleetError::ChaosPlan(e)
+    }
 }
 
 /// Hard ceiling on any single retry delay. Exponential backoff with only
@@ -119,6 +195,20 @@ mod tests {
         assert_eq!(plan.initial_health(0), NodeHealth::Healthy);
         assert_eq!(plan.initial_health(1), NodeHealth::Down);
         assert_eq!(plan.initial_health(2), NodeHealth::Degraded);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_nodes() {
+        let plan = FaultPlan { down_nodes: vec![0, 5, 5, 9], slow_nodes: vec![1, 4] };
+        let err = plan.validate(4).unwrap_err();
+        assert_eq!(err.bad_down, vec![5, 9], "sorted and deduped");
+        assert_eq!(err.bad_slow, vec![4]);
+        assert_eq!(err.pool_len, 4);
+        assert!(err.to_string().contains("outside the pool of 4 shards"));
+        // In-range plans pass.
+        let ok = FaultPlan { down_nodes: vec![0], slow_nodes: vec![3] };
+        assert!(ok.validate(4).is_ok());
+        assert!(FaultPlan::default().validate(1).is_ok());
     }
 
     #[test]

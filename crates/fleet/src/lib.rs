@@ -15,6 +15,10 @@
 //!   backpressure, retry-with-backoff failover onto replica shards.
 //! - [`report`] — the aggregated [`FleetReport`]: throughput, latency
 //!   percentiles, offload totals, per-node utilization, JSON export.
+//! - [`chaos_run`] — the chaos scheduler: runs the fleet under a
+//!   `tinman-chaos` fault plan with circuit-breaker placement,
+//!   checkpoint/replay recovery, exactly-once payload replacement, and
+//!   checked fail-closed degradation.
 //!
 //! # Determinism contract
 //!
@@ -25,6 +29,7 @@
 //! [`FleetReport::simulated_value`] serializes to identical bytes for
 //! `workers = 1` and `workers = 8` — the tests enforce it.
 
+pub mod chaos_run;
 pub mod failure;
 pub mod pool;
 pub mod report;
@@ -32,11 +37,16 @@ pub mod sched;
 pub mod session;
 pub mod spec;
 
-pub use failure::{backoff_delay, degraded_link, FaultPlan, NodeHealth, MAX_BACKOFF};
+pub use chaos_run::{apply_session_faults, execute_with_chaos, run_fleet_chaos};
+pub use failure::{
+    backoff_delay, degraded_link, FaultPlan, FaultPlanError, FleetError, NodeHealth, MAX_BACKOFF,
+};
 pub use pool::{CapacityPermit, NoSuchNode, NodePool, NodeShard};
 pub use report::{FleetReport, LatencyStats, NodeReport};
 pub use sched::{
     execute_with_failover, execute_with_failover_obs, run_fleet, run_fleet_obs, FleetObs,
 };
-pub use session::{run_session, run_session_traced, SessionOutcome};
+pub use session::{
+    build_session_world, run_session, run_session_traced, SessionOutcome, SessionWorld,
+};
 pub use spec::{build_session_specs, FleetConfig, LinkKind, SessionSpec, WorkloadKind};

@@ -5,7 +5,7 @@ use parking_lot::{Condvar, Mutex};
 use tinman_sim::SplitMix64;
 use tinman_taint::Label;
 
-use crate::failure::{FaultPlan, NodeHealth};
+use crate::failure::{FaultPlan, FaultPlanError, NodeHealth};
 
 /// Virtual points per node on the consistent-hash ring. Enough to spread
 /// load within a few percent at fleet scale.
@@ -110,8 +110,17 @@ impl NodePool {
     /// and [`NodePool::was_clamped`] expose it, the fleet report carries
     /// `nodes_requested`/`nodes_effective`, and the scheduler emits a
     /// `pool_clamp` trace event when tracing is on.
-    pub fn new(nodes: usize, capacity: usize, faults: &FaultPlan) -> NodePool {
+    ///
+    /// Fails with [`FaultPlanError`] if the plan names nodes outside the
+    /// *effective* (post-clamp) shard range — a fault plan that silently
+    /// does nothing is worse than one that refuses to build.
+    pub fn new(
+        nodes: usize,
+        capacity: usize,
+        faults: &FaultPlan,
+    ) -> Result<NodePool, FaultPlanError> {
         let n = nodes.clamp(1, NodePool::max_nodes());
+        faults.validate(n)?;
         let span = Label::MAX_LABELS as usize;
         let shards: Vec<NodeShard> = (0..n)
             .map(|i| NodeShard {
@@ -133,7 +142,7 @@ impl NodePool {
             }
         }
         ring.sort_unstable();
-        NodePool { shards, ring, requested: nodes }
+        Ok(NodePool { shards, ring, requested: nodes })
     }
 
     /// Number of shards.
@@ -207,7 +216,7 @@ mod tests {
 
     #[test]
     fn label_ranges_partition_the_space() {
-        let pool = NodePool::new(4, 2, &FaultPlan::default());
+        let pool = NodePool::new(4, 2, &FaultPlan::default()).unwrap();
         let mut covered = vec![false; Label::MAX_LABELS as usize];
         for i in 0..pool.len() {
             let s = pool.shard(i);
@@ -222,7 +231,7 @@ mod tests {
 
     #[test]
     fn placement_is_deterministic_and_spread() {
-        let pool = NodePool::new(4, 2, &FaultPlan::default());
+        let pool = NodePool::new(4, 2, &FaultPlan::default()).unwrap();
         let mut counts = vec![0usize; pool.len()];
         let mut h = SplitMix64::new(9);
         for _ in 0..4000 {
@@ -238,7 +247,7 @@ mod tests {
 
     #[test]
     fn replica_order_starts_at_primary_and_covers_all() {
-        let pool = NodePool::new(3, 2, &FaultPlan::default());
+        let pool = NodePool::new(3, 2, &FaultPlan::default()).unwrap();
         let order = pool.replica_order(12345);
         assert_eq!(order[0], pool.place(12345));
         let mut sorted = order.clone();
@@ -248,7 +257,7 @@ mod tests {
 
     #[test]
     fn capacity_gates_admission() {
-        let pool = NodePool::new(1, 2, &FaultPlan::default());
+        let pool = NodePool::new(1, 2, &FaultPlan::default()).unwrap();
         let s = pool.shard(0);
         let a = s.acquire();
         let _b = s.acquire();
@@ -261,7 +270,8 @@ mod tests {
 
     #[test]
     fn health_hooks_flip_state() {
-        let pool = NodePool::new(2, 1, &FaultPlan { down_nodes: vec![1], slow_nodes: vec![] });
+        let pool =
+            NodePool::new(2, 1, &FaultPlan { down_nodes: vec![1], slow_nodes: vec![] }).unwrap();
         assert_eq!(pool.shard(0).health(), NodeHealth::Healthy);
         assert_eq!(pool.shard(1).health(), NodeHealth::Down);
         pool.set_health(1, NodeHealth::Healthy).unwrap();
@@ -269,8 +279,20 @@ mod tests {
     }
 
     #[test]
+    fn new_rejects_fault_plans_naming_missing_nodes() {
+        let plan = FaultPlan { down_nodes: vec![7], slow_nodes: vec![] };
+        let err = NodePool::new(2, 1, &plan).map(|_| ()).unwrap_err();
+        assert_eq!(err.bad_down, vec![7]);
+        assert_eq!(err.pool_len, 2);
+        // Validation runs against the *clamped* size: node 1 exists in a
+        // 2-shard pool but not after a 0-node request rounds up to one.
+        let one = FaultPlan { down_nodes: vec![1], slow_nodes: vec![] };
+        assert!(NodePool::new(0, 1, &one).is_err());
+    }
+
+    #[test]
     fn set_health_rejects_bad_index_without_panicking() {
-        let pool = NodePool::new(2, 1, &FaultPlan::default());
+        let pool = NodePool::new(2, 1, &FaultPlan::default()).unwrap();
         let err = pool.set_health(7, NodeHealth::Down).unwrap_err();
         assert_eq!(err, NoSuchNode { node: 7, pool_len: 2 });
         assert!(err.to_string().contains("no node 7"));
@@ -282,16 +304,16 @@ mod tests {
     #[test]
     fn clamp_is_surfaced_not_silent() {
         let max = NodePool::max_nodes();
-        let big = NodePool::new(max + 10, 1, &FaultPlan::default());
+        let big = NodePool::new(max + 10, 1, &FaultPlan::default()).unwrap();
         assert_eq!(big.len(), max);
         assert_eq!(big.requested_nodes(), max + 10);
         assert!(big.was_clamped());
 
-        let zero = NodePool::new(0, 1, &FaultPlan::default());
+        let zero = NodePool::new(0, 1, &FaultPlan::default()).unwrap();
         assert_eq!(zero.len(), 1);
         assert!(zero.was_clamped());
 
-        let exact = NodePool::new(4, 1, &FaultPlan::default());
+        let exact = NodePool::new(4, 1, &FaultPlan::default()).unwrap();
         assert_eq!(exact.requested_nodes(), 4);
         assert!(!exact.was_clamped());
     }

@@ -72,6 +72,13 @@ pub struct NodeReport {
     pub busy: SimDuration,
     /// `busy / sim_makespan`: 1.0 for the busiest node.
     pub utilization: f64,
+    /// Sessions (on the session-id axis) this node's circuit breaker
+    /// spent Closed. Zero outside chaos runs.
+    pub breaker_closed: u64,
+    /// Sessions the breaker spent Open (placements skipped).
+    pub breaker_open: u64,
+    /// Sessions the breaker spent HalfOpen (probing).
+    pub breaker_half_open: u64,
 }
 
 /// The aggregated result of one fleet run.
@@ -88,6 +95,21 @@ pub struct FleetReport {
     pub failovers: u64,
     /// Placements tried fleet-wide.
     pub attempts: u64,
+    /// Sessions that failed at least one placement but still completed.
+    pub success_after_retry: u64,
+    /// Checkpoint/replay resumptions fleet-wide (chaos runs only).
+    pub replays: u64,
+    /// Sessions that degraded to a placeholder-only fail-closed outcome.
+    pub fail_closed: u64,
+    /// Unique payload-replacement deliveries origin servers accepted.
+    pub deliveries: u64,
+    /// Re-sent deliveries origin-server dedup suppressed (exactly-once
+    /// evidence: `deliveries` counts each payload once no matter how many
+    /// replays re-sent it).
+    pub duplicate_deliveries: u64,
+    /// Cor bytes found on device hosts by post-run residue scans. The
+    /// fail-closed invariant demands zero; reported so tests can check.
+    pub residue_violations: u64,
     /// Client→node execution migrations, total.
     pub offloads: u64,
     /// Method invocations on trusted nodes, total.
@@ -164,6 +186,9 @@ impl FleetReport {
                     } else {
                         node_busy[n].as_nanos() as f64 / sim_makespan.as_nanos() as f64
                     },
+                    breaker_closed: 0,
+                    breaker_open: 0,
+                    breaker_half_open: 0,
                 }
             })
             .collect();
@@ -179,6 +204,13 @@ impl FleetReport {
             failed,
             failovers,
             attempts,
+            success_after_retry: outcomes.iter().filter(|o| o.success && o.attempts > 1).count()
+                as u64,
+            replays: sum(|o| u64::from(o.replays)),
+            fail_closed: outcomes.iter().filter(|o| o.fail_closed).count() as u64,
+            deliveries: sum(|o| o.deliveries),
+            duplicate_deliveries: sum(|o| o.duplicate_deliveries),
+            residue_violations: sum(|o| o.residue_violations),
             offloads: sum(|o| o.offloads),
             node_methods: sum(|o| o.node_methods),
             client_methods: sum(|o| o.client_methods),
@@ -214,6 +246,12 @@ impl FleetReport {
         put("failed", Value::U64(self.failed));
         put("failovers", Value::U64(self.failovers));
         put("attempts", Value::U64(self.attempts));
+        put("success_after_retry", Value::U64(self.success_after_retry));
+        put("replays", Value::U64(self.replays));
+        put("fail_closed", Value::U64(self.fail_closed));
+        put("deliveries", Value::U64(self.deliveries));
+        put("duplicate_deliveries", Value::U64(self.duplicate_deliveries));
+        put("residue_violations", Value::U64(self.residue_violations));
         put("offloads", Value::U64(self.offloads));
         put("node_methods", Value::U64(self.node_methods));
         put("client_methods", Value::U64(self.client_methods));
@@ -245,6 +283,9 @@ impl FleetReport {
                             ("sessions".to_owned(), Value::U64(n.sessions)),
                             ("busy_ns".to_owned(), Value::U64(n.busy.as_nanos())),
                             ("utilization".to_owned(), Value::F64(n.utilization)),
+                            ("breaker_closed".to_owned(), Value::U64(n.breaker_closed)),
+                            ("breaker_open".to_owned(), Value::U64(n.breaker_open)),
+                            ("breaker_half_open".to_owned(), Value::U64(n.breaker_half_open)),
                         ])
                     })
                     .collect(),
@@ -292,13 +333,18 @@ mod tests {
             energy_uj: 1000,
             tx_bytes: 200,
             rx_bytes: 400,
+            replays: 0,
+            fail_closed: false,
+            deliveries: 1,
+            duplicate_deliveries: 0,
+            residue_violations: 0,
         }
     }
 
     #[test]
     fn aggregate_totals_and_percentiles() {
         let cfg = FleetConfig::new(4, 2);
-        let pool = NodePool::new(2, 4, &FaultPlan::default());
+        let pool = NodePool::new(2, 4, &FaultPlan::default()).unwrap();
         let outcomes = vec![
             outcome(0, 0, 100),
             outcome(1, 1, 200),
@@ -324,7 +370,7 @@ mod tests {
     #[test]
     fn simulated_value_excludes_wall_clock() {
         let cfg = FleetConfig::new(1, 8);
-        let pool = NodePool::new(1, 1, &FaultPlan::default());
+        let pool = NodePool::new(1, 1, &FaultPlan::default()).unwrap();
         let a = FleetReport::aggregate(&cfg, &pool, vec![outcome(0, 0, 50)], 0.1);
         let b = FleetReport::aggregate(&cfg, &pool, vec![outcome(0, 0, 50)], 9.9);
         assert_eq!(

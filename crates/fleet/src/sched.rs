@@ -8,7 +8,7 @@ use crossbeam::channel;
 use tinman_obs::{MetricsRegistry, TraceEvent, TraceHandle};
 use tinman_sim::{SimDuration, SimTime};
 
-use crate::failure::{backoff_delay, degraded_link, NodeHealth};
+use crate::failure::{backoff_delay, degraded_link, FleetError, NodeHealth};
 use crate::pool::NodePool;
 use crate::report::FleetReport;
 use crate::session::{base_link, outcome_from_report, run_session_traced, SessionOutcome};
@@ -130,7 +130,7 @@ pub fn execute_with_failover_obs(
 /// only on its spec and its (deterministic) placement, outcomes are
 /// re-sorted by session id before aggregation, and wall-clock never
 /// enters the simulated fields.
-pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, FleetError> {
     run_fleet_obs(cfg, &FleetObs::default())
 }
 
@@ -156,7 +156,7 @@ fn feed_specs(spec_tx: &channel::Sender<SessionSpec>, specs: Vec<SessionSpec>) -
 /// original panic payload is re-raised here — not swallowed by a failed
 /// `send` on the producer side, and not replaced by `thread::scope`'s
 /// generic "a scoped thread panicked".
-fn run_worker_pool<F>(
+pub(crate) fn run_worker_pool<F>(
     workers: usize,
     queue_depth: usize,
     specs: Vec<SessionSpec>,
@@ -192,33 +192,44 @@ where
     out_rx.iter().collect()
 }
 
+/// Surfaces a clamped pool build: stderr warning, `fleet.pool_clamped`
+/// counter, and a `pool_clamp` trace event. Shared by the clean and
+/// chaos schedulers.
+pub(crate) fn surface_clamp(pool: &NodePool, obs: &FleetObs) {
+    if !pool.was_clamped() {
+        return;
+    }
+    eprintln!(
+        "tinman-fleet: requested {} nodes but the label space only supports {}; \
+         running with {} shards",
+        pool.requested_nodes(),
+        NodePool::max_nodes(),
+        pool.len()
+    );
+    obs.metrics.incr("fleet.pool_clamped");
+    if obs.trace.is_enabled() {
+        obs.trace.emit_on(
+            0,
+            SimTime::ZERO,
+            TraceEvent::PoolClamp {
+                requested: pool.requested_nodes() as u64,
+                effective: pool.len() as u64,
+            },
+        );
+    }
+}
+
 /// [`run_fleet`] with observability: scheduler and session events land in
 /// `obs.trace`, and the report's `attempts` / `failovers` are read back
 /// from `obs.metrics` (registry deltas) rather than recomputed — the
 /// registry is the source of truth the outcomes merely mirror.
-pub fn run_fleet_obs(cfg: &FleetConfig, obs: &FleetObs) -> FleetReport {
+///
+/// Fails without running anything if the config's fault plan names nodes
+/// outside the (post-clamp) pool.
+pub fn run_fleet_obs(cfg: &FleetConfig, obs: &FleetObs) -> Result<FleetReport, FleetError> {
     let specs = build_session_specs(cfg);
-    let pool = NodePool::new(cfg.nodes, cfg.node_capacity, &cfg.faults);
-    if pool.was_clamped() {
-        eprintln!(
-            "tinman-fleet: requested {} nodes but the label space only supports {}; \
-             running with {} shards",
-            pool.requested_nodes(),
-            NodePool::max_nodes(),
-            pool.len()
-        );
-        obs.metrics.incr("fleet.pool_clamped");
-        if obs.trace.is_enabled() {
-            obs.trace.emit_on(
-                0,
-                SimTime::ZERO,
-                TraceEvent::PoolClamp {
-                    requested: pool.requested_nodes() as u64,
-                    effective: pool.len() as u64,
-                },
-            );
-        }
-    }
+    let pool = NodePool::new(cfg.nodes, cfg.node_capacity, &cfg.faults)?;
+    surface_clamp(&pool, obs);
     // Snapshot the registry so report fields are per-run deltas even when
     // the caller reuses one registry across several fleet runs.
     let attempts_start = obs.metrics.get("fleet.attempts");
@@ -237,7 +248,7 @@ pub fn run_fleet_obs(cfg: &FleetConfig, obs: &FleetObs) -> FleetReport {
     // (they agree by construction — `registry_and_outcomes_agree` pins it).
     report.attempts = obs.metrics.get("fleet.attempts") - attempts_start;
     report.failovers = obs.metrics.get("fleet.failovers") - failovers_start;
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -249,7 +260,7 @@ mod tests {
     fn small_fleet_completes_every_session() {
         let mut cfg = FleetConfig::new(12, 4);
         cfg.queue_depth = 2; // exercise backpressure
-        let report = run_fleet(&cfg);
+        let report = run_fleet(&cfg).expect("fleet runs");
         assert_eq!(report.sessions, 12);
         assert_eq!(report.ok, 12, "all sessions succeed on a healthy pool");
         assert_eq!(report.failovers, 0);
@@ -263,7 +274,7 @@ mod tests {
         let mut cfg = FleetConfig::new(6, 2);
         cfg.nodes = 2;
         cfg.faults = FaultPlan { down_nodes: vec![0], slow_nodes: vec![] };
-        let report = run_fleet(&cfg);
+        let report = run_fleet(&cfg).expect("fleet runs");
         assert_eq!(report.ok, 6, "replica absorbs the downed node's sessions");
         let served_by_down: u64 =
             report.outcomes.iter().filter(|o| o.node == Some(0)).count() as u64;
@@ -279,7 +290,7 @@ mod tests {
         let mut cfg = FleetConfig::new(3, 2);
         cfg.nodes = 2;
         cfg.faults = FaultPlan { down_nodes: vec![0, 1], slow_nodes: vec![] };
-        let report = run_fleet(&cfg);
+        let report = run_fleet(&cfg).expect("fleet runs");
         assert_eq!(report.ok, 0);
         assert_eq!(report.failed, 3);
         assert!(report.outcomes.iter().all(|o| !o.success && o.node.is_none()));
@@ -310,7 +321,7 @@ mod tests {
         cfg.nodes = 2;
         cfg.faults = FaultPlan { down_nodes: vec![0], slow_nodes: vec![] };
         let obs = FleetObs::default();
-        let report = run_fleet_obs(&cfg, &obs);
+        let report = run_fleet_obs(&cfg, &obs).expect("fleet runs");
         let attempts: u64 = report.outcomes.iter().map(|o| u64::from(o.attempts)).sum();
         let failovers: u64 = report.outcomes.iter().map(|o| u64::from(o.attempts) - 1).sum();
         assert_eq!(report.attempts, attempts, "registry delta == outcome-derived attempts");
@@ -326,7 +337,7 @@ mod tests {
         let mut cfg = FleetConfig::new(4, 1);
         cfg.nodes = 2;
         cfg.faults = FaultPlan { down_nodes: vec![0], slow_nodes: vec![] };
-        let report = run_fleet_obs(&cfg, &obs);
+        let report = run_fleet_obs(&cfg, &obs).expect("fleet runs");
         assert_eq!(report.ok, 4);
         let records = sink.snapshot();
         let count = |name: &str| records.iter().filter(|r| r.event.name() == name).count() as u64;
@@ -343,11 +354,11 @@ mod tests {
     fn degraded_node_still_serves_but_slower() {
         let mut base = FleetConfig::new(4, 2);
         base.nodes = 1;
-        let healthy = run_fleet(&base);
+        let healthy = run_fleet(&base).expect("fleet runs");
 
         let mut slow = base.clone();
         slow.faults = FaultPlan { down_nodes: vec![], slow_nodes: vec![0] };
-        let degraded = run_fleet(&slow);
+        let degraded = run_fleet(&slow).expect("fleet runs");
 
         assert_eq!(degraded.ok, 4);
         assert!(

@@ -21,7 +21,7 @@ use tinman_net::{Addr, NetWorld};
 use tinman_obs::TraceHandle;
 use tinman_sim::{LinkProfile, SimDuration, SplitMix64};
 use tinman_tls::TlsConfig;
-use tinman_vm::Value;
+use tinman_vm::{AppImage, Value};
 
 use crate::spec::{LinkKind, SessionSpec, WorkloadKind};
 
@@ -55,6 +55,19 @@ pub struct SessionOutcome {
     pub tx_bytes: u64,
     /// Client radio bytes received.
     pub rx_bytes: u64,
+    /// Checkpoint/replay resumptions after a mid-session crash (chaos
+    /// runs only; always 0 under the clean scheduler).
+    pub replays: u32,
+    /// True if the session exhausted its retry/deadline budget and
+    /// degraded to a placeholder-only failure (never leaked a cor).
+    pub fail_closed: bool,
+    /// Unique payload-replacement deliveries the origin server accepted.
+    pub deliveries: u64,
+    /// Re-sent deliveries the origin server's dedup suppressed.
+    pub duplicate_deliveries: u64,
+    /// Cor byte sequences found on a device host by the post-run residue
+    /// scan. Must be zero; counted so the invariant is checkable.
+    pub residue_violations: u64,
 }
 
 impl SessionOutcome {
@@ -73,6 +86,11 @@ impl SessionOutcome {
             energy_uj: 0,
             tx_bytes: 0,
             rx_bytes: 0,
+            replays: 0,
+            fail_closed: false,
+            deliveries: 0,
+            duplicate_deliveries: 0,
+            residue_violations: 0,
         }
     }
 }
@@ -85,7 +103,7 @@ pub fn base_link(kind: LinkKind) -> LinkProfile {
     }
 }
 
-fn session_inputs() -> HashMap<String, String> {
+pub(crate) fn session_inputs() -> HashMap<String, String> {
     HashMap::from([
         ("username".to_owned(), "alice".to_owned()),
         ("amount".to_owned(), "99.95".to_owned()),
@@ -163,17 +181,33 @@ pub fn run_session(
     run_session_traced(spec, labels, link, &TraceHandle::noop())
 }
 
-/// [`run_session`] with a trace sink: the session's runtime events land
-/// on track `spec.id`, so a fleet trace shows one row per device session.
-/// Tracing never changes the simulated result — the scheduler's
-/// determinism tests run with the no-op handle, and the observability
-/// integration tests compare traced and untraced reports.
-pub fn run_session_traced(
+/// A fully built, not-yet-run session world: the hermetic runtime with
+/// its origin server installed, the workload's app image, and the secret
+/// plaintexts the post-run residue scan must never find on a device host.
+///
+/// Splitting construction from execution is what makes checkpoint/replay
+/// possible: the chaos executor rebuilds the identical world on a replica
+/// (same spec ⇒ same secrets, same server, same app) and re-runs it.
+pub struct SessionWorld {
+    /// The hermetic per-session runtime (client, node, servers, clock).
+    pub rt: TinmanRuntime,
+    /// The workload's app image.
+    pub app: AppImage,
+    /// Stable workload name for error messages.
+    pub workload: &'static str,
+    /// Every cor plaintext this session registered.
+    pub secrets: Vec<String>,
+}
+
+/// Builds the hermetic world for one session without running it: derives
+/// the session's cors, registers them in a store scoped to the shard's
+/// label range, installs the origin server, and assembles the app image.
+pub fn build_session_world(
     spec: &SessionSpec,
     labels: (u8, u8),
     link: LinkProfile,
     trace: &TraceHandle,
-) -> Result<RunReport, String> {
+) -> Result<SessionWorld, String> {
     match spec.workload {
         WorkloadKind::Login(idx) => {
             let apps = LoginAppSpec::table3();
@@ -191,17 +225,14 @@ pub fn run_session_traced(
                 AuthServerSpec {
                     domain: login.domain,
                     user: "alice",
-                    password,
+                    password: password.clone(),
                     hash_login: login.hash_login,
                     think: SimDuration::from_millis(300),
                     page_bytes: 60_000,
                 },
             );
             let app = build_login_app(login);
-            let report =
-                rt.run_app(&app, Mode::TinMan, &session_inputs()).map_err(|e| e.to_string())?;
-            expect_success(&report, login.name)?;
-            Ok(report)
+            Ok(SessionWorld { rt, app, workload: login.name, secrets: vec![password] })
         }
         WorkloadKind::Bankdroid => {
             let (mut store, mut stream, runtime_seed) = session_store(spec, labels);
@@ -219,10 +250,7 @@ pub fn run_session_traced(
                 SimDuration::from_millis(150),
             );
             let app = build_bankdroid("citibank.com", "Citibank password");
-            let report =
-                rt.run_app(&app, Mode::TinMan, &session_inputs()).map_err(|e| e.to_string())?;
-            expect_success(&report, "bankdroid")?;
-            Ok(report)
+            Ok(SessionWorld { rt, app, workload: "bankdroid", secrets: vec![password] })
         }
         WorkloadKind::BrowserCheckout => {
             let (mut store, mut stream, runtime_seed) = session_store(spec, labels);
@@ -251,15 +279,30 @@ pub fn run_session_traced(
                 SimDuration::from_millis(200),
             );
             let app = build_browser_checkout("shop.com", "Visa card number", "Visa security code");
-            let report =
-                rt.run_app(&app, Mode::TinMan, &session_inputs()).map_err(|e| e.to_string())?;
-            expect_success(&report, "browser-checkout")?;
-            Ok(report)
+            Ok(SessionWorld { rt, app, workload: "browser-checkout", secrets: vec![card, cvv] })
         }
     }
 }
 
-fn expect_success(report: &RunReport, workload: &str) -> Result<(), String> {
+/// [`run_session`] with a trace sink: the session's runtime events land
+/// on track `spec.id`, so a fleet trace shows one row per device session.
+/// Tracing never changes the simulated result — the scheduler's
+/// determinism tests run with the no-op handle, and the observability
+/// integration tests compare traced and untraced reports.
+pub fn run_session_traced(
+    spec: &SessionSpec,
+    labels: (u8, u8),
+    link: LinkProfile,
+    trace: &TraceHandle,
+) -> Result<RunReport, String> {
+    let mut world = build_session_world(spec, labels, link, trace)?;
+    let report =
+        world.rt.run_app(&world.app, Mode::TinMan, &session_inputs()).map_err(|e| e.to_string())?;
+    expect_success(&report, world.workload)?;
+    Ok(report)
+}
+
+pub(crate) fn expect_success(report: &RunReport, workload: &str) -> Result<(), String> {
     if report.result == Value::Int(1) {
         Ok(())
     } else {
@@ -288,6 +331,11 @@ pub fn outcome_from_report(
         energy_uj: report.energy.as_microjoules(),
         tx_bytes: report.traffic.tx_bytes,
         rx_bytes: report.traffic.rx_bytes,
+        replays: 0,
+        fail_closed: false,
+        deliveries: 0,
+        duplicate_deliveries: 0,
+        residue_violations: 0,
     }
 }
 

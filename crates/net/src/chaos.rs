@@ -1,0 +1,72 @@
+//! Wire-level fault injection.
+//!
+//! [`NetChaos`] is the network's share of a chaos plan: packet loss and
+//! corruption percentages (modeled as TCP retransmissions — the garbled or
+//! lost copy is discarded and resent, so the application sees clean bytes
+//! but pays extra latency and radio traffic), a fixed extra one-way delay,
+//! a radio "flap" outage window during which sends stall, and hard host
+//! partitions that fail sends outright. The loss/corruption dice are a
+//! dedicated [`SplitMix64`] stream seeded from the plan, so a chaos run is
+//! a pure function of its seeds.
+//!
+//! Install with [`crate::NetWorld::set_chaos`]; read the tally back with
+//! [`crate::NetWorld::chaos_stats`].
+
+use tinman_sim::{SimDuration, SimTime, SplitMix64};
+
+use crate::addr::HostId;
+
+/// Wire-fault configuration for one simulated world.
+#[derive(Clone, Debug, Default)]
+pub struct NetChaos {
+    /// Percent (0–100) of data segments lost in flight and retransmitted.
+    pub loss_pct: u8,
+    /// Percent (0–100) of data segments corrupted (checksum fails) and
+    /// retransmitted.
+    pub corrupt_pct: u8,
+    /// Extra one-way delay added to every data segment.
+    pub extra_delay: SimDuration,
+    /// Radio outage window `[from, until)`: transfers that start inside it
+    /// stall until the window closes.
+    pub flap: Option<(SimTime, SimTime)>,
+    /// Host pairs that cannot reach each other, in either direction.
+    pub partitions: Vec<(HostId, HostId)>,
+    /// Seed for the loss/corruption dice stream.
+    pub seed: u64,
+}
+
+impl NetChaos {
+    /// True if `a` and `b` are on opposite sides of a partition.
+    pub fn partitioned(&self, a: HostId, b: HostId) -> bool {
+        self.partitions.iter().any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+    }
+}
+
+/// Counters of faults actually fired, for assertions and reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetChaosStats {
+    /// Data segments lost and retransmitted.
+    pub lost_segments: u64,
+    /// Data segments corrupted and retransmitted.
+    pub corrupted_segments: u64,
+    /// Data segments that paid the extra delay.
+    pub delayed_segments: u64,
+    /// Transfers that stalled on a flap window.
+    pub flap_stalls: u64,
+    /// Sends refused or silently dropped because of a partition.
+    pub partition_drops: u64,
+}
+
+/// Live chaos state: configuration plus the dice stream and tally.
+pub(crate) struct ChaosState {
+    pub cfg: NetChaos,
+    pub rng: SplitMix64,
+    pub stats: NetChaosStats,
+}
+
+impl ChaosState {
+    pub fn new(cfg: NetChaos) -> Self {
+        let rng = SplitMix64::new(cfg.seed);
+        ChaosState { cfg, rng, stats: NetChaosStats::default() }
+    }
+}

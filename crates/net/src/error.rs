@@ -15,6 +15,12 @@ pub enum NetError {
     ConnectionRefused(Addr),
     /// Operated on a connection id the world does not know.
     UnknownConn(u64),
+    /// Operated on a connection that existed once but has been torn down
+    /// (stale `ConnId` after [`crate::world::NetWorld::drop_flow`]).
+    NoSuchConn(u64),
+    /// The two hosts cannot reach each other under the installed chaos
+    /// partition set.
+    Partitioned(HostId, HostId),
     /// Operated on a connection that is not (or no longer) established.
     NotEstablished(u64),
     /// A reframed/injected segment did not belong to any live flow.
@@ -31,6 +37,12 @@ impl fmt::Display for NetError {
             NetError::UnknownDomain(d) => write!(f, "unknown domain '{d}'"),
             NetError::ConnectionRefused(a) => write!(f, "connection refused by {a}"),
             NetError::UnknownConn(id) => write!(f, "unknown connection {id}"),
+            NetError::NoSuchConn(id) => {
+                write!(f, "no such connection {id} (stale or torn down)")
+            }
+            NetError::Partitioned(a, b) => {
+                write!(f, "hosts {a:?} and {b:?} are partitioned")
+            }
             NetError::NotEstablished(id) => write!(f, "connection {id} is not established"),
             NetError::NoMatchingFlow(src, dst) => {
                 write!(f, "no flow matches {src} -> {dst}")

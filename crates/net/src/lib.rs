@@ -17,17 +17,22 @@
 //!   server applications, and the egress [`filter`] with its redirect queue
 //!   (the `iptables` stand-in that makes TCP payload replacement possible).
 //! * [`filter`] — the egress-filter hook and actions.
+//! * [`chaos`] — deterministic wire-fault injection ([`NetChaos`]): packet
+//!   loss/corruption modeled as retransmissions, extra delay, radio flap
+//!   windows, and hard host partitions.
 //!
 //! [`LinkProfile`]: tinman_sim::LinkProfile
 //! [`SimClock`]: tinman_sim::SimClock
 
 pub mod addr;
+pub mod chaos;
 pub mod error;
 pub mod filter;
 pub mod tcp;
 pub mod world;
 
 pub use addr::{Addr, HostId};
+pub use chaos::{NetChaos, NetChaosStats};
 pub use error::NetError;
 pub use filter::{EgressFilter, FilterAction, MarkFilter};
 pub use tcp::{Segment, TcpConn, TcpState};

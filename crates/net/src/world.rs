@@ -15,6 +15,7 @@ use tinman_obs::{TraceEvent, TraceHandle};
 use tinman_sim::{LinkProfile, SimClock, SimDuration};
 
 use crate::addr::{Addr, HostId};
+use crate::chaos::{ChaosState, NetChaos, NetChaosStats};
 use crate::error::NetError;
 use crate::filter::{EgressFilter, FilterAction};
 use crate::tcp::{Segment, TcpConn, TcpState};
@@ -100,6 +101,11 @@ pub struct NetWorld {
     /// Trace emitter (no-op by default) and the track its events land on.
     trace: TraceHandle,
     trace_track: u64,
+    /// Wire-fault injection (none by default).
+    chaos: Option<ChaosState>,
+    /// Segments successfully delivered through [`NetWorld::inject`] — the
+    /// payload-replacement deliveries a chaos replay must deduplicate.
+    injected: u64,
 }
 
 impl NetWorld {
@@ -117,6 +123,8 @@ impl NetWorld {
             think_total: SimDuration::ZERO,
             trace: TraceHandle::noop(),
             trace_track: 0,
+            chaos: None,
+            injected: 0,
         }
     }
 
@@ -125,6 +133,26 @@ impl NetWorld {
     pub fn set_trace(&mut self, trace: TraceHandle, track: u64) {
         self.trace = trace;
         self.trace_track = track;
+    }
+
+    /// Installs (replacing) the world's wire-fault configuration. The
+    /// dice stream restarts from `cfg.seed`.
+    pub fn set_chaos(&mut self, cfg: NetChaos) {
+        self.chaos = Some(ChaosState::new(cfg));
+    }
+
+    /// Counters of faults fired so far (zeros when chaos is off).
+    pub fn chaos_stats(&self) -> NetChaosStats {
+        self.chaos.as_ref().map(|c| c.stats).unwrap_or_default()
+    }
+
+    /// Segments successfully delivered via [`NetWorld::inject`] so far.
+    ///
+    /// Within one deterministic session this is the payload-replacement
+    /// delivery count; replays compare it against a ledger to keep
+    /// replacement exactly-once toward the origin server.
+    pub fn injected_count(&self) -> u64 {
+        self.injected
     }
 
     /// Total server think time accumulated so far.
@@ -218,6 +246,12 @@ impl NetWorld {
     pub fn connect(&mut self, from: HostId, to: Addr) -> Result<ConnId, NetError> {
         self.host(from)?;
         self.host(to.host)?;
+        if let Some(chaos) = self.chaos.as_mut() {
+            if chaos.cfg.partitioned(from, to.host) {
+                chaos.stats.partition_drops += 1;
+                return Err(NetError::Partitioned(from, to.host));
+            }
+        }
         if !self.listeners.contains_key(&to) {
             return Err(NetError::ConnectionRefused(to));
         }
@@ -259,7 +293,8 @@ impl NetWorld {
     /// A multi-segment burst pays propagation latency once (segments
     /// pipeline on the wire) and serialization per byte.
     pub fn send(&mut self, conn: ConnId, data: &[u8]) -> Result<(), NetError> {
-        let flow = self.flows.get_mut(&conn.0).ok_or(NetError::UnknownConn(conn.0))?;
+        let stale = self.stale_conn(conn.0);
+        let flow = self.flows.get_mut(&conn.0).ok_or(stale)?;
         if flow.client.state != TcpState::Established {
             return Err(NetError::NotEstablished(conn.0));
         }
@@ -277,19 +312,25 @@ impl NetWorld {
     /// Reads whatever application bytes have arrived on a client
     /// connection.
     pub fn recv_available(&mut self, conn: ConnId) -> Result<Vec<u8>, NetError> {
-        let flow = self.flows.get_mut(&conn.0).ok_or(NetError::UnknownConn(conn.0))?;
+        let stale = self.stale_conn(conn.0);
+        let flow = self.flows.get_mut(&conn.0).ok_or(stale)?;
         Ok(flow.client.read_available())
     }
 
     /// Closes a client connection (FIN exchange runs synchronously).
+    ///
+    /// A flow that disappears mid-exchange (torn down by a concurrent
+    /// [`NetWorld::drop_flow`] from a server callback or a chaos hook)
+    /// surfaces as [`NetError::NoSuchConn`] instead of panicking.
     pub fn close(&mut self, conn: ConnId) -> Result<(), NetError> {
-        let flow = self.flows.get_mut(&conn.0).ok_or(NetError::UnknownConn(conn.0))?;
+        let stale = self.stale_conn(conn.0);
+        let flow = self.flows.get_mut(&conn.0).ok_or(stale)?;
         let client_host = flow.client.local.host;
         let server_host = flow.server_host;
         let peer = flow.client.local;
         let fin = flow.client.close();
         self.charge_transfer(client_host, server_host, fin.wire_bytes());
-        let flow = self.flows.get_mut(&conn.0).expect("flow exists");
+        let flow = self.flows.get_mut(&conn.0).ok_or(NetError::NoSuchConn(conn.0))?;
         let replies = flow.server.on_segment(&fin);
         let fin2 = flow.server.close();
         let addr = Addr::new(server_host, flow.server_port);
@@ -297,15 +338,15 @@ impl NetWorld {
         to_client.push(fin2);
         for seg in to_client {
             self.charge_transfer(server_host, client_host, seg.wire_bytes());
-            let flow = self.flows.get_mut(&conn.0).expect("flow exists");
+            let flow = self.flows.get_mut(&conn.0).ok_or(NetError::NoSuchConn(conn.0))?;
             let acks = flow.client.on_segment(&seg);
             for a in acks {
                 self.charge_transfer(client_host, server_host, a.wire_bytes());
-                let flow = self.flows.get_mut(&conn.0).expect("flow exists");
+                let flow = self.flows.get_mut(&conn.0).ok_or(NetError::NoSuchConn(conn.0))?;
                 flow.server.on_segment(&a);
             }
         }
-        let flow = self.flows.get_mut(&conn.0).expect("flow exists");
+        let flow = self.flows.get_mut(&conn.0).ok_or(NetError::NoSuchConn(conn.0))?;
         if !flow.closed_notified {
             flow.closed_notified = true;
             if let Some(l) = self.listeners.get_mut(&addr) {
@@ -315,9 +356,28 @@ impl NetWorld {
         Ok(())
     }
 
+    /// Tears a flow down abruptly (no FIN exchange) — a crashed endpoint or
+    /// a chaos plan killing the connection. Further operations on the
+    /// `ConnId` report [`NetError::NoSuchConn`].
+    pub fn drop_flow(&mut self, conn: ConnId) -> Result<(), NetError> {
+        let stale = self.stale_conn(conn.0);
+        self.flows.remove(&conn.0).map(|_| ()).ok_or(stale)
+    }
+
+    /// The error for a failed flow lookup: ids we allocated once are
+    /// *stale* ([`NetError::NoSuchConn`]); ids we never issued are
+    /// [`NetError::UnknownConn`].
+    fn stale_conn(&self, id: u64) -> NetError {
+        if id >= 1 && id < self.next_conn {
+            NetError::NoSuchConn(id)
+        } else {
+            NetError::UnknownConn(id)
+        }
+    }
+
     /// The client connection's local address (for diagnostics / filters).
     pub fn conn_local(&self, conn: ConnId) -> Result<Addr, NetError> {
-        self.flows.get(&conn.0).map(|f| f.client.local).ok_or(NetError::UnknownConn(conn.0))
+        self.flows.get(&conn.0).map(|f| f.client.local).ok_or_else(|| self.stale_conn(conn.0))
     }
 
     /// The client connection's TCP sequence diagnostics: `(snd_nxt,
@@ -326,7 +386,7 @@ impl NetWorld {
         self.flows
             .get(&conn.0)
             .map(|f| (f.client.snd_nxt(), f.client.rcv_nxt()))
-            .ok_or(NetError::UnknownConn(conn.0))
+            .ok_or_else(|| self.stale_conn(conn.0))
     }
 
     /// Scans the client-side socket receive buffer for residue (§2.1 lists
@@ -348,6 +408,7 @@ impl NetWorld {
             .find(|(_, f)| f.client.local == seg.src && f.client.remote == seg.dst)
             .map(|(id, _)| ConnId(*id))
             .ok_or(NetError::NoMatchingFlow(seg.src, seg.dst))?;
+        self.wire_fault(physical_src, seg.dst.host, seg.wire_bytes())?;
         self.charge_transfer(physical_src, seg.dst.host, seg.wire_bytes());
         if self.trace.is_enabled() {
             self.trace.emit_on(
@@ -356,7 +417,9 @@ impl NetWorld {
                 TraceEvent::NetInject { bytes: seg.payload.len() as u64 },
             );
         }
-        self.deliver_to_server(conn, seg)
+        self.deliver_to_server(conn, seg)?;
+        self.injected += 1;
+        Ok(())
     }
 
     /// Routes one client data segment: egress filter, then normal delivery
@@ -370,10 +433,21 @@ impl NetWorld {
             };
         match action {
             FilterAction::Pass => {
+                self.wire_fault(client_host, seg.dst.host, seg.wire_bytes())?;
                 self.charge_serialization(client_host, seg.dst.host, seg.wire_bytes());
                 self.deliver_to_server(conn, seg)
             }
             FilterAction::Redirect(to) => {
+                if let Some(chaos) = self.chaos.as_mut() {
+                    if chaos.cfg.partitioned(client_host, to) {
+                        // The marked segment dies on the partitioned path
+                        // to the trusted node: nobody downstream ever sees
+                        // the placeholder, which is the fail-closed
+                        // degradation the chaos tests assert on.
+                        chaos.stats.partition_drops += 1;
+                        return Ok(());
+                    }
+                }
                 self.charge_transfer(client_host, to, seg.wire_bytes());
                 if self.trace.is_enabled() {
                     self.trace.emit_on(
@@ -396,7 +470,8 @@ impl NetWorld {
     /// Delivers a segment to the server side of `conn`, runs the server
     /// app, and routes replies back to the client.
     fn deliver_to_server(&mut self, conn: ConnId, seg: Segment) -> Result<(), NetError> {
-        let flow = self.flows.get_mut(&conn.0).ok_or(NetError::UnknownConn(conn.0))?;
+        let stale = self.stale_conn(conn.0);
+        let flow = self.flows.get_mut(&conn.0).ok_or(stale)?;
         let server_host = flow.server_host;
         let server_addr = Addr::new(server_host, flow.server_port);
         let client_host = flow.client.local.host;
@@ -409,7 +484,7 @@ impl NetWorld {
         // stacks, so only bytes are charged, not extra RTTs).
         for a in acks {
             self.charge_bytes(server_host, client_host, a.wire_bytes());
-            let flow = self.flows.get_mut(&conn.0).expect("flow exists");
+            let flow = self.flows.get_mut(&conn.0).ok_or(NetError::NoSuchConn(conn.0))?;
             flow.client.on_segment(&a);
         }
 
@@ -425,28 +500,81 @@ impl NetWorld {
             self.think_total += reply.think;
         }
         if !reply.data.is_empty() {
-            let flow = self.flows.get_mut(&conn.0).expect("flow exists");
+            let flow = self.flows.get_mut(&conn.0).ok_or(NetError::NoSuchConn(conn.0))?;
             let segs = flow.server.send(&reply.data);
             if !segs.is_empty() {
                 self.charge_propagation(server_host, client_host);
             }
             for seg in segs {
+                self.wire_fault(server_host, client_host, seg.wire_bytes())?;
                 self.charge_serialization(server_host, client_host, seg.wire_bytes());
-                let flow = self.flows.get_mut(&conn.0).expect("flow exists");
+                let flow = self.flows.get_mut(&conn.0).ok_or(NetError::NoSuchConn(conn.0))?;
                 let acks = flow.client.on_segment(&seg);
                 for a in acks {
                     self.charge_bytes(client_host, server_host, a.wire_bytes());
-                    let flow = self.flows.get_mut(&conn.0).expect("flow exists");
+                    let flow = self.flows.get_mut(&conn.0).ok_or(NetError::NoSuchConn(conn.0))?;
                     flow.server.on_segment(&a);
                 }
             }
         }
         if reply.close {
-            let flow = self.flows.get_mut(&conn.0).expect("flow exists");
+            let flow = self.flows.get_mut(&conn.0).ok_or(NetError::NoSuchConn(conn.0))?;
             let fin = flow.server.close();
             self.charge_transfer(server_host, client_host, fin.wire_bytes());
-            let flow = self.flows.get_mut(&conn.0).expect("flow exists");
+            let flow = self.flows.get_mut(&conn.0).ok_or(NetError::NoSuchConn(conn.0))?;
             flow.client.on_segment(&fin);
+        }
+        Ok(())
+    }
+
+    /// Applies the installed wire faults to one data segment about to cross
+    /// `from -> to`: partitions fail the send, a flap window stalls the
+    /// clock to its end, loss/corruption dice charge a retransmission
+    /// (extra propagation + serialization — the clean copy still arrives),
+    /// and `extra_delay` advances the clock. No-op when chaos is off.
+    fn wire_fault(&mut self, from: HostId, to: HostId, bytes: u64) -> Result<(), NetError> {
+        let now = self.clock.now();
+        let (retransmits, stall_until, delay) = {
+            let Some(chaos) = self.chaos.as_mut() else { return Ok(()) };
+            if chaos.cfg.partitioned(from, to) {
+                chaos.stats.partition_drops += 1;
+                return Err(NetError::Partitioned(from, to));
+            }
+            let stall_until = match chaos.cfg.flap {
+                Some((start, until)) if now >= start && now < until => {
+                    chaos.stats.flap_stalls += 1;
+                    Some(until)
+                }
+                _ => None,
+            };
+            let mut retransmits = 0u32;
+            if chaos.cfg.loss_pct > 0 && chaos.rng.below(100) < u64::from(chaos.cfg.loss_pct) {
+                chaos.stats.lost_segments += 1;
+                retransmits += 1;
+            }
+            if chaos.cfg.corrupt_pct > 0 && chaos.rng.below(100) < u64::from(chaos.cfg.corrupt_pct)
+            {
+                chaos.stats.corrupted_segments += 1;
+                retransmits += 1;
+            }
+            let delay = if chaos.cfg.extra_delay > SimDuration::ZERO {
+                chaos.stats.delayed_segments += 1;
+                chaos.cfg.extra_delay
+            } else {
+                SimDuration::ZERO
+            };
+            (retransmits, stall_until, delay)
+        };
+        if let Some(until) = stall_until {
+            self.clock.advance_to(until);
+        }
+        if delay > SimDuration::ZERO {
+            self.clock.advance(delay);
+        }
+        for _ in 0..retransmits {
+            // The lost/garbled copy was already on the wire: charge the
+            // wasted propagation + serialization and the wasted bytes.
+            self.charge_transfer(from, to, bytes);
         }
         Ok(())
     }
@@ -699,5 +827,122 @@ mod tests {
         w.send(conn, b"x").unwrap();
         assert!(w.clock().now().since(t0) >= SimDuration::from_millis(5));
         let _ = SimTime::ZERO; // keep the import honest
+    }
+
+    #[test]
+    fn stale_conn_reports_no_such_conn_instead_of_panicking() {
+        let (mut w, phone, _server, addr) = world();
+        let conn = w.connect(phone, addr).unwrap();
+        w.send(conn, b"live").unwrap();
+        w.drop_flow(conn).unwrap();
+        // Every operation on the torn-down id degrades to an error.
+        assert_eq!(w.send(conn, b"x").unwrap_err(), NetError::NoSuchConn(conn.0));
+        assert_eq!(w.recv_available(conn).unwrap_err(), NetError::NoSuchConn(conn.0));
+        assert_eq!(w.close(conn).unwrap_err(), NetError::NoSuchConn(conn.0));
+        assert_eq!(w.conn_local(conn).unwrap_err(), NetError::NoSuchConn(conn.0));
+        assert_eq!(w.conn_seq(conn).unwrap_err(), NetError::NoSuchConn(conn.0));
+        assert_eq!(w.drop_flow(conn).unwrap_err(), NetError::NoSuchConn(conn.0));
+        // Ids never issued stay UnknownConn.
+        assert_eq!(w.send(ConnId(999), b"x").unwrap_err(), NetError::UnknownConn(999));
+    }
+
+    #[test]
+    fn partition_refuses_connect_and_fails_send() {
+        let (mut w, phone, server, addr) = world();
+        let conn = w.connect(phone, addr).unwrap();
+        w.set_chaos(NetChaos { partitions: vec![(phone, server)], ..NetChaos::default() });
+        assert!(matches!(w.connect(phone, addr), Err(NetError::Partitioned(_, _))));
+        assert!(matches!(w.send(conn, b"x"), Err(NetError::Partitioned(_, _))));
+        assert!(w.chaos_stats().partition_drops >= 2);
+    }
+
+    #[test]
+    fn partitioned_redirect_path_drops_marked_segment_silently() {
+        let (mut w, phone, _server, addr) = world();
+        let node = w.add_host("trusted-node", LinkProfile::ethernet());
+        w.set_egress_filter(phone, Box::new(MarkFilter { mark: 0x7f, to: node }));
+        let conn = w.connect(phone, addr).unwrap();
+        w.set_chaos(NetChaos { partitions: vec![(phone, node)], ..NetChaos::default() });
+        // The marked segment dies on the way to the node: no error, no
+        // delivery, nothing queued — the placeholder never left the phone.
+        w.send(conn, b"\x7fsecret-placeholder").unwrap();
+        assert_eq!(w.redirected_pending(node), 0);
+        assert_eq!(w.recv_available(conn).unwrap(), b"");
+        assert_eq!(w.chaos_stats().partition_drops, 1);
+    }
+
+    #[test]
+    fn loss_charges_retransmission_but_delivers_clean_bytes() {
+        let run = |loss_pct: u8| {
+            let mut w = NetWorld::new(SimClock::new());
+            let phone = w.add_host("phone", LinkProfile::wifi());
+            let server = w.add_host("s", LinkProfile::ethernet());
+            let addr = Addr::new(server, 443);
+            w.install_server(addr, Box::new(Echo));
+            let conn = w.connect(phone, addr).unwrap();
+            w.set_chaos(NetChaos { loss_pct, seed: 7, ..NetChaos::default() });
+            let t0 = w.clock().now();
+            w.send(conn, &vec![b'a'; 200_000]).unwrap();
+            let data = w.recv_available(conn).unwrap();
+            assert!(data.iter().all(|&b| b == b'A'), "payload is uncorrupted");
+            (w.clock().now().since(t0), w.traffic(phone).tx_bytes, w.chaos_stats())
+        };
+        let (t_clean, tx_clean, s_clean) = run(0);
+        let (t_lossy, tx_lossy, s_lossy) = run(60);
+        assert_eq!(s_clean.lost_segments, 0);
+        assert!(s_lossy.lost_segments > 0, "60% loss over many segments must fire");
+        assert!(t_lossy > t_clean, "retransmissions cost time");
+        assert!(tx_lossy > tx_clean, "retransmissions cost radio bytes");
+    }
+
+    #[test]
+    fn flap_window_stalls_transfers_to_its_end() {
+        let (mut w, phone, _server, addr) = world();
+        let conn = w.connect(phone, addr).unwrap();
+        let until = SimTime::ZERO + SimDuration::from_secs(3);
+        w.set_chaos(NetChaos { flap: Some((SimTime::ZERO, until)), ..NetChaos::default() });
+        w.send(conn, b"x").unwrap();
+        assert!(w.clock().now() >= until, "send inside the flap stalls past it");
+        assert!(w.chaos_stats().flap_stalls >= 1);
+    }
+
+    #[test]
+    fn extra_delay_slows_every_segment() {
+        let (mut w, phone, _server, addr) = world();
+        let conn = w.connect(phone, addr).unwrap();
+        w.set_chaos(NetChaos { extra_delay: SimDuration::from_millis(40), ..NetChaos::default() });
+        let t0 = w.clock().now();
+        w.send(conn, b"x").unwrap();
+        assert!(w.clock().now().since(t0) >= SimDuration::from_millis(80), "data + reply delayed");
+    }
+
+    #[test]
+    fn chaos_dice_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut w = NetWorld::new(SimClock::new());
+            let phone = w.add_host("phone", LinkProfile::wifi());
+            let server = w.add_host("s", LinkProfile::ethernet());
+            let addr = Addr::new(server, 443);
+            w.install_server(addr, Box::new(Echo));
+            let conn = w.connect(phone, addr).unwrap();
+            w.set_chaos(NetChaos { loss_pct: 30, corrupt_pct: 10, seed, ..NetChaos::default() });
+            w.send(conn, &vec![b'z'; 100_000]).unwrap();
+            (w.clock().now(), w.chaos_stats())
+        };
+        assert_eq!(run(42), run(42), "same seed, same faults, same timeline");
+        assert_ne!(run(42).1, run(43).1, "different seed rolls different dice");
+    }
+
+    #[test]
+    fn injected_count_tracks_successful_injections() {
+        let (mut w, phone, _server, addr) = world();
+        let node = w.add_host("trusted-node", LinkProfile::ethernet());
+        w.set_egress_filter(phone, Box::new(MarkFilter { mark: 0x7f, to: node }));
+        let conn = w.connect(phone, addr).unwrap();
+        assert_eq!(w.injected_count(), 0);
+        w.send(conn, b"\x7fplaceholder-body").unwrap();
+        let seg = w.take_redirected(node).pop().unwrap();
+        w.inject(node, seg).unwrap();
+        assert_eq!(w.injected_count(), 1);
     }
 }

@@ -91,6 +91,56 @@ pub enum TraceEvent {
         /// Nodes the pool actually built.
         effective: u64,
     },
+    /// The chaos layer armed a fault for a session attempt.
+    ChaosInject {
+        /// Fault kind: `"crash"`, `"partition"`, `"sync_timeout"`,
+        /// `"packet_loss"`, `"packet_corrupt"`, `"packet_delay"`, or
+        /// `"link_flap"`.
+        kind: &'static str,
+        /// Target node index.
+        node: u64,
+        /// Session id the fault applies to.
+        session: u64,
+    },
+    /// A node's circuit breaker changed state on the session-id axis.
+    BreakerTransition {
+        /// Node index.
+        node: u64,
+        /// First session id observing the new state.
+        session: u64,
+        /// Previous state name (`closed`/`open`/`half_open`).
+        from: &'static str,
+        /// New state name.
+        to: &'static str,
+    },
+    /// A crashed session resumed on a replica from its DSM checkpoint.
+    SessionReplay {
+        /// Session id.
+        session: u64,
+        /// Replica node index the replay runs on.
+        node: u64,
+        /// 1-based attempt number of the replay.
+        attempt: u32,
+        /// Checkpoint credit: session time already covered by completed
+        /// syncs, nanoseconds.
+        resume_ns: u64,
+    },
+    /// A session exhausted its retry or deadline budget and degraded to a
+    /// placeholder-only failure (the fail-closed guarantee).
+    FailClosed {
+        /// Session id.
+        session: u64,
+        /// Why: `"attempts_exhausted"` or `"deadline"`.
+        reason: &'static str,
+    },
+    /// The origin-server dedup suppressed re-sent payload replacements
+    /// from a replayed session.
+    DeliveryDedup {
+        /// Session id.
+        session: u64,
+        /// Re-deliveries suppressed on this attempt.
+        duplicates: u64,
+    },
     /// A named span; appears with [`crate::TracePhase::Begin`] and
     /// [`crate::TracePhase::End`] records (Chrome `B`/`E` semantics:
     /// spans nest per track, stack-wise).
@@ -115,6 +165,11 @@ impl TraceEvent {
             TraceEvent::FleetFailover { .. } => "fleet_failover",
             TraceEvent::FleetBackoff { .. } => "fleet_backoff",
             TraceEvent::PoolClamp { .. } => "pool_clamp",
+            TraceEvent::ChaosInject { .. } => "chaos_inject",
+            TraceEvent::BreakerTransition { .. } => "breaker_transition",
+            TraceEvent::SessionReplay { .. } => "session_replay",
+            TraceEvent::FailClosed { .. } => "fail_closed",
+            TraceEvent::DeliveryDedup { .. } => "delivery_dedup",
             TraceEvent::Span { name } => name,
         }
     }
@@ -164,6 +219,30 @@ impl TraceEvent {
             TraceEvent::PoolClamp { requested, effective } => vec![
                 ("requested".to_owned(), Value::U64(*requested)),
                 ("effective".to_owned(), Value::U64(*effective)),
+            ],
+            TraceEvent::ChaosInject { kind, node, session } => vec![
+                ("kind".to_owned(), s(kind)),
+                ("node".to_owned(), Value::U64(*node)),
+                ("session".to_owned(), Value::U64(*session)),
+            ],
+            TraceEvent::BreakerTransition { node, session, from, to } => vec![
+                ("node".to_owned(), Value::U64(*node)),
+                ("session".to_owned(), Value::U64(*session)),
+                ("from".to_owned(), s(from)),
+                ("to".to_owned(), s(to)),
+            ],
+            TraceEvent::SessionReplay { session, node, attempt, resume_ns } => vec![
+                ("session".to_owned(), Value::U64(*session)),
+                ("node".to_owned(), Value::U64(*node)),
+                ("attempt".to_owned(), Value::U64(*attempt as u64)),
+                ("resume_ns".to_owned(), Value::U64(*resume_ns)),
+            ],
+            TraceEvent::FailClosed { session, reason } => {
+                vec![("session".to_owned(), Value::U64(*session)), ("reason".to_owned(), s(reason))]
+            }
+            TraceEvent::DeliveryDedup { session, duplicates } => vec![
+                ("session".to_owned(), Value::U64(*session)),
+                ("duplicates".to_owned(), Value::U64(*duplicates)),
             ],
             TraceEvent::Span { .. } => Vec::new(),
         }

@@ -155,6 +155,10 @@ impl SimTime {
     /// The simulation epoch.
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The far end of the simulated timeline (~584 years in). Used as the
+    /// open upper bound of "until further notice" fault windows.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// Nanoseconds since the simulation epoch.
     pub const fn as_nanos(self) -> u64 {
         self.0

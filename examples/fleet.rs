@@ -9,7 +9,7 @@ fn main() {
     // A healthy 48-session fleet on 4 workers and 3 nodes.
     let mut cfg = FleetConfig::new(48, 4);
     cfg.nodes = 3;
-    let healthy = run_fleet(&cfg);
+    let healthy = run_fleet(&cfg).expect("fleet runs");
     println!(
         "healthy pool: {}/{} sessions ok, {:.2} sessions/sim-s, p95 {:.2}s",
         healthy.ok,
@@ -29,7 +29,7 @@ fn main() {
     // Same fleet, node 0 down: its sessions complete on replicas, paying
     // a simulated backoff penalty.
     cfg.faults = FaultPlan { down_nodes: vec![0], slow_nodes: vec![] };
-    let degraded = run_fleet(&cfg);
+    let degraded = run_fleet(&cfg).expect("fleet runs");
     println!(
         "\nnode0 down:   {}/{} sessions ok, {} failovers, p95 {:.2}s",
         degraded.ok,
@@ -51,7 +51,7 @@ fn main() {
     // with a different worker count changes nothing but wall clock.
     let mut solo = cfg.clone();
     solo.workers = 1;
-    let a = run_fleet(&solo);
+    let a = run_fleet(&solo).expect("fleet runs");
     assert_eq!(
         tinman::fleet::FleetReport::simulated_value(&a),
         degraded.simulated_value(),

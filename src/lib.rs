@@ -1,6 +1,7 @@
 #![warn(missing_docs)]
 //! TinMan facade crate: re-exports the whole reproduction workspace.
 pub use tinman_apps as apps;
+pub use tinman_chaos as chaos;
 pub use tinman_cor as cor;
 pub use tinman_core as core;
 pub use tinman_dsm as dsm;

@@ -1,0 +1,166 @@
+//! Chaos acceptance: deterministic fault injection with fail-closed
+//! session recovery, end to end through the public facade.
+//!
+//! The headline scenario mirrors the subsystem's contract: crash the
+//! primary mid-session under packet loss and a radio flap, and the fleet
+//! must finish every session via replica replay, deliver each TCP payload
+//! replacement exactly once at the origin server, leave zero cor bytes on
+//! any device host, and produce byte-identical reports across runs,
+//! worker counts, and tracing.
+
+use tinman::chaos::{ChaosEvent, ChaosPlan};
+use tinman::fleet::{run_fleet_chaos, FleetConfig, FleetObs, FleetReport};
+use tinman::obs::TraceHandle;
+use tinman::sim::SimDuration;
+
+fn config(sessions: usize, workers: usize) -> FleetConfig {
+    let mut cfg = FleetConfig::new(sessions, workers);
+    cfg.nodes = 4;
+    cfg
+}
+
+fn run(cfg: &FleetConfig, plan: &ChaosPlan) -> FleetReport {
+    run_fleet_chaos(cfg, plan, &FleetObs::default()).expect("chaos fleet runs")
+}
+
+fn simulated(report: &FleetReport) -> String {
+    serde_json::to_string(&report.simulated_value()).unwrap()
+}
+
+#[test]
+fn crash_primary_recovers_every_session_exactly_once() {
+    let cfg = config(12, 4);
+    let plan = ChaosPlan::canned("crash-primary").unwrap();
+    let report = run(&cfg, &plan);
+
+    assert_eq!(report.ok, 12, "every session completes despite the crashed primary");
+    assert_eq!(report.fail_closed, 0);
+    assert!(report.replays >= 1, "a crashed session resumed on a replica");
+    assert!(report.success_after_retry >= 1);
+    assert!(
+        report.duplicate_deliveries >= 1,
+        "the replay re-sent an already-delivered payload and the origin deduped it"
+    );
+    assert_eq!(report.residue_violations, 0, "no cor bytes on any device host");
+
+    // Exactly-once: the origin server accepted the same unique delivery
+    // count a fault-free run produces — replays added duplicates, never
+    // double-sends.
+    let baseline = run(&cfg, &ChaosPlan::empty());
+    assert_eq!(report.deliveries, baseline.deliveries);
+    assert_eq!(baseline.duplicate_deliveries, 0);
+}
+
+#[test]
+fn same_seed_same_plan_is_byte_identical_across_runs_and_workers() {
+    let plan = ChaosPlan::canned("crash-primary").unwrap();
+    let a = simulated(&run(&config(10, 1), &plan));
+    let b = simulated(&run(&config(10, 1), &plan));
+    assert_eq!(a, b, "two same-seed runs must serialize identically");
+    let c = simulated(&run(&config(10, 4), &plan));
+    assert_eq!(a, c, "worker count must not leak into the simulated report");
+}
+
+#[test]
+fn tracing_does_not_change_the_simulated_report() {
+    let cfg = config(8, 2);
+    let plan = ChaosPlan::canned("crash-primary").unwrap();
+    let silent = run(&cfg, &plan);
+
+    let (trace, sink) = TraceHandle::ring(1 << 16);
+    let obs = FleetObs { trace, ..FleetObs::default() };
+    let traced = run_fleet_chaos(&cfg, &plan, &obs).expect("chaos fleet runs");
+
+    assert_eq!(simulated(&silent), simulated(&traced));
+
+    let records = sink.snapshot();
+    let count = |name: &str| records.iter().filter(|r| r.event.name() == name).count();
+    assert!(count("chaos_inject") > 0, "armed faults are traced");
+    assert!(count("breaker_transition") > 0, "node 0's breaker tripped");
+    assert_eq!(count("session_replay"), traced.replays as usize);
+    assert_eq!(count("delivery_dedup") > 0, traced.duplicate_deliveries > 0);
+}
+
+#[test]
+fn full_partition_fails_closed_and_leaks_nothing() {
+    let cfg = config(6, 2);
+    let plan = ChaosPlan::canned("partition").unwrap();
+
+    let (trace, sink) = TraceHandle::ring(1 << 16);
+    let obs = FleetObs { trace, ..FleetObs::default() };
+    let report = run_fleet_chaos(&cfg, &plan, &obs).expect("chaos fleet runs");
+
+    assert_eq!(report.ok, 0);
+    assert_eq!(report.fail_closed, report.sessions, "every session degrades fail-closed");
+    assert_eq!(report.residue_violations, 0, "degraded sessions never leak cor bytes");
+    assert!(report.outcomes.iter().all(|o| o.fail_closed && !o.success && o.node.is_none()));
+
+    let records = sink.snapshot();
+    let fails = records.iter().filter(|r| r.event.name() == "fail_closed").count() as u64;
+    assert_eq!(fails, report.sessions, "each degradation is audited");
+}
+
+#[test]
+fn breaker_cycle_shows_up_in_the_report() {
+    let mut cfg = config(24, 2);
+    cfg.nodes = 4;
+    let plan = ChaosPlan::canned("recovery").unwrap();
+    let report = run(&cfg, &plan);
+
+    let node0 = &report.per_node[0];
+    assert!(node0.breaker_open > 0, "the crash tripped node 0's breaker");
+    assert!(node0.breaker_half_open > 0, "probe placements happened while open");
+    assert_eq!(
+        node0.breaker_closed + node0.breaker_open + node0.breaker_half_open,
+        report.sessions,
+        "time-in-state covers the whole session axis"
+    );
+    for n in &report.per_node[1..] {
+        assert_eq!(n.breaker_open, 0, "healthy nodes never trip");
+        assert_eq!(n.breaker_closed, report.sessions);
+    }
+    assert_eq!(report.ok, report.sessions, "replicas absorb the crashed node's sessions");
+}
+
+#[test]
+fn exhausted_deadline_budget_fails_closed() {
+    let mut cfg = config(8, 2);
+    cfg.nodes = 2;
+    let mut plan = ChaosPlan::empty();
+    // Crash both nodes for every session and give no budget to retry:
+    // the first failed attempt blows the deadline and the session must
+    // degrade instead of walking more replicas.
+    plan.deadline = SimDuration::ZERO;
+    plan.events = vec![
+        ChaosEvent::NodeCrash { node: 0, at: SimDuration::ZERO, from_session: 0 },
+        ChaosEvent::NodeCrash { node: 1, at: SimDuration::ZERO, from_session: 0 },
+    ];
+    let report = run(&cfg, &plan);
+    assert_eq!(report.ok, 0);
+    assert_eq!(report.fail_closed, report.sessions);
+    assert!(
+        report.outcomes.iter().all(|o| o.attempts <= 1),
+        "a blown deadline stops the replica walk immediately"
+    );
+    assert_eq!(report.residue_violations, 0);
+}
+
+#[test]
+fn wire_noise_slows_sessions_but_never_breaks_them() {
+    let cfg = config(8, 2);
+    let noisy = run(&cfg, &ChaosPlan::canned("wire-noise").unwrap());
+    let clean = run(&cfg, &ChaosPlan::empty());
+    assert_eq!(noisy.ok, noisy.sessions, "loss and corruption retransmit, not fail");
+    assert_eq!(noisy.fail_closed, 0);
+    assert_eq!(noisy.residue_violations, 0);
+    assert!(
+        noisy.latency.mean > clean.latency.mean,
+        "retransmissions and delay must cost simulated time: {:?} vs {:?}",
+        noisy.latency.mean,
+        clean.latency.mean
+    );
+    // Wire noise slows the session but never changes its logical work.
+    assert_eq!(noisy.offloads, clean.offloads);
+    assert_eq!(noisy.dsm_syncs, clean.dsm_syncs);
+    assert_eq!(noisy.deliveries, clean.deliveries);
+}

@@ -228,6 +228,152 @@ fn fuel_exhaustion_is_surfaced_not_hung() {
     assert!(matches!(err, RuntimeError::FuelExhausted));
 }
 
+// ---------------------------------------------------------------------------
+// Property: under ANY chaos plan, every session either completes or fails
+// closed — and the whole run is a deterministic function of its seeds.
+
+mod chaos_properties {
+    use proptest::prelude::*;
+    use tinman::chaos::{ChaosEvent, ChaosPlan};
+    use tinman::fleet::{run_fleet_chaos, FleetConfig, FleetObs};
+    use tinman::sim::SimDuration;
+
+    /// Assembles a valid-by-construction plan from raw dice. Windows get a
+    /// nonzero length and node indices stay inside the two-node pool, so
+    /// every generated plan passes validation and actually runs.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        seed: u64,
+        trip_after: u64,
+        probe_every: u64,
+        crash: Option<(usize, u64, u64)>,
+        recover_from: Option<u64>,
+        loss_pct: u8,
+        corrupt_pct: u8,
+        delay_ms: u64,
+        flap: Option<(u64, u64)>,
+        partition: Option<(usize, u64, u64)>,
+        sync: Option<(usize, u64, u64)>,
+    ) -> ChaosPlan {
+        let mut plan = ChaosPlan::empty();
+        plan.seed = seed;
+        plan.trip_after = trip_after;
+        plan.probe_every = probe_every;
+        if let Some((node, at_ms, from_session)) = crash {
+            plan.events.push(ChaosEvent::NodeCrash {
+                node,
+                at: SimDuration::from_millis(at_ms),
+                from_session,
+            });
+            if let Some(from_session) = recover_from {
+                plan.events.push(ChaosEvent::NodeRecover { node, from_session });
+            }
+        }
+        if loss_pct > 0 {
+            plan.events.push(ChaosEvent::PacketLoss { pct: loss_pct });
+        }
+        if corrupt_pct > 0 {
+            plan.events.push(ChaosEvent::PacketCorrupt { pct: corrupt_pct });
+        }
+        if delay_ms > 0 {
+            plan.events.push(ChaosEvent::PacketDelay { delay: SimDuration::from_millis(delay_ms) });
+        }
+        if let Some((from_ms, len_ms)) = flap {
+            plan.events.push(ChaosEvent::LinkFlap {
+                from: SimDuration::from_millis(from_ms),
+                until: SimDuration::from_millis(from_ms + len_ms),
+            });
+        }
+        if let Some((node, from_session, len)) = partition {
+            plan.events.push(ChaosEvent::Partition {
+                node,
+                from_session,
+                until_session: from_session + len,
+            });
+        }
+        if let Some((node, from_ms, len_ms)) = sync {
+            plan.events.push(ChaosEvent::SyncTimeout {
+                node,
+                from: SimDuration::from_millis(from_ms),
+                until: SimDuration::from_millis(from_ms + len_ms),
+            });
+        }
+        plan
+    }
+
+    proptest! {
+        // Every case runs a whole 3-session fleet twice; 16 cases keeps the
+        // property inside the debug-build test budget.
+        #![cases(16)]
+        #[test]
+        fn arbitrary_plans_fail_closed_and_deterministically(
+            seed in any::<u64>(),
+            trip_after in 1u64..4,
+            probe_every in 1u64..4,
+            with_crash in any::<bool>(),
+            crash_node in 0usize..2,
+            crash_at_ms in 0u64..2000,
+            crash_from in 0u64..3,
+            with_recover in any::<bool>(),
+            recover_from in 0u64..4,
+            loss_pct in 0u8..35,
+            corrupt_pct in 0u8..15,
+            delay_ms in 0u64..40,
+            with_flap in any::<bool>(),
+            flap_from_ms in 0u64..1500,
+            flap_len_ms in 1u64..400,
+            with_partition in any::<bool>(),
+            part_node in 0usize..2,
+            part_from in 0u64..3,
+            part_len in 1u64..4,
+            with_sync in any::<bool>(),
+            sync_node in 0usize..2,
+            sync_from_ms in 0u64..1500,
+            sync_len_ms in 1u64..500,
+        ) {
+            let plan = assemble(
+                seed,
+                trip_after,
+                probe_every,
+                with_crash.then_some((crash_node, crash_at_ms, crash_from)),
+                with_recover.then_some(recover_from),
+                loss_pct,
+                corrupt_pct,
+                delay_ms,
+                with_flap.then_some((flap_from_ms, flap_len_ms)),
+                with_partition.then_some((part_node, part_from, part_len)),
+                with_sync.then_some((sync_node, sync_from_ms, sync_len_ms)),
+            );
+            let mut cfg = FleetConfig::new(3, 2);
+            cfg.nodes = 2;
+            prop_assert!(plan.validate(cfg.nodes).is_ok());
+
+            let report = run_fleet_chaos(&cfg, &plan, &FleetObs::default())
+                .expect("valid plan runs");
+            // Fail-closed invariant: no third state between success and an
+            // audited placeholder-only failure, and never any residue.
+            for o in &report.outcomes {
+                prop_assert!(
+                    o.success || o.fail_closed,
+                    "session {} neither completed nor failed closed",
+                    o.id
+                );
+                prop_assert!(!(o.success && o.fail_closed));
+            }
+            prop_assert_eq!(report.ok + report.fail_closed, report.sessions);
+            prop_assert_eq!(report.residue_violations, 0);
+
+            // Determinism: the same seeds replay byte-for-byte.
+            let again = run_fleet_chaos(&cfg, &plan, &FleetObs::default())
+                .expect("valid plan runs");
+            prop_assert_eq!(
+                serde_json::to_string(&report.simulated_value()).unwrap(),
+                serde_json::to_string(&again.simulated_value()).unwrap()
+            );
+        }
+    }
+}
+
 #[test]
 fn faulted_machine_does_not_resume() {
     use tinman::taint::TaintEngine;

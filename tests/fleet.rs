@@ -15,7 +15,7 @@ fn simulated_aggregate_is_identical_at_1_4_and_8_workers() {
     let reports: Vec<String> = [1usize, 4, 8]
         .iter()
         .map(|&w| {
-            let r = run_fleet(&config(24, w));
+            let r = run_fleet(&config(24, w)).expect("fleet runs");
             assert_eq!(r.ok, 24, "all sessions succeed at {w} workers");
             serde_json::to_string(&r.simulated_value()).expect("serializes")
         })
@@ -30,21 +30,21 @@ fn different_seeds_change_the_simulated_aggregate() {
     let mut b = config(12, 2);
     a.seed = 101;
     b.seed = 202;
-    let ra = serde_json::to_string(&run_fleet(&a).simulated_value()).unwrap();
-    let rb = serde_json::to_string(&run_fleet(&b).simulated_value()).unwrap();
+    let ra = serde_json::to_string(&run_fleet(&a).expect("fleet runs").simulated_value()).unwrap();
+    let rb = serde_json::to_string(&run_fleet(&b).expect("fleet runs").simulated_value()).unwrap();
     assert_ne!(ra, rb, "the fleet seed must actually feed the sessions");
 }
 
 #[test]
 fn downed_node_fails_over_to_its_replica() {
     // First find which node the healthy fleet loads, then down it.
-    let healthy = run_fleet(&config(18, 4));
+    let healthy = run_fleet(&config(18, 4)).expect("fleet runs");
     let victim = healthy.per_node.iter().max_by_key(|n| n.sessions).expect("nodes exist").node;
     assert!(healthy.per_node[victim].sessions > 0);
 
     let mut cfg = config(18, 4);
     cfg.faults = FaultPlan { down_nodes: vec![victim], slow_nodes: vec![] };
-    let report = run_fleet(&cfg);
+    let report = run_fleet(&cfg).expect("fleet runs");
 
     assert_eq!(report.ok, 18, "every session completes despite the downed node");
     assert_eq!(report.per_node[victim].sessions, 0, "the downed node serves nothing");
@@ -60,8 +60,8 @@ fn downed_node_fails_over_to_its_replica() {
 fn failover_is_deterministic_too() {
     let mut cfg = config(12, 1);
     cfg.faults = FaultPlan { down_nodes: vec![0], slow_nodes: vec![] };
-    let a = serde_json::to_string(&run_fleet(&cfg).simulated_value()).unwrap();
+    let a = serde_json::to_string(&run_fleet(&cfg).expect("fleet runs").simulated_value()).unwrap();
     cfg.workers = 8;
-    let b = serde_json::to_string(&run_fleet(&cfg).simulated_value()).unwrap();
+    let b = serde_json::to_string(&run_fleet(&cfg).expect("fleet runs").simulated_value()).unwrap();
     assert_eq!(a, b, "failover schedule must not depend on worker count");
 }

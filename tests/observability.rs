@@ -119,10 +119,10 @@ fn tracing_does_not_perturb_the_fleet_aggregate() {
     cfg.nodes = 2;
     cfg.faults = FaultPlan { down_nodes: vec![0], slow_nodes: vec![] };
 
-    let silent = run_fleet(&cfg);
+    let silent = run_fleet(&cfg).expect("fleet runs");
     let (trace, sink) = TraceHandle::ring(1 << 16);
     let obs = FleetObs { trace, ..FleetObs::default() };
-    let traced = run_fleet_obs(&cfg, &obs);
+    let traced = run_fleet_obs(&cfg, &obs).expect("fleet runs");
 
     assert!(!sink.snapshot().is_empty());
     assert_eq!(
@@ -138,7 +138,7 @@ fn chrome_trace_export_is_valid_json_with_one_track_per_session() {
     cfg.nodes = 2;
     let (trace, sink) = TraceHandle::ring(1 << 16);
     let obs = FleetObs { trace, ..FleetObs::default() };
-    run_fleet_obs(&cfg, &obs);
+    run_fleet_obs(&cfg, &obs).expect("fleet runs");
 
     let records = sink.snapshot();
     let json = chrome_trace_json(&records);

@@ -379,7 +379,7 @@ proptest! {
     fn replica_order_starts_at_primary_distinct_covers_all(
         nodes in 1usize..17, capacity in 1usize..4, key in any::<u64>()
     ) {
-        let pool = NodePool::new(nodes, capacity, &FaultPlan::default());
+        let pool = NodePool::new(nodes, capacity, &FaultPlan::default()).unwrap();
         let order = pool.replica_order(key);
         prop_assert_eq!(order[0], pool.place(key), "walk starts at the primary");
         let mut dedup = order.clone();

@@ -301,15 +301,34 @@ pub mod prelude {
 /// Defines property tests: `proptest! { #[test] fn name(x in strat) { .. } }`.
 ///
 /// Each function runs [`DEFAULT_CASES`] deterministic cases; assertion
-/// failures print the generated inputs (no shrinking).
+/// failures print the generated inputs (no shrinking). An optional
+/// `#![cases(N)]` header overrides the case count for every property in
+/// the block — use it to keep expensive simulations (whole-fleet runs per
+/// case) inside a sane test budget.
 #[macro_export]
 macro_rules! proptest {
+    (#![cases($cases:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $crate::__proptest_fns! { ($cases) $($(#[$meta])* fn $name($($arg in $strat),+) $body)+ }
+    };
     ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $crate::__proptest_fns! {
+            ($crate::DEFAULT_CASES) $($(#[$meta])* fn $name($($arg in $strat),+) $body)+
+        }
+    };
+}
+
+/// Expansion backend for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cases:expr)
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
         $(
             $(#[$meta])*
             fn $name() {
                 let mut __rng = $crate::TestRng::for_test(stringify!($name));
-                for __case in 0..$crate::DEFAULT_CASES {
+                for __case in 0..$cases {
                     $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)+
                     let __dbg = format!(
                         concat!("case {}: ", $(concat!(stringify!($arg), " = {:?} ")),+),
@@ -387,5 +406,23 @@ mod tests {
             prop_assert!(!v.is_empty());
             prop_assert_eq!(u8::from(flag) < 2, true);
         }
+    }
+
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static CASES_RAN: AtomicU32 = AtomicU32::new(0);
+
+    proptest! {
+        #![cases(7)]
+        // No #[test] here: the wrapper below invokes it and checks the count.
+        fn cases_header_overrides_the_count(_x in any::<u64>()) {
+            CASES_RAN.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn cases_header_is_respected() {
+        cases_header_overrides_the_count();
+        assert_eq!(CASES_RAN.load(Ordering::Relaxed), 7);
     }
 }
