@@ -3,8 +3,8 @@
 //! percentiles, and per-node utilization.
 //!
 //! Usage: `fleet_throughput [--sessions N] [--workers N] [--nodes N]
-//! [--seed N] [--down NODE ...] [--trace PATH] [--chaos PLAN]
-//! [--chaos-seed N]`
+//! [--seed N] [--down NODE ...] [--trace PATH] [--chaos [PLAN]]
+//! [--vault-crash] [--chaos-seed N]`
 //!
 //! The simulated aggregate is bit-identical for any `--workers` value;
 //! only the wall-clock fields change. Run with `--workers 1` and
@@ -15,11 +15,15 @@
 //! <https://ui.perfetto.dev>. Tracing never changes the simulated
 //! aggregate.
 //!
-//! `--chaos PLAN` runs the fleet under a canned `tinman-chaos` fault
-//! plan (`crash-primary`, `recovery`, `partition`, `wire-noise`) with
-//! circuit-breaker placement and checkpoint/replay recovery.
-//! `--chaos-seed N` reseeds the plan's fault dice; two runs with the
-//! same seeds emit byte-identical simulated aggregates.
+//! `--chaos [PLAN]` runs the fleet under a canned `tinman-chaos` fault
+//! plan (`crash-primary`, `recovery`, `partition`, `wire-noise`,
+//! `vault-crash`) with circuit-breaker placement and checkpoint/replay
+//! recovery; with no PLAN it starts from the empty plan (chaos
+//! machinery on, no injected faults). `--vault-crash` appends the
+//! canned vault crash/replica-lag events — WAL crashes mid-commit, torn
+//! tails, compaction crashes, lagging replicas — to whatever plan is
+//! active. `--chaos-seed N` reseeds the plan's fault dice; two runs
+//! with the same seeds emit byte-identical simulated aggregates.
 
 use tinman_bench::{banner, emit_json};
 use tinman_chaos::ChaosPlan;
@@ -34,7 +38,15 @@ struct Args {
     down: Vec<usize>,
     trace: Option<String>,
     chaos: Option<String>,
+    vault_crash: bool,
     chaos_seed: Option<u64>,
+}
+
+/// Pops the flag's required value out of `argv`.
+fn take(argv: &[String], i: &mut usize, name: &str) -> String {
+    let v = argv.get(*i).unwrap_or_else(|| panic!("{name} needs a value")).clone();
+    *i += 1;
+    v
 }
 
 fn parse_args() -> Args {
@@ -46,21 +58,34 @@ fn parse_args() -> Args {
         down: Vec::new(),
         trace: None,
         chaos: None,
+        vault_crash: false,
         chaos_seed: None,
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].clone();
+        i += 1;
         match flag.as_str() {
-            "--sessions" => args.sessions = value("--sessions").parse().expect("--sessions"),
-            "--workers" => args.workers = value("--workers").parse().expect("--workers"),
-            "--nodes" => args.nodes = value("--nodes").parse().expect("--nodes"),
-            "--seed" => args.seed = Some(value("--seed").parse().expect("--seed")),
-            "--down" => args.down.push(value("--down").parse().expect("--down")),
-            "--trace" => args.trace = Some(value("--trace")),
-            "--chaos" => args.chaos = Some(value("--chaos")),
+            "--sessions" => args.sessions = take(&argv, &mut i, &flag).parse().expect("--sessions"),
+            "--workers" => args.workers = take(&argv, &mut i, &flag).parse().expect("--workers"),
+            "--nodes" => args.nodes = take(&argv, &mut i, &flag).parse().expect("--nodes"),
+            "--seed" => args.seed = Some(take(&argv, &mut i, &flag).parse().expect("--seed")),
+            "--down" => args.down.push(take(&argv, &mut i, &flag).parse().expect("--down")),
+            "--trace" => args.trace = Some(take(&argv, &mut i, &flag)),
+            "--chaos" => {
+                // The plan name is optional: a following flag (or end of
+                // argv) means "empty plan" — chaos machinery on, faults
+                // supplied by other flags like --vault-crash.
+                let named = argv.get(i).filter(|v| !v.starts_with("--")).cloned();
+                if named.is_some() {
+                    i += 1;
+                }
+                args.chaos = Some(named.unwrap_or_default());
+            }
+            "--vault-crash" => args.vault_crash = true,
             "--chaos-seed" => {
-                args.chaos_seed = Some(value("--chaos-seed").parse().expect("--chaos-seed"));
+                args.chaos_seed = Some(take(&argv, &mut i, &flag).parse().expect("--chaos-seed"));
             }
             other => panic!("unknown flag {other}"),
         }
@@ -96,14 +121,22 @@ fn main() {
         sink
     });
 
-    let plan = parsed.chaos.as_deref().map(|name| {
-        let mut plan = ChaosPlan::canned(name).unwrap_or_else(|| {
-            eprintln!(
-                "unknown chaos plan {name:?}; known plans: {}",
-                ChaosPlan::canned_names().join(", ")
-            );
-            std::process::exit(2);
-        });
+    let wants_chaos = parsed.chaos.is_some() || parsed.vault_crash;
+    let plan = wants_chaos.then(|| {
+        let mut plan = match parsed.chaos.as_deref() {
+            None | Some("") => ChaosPlan::empty(),
+            Some(name) => ChaosPlan::canned(name).unwrap_or_else(|| {
+                eprintln!(
+                    "unknown chaos plan {name:?}; known plans: {}",
+                    ChaosPlan::canned_names().join(", ")
+                );
+                std::process::exit(2);
+            }),
+        };
+        if parsed.vault_crash {
+            let vault = ChaosPlan::canned("vault-crash").expect("canned vault-crash plan");
+            plan.events.extend(vault.events);
+        }
         if let Some(seed) = parsed.chaos_seed {
             plan.seed = seed;
         }
@@ -144,6 +177,17 @@ fn main() {
             report.deliveries,
             report.duplicate_deliveries,
             report.residue_violations,
+        );
+        println!(
+            "vault    recoveries {} | torn repairs {} | lost cors {} | stale serves {} | \
+             catch-up lsns {} | wal plaintexts {} | device leaks {}",
+            report.vault_recoveries,
+            report.torn_tail_repairs,
+            report.lost_cors,
+            report.stale_serves,
+            report.vault_catchup_lsns,
+            report.wal_plaintexts,
+            report.wal_device_leaks,
         );
     }
     println!(

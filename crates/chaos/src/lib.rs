@@ -31,5 +31,7 @@ pub mod plan;
 pub mod replay;
 
 pub use breaker::{BreakerSchedule, BreakerState, CircuitBreaker};
-pub use plan::{session_faults, ChaosEvent, ChaosPlan, ChaosPlanError, SessionFaults};
+pub use plan::{
+    session_faults, ChaosEvent, ChaosPlan, ChaosPlanError, SessionFaults, VaultCrashKind,
+};
 pub use replay::DeliveryLedger;

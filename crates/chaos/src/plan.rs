@@ -12,6 +12,35 @@ use std::fmt;
 
 use tinman_sim::{SimDuration, SplitMix64};
 
+/// Which durability fault a [`ChaosEvent::VaultCrash`] injects into the
+/// node's cor vault. All three leave artifacts recovery must handle:
+/// uncommitted work lost, a torn final write, or a half-finished
+/// snapshot publish.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VaultCrashKind {
+    /// Power cut between `append` and the commit barrier: the staged
+    /// frame is lost and the previous frame lands duplicated (the retry
+    /// path re-sent it), exercising the idempotent LSN apply.
+    MidCommit,
+    /// Power cut mid-append: the final WAL write lands as a prefix and
+    /// recovery must truncate it away.
+    TornTail,
+    /// Power cut inside snapshot+truncate compaction, at a seeded point
+    /// in the publish protocol.
+    Compaction,
+}
+
+impl VaultCrashKind {
+    /// Stable lowercase name (obs labels, report rows).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            VaultCrashKind::MidCommit => "mid_commit",
+            VaultCrashKind::TornTail => "torn_tail",
+            VaultCrashKind::Compaction => "compaction",
+        }
+    }
+}
+
 /// One scheduled fault.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ChaosEvent {
@@ -77,6 +106,36 @@ pub enum ChaosEvent {
         /// Window end (within-session offset).
         until: SimDuration,
     },
+    /// Node `node`'s cor vault crashes (power-cut model) after the
+    /// session's cor writes, for session ids in
+    /// `[from_session, until_session)`. The session's durability audit
+    /// injects the crash, recovers, and must reproduce the committed
+    /// store exactly — any divergence is a lost-cor incident.
+    VaultCrash {
+        /// Pool index of the node whose vault crashes.
+        node: usize,
+        /// Which crash artifact to leave behind.
+        kind: VaultCrashKind,
+        /// First session id that observes the crash.
+        from_session: u64,
+        /// First session id that no longer observes it.
+        until_session: u64,
+    },
+    /// Replication to node `node`'s failover replica lags by `lsns`
+    /// records for session ids in `[from_session, until_session)`.
+    /// Cor-aware failover must anti-entropy the replica up (charged
+    /// against the session's penalty deadline) or fail the session
+    /// closed — never serve from the stale store.
+    ReplicaLag {
+        /// Pool index of the node whose replica lags.
+        node: usize,
+        /// How many LSNs the replica's watermark trails the primary.
+        lsns: u64,
+        /// First session id that observes the lag.
+        from_session: u64,
+        /// First session id that no longer observes it.
+        until_session: u64,
+    },
 }
 
 /// A plan that failed validation.
@@ -98,6 +157,9 @@ pub enum ChaosPlanError {
     EmptyWindow,
     /// `trip_after` or `probe_every` was zero.
     BadBreakerConfig,
+    /// A [`ChaosEvent::ReplicaLag`] with `lsns == 0` — a no-op lag is a
+    /// plan bug, not a fault.
+    ZeroLag,
 }
 
 impl fmt::Display for ChaosPlanError {
@@ -113,6 +175,7 @@ impl fmt::Display for ChaosPlanError {
             ChaosPlanError::BadBreakerConfig => {
                 write!(f, "breaker trip_after and probe_every must be nonzero")
             }
+            ChaosPlanError::ZeroLag => write!(f, "replica lag of zero LSNs is not a fault"),
         }
     }
 }
@@ -168,7 +231,9 @@ impl ChaosPlan {
                 ChaosEvent::NodeCrash { node, .. }
                 | ChaosEvent::NodeRecover { node, .. }
                 | ChaosEvent::Partition { node, .. }
-                | ChaosEvent::SyncTimeout { node, .. } => Some(node),
+                | ChaosEvent::SyncTimeout { node, .. }
+                | ChaosEvent::VaultCrash { node, .. }
+                | ChaosEvent::ReplicaLag { node, .. } => Some(node),
                 _ => None,
             };
             if let Some(node) = node {
@@ -187,9 +252,14 @@ impl ChaosPlan {
                     return Err(ChaosPlanError::EmptyWindow);
                 }
                 ChaosEvent::Partition { from_session, until_session, .. }
+                | ChaosEvent::VaultCrash { from_session, until_session, .. }
+                | ChaosEvent::ReplicaLag { from_session, until_session, .. }
                     if until_session <= from_session =>
                 {
                     return Err(ChaosPlanError::EmptyWindow);
+                }
+                ChaosEvent::ReplicaLag { lsns: 0, .. } => {
+                    return Err(ChaosPlanError::ZeroLag);
                 }
                 _ => {}
             }
@@ -243,6 +313,58 @@ impl ChaosPlan {
                     })
                     .collect();
             }
+            // Durability gauntlet: every vault crash artifact plus stale
+            // replicas, layered over a node 0 crash so failover actually
+            // happens while the vault is being tortured. Node 0 tears
+            // mid-commit, node 1 tears its WAL tail, node 2 dies inside
+            // compaction, node 3 tears its tail again; nodes 1 and 2
+            // additionally ship to lagging replicas, so cor-aware
+            // failover must anti-entropy before serving.
+            "vault-crash" => {
+                plan.events = vec![
+                    ChaosEvent::NodeCrash {
+                        node: 0,
+                        at: SimDuration::from_millis(900),
+                        from_session: 0,
+                    },
+                    ChaosEvent::VaultCrash {
+                        node: 0,
+                        kind: VaultCrashKind::MidCommit,
+                        from_session: 0,
+                        until_session: u64::MAX,
+                    },
+                    ChaosEvent::VaultCrash {
+                        node: 1,
+                        kind: VaultCrashKind::TornTail,
+                        from_session: 0,
+                        until_session: u64::MAX,
+                    },
+                    ChaosEvent::VaultCrash {
+                        node: 2,
+                        kind: VaultCrashKind::Compaction,
+                        from_session: 0,
+                        until_session: u64::MAX,
+                    },
+                    ChaosEvent::VaultCrash {
+                        node: 3,
+                        kind: VaultCrashKind::TornTail,
+                        from_session: 4,
+                        until_session: u64::MAX,
+                    },
+                    ChaosEvent::ReplicaLag {
+                        node: 1,
+                        lsns: 2,
+                        from_session: 0,
+                        until_session: u64::MAX,
+                    },
+                    ChaosEvent::ReplicaLag {
+                        node: 2,
+                        lsns: 1,
+                        from_session: 2,
+                        until_session: u64::MAX,
+                    },
+                ];
+            }
             // A noisy but survivable wire: loss, corruption, and delay.
             "wire-noise" => {
                 plan.events = vec![
@@ -258,7 +380,7 @@ impl ChaosPlan {
 
     /// The names [`ChaosPlan::canned`] recognizes.
     pub fn canned_names() -> &'static [&'static str] {
-        &["crash-primary", "recovery", "partition", "wire-noise"]
+        &["crash-primary", "recovery", "partition", "wire-noise", "vault-crash"]
     }
 
     /// The first session id at which `node` recovers (`u64::MAX` if it
@@ -312,6 +434,12 @@ pub struct SessionFaults {
     pub flap: Option<(SimDuration, SimDuration)>,
     /// True if the phone cannot reach this node at all.
     pub partitioned: bool,
+    /// Vault crash injected into this session's durability audit
+    /// (`None` = the vault survives this session).
+    pub vault_crash: Option<VaultCrashKind>,
+    /// LSNs the node's failover replica trails the primary by (0 = the
+    /// replica's watermark covers everything).
+    pub replica_lag: u64,
     /// Seed of this session's loss/corruption dice stream.
     pub dice_seed: u64,
 }
@@ -356,6 +484,16 @@ pub fn session_faults(
             }
             ChaosEvent::SyncTimeout { node: n, from, until } if n == node => {
                 f.sync_windows.push((from, until));
+            }
+            ChaosEvent::VaultCrash { node: n, kind, from_session, until_session }
+                if n == node && session >= from_session && session < until_session =>
+            {
+                f.vault_crash = Some(kind);
+            }
+            ChaosEvent::ReplicaLag { node: n, lsns, from_session, until_session }
+                if n == node && session >= from_session && session < until_session =>
+            {
+                f.replica_lag = f.replica_lag.max(lsns);
             }
             _ => {}
         }
@@ -444,6 +582,52 @@ mod tests {
         // Sync windows land only on their node.
         assert_eq!(session_faults(&plan, 0, 0, 9).sync_windows.len(), 1);
         assert!(session_faults(&plan, 1, 0, 9).sync_windows.is_empty());
+    }
+
+    #[test]
+    fn vault_faults_project_onto_their_node_and_window() {
+        let mut plan = ChaosPlan::empty();
+        plan.events = vec![
+            ChaosEvent::VaultCrash {
+                node: 0,
+                kind: VaultCrashKind::TornTail,
+                from_session: 2,
+                until_session: 4,
+            },
+            ChaosEvent::ReplicaLag { node: 1, lsns: 3, from_session: 0, until_session: 2 },
+            ChaosEvent::ReplicaLag { node: 1, lsns: 5, from_session: 1, until_session: 2 },
+        ];
+        assert_eq!(session_faults(&plan, 0, 1, 9).vault_crash, None);
+        assert_eq!(session_faults(&plan, 0, 2, 9).vault_crash, Some(VaultCrashKind::TornTail));
+        assert_eq!(session_faults(&plan, 0, 4, 9).vault_crash, None);
+        assert_eq!(session_faults(&plan, 1, 2, 9).vault_crash, None, "wrong node");
+        // Overlapping lags take the max; outside the window they vanish.
+        assert_eq!(session_faults(&plan, 1, 0, 9).replica_lag, 3);
+        assert_eq!(session_faults(&plan, 1, 1, 9).replica_lag, 5);
+        assert_eq!(session_faults(&plan, 1, 2, 9).replica_lag, 0);
+        assert_eq!(session_faults(&plan, 0, 1, 9).replica_lag, 0, "wrong node");
+    }
+
+    #[test]
+    fn validate_rejects_bad_vault_events() {
+        let mut plan = ChaosPlan::empty();
+        plan.events = vec![ChaosEvent::VaultCrash {
+            node: 9,
+            kind: VaultCrashKind::MidCommit,
+            from_session: 0,
+            until_session: 1,
+        }];
+        assert_eq!(plan.validate(4), Err(ChaosPlanError::BadNode { node: 9, pool_len: 4 }));
+        plan.events = vec![ChaosEvent::VaultCrash {
+            node: 0,
+            kind: VaultCrashKind::MidCommit,
+            from_session: 3,
+            until_session: 3,
+        }];
+        assert_eq!(plan.validate(4), Err(ChaosPlanError::EmptyWindow));
+        plan.events =
+            vec![ChaosEvent::ReplicaLag { node: 0, lsns: 0, from_session: 0, until_session: 1 }];
+        assert_eq!(plan.validate(4), Err(ChaosPlanError::ZeroLag));
     }
 
     #[test]

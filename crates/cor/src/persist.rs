@@ -46,21 +46,19 @@ impl std::error::Error for PersistError {}
 
 impl CorStore {
     /// Serializes the store (plaintexts included — this is the trusted
-    /// node's own storage).
-    pub fn to_json(&self) -> String {
+    /// node's own storage). Fully fallible: serialization problems become
+    /// a [`PersistError`], never a panic — the vault layer calls this on
+    /// every commit path and a panic there would take a trusted node down
+    /// with cor state unflushed.
+    pub fn to_json(&self) -> Result<String, PersistError> {
         let snapshot = StoreSnapshot {
-            records: {
-                let mut v: Vec<CorRecord> =
-                    self.ids().iter().map(|id| self.get(*id).expect("listed").clone()).collect();
-                v.sort_by_key(|r| r.id);
-                v
-            },
-            next_id: self.next_id_for_persist(),
-            start_id: self.range_for_persist().0,
-            end_id: self.range_for_persist().1,
+            records: self.export_records(),
+            next_id: self.next_id(),
+            start_id: self.label_range().0,
+            end_id: self.label_range().1,
             rng_seed: 0, // the placeholder generator is re-seeded on load
         };
-        serde_json::to_string_pretty(&snapshot).expect("snapshot serializes")
+        serde_json::to_string_pretty(&snapshot).map_err(|e| PersistError(e.to_string()))
     }
 
     /// Restores a store from [`CorStore::to_json`] output. A fresh
@@ -114,7 +112,7 @@ mod tests {
         let a = store.register("work-password", "Work", &["corp.example"]).unwrap();
         let d = store.register_derived("derived-hash-value", a.taint()).unwrap();
 
-        let json = store.to_json();
+        let json = store.to_json().unwrap();
         let restored = CorStore::from_json(&json, 999).unwrap();
         assert_eq!(restored.len(), 2);
         assert_eq!(restored.plaintext(a), Some("work-password"));
@@ -138,6 +136,82 @@ mod tests {
             1
         )
         .is_err());
+    }
+
+    /// A snapshot cut off mid-write (the exact shape a torn disk leaves
+    /// behind) must be a checked error, not a panic or a partial store.
+    #[test]
+    fn truncated_json_is_an_error() {
+        let mut store = CorStore::with_label_range(3, 0, 8).unwrap();
+        store.register("pw", "d", &["x.com"]).unwrap();
+        let json = store.to_json().unwrap();
+        for cut in [1, json.len() / 3, json.len() - 1] {
+            let err = CorStore::from_json(&json[..cut], 1);
+            assert!(err.is_err(), "truncation at {cut} accepted");
+        }
+    }
+
+    /// Two records claiming the same cor id is a corrupt snapshot: the
+    /// placeholder↔plaintext binding would be ambiguous, which is a
+    /// security failure, so restore refuses outright.
+    #[test]
+    fn duplicate_cor_ids_are_rejected() {
+        let rec = "{\"id\":2,\"plaintext\":\"pw\",\"placeholder\":\"xx\",\
+                   \"description\":\"d\",\"whitelist\":[],\"derived\":false}";
+        let json = format!(
+            "{{\"records\":[{rec},{rec}],\"next_id\":3,\"start_id\":0,\"end_id\":8,\"rng_seed\":0}}"
+        );
+        let err = match CorStore::from_json(&json, 1) {
+            Ok(_) => panic!("duplicate ids accepted"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("duplicate cor id"), "got: {err}");
+    }
+
+    /// `next_id` below/above the range, or not past the highest restored
+    /// record, would let the store re-issue a live label after restart.
+    #[test]
+    fn bad_next_id_is_rejected() {
+        let rec = "{\"id\":5,\"plaintext\":\"pw\",\"placeholder\":\"xx\",\
+                   \"description\":\"d\",\"whitelist\":[],\"derived\":false}";
+        for (next_id, range) in [(1u8, (4u8, 8u8)), (9, (4, 8)), (5, (4, 8)), (3, (4, 8))] {
+            let json = format!(
+                "{{\"records\":[{rec}],\"next_id\":{next_id},\"start_id\":{},\"end_id\":{},\
+                 \"rng_seed\":0}}",
+                range.0, range.1
+            );
+            assert!(CorStore::from_json(&json, 1).is_err(), "next_id {next_id} accepted");
+        }
+        // The boundary case that is legal: next_id == end (range full).
+        let json = format!(
+            "{{\"records\":[{rec}],\"next_id\":8,\"start_id\":4,\"end_id\":8,\"rng_seed\":0}}"
+        );
+        let full = CorStore::from_json(&json, 1).unwrap();
+        assert_eq!(full.next_id(), 8);
+    }
+
+    /// The vault replays committed records through `install_record`; the
+    /// same corruption classes must be checked errors there too.
+    #[test]
+    fn install_record_validates_like_restore() {
+        let mut store = CorStore::with_label_range(11, 4, 8).unwrap();
+        let rec = |id: u8| CorRecord {
+            id: CorId::new(id).unwrap(),
+            plaintext: format!("pw{id}"),
+            placeholder: format!("xx{id}"),
+            description: "d".into(),
+            whitelist: vec![],
+            derived: false,
+        };
+        store.install_record(rec(4), 5).unwrap();
+        assert_eq!(store.plaintext(CorId::new(4).unwrap()), Some("pw4"));
+        assert!(store.install_record(rec(4), 5).is_err(), "duplicate id");
+        assert!(store.install_record(rec(2), 5).is_err(), "outside range");
+        assert!(store.install_record(rec(5), 5).is_err(), "next_id not past the record");
+        assert!(store.install_record(rec(5), 9).is_err(), "next_id outside range");
+        store.install_record(rec(5), 6).unwrap();
+        // Allocation continues where the replay left off.
+        assert_eq!(store.register("fresh", "d", &[]).unwrap(), CorId::new(6).unwrap());
     }
 
     #[test]

@@ -22,11 +22,18 @@
 //!    or its deadline budget degrades to a placeholder-only failure, and
 //!    *every* attempt (crashed or not) is residue-scanned so the "no cor
 //!    bytes on a device host" invariant is checked, not assumed.
+//! 5. **Cor-aware durability** — every attempt runs a hermetic
+//!    [`crate::vault_audit`] (WAL replay, projected crash, recovery,
+//!    byte-compare), and a lagging vault replica must anti-entropy
+//!    catch up — charged against the deadline — before serving, or the
+//!    session fails closed with reason `"stale_replica"`. A session is
+//!    never served from a stale store.
 
 use std::time::Instant;
 
 use tinman_chaos::{
     session_faults, BreakerSchedule, BreakerState, ChaosPlan, DeliveryLedger, SessionFaults,
+    VaultCrashKind,
 };
 use tinman_core::runtime::{Mode, TinmanRuntime};
 use tinman_core::RuntimeError;
@@ -34,6 +41,7 @@ use tinman_dsm::{DsmError, SyncFault};
 use tinman_net::NetChaos;
 use tinman_obs::TraceEvent;
 use tinman_sim::{SimDuration, SimTime};
+use tinman_vault::catch_up_cost;
 
 use crate::failure::{backoff_delay, degraded_link, FleetError, NodeHealth};
 use crate::pool::NodePool;
@@ -44,6 +52,7 @@ use crate::session::{
     SessionOutcome,
 };
 use crate::spec::{build_session_specs, FleetConfig, SessionSpec};
+use crate::vault_audit::{audit_session_vault, VaultAudit};
 
 /// Translates a session's projected faults into the hermetic world's own
 /// hooks. The DSM fault is installed even when inert (no windows): that
@@ -106,6 +115,16 @@ fn emit_fault_events(
     if faults.flap.is_some() {
         emit("link_flap");
     }
+    if let Some(kind) = faults.vault_crash {
+        emit(match kind {
+            VaultCrashKind::MidCommit => "vault_mid_commit",
+            VaultCrashKind::TornTail => "vault_torn_tail",
+            VaultCrashKind::Compaction => "vault_compaction",
+        });
+    }
+    if faults.replica_lag > 0 {
+        emit("replica_lag");
+    }
 }
 
 fn emit_failover(
@@ -153,6 +172,10 @@ pub fn execute_with_chaos(
     let mut replays = 0u32;
     let mut ledger = DeliveryLedger::new();
     let mut residue_violations = 0u64;
+    // Durability-audit totals across attempts, folded into the outcome.
+    let mut vault_totals = VaultAudit::default();
+    let mut catchup_lsns = 0u64;
+    let mut stale_blocked = false;
     // Session time already covered by completed DSM syncs on a failed
     // attempt — the replay resumes from this boundary.
     let mut credit = SimDuration::ZERO;
@@ -172,7 +195,7 @@ pub fn execute_with_chaos(
         let shard = pool.shard(node);
         let health = shard.health();
         let breaker = schedule.view(node, spec.id);
-        if health == NodeHealth::Down || breaker == BreakerState::Open {
+        if !health.can_serve() || breaker == BreakerState::Open {
             if breaker == BreakerState::Open {
                 obs.metrics.incr("chaos.breaker_skips");
             }
@@ -207,6 +230,40 @@ pub fn execute_with_chaos(
                     continue;
                 }
             };
+        // Cor-aware failover: when this node's vault replica lags the
+        // primary, the session's cor writes (one LSN per secret) must be
+        // covered before it is served. Anti-entropy replays the missing
+        // LSNs, charged against the deadline budget; if the budget cannot
+        // absorb the catch-up the session degrades fail-closed — it is
+        // never served from a stale store.
+        if faults.replica_lag > 0 {
+            let needed = world.secrets.len() as u64;
+            let missing = faults.replica_lag.min(needed);
+            if missing > 0 {
+                let cost = catch_up_cost(missing);
+                if penalty + cost > plan.deadline {
+                    obs.metrics.incr("vault.stale_blocked");
+                    stale_blocked = true;
+                    break;
+                }
+                penalty += cost;
+                catchup_lsns += missing;
+                obs.metrics.incr("vault.catch_ups");
+                obs.metrics.add("vault.catchup_lsns", missing);
+                if obs.trace.is_enabled() {
+                    obs.trace.emit_on(
+                        spec.id,
+                        SimTime::ZERO + penalty,
+                        TraceEvent::VaultCatchUp {
+                            session: spec.id,
+                            node: node as u64,
+                            lsns: missing,
+                            cost_ns: cost.as_nanos(),
+                        },
+                    );
+                }
+            }
+        }
         apply_session_faults(&mut world.rt, &faults);
         if ran_before {
             replays += 1;
@@ -249,6 +306,36 @@ pub fn execute_with_chaos(
                 obs.metrics.add("chaos.residue_violations", hits);
             }
         }
+        // Durability audit on *every* attempt: replay the node's cor
+        // writes through a real WAL, inject the projected crash, recover,
+        // and byte-compare against the committed-prefix reference.
+        let audit =
+            audit_session_vault(&world.rt, &world.secrets, faults.vault_crash, faults.dice_seed);
+        vault_totals.recoveries += audit.recoveries;
+        vault_totals.torn_repairs += audit.torn_repairs;
+        vault_totals.lost_cors += audit.lost_cors;
+        vault_totals.duplicates += audit.duplicates;
+        vault_totals.wal_plaintexts += audit.wal_plaintexts;
+        vault_totals.wal_device_leaks += audit.wal_device_leaks;
+        obs.metrics.add("vault.recoveries", audit.recoveries);
+        obs.metrics.add("vault.torn_repairs", audit.torn_repairs);
+        obs.metrics.add("vault.lost_cors", audit.lost_cors);
+        obs.metrics.add("vault.appends", audit.appends);
+        obs.metrics.add("vault.fsyncs", audit.fsyncs);
+        obs.metrics.add("vault.wal_device_leaks", audit.wal_device_leaks);
+        if obs.trace.is_enabled() {
+            obs.trace.emit_on(
+                spec.id,
+                SimTime::ZERO + penalty,
+                TraceEvent::VaultRecovery {
+                    session: spec.id,
+                    node: node as u64,
+                    applied_lsn: audit.applied_lsn,
+                    torn_repaired: audit.torn_repairs > 0,
+                    duplicates: audit.duplicates,
+                },
+            );
+        }
         match run {
             Ok(report) if expect_success(&report, world.workload).is_ok() => {
                 // The replay re-simulated the checkpointed prefix; credit
@@ -264,6 +351,12 @@ pub fn execute_with_chaos(
                 out.deliveries = ledger.unique();
                 out.duplicate_deliveries = ledger.suppressed();
                 out.residue_violations = residue_violations;
+                out.vault_recoveries = vault_totals.recoveries;
+                out.torn_tail_repairs = vault_totals.torn_repairs;
+                out.lost_cors = vault_totals.lost_cors;
+                out.vault_catchup_lsns = catchup_lsns;
+                out.wal_plaintexts = vault_totals.wal_plaintexts;
+                out.wal_device_leaks = vault_totals.wal_device_leaks;
                 return out;
             }
             other => {
@@ -284,7 +377,13 @@ pub fn execute_with_chaos(
         }
     }
 
-    let reason = if deadline_hit { "deadline" } else { "attempts_exhausted" };
+    let reason = if stale_blocked {
+        "stale_replica"
+    } else if deadline_hit {
+        "deadline"
+    } else {
+        "attempts_exhausted"
+    };
     obs.metrics.incr("chaos.fail_closed");
     if obs.trace.is_enabled() {
         obs.trace.emit_on(
@@ -299,6 +398,12 @@ pub fn execute_with_chaos(
     out.deliveries = ledger.unique();
     out.duplicate_deliveries = ledger.suppressed();
     out.residue_violations = residue_violations;
+    out.vault_recoveries = vault_totals.recoveries;
+    out.torn_tail_repairs = vault_totals.torn_repairs;
+    out.lost_cors = vault_totals.lost_cors;
+    out.vault_catchup_lsns = catchup_lsns;
+    out.wal_plaintexts = vault_totals.wal_plaintexts;
+    out.wal_device_leaks = vault_totals.wal_device_leaks;
     out
 }
 

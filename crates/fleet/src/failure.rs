@@ -13,6 +13,10 @@ pub enum NodeHealth {
     Degraded,
     /// Not serving; sessions placed here fail over to a replica.
     Down,
+    /// Rejoining after `Down` but its vault watermark is still behind the
+    /// pool's high-water mark: not serving until anti-entropy catches it
+    /// up. Serving now could hand a session a stale cor store.
+    CatchingUp,
 }
 
 impl NodeHealth {
@@ -22,7 +26,15 @@ impl NodeHealth {
             NodeHealth::Healthy => "healthy",
             NodeHealth::Degraded => "degraded",
             NodeHealth::Down => "down",
+            NodeHealth::CatchingUp => "catching_up",
         }
+    }
+
+    /// True if the scheduler may place a session here. `Down` nodes are
+    /// gone; `CatchingUp` nodes are alive but would serve from a cor
+    /// store that is provably behind — both fail over to a replica.
+    pub fn can_serve(self) -> bool {
+        matches!(self, NodeHealth::Healthy | NodeHealth::Degraded)
     }
 }
 
@@ -187,6 +199,15 @@ mod tests {
         assert_eq!(backoff_delay(huge, 8), MAX_BACKOFF);
         // The cap never *raises* a small delay.
         assert!(backoff_delay(base, 2) < MAX_BACKOFF);
+    }
+
+    #[test]
+    fn serving_is_gated_on_health() {
+        assert!(NodeHealth::Healthy.can_serve());
+        assert!(NodeHealth::Degraded.can_serve());
+        assert!(!NodeHealth::Down.can_serve());
+        assert!(!NodeHealth::CatchingUp.can_serve(), "a stale store must not serve");
+        assert_eq!(NodeHealth::CatchingUp.as_str(), "catching_up");
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!   `tinman-chaos` fault plan with circuit-breaker placement,
 //!   checkpoint/replay recovery, exactly-once payload replacement, and
 //!   checked fail-closed degradation.
+//! - [`vault_audit`] — the per-session durability audit: replays each
+//!   session's cor writes through a `tinman-vault` WAL, injects the
+//!   plan's crash, recovers, and byte-compares against the
+//!   committed-prefix reference (lost cors must be zero).
 //!
 //! # Determinism contract
 //!
@@ -36,6 +40,7 @@ pub mod report;
 pub mod sched;
 pub mod session;
 pub mod spec;
+pub mod vault_audit;
 
 pub use chaos_run::{apply_session_faults, execute_with_chaos, run_fleet_chaos};
 pub use failure::{
@@ -50,3 +55,4 @@ pub use session::{
     build_session_world, run_session, run_session_traced, SessionOutcome, SessionWorld,
 };
 pub use spec::{build_session_specs, FleetConfig, LinkKind, SessionSpec, WorkloadKind};
+pub use vault_audit::{audit_session_vault, VaultAudit};

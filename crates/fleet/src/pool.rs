@@ -26,6 +26,9 @@ pub struct NodeShard {
     inflight: Mutex<usize>,
     admit: Condvar,
     capacity: usize,
+    /// Highest vault LSN this node has acknowledged as durable. Rejoin
+    /// after `Down` is gated on it reaching the pool's high-water mark.
+    watermark: Mutex<u64>,
 }
 
 /// RAII admission permit: holding one counts against the node's capacity.
@@ -51,6 +54,11 @@ impl NodeShard {
     /// Sessions currently admitted.
     pub fn inflight(&self) -> usize {
         *self.inflight.lock()
+    }
+
+    /// Highest vault LSN this node has acknowledged as durable.
+    pub fn watermark(&self) -> u64 {
+        *self.watermark.lock()
     }
 
     /// Blocks until the node has capacity, then admits the caller.
@@ -132,6 +140,7 @@ impl NodePool {
                 inflight: Mutex::new(0),
                 admit: Condvar::new(),
                 capacity: capacity.max(1),
+                watermark: Mutex::new(0),
             })
             .collect();
         let mut ring = Vec::with_capacity(n * VNODES);
@@ -199,14 +208,64 @@ impl NodePool {
     /// Fault-injection hook: flips a node's health mid-run. Sessions
     /// placed on a `Down` node fail over per their retry schedule.
     ///
+    /// A node leaving `Down` does **not** rejoin as serving instantly:
+    /// if its vault watermark is behind the pool's high-water mark, the
+    /// requested `Healthy`/`Degraded` is downgraded to
+    /// [`NodeHealth::CatchingUp`] — some cor binding exists that this
+    /// node provably does not hold, so serving would hand sessions a
+    /// stale store. [`NodePool::catch_up`] completes the rejoin.
+    ///
     /// Returns [`NoSuchNode`] for an out-of-range index instead of
     /// panicking — fault plans are frequently written against the
     /// *requested* node count, which the pool may have clamped down.
     pub fn set_health(&self, node: usize, health: NodeHealth) -> Result<(), NoSuchNode> {
         let shard =
             self.shards.get(node).ok_or(NoSuchNode { node, pool_len: self.shards.len() })?;
-        *shard.health.lock() = health;
+        // Read the watermarks before taking the health lock: high_water
+        // walks every shard's watermark mutex and must not nest inside
+        // this shard's own guard.
+        let own = *shard.watermark.lock();
+        let behind = own < self.high_water();
+        let mut current = shard.health.lock();
+        let rejoining = matches!(*current, NodeHealth::Down | NodeHealth::CatchingUp);
+        *current =
+            if health.can_serve() && rejoining && behind { NodeHealth::CatchingUp } else { health };
         Ok(())
+    }
+
+    /// Records that `node`'s vault acknowledged `lsn` as durable. The
+    /// watermark is monotonic: stale acknowledgements never regress it.
+    pub fn set_watermark(&self, node: usize, lsn: u64) -> Result<(), NoSuchNode> {
+        let shard =
+            self.shards.get(node).ok_or(NoSuchNode { node, pool_len: self.shards.len() })?;
+        let mut w = shard.watermark.lock();
+        *w = (*w).max(lsn);
+        Ok(())
+    }
+
+    /// The pool-wide high-water mark: the highest watermark any shard
+    /// has acknowledged. A rejoining node must reach this before serving.
+    pub fn high_water(&self) -> u64 {
+        self.shards.iter().map(|s| *s.watermark.lock()).max().unwrap_or(0)
+    }
+
+    /// Anti-entropy completion for a rejoining node: advances its
+    /// watermark to the pool's high-water mark and, if it was gated in
+    /// [`NodeHealth::CatchingUp`], promotes it to `Healthy`. Returns the
+    /// LSNs the catch-up covered.
+    pub fn catch_up(&self, node: usize) -> Result<u64, NoSuchNode> {
+        let shard =
+            self.shards.get(node).ok_or(NoSuchNode { node, pool_len: self.shards.len() })?;
+        let target = self.high_water();
+        let mut w = shard.watermark.lock();
+        let applied = target.saturating_sub(*w);
+        *w = target;
+        drop(w);
+        let mut health = shard.health.lock();
+        if *health == NodeHealth::CatchingUp {
+            *health = NodeHealth::Healthy;
+        }
+        Ok(applied)
     }
 }
 
@@ -276,6 +335,47 @@ mod tests {
         assert_eq!(pool.shard(1).health(), NodeHealth::Down);
         pool.set_health(1, NodeHealth::Healthy).unwrap();
         assert_eq!(pool.shard(1).health(), NodeHealth::Healthy);
+    }
+
+    #[test]
+    fn rejoin_is_gated_on_vault_catch_up() {
+        let pool =
+            NodePool::new(2, 1, &FaultPlan { down_nodes: vec![1], slow_nodes: vec![] }).unwrap();
+        // The surviving node's vault advanced while node 1 was down.
+        pool.set_watermark(0, 7).unwrap();
+        assert_eq!(pool.high_water(), 7);
+        // Rejoin while behind: downgraded to CatchingUp, not serving.
+        pool.set_health(1, NodeHealth::Healthy).unwrap();
+        assert_eq!(pool.shard(1).health(), NodeHealth::CatchingUp);
+        assert!(!pool.shard(1).health().can_serve());
+        // Anti-entropy closes the gap and completes the rejoin.
+        assert_eq!(pool.catch_up(1).unwrap(), 7);
+        assert_eq!(pool.shard(1).watermark(), 7);
+        assert_eq!(pool.shard(1).health(), NodeHealth::Healthy);
+        // A node already at the high-water mark rejoins directly.
+        pool.set_health(1, NodeHealth::Down).unwrap();
+        pool.set_health(1, NodeHealth::Healthy).unwrap();
+        assert_eq!(pool.shard(1).health(), NodeHealth::Healthy);
+    }
+
+    #[test]
+    fn watermarks_are_monotonic() {
+        let pool = NodePool::new(1, 1, &FaultPlan::default()).unwrap();
+        pool.set_watermark(0, 5).unwrap();
+        pool.set_watermark(0, 3).unwrap();
+        assert_eq!(pool.shard(0).watermark(), 5, "stale acks never regress");
+        assert!(pool.set_watermark(9, 1).is_err());
+        assert!(pool.catch_up(9).is_err());
+    }
+
+    #[test]
+    fn healthy_nodes_are_not_demoted_by_set_health() {
+        let pool = NodePool::new(2, 1, &FaultPlan::default()).unwrap();
+        pool.set_watermark(0, 4).unwrap();
+        // Node 1 is behind but was never Down: flipping it Degraded is a
+        // link statement, not a rejoin, and must stick.
+        pool.set_health(1, NodeHealth::Degraded).unwrap();
+        assert_eq!(pool.shard(1).health(), NodeHealth::Degraded);
     }
 
     #[test]

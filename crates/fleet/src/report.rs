@@ -110,6 +110,24 @@ pub struct FleetReport {
     /// Cor bytes found on device hosts by post-run residue scans. The
     /// fail-closed invariant demands zero; reported so tests can check.
     pub residue_violations: u64,
+    /// Vault recoveries the durability audits ran, fleet-wide.
+    pub vault_recoveries: u64,
+    /// Torn WAL tails those recoveries truncated away.
+    pub torn_tail_repairs: u64,
+    /// Lost-cor incidents (recovered store diverged from its
+    /// committed-prefix reference). Acceptance bar: zero.
+    pub lost_cors: u64,
+    /// Sessions served from a stale vault replica. Acceptance bar: zero —
+    /// cor-aware failover catches replicas up or fails closed instead.
+    pub stale_serves: u64,
+    /// LSNs anti-entropy replayed to lagging replicas, fleet-wide.
+    pub vault_catchup_lsns: u64,
+    /// Session secrets found in vault durable bytes (node side; expected
+    /// positive under chaos — the scan has to actually bite).
+    pub wal_plaintexts: u64,
+    /// Session secrets found in vault bytes *and* on a device surface.
+    /// Acceptance bar: zero.
+    pub wal_device_leaks: u64,
     /// Client→node execution migrations, total.
     pub offloads: u64,
     /// Method invocations on trusted nodes, total.
@@ -211,6 +229,13 @@ impl FleetReport {
             deliveries: sum(|o| o.deliveries),
             duplicate_deliveries: sum(|o| o.duplicate_deliveries),
             residue_violations: sum(|o| o.residue_violations),
+            vault_recoveries: sum(|o| o.vault_recoveries),
+            torn_tail_repairs: sum(|o| o.torn_tail_repairs),
+            lost_cors: sum(|o| o.lost_cors),
+            stale_serves: sum(|o| o.stale_serves),
+            vault_catchup_lsns: sum(|o| o.vault_catchup_lsns),
+            wal_plaintexts: sum(|o| o.wal_plaintexts),
+            wal_device_leaks: sum(|o| o.wal_device_leaks),
             offloads: sum(|o| o.offloads),
             node_methods: sum(|o| o.node_methods),
             client_methods: sum(|o| o.client_methods),
@@ -252,6 +277,13 @@ impl FleetReport {
         put("deliveries", Value::U64(self.deliveries));
         put("duplicate_deliveries", Value::U64(self.duplicate_deliveries));
         put("residue_violations", Value::U64(self.residue_violations));
+        put("vault_recoveries", Value::U64(self.vault_recoveries));
+        put("torn_tail_repairs", Value::U64(self.torn_tail_repairs));
+        put("lost_cors", Value::U64(self.lost_cors));
+        put("stale_serves", Value::U64(self.stale_serves));
+        put("vault_catchup_lsns", Value::U64(self.vault_catchup_lsns));
+        put("wal_plaintexts", Value::U64(self.wal_plaintexts));
+        put("wal_device_leaks", Value::U64(self.wal_device_leaks));
         put("offloads", Value::U64(self.offloads));
         put("node_methods", Value::U64(self.node_methods));
         put("client_methods", Value::U64(self.client_methods));
@@ -338,6 +370,13 @@ mod tests {
             deliveries: 1,
             duplicate_deliveries: 0,
             residue_violations: 0,
+            vault_recoveries: 0,
+            torn_tail_repairs: 0,
+            lost_cors: 0,
+            stale_serves: 0,
+            vault_catchup_lsns: 0,
+            wal_plaintexts: 0,
+            wal_device_leaks: 0,
         }
     }
 

@@ -32,8 +32,9 @@ pub struct FleetObs {
 }
 
 /// Runs one session with the fleet's retry policy: walk the replica
-/// order, skip `Down` nodes (charging simulated backoff), run on the
-/// first live node, degrade the link when that node is `Degraded`.
+/// order, skip nodes that cannot serve — `Down`, or `CatchingUp` on a
+/// stale vault — charging simulated backoff, run on the first live node,
+/// degrade the link when that node is `Degraded`.
 ///
 /// With a static [`crate::failure::FaultPlan`] this is a pure function of
 /// `(cfg, spec, pool topology)` — no wall-clock state feeds the result.
@@ -68,7 +69,7 @@ pub fn execute_with_failover_obs(
         }
         let shard = pool.shard(node);
         let health = shard.health();
-        if health == NodeHealth::Down {
+        if !health.can_serve() {
             let delay = backoff_delay(cfg.backoff, i as u32);
             penalty += delay;
             obs.metrics.add("fleet.backoff_ns", delay.as_nanos());
@@ -283,6 +284,31 @@ mod tests {
         // Failed-over sessions carry the simulated backoff penalty.
         let penalized = report.outcomes.iter().find(|o| o.attempts > 1).expect("a failover");
         assert!(penalized.latency >= cfg.backoff);
+    }
+
+    #[test]
+    fn rejoining_node_serves_nothing_while_behind() {
+        let mut cfg = FleetConfig::new(6, 2);
+        cfg.nodes = 2;
+        cfg.faults = FaultPlan { down_nodes: vec![0], slow_nodes: vec![] };
+        let pool = NodePool::new(cfg.nodes, cfg.node_capacity, &cfg.faults).unwrap();
+        // While node 0 was down, node 1's vault advanced.
+        pool.set_watermark(1, 9).unwrap();
+        // Node 0 comes back — but behind, so the rejoin gates it.
+        pool.set_health(0, NodeHealth::Healthy).unwrap();
+        assert_eq!(pool.shard(0).health(), NodeHealth::CatchingUp);
+        let obs = FleetObs::default();
+        for spec in build_session_specs(&cfg) {
+            let out = execute_with_failover_obs(&cfg, &pool, &spec, &obs);
+            assert!(out.success);
+            assert_ne!(out.node, Some(0), "a catching-up node must not serve session {}", out.id);
+        }
+        // After anti-entropy the node serves again.
+        pool.catch_up(0).unwrap();
+        assert_eq!(pool.shard(0).health(), NodeHealth::Healthy);
+        let spec = build_session_specs(&cfg).remove(0);
+        let out = execute_with_failover_obs(&cfg, &pool, &spec, &obs);
+        assert!(out.success);
     }
 
     #[test]

@@ -68,6 +68,27 @@ pub struct SessionOutcome {
     /// Cor byte sequences found on a device host by the post-run residue
     /// scan. Must be zero; counted so the invariant is checkable.
     pub residue_violations: u64,
+    /// Vault recoveries the session's durability audits ran (chaos runs
+    /// only: one per attempt).
+    pub vault_recoveries: u64,
+    /// Torn WAL tails those recoveries truncated away.
+    pub torn_tail_repairs: u64,
+    /// Lost-cor incidents: a recovered store diverged from its
+    /// committed-prefix reference. Must be zero.
+    pub lost_cors: u64,
+    /// Attempts served from a vault replica whose watermark did not cover
+    /// this session's cor writes. Must be zero: cor-aware failover
+    /// catches the replica up or fails closed instead.
+    pub stale_serves: u64,
+    /// LSNs anti-entropy replayed to lagging replicas on this session's
+    /// behalf (the catch-up cost is charged into `latency`).
+    pub vault_catchup_lsns: u64,
+    /// Session secrets found in vault durable bytes (node side — expected
+    /// positive under chaos; plaintext belongs on the trusted node).
+    pub wal_plaintexts: u64,
+    /// Session secrets found in vault bytes *and* on a device surface.
+    /// Must be zero: durability never widens exposure toward the device.
+    pub wal_device_leaks: u64,
 }
 
 impl SessionOutcome {
@@ -91,6 +112,13 @@ impl SessionOutcome {
             deliveries: 0,
             duplicate_deliveries: 0,
             residue_violations: 0,
+            vault_recoveries: 0,
+            torn_tail_repairs: 0,
+            lost_cors: 0,
+            stale_serves: 0,
+            vault_catchup_lsns: 0,
+            wal_plaintexts: 0,
+            wal_device_leaks: 0,
         }
     }
 }
@@ -336,6 +364,13 @@ pub fn outcome_from_report(
         deliveries: 0,
         duplicate_deliveries: 0,
         residue_violations: 0,
+        vault_recoveries: 0,
+        torn_tail_repairs: 0,
+        lost_cors: 0,
+        stale_serves: 0,
+        vault_catchup_lsns: 0,
+        wal_plaintexts: 0,
+        wal_device_leaks: 0,
     }
 }
 

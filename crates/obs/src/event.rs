@@ -94,8 +94,9 @@ pub enum TraceEvent {
     /// The chaos layer armed a fault for a session attempt.
     ChaosInject {
         /// Fault kind: `"crash"`, `"partition"`, `"sync_timeout"`,
-        /// `"packet_loss"`, `"packet_corrupt"`, `"packet_delay"`, or
-        /// `"link_flap"`.
+        /// `"packet_loss"`, `"packet_corrupt"`, `"packet_delay"`,
+        /// `"link_flap"`, `"vault_mid_commit"`, `"vault_torn_tail"`,
+        /// `"vault_compaction"`, or `"replica_lag"`.
         kind: &'static str,
         /// Target node index.
         node: u64,
@@ -130,7 +131,9 @@ pub enum TraceEvent {
     FailClosed {
         /// Session id.
         session: u64,
-        /// Why: `"attempts_exhausted"` or `"deadline"`.
+        /// Why: `"attempts_exhausted"`, `"deadline"`, or
+        /// `"stale_replica"` (a lagging vault replica could not catch up
+        /// within the deadline budget).
         reason: &'static str,
     },
     /// The origin-server dedup suppressed re-sent payload replacements
@@ -140,6 +143,32 @@ pub enum TraceEvent {
         session: u64,
         /// Re-deliveries suppressed on this attempt.
         duplicates: u64,
+    },
+    /// A session's durability audit recovered the node's cor vault after
+    /// an injected (or clean-shutdown) crash.
+    VaultRecovery {
+        /// Session id whose audit ran the recovery.
+        session: u64,
+        /// Node index whose vault recovered.
+        node: u64,
+        /// Highest LSN the recovered store reached.
+        applied_lsn: u64,
+        /// True if a torn final write was truncated away.
+        torn_repaired: bool,
+        /// Duplicated appends skipped by the idempotent apply.
+        duplicates: u64,
+    },
+    /// Cor-aware failover caught a lagging replica up before letting it
+    /// serve (anti-entropy charged against the session's deadline).
+    VaultCatchUp {
+        /// Session id that paid for the catch-up.
+        session: u64,
+        /// Node index whose replica was behind.
+        node: u64,
+        /// LSNs replayed to close the gap.
+        lsns: u64,
+        /// Simulated catch-up cost charged, nanoseconds.
+        cost_ns: u64,
     },
     /// A named span; appears with [`crate::TracePhase::Begin`] and
     /// [`crate::TracePhase::End`] records (Chrome `B`/`E` semantics:
@@ -170,6 +199,8 @@ impl TraceEvent {
             TraceEvent::SessionReplay { .. } => "session_replay",
             TraceEvent::FailClosed { .. } => "fail_closed",
             TraceEvent::DeliveryDedup { .. } => "delivery_dedup",
+            TraceEvent::VaultRecovery { .. } => "vault_recovery",
+            TraceEvent::VaultCatchUp { .. } => "vault_catch_up",
             TraceEvent::Span { name } => name,
         }
     }
@@ -243,6 +274,21 @@ impl TraceEvent {
             TraceEvent::DeliveryDedup { session, duplicates } => vec![
                 ("session".to_owned(), Value::U64(*session)),
                 ("duplicates".to_owned(), Value::U64(*duplicates)),
+            ],
+            TraceEvent::VaultRecovery { session, node, applied_lsn, torn_repaired, duplicates } => {
+                vec![
+                    ("session".to_owned(), Value::U64(*session)),
+                    ("node".to_owned(), Value::U64(*node)),
+                    ("applied_lsn".to_owned(), Value::U64(*applied_lsn)),
+                    ("torn_repaired".to_owned(), Value::Bool(*torn_repaired)),
+                    ("duplicates".to_owned(), Value::U64(*duplicates)),
+                ]
+            }
+            TraceEvent::VaultCatchUp { session, node, lsns, cost_ns } => vec![
+                ("session".to_owned(), Value::U64(*session)),
+                ("node".to_owned(), Value::U64(*node)),
+                ("lsns".to_owned(), Value::U64(*lsns)),
+                ("cost_ns".to_owned(), Value::U64(*cost_ns)),
             ],
             TraceEvent::Span { .. } => Vec::new(),
         }

@@ -1,0 +1,308 @@
+//! A simulated disk with explicit fsync barriers.
+//!
+//! Real crash consistency is defined by one boundary: bytes the kernel
+//! has acknowledged an `fsync` for survive a power cut; everything else
+//! may land whole, land partially (a *torn write*), or vanish. This disk
+//! models exactly that boundary and nothing else — each file keeps its
+//! durable bytes separate from a queue of pending operations, and
+//! [`SimDisk::crash`] resolves the pending queue the way a dying kernel
+//! would: a seeded prefix of the queued bytes makes it to the platter,
+//! possibly cutting the final write mid-record.
+//!
+//! Renames are modeled as atomic and durable (journaled-metadata
+//! semantics, the contract `rename(2)` gives on every filesystem the
+//! paper's trusted node would run): a crash sees either the old name or
+//! the new one, never a half-moved file. That is the primitive the
+//! vault's snapshot compaction leans on.
+
+use std::collections::BTreeMap;
+
+/// A queued, not-yet-durable mutation on one file.
+#[derive(Clone, Debug)]
+enum PendingOp {
+    /// Bytes appended past the current durable end.
+    Append(Vec<u8>),
+    /// Truncate the file to this length (used by compaction's log rewrite).
+    Truncate(usize),
+}
+
+/// Cumulative I/O counters, the source of the `vault.*` gauges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// `append` calls issued.
+    pub appends: u64,
+    /// `fsync` barriers issued.
+    pub fsyncs: u64,
+    /// Bytes made durable by fsync barriers.
+    pub bytes_durable: u64,
+    /// Crashes this disk has absorbed.
+    pub crashes: u64,
+}
+
+/// One simulated file: durable content plus the pending-op queue.
+#[derive(Clone, Debug, Default)]
+struct SimFile {
+    durable: Vec<u8>,
+    pending: Vec<PendingOp>,
+}
+
+impl SimFile {
+    /// Applies every pending op, in order, as an fsync barrier does.
+    fn flush(&mut self) -> u64 {
+        let mut bytes = 0u64;
+        for op in self.pending.drain(..) {
+            match op {
+                PendingOp::Append(b) => {
+                    bytes += b.len() as u64;
+                    self.durable.extend_from_slice(&b);
+                }
+                PendingOp::Truncate(len) => self.durable.truncate(len),
+            }
+        }
+        bytes
+    }
+
+    /// Applies pending ops under a crash byte-budget: ops land in order
+    /// until the budget runs out; the op that exhausts it lands as a
+    /// *prefix* (a torn write); everything after is lost.
+    fn crash_apply(&mut self, mut budget: usize) {
+        for op in self.pending.drain(..) {
+            match op {
+                PendingOp::Append(b) => {
+                    if budget >= b.len() {
+                        budget -= b.len();
+                        self.durable.extend_from_slice(&b);
+                    } else {
+                        self.durable.extend_from_slice(&b[..budget]);
+                        return;
+                    }
+                }
+                PendingOp::Truncate(len) => {
+                    if budget == 0 {
+                        return;
+                    }
+                    self.durable.truncate(len);
+                }
+            }
+        }
+    }
+
+    fn pending_bytes(&self) -> usize {
+        self.pending
+            .iter()
+            .map(|op| match op {
+                PendingOp::Append(b) => b.len(),
+                PendingOp::Truncate(_) => 1,
+            })
+            .sum()
+    }
+}
+
+/// The simulated fsync-barrier disk a [`crate::Vault`] writes through.
+#[derive(Clone, Debug, Default)]
+pub struct SimDisk {
+    files: BTreeMap<String, SimFile>,
+    stats: DiskStats,
+}
+
+impl SimDisk {
+    /// An empty disk.
+    pub fn new() -> SimDisk {
+        SimDisk::default()
+    }
+
+    /// Queues an append. The bytes are *not* durable until the next
+    /// [`SimDisk::fsync`] on this file.
+    pub fn append(&mut self, file: &str, bytes: &[u8]) {
+        self.stats.appends += 1;
+        self.files
+            .entry(file.to_owned())
+            .or_default()
+            .pending
+            .push(PendingOp::Append(bytes.to_owned()));
+    }
+
+    /// Queues a truncate-then-append that replaces the file's content.
+    pub fn write_all(&mut self, file: &str, bytes: &[u8]) {
+        let f = self.files.entry(file.to_owned()).or_default();
+        f.pending.push(PendingOp::Truncate(0));
+        f.pending.push(PendingOp::Append(bytes.to_owned()));
+        self.stats.appends += 1;
+    }
+
+    /// The fsync barrier: every queued op on `file` becomes durable, in
+    /// order. This is the commit point — the vault acknowledges nothing
+    /// it has not fsynced.
+    pub fn fsync(&mut self, file: &str) {
+        self.stats.fsyncs += 1;
+        if let Some(f) = self.files.get_mut(file) {
+            self.stats.bytes_durable += f.flush();
+        }
+    }
+
+    /// Atomic durable rename (journaled metadata). The source's pending
+    /// queue is flushed first — rename-as-publish only means anything if
+    /// the published content is durable, which is why the compaction
+    /// protocol fsyncs before renaming anyway.
+    pub fn rename(&mut self, from: &str, to: &str) {
+        if let Some(mut f) = self.files.remove(from) {
+            self.stats.bytes_durable += f.flush();
+            self.files.insert(to.to_owned(), f);
+        }
+    }
+
+    /// Removes a file (durably; directory ops are journaled like rename).
+    pub fn remove(&mut self, file: &str) {
+        self.files.remove(file);
+    }
+
+    /// True if the file exists (durable or with queued writes).
+    pub fn exists(&self, file: &str) -> bool {
+        self.files.contains_key(file)
+    }
+
+    /// The file's *durable* bytes — what a post-crash reader sees.
+    pub fn read(&self, file: &str) -> &[u8] {
+        self.files.get(file).map(|f| f.durable.as_slice()).unwrap_or(&[])
+    }
+
+    /// Bytes queued behind the next fsync barrier on `file`.
+    pub fn pending_bytes(&self, file: &str) -> usize {
+        self.files.get(file).map(|f| f.pending_bytes()).unwrap_or(0)
+    }
+
+    /// Power cut. Every file's pending queue resolves under a seeded
+    /// byte-budget drawn below its pending size — so the last in-flight
+    /// write can land torn — and the queues are gone afterward. Files are
+    /// processed in name order with per-file seeds, keeping the outcome a
+    /// pure function of (disk state, seed).
+    pub fn crash(&mut self, seed: u64) {
+        self.stats.crashes += 1;
+        let mut mix = tinman_sim::SplitMix64::new(seed ^ 0x5d15_c0de_dead_d15c);
+        for (_, f) in self.files.iter_mut() {
+            let pending = f.pending_bytes();
+            let budget = if pending == 0 { 0 } else { mix.below(pending as u64 + 1) as usize };
+            f.crash_apply(budget);
+        }
+    }
+
+    /// Power cut where nothing in flight survives: pending queues are
+    /// dropped whole. The clean-cut end of the crash spectrum.
+    pub fn crash_losing_pending(&mut self) {
+        self.stats.crashes += 1;
+        for (_, f) in self.files.iter_mut() {
+            f.pending.clear();
+        }
+    }
+
+    /// Power cut with an explicit byte-budget for one file (other files
+    /// lose their queues). Lets fault injection place the tear exactly.
+    pub fn crash_keeping(&mut self, file: &str, budget: usize) {
+        self.stats.crashes += 1;
+        for (name, f) in self.files.iter_mut() {
+            if name == file {
+                f.crash_apply(budget);
+            } else {
+                f.pending.clear();
+            }
+        }
+    }
+
+    /// Cumulative I/O counters.
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsynced_writes_are_not_durable() {
+        let mut d = SimDisk::new();
+        d.append("wal", b"hello");
+        assert_eq!(d.read("wal"), b"");
+        assert_eq!(d.pending_bytes("wal"), 5);
+        d.fsync("wal");
+        assert_eq!(d.read("wal"), b"hello");
+        assert_eq!(d.pending_bytes("wal"), 0);
+    }
+
+    #[test]
+    fn crash_drops_or_tears_pending() {
+        let mut d = SimDisk::new();
+        d.append("wal", b"aaaa");
+        d.fsync("wal");
+        d.append("wal", b"bbbb");
+        d.crash_keeping("wal", 2);
+        assert_eq!(d.read("wal"), b"aaaabb", "torn write keeps a prefix");
+        let mut e = SimDisk::new();
+        e.append("wal", b"aaaa");
+        e.fsync("wal");
+        e.append("wal", b"bbbb");
+        e.crash_losing_pending();
+        assert_eq!(e.read("wal"), b"aaaa", "fsynced bytes survive, pending is gone");
+    }
+
+    #[test]
+    fn seeded_crash_is_deterministic_and_bounded() {
+        for seed in 0..50u64 {
+            let mut a = SimDisk::new();
+            a.append("wal", b"0123456789");
+            let mut b = a.clone();
+            a.crash(seed);
+            b.crash(seed);
+            assert_eq!(a.read("wal"), b.read("wal"), "crash is a pure function of the seed");
+            assert!(a.read("wal").len() <= 10);
+        }
+    }
+
+    #[test]
+    fn rename_is_atomic_and_replaces() {
+        let mut d = SimDisk::new();
+        d.write_all("snap", b"old");
+        d.fsync("snap");
+        d.write_all("snap.new", b"new-content");
+        d.fsync("snap.new");
+        d.rename("snap.new", "snap");
+        assert_eq!(d.read("snap"), b"new-content");
+        assert!(!d.exists("snap.new"));
+    }
+
+    #[test]
+    fn write_all_replaces_content_at_the_barrier() {
+        let mut d = SimDisk::new();
+        d.append("wal", b"long-old-content");
+        d.fsync("wal");
+        d.write_all("wal", b"tiny");
+        assert_eq!(d.read("wal"), b"long-old-content", "replacement waits for the barrier");
+        d.fsync("wal");
+        assert_eq!(d.read("wal"), b"tiny");
+    }
+
+    #[test]
+    fn crash_with_zero_budget_preserves_old_content_under_write_all() {
+        // The dangerous compaction shape: a staged truncate+rewrite that
+        // dies before its barrier must leave the old durable bytes alone.
+        let mut d = SimDisk::new();
+        d.append("wal", b"precious");
+        d.fsync("wal");
+        d.write_all("wal", b"rewrite");
+        d.crash_keeping("wal", 0);
+        assert_eq!(d.read("wal"), b"precious");
+    }
+
+    #[test]
+    fn stats_count_barriers_and_crashes() {
+        let mut d = SimDisk::new();
+        d.append("wal", b"abc");
+        d.fsync("wal");
+        d.crash(1);
+        let s = d.stats();
+        assert_eq!(s.appends, 1);
+        assert_eq!(s.fsyncs, 1);
+        assert_eq!(s.bytes_durable, 3);
+        assert_eq!(s.crashes, 1);
+    }
+}

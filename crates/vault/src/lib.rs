@@ -1,0 +1,38 @@
+//! tinman-vault: crash-consistent, replicated cor state.
+//!
+//! The paper's whole guarantee hangs on the trusted node being the one
+//! place cor plaintext lives (§3.6 has the node persisting its store —
+//! including derived cors minted mid-session — across restarts). That
+//! makes node durability a *security* property: a partially recovered
+//! store is a wrong placeholder↔plaintext binding, not merely downtime.
+//! This crate provides the durability layer the fleet's failover builds
+//! on:
+//!
+//! * [`SimDisk`] — a simulated disk whose only contract is the fsync
+//!   barrier: unsynced writes may land whole, torn, or not at all.
+//! * [`wal`] — checksummed, LSN-framed record encoding that tells torn
+//!   tails (repairable crash artifacts) apart from corruption (refuse).
+//! * [`Vault`] — append/commit over the WAL, snapshot + log-truncation
+//!   compaction with an atomic-rename publish, and [`Vault::recover`]:
+//!   deterministic replay that is idempotent on the LSN, repairs torn
+//!   tails, and reproduces the pre-crash store byte-for-byte at the
+//!   durable boundary — or fails with a checked [`VaultError`].
+//! * [`ReplicatedVault`] — primary→replica log shipping with a per-
+//!   replica acknowledged watermark, the signal cor-aware failover
+//!   reads: serve only from a replica whose watermark covers the
+//!   session's writes, anti-entropy catch-up otherwise (at
+//!   [`CATCH_UP_PER_LSN`] per missing record), or fail closed.
+
+#![warn(missing_docs)]
+
+mod disk;
+mod ship;
+mod vault;
+pub mod wal;
+
+pub use disk::{DiskStats, SimDisk};
+pub use ship::{catch_up_cost, ReplicatedVault, CATCH_UP_PER_LSN};
+pub use vault::{
+    log_store_records, CompactionCrash, RecoveredVault, RecoveryReport, Vault, VaultError, VaultOp,
+    VaultStats, SNAP_FILE, SNAP_TMP, WAL_FILE,
+};

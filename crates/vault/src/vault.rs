@@ -1,0 +1,620 @@
+//! The vault: an append-only WAL plus snapshot compaction over a
+//! [`SimDisk`], and the deterministic recovery replay that turns the
+//! durable bytes back into a [`CorStore`].
+//!
+//! Commit discipline is **fsync-before-ack**: [`Vault::append`] only
+//! stages a frame; nothing is acknowledged (or shipped to a replica, or
+//! reported to a client) until [`Vault::commit`] runs the barrier. A
+//! crash therefore loses only unacknowledged work — which is exactly
+//! what lets recovery promise *zero lost cors*: every record anyone was
+//! told about is below the durable LSN, and recovery reproduces the
+//! store at that LSN byte-for-byte or refuses with a checked error.
+//!
+//! Replay is idempotent, keyed on the monotonic LSN (the same
+//! prefix-dedup trick the chaos layer's `DeliveryLedger` uses for TCP
+//! payload replacement): a duplicated append — a retry whose first copy
+//! actually landed — is skipped, a *gap* in the sequence is a hard
+//! [`VaultError::MissingRecords`] because a hole in cor state is a
+//! security failure, not an availability blip.
+
+use serde::{Deserialize, Serialize};
+use tinman_cor::{CorRecord, CorStore};
+
+use crate::disk::SimDisk;
+use crate::wal::{decode_frames, encode_frame, CorruptFrame, DecodeEnd, FrameKind};
+
+/// The WAL file name on the vault's disk.
+pub const WAL_FILE: &str = "cor.wal";
+/// The published snapshot file name.
+pub const SNAP_FILE: &str = "cor.snap";
+/// The staging name compaction writes before its atomic rename.
+pub const SNAP_TMP: &str = "cor.snap.new";
+
+/// One logged operation (the WAL's `Put` payload).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum VaultOp {
+    /// Install one cor record; `next_id` is the allocator position after
+    /// it, so replay restores allocation state exactly.
+    Put {
+        /// The record, plaintext included — the WAL lives on the trusted
+        /// node, the one place plaintext may exist.
+        record: CorRecord,
+        /// Allocator position after this record.
+        next_id: u8,
+    },
+}
+
+/// Why the vault refused.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VaultError {
+    /// No durable snapshot exists — the vault was never safely created.
+    SnapshotMissing,
+    /// The snapshot file exists but does not decode to a store.
+    CorruptSnapshot(String),
+    /// Malformed bytes mid-log (not a torn tail; see [`CorruptFrame`]).
+    CorruptLog(CorruptFrame),
+    /// A frame's payload did not deserialize to a [`VaultOp`].
+    BadPayload {
+        /// The offending frame's LSN.
+        lsn: u64,
+    },
+    /// The LSN sequence has a hole: a record someone was told about is
+    /// gone. A security failure — recovery refuses rather than serving a
+    /// store missing a placeholder↔plaintext binding.
+    MissingRecords {
+        /// The LSN recovery expected next.
+        expected: u64,
+        /// The LSN it found instead.
+        found: u64,
+    },
+    /// Replaying a frame against the store failed validation.
+    Apply {
+        /// The offending frame's LSN.
+        lsn: u64,
+        /// The store's rejection.
+        reason: String,
+    },
+    /// Serializing store state failed (wraps `PersistError`).
+    Persist(String),
+}
+
+impl std::fmt::Display for VaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VaultError::SnapshotMissing => write!(f, "no durable snapshot"),
+            VaultError::CorruptSnapshot(e) => write!(f, "corrupt snapshot: {e}"),
+            VaultError::CorruptLog(e) => write!(f, "{e}"),
+            VaultError::BadPayload { lsn } => write!(f, "undecodable payload at lsn {lsn}"),
+            VaultError::MissingRecords { expected, found } => {
+                write!(f, "log hole: expected lsn {expected}, found {found}")
+            }
+            VaultError::Apply { lsn, reason } => write!(f, "replay failed at lsn {lsn}: {reason}"),
+            VaultError::Persist(e) => write!(f, "persist: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VaultError {}
+
+/// Where a crash lands inside the compaction protocol (fault injection).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompactionCrash {
+    /// After staging the new snapshot, before its fsync barrier.
+    BeforeSnapshotSync,
+    /// After the snapshot barrier, before the atomic rename publishes it.
+    BeforeRename,
+    /// After publish, before the WAL truncation is staged/synced.
+    BeforeTruncate,
+    /// After staging the WAL truncation, before its barrier.
+    BeforeTruncateSync,
+}
+
+impl CompactionCrash {
+    /// All injectable crash points, in protocol order.
+    pub const ALL: [CompactionCrash; 4] = [
+        CompactionCrash::BeforeSnapshotSync,
+        CompactionCrash::BeforeRename,
+        CompactionCrash::BeforeTruncate,
+        CompactionCrash::BeforeTruncateSync,
+    ];
+}
+
+/// Cumulative vault-level counters (the disk keeps its own I/O stats).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VaultStats {
+    /// Frames staged.
+    pub appends: u64,
+    /// Commit barriers run.
+    pub commits: u64,
+    /// Compactions completed.
+    pub compactions: u64,
+}
+
+/// What one recovery did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Highest LSN applied (snapshot base + replayed frames).
+    pub applied_lsn: u64,
+    /// The LSN the snapshot covered.
+    pub snapshot_lsn: u64,
+    /// Frames replayed from the WAL.
+    pub replayed: u64,
+    /// Duplicated appends skipped by the idempotent apply.
+    pub duplicates: u64,
+    /// True if a torn final write was truncated away.
+    pub torn_tail_repaired: bool,
+}
+
+/// A recovered vault: the rebuilt store plus a vault ready to append.
+/// Debug prints only the report — the store holds plaintext.
+pub struct RecoveredVault {
+    /// The vault, repositioned after the last durable frame.
+    pub vault: Vault,
+    /// The store recovery rebuilt.
+    pub store: CorStore,
+    /// What replay encountered.
+    pub report: RecoveryReport,
+}
+
+impl std::fmt::Debug for RecoveredVault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecoveredVault").field("report", &self.report).finish_non_exhaustive()
+    }
+}
+
+/// The append-only cor log over one simulated disk.
+pub struct Vault {
+    disk: SimDisk,
+    /// Next LSN to assign.
+    next_lsn: u64,
+    /// Highest LSN covered by a commit barrier.
+    durable_lsn: u64,
+    /// The LSN the published snapshot covers.
+    snapshot_lsn: u64,
+    /// Committed frames not yet compacted away, for replica shipping.
+    committed: Vec<(u64, Vec<u8>)>,
+    /// Frames staged since the last barrier.
+    staged: Vec<(u64, Vec<u8>)>,
+    stats: VaultStats,
+}
+
+impl Vault {
+    /// Creates a vault whose base snapshot is `store`'s current state,
+    /// published durably (write, barrier) before returning.
+    pub fn create(store: &CorStore) -> Result<Vault, VaultError> {
+        let json = store.to_json().map_err(|e| VaultError::Persist(e.to_string()))?;
+        let mut disk = SimDisk::new();
+        let frame = encode_frame(0, FrameKind::Snapshot, json.as_bytes());
+        disk.write_all(SNAP_FILE, &frame);
+        disk.fsync(SNAP_FILE);
+        Ok(Vault {
+            disk,
+            next_lsn: 1,
+            durable_lsn: 0,
+            snapshot_lsn: 0,
+            committed: Vec::new(),
+            staged: Vec::new(),
+            stats: VaultStats::default(),
+        })
+    }
+
+    /// Stages one operation; returns its LSN. **Not durable** until
+    /// [`Vault::commit`].
+    pub fn append(&mut self, op: &VaultOp) -> Result<u64, VaultError> {
+        let payload = serde_json::to_string(op).map_err(|e| VaultError::Persist(e.to_string()))?;
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        let frame = encode_frame(lsn, FrameKind::Put, payload.as_bytes());
+        self.disk.append(WAL_FILE, &frame);
+        self.staged.push((lsn, frame));
+        self.stats.appends += 1;
+        Ok(lsn)
+    }
+
+    /// The commit barrier: everything staged becomes durable and
+    /// acknowledgeable.
+    pub fn commit(&mut self) {
+        self.disk.fsync(WAL_FILE);
+        self.durable_lsn = self.next_lsn - 1;
+        self.committed.append(&mut self.staged);
+        self.stats.commits += 1;
+    }
+
+    /// Fault injection: re-append the last *committed* frame, modeling a
+    /// retry whose first copy actually landed (the ack was lost, the
+    /// writer sent the bytes again). Recovery must dedup it by LSN.
+    pub fn inject_duplicate_of_last_committed(&mut self) {
+        if let Some((_, frame)) = self.committed.last() {
+            let frame = frame.clone();
+            self.disk.append(WAL_FILE, &frame);
+        }
+    }
+
+    /// Highest acknowledged (fsynced) LSN.
+    pub fn durable_lsn(&self) -> u64 {
+        self.durable_lsn
+    }
+
+    /// The LSN the published snapshot covers.
+    pub fn snapshot_lsn(&self) -> u64 {
+        self.snapshot_lsn
+    }
+
+    /// Committed frames above `after`, `(lsn, frame bytes)` — what log
+    /// shipping sends to a replica whose watermark is `after`.
+    pub fn frames_after(&self, after: u64) -> Vec<(u64, Vec<u8>)> {
+        self.committed.iter().filter(|(lsn, _)| *lsn > after).cloned().collect()
+    }
+
+    /// Vault-level counters.
+    pub fn stats(&self) -> VaultStats {
+        self.stats
+    }
+
+    /// The underlying disk (crash injection, byte scans).
+    pub fn disk(&self) -> &SimDisk {
+        &self.disk
+    }
+
+    /// Mutable disk access for crash injection.
+    pub fn disk_mut(&mut self) -> &mut SimDisk {
+        &mut self.disk
+    }
+
+    /// Consumes the vault, returning the disk — the crash handoff:
+    /// whatever was not committed is at the disk's mercy, and only
+    /// [`Vault::recover`] can say what survived.
+    pub fn into_disk(self) -> SimDisk {
+        self.disk
+    }
+
+    /// True if `needle` appears in the vault's durable bytes (WAL or
+    /// snapshot). Cor plaintexts are *supposed* to be here — this is the
+    /// trusted node's storage — which is what makes the device-side scan
+    /// meaningful: the same needle must never appear on a device surface.
+    pub fn durable_bytes_contain(&self, needle: &str) -> bool {
+        let hay_wal = String::from_utf8_lossy(self.disk.read(WAL_FILE)).into_owned();
+        let hay_snap = String::from_utf8_lossy(self.disk.read(SNAP_FILE)).into_owned();
+        hay_wal.contains(needle) || hay_snap.contains(needle)
+    }
+
+    /// Snapshot + log-truncation compaction: publish `store` (which must
+    /// reflect every committed frame) as the new base image, then empty
+    /// the WAL. Write-new → barrier → atomic rename → truncate → barrier,
+    /// so a crash at *any* step leaves either the old or the new snapshot
+    /// fully intact, never a blend.
+    pub fn compact(&mut self, store: &CorStore) -> Result<(), VaultError> {
+        self.compact_inner(store, None, 0).map(|_| ())
+    }
+
+    /// [`Vault::compact`] that dies at `crash` (with `seed` deciding any
+    /// torn write). Returns the crashed disk for recovery; the vault is
+    /// consumed — a crashed process does not keep running.
+    pub fn compact_crashing_at(
+        mut self,
+        store: &CorStore,
+        crash: CompactionCrash,
+        seed: u64,
+    ) -> Result<SimDisk, VaultError> {
+        self.compact_inner(store, Some(crash), seed)?;
+        Ok(self.disk)
+    }
+
+    fn compact_inner(
+        &mut self,
+        store: &CorStore,
+        crash: Option<CompactionCrash>,
+        seed: u64,
+    ) -> Result<(), VaultError> {
+        // Nothing uncommitted may slip into a snapshot: flush first.
+        self.commit();
+        let json = store.to_json().map_err(|e| VaultError::Persist(e.to_string()))?;
+        let frame = encode_frame(self.durable_lsn, FrameKind::Snapshot, json.as_bytes());
+        self.disk.write_all(SNAP_TMP, &frame);
+        if crash == Some(CompactionCrash::BeforeSnapshotSync) {
+            self.disk.crash(seed);
+            return Ok(());
+        }
+        self.disk.fsync(SNAP_TMP);
+        if crash == Some(CompactionCrash::BeforeRename) {
+            self.disk.crash(seed);
+            return Ok(());
+        }
+        self.disk.rename(SNAP_TMP, SNAP_FILE);
+        if crash == Some(CompactionCrash::BeforeTruncate) {
+            self.disk.crash(seed);
+            return Ok(());
+        }
+        self.disk.write_all(WAL_FILE, &[]);
+        if crash == Some(CompactionCrash::BeforeTruncateSync) {
+            self.disk.crash(seed);
+            return Ok(());
+        }
+        self.disk.fsync(WAL_FILE);
+        self.snapshot_lsn = self.durable_lsn;
+        self.committed.clear();
+        self.stats.compactions += 1;
+        Ok(())
+    }
+
+    /// Deterministic recovery: load the published snapshot, replay the
+    /// WAL with LSN-idempotent apply, repair a torn tail by truncation.
+    /// Returns the rebuilt store — byte-identical (via `to_json`) to the
+    /// pre-crash store at the durable boundary — or a checked error.
+    /// Never a panic, never a silently divergent store.
+    pub fn recover(mut disk: SimDisk, reseed: u64) -> Result<RecoveredVault, VaultError> {
+        // A leftover staging file is a compaction that died before its
+        // rename: it was never published, so it is dead weight.
+        if disk.exists(SNAP_TMP) {
+            disk.remove(SNAP_TMP);
+        }
+        let snap_bytes = disk.read(SNAP_FILE).to_vec();
+        if snap_bytes.is_empty() {
+            return Err(VaultError::SnapshotMissing);
+        }
+        let (snap_frames, snap_end) =
+            decode_frames(&snap_bytes).map_err(|e| VaultError::CorruptSnapshot(e.to_string()))?;
+        let [snap] = snap_frames.as_slice() else {
+            return Err(VaultError::CorruptSnapshot(format!(
+                "expected one frame, found {}",
+                snap_frames.len()
+            )));
+        };
+        if snap_end != DecodeEnd::Clean || snap.kind != FrameKind::Snapshot {
+            return Err(VaultError::CorruptSnapshot("torn or mis-typed snapshot frame".into()));
+        }
+        let json = std::str::from_utf8(&snap.payload)
+            .map_err(|e| VaultError::CorruptSnapshot(e.to_string()))?;
+        let mut store = CorStore::from_json(json, reseed)
+            .map_err(|e| VaultError::CorruptSnapshot(e.to_string()))?;
+        let snapshot_lsn = snap.lsn;
+        let mut report =
+            RecoveryReport { snapshot_lsn, applied_lsn: snapshot_lsn, ..Default::default() };
+
+        let wal_bytes = disk.read(WAL_FILE).to_vec();
+        let (frames, end) = decode_frames(&wal_bytes).map_err(VaultError::CorruptLog)?;
+        if let DecodeEnd::TornTail { offset } = end {
+            // Truncate the torn write away and make the repair durable.
+            disk.write_all(WAL_FILE, &wal_bytes[..offset]);
+            disk.fsync(WAL_FILE);
+            report.torn_tail_repaired = true;
+        }
+        let mut committed = Vec::new();
+        for frame in frames {
+            if frame.kind != FrameKind::Put {
+                return Err(VaultError::CorruptLog(CorruptFrame { offset: 0, what: "kind" }));
+            }
+            if frame.lsn <= report.applied_lsn {
+                report.duplicates += 1;
+                continue;
+            }
+            if frame.lsn != report.applied_lsn + 1 {
+                return Err(VaultError::MissingRecords {
+                    expected: report.applied_lsn + 1,
+                    found: frame.lsn,
+                });
+            }
+            let op: VaultOp = serde_json::from_slice(&frame.payload)
+                .map_err(|_| VaultError::BadPayload { lsn: frame.lsn })?;
+            let VaultOp::Put { record, next_id } = op;
+            let bytes = encode_frame(frame.lsn, FrameKind::Put, &frame.payload);
+            store
+                .install_record(record, next_id)
+                .map_err(|e| VaultError::Apply { lsn: frame.lsn, reason: e.to_string() })?;
+            report.applied_lsn = frame.lsn;
+            report.replayed += 1;
+            committed.push((frame.lsn, bytes));
+        }
+        let vault = Vault {
+            disk,
+            next_lsn: report.applied_lsn + 1,
+            durable_lsn: report.applied_lsn,
+            snapshot_lsn,
+            committed,
+            staged: Vec::new(),
+            stats: VaultStats::default(),
+        };
+        Ok(RecoveredVault { vault, store, report })
+    }
+}
+
+/// Convenience used by the fleet's vault audit and the tests: append and
+/// commit every record of `store` above the vault's base, one barrier
+/// per record (the paper's node persists each derived cor as it mints
+/// it).
+pub fn log_store_records(vault: &mut Vault, store: &CorStore) -> Result<(), VaultError> {
+    for record in store.export_records() {
+        let next_id = record.id.raw() + 1;
+        vault.append(&VaultOp::Put { record, next_id })?;
+        vault.commit();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded_store(n: usize) -> CorStore {
+        let mut store = CorStore::with_label_range(42, 0, 32).unwrap();
+        for i in 0..n {
+            store.register(&format!("secret-{i}"), &format!("cor {i}"), &["site.example"]).unwrap();
+        }
+        store
+    }
+
+    fn empty_base() -> CorStore {
+        CorStore::with_label_range(0xba5e, 0, 32).unwrap()
+    }
+
+    #[test]
+    fn clean_log_and_recover_round_trips() {
+        let reference = seeded_store(5);
+        let mut vault = Vault::create(&empty_base()).unwrap();
+        log_store_records(&mut vault, &reference).unwrap();
+        assert_eq!(vault.durable_lsn(), 5);
+        let rec = Vault::recover(vault.into_disk(), 0xba5e).unwrap();
+        assert_eq!(rec.store.to_json().unwrap(), reference.to_json().unwrap());
+        assert_eq!(rec.report.replayed, 5);
+        assert!(!rec.report.torn_tail_repaired);
+    }
+
+    #[test]
+    fn uncommitted_appends_are_lost_cleanly() {
+        let reference = seeded_store(3);
+        let records = reference.export_records();
+        let mut vault = Vault::create(&empty_base()).unwrap();
+        for r in &records[..2] {
+            vault.append(&VaultOp::Put { record: r.clone(), next_id: r.id.raw() + 1 }).unwrap();
+            vault.commit();
+        }
+        let r = &records[2];
+        vault.append(&VaultOp::Put { record: r.clone(), next_id: r.id.raw() + 1 }).unwrap();
+        // No commit: the crash eats it whole.
+        let mut disk = vault.into_disk();
+        disk.crash_losing_pending();
+        let rec = Vault::recover(disk, 7).unwrap();
+        assert_eq!(rec.report.applied_lsn, 2);
+        assert_eq!(rec.store.len(), 2, "only acknowledged records recovered");
+        // The durable prefix matches a reference built from it.
+        let mut prefix = empty_base();
+        for r in &records[..2] {
+            prefix.install_record(r.clone(), r.id.raw() + 1).unwrap();
+        }
+        assert_eq!(rec.store.to_json().unwrap(), prefix.to_json().unwrap());
+    }
+
+    #[test]
+    fn torn_tail_is_repaired_for_every_tear_point() {
+        let reference = seeded_store(3);
+        let records = reference.export_records();
+        for budget in 0..400usize {
+            let mut vault = Vault::create(&empty_base()).unwrap();
+            for r in &records[..2] {
+                vault.append(&VaultOp::Put { record: r.clone(), next_id: r.id.raw() + 1 }).unwrap();
+                vault.commit();
+            }
+            let r = &records[2];
+            vault.append(&VaultOp::Put { record: r.clone(), next_id: r.id.raw() + 1 }).unwrap();
+            let pending = vault.disk().pending_bytes(WAL_FILE);
+            let keep = budget.min(pending.saturating_sub(1));
+            let mut disk = vault.into_disk();
+            disk.crash_keeping(WAL_FILE, keep);
+            let rec = Vault::recover(disk, 7).unwrap_or_else(|e| panic!("keep {keep}: {e}"));
+            assert_eq!(rec.report.applied_lsn, 2, "keep {keep}");
+            assert_eq!(rec.report.torn_tail_repaired, keep > 0, "keep {keep}");
+            // Repair is durable: a second recovery sees a clean log.
+            let rec2 = Vault::recover(rec.vault.into_disk(), 7).unwrap();
+            assert!(!rec2.report.torn_tail_repaired);
+            assert_eq!(rec2.report.applied_lsn, 2);
+        }
+    }
+
+    #[test]
+    fn duplicated_append_is_deduped_by_lsn() {
+        let reference = seeded_store(2);
+        let mut vault = Vault::create(&empty_base()).unwrap();
+        log_store_records(&mut vault, &reference).unwrap();
+        vault.inject_duplicate_of_last_committed();
+        vault.commit();
+        let rec = Vault::recover(vault.into_disk(), 3).unwrap();
+        assert_eq!(rec.report.duplicates, 1);
+        assert_eq!(rec.report.applied_lsn, 2);
+        assert_eq!(rec.store.to_json().unwrap(), reference.to_json().unwrap());
+    }
+
+    #[test]
+    fn lsn_gap_is_a_checked_security_error() {
+        let reference = seeded_store(3);
+        let records = reference.export_records();
+        let mut vault = Vault::create(&empty_base()).unwrap();
+        // Forge a log that skips lsn 2 by writing frames directly.
+        let ops: Vec<VaultOp> = records
+            .iter()
+            .map(|r| VaultOp::Put { record: r.clone(), next_id: r.id.raw() + 1 })
+            .collect();
+        for (i, op) in ops.iter().enumerate() {
+            if i == 1 {
+                continue;
+            }
+            let payload = serde_json::to_string(op).unwrap();
+            let frame = encode_frame(i as u64 + 1, FrameKind::Put, payload.as_bytes());
+            vault.disk_mut().append(WAL_FILE, &frame);
+        }
+        vault.disk_mut().fsync(WAL_FILE);
+        let err = Vault::recover(vault.into_disk(), 5).unwrap_err();
+        assert_eq!(err, VaultError::MissingRecords { expected: 2, found: 3 });
+    }
+
+    #[test]
+    fn mid_log_corruption_is_refused() {
+        let reference = seeded_store(3);
+        let mut vault = Vault::create(&empty_base()).unwrap();
+        log_store_records(&mut vault, &reference).unwrap();
+        let mut disk = vault.into_disk();
+        let mut bytes = disk.read(WAL_FILE).to_vec();
+        bytes[30] ^= 0xff; // inside the first frame, well before EOF
+        disk.write_all(WAL_FILE, &bytes);
+        disk.fsync(WAL_FILE);
+        assert!(matches!(Vault::recover(disk, 5).unwrap_err(), VaultError::CorruptLog(_)));
+    }
+
+    #[test]
+    fn compaction_single_frame_snapshot_recovers_without_wal() {
+        let reference = seeded_store(4);
+        let mut vault = Vault::create(&empty_base()).unwrap();
+        log_store_records(&mut vault, &reference).unwrap();
+        vault.compact(&reference).unwrap();
+        assert_eq!(vault.snapshot_lsn(), 4);
+        assert!(vault.frames_after(0).is_empty(), "log truncated");
+        let rec = Vault::recover(vault.into_disk(), 8).unwrap();
+        assert_eq!(rec.report.snapshot_lsn, 4);
+        assert_eq!(rec.report.replayed, 0);
+        assert_eq!(rec.store.to_json().unwrap(), reference.to_json().unwrap());
+        // Appends continue above the snapshot LSN after recovery.
+        let mut v = rec.vault;
+        let mut grown = rec.store;
+        let id = grown.register("post-compaction", "late", &[]).unwrap();
+        let record = grown.get(id).unwrap().clone();
+        assert_eq!(v.append(&VaultOp::Put { record, next_id: id.raw() + 1 }).unwrap(), 5);
+        v.commit();
+        let rec2 = Vault::recover(v.into_disk(), 8).unwrap();
+        assert_eq!(rec2.store.to_json().unwrap(), grown.to_json().unwrap());
+    }
+
+    #[test]
+    fn crash_at_every_compaction_point_recovers_the_full_store() {
+        let reference = seeded_store(4);
+        for crash in CompactionCrash::ALL {
+            for seed in 0..8u64 {
+                let mut vault = Vault::create(&empty_base()).unwrap();
+                log_store_records(&mut vault, &reference).unwrap();
+                let disk = vault.compact_crashing_at(&reference, crash, seed).unwrap();
+                let rec = Vault::recover(disk, 9)
+                    .unwrap_or_else(|e| panic!("{crash:?} seed {seed}: {e}"));
+                assert_eq!(
+                    rec.store.to_json().unwrap(),
+                    reference.to_json().unwrap(),
+                    "{crash:?} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn missing_snapshot_is_a_checked_error() {
+        let disk = SimDisk::new();
+        assert_eq!(Vault::recover(disk, 1).unwrap_err(), VaultError::SnapshotMissing);
+    }
+
+    #[test]
+    fn plaintext_lives_in_the_vault_by_design() {
+        let reference = seeded_store(2);
+        let mut vault = Vault::create(&empty_base()).unwrap();
+        log_store_records(&mut vault, &reference).unwrap();
+        assert!(vault.durable_bytes_contain("secret-0"));
+        vault.compact(&reference).unwrap();
+        assert!(vault.durable_bytes_contain("secret-1"), "snapshot carries it after compaction");
+        assert!(!vault.durable_bytes_contain("not-a-secret-anywhere"));
+    }
+}

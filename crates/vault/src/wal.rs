@@ -1,0 +1,254 @@
+//! Checksummed write-ahead-log framing.
+//!
+//! Each record is one self-describing frame:
+//!
+//! ```text
+//! | magic "TMW1" | lsn u64 le | kind u8 | len u32 le | payload | crc64 u64 le |
+//! |      4       |     8      |    1    |     4      |   len   |      8       |
+//! ```
+//!
+//! The CRC-64/ECMA-182 covers everything between the magic and the
+//! checksum (lsn, kind, len, payload). Decoding distinguishes the two
+//! failure classes a crash-consistent log must keep apart:
+//!
+//! * **Torn tail** — malformed bytes that extend to end-of-file: the
+//!   shape a power cut leaves when it cuts the final append short.
+//!   Repairable by truncation; every fsynced frame before it is intact.
+//! * **Corruption** — malformed bytes *followed by* more data. No crash
+//!   produces that (writes land in order), so it means the medium or the
+//!   writer is broken, and recovery must refuse rather than guess.
+
+use std::fmt;
+
+/// Frame magic: "TMW1" (TinMan WAL, format 1).
+pub const MAGIC: [u8; 4] = *b"TMW1";
+
+/// Bytes before the payload: magic + lsn + kind + len.
+pub const HEADER_LEN: usize = 4 + 8 + 1 + 4;
+
+/// Trailing checksum bytes.
+pub const CRC_LEN: usize = 8;
+
+/// What a frame carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameKind {
+    /// One cor record install (the payload is a serialized `VaultOp`).
+    Put,
+    /// A full-store snapshot image (payload is `CorStore::to_json`).
+    Snapshot,
+}
+
+impl FrameKind {
+    fn code(self) -> u8 {
+        match self {
+            FrameKind::Put => 1,
+            FrameKind::Snapshot => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<FrameKind> {
+        match code {
+            1 => Some(FrameKind::Put),
+            2 => Some(FrameKind::Snapshot),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalFrame {
+    /// Monotonic log sequence number.
+    pub lsn: u64,
+    /// Payload discriminator.
+    pub kind: FrameKind,
+    /// The frame's payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// How the byte stream ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeEnd {
+    /// The last frame ended exactly at end-of-file.
+    Clean,
+    /// Malformed bytes from `offset` to end-of-file — a torn final
+    /// write. Truncating the file at `offset` repairs the log.
+    TornTail {
+        /// Byte offset the intact prefix ends at.
+        offset: usize,
+    },
+}
+
+/// Malformed bytes in the *middle* of the log: not a crash artifact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CorruptFrame {
+    /// Byte offset of the frame that failed to decode.
+    pub offset: usize,
+    /// What failed ("magic", "crc", "kind").
+    pub what: &'static str,
+}
+
+impl fmt::Display for CorruptFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "corrupt WAL frame at byte {}: bad {}", self.offset, self.what)
+    }
+}
+
+impl std::error::Error for CorruptFrame {}
+
+/// CRC-64/ECMA-182, bitwise (logs here are small; clarity over speed).
+pub fn crc64(bytes: &[u8]) -> u64 {
+    const POLY: u64 = 0x42f0_e1eb_a9ea_3693;
+    let mut crc = 0u64;
+    for &b in bytes {
+        crc ^= (b as u64) << 56;
+        for _ in 0..8 {
+            crc = if crc & (1 << 63) != 0 { (crc << 1) ^ POLY } else { crc << 1 };
+        }
+    }
+    crc
+}
+
+/// Encodes one frame.
+pub fn encode_frame(lsn: u64, kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + CRC_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&lsn.to_le_bytes());
+    out.push(kind.code());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc64(&out[4..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decodes a byte stream into frames plus how it ended. Torn tails are a
+/// *successful* decode (the caller truncates and moves on); corruption is
+/// the error case.
+pub fn decode_frames(bytes: &[u8]) -> Result<(Vec<WalFrame>, DecodeEnd), CorruptFrame> {
+    let mut frames = Vec::new();
+    let mut o = 0usize;
+    let n = bytes.len();
+    loop {
+        if o == n {
+            return Ok((frames, DecodeEnd::Clean));
+        }
+        if n - o < HEADER_LEN {
+            return Ok((frames, DecodeEnd::TornTail { offset: o }));
+        }
+        if bytes[o..o + 4] != MAGIC {
+            return Err(CorruptFrame { offset: o, what: "magic" });
+        }
+        let lsn = u64::from_le_bytes(bytes[o + 4..o + 12].try_into().expect("8 bytes"));
+        let kind_code = bytes[o + 12];
+        let len = u32::from_le_bytes(bytes[o + 13..o + 17].try_into().expect("4 bytes")) as usize;
+        let Some(end) = o
+            .checked_add(HEADER_LEN)
+            .and_then(|v| v.checked_add(len))
+            .and_then(|v| v.checked_add(CRC_LEN))
+        else {
+            return Ok((frames, DecodeEnd::TornTail { offset: o }));
+        };
+        if end > n {
+            return Ok((frames, DecodeEnd::TornTail { offset: o }));
+        }
+        let stored = u64::from_le_bytes(bytes[end - CRC_LEN..end].try_into().expect("8 bytes"));
+        if crc64(&bytes[o + 4..end - CRC_LEN]) != stored {
+            // Malformed-to-EOF is the torn-tail shape; malformed followed
+            // by more bytes cannot come from a crash.
+            if end == n {
+                return Ok((frames, DecodeEnd::TornTail { offset: o }));
+            }
+            return Err(CorruptFrame { offset: o, what: "crc" });
+        }
+        let Some(kind) = FrameKind::from_code(kind_code) else {
+            return Err(CorruptFrame { offset: o, what: "kind" });
+        };
+        frames.push(WalFrame { lsn, kind, payload: bytes[o + HEADER_LEN..end - CRC_LEN].to_vec() });
+        o = end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_frames() -> Vec<u8> {
+        let mut log = encode_frame(1, FrameKind::Put, b"alpha");
+        log.extend_from_slice(&encode_frame(2, FrameKind::Put, b"beta"));
+        log
+    }
+
+    #[test]
+    fn round_trip() {
+        let (frames, end) = decode_frames(&two_frames()).unwrap();
+        assert_eq!(end, DecodeEnd::Clean);
+        assert_eq!(frames.len(), 2);
+        assert_eq!(
+            frames[0],
+            WalFrame { lsn: 1, kind: FrameKind::Put, payload: b"alpha".to_vec() }
+        );
+        assert_eq!(frames[1].lsn, 2);
+    }
+
+    #[test]
+    fn every_truncation_point_is_clean_or_torn_never_corrupt() {
+        let log = two_frames();
+        for cut in 0..=log.len() {
+            let (frames, end) = decode_frames(&log[..cut]).expect("truncation is never corruption");
+            let first_len = encode_frame(1, FrameKind::Put, b"alpha").len();
+            if cut == 0 || cut == first_len || cut == log.len() {
+                assert_eq!(end, DecodeEnd::Clean, "cut at {cut}");
+            } else {
+                let expected = if cut < first_len { 0 } else { first_len };
+                assert_eq!(end, DecodeEnd::TornTail { offset: expected }, "cut at {cut}");
+            }
+            assert_eq!(frames.len(), usize::from(cut >= first_len) + usize::from(cut == log.len()));
+        }
+    }
+
+    #[test]
+    fn mid_log_bitflip_is_corruption_not_torn() {
+        let mut log = two_frames();
+        // Flip a payload byte of the *first* frame: bad CRC followed by
+        // a valid frame — must refuse, not silently drop the suffix.
+        log[HEADER_LEN + 1] ^= 0x40;
+        let err = decode_frames(&log).unwrap_err();
+        assert_eq!(err.what, "crc");
+        assert_eq!(err.offset, 0);
+    }
+
+    #[test]
+    fn final_frame_bitflip_reads_as_torn_tail() {
+        let mut log = two_frames();
+        let last = log.len() - 1;
+        log[last] ^= 0x01;
+        let (frames, end) = decode_frames(&log).unwrap();
+        assert_eq!(frames.len(), 1, "intact prefix survives");
+        assert!(matches!(end, DecodeEnd::TornTail { .. }));
+    }
+
+    #[test]
+    fn bad_magic_is_corruption() {
+        let mut log = two_frames();
+        log[0] = b'X';
+        assert_eq!(decode_frames(&log).unwrap_err().what, "magic");
+    }
+
+    #[test]
+    fn unknown_kind_with_valid_crc_is_corruption() {
+        let mut frame = encode_frame(1, FrameKind::Put, b"p");
+        frame[12] = 200; // forge the kind, then re-seal the checksum
+        let end = frame.len();
+        let crc = crc64(&frame[4..end - CRC_LEN]);
+        frame[end - CRC_LEN..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(decode_frames(&frame).unwrap_err().what, "kind");
+    }
+
+    #[test]
+    fn crc64_known_properties() {
+        assert_eq!(crc64(b""), 0);
+        assert_ne!(crc64(b"a"), crc64(b"b"));
+        assert_eq!(crc64(b"123456789"), crc64(b"123456789"));
+    }
+}

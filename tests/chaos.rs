@@ -10,7 +10,7 @@
 
 use tinman::chaos::{ChaosEvent, ChaosPlan};
 use tinman::fleet::{run_fleet_chaos, FleetConfig, FleetObs, FleetReport};
-use tinman::obs::TraceHandle;
+use tinman::obs::{TraceEvent, TraceHandle};
 use tinman::sim::SimDuration;
 
 fn config(sessions: usize, workers: usize) -> FleetConfig {
@@ -42,6 +42,8 @@ fn crash_primary_recovers_every_session_exactly_once() {
         "the replay re-sent an already-delivered payload and the origin deduped it"
     );
     assert_eq!(report.residue_violations, 0, "no cor bytes on any device host");
+    assert!(report.vault_recoveries > 0, "every attempt is durability-audited");
+    assert_eq!(report.wal_device_leaks, 0, "WAL plaintext never reaches a device surface");
 
     // Exactly-once: the origin server accepted the same unique delivery
     // count a fault-free run produces — replays added duplicates, never
@@ -93,6 +95,7 @@ fn full_partition_fails_closed_and_leaks_nothing() {
     assert_eq!(report.ok, 0);
     assert_eq!(report.fail_closed, report.sessions, "every session degrades fail-closed");
     assert_eq!(report.residue_violations, 0, "degraded sessions never leak cor bytes");
+    assert_eq!(report.wal_device_leaks, 0);
     assert!(report.outcomes.iter().all(|o| o.fail_closed && !o.success && o.node.is_none()));
 
     let records = sink.snapshot();
@@ -146,6 +149,98 @@ fn exhausted_deadline_budget_fails_closed() {
 }
 
 #[test]
+fn vault_crash_plan_loses_no_cor_and_leaks_nothing_deviceward() {
+    let cfg = config(16, 2);
+    let plan = ChaosPlan::canned("vault-crash").unwrap();
+    let report = run(&cfg, &plan);
+
+    assert_eq!(report.ok, report.sessions, "crashed WALs recover; sessions still complete");
+    assert_eq!(report.lost_cors, 0, "every committed cor survives every crash schedule");
+    assert_eq!(report.stale_serves, 0, "no session is ever served from a stale replica");
+    assert_eq!(report.wal_device_leaks, 0, "WAL bytes never reach the device side");
+    assert_eq!(report.residue_violations, 0);
+    assert!(report.vault_recoveries >= report.sessions, "every attempt recovered a vault");
+    assert!(report.torn_tail_repairs > 0, "torn tails actually happened and were repaired");
+    assert!(report.wal_plaintexts > 0, "node-side WALs hold plaintext — the scan bites");
+    assert!(report.vault_catchup_lsns > 0, "lagging replicas anti-entropy caught up");
+}
+
+#[test]
+fn vault_crash_simulated_blob_is_worker_invariant() {
+    let plan = ChaosPlan::canned("vault-crash").unwrap();
+    let a = simulated(&run(&config(12, 1), &plan));
+    let b = simulated(&run(&config(12, 4), &plan));
+    let c = simulated(&run(&config(12, 8), &plan));
+    assert_eq!(a, b, "vault columns must not depend on worker interleaving");
+    assert_eq!(a, c);
+}
+
+#[test]
+fn replica_lag_catch_up_is_charged_not_free() {
+    let cfg = config(8, 2);
+    let mut plan = ChaosPlan::empty();
+    plan.events = (0..4)
+        .map(|node| ChaosEvent::ReplicaLag {
+            node,
+            lsns: 4,
+            from_session: 0,
+            until_session: u64::MAX,
+        })
+        .collect();
+    let lagged = run(&cfg, &plan);
+    let clean = run(&cfg, &ChaosPlan::empty());
+
+    assert_eq!(lagged.ok, lagged.sessions, "catch-up within budget still serves everyone");
+    assert!(lagged.vault_catchup_lsns > 0);
+    assert_eq!(lagged.stale_serves, 0);
+    assert_eq!(lagged.lost_cors, 0);
+    assert!(
+        lagged.latency.mean > clean.latency.mean,
+        "anti-entropy costs simulated time: {:?} vs {:?}",
+        lagged.latency.mean,
+        clean.latency.mean
+    );
+    // Catch-up changes timing only, never the session's logical work.
+    assert_eq!(lagged.offloads, clean.offloads);
+    assert_eq!(lagged.deliveries, clean.deliveries);
+}
+
+#[test]
+fn stale_replica_with_no_budget_fails_closed() {
+    let mut cfg = config(6, 2);
+    cfg.nodes = 2;
+    let mut plan = ChaosPlan::empty();
+    // Every replica lags and there is no deadline budget to catch up:
+    // cor-aware failover must refuse to serve rather than serve stale.
+    plan.deadline = SimDuration::ZERO;
+    plan.events = (0..2)
+        .map(|node| ChaosEvent::ReplicaLag {
+            node,
+            lsns: 8,
+            from_session: 0,
+            until_session: u64::MAX,
+        })
+        .collect();
+
+    let (trace, sink) = TraceHandle::ring(1 << 16);
+    let obs = FleetObs { trace, ..FleetObs::default() };
+    let report = run_fleet_chaos(&cfg, &plan, &obs).expect("chaos fleet runs");
+
+    assert_eq!(report.ok, 0);
+    assert_eq!(report.fail_closed, report.sessions);
+    assert_eq!(report.stale_serves, 0, "refusal, not stale service");
+    assert_eq!(report.residue_violations, 0);
+    assert_eq!(report.wal_device_leaks, 0);
+
+    let records = sink.snapshot();
+    let stale = records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::FailClosed { reason: "stale_replica", .. }))
+        .count() as u64;
+    assert_eq!(stale, report.sessions, "each refusal names the stale replica as its reason");
+}
+
+#[test]
 fn wire_noise_slows_sessions_but_never_breaks_them() {
     let cfg = config(8, 2);
     let noisy = run(&cfg, &ChaosPlan::canned("wire-noise").unwrap());
@@ -153,6 +248,8 @@ fn wire_noise_slows_sessions_but_never_breaks_them() {
     assert_eq!(noisy.ok, noisy.sessions, "loss and corruption retransmit, not fail");
     assert_eq!(noisy.fail_closed, 0);
     assert_eq!(noisy.residue_violations, 0);
+    assert_eq!(noisy.wal_device_leaks, 0);
+    assert_eq!(noisy.lost_cors, 0);
     assert!(
         noisy.latency.mean > clean.latency.mean,
         "retransmissions and delay must cost simulated time: {:?} vs {:?}",

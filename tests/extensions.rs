@@ -186,7 +186,7 @@ fn node_state_survives_a_restart() {
     rt.run_app(&app, Mode::TinMan, &inputs()).expect("first login");
 
     // "Restart": serialize, rebuild, restore.
-    let store_json = rt.node.store.to_json();
+    let store_json = rt.node.store.to_json().expect("store serializes");
     let policy_snapshot = rt.node.policy.to_snapshot();
     let restored_store = CorStore::from_json(&store_json, 4242).expect("store restores");
     let mut rt2 = TinmanRuntime::new(restored_store, LinkProfile::wifi(), TinmanConfig::default());
