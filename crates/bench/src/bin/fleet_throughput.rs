@@ -4,7 +4,7 @@
 //!
 //! Usage: `fleet_throughput [--sessions N] [--workers N] [--nodes N]
 //! [--seed N] [--down NODE ...] [--trace PATH] [--chaos [PLAN]]
-//! [--vault-crash] [--chaos-seed N]`
+//! [--hostile [PLAN]] [--vault-crash] [--chaos-seed N]`
 //!
 //! The simulated aggregate is bit-identical for any `--workers` value;
 //! only the wall-clock fields change. Run with `--workers 1` and
@@ -24,6 +24,13 @@
 //! tails, compaction crashes, lagging replicas — to whatever plan is
 //! active. `--chaos-seed N` reseeds the plan's fault dice; two runs
 //! with the same seeds emit byte-identical simulated aggregates.
+//!
+//! `--hostile [PLAN]` appends hostile-guest events (default: the canned
+//! `hostile-guest` plan — every session runs a budget-exhausting guest)
+//! to whatever plan is active: sessions run under the per-session
+//! guard, runaway guests are killed with their node heaps scrubbed, and
+//! overloaded placements are shed. The summary grows a `guard` line
+//! with kills, sheds, and the exhaustion breakdown.
 
 use tinman_bench::{banner, emit_json};
 use tinman_chaos::ChaosPlan;
@@ -38,6 +45,7 @@ struct Args {
     down: Vec<usize>,
     trace: Option<String>,
     chaos: Option<String>,
+    hostile: Option<String>,
     vault_crash: bool,
     chaos_seed: Option<u64>,
 }
@@ -58,6 +66,7 @@ fn parse_args() -> Args {
         down: Vec::new(),
         trace: None,
         chaos: None,
+        hostile: None,
         vault_crash: false,
         chaos_seed: None,
     };
@@ -82,6 +91,15 @@ fn parse_args() -> Args {
                     i += 1;
                 }
                 args.chaos = Some(named.unwrap_or_default());
+            }
+            "--hostile" => {
+                // Same optional-value shape as --chaos: with no PLAN the
+                // canned hostile-guest plan is appended.
+                let named = argv.get(i).filter(|v| !v.starts_with("--")).cloned();
+                if named.is_some() {
+                    i += 1;
+                }
+                args.hostile = Some(named.unwrap_or_default());
             }
             "--vault-crash" => args.vault_crash = true,
             "--chaos-seed" => {
@@ -121,7 +139,7 @@ fn main() {
         sink
     });
 
-    let wants_chaos = parsed.chaos.is_some() || parsed.vault_crash;
+    let wants_chaos = parsed.chaos.is_some() || parsed.vault_crash || parsed.hostile.is_some();
     let plan = wants_chaos.then(|| {
         let mut plan = match parsed.chaos.as_deref() {
             None | Some("") => ChaosPlan::empty(),
@@ -136,6 +154,17 @@ fn main() {
         if parsed.vault_crash {
             let vault = ChaosPlan::canned("vault-crash").expect("canned vault-crash plan");
             plan.events.extend(vault.events);
+        }
+        if let Some(name) = parsed.hostile.as_deref() {
+            let name = if name.is_empty() { "hostile-guest" } else { name };
+            let hostile = ChaosPlan::canned(name).unwrap_or_else(|| {
+                eprintln!(
+                    "unknown hostile plan {name:?}; known plans: {}",
+                    ChaosPlan::canned_names().join(", ")
+                );
+                std::process::exit(2);
+            });
+            plan.events.extend(hostile.events);
         }
         if let Some(seed) = parsed.chaos_seed {
             plan.seed = seed;
@@ -188,6 +217,12 @@ fn main() {
             report.vault_catchup_lsns,
             report.wal_plaintexts,
             report.wal_device_leaks,
+        );
+        let [fuel, heap, depth, dsm, deadline] = report.budget_exhaustions;
+        println!(
+            "guard    kills {} | shed {} | exhausted fuel/heap/depth/dsm/deadline \
+             {}/{}/{}/{}/{}",
+            report.guest_kills, report.shed_sessions, fuel, heap, depth, dsm, deadline,
         );
     }
     println!(

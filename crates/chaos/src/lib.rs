@@ -32,6 +32,7 @@ pub mod replay;
 
 pub use breaker::{BreakerSchedule, BreakerState, CircuitBreaker};
 pub use plan::{
-    session_faults, ChaosEvent, ChaosPlan, ChaosPlanError, SessionFaults, VaultCrashKind,
+    session_faults, ChaosEvent, ChaosPlan, ChaosPlanError, HostileGuestKind, SessionFaults,
+    VaultCrashKind,
 };
 pub use replay::DeliveryLedger;

@@ -41,6 +41,40 @@ impl VaultCrashKind {
     }
 }
 
+/// Which resource-exhaustion attack a hostile guest mounts against the
+/// trusted node that agreed to run it. Each kind is engineered to exhaust
+/// exactly one [budget] axis, so a kill's reported reason is a meaningful
+/// assertion target rather than "whichever limit tripped first".
+///
+/// [budget]: https://en.wikipedia.org/wiki/Resource_exhaustion_attack
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HostileGuestKind {
+    /// A post-offload busy loop that keeps touching tainted data so
+    /// taint-idle migrate-back never fires: burns node fuel forever.
+    Spin,
+    /// Repeated doubling of a tainted string: exhausts the heap byte
+    /// quota long before fuel runs low.
+    HeapBomb,
+    /// Unbounded recursion with a tainted argument pinning every frame
+    /// to the node: trips the call-depth limit.
+    DeepRecursion,
+    /// A loop engineered to bounce state between client and node on
+    /// every iteration: floods the DSM sync budget.
+    SyncFlood,
+}
+
+impl HostileGuestKind {
+    /// Stable lowercase name (obs labels, report rows).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HostileGuestKind::Spin => "spin",
+            HostileGuestKind::HeapBomb => "heap_bomb",
+            HostileGuestKind::DeepRecursion => "deep_recursion",
+            HostileGuestKind::SyncFlood => "sync_flood",
+        }
+    }
+}
+
 /// One scheduled fault.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ChaosEvent {
@@ -134,6 +168,20 @@ pub enum ChaosEvent {
         /// First session id that observes the lag.
         from_session: u64,
         /// First session id that no longer observes it.
+        until_session: u64,
+    },
+    /// Sessions in `[from_session, until_session)` run a hostile app
+    /// instead of their scripted one. Unlike node faults, the attack
+    /// travels with the *session* — whichever node admits it gets
+    /// attacked — so there is no node index. When several windows cover
+    /// the same session, the matching kinds alternate by session id, so
+    /// four full-width events exercise every kind over any session count.
+    HostileGuest {
+        /// Which exhaustion attack the guest mounts.
+        kind: HostileGuestKind,
+        /// First hostile session id.
+        from_session: u64,
+        /// First session id that runs its scripted app again.
         until_session: u64,
     },
 }
@@ -254,6 +302,7 @@ impl ChaosPlan {
                 ChaosEvent::Partition { from_session, until_session, .. }
                 | ChaosEvent::VaultCrash { from_session, until_session, .. }
                 | ChaosEvent::ReplicaLag { from_session, until_session, .. }
+                | ChaosEvent::HostileGuest { from_session, until_session, .. }
                     if until_session <= from_session =>
                 {
                     return Err(ChaosPlanError::EmptyWindow);
@@ -365,6 +414,25 @@ impl ChaosPlan {
                     },
                 ];
             }
+            // The guard's acceptance scenario: every session is hostile,
+            // cycling through all four exhaustion attacks by session id.
+            // Every run must end in a deterministic kill with the right
+            // reason, a scrubbed node heap, and an untouched pool.
+            "hostile-guest" => {
+                plan.events = [
+                    HostileGuestKind::Spin,
+                    HostileGuestKind::HeapBomb,
+                    HostileGuestKind::DeepRecursion,
+                    HostileGuestKind::SyncFlood,
+                ]
+                .into_iter()
+                .map(|kind| ChaosEvent::HostileGuest {
+                    kind,
+                    from_session: 0,
+                    until_session: u64::MAX,
+                })
+                .collect();
+            }
             // A noisy but survivable wire: loss, corruption, and delay.
             "wire-noise" => {
                 plan.events = vec![
@@ -380,7 +448,7 @@ impl ChaosPlan {
 
     /// The names [`ChaosPlan::canned`] recognizes.
     pub fn canned_names() -> &'static [&'static str] {
-        &["crash-primary", "recovery", "partition", "wire-noise", "vault-crash"]
+        &["crash-primary", "recovery", "partition", "wire-noise", "vault-crash", "hostile-guest"]
     }
 
     /// The first session id at which `node` recovers (`u64::MAX` if it
@@ -440,6 +508,9 @@ pub struct SessionFaults {
     /// LSNs the node's failover replica trails the primary by (0 = the
     /// replica's watermark covers everything).
     pub replica_lag: u64,
+    /// The hostile app this session runs instead of its scripted one
+    /// (`None` = the session is well behaved).
+    pub hostile_guest: Option<HostileGuestKind>,
     /// Seed of this session's loss/corruption dice stream.
     pub dice_seed: u64,
 }
@@ -467,6 +538,7 @@ pub fn session_faults(
             f.crash = Some(at);
         }
     }
+    let mut hostile: Vec<HostileGuestKind> = Vec::new();
     for ev in &plan.events {
         match *ev {
             ChaosEvent::LinkFlap { from, until } => f.flap = Some((from, until)),
@@ -495,8 +567,18 @@ pub fn session_faults(
             {
                 f.replica_lag = f.replica_lag.max(lsns);
             }
+            ChaosEvent::HostileGuest { kind, from_session, until_session }
+                if session >= from_session && session < until_session =>
+            {
+                hostile.push(kind);
+            }
             _ => {}
         }
+    }
+    if !hostile.is_empty() {
+        // Overlapping windows alternate by session id (see the event's
+        // doc); a session's attack is independent of the node attempted.
+        f.hostile_guest = Some(hostile[(session % hostile.len() as u64) as usize]);
     }
     f
 }
@@ -628,6 +710,47 @@ mod tests {
         plan.events =
             vec![ChaosEvent::ReplicaLag { node: 0, lsns: 0, from_session: 0, until_session: 1 }];
         assert_eq!(plan.validate(4), Err(ChaosPlanError::ZeroLag));
+    }
+
+    #[test]
+    fn hostile_guest_projects_by_session_window_and_alternates_kinds() {
+        let plan = ChaosPlan::canned("hostile-guest").unwrap();
+        plan.validate(4).unwrap();
+        // Full-width windows: every session is hostile, cycling kinds,
+        // on every node it might be placed on.
+        for node in 0..4 {
+            assert_eq!(
+                session_faults(&plan, node, 0, 9).hostile_guest,
+                Some(HostileGuestKind::Spin)
+            );
+        }
+        assert_eq!(session_faults(&plan, 0, 1, 9).hostile_guest, Some(HostileGuestKind::HeapBomb));
+        assert_eq!(
+            session_faults(&plan, 0, 2, 9).hostile_guest,
+            Some(HostileGuestKind::DeepRecursion)
+        );
+        assert_eq!(session_faults(&plan, 0, 3, 9).hostile_guest, Some(HostileGuestKind::SyncFlood));
+        assert_eq!(session_faults(&plan, 0, 4, 9).hostile_guest, Some(HostileGuestKind::Spin));
+        // A bounded window leaves later sessions well behaved.
+        let mut bounded = ChaosPlan::empty();
+        bounded.events = vec![ChaosEvent::HostileGuest {
+            kind: HostileGuestKind::HeapBomb,
+            from_session: 2,
+            until_session: 4,
+        }];
+        assert_eq!(session_faults(&bounded, 0, 1, 9).hostile_guest, None);
+        assert_eq!(
+            session_faults(&bounded, 0, 3, 9).hostile_guest,
+            Some(HostileGuestKind::HeapBomb)
+        );
+        assert_eq!(session_faults(&bounded, 0, 4, 9).hostile_guest, None);
+        // An empty window is a plan bug.
+        bounded.events = vec![ChaosEvent::HostileGuest {
+            kind: HostileGuestKind::Spin,
+            from_session: 3,
+            until_session: 3,
+        }];
+        assert_eq!(bounded.validate(4), Err(ChaosPlanError::EmptyWindow));
     }
 
     #[test]

@@ -4,6 +4,7 @@ use std::fmt;
 
 use tinman_cor::PolicyDecision;
 use tinman_dsm::DsmError;
+use tinman_guard::KillReason;
 use tinman_net::NetError;
 use tinman_tls::TlsError;
 use tinman_vm::VmError;
@@ -38,6 +39,12 @@ pub enum RuntimeError {
     },
     /// The run exceeded its instruction budget (runaway app).
     FuelExhausted,
+    /// The guard killed the guest for exhausting a session budget; the
+    /// node heap was scrubbed and the session failed closed.
+    GuestKilled {
+        /// Which budget was exhausted.
+        reason: KillReason,
+    },
     /// An app asked for an input key the harness did not script.
     MissingInput(String),
     /// The device is offline (connectivity requirement, §5.4).
@@ -69,6 +76,9 @@ impl fmt::Display for RuntimeError {
                  runnable on neither endpoint"
             ),
             RuntimeError::FuelExhausted => write!(f, "instruction budget exhausted"),
+            RuntimeError::GuestKilled { reason } => {
+                write!(f, "guard killed guest: {reason} budget exhausted")
+            }
             RuntimeError::MissingInput(k) => write!(f, "no scripted input for key '{k}'"),
             RuntimeError::Offline => {
                 write!(f, "device is offline; cor access requires the trusted node")

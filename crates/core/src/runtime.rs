@@ -14,14 +14,15 @@
 use std::collections::HashMap;
 
 use tinman_cor::{CorStore, PolicyDecision};
-use tinman_dsm::{DsmEngine, DsmStats, SyncCause};
+use tinman_dsm::{DsmEngine, DsmError, DsmStats, SyncBudget, SyncCause};
+use tinman_guard::{GuardPolicy, KillReason};
 use tinman_net::{HostId, MarkFilter, NetWorld, Traffic};
 use tinman_obs::{MetricsRegistry, TraceEvent, TraceHandle};
 use tinman_sim::{Breakdown, MicroJoules, SimClock, SimDuration, SplitMix64};
 use tinman_taint::TaintEngine;
 use tinman_tls::{TlsConfig, TINMAN_MARK};
 use tinman_vm::machine::LockSite;
-use tinman_vm::{AppImage, ExecConfig, ExecEvent, Value};
+use tinman_vm::{AppImage, ExecConfig, ExecEvent, Value, VmError};
 
 use crate::device::ClientDevice;
 use crate::error::RuntimeError;
@@ -76,6 +77,11 @@ pub struct TinmanConfig {
     /// non-critical app that selects a cor will send the placeholder
     /// verbatim and fail, by design). `None` = taint everything.
     pub critical_apps: Option<Vec<[u8; 32]>>,
+    /// Per-session resource governance for node-side execution. `None`
+    /// (the default) leaves every run byte-identical to the unguarded
+    /// runtime; `Some` arms budget enforcement, watchdog deadline, and
+    /// scrub-on-kill teardown for the guest.
+    pub guard: Option<GuardPolicy>,
 }
 
 impl Default for TinmanConfig {
@@ -89,6 +95,7 @@ impl Default for TinmanConfig {
             ssl_coordination_fixed: SimDuration::from_millis(680),
             ssl_coordination_rtts: 2,
             critical_apps: None,
+            guard: None,
         }
     }
 }
@@ -214,6 +221,13 @@ impl TinmanRuntime {
         self.trace_track = track;
     }
 
+    /// Arms the per-session guard: node-side execution runs under
+    /// `policy`'s budgets, and any exhaustion becomes a deterministic
+    /// [`RuntimeError::GuestKilled`] with the node heap scrubbed.
+    pub fn set_guard(&mut self, policy: GuardPolicy) {
+        self.config.guard = Some(policy);
+    }
+
     /// Installs a DSM sync-fault window (chaos-injected node outage).
     /// Synchronizations attempted while the session clock is inside a
     /// window fail with [`tinman_dsm::DsmError::SyncTimeout`], which
@@ -315,6 +329,65 @@ impl TinmanRuntime {
     /// Scans the device for plaintext residue (§5.1's attacker).
     pub fn scan_residue(&self, needle: &str) -> ResidueReport {
         scan_device(&self.client, &self.world, needle)
+    }
+
+    /// Scans every trusted node's heap for plaintext residue — the §5.1
+    /// memory-dump attacker pointed at the node, used to verify the
+    /// guard's scrub-on-kill teardown left nothing behind.
+    pub fn scan_node_residue(&self, needle: &str) -> Vec<tinman_vm::ObjId> {
+        let mut hits = self.node.machine.scan_residue(needle);
+        for n in &self.extra_nodes {
+            hits.extend(n.machine.scan_residue(needle));
+        }
+        hits
+    }
+
+    /// Kills the guest on node `active`: scrubs the node heap (no cor
+    /// byte survives for a §5.1 dump to find), tears down its stack,
+    /// marks the machine faulted, bumps the `guard.*` counters, emits a
+    /// `guest_killed` event, and returns the fail-closed error the run
+    /// surfaces. A kill is terminal for the session — after exhaustion
+    /// nothing on the node can be trusted enough to migrate back.
+    fn kill_guest(&mut self, active: usize, reason: KillReason) -> RuntimeError {
+        let node = if active == 0 { &mut self.node } else { &mut self.extra_nodes[active - 1] };
+        node.machine.heap.scrub();
+        node.machine.frames.clear();
+        node.machine.status = tinman_vm::MachineStatus::Faulted;
+        self.metrics.incr("guard.kills");
+        self.metrics.incr(match reason.column() {
+            "fuel" => "guard.fuel_exhausted",
+            "heap" => "guard.heap_exhausted",
+            "depth" => "guard.depth_exhausted",
+            "dsm" => "guard.dsm_exhausted",
+            _ => "guard.deadline_exhausted",
+        });
+        if self.trace.is_enabled() {
+            self.trace.emit_on(
+                self.trace_track,
+                self.clock.now(),
+                TraceEvent::GuestKilled {
+                    session: self.trace_track,
+                    node: active as u64,
+                    reason: reason.as_str(),
+                },
+            );
+        }
+        RuntimeError::GuestKilled { reason }
+    }
+
+    /// Maps a DSM result through the guard: budget exhaustion becomes a
+    /// kill of the active node's guest, everything else passes through.
+    fn guard_dsm<T>(&mut self, active: usize, r: Result<T, DsmError>) -> Result<T, RuntimeError> {
+        match r {
+            Ok(v) => Ok(v),
+            Err(DsmError::SyncBudgetExhausted { .. }) => {
+                Err(self.kill_guest(active, KillReason::DsmSyncs))
+            }
+            Err(DsmError::SyncBytesExhausted { .. }) => {
+                Err(self.kill_guest(active, KillReason::DsmBytes))
+            }
+            Err(e) => Err(e.into()),
+        }
     }
 
     /// Charges ambient power (display + idle + radio-active) for a period —
@@ -421,6 +494,15 @@ impl TinmanRuntime {
                 d.set_fault(fault.clone(), self.clock.clone());
             }
         }
+        // ... and to the guard's sync budget, so a SyncFlood guest is
+        // refused by the engine itself before the flood ships bytes.
+        if let Some(g) = &self.config.guard {
+            let budget = SyncBudget { max_syncs: g.max_dsm_syncs, max_bytes: g.max_dsm_bytes };
+            self.dsm.set_budget(budget);
+            for d in &mut self.extra_dsms {
+                d.set_budget(budget);
+            }
+        }
         let _run_span = self.trace.span_guard(self.trace_track, &self.clock, "run_app");
         // Which trusted node the current offload episode targets.
         let mut active: usize = 0;
@@ -505,13 +587,14 @@ impl TinmanRuntime {
                     };
                     let dsm =
                         if active == 0 { &mut self.dsm } else { &mut self.extra_dsms[active - 1] };
-                    let bytes = dsm.lock_transfer(
+                    let r = dsm.lock_transfer(
                         &mut self.client.machine,
                         &mut node.machine,
                         LockSite::TrustedNode,
                         &mut ClientMaterializer { directory: &mut self.client.directory },
                         &mut NodeMaterializer { store: &mut node.store },
-                    )?;
+                    );
+                    let bytes = self.guard_dsm(active, r)?;
                     self.charge_migration(bytes, &mut breakdown);
                     continue;
                 }
@@ -597,17 +680,23 @@ impl TinmanRuntime {
                     // Migrate client -> the active node.
                     let dsm =
                         if active == 0 { &mut self.dsm } else { &mut self.extra_dsms[active - 1] };
-                    let packet = dsm.migrate(
+                    let r = dsm.migrate(
                         &mut self.client.machine,
                         &mut node.machine,
                         LockSite::Client,
                         SyncCause::OffloadTrigger,
                         &mut ClientMaterializer { directory: &mut self.client.directory },
                         &mut NodeMaterializer { store: &mut node.store },
-                    )?;
+                    );
+                    let packet = self.guard_dsm(active, r)?;
                     self.metrics.incr("runtime.offloads");
                     // Carry execution counters over so stats stay cumulative
                     // per machine (each machine counts its own retire).
+                    let node = if active == 0 {
+                        &mut self.node
+                    } else {
+                        &mut self.extra_nodes[active - 1]
+                    };
                     node.machine.status = tinman_vm::MachineStatus::Runnable;
                     self.charge_migration(packet.wire_bytes(), &mut breakdown);
                 }
@@ -615,6 +704,25 @@ impl TinmanRuntime {
 
             // ---- node segments (run until execution returns to client) ----
             loop {
+                // Watchdog: the guard charges everything a guest retires on
+                // trusted hardware against one session-wide budget. Fuel is
+                // what remains of the policy's allowance after every node
+                // segment so far this run (node machines are fresh per run,
+                // so their cumulative instruction counters are exactly the
+                // per-run spend); the wall deadline is checked against the
+                // simulated clock before each segment.
+                let guard_cfg = self.config.guard.map(|g| {
+                    let used: u64 = self.node.machine.stats.instrs
+                        + self.extra_nodes.iter().map(|n| n.machine.stats.instrs).sum::<u64>();
+                    (g, g.fuel.saturating_sub(used))
+                });
+                if let Some((g, _)) = &guard_cfg {
+                    if let Some(deadline) = g.deadline {
+                        if self.clock.now().since(t_run_start) > deadline {
+                            return Err(self.kill_guest(active, KillReason::Deadline));
+                        }
+                    }
+                }
                 let t0 = self.clock.now();
                 let event = {
                     let active_node = if active == 0 {
@@ -647,14 +755,29 @@ impl TinmanRuntime {
                         trace: self.trace.clone(),
                         trace_track: self.trace_track,
                     };
-                    tinman_vm::interp::run(
-                        machine,
-                        image,
-                        &mut host,
-                        engine,
-                        ExecConfig::trusted_node(self.config.taint_idle_limit)
-                            .with_fuel(self.config.fuel),
-                    )?
+                    let exec = match &guard_cfg {
+                        Some((g, remaining)) => {
+                            ExecConfig::trusted_node(self.config.taint_idle_limit, *remaining)
+                                .with_heap_quota(g.max_heap_objects, g.max_heap_bytes)
+                                .with_depth_limit(g.max_call_depth)
+                        }
+                        None => {
+                            ExecConfig::trusted_node(self.config.taint_idle_limit, self.config.fuel)
+                        }
+                    };
+                    tinman_vm::interp::run(machine, image, &mut host, engine, exec)
+                };
+                let event = match event {
+                    Ok(ev) => ev,
+                    // Quota faults raised inside the VM are guard kills:
+                    // scrub, tear down, fail closed.
+                    Err(VmError::HeapQuotaExceeded { .. }) if guard_cfg.is_some() => {
+                        return Err(self.kill_guest(active, KillReason::Heap));
+                    }
+                    Err(VmError::CallDepthExceeded { .. }) if guard_cfg.is_some() => {
+                        return Err(self.kill_guest(active, KillReason::Depth));
+                    }
+                    Err(e) => return Err(e.into()),
                 };
                 // Node CPU time from cycles; the wall time the segment's
                 // natives spent (SSL/TCP path, server think) was already
@@ -683,14 +806,15 @@ impl TinmanRuntime {
                         } else {
                             &mut self.extra_dsms[active - 1]
                         };
-                        let packet = dsm.migrate(
+                        let r = dsm.migrate(
                             &mut node.machine,
                             &mut self.client.machine,
                             LockSite::TrustedNode,
                             SyncCause::TaintIdle,
                             &mut NodeMaterializer { store: &mut node.store },
                             &mut ClientMaterializer { directory: &mut self.client.directory },
-                        )?;
+                        );
+                        let packet = self.guard_dsm(active, r)?;
                         self.charge_migration(packet.wire_bytes(), &mut breakdown);
                         if self.trace.is_enabled() {
                             self.trace.emit_on(
@@ -705,7 +829,15 @@ impl TinmanRuntime {
                         }
                         break 'outer v;
                     }
-                    ExecEvent::OutOfFuel => return Err(RuntimeError::FuelExhausted),
+                    ExecEvent::OutOfFuel => {
+                        // Under the guard, running the node dry is a hostile
+                        // act (Spin), not a tuning problem.
+                        return Err(if guard_cfg.is_some() {
+                            self.kill_guest(active, KillReason::Fuel)
+                        } else {
+                            RuntimeError::FuelExhausted
+                        });
+                    }
                     ExecEvent::OffloadTrigger { .. } => {
                         unreachable!("the full engine never triggers offload")
                     }
@@ -722,13 +854,14 @@ impl TinmanRuntime {
                         } else {
                             &mut self.extra_dsms[active - 1]
                         };
-                        let bytes = dsm.lock_transfer(
+                        let r = dsm.lock_transfer(
                             &mut node.machine,
                             &mut self.client.machine,
                             LockSite::Client,
                             &mut NodeMaterializer { store: &mut node.store },
                             &mut ClientMaterializer { directory: &mut self.client.directory },
-                        )?;
+                        );
+                        let bytes = self.guard_dsm(active, r)?;
                         self.charge_migration(bytes, &mut breakdown);
                         continue;
                     }
@@ -747,14 +880,15 @@ impl TinmanRuntime {
                         } else {
                             &mut self.extra_dsms[active - 1]
                         };
-                        let packet = dsm.migrate(
+                        let r = dsm.migrate(
                             &mut node.machine,
                             &mut self.client.machine,
                             LockSite::TrustedNode,
                             cause,
                             &mut NodeMaterializer { store: &mut node.store },
                             &mut ClientMaterializer { directory: &mut self.client.directory },
-                        )?;
+                        );
+                        let packet = self.guard_dsm(active, r)?;
                         self.charge_migration(packet.wire_bytes(), &mut breakdown);
                         if self.trace.is_enabled() {
                             self.trace.emit_on(

@@ -154,6 +154,19 @@ impl SyncFault {
     }
 }
 
+/// A guard budget on DSM activity for one session: sync count and shipped
+/// delta bytes. Installed by the runtime when a [`GuardPolicy`] is armed;
+/// absent (the default), the engine behaves exactly as before.
+///
+/// [`GuardPolicy`]: https://docs.rs/tinman-guard
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SyncBudget {
+    /// Maximum synchronizations (either direction).
+    pub max_syncs: u64,
+    /// Maximum total bytes shipped by deltas.
+    pub max_bytes: u64,
+}
+
 /// The offloading engine for one (client, trusted node) machine pair.
 ///
 /// The engine itself is endpoint-agnostic: the runtime holds one instance
@@ -172,6 +185,10 @@ pub struct DsmEngine {
     /// is present, never from the trace wiring, so traced and untraced
     /// runs stay byte-identical.
     fault: Option<(SyncFault, SimClock)>,
+    /// Guard budget wiring. `None` (the default) keeps every sync path
+    /// free of budget arithmetic, so unguarded runs are byte-identical to
+    /// the pre-guard engine.
+    budget: Option<SyncBudget>,
     /// The instant of the most recent completed synchronization — the
     /// checkpoint a replay can resume from.
     last_sync_at: Option<SimTime>,
@@ -204,6 +221,36 @@ impl DsmEngine {
     /// `None` before the first sync or when no fault wiring is installed.
     pub fn last_sync_at(&self) -> Option<SimTime> {
         self.last_sync_at
+    }
+
+    /// Installs a guard budget on sync count and shipped bytes. Like
+    /// [`DsmEngine::set_trace`], this must be re-applied each run (the
+    /// runtime rebuilds engines).
+    pub fn set_budget(&mut self, budget: SyncBudget) {
+        self.budget = Some(budget);
+    }
+
+    /// Refuses a sync that would cross the sync-count budget (checked
+    /// before any state moves, so a refused sync ships nothing).
+    fn check_sync_count(&self) -> Result<(), DsmError> {
+        if let Some(b) = &self.budget {
+            if self.stats.sync_count >= b.max_syncs {
+                return Err(DsmError::SyncBudgetExhausted { syncs: self.stats.sync_count });
+            }
+        }
+        Ok(())
+    }
+
+    /// Flags a crossed byte budget after the sync's bytes were accounted
+    /// (sizes are only known post-serialization).
+    fn check_sync_bytes(&self) -> Result<(), DsmError> {
+        if let Some(b) = &self.budget {
+            let bytes = self.stats.total_bytes();
+            if bytes > b.max_bytes {
+                return Err(DsmError::SyncBytesExhausted { bytes });
+            }
+        }
+        Ok(())
     }
 
     fn check_sync_fault(&self) -> Result<(), DsmError> {
@@ -259,6 +306,7 @@ impl DsmEngine {
         mat: &mut dyn CorMaterializer,
     ) -> Result<MigrationPacket, DsmError> {
         self.check_sync_fault()?;
+        self.check_sync_count()?;
         let delta = if self.init_done {
             HeapDelta::build_dirty(&machine.heap, mat)?
         } else {
@@ -285,6 +333,7 @@ impl DsmEngine {
         }
         self.stats.sync_count += 1;
         self.stats.record_cause(cause);
+        self.check_sync_bytes()?;
         self.record_checkpoint();
         self.emit_sync(cause, init, bytes);
         Ok(packet)
@@ -339,6 +388,7 @@ impl DsmEngine {
         holder_mat: &mut dyn CorMaterializer,
     ) -> Result<u64, DsmError> {
         self.check_sync_fault()?;
+        self.check_sync_count()?;
         // holder -> requester: anything the paused side still has unsynced.
         let d1 = HeapDelta::build_dirty(&holder.heap, holder_mat)?;
         d1.apply(&mut requester.heap, requester_mat)?;
@@ -361,6 +411,7 @@ impl DsmEngine {
         self.stats.dirty_bytes += bytes;
         self.stats.sync_count += 1;
         self.stats.record_cause(SyncCause::LockTransfer);
+        self.check_sync_bytes()?;
         self.record_checkpoint();
         self.emit_sync(SyncCause::LockTransfer, false, bytes);
         Ok(bytes)
@@ -665,6 +716,73 @@ mod tests {
         )
         .unwrap();
         assert_eq!(eng.last_sync_at(), None, "checkpoints need explicit fault wiring");
+    }
+
+    #[test]
+    fn sync_budget_refuses_excess_syncs_and_bytes() {
+        let mut eng = DsmEngine::new();
+        eng.set_budget(SyncBudget { max_syncs: 2, max_bytes: u64::MAX });
+        let mut a = machine_with_data();
+        let mut b = Machine::new();
+        for _ in 0..2 {
+            eng.migrate(
+                &mut a,
+                &mut b,
+                LockSite::Client,
+                SyncCause::TaintIdle,
+                &mut PassthroughMaterializer,
+                &mut PassthroughMaterializer,
+            )
+            .unwrap();
+        }
+        let err = eng
+            .migrate(
+                &mut a,
+                &mut b,
+                LockSite::Client,
+                SyncCause::TaintIdle,
+                &mut PassthroughMaterializer,
+                &mut PassthroughMaterializer,
+            )
+            .unwrap_err();
+        assert_eq!(err, DsmError::SyncBudgetExhausted { syncs: 2 });
+        assert_eq!(eng.stats().sync_count, 2, "a refused sync ships nothing");
+
+        // Byte budget: a tiny cap trips on the very first (init) sync.
+        let mut eng = DsmEngine::new();
+        eng.set_budget(SyncBudget { max_syncs: u64::MAX, max_bytes: 16 });
+        let mut a = machine_with_data();
+        let mut b = Machine::new();
+        let err = eng
+            .migrate(
+                &mut a,
+                &mut b,
+                LockSite::Client,
+                SyncCause::OffloadTrigger,
+                &mut PassthroughMaterializer,
+                &mut PassthroughMaterializer,
+            )
+            .unwrap_err();
+        assert!(matches!(err, DsmError::SyncBytesExhausted { bytes } if bytes > 16));
+    }
+
+    #[test]
+    fn no_budget_means_no_refusals() {
+        let mut eng = DsmEngine::new();
+        let mut a = machine_with_data();
+        let mut b = Machine::new();
+        for _ in 0..8 {
+            eng.migrate(
+                &mut a,
+                &mut b,
+                LockSite::Client,
+                SyncCause::TaintIdle,
+                &mut PassthroughMaterializer,
+                &mut PassthroughMaterializer,
+            )
+            .unwrap();
+        }
+        assert_eq!(eng.stats().sync_count, 8);
     }
 
     #[test]

@@ -44,6 +44,18 @@ pub enum DsmError {
         /// The labels involved.
         labels: TaintSet,
     },
+    /// The session crossed its guard budget for synchronization count (a
+    /// sync-flooding guest). Only raised when a budget is installed.
+    SyncBudgetExhausted {
+        /// Synchronizations completed before the refusal.
+        syncs: u64,
+    },
+    /// The session crossed its guard budget for shipped delta bytes. Only
+    /// raised when a budget is installed.
+    SyncBytesExhausted {
+        /// Total bytes shipped, including the offending sync.
+        bytes: u64,
+    },
 }
 
 impl fmt::Display for DsmError {
@@ -64,6 +76,12 @@ impl fmt::Display for DsmError {
             }
             DsmError::CorLeakPrevented { obj, labels } => {
                 write!(f, "refused to serialize tainted content of {obj:?} (labels {labels:?})")
+            }
+            DsmError::SyncBudgetExhausted { syncs } => {
+                write!(f, "sync budget exhausted after {syncs} synchronizations")
+            }
+            DsmError::SyncBytesExhausted { bytes } => {
+                write!(f, "sync byte budget exhausted at {bytes} shipped bytes")
             }
         }
     }

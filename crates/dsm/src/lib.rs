@@ -30,6 +30,6 @@ pub mod error;
 pub mod token;
 
 pub use delta::{DeltaEntry, HeapDelta};
-pub use engine::{DsmEngine, DsmStats, MigrationPacket, SyncCause, SyncFault};
+pub use engine::{DsmEngine, DsmStats, MigrationPacket, SyncBudget, SyncCause, SyncFault};
 pub use error::DsmError;
 pub use token::{CorMaterializer, CorToken, ObjShape, PassthroughMaterializer};

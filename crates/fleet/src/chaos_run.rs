@@ -38,12 +38,14 @@ use tinman_chaos::{
 use tinman_core::runtime::{Mode, TinmanRuntime};
 use tinman_core::RuntimeError;
 use tinman_dsm::{DsmError, SyncFault};
+use tinman_guard::KillReason;
 use tinman_net::NetChaos;
 use tinman_obs::TraceEvent;
 use tinman_sim::{SimDuration, SimTime};
 use tinman_vault::catch_up_cost;
 
 use crate::failure::{backoff_delay, degraded_link, FleetError, NodeHealth};
+use crate::hostile::{build_hostile_world, fleet_policy, GuardSchedule};
 use crate::pool::NodePool;
 use crate::report::FleetReport;
 use crate::sched::{run_worker_pool, surface_clamp, FleetObs};
@@ -164,8 +166,38 @@ pub fn execute_with_chaos(
     spec: &SessionSpec,
     plan: &ChaosPlan,
     schedule: &BreakerSchedule,
+    guard: &GuardSchedule,
     obs: &FleetObs,
 ) -> SessionOutcome {
+    // Load shedding: when the guard schedule says this session's budget
+    // reservation does not fit its node, it is shed before any attempt —
+    // a deterministic, breaker-style fail-closed outcome with reason
+    // `overloaded`.
+    if guard.shed(spec.id) {
+        let node = pool.place(spec.placement_key());
+        obs.metrics.incr("guard.sheds");
+        obs.metrics.incr("chaos.fail_closed");
+        if obs.trace.is_enabled() {
+            obs.trace.emit_on(
+                spec.id,
+                SimTime::ZERO,
+                TraceEvent::SessionShed {
+                    session: spec.id,
+                    node: node as u64,
+                    reason: "overloaded",
+                },
+            );
+            obs.trace.emit_on(
+                spec.id,
+                SimTime::ZERO,
+                TraceEvent::FailClosed { session: spec.id, reason: "overloaded" },
+            );
+        }
+        let mut out = SessionOutcome::failed(spec.id, 0, SimDuration::ZERO);
+        out.fail_closed = true;
+        out.shed = true;
+        return out;
+    }
     let order = pool.replica_order(spec.placement_key());
     let mut penalty = SimDuration::ZERO;
     let mut attempts = 0u32;
@@ -181,6 +213,7 @@ pub fn execute_with_chaos(
     let mut credit = SimDuration::ZERO;
     let mut ran_before = false;
     let mut deadline_hit = false;
+    let mut guest_kill: Option<KillReason> = None;
 
     for (i, &node) in order.iter().take(cfg.max_attempts as usize).enumerate() {
         if penalty > plan.deadline {
@@ -218,18 +251,26 @@ pub fn execute_with_chaos(
         }
         // Admission control: wall-clock flow only, no simulated effect.
         let _permit = shard.acquire();
-        let mut world =
-            match build_session_world(spec, (shard.label_start, shard.label_end), link, &obs.trace)
-            {
-                Ok(w) => w,
-                Err(_) => {
-                    let delay = backoff_delay(cfg.backoff, i as u32);
-                    penalty += delay;
-                    obs.metrics.add("fleet.backoff_ns", delay.as_nanos());
-                    emit_failover(obs, spec.id, node, i, penalty, delay);
-                    continue;
-                }
-            };
+        let shard_labels = (shard.label_start, shard.label_end);
+        let built = match faults.hostile_guest {
+            Some(kind) => build_hostile_world(spec, kind, shard_labels, link, &obs.trace),
+            None => build_session_world(spec, shard_labels, link, &obs.trace),
+        };
+        let mut world = match built {
+            Ok(w) => w,
+            Err(_) => {
+                let delay = backoff_delay(cfg.backoff, i as u32);
+                penalty += delay;
+                obs.metrics.add("fleet.backoff_ns", delay.as_nanos());
+                emit_failover(obs, spec.id, node, i, penalty, delay);
+                continue;
+            }
+        };
+        // On a hostile run every session — benign or not — executes under
+        // the guard; hostile worlds arm it themselves.
+        if guard.armed() && faults.hostile_guest.is_none() {
+            world.rt.set_guard(fleet_policy());
+        }
         // Cor-aware failover: when this node's vault replica lags the
         // primary, the session's cor writes (one LSN per secret) must be
         // covered before it is served. Anti-entropy replays the missing
@@ -306,35 +347,45 @@ pub fn execute_with_chaos(
                 obs.metrics.add("chaos.residue_violations", hits);
             }
         }
-        // Durability audit on *every* attempt: replay the node's cor
-        // writes through a real WAL, inject the projected crash, recover,
-        // and byte-compare against the committed-prefix reference.
-        let audit =
-            audit_session_vault(&world.rt, &world.secrets, faults.vault_crash, faults.dice_seed);
-        vault_totals.recoveries += audit.recoveries;
-        vault_totals.torn_repairs += audit.torn_repairs;
-        vault_totals.lost_cors += audit.lost_cors;
-        vault_totals.duplicates += audit.duplicates;
-        vault_totals.wal_plaintexts += audit.wal_plaintexts;
-        vault_totals.wal_device_leaks += audit.wal_device_leaks;
-        obs.metrics.add("vault.recoveries", audit.recoveries);
-        obs.metrics.add("vault.torn_repairs", audit.torn_repairs);
-        obs.metrics.add("vault.lost_cors", audit.lost_cors);
-        obs.metrics.add("vault.appends", audit.appends);
-        obs.metrics.add("vault.fsyncs", audit.fsyncs);
-        obs.metrics.add("vault.wal_device_leaks", audit.wal_device_leaks);
-        if obs.trace.is_enabled() {
-            obs.trace.emit_on(
-                spec.id,
-                SimTime::ZERO + penalty,
-                TraceEvent::VaultRecovery {
-                    session: spec.id,
-                    node: node as u64,
-                    applied_lsn: audit.applied_lsn,
-                    torn_repaired: audit.torn_repairs > 0,
-                    duplicates: audit.duplicates,
-                },
+        // Durability audit on every attempt that was not guard-killed:
+        // replay the node's cor writes through a real WAL, inject the
+        // projected crash, recover, and byte-compare against the
+        // committed-prefix reference. A killed guest's fail-closed
+        // teardown discards its cor writes along with its scrubbed heap —
+        // nothing durable may survive the kill, so there is nothing to
+        // audit (and `wal_plaintexts` stays zero for killed sessions).
+        if !matches!(&run, Err(RuntimeError::GuestKilled { .. })) {
+            let audit = audit_session_vault(
+                &world.rt,
+                &world.secrets,
+                faults.vault_crash,
+                faults.dice_seed,
             );
+            vault_totals.recoveries += audit.recoveries;
+            vault_totals.torn_repairs += audit.torn_repairs;
+            vault_totals.lost_cors += audit.lost_cors;
+            vault_totals.duplicates += audit.duplicates;
+            vault_totals.wal_plaintexts += audit.wal_plaintexts;
+            vault_totals.wal_device_leaks += audit.wal_device_leaks;
+            obs.metrics.add("vault.recoveries", audit.recoveries);
+            obs.metrics.add("vault.torn_repairs", audit.torn_repairs);
+            obs.metrics.add("vault.lost_cors", audit.lost_cors);
+            obs.metrics.add("vault.appends", audit.appends);
+            obs.metrics.add("vault.fsyncs", audit.fsyncs);
+            obs.metrics.add("vault.wal_device_leaks", audit.wal_device_leaks);
+            if obs.trace.is_enabled() {
+                obs.trace.emit_on(
+                    spec.id,
+                    SimTime::ZERO + penalty,
+                    TraceEvent::VaultRecovery {
+                        session: spec.id,
+                        node: node as u64,
+                        applied_lsn: audit.applied_lsn,
+                        torn_repaired: audit.torn_repairs > 0,
+                        duplicates: audit.duplicates,
+                    },
+                );
+            }
         }
         match run {
             Ok(report) if expect_success(&report, world.workload).is_ok() => {
@@ -359,6 +410,31 @@ pub fn execute_with_chaos(
                 out.wal_device_leaks = vault_totals.wal_device_leaks;
                 return out;
             }
+            Err(RuntimeError::GuestKilled { reason }) => {
+                // A guard kill is deterministic: replaying the same guest
+                // on a replica dies the same way, so the kill is terminal
+                // and the session fails closed immediately.
+                guest_kill = Some(reason);
+                obs.metrics.incr("guard.kills");
+                obs.metrics.incr(match reason.column() {
+                    "fuel" => "guard.fuel_exhausted",
+                    "heap" => "guard.heap_exhausted",
+                    "depth" => "guard.depth_exhausted",
+                    "dsm" => "guard.dsm_exhausted",
+                    _ => "guard.deadline_exhausted",
+                });
+                // The watchdog scrubbed the node heap before returning;
+                // verify, counting any surviving cor bytes as violations.
+                for secret in &world.secrets {
+                    let hits = world.rt.scan_node_residue(secret).len() as u64;
+                    if hits > 0 {
+                        residue_violations += hits;
+                        obs.metrics.add("chaos.residue_violations", hits);
+                    }
+                }
+                penalty += world.rt.clock().now().since(SimTime::ZERO);
+                break;
+            }
             other => {
                 if matches!(&other, Err(RuntimeError::Dsm(DsmError::SyncTimeout { .. }))) {
                     obs.metrics.incr("chaos.crashes");
@@ -377,7 +453,9 @@ pub fn execute_with_chaos(
         }
     }
 
-    let reason = if stale_blocked {
+    let reason = if guest_kill.is_some() {
+        "guest_killed"
+    } else if stale_blocked {
         "stale_replica"
     } else if deadline_hit {
         "deadline"
@@ -404,6 +482,7 @@ pub fn execute_with_chaos(
     out.vault_catchup_lsns = catchup_lsns;
     out.wal_plaintexts = vault_totals.wal_plaintexts;
     out.wal_device_leaks = vault_totals.wal_device_leaks;
+    out.guest_kill = guest_kill;
     out
 }
 
@@ -421,6 +500,7 @@ pub fn run_fleet_chaos(
     plan.validate(pool.len())?;
     surface_clamp(&pool, obs);
     let schedule = BreakerSchedule::build(plan, pool.len(), cfg.sessions as u64);
+    let guard = GuardSchedule::build(cfg, &pool, plan, &specs);
     if obs.trace.is_enabled() {
         for node in 0..pool.len() {
             for (session, from, to) in schedule.transitions(node) {
@@ -442,7 +522,7 @@ pub fn run_fleet_chaos(
     let start = Instant::now();
 
     let mut outcomes = run_worker_pool(cfg.workers, cfg.queue_depth, specs, |spec| {
-        execute_with_chaos(cfg, &pool, &spec, plan, &schedule, obs)
+        execute_with_chaos(cfg, &pool, &spec, plan, &schedule, &guard, obs)
     });
 
     let wall_secs = start.elapsed().as_secs_f64();
@@ -500,6 +580,33 @@ mod tests {
         cfg_bad.faults.down_nodes = vec![5];
         let err = run_fleet_chaos(&cfg_bad, &ChaosPlan::empty(), &FleetObs::default()).unwrap_err();
         assert!(matches!(err, FleetError::FaultPlan(_)));
+    }
+
+    #[test]
+    fn hostile_plan_kills_sheds_and_stays_clean() {
+        let cfg = chaos_cfg(8, 2);
+        let plan = ChaosPlan::canned("hostile-guest").expect("canned plan");
+        let report = run_fleet_chaos(&cfg, &plan, &FleetObs::default()).expect("runs");
+        assert!(report.guest_kills > 0, "hostile guests are killed");
+        assert!(report.shed_sessions > 0, "full-ceiling asks overflow node headroom");
+        assert_eq!(report.ok, 0, "every session in an all-hostile plan fails");
+        assert_eq!(report.fail_closed, report.sessions);
+        assert_eq!(
+            report.guest_kills + report.shed_sessions,
+            report.sessions,
+            "each session is either admitted-and-killed or shed"
+        );
+        assert_eq!(
+            report.budget_exhaustions.iter().sum::<u64>(),
+            report.guest_kills,
+            "every kill lands in exactly one exhaustion column"
+        );
+        assert_eq!(report.residue_violations, 0, "kills scrub node heaps");
+        assert_eq!(report.wal_plaintexts, 0, "killed sessions leave nothing durable");
+        assert!(report
+            .outcomes
+            .iter()
+            .all(|o| o.fail_closed && !o.success && (o.guest_kill.is_some() ^ o.shed)));
     }
 
     #[test]

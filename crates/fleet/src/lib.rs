@@ -35,6 +35,7 @@
 
 pub mod chaos_run;
 pub mod failure;
+pub mod hostile;
 pub mod pool;
 pub mod report;
 pub mod sched;
@@ -45,6 +46,10 @@ pub mod vault_audit;
 pub use chaos_run::{apply_session_faults, execute_with_chaos, run_fleet_chaos};
 pub use failure::{
     backoff_delay, degraded_link, FaultPlan, FaultPlanError, FleetError, NodeHealth, MAX_BACKOFF,
+};
+pub use hostile::{
+    build_hostile_app, build_hostile_world, expected_kill, fleet_policy, hostile_workload_name,
+    GuardSchedule, HOSTILE_COR_DESCRIPTION,
 };
 pub use pool::{CapacityPermit, NoSuchNode, NodePool, NodeShard};
 pub use report::{FleetReport, LatencyStats, NodeReport};

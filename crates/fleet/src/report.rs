@@ -128,6 +128,15 @@ pub struct FleetReport {
     /// Session secrets found in vault bytes *and* on a device surface.
     /// Acceptance bar: zero.
     pub wal_device_leaks: u64,
+    /// Guests the guard killed for exhausting a budget. Each kill scrubbed
+    /// its node heap and failed the session closed.
+    pub guest_kills: u64,
+    /// Sessions guard admission shed with reason `overloaded` before any
+    /// attempt ran.
+    pub shed_sessions: u64,
+    /// Guest kills by exhausted budget: `[fuel, heap, depth, dsm,
+    /// deadline]` (the two DSM flavors share the `dsm` column).
+    pub budget_exhaustions: [u64; 5],
     /// Client→node execution migrations, total.
     pub offloads: u64,
     /// Method invocations on trusted nodes, total.
@@ -179,7 +188,9 @@ impl FleetReport {
         let ok = outcomes.iter().filter(|o| o.success).count() as u64;
         let failed = outcomes.len() as u64 - ok;
         let attempts: u64 = outcomes.iter().map(|o| u64::from(o.attempts)).sum();
-        let failovers: u64 = outcomes.iter().map(|o| u64::from(o.attempts) - 1).sum();
+        // Shed sessions never attempted at all (attempts == 0), so the
+        // per-session failover count saturates rather than underflows.
+        let failovers: u64 = outcomes.iter().map(|o| u64::from(o.attempts).saturating_sub(1)).sum();
 
         let mut node_sessions = vec![0u64; pool.len()];
         let mut node_busy = vec![SimDuration::ZERO; pool.len()];
@@ -236,6 +247,17 @@ impl FleetReport {
             vault_catchup_lsns: sum(|o| o.vault_catchup_lsns),
             wal_plaintexts: sum(|o| o.wal_plaintexts),
             wal_device_leaks: sum(|o| o.wal_device_leaks),
+            guest_kills: outcomes.iter().filter(|o| o.guest_kill.is_some()).count() as u64,
+            shed_sessions: outcomes.iter().filter(|o| o.shed).count() as u64,
+            budget_exhaustions: {
+                let col = |c: &str| -> u64 {
+                    outcomes
+                        .iter()
+                        .filter(|o| o.guest_kill.is_some_and(|r| r.column() == c))
+                        .count() as u64
+                };
+                [col("fuel"), col("heap"), col("depth"), col("dsm"), col("deadline")]
+            },
             offloads: sum(|o| o.offloads),
             node_methods: sum(|o| o.node_methods),
             client_methods: sum(|o| o.client_methods),
@@ -284,6 +306,18 @@ impl FleetReport {
         put("vault_catchup_lsns", Value::U64(self.vault_catchup_lsns));
         put("wal_plaintexts", Value::U64(self.wal_plaintexts));
         put("wal_device_leaks", Value::U64(self.wal_device_leaks));
+        put("guest_kills", Value::U64(self.guest_kills));
+        put("shed_sessions", Value::U64(self.shed_sessions));
+        put(
+            "budget_exhaustions",
+            Value::Map(
+                ["fuel", "heap", "depth", "dsm", "deadline"]
+                    .iter()
+                    .zip(self.budget_exhaustions)
+                    .map(|(k, v)| ((*k).to_owned(), Value::U64(v)))
+                    .collect(),
+            ),
+        );
         put("offloads", Value::U64(self.offloads));
         put("node_methods", Value::U64(self.node_methods));
         put("client_methods", Value::U64(self.client_methods));
@@ -377,6 +411,8 @@ mod tests {
             vault_catchup_lsns: 0,
             wal_plaintexts: 0,
             wal_device_leaks: 0,
+            guest_kill: None,
+            shed: false,
         }
     }
 

@@ -17,6 +17,7 @@ use tinman_apps::servers::{install_auth_server, install_payment_server, AuthServ
 use tinman_cor::CorStore;
 use tinman_core::runtime::{Mode, RunReport, TinmanConfig, TinmanRuntime};
 use tinman_core::server::HttpsServerApp;
+use tinman_guard::KillReason;
 use tinman_net::{Addr, NetWorld};
 use tinman_obs::TraceHandle;
 use tinman_sim::{LinkProfile, SimDuration, SplitMix64};
@@ -89,6 +90,13 @@ pub struct SessionOutcome {
     /// Session secrets found in vault bytes *and* on a device surface.
     /// Must be zero: durability never widens exposure toward the device.
     pub wal_device_leaks: u64,
+    /// Why the guard killed this session's guest (`None` if it was not
+    /// killed). A kill is terminal: the node heap was scrubbed and the
+    /// session failed closed without retries.
+    pub guest_kill: Option<KillReason>,
+    /// True if guard admission shed this session (reason `overloaded`)
+    /// before any attempt ran.
+    pub shed: bool,
 }
 
 impl SessionOutcome {
@@ -119,6 +127,8 @@ impl SessionOutcome {
             vault_catchup_lsns: 0,
             wal_plaintexts: 0,
             wal_device_leaks: 0,
+            guest_kill: None,
+            shed: false,
         }
     }
 }
@@ -141,7 +151,7 @@ pub(crate) fn session_inputs() -> HashMap<String, String> {
 /// The per-session derivation stream plus the cor store it seeds. Cors
 /// are registered into the store *before* the runtime is built (they are
 /// provisioned "in a safe environment in advance", §2.3).
-fn session_store(spec: &SessionSpec, labels: (u8, u8)) -> (CorStore, SplitMix64, u64) {
+pub(crate) fn session_store(spec: &SessionSpec, labels: (u8, u8)) -> (CorStore, SplitMix64, u64) {
     let mut stream = SplitMix64::new(spec.seed);
     let store_seed = stream.next_u64();
     let runtime_seed = stream.next_u64();
@@ -150,7 +160,7 @@ fn session_store(spec: &SessionSpec, labels: (u8, u8)) -> (CorStore, SplitMix64,
     (store, stream, runtime_seed)
 }
 
-fn session_runtime(
+pub(crate) fn session_runtime(
     store: CorStore,
     link: LinkProfile,
     runtime_seed: u64,
@@ -371,6 +381,8 @@ pub fn outcome_from_report(
         vault_catchup_lsns: 0,
         wal_plaintexts: 0,
         wal_device_leaks: 0,
+        guest_kill: None,
+        shed: false,
     }
 }
 

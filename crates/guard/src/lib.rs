@@ -1,0 +1,212 @@
+//! Per-session resource governance for the trusted node.
+//!
+//! TinMan's trust model is asymmetric: the *node* is trusted, the *apps*
+//! running on it are not — they are arbitrary guest bytecode that merely
+//! carries cor. A hostile or runaway guest (infinite loop, heap bomb,
+//! unbounded recursion, DSM-sync flood) must not be able to wedge a node
+//! shared across many users' sessions. This crate defines the policy
+//! vocabulary the rest of the system enforces:
+//!
+//! - [`GuardPolicy`] — the per-session budget envelope (fuel, heap, call
+//!   depth, DSM sync count and shipped bytes, a simulated-time deadline).
+//!   The `vm` crate enforces the fuel/heap/depth budgets per instruction,
+//!   the `dsm` crate meters syncs, and `core`'s runtime turns any
+//!   exhaustion into a deterministic kill with a scrubbed node heap.
+//! - [`KillReason`] — why a guest was killed; stable names feed trace
+//!   events, metrics, and fleet report columns.
+//! - [`GuardVerdict`] — the outcome of running a session under a guard.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use tinman_sim::SimDuration;
+
+/// The per-session budget envelope the trusted node grants a guest.
+///
+/// Every limit is a hard ceiling; crossing any of them is a deterministic
+/// [`KillReason`]-stamped kill, never a panic and never an unbounded wait.
+/// The [`Default`] policy is sized so that every legitimate workload in
+/// this repository finishes with a wide margin while each of the canned
+/// hostile guests dies within a few simulated milliseconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuardPolicy {
+    /// Node-side instruction budget per session (all node segments
+    /// combined).
+    pub fuel: u64,
+    /// Maximum live objects in the node heap.
+    pub max_heap_objects: u64,
+    /// Maximum allocated payload bytes in the node heap.
+    pub max_heap_bytes: u64,
+    /// Maximum call-stack depth on the node.
+    pub max_call_depth: usize,
+    /// Maximum DSM synchronizations (either direction) per session.
+    pub max_dsm_syncs: u64,
+    /// Maximum bytes shipped by DSM deltas per session.
+    pub max_dsm_bytes: u64,
+    /// Simulated wall-clock deadline for the whole session, measured from
+    /// the first node segment. `None` disables the watchdog timer.
+    pub deadline: Option<SimDuration>,
+}
+
+impl Default for GuardPolicy {
+    fn default() -> Self {
+        GuardPolicy {
+            fuel: 2_000_000,
+            max_heap_objects: 50_000,
+            max_heap_bytes: 8 << 20,
+            max_call_depth: 128,
+            max_dsm_syncs: 64,
+            max_dsm_bytes: 16 << 20,
+            deadline: Some(SimDuration::from_secs(120)),
+        }
+    }
+}
+
+impl GuardPolicy {
+    /// A policy with every limit at its maximum — useful for tests that
+    /// want the guard plumbing armed without any budget ever binding.
+    pub fn unlimited() -> Self {
+        GuardPolicy {
+            fuel: u64::MAX,
+            max_heap_objects: u64::MAX,
+            max_heap_bytes: u64::MAX,
+            max_call_depth: usize::MAX,
+            max_dsm_syncs: u64::MAX,
+            max_dsm_bytes: u64::MAX,
+            deadline: None,
+        }
+    }
+
+    /// The nominal fuel reservation fleet admission accounts for a
+    /// well-behaved session: most sessions use a small fraction of the
+    /// ceiling, so reserving the full budget for everyone would shed
+    /// sessions a node could easily serve.
+    pub fn nominal_fuel(&self) -> u64 {
+        self.fuel / 16
+    }
+
+    /// The nominal heap-byte reservation for a well-behaved session
+    /// (companion of [`GuardPolicy::nominal_fuel`]).
+    pub fn nominal_heap_bytes(&self) -> u64 {
+        self.max_heap_bytes / 16
+    }
+}
+
+/// Which budget a killed guest exhausted. Variants map 1:1 onto the
+/// `guard.*_exhausted` metrics and the `budget_exhaustions` report columns
+/// (the two DSM flavors share the `dsm` column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KillReason {
+    /// The node-side instruction budget ran out.
+    Fuel,
+    /// The node heap crossed its object or byte quota.
+    Heap,
+    /// The call stack crossed its depth limit.
+    Depth,
+    /// Too many DSM synchronizations.
+    DsmSyncs,
+    /// Too many bytes shipped over DSM.
+    DsmBytes,
+    /// The session's simulated deadline passed.
+    Deadline,
+}
+
+impl KillReason {
+    /// Stable snake_case name for trace events and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KillReason::Fuel => "fuel",
+            KillReason::Heap => "heap",
+            KillReason::Depth => "depth",
+            KillReason::DsmSyncs => "dsm_syncs",
+            KillReason::DsmBytes => "dsm_bytes",
+            KillReason::Deadline => "deadline",
+        }
+    }
+
+    /// The report column this reason is tallied under: the two DSM
+    /// flavors fold into one `dsm` column.
+    pub fn column(self) -> &'static str {
+        match self {
+            KillReason::Fuel => "fuel",
+            KillReason::Heap => "heap",
+            KillReason::Depth => "depth",
+            KillReason::DsmSyncs | KillReason::DsmBytes => "dsm",
+            KillReason::Deadline => "deadline",
+        }
+    }
+}
+
+impl fmt::Display for KillReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The outcome of running one session under a guard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GuardVerdict {
+    /// The session ran to completion within every budget.
+    Completed,
+    /// The guard killed the guest; its node heap was scrubbed and the
+    /// session failed closed.
+    Killed {
+        /// Which budget was exhausted.
+        reason: KillReason,
+    },
+}
+
+impl GuardVerdict {
+    /// True if the guard killed the guest.
+    pub fn is_killed(self) -> bool {
+        matches!(self, GuardVerdict::Killed { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_generous_but_bounded() {
+        let p = GuardPolicy::default();
+        assert!(p.fuel >= 1_000_000);
+        assert!(p.max_heap_bytes >= 1 << 20);
+        assert!(p.max_call_depth >= 64);
+        assert!(p.nominal_fuel() < p.fuel);
+        assert!(p.nominal_heap_bytes() < p.max_heap_bytes);
+        assert!(p.deadline.is_some());
+    }
+
+    #[test]
+    fn unlimited_policy_never_binds() {
+        let p = GuardPolicy::unlimited();
+        assert_eq!(p.fuel, u64::MAX);
+        assert_eq!(p.deadline, None);
+    }
+
+    #[test]
+    fn kill_reason_names_are_stable() {
+        let all = [
+            KillReason::Fuel,
+            KillReason::Heap,
+            KillReason::Depth,
+            KillReason::DsmSyncs,
+            KillReason::DsmBytes,
+            KillReason::Deadline,
+        ];
+        let names: Vec<&str> = all.iter().map(|r| r.as_str()).collect();
+        assert_eq!(names, ["fuel", "heap", "depth", "dsm_syncs", "dsm_bytes", "deadline"]);
+        assert_eq!(KillReason::DsmSyncs.column(), "dsm");
+        assert_eq!(KillReason::DsmBytes.column(), "dsm");
+        assert_eq!(format!("{}", KillReason::Fuel), "fuel");
+    }
+
+    #[test]
+    fn verdict_predicates() {
+        assert!(!GuardVerdict::Completed.is_killed());
+        assert!(GuardVerdict::Killed { reason: KillReason::Heap }.is_killed());
+    }
+}

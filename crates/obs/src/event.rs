@@ -170,6 +170,26 @@ pub enum TraceEvent {
         /// Simulated catch-up cost charged, nanoseconds.
         cost_ns: u64,
     },
+    /// The guard killed a guest that exhausted a session budget; its node
+    /// heap was scrubbed and the session failed closed.
+    GuestKilled {
+        /// Session id.
+        session: u64,
+        /// Node index the guest was running on.
+        node: u64,
+        /// Which budget was exhausted (`KillReason` name).
+        reason: &'static str,
+    },
+    /// Fleet admission shed a session before placement because the target
+    /// node's in-flight budget reservations exceeded its capacity.
+    SessionShed {
+        /// Session id.
+        session: u64,
+        /// The overloaded node index.
+        node: u64,
+        /// Why: currently always `"overloaded"`.
+        reason: &'static str,
+    },
     /// A named span; appears with [`crate::TracePhase::Begin`] and
     /// [`crate::TracePhase::End`] records (Chrome `B`/`E` semantics:
     /// spans nest per track, stack-wise).
@@ -201,6 +221,8 @@ impl TraceEvent {
             TraceEvent::DeliveryDedup { .. } => "delivery_dedup",
             TraceEvent::VaultRecovery { .. } => "vault_recovery",
             TraceEvent::VaultCatchUp { .. } => "vault_catch_up",
+            TraceEvent::GuestKilled { .. } => "guest_killed",
+            TraceEvent::SessionShed { .. } => "session_shed",
             TraceEvent::Span { name } => name,
         }
     }
@@ -289,6 +311,16 @@ impl TraceEvent {
                 ("node".to_owned(), Value::U64(*node)),
                 ("lsns".to_owned(), Value::U64(*lsns)),
                 ("cost_ns".to_owned(), Value::U64(*cost_ns)),
+            ],
+            TraceEvent::GuestKilled { session, node, reason } => vec![
+                ("session".to_owned(), Value::U64(*session)),
+                ("node".to_owned(), Value::U64(*node)),
+                ("reason".to_owned(), s(reason)),
+            ],
+            TraceEvent::SessionShed { session, node, reason } => vec![
+                ("session".to_owned(), Value::U64(*session)),
+                ("node".to_owned(), Value::U64(*node)),
+                ("reason".to_owned(), s(reason)),
             ],
             TraceEvent::Span { .. } => Vec::new(),
         }

@@ -136,6 +136,21 @@ pub enum VmError {
         /// What went wrong.
         message: String,
     },
+    /// The machine has no active frame where one was required (malformed
+    /// bytecode or a machine resumed after its stack was torn down).
+    NoFrame,
+    /// The heap grew past the guard policy's quota.
+    HeapQuotaExceeded {
+        /// Live objects at the time of the violation.
+        objects: u64,
+        /// Allocated payload bytes at the time of the violation.
+        bytes: u64,
+    },
+    /// The call stack grew past the guard policy's depth limit.
+    CallDepthExceeded {
+        /// The offending stack depth.
+        depth: usize,
+    },
 }
 
 impl fmt::Display for VmError {
@@ -181,6 +196,13 @@ impl fmt::Display for VmError {
                 write!(f, "{obj:?} is a {found}, expected a {expected}")
             }
             VmError::BadStringOp { message } => write!(f, "bad string operation: {message}"),
+            VmError::NoFrame => write!(f, "no active frame"),
+            VmError::HeapQuotaExceeded { objects, bytes } => {
+                write!(f, "heap quota exceeded: {objects} objects, {bytes} bytes")
+            }
+            VmError::CallDepthExceeded { depth } => {
+                write!(f, "call depth limit exceeded at depth {depth}")
+            }
         }
     }
 }

@@ -358,6 +358,37 @@ impl Heap {
         self.iter().filter(|(_, o)| o.fresh || o.is_dirty())
     }
 
+    /// Zeroes every object payload in place and drops all taint — the
+    /// guard's kill-time teardown. A killed guest's node heap must hold no
+    /// cor bytes for the §5.1 memory-dump attacker to find, so string
+    /// contents are overwritten with NULs (same length, so byte accounting
+    /// and object ids stay stable), array elements are zeroed, and object
+    /// fields are nulled. The intern table is cleared because interned
+    /// constants no longer match their pool entries.
+    pub fn scrub(&mut self) {
+        for obj in &mut self.objects {
+            match &mut obj.kind {
+                HeapKind::Str(s) => {
+                    *s = "\0".repeat(s.len());
+                }
+                HeapKind::Arr(v) => {
+                    for slot in v.iter_mut() {
+                        *slot = Value::Int(0);
+                    }
+                }
+                HeapKind::Obj { fields, .. } => {
+                    for slot in fields.iter_mut() {
+                        *slot = Value::Null;
+                    }
+                }
+            }
+            obj.taint = TaintSet::EMPTY;
+            obj.fresh = false;
+            obj.dirty = 0;
+        }
+        self.intern.clear();
+    }
+
     /// Raw byte scan of the whole heap for `needle` — the attacker's
     /// memory-dump search from the paper's motivation (§2.1). Returns the
     /// ids of objects whose payload contains the needle.
@@ -534,6 +565,29 @@ mod tests {
         h2.set_intern_table(table);
         assert_eq!(h2.intern_str(2, "x"), interned, "table entry reused, no new alloc");
         assert_eq!(h2.len(), 3);
+    }
+
+    #[test]
+    fn scrub_removes_all_residue_and_taint() {
+        let mut h = Heap::new();
+        let t = Label::new(3).unwrap().as_set();
+        h.alloc_str_tainted("hunter2-the-cor", t);
+        let a = h.alloc_arr(7);
+        for (i, ch) in "hunter2".chars().enumerate() {
+            h.arr_set(a, i as i64, Value::Int(ch as i64)).unwrap();
+        }
+        let o = h.alloc_obj(0, 1);
+        h.field_set(o, 0, Value::Int(99)).unwrap();
+        h.intern_str(0, "hunter2");
+        let before = (h.len(), h.allocated_bytes());
+        assert!(!h.scan_for_bytes("hunter2").is_empty());
+
+        h.scrub();
+        assert!(h.scan_for_bytes("hunter2").is_empty(), "scrubbed heap holds no residue");
+        assert!(h.iter().all(|(_, o)| o.taint.is_empty()), "scrub drops taint");
+        assert_eq!((h.len(), h.allocated_bytes()), before, "scrub keeps shape and accounting");
+        assert!(h.intern_table().is_empty(), "stale intern entries are dropped");
+        assert_eq!(h.field_get(o, 0).unwrap(), Value::Null);
     }
 
     #[test]

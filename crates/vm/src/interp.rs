@@ -78,11 +78,27 @@ pub struct ExecConfig {
     pub taint_idle_limit: Option<u64>,
     /// Stop with [`ExecEvent::OutOfFuel`] after this many instructions.
     pub fuel: Option<u64>,
+    /// Fault with [`VmError::HeapQuotaExceeded`] once the heap holds more
+    /// than this many live objects.
+    pub max_heap_objects: Option<u64>,
+    /// Fault with [`VmError::HeapQuotaExceeded`] once the heap's allocated
+    /// payload exceeds this many bytes.
+    pub max_heap_bytes: Option<u64>,
+    /// Fault with [`VmError::CallDepthExceeded`] once the call stack grows
+    /// deeper than this many frames.
+    pub max_call_depth: Option<usize>,
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig { site: LockSite::Client, taint_idle_limit: None, fuel: None }
+        ExecConfig {
+            site: LockSite::Client,
+            taint_idle_limit: None,
+            fuel: None,
+            max_heap_objects: None,
+            max_heap_bytes: None,
+            max_call_depth: None,
+        }
     }
 }
 
@@ -93,17 +109,35 @@ impl ExecConfig {
     }
 
     /// Trusted-node defaults with the given migrate-back idle threshold.
-    pub fn trusted_node(taint_idle_limit: u64) -> Self {
+    /// The node executes *untrusted guest bytecode*, so fuel is mandatory
+    /// here: a node-side segment can never spin forever.
+    pub fn trusted_node(taint_idle_limit: u64, fuel: u64) -> Self {
         ExecConfig {
             site: LockSite::TrustedNode,
             taint_idle_limit: Some(taint_idle_limit),
-            fuel: None,
+            fuel: Some(fuel),
+            max_heap_objects: None,
+            max_heap_bytes: None,
+            max_call_depth: None,
         }
     }
 
     /// Caps the instruction budget.
     pub fn with_fuel(mut self, fuel: u64) -> Self {
         self.fuel = Some(fuel);
+        self
+    }
+
+    /// Caps live heap objects and allocated payload bytes.
+    pub fn with_heap_quota(mut self, objects: u64, bytes: u64) -> Self {
+        self.max_heap_objects = Some(objects);
+        self.max_heap_bytes = Some(bytes);
+        self
+    }
+
+    /// Caps the call-stack depth.
+    pub fn with_depth_limit(mut self, depth: usize) -> Self {
+        self.max_call_depth = Some(depth);
         self
     }
 }
@@ -262,12 +296,36 @@ impl<'a, H: NativeHost> Interp<'a, H> {
         Interp { machine, image, host, engine, config }
     }
 
-    /// Pushes the entry frame if the machine has never run.
+    /// Pushes the entry frame if the machine has never run. A runnable
+    /// machine with no frames that has already retired instructions is
+    /// malformed (its stack was torn down externally); restarting it from
+    /// the entry point would silently re-run the program, so refuse.
     fn ensure_started(&mut self) -> Result<(), VmError> {
-        if self.machine.frames.is_empty() && self.machine.status == MachineStatus::Runnable {
+        if self.machine.frames.is_empty() {
+            if self.machine.stats.instrs > 0 {
+                return Err(VmError::NoFrame);
+            }
             let entry = self.image.entry;
             let f = self.image.function(entry).ok_or(VmError::NoSuchFunction { id: entry.0 })?;
             self.machine.frames.push(Frame::new(entry, f.name.clone(), f.n_locals));
+        }
+        Ok(())
+    }
+
+    /// Checks the heap quota and call-depth limits (guard budgets).
+    fn check_budgets(&self) -> Result<(), VmError> {
+        if let Some(limit) = self.config.max_call_depth {
+            let depth = self.machine.call_depth();
+            if depth > limit {
+                return Err(VmError::CallDepthExceeded { depth });
+            }
+        }
+        let objects = self.machine.heap.len() as u64;
+        let bytes = self.machine.heap.allocated_bytes();
+        if self.config.max_heap_objects.is_some_and(|m| objects > m)
+            || self.config.max_heap_bytes.is_some_and(|m| bytes > m)
+        {
+            return Err(VmError::HeapQuotaExceeded { objects, bytes });
         }
         Ok(())
     }
@@ -277,7 +335,10 @@ impl<'a, H: NativeHost> Interp<'a, H> {
         if !self.machine.is_runnable() {
             return Err(VmError::NotRunnable { status: self.machine.status.name() });
         }
-        self.ensure_started()?;
+        if let Err(e) = self.ensure_started() {
+            self.machine.status = MachineStatus::Faulted;
+            return Err(e);
+        }
         let mut fuel = self.config.fuel;
         loop {
             if let Some(f) = fuel.as_mut() {
@@ -288,6 +349,10 @@ impl<'a, H: NativeHost> Interp<'a, H> {
             }
             match self.step() {
                 Ok(Step::Continue) => {
+                    if let Err(e) = self.check_budgets() {
+                        self.machine.status = MachineStatus::Faulted;
+                        return Err(e);
+                    }
                     if let Some(limit) = self.config.taint_idle_limit {
                         // Migrating back is only safe once no tainted value
                         // rests in any stack or local slot — otherwise the
@@ -337,7 +402,7 @@ impl<'a, H: NativeHost> Interp<'a, H> {
 
     /// Fetches the current instruction.
     fn fetch(&self) -> Result<(Insn, usize), VmError> {
-        let frame = self.machine.top_frame().expect("running machine has a frame");
+        let frame = self.machine.top_frame().ok_or(VmError::NoFrame)?;
         let func =
             self.image.function(frame.func).ok_or(VmError::NoSuchFunction { id: frame.func.0 })?;
         match func.code.get(frame.pc) {
@@ -348,8 +413,8 @@ impl<'a, H: NativeHost> Interp<'a, H> {
         }
     }
 
-    fn frame(&mut self) -> &mut Frame {
-        self.machine.top_frame_mut().expect("running machine has a frame")
+    fn frame(&mut self) -> Result<&mut Frame, VmError> {
+        self.machine.top_frame_mut().ok_or(VmError::NoFrame)
     }
 
     /// Executes one instruction.
@@ -363,7 +428,7 @@ impl<'a, H: NativeHost> Interp<'a, H> {
         // Most instructions advance the pc by one; control flow overrides.
         macro_rules! advance {
             () => {{
-                self.frame().pc += 1;
+                self.frame()?.pc += 1;
                 Ok(Step::Continue)
             }};
         }
@@ -371,15 +436,15 @@ impl<'a, H: NativeHost> Interp<'a, H> {
         match insn {
             Insn::Nop => advance!(),
             Insn::ConstI(i) => {
-                self.frame().push(Value::Int(i), TaintSet::EMPTY);
+                self.frame()?.push(Value::Int(i), TaintSet::EMPTY);
                 advance!()
             }
             Insn::ConstD(d) => {
-                self.frame().push(Value::Double(d), TaintSet::EMPTY);
+                self.frame()?.push(Value::Double(d), TaintSet::EMPTY);
                 advance!()
             }
             Insn::ConstNull => {
-                self.frame().push(Value::Null, TaintSet::EMPTY);
+                self.frame()?.push(Value::Null, TaintSet::EMPTY);
                 advance!()
             }
             Insn::ConstS(idx) => {
@@ -389,41 +454,41 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                     .ok_or(VmError::NoSuchString { index: idx.0 })?
                     .to_owned();
                 let id = self.machine.heap.intern_str(idx.0, &content);
-                self.frame().push(Value::Ref(id), TaintSet::EMPTY);
+                self.frame()?.push(Value::Ref(id), TaintSet::EMPTY);
                 advance!()
             }
             Insn::Load(n) => {
-                let (v, t) = self.frame().local(n)?;
+                let (v, t) = self.frame()?.local(n)?;
                 let out = self.engine.on_move(PropClass::StackToStack, t);
                 self.charge_taint(out.extra_cycles);
                 self.note_taint_touch(t);
-                self.frame().push(v, out.dst_taint);
+                self.frame()?.push(v, out.dst_taint);
                 advance!()
             }
             Insn::Store(n) => {
-                let (v, t) = self.frame().pop()?;
+                let (v, t) = self.frame()?.pop()?;
                 let out = self.engine.on_move(PropClass::StackToStack, t);
                 self.charge_taint(out.extra_cycles);
                 self.note_taint_touch(t);
-                self.frame().set_local(n, v, out.dst_taint)?;
+                self.frame()?.set_local(n, v, out.dst_taint)?;
                 advance!()
             }
             Insn::Dup => {
-                let (v, t) = self.frame().peek(0)?;
+                let (v, t) = self.frame()?.peek(0)?;
                 let out = self.engine.on_move(PropClass::StackToStack, t);
                 self.charge_taint(out.extra_cycles);
-                self.frame().push(v, out.dst_taint.union(t));
+                self.frame()?.push(v, out.dst_taint.union(t));
                 advance!()
             }
             Insn::Pop => {
-                self.frame().pop()?;
+                self.frame()?.pop()?;
                 advance!()
             }
             Insn::Swap => {
-                let (a, ta) = self.frame().pop()?;
-                let (b, tb) = self.frame().pop()?;
-                self.frame().push(a, ta);
-                self.frame().push(b, tb);
+                let (a, ta) = self.frame()?.pop()?;
+                let (b, tb) = self.frame()?.pop()?;
+                self.frame()?.push(a, ta);
+                self.frame()?.push(b, tb);
                 advance!()
             }
             Insn::Add
@@ -436,18 +501,18 @@ impl<'a, H: NativeHost> Interp<'a, H> {
             | Insn::BitXor
             | Insn::Shl
             | Insn::Shr => {
-                let (b, tb) = self.frame().pop()?;
-                let (a, ta) = self.frame().pop()?;
+                let (b, tb) = self.frame()?.pop()?;
+                let (a, ta) = self.frame()?.pop()?;
                 let srcs = ta.union(tb);
                 let out = self.engine.on_move(PropClass::StackToStack, srcs);
                 self.charge_taint(out.extra_cycles);
                 self.note_taint_touch(srcs);
                 let v = self.binop(insn, a, b)?;
-                self.frame().push(v, out.dst_taint);
+                self.frame()?.push(v, out.dst_taint);
                 advance!()
             }
             Insn::Neg => {
-                let (a, ta) = self.frame().pop()?;
+                let (a, ta) = self.frame()?.pop()?;
                 let out = self.engine.on_move(PropClass::StackToStack, ta);
                 self.charge_taint(out.extra_cycles);
                 self.note_taint_touch(ta);
@@ -456,39 +521,39 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                     Value::Double(d) => Value::Double(-d),
                     other => return Err(self.type_err("number", other.type_name())),
                 };
-                self.frame().push(v, out.dst_taint);
+                self.frame()?.push(v, out.dst_taint);
                 advance!()
             }
             Insn::CmpEq | Insn::CmpNe | Insn::CmpLt | Insn::CmpLe | Insn::CmpGt | Insn::CmpGe => {
-                let (b, tb) = self.frame().pop()?;
-                let (a, ta) = self.frame().pop()?;
+                let (b, tb) = self.frame()?.pop()?;
+                let (a, ta) = self.frame()?.pop()?;
                 let srcs = ta.union(tb);
                 let out = self.engine.on_move(PropClass::StackToStack, srcs);
                 self.charge_taint(out.extra_cycles);
                 self.note_taint_touch(srcs);
                 let r = self.compare(insn, a, b)?;
-                self.frame().push(Value::Int(r as i64), out.dst_taint);
+                self.frame()?.push(Value::Int(r as i64), out.dst_taint);
                 advance!()
             }
             Insn::I2D => {
-                let (a, ta) = self.frame().pop()?;
+                let (a, ta) = self.frame()?.pop()?;
                 let out = self.engine.on_move(PropClass::StackToStack, ta);
                 self.charge_taint(out.extra_cycles);
                 let i = a.as_int().map_err(|f| self.type_err("int", f))?;
-                self.frame().push(Value::Double(i as f64), out.dst_taint);
+                self.frame()?.push(Value::Double(i as f64), out.dst_taint);
                 advance!()
             }
             Insn::D2I => {
-                let (a, ta) = self.frame().pop()?;
+                let (a, ta) = self.frame()?.pop()?;
                 let out = self.engine.on_move(PropClass::StackToStack, ta);
                 self.charge_taint(out.extra_cycles);
                 let d = a.as_double().map_err(|f| self.type_err("double", f))?;
-                self.frame().push(Value::Int(d as i64), out.dst_taint);
+                self.frame()?.push(Value::Int(d as i64), out.dst_taint);
                 advance!()
             }
             Insn::Jump(target) => self.jump(target),
             Insn::JumpIfZero(target) => {
-                let (v, t) = self.frame().pop()?;
+                let (v, t) = self.frame()?.pop()?;
                 self.note_taint_touch(t);
                 if !v.is_truthy() {
                     self.jump(target)
@@ -497,7 +562,7 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                 }
             }
             Insn::JumpIfNonZero(target) => {
-                let (v, t) = self.frame().pop()?;
+                let (v, t) = self.frame()?.pop()?;
                 self.note_taint_touch(t);
                 if v.is_truthy() {
                     self.jump(target)
@@ -508,18 +573,18 @@ impl<'a, H: NativeHost> Interp<'a, H> {
             Insn::New(class) => {
                 let def = self.image.class(class).ok_or(VmError::NoSuchClass { id: class.0 })?;
                 let id = self.machine.heap.alloc_obj(class.0, def.field_count());
-                self.frame().push(Value::Ref(id), TaintSet::EMPTY);
+                self.frame()?.push(Value::Ref(id), TaintSet::EMPTY);
                 advance!()
             }
             Insn::GetField(n) => {
                 // Peek (not pop) so a trigger leaves state untouched.
-                let (objv, _) = self.frame().peek(0)?;
+                let (objv, _) = self.frame()?.peek(0)?;
                 let obj = objv.as_ref_id().map_err(|f| self.type_err("ref", f))?;
                 let value = self.machine.heap.field_get(obj, n)?;
                 if value.is_ref_like() {
                     // Copying a reference moves no tainted data (§3.5).
-                    self.frame().pop()?;
-                    self.frame().push(value, TaintSet::EMPTY);
+                    self.frame()?.pop()?;
+                    self.frame()?.push(value, TaintSet::EMPTY);
                     return advance!();
                 }
                 let src = self.machine.heap.taint_of(obj)?;
@@ -532,19 +597,19 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                     }));
                 }
                 self.note_taint_touch(src);
-                self.frame().pop()?;
-                self.frame().push(value, out.dst_taint);
+                self.frame()?.pop()?;
+                self.frame()?.push(value, out.dst_taint);
                 advance!()
             }
             Insn::PutField(n) => {
-                let (value, vt) = self.frame().peek(0)?;
-                let (objv, _) = self.frame().peek(1)?;
+                let (value, vt) = self.frame()?.peek(0)?;
+                let (objv, _) = self.frame()?.peek(1)?;
                 let obj = objv.as_ref_id().map_err(|f| self.type_err("ref", f))?;
                 let out = self.engine.on_move(PropClass::StackToHeap, vt);
                 self.charge_taint(out.extra_cycles);
                 self.note_taint_touch(vt);
-                self.frame().pop()?;
-                self.frame().pop()?;
+                self.frame()?.pop()?;
+                self.frame()?.pop()?;
                 self.machine.heap.field_set(obj, n, value)?;
                 if out.dst_taint.is_tainted() {
                     self.machine.heap.add_taint(obj, out.dst_taint)?;
@@ -552,7 +617,7 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                 advance!()
             }
             Insn::CloneObj => {
-                let (objv, _) = self.frame().peek(0)?;
+                let (objv, _) = self.frame()?.peek(0)?;
                 let obj = objv.as_ref_id().map_err(|f| self.type_err("ref", f))?;
                 let src = self.machine.heap.taint_of(obj)?;
                 // A clone is a heap→heap *copy*: tracked on both endpoints,
@@ -562,37 +627,56 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                 self.note_taint_touch(src);
                 let bytes = self.machine.heap.get(obj)?.kind.byte_size();
                 self.charge(bytes / 8);
-                self.frame().pop()?;
+                self.frame()?.pop()?;
                 let copy = self.machine.heap.clone_obj(obj)?;
                 // clone_obj preserved the full source taint; narrow it to
                 // what the engine propagates (None-engine: nothing).
                 self.machine.heap.set_taint(copy, out.dst_taint)?;
-                self.frame().push(Value::Ref(copy), TaintSet::EMPTY);
+                self.frame()?.push(Value::Ref(copy), TaintSet::EMPTY);
                 advance!()
             }
             Insn::NewArr => {
-                let (lenv, _) = self.frame().pop()?;
+                let (lenv, _) = self.frame()?.pop()?;
                 let len = lenv.as_int().map_err(|f| self.type_err("int", f))?;
                 if len < 0 {
                     return Err(VmError::BadStringOp {
                         message: format!("negative array length {len}"),
                     });
                 }
+                // Charge the byte quota *before* the backing store exists:
+                // the length is guest-controlled, and a hostile `ConstI(2^40);
+                // NewArr` must die on the quota, not drive the allocator.
+                // Unquota'd machines still cap a single allocation — no
+                // bytecode may ask the simulator for terabytes of backing.
+                const MAX_ARR_ELEMS: u64 = 1 << 28;
+                let bytes = self
+                    .machine
+                    .heap
+                    .allocated_bytes()
+                    .saturating_add((len as u64).saturating_mul(8));
+                if len as u64 > MAX_ARR_ELEMS
+                    || self.config.max_heap_bytes.is_some_and(|m| bytes > m)
+                {
+                    return Err(VmError::HeapQuotaExceeded {
+                        objects: self.machine.heap.len() as u64,
+                        bytes,
+                    });
+                }
                 self.charge(len as u64 / 8);
                 let id = self.machine.heap.alloc_arr(len as usize);
-                self.frame().push(Value::Ref(id), TaintSet::EMPTY);
+                self.frame()?.push(Value::Ref(id), TaintSet::EMPTY);
                 advance!()
             }
             Insn::ArrLoad => {
-                let (idxv, _) = self.frame().peek(0)?;
-                let (arrv, _) = self.frame().peek(1)?;
+                let (idxv, _) = self.frame()?.peek(0)?;
+                let (arrv, _) = self.frame()?.peek(1)?;
                 let arr = arrv.as_ref_id().map_err(|f| self.type_err("ref", f))?;
                 let index = idxv.as_int().map_err(|f| self.type_err("int", f))?;
                 let value = self.machine.heap.arr_get(arr, index)?;
                 if value.is_ref_like() {
-                    self.frame().pop()?;
-                    self.frame().pop()?;
-                    self.frame().push(value, TaintSet::EMPTY);
+                    self.frame()?.pop()?;
+                    self.frame()?.pop()?;
+                    self.frame()?.push(value, TaintSet::EMPTY);
                     return advance!();
                 }
                 let src = self.machine.heap.taint_of(arr)?;
@@ -605,23 +689,23 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                     }));
                 }
                 self.note_taint_touch(src);
-                self.frame().pop()?;
-                self.frame().pop()?;
-                self.frame().push(value, out.dst_taint);
+                self.frame()?.pop()?;
+                self.frame()?.pop()?;
+                self.frame()?.push(value, out.dst_taint);
                 advance!()
             }
             Insn::ArrStore => {
-                let (value, vt) = self.frame().peek(0)?;
-                let (idxv, _) = self.frame().peek(1)?;
-                let (arrv, _) = self.frame().peek(2)?;
+                let (value, vt) = self.frame()?.peek(0)?;
+                let (idxv, _) = self.frame()?.peek(1)?;
+                let (arrv, _) = self.frame()?.peek(2)?;
                 let arr = arrv.as_ref_id().map_err(|f| self.type_err("ref", f))?;
                 let index = idxv.as_int().map_err(|f| self.type_err("int", f))?;
                 let out = self.engine.on_move(PropClass::StackToHeap, vt);
                 self.charge_taint(out.extra_cycles);
                 self.note_taint_touch(vt);
-                self.frame().pop()?;
-                self.frame().pop()?;
-                self.frame().pop()?;
+                self.frame()?.pop()?;
+                self.frame()?.pop()?;
+                self.frame()?.pop()?;
                 self.machine.heap.arr_set(arr, index, value)?;
                 if out.dst_taint.is_tainted() {
                     self.machine.heap.add_taint(arr, out.dst_taint)?;
@@ -629,19 +713,19 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                 advance!()
             }
             Insn::ArrLen => {
-                let (arrv, _) = self.frame().pop()?;
+                let (arrv, _) = self.frame()?.pop()?;
                 let arr = arrv.as_ref_id().map_err(|f| self.type_err("ref", f))?;
                 let len = self.machine.heap.arr_len(arr)?;
-                self.frame().push(Value::Int(len as i64), TaintSet::EMPTY);
+                self.frame()?.push(Value::Int(len as i64), TaintSet::EMPTY);
                 advance!()
             }
             Insn::ArrCopy => {
                 // Stack (top first): count, dst_off, dst, src_off, src.
-                let (countv, _) = self.frame().peek(0)?;
-                let (doffv, _) = self.frame().peek(1)?;
-                let (dstv, _) = self.frame().peek(2)?;
-                let (soffv, _) = self.frame().peek(3)?;
-                let (srcv, _) = self.frame().peek(4)?;
+                let (countv, _) = self.frame()?.peek(0)?;
+                let (doffv, _) = self.frame()?.peek(1)?;
+                let (dstv, _) = self.frame()?.peek(2)?;
+                let (soffv, _) = self.frame()?.peek(3)?;
+                let (srcv, _) = self.frame()?.peek(4)?;
                 let count = countv.as_int().map_err(|f| self.type_err("int", f))?;
                 let doff = doffv.as_int().map_err(|f| self.type_err("int", f))?;
                 let soff = soffv.as_int().map_err(|f| self.type_err("int", f))?;
@@ -661,13 +745,13 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                     self.machine.heap.add_taint(dst, out.dst_taint)?;
                 }
                 for _ in 0..5 {
-                    self.frame().pop()?;
+                    self.frame()?.pop()?;
                 }
                 advance!()
             }
             Insn::StrConcat => {
-                let (bv, _) = self.frame().peek(0)?;
-                let (av, _) = self.frame().peek(1)?;
+                let (bv, _) = self.frame()?.peek(0)?;
+                let (av, _) = self.frame()?.peek(1)?;
                 let b = bv.as_ref_id().map_err(|f| self.type_err("ref", f))?;
                 let a = av.as_ref_id().map_err(|f| self.type_err("ref", f))?;
                 let srcs = self.machine.heap.taint_of(a)?.union(self.machine.heap.taint_of(b)?);
@@ -691,15 +775,15 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                     s
                 };
                 self.charge(joined.len() as u64 / 8);
-                self.frame().pop()?;
-                self.frame().pop()?;
+                self.frame()?.pop()?;
+                self.frame()?.pop()?;
                 let id = self.machine.heap.alloc_str_tainted(joined, out.dst_taint);
-                self.frame().push(Value::Ref(id), TaintSet::EMPTY);
+                self.frame()?.push(Value::Ref(id), TaintSet::EMPTY);
                 advance!()
             }
             Insn::StrCharAt => {
-                let (idxv, _) = self.frame().peek(0)?;
-                let (sv, _) = self.frame().peek(1)?;
+                let (idxv, _) = self.frame()?.peek(0)?;
+                let (sv, _) = self.frame()?.peek(1)?;
                 let s = sv.as_ref_id().map_err(|f| self.type_err("ref", f))?;
                 let index = idxv.as_int().map_err(|f| self.type_err("int", f))?;
                 let src = self.machine.heap.taint_of(s)?;
@@ -718,25 +802,25 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                     .get(index.max(0) as usize)
                     .copied()
                     .ok_or(VmError::IndexOutOfBounds { obj: s, index, len: content.len() })?;
-                self.frame().pop()?;
-                self.frame().pop()?;
-                self.frame().push(Value::Int(ch as i64), out.dst_taint);
+                self.frame()?.pop()?;
+                self.frame()?.pop()?;
+                self.frame()?.push(Value::Int(ch as i64), out.dst_taint);
                 advance!()
             }
             Insn::StrLen => {
                 // Length is deliberately an untainted read: the placeholder
                 // has the same length as the cor (§5.1), so this neither
                 // leaks nor needs to trigger offloading.
-                let (sv, _) = self.frame().pop()?;
+                let (sv, _) = self.frame()?.pop()?;
                 let s = sv.as_ref_id().map_err(|f| self.type_err("ref", f))?;
                 let len = self.machine.heap.str_value(s)?.len();
-                self.frame().push(Value::Int(len as i64), TaintSet::EMPTY);
+                self.frame()?.push(Value::Int(len as i64), TaintSet::EMPTY);
                 advance!()
             }
             Insn::StrSub => {
-                let (endv, _) = self.frame().peek(0)?;
-                let (startv, _) = self.frame().peek(1)?;
-                let (sv, _) = self.frame().peek(2)?;
+                let (endv, _) = self.frame()?.peek(0)?;
+                let (startv, _) = self.frame()?.peek(1)?;
+                let (sv, _) = self.frame()?.peek(2)?;
                 let s = sv.as_ref_id().map_err(|f| self.type_err("ref", f))?;
                 let src = self.machine.heap.taint_of(s)?;
                 let out = self.engine.on_derive(src);
@@ -759,15 +843,15 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                 let sub = content[start as usize..end as usize].to_owned();
                 self.charge(sub.len() as u64 / 8);
                 for _ in 0..3 {
-                    self.frame().pop()?;
+                    self.frame()?.pop()?;
                 }
                 let id = self.machine.heap.alloc_str_tainted(sub, out.dst_taint);
-                self.frame().push(Value::Ref(id), TaintSet::EMPTY);
+                self.frame()?.push(Value::Ref(id), TaintSet::EMPTY);
                 advance!()
             }
             Insn::StrIndexOf => {
-                let (needlev, _) = self.frame().peek(0)?;
-                let (hayv, _) = self.frame().peek(1)?;
+                let (needlev, _) = self.frame()?.peek(0)?;
+                let (hayv, _) = self.frame()?.peek(1)?;
                 let needle = needlev.as_ref_id().map_err(|f| self.type_err("ref", f))?;
                 let hay = hayv.as_ref_id().map_err(|f| self.type_err("ref", f))?;
                 let srcs =
@@ -787,14 +871,14 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                     (h.find(n).map(|i| i as i64).unwrap_or(-1), (h.len() + n.len()) as u64)
                 };
                 self.charge(scan_len / 8);
-                self.frame().pop()?;
-                self.frame().pop()?;
-                self.frame().push(Value::Int(pos), out.dst_taint);
+                self.frame()?.pop()?;
+                self.frame()?.pop()?;
+                self.frame()?.push(Value::Int(pos), out.dst_taint);
                 advance!()
             }
             Insn::StrEq => {
-                let (bv, _) = self.frame().peek(0)?;
-                let (av, _) = self.frame().peek(1)?;
+                let (bv, _) = self.frame()?.peek(0)?;
+                let (av, _) = self.frame()?.peek(1)?;
                 let b = bv.as_ref_id().map_err(|f| self.type_err("ref", f))?;
                 let a = av.as_ref_id().map_err(|f| self.type_err("ref", f))?;
                 let srcs = self.machine.heap.taint_of(a)?.union(self.machine.heap.taint_of(b)?);
@@ -815,30 +899,30 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                     (sa == sb, sa.len().min(sb.len()) as u64)
                 };
                 self.charge(cmp_len / 8);
-                self.frame().pop()?;
-                self.frame().pop()?;
-                self.frame().push(Value::Int(eq as i64), out.dst_taint);
+                self.frame()?.pop()?;
+                self.frame()?.pop()?;
+                self.frame()?.push(Value::Int(eq as i64), out.dst_taint);
                 advance!()
             }
             Insn::StrFromInt => {
-                let (v, vt) = self.frame().pop()?;
+                let (v, vt) = self.frame()?.pop()?;
                 let out = self.engine.on_move(PropClass::StackToHeap, vt);
                 self.charge_taint(out.extra_cycles);
                 self.note_taint_touch(vt);
                 let i = v.as_int().map_err(|f| self.type_err("int", f))?;
                 let id = self.machine.heap.alloc_str_tainted(i.to_string(), out.dst_taint);
-                self.frame().push(Value::Ref(id), TaintSet::EMPTY);
+                self.frame()?.push(Value::Ref(id), TaintSet::EMPTY);
                 advance!()
             }
             Insn::StrFromChar => {
-                let (v, vt) = self.frame().pop()?;
+                let (v, vt) = self.frame()?.pop()?;
                 let out = self.engine.on_move(PropClass::StackToHeap, vt);
                 self.charge_taint(out.extra_cycles);
                 self.note_taint_touch(vt);
                 let i = v.as_int().map_err(|f| self.type_err("int", f))?;
                 let ch = char::from_u32(i as u32).unwrap_or('?');
                 let id = self.machine.heap.alloc_str_tainted(ch.to_string(), out.dst_taint);
-                self.frame().push(Value::Ref(id), TaintSet::EMPTY);
+                self.frame()?.push(Value::Ref(id), TaintSet::EMPTY);
                 advance!()
             }
             Insn::Call(fid) => {
@@ -849,13 +933,13 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                 let mut new_frame = Frame::new(fid, callee.name.clone(), callee.n_locals);
                 // Pop args (last arg on top) into the callee's first locals.
                 for i in (0..n_args).rev() {
-                    let (v, t) = self.frame().pop()?;
+                    let (v, t) = self.frame()?.pop()?;
                     let out = self.engine.on_move(PropClass::StackToStack, t);
                     self.charge_taint(out.extra_cycles);
                     new_frame.set_local(i as u16, v, out.dst_taint)?;
                 }
                 // Return to the instruction after the call.
-                self.frame().pc += 1;
+                self.frame()?.pc += 1;
                 self.machine.frames.push(new_frame);
                 Ok(Step::Continue)
             }
@@ -863,7 +947,7 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                 let name =
                     self.image.native(nid).ok_or(VmError::NoSuchNative { id: nid.0 })?.to_owned();
                 let argc = argc as usize;
-                let frame = self.machine.top_frame().expect("frame");
+                let frame = self.machine.top_frame().ok_or(VmError::NoFrame)?;
                 if frame.depth() < argc {
                     return Err(VmError::StackUnderflow {
                         func: frame.func_name.clone(),
@@ -896,9 +980,9 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                         self.charge(cycles);
                         self.note_taint_touch(taint_in);
                         for _ in 0..argc {
-                            self.frame().pop()?;
+                            self.frame()?.pop()?;
                         }
-                        self.frame().push(value, taint);
+                        self.frame()?.push(value, taint);
                         advance!()
                     }
                     NativeOutcome::TriggerOffload => Ok(Step::Event(ExecEvent::OffloadTrigger {
@@ -911,14 +995,14 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                 }
             }
             Insn::Ret => {
-                let (v, t) = self.frame().pop()?;
+                let (v, t) = self.frame()?.pop()?;
                 self.machine.frames.pop();
                 if self.machine.frames.is_empty() {
                     return Ok(Step::Event(ExecEvent::Halted(v)));
                 }
                 let out = self.engine.on_move(PropClass::StackToStack, t);
                 self.charge_taint(out.extra_cycles);
-                self.frame().push(v, out.dst_taint);
+                self.frame()?.push(v, out.dst_taint);
                 Ok(Step::Continue)
             }
             Insn::RetVoid => {
@@ -926,11 +1010,11 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                 if self.machine.frames.is_empty() {
                     return Ok(Step::Event(ExecEvent::Halted(Value::Null)));
                 }
-                self.frame().push(Value::Null, TaintSet::EMPTY);
+                self.frame()?.push(Value::Null, TaintSet::EMPTY);
                 Ok(Step::Continue)
             }
             Insn::MonitorEnter => {
-                let (objv, _) = self.frame().peek(0)?;
+                let (objv, _) = self.frame()?.peek(0)?;
                 let obj = objv.as_ref_id().map_err(|f| self.type_err("ref", f))?;
                 let here = self.config.site;
                 match self.machine.locks.get_mut(&obj) {
@@ -945,11 +1029,11 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                         self.machine.locks.insert(obj, (here, 1));
                     }
                 }
-                self.frame().pop()?;
+                self.frame()?.pop()?;
                 advance!()
             }
             Insn::MonitorExit => {
-                let (objv, _) = self.frame().pop()?;
+                let (objv, _) = self.frame()?.pop()?;
                 let obj = objv.as_ref_id().map_err(|f| self.type_err("ref", f))?;
                 match self.machine.locks.get_mut(&obj) {
                     Some((_, count)) if *count > 0 => {
@@ -960,21 +1044,22 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                 advance!()
             }
             Insn::PinLock => {
-                let (objv, _) = self.frame().pop()?;
+                let (objv, _) = self.frame()?.pop()?;
                 let obj = objv.as_ref_id().map_err(|f| self.type_err("ref", f))?;
                 self.machine.locks.insert(obj, (self.config.site, 1));
                 self.machine.pinned_locks.insert(obj);
                 advance!()
             }
             Insn::Halt => {
-                let v = if self.frame().depth() > 0 { self.frame().pop()?.0 } else { Value::Null };
+                let v =
+                    if self.frame()?.depth() > 0 { self.frame()?.pop()?.0 } else { Value::Null };
                 Ok(Step::Event(ExecEvent::Halted(v)))
             }
         }
     }
 
     fn jump(&mut self, target: u32) -> Result<Step, VmError> {
-        let frame = self.machine.top_frame().expect("frame");
+        let frame = self.machine.top_frame().ok_or(VmError::NoFrame)?;
         let func =
             self.image.function(frame.func).ok_or(VmError::NoSuchFunction { id: frame.func.0 })?;
         if target as usize > func.code.len() {
@@ -984,13 +1069,20 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                 target: target as i64,
             });
         }
-        self.frame().pc = target as usize;
+        self.frame()?.pc = target as usize;
         Ok(Step::Continue)
     }
 
     fn type_err(&self, expected: &'static str, found: &'static str) -> VmError {
-        let frame = self.machine.top_frame().expect("frame");
-        VmError::TypeMismatch { func: frame.func_name.clone(), pc: frame.pc, expected, found }
+        match self.machine.top_frame() {
+            Some(frame) => VmError::TypeMismatch {
+                func: frame.func_name.clone(),
+                pc: frame.pc,
+                expected,
+                found,
+            },
+            None => VmError::NoFrame,
+        }
     }
 
     fn binop(&self, insn: Insn, a: Value, b: Value) -> Result<Value, VmError> {
@@ -1067,8 +1159,10 @@ impl<'a, H: NativeHost> Interp<'a, H> {
     }
 
     fn div_zero(&self) -> VmError {
-        let frame = self.machine.top_frame().expect("frame");
-        VmError::DivisionByZero { func: frame.func_name.clone(), pc: frame.pc }
+        match self.machine.top_frame() {
+            Some(frame) => VmError::DivisionByZero { func: frame.func_name.clone(), pc: frame.pc },
+            None => VmError::NoFrame,
+        }
     }
 }
 
@@ -1082,4 +1176,118 @@ pub fn run<H: NativeHost>(
     config: ExecConfig,
 ) -> Result<ExecEvent, VmError> {
     Interp::new(machine, image, host, engine, config).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{FuncId, Function};
+
+    fn image(code: Vec<Insn>) -> AppImage {
+        AppImage {
+            name: "guarded".into(),
+            functions: vec![Function { name: "main".into(), n_args: 0, n_locals: 2, code }],
+            classes: Vec::new(),
+            strings: vec!["seed".into()],
+            natives: Vec::new(),
+            entry: FuncId(0),
+        }
+    }
+
+    fn run_image(code: Vec<Insn>, config: ExecConfig) -> (Machine, Result<ExecEvent, VmError>) {
+        let mut m = Machine::new();
+        let img = image(code);
+        let mut engine = TaintEngine::none();
+        let r = run(&mut m, &img, &mut NullHost, &mut engine, config);
+        (m, r)
+    }
+
+    #[test]
+    fn frameless_resumed_machine_errors_instead_of_restarting() {
+        // Run a program to a suspension point, strip its stack, resume:
+        // the interpreter must refuse with NoFrame, not re-run from entry.
+        let mut m = Machine::new();
+        let img = image(vec![Insn::ConstI(1), Insn::ConstI(2), Insn::Halt]);
+        let mut engine = TaintEngine::none();
+        let ev = run(&mut m, &img, &mut NullHost, &mut engine, ExecConfig::client().with_fuel(1));
+        assert_eq!(ev, Ok(ExecEvent::OutOfFuel));
+        m.frames.clear(); // malformed external teardown
+        let err = run(&mut m, &img, &mut NullHost, &mut engine, ExecConfig::client());
+        assert_eq!(err, Err(VmError::NoFrame));
+        assert_eq!(m.status, MachineStatus::Faulted);
+    }
+
+    #[test]
+    fn machine_with_retired_instrs_but_no_frames_is_rejected() {
+        // A runnable machine that has already executed but lost its stack
+        // is malformed; re-running it from entry would repeat the program.
+        let mut m = Machine::new();
+        m.stats.instrs = 7;
+        let img = image(vec![Insn::Halt]);
+        let mut engine = TaintEngine::none();
+        let err = run(&mut m, &img, &mut NullHost, &mut engine, ExecConfig::client());
+        assert_eq!(err, Err(VmError::NoFrame));
+    }
+
+    #[test]
+    fn heap_object_quota_kills_allocation_loop() {
+        // while(true) { new arr(1); } — dies on the object quota.
+        let code = vec![Insn::ConstI(1), Insn::NewArr, Insn::Pop, Insn::Jump(0)];
+        let (m, r) =
+            run_image(code, ExecConfig::client().with_fuel(100_000).with_heap_quota(16, 1 << 20));
+        match r {
+            Err(VmError::HeapQuotaExceeded { objects, .. }) => assert!(objects > 16),
+            other => panic!("expected HeapQuotaExceeded, got {other:?}"),
+        }
+        assert_eq!(m.status, MachineStatus::Faulted);
+    }
+
+    #[test]
+    fn heap_byte_quota_kills_doubling_string() {
+        // s = "seed"; while(true) { s = s + s; } — bytes blow up fast.
+        let code = vec![
+            Insn::ConstS(crate::program::StrIdx(0)),
+            Insn::Store(0),
+            Insn::Load(0),
+            Insn::Load(0),
+            Insn::StrConcat,
+            Insn::Store(0),
+            Insn::Jump(2),
+        ];
+        let (m, r) =
+            run_image(code, ExecConfig::client().with_fuel(100_000).with_heap_quota(1 << 20, 4096));
+        match r {
+            Err(VmError::HeapQuotaExceeded { bytes, .. }) => assert!(bytes > 4096),
+            other => panic!("expected HeapQuotaExceeded, got {other:?}"),
+        }
+        assert_eq!(m.status, MachineStatus::Faulted);
+    }
+
+    #[test]
+    fn call_depth_limit_kills_unbounded_recursion() {
+        // main() { main(); } — no base case.
+        let code = vec![Insn::Call(FuncId(0)), Insn::Halt];
+        let (m, r) = run_image(code, ExecConfig::client().with_fuel(100_000).with_depth_limit(32));
+        assert_eq!(r, Err(VmError::CallDepthExceeded { depth: 33 }));
+        assert_eq!(m.status, MachineStatus::Faulted);
+    }
+
+    #[test]
+    fn spin_loop_runs_out_of_fuel_not_forever() {
+        let code = vec![Insn::Nop, Insn::Jump(0)];
+        let (m, r) = run_image(code, ExecConfig::client().with_fuel(10_000));
+        assert_eq!(r, Ok(ExecEvent::OutOfFuel));
+        assert_eq!(m.stats.instrs, 10_000);
+    }
+
+    #[test]
+    fn budgets_do_not_disturb_well_behaved_programs() {
+        let code = vec![Insn::ConstI(41), Insn::ConstI(1), Insn::Add, Insn::Halt];
+        let (m, r) = run_image(
+            code,
+            ExecConfig::client().with_fuel(1_000).with_heap_quota(64, 4096).with_depth_limit(8),
+        );
+        assert_eq!(r, Ok(ExecEvent::Halted(Value::Int(42))));
+        assert_eq!(m.status, MachineStatus::Halted);
+    }
 }

@@ -369,7 +369,8 @@ fn full_engine_executes_the_same_access_without_trigger() {
     let mut m = Machine::new();
     let mut host = SecretHost;
     let mut engine = TaintEngine::full();
-    let ev = run(&mut m, &image, &mut host, &mut engine, ExecConfig::trusted_node(1_000_000));
+    let ev =
+        run(&mut m, &image, &mut host, &mut engine, ExecConfig::trusted_node(1_000_000, u64::MAX));
     assert!(matches!(ev.unwrap(), ExecEvent::Halted(Value::Int(115)))); // 's'
 }
 
@@ -418,7 +419,8 @@ fn taint_idle_fires_only_on_the_node_config() {
     let (ev, _) = run_with(&img, &mut TaintEngine::none(), ExecConfig::client());
     assert!(matches!(ev.unwrap(), ExecEvent::Halted(_)));
     // Node config: the long taint-free run raises TaintIdle.
-    let (ev, _) = run_with(&img, &mut TaintEngine::full(), ExecConfig::trusted_node(1_000));
+    let (ev, _) =
+        run_with(&img, &mut TaintEngine::full(), ExecConfig::trusted_node(1_000, u64::MAX));
     assert!(matches!(ev.unwrap(), ExecEvent::TaintIdle));
 }
 

@@ -6,6 +6,7 @@ pub use tinman_cor as cor;
 pub use tinman_core as core;
 pub use tinman_dsm as dsm;
 pub use tinman_fleet as fleet;
+pub use tinman_guard as guard;
 pub use tinman_net as net;
 pub use tinman_obs as obs;
 pub use tinman_sim as sim;

@@ -85,7 +85,7 @@ fn run_with_migrations(image: &tinman::vm::AppImage, quantum: u64) -> (Value, u6
         } else {
             (&mut b, &mut engine_b, LockSite::TrustedNode)
         };
-        let config = ExecConfig { site, taint_idle_limit: None, fuel: Some(quantum) };
+        let config = ExecConfig { site, ..ExecConfig::client().with_fuel(quantum) };
         match interp::run(machine, image, &mut host, engine, config).unwrap() {
             ExecEvent::Halted(v) => return (v, migrations),
             ExecEvent::OutOfFuel => {
@@ -161,9 +161,14 @@ fn heaps_converge_after_final_migration() {
     )
     .unwrap();
     b.status = tinman::vm::MachineStatus::Runnable;
-    let ev =
-        interp::run(&mut b, &image, &mut host, &mut engine, ExecConfig::trusted_node(u64::MAX))
-            .unwrap();
+    let ev = interp::run(
+        &mut b,
+        &image,
+        &mut host,
+        &mut engine,
+        ExecConfig::trusted_node(u64::MAX, u64::MAX),
+    )
+    .unwrap();
     let result = match ev {
         ExecEvent::Halted(v) => v,
         other => panic!("{other:?}"),

@@ -133,6 +133,78 @@ fn tracing_does_not_perturb_the_fleet_aggregate() {
 }
 
 #[test]
+fn hostile_run_emits_guard_counters_and_events() {
+    use tinman::chaos::ChaosPlan;
+    use tinman::fleet::run_fleet_chaos;
+
+    let mut cfg = FleetConfig::new(8, 2);
+    cfg.nodes = 4;
+    let plan = ChaosPlan::canned("hostile-guest").expect("canned plan");
+    let (trace, sink) = TraceHandle::ring(1 << 16);
+    let obs = FleetObs { trace, ..FleetObs::default() };
+    let report = run_fleet_chaos(&cfg, &plan, &obs).expect("fleet runs");
+    assert!(report.guest_kills > 0 && report.shed_sessions > 0, "the plan exercises both paths");
+
+    // Counters mirror the report exactly, including the per-budget
+    // breakdown.
+    assert_eq!(obs.metrics.get("guard.kills"), report.guest_kills);
+    assert_eq!(obs.metrics.get("guard.sheds"), report.shed_sessions);
+    let breakdown: u64 = [
+        "guard.fuel_exhausted",
+        "guard.heap_exhausted",
+        "guard.depth_exhausted",
+        "guard.dsm_exhausted",
+        "guard.deadline_exhausted",
+    ]
+    .iter()
+    .map(|n| obs.metrics.get(n))
+    .sum();
+    assert_eq!(breakdown, report.guest_kills, "every kill lands in exactly one budget counter");
+
+    // One trace event per kill and per shed, each naming its reason.
+    let records = sink.snapshot();
+    let kills: Vec<_> = records
+        .iter()
+        .filter_map(|r| match &r.event {
+            tinman::obs::TraceEvent::GuestKilled { reason, .. } => Some(*reason),
+            _ => None,
+        })
+        .collect();
+    let sheds = records
+        .iter()
+        .filter(|r| {
+            matches!(&r.event, tinman::obs::TraceEvent::SessionShed { reason, .. }
+                if *reason == "overloaded")
+        })
+        .count();
+    assert_eq!(kills.len() as u64, report.guest_kills);
+    assert_eq!(sheds as u64, report.shed_sessions);
+    assert!(kills.iter().all(|r| !r.is_empty()), "each kill event names its budget");
+}
+
+#[test]
+fn tracing_does_not_perturb_the_hostile_aggregate() {
+    use tinman::chaos::ChaosPlan;
+    use tinman::fleet::run_fleet_chaos;
+
+    let mut cfg = FleetConfig::new(8, 2);
+    cfg.nodes = 4;
+    let plan = ChaosPlan::canned("hostile-guest").expect("canned plan");
+
+    let silent = run_fleet_chaos(&cfg, &plan, &FleetObs::default()).expect("fleet runs");
+    let (trace, sink) = TraceHandle::ring(1 << 16);
+    let obs = FleetObs { trace, ..FleetObs::default() };
+    let traced = run_fleet_chaos(&cfg, &plan, &obs).expect("fleet runs");
+
+    assert!(!sink.snapshot().is_empty());
+    assert_eq!(
+        serde_json::to_string(&silent.simulated_value()).unwrap(),
+        serde_json::to_string(&traced.simulated_value()).unwrap(),
+        "guard instrumentation must be invisible to the simulated aggregate"
+    );
+}
+
+#[test]
 fn chrome_trace_export_is_valid_json_with_one_track_per_session() {
     let mut cfg = FleetConfig::new(4, 2);
     cfg.nodes = 2;

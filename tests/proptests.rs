@@ -388,6 +388,111 @@ proptest! {
     }
 }
 
+// ---------- guard: hostile bytecode always terminates, never panics ----------
+
+/// Decodes one fuzzed `(selector, payload)` pair into an instruction.
+/// Indices are taken modulo one-past-the-pool so out-of-range string,
+/// class, function, local, and field references all stay reachable —
+/// each must surface as a *typed* `VmError`, never a panic.
+fn fuzz_insn(sel: u8, a: i64, code_len: usize) -> tinman::vm::Insn {
+    use tinman::vm::{ClassId, FuncId, Insn as I, StrIdx};
+    let target = (a.unsigned_abs() % (code_len as u64 + 2)) as u32;
+    match sel % 44 {
+        0 => I::ConstI(a),
+        1 => I::ConstD(a as f64),
+        2 => I::ConstS(StrIdx((a as u32) % 3)),
+        3 => I::ConstNull,
+        4 => I::Load((a as u16) % 6),
+        5 => I::Store((a as u16) % 6),
+        6 => I::Dup,
+        7 => I::Pop,
+        8 => I::Swap,
+        9 => I::Add,
+        10 => I::Sub,
+        11 => I::Mul,
+        12 => I::Div,
+        13 => I::Rem,
+        14 => I::Neg,
+        15 => I::BitAnd,
+        16 => I::BitOr,
+        17 => I::BitXor,
+        18 => I::Shl,
+        19 => I::Shr,
+        20 => I::CmpEq,
+        21 => I::CmpLt,
+        22 => I::I2D,
+        23 => I::D2I,
+        24 => I::Jump(target),
+        25 => I::JumpIfZero(target),
+        26 => I::JumpIfNonZero(target),
+        27 => I::New(ClassId((a as u32) % 2)),
+        28 => I::GetField((a as u16) % 3),
+        29 => I::PutField((a as u16) % 3),
+        30 => I::NewArr,
+        31 => I::ArrLoad,
+        32 => I::ArrStore,
+        33 => I::ArrLen,
+        34 => I::ArrCopy,
+        35 => I::StrConcat,
+        36 => I::StrCharAt,
+        37 => I::StrLen,
+        38 => I::StrSub,
+        39 => I::StrIndexOf,
+        40 => I::Call(FuncId((a as u32) % 3)),
+        41 => I::Ret,
+        42 => I::MonitorEnter,
+        _ => I::Nop,
+    }
+}
+
+proptest! {
+    /// Arbitrary guest bytecode under a guard envelope (fuel + heap
+    /// quota + depth limit) always terminates — with a halt, a
+    /// suspension event, fuel exhaustion, or a *typed* `VmError` — and
+    /// never retires more instructions than its fuel. Reaching the
+    /// assertions at all proves no panic was reachable.
+    #[test]
+    fn hostile_bytecode_always_terminates_within_fuel(
+        raw in proptest::collection::vec((any::<u8>(), any::<i64>()), 1..80),
+        fuel in 1u64..3_000,
+    ) {
+        use tinman::taint::TaintEngine;
+        use tinman::vm::{interp, AppImage, ClassDef, ExecConfig, FuncId, Function, Machine};
+
+        let code_len = raw.len();
+        let code: Vec<_> =
+            raw.iter().map(|&(sel, a)| fuzz_insn(sel, a, code_len)).collect();
+        let image = AppImage {
+            name: "fuzz".to_owned(),
+            functions: vec![
+                Function { name: "main".to_owned(), n_args: 0, n_locals: 5, code },
+                Function {
+                    name: "callee".to_owned(),
+                    n_args: 1,
+                    n_locals: 2,
+                    code: vec![tinman::vm::Insn::Load(0), tinman::vm::Insn::Ret],
+                },
+            ],
+            classes: vec![ClassDef { name: "C".to_owned(), fields: vec!["a".into(), "b".into()] }],
+            strings: vec!["s".to_owned(), "tt".to_owned()],
+            natives: vec![],
+            entry: FuncId(0),
+        };
+        let mut m = Machine::new();
+        let mut host = interp::NullHost;
+        let mut engine = TaintEngine::asymmetric();
+        // Taint-idle above fuel so the run exercises the budgets, not the
+        // migrate-back path.
+        let cfg = ExecConfig::trusted_node(fuel + 1_000, fuel)
+            .with_heap_quota(64, 1 << 16)
+            .with_depth_limit(12);
+        // Ok(any event) and Err(any typed VmError) are both termination;
+        // the property is that we get *here* (no panic, no hang).
+        let _ = interp::run(&mut m, &image, &mut host, &mut engine, cfg);
+        prop_assert!(m.stats.instrs <= fuel, "retired {} > fuel {fuel}", m.stats.instrs);
+    }
+}
+
 // ---------- fleet report stats & pool placement ----------
 
 use tinman::fleet::{FaultPlan, LatencyStats, NodePool};
