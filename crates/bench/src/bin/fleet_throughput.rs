@@ -4,7 +4,8 @@
 //!
 //! Usage: `fleet_throughput [--sessions N] [--workers N] [--nodes N]
 //! [--seed N] [--down NODE ...] [--trace PATH] [--chaos [PLAN]]
-//! [--hostile [PLAN]] [--vault-crash] [--chaos-seed N]`
+//! [--hostile [PLAN]] [--vault-crash] [--chaos-seed N] [--tenants N]
+//! [--deny DOMAIN ...] [--unattested NODE ...] [--json-out [PATH]]`
 //!
 //! The simulated aggregate is bit-identical for any `--workers` value;
 //! only the wall-clock fields change. Run with `--workers 1` and
@@ -31,6 +32,19 @@
 //! guard, runaway guests are killed with their node heaps scrubbed, and
 //! overloaded placements are shed. The summary grows a `guard` line
 //! with kills, sheds, and the exhaustion breakdown.
+//!
+//! `--tenants N` round-robins sessions over N tenants: vault audits run
+//! sealed under per-tenant key hierarchies (ciphertext at rest, zero
+//! cross-tenant residue), nodes must pass the taint-engine attestation
+//! gate, and the per-tenant declassification policy (`--deny DOMAIN`
+//! adds a denied domain; `--unattested NODE` marks a node as failing
+//! attestation) is enforced fail-closed. The summary grows a `tenant`
+//! line and the simulated aggregate stays byte-identical across
+//! `--workers` values.
+//!
+//! `--json-out [PATH]` additionally writes a schema'd benchmark record
+//! (throughput, latency percentiles, bytes synced, tenancy counters) to
+//! PATH — default `BENCH_fleet_throughput.json` — for baseline diffing.
 
 use tinman_bench::{banner, emit_json};
 use tinman_chaos::ChaosPlan;
@@ -48,6 +62,10 @@ struct Args {
     hostile: Option<String>,
     vault_crash: bool,
     chaos_seed: Option<u64>,
+    tenants: usize,
+    deny: Vec<String>,
+    unattested: Vec<usize>,
+    json_out: Option<String>,
 }
 
 /// Pops the flag's required value out of `argv`.
@@ -69,6 +87,10 @@ fn parse_args() -> Args {
         hostile: None,
         vault_crash: false,
         chaos_seed: None,
+        tenants: 0,
+        deny: Vec::new(),
+        unattested: Vec::new(),
+        json_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -105,6 +127,21 @@ fn parse_args() -> Args {
             "--chaos-seed" => {
                 args.chaos_seed = Some(take(&argv, &mut i, &flag).parse().expect("--chaos-seed"));
             }
+            "--tenants" => args.tenants = take(&argv, &mut i, &flag).parse().expect("--tenants"),
+            "--deny" => args.deny.push(take(&argv, &mut i, &flag)),
+            "--unattested" => {
+                args.unattested.push(take(&argv, &mut i, &flag).parse().expect("--unattested"));
+            }
+            "--json-out" => {
+                // Optional value, same shape as --chaos: with no PATH the
+                // record lands in BENCH_fleet_throughput.json.
+                let named = argv.get(i).filter(|v| !v.starts_with("--")).cloned();
+                if named.is_some() {
+                    i += 1;
+                }
+                args.json_out =
+                    Some(named.unwrap_or_else(|| "BENCH_fleet_throughput.json".to_owned()));
+            }
             other => panic!("unknown flag {other}"),
         }
     }
@@ -130,7 +167,10 @@ fn main() {
     if let Some(seed) = parsed.seed {
         cfg.seed = seed;
     }
-    cfg.faults.down_nodes = parsed.down;
+    cfg.faults.down_nodes = parsed.down.clone();
+    cfg.tenants = parsed.tenants;
+    cfg.tenant_deny = parsed.deny.clone();
+    cfg.unattested_nodes = parsed.unattested.clone();
 
     let mut obs = FleetObs::default();
     let sink = parsed.trace.as_ref().map(|_| {
@@ -139,7 +179,12 @@ fn main() {
         sink
     });
 
-    let wants_chaos = parsed.chaos.is_some() || parsed.vault_crash || parsed.hostile.is_some();
+    // Tenancy rides the chaos scheduler (its gates live there), so
+    // --tenants forces the chaos path even with no injected faults.
+    let wants_chaos = parsed.chaos.is_some()
+        || parsed.vault_crash
+        || parsed.hostile.is_some()
+        || parsed.tenants > 0;
     let plan = wants_chaos.then(|| {
         let mut plan = match parsed.chaos.as_deref() {
             None | Some("") => ChaosPlan::empty(),
@@ -225,6 +270,18 @@ fn main() {
             report.guest_kills, report.shed_sessions, fuel, heap, depth, dsm, deadline,
         );
     }
+    if parsed.tenants > 0 {
+        println!(
+            "tenant   tenants {} | policy denials {} | cross-tenant residue {} | \
+             unattested refusals {} | key rotations {} | wal plaintexts {}",
+            parsed.tenants,
+            report.policy_denials,
+            report.cross_tenant_residue,
+            report.unattested_refusals,
+            report.tenant_key_rotations,
+            report.wal_plaintexts,
+        );
+    }
     println!(
         "latency  p50 {:>8.2}s  p95 {:>8.2}s  p99 {:>8.2}s  mean {:>8.2}s",
         report.latency.p50.as_secs_f64(),
@@ -258,5 +315,58 @@ fn main() {
         report.sim_throughput, report.wall_throughput, report.workers, report.wall_secs
     );
 
+    if let Some(path) = parsed.json_out.as_deref() {
+        let record = bench_record(&parsed, &plan, &report);
+        let blob = serde_json::to_string_pretty(&record).expect("serialize bench record");
+        std::fs::write(path, blob + "\n").expect("write --json-out file");
+        println!("bench record -> {path}");
+    }
+
     emit_json("fleet_throughput", report.to_value());
+}
+
+/// The schema'd benchmark record `--json-out` writes: a stable,
+/// versioned subset for baseline diffing — throughput, latency
+/// percentiles, bytes synced, and (when tenancy is on) the tenant
+/// isolation counters.
+fn bench_record(
+    parsed: &Args,
+    plan: &Option<ChaosPlan>,
+    report: &tinman_fleet::FleetReport,
+) -> serde_json::Value {
+    serde_json::json!({
+        "schema": "tinman.fleet_throughput/v1",
+        "config": {
+            "sessions": parsed.sessions as u64,
+            "workers": parsed.workers as u64,
+            "nodes": parsed.nodes as u64,
+            "tenants": parsed.tenants as u64,
+            "chaos": plan.is_some(),
+        },
+        "throughput": {
+            "sessions_per_sim_sec": report.sim_throughput,
+            "sessions_per_wall_sec": report.wall_throughput,
+            "ok": report.ok,
+            "failed": report.failed,
+        },
+        "latency_ns": {
+            "p50": report.latency.p50.as_nanos(),
+            "p95": report.latency.p95.as_nanos(),
+            "p99": report.latency.p99.as_nanos(),
+            "mean": report.latency.mean.as_nanos(),
+        },
+        "bytes_synced": {
+            "tx": report.tx_bytes,
+            "rx": report.rx_bytes,
+            "dsm_syncs": report.dsm_syncs,
+        },
+        "tenancy": {
+            "policy_denials": report.policy_denials,
+            "cross_tenant_residue": report.cross_tenant_residue,
+            "unattested_refusals": report.unattested_refusals,
+            "tenant_key_rotations": report.tenant_key_rotations,
+            "wal_plaintexts": report.wal_plaintexts,
+            "wal_device_leaks": report.wal_device_leaks,
+        },
+    })
 }

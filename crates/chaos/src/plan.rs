@@ -184,6 +184,34 @@ pub enum ChaosEvent {
         /// First session id that runs its scripted app again.
         until_session: u64,
     },
+    /// Tenant `tenant`'s key hierarchy rotates to the next epoch inside
+    /// the window. Like [`ChaosEvent::HostileGuest`], the fault travels
+    /// with the *session* (a tenant's keys rotate fleet-wide, not on one
+    /// node), so there is no node index. The rotation fires at the
+    /// tenant's first session id ≥ `from_session`; that session pays the
+    /// re-encryption cost or fails closed, and every later session of
+    /// the tenant seals under the new epoch — the old epoch is revoked.
+    TenantKeyRotation {
+        /// Raw tenant number whose keys rotate.
+        tenant: u64,
+        /// First session id at which the rotation may fire.
+        from_session: u64,
+        /// First session id past the rotation window.
+        until_session: u64,
+    },
+    /// Like [`ChaosEvent::TenantKeyRotation`], but the rotation is an
+    /// emergency response to a suspected key compromise: if the rotating
+    /// session cannot afford the re-encryption inside its deadline it
+    /// must fail closed (reason `revoked_key`) — serving under the
+    /// suspect epoch is never an option.
+    TenantKeyCompromise {
+        /// Raw tenant number whose keys are suspect.
+        tenant: u64,
+        /// First session id at which the forced rotation may fire.
+        from_session: u64,
+        /// First session id past the rotation window.
+        until_session: u64,
+    },
 }
 
 /// A plan that failed validation.
@@ -303,6 +331,8 @@ impl ChaosPlan {
                 | ChaosEvent::VaultCrash { from_session, until_session, .. }
                 | ChaosEvent::ReplicaLag { from_session, until_session, .. }
                 | ChaosEvent::HostileGuest { from_session, until_session, .. }
+                | ChaosEvent::TenantKeyRotation { from_session, until_session, .. }
+                | ChaosEvent::TenantKeyCompromise { from_session, until_session, .. }
                     if until_session <= from_session =>
                 {
                     return Err(ChaosPlanError::EmptyWindow);
@@ -433,6 +463,27 @@ impl ChaosPlan {
                 })
                 .collect();
             }
+            // The tenant subsystem's acceptance scenario: tenant 0's
+            // keys rotate routinely mid-run, while tenant 1 suffers a
+            // suspected compromise and must force-rotate. With two
+            // tenants, tenant 0's rotation fires at session 4 and
+            // tenant 1's at session 7 — both mid-run for the canonical
+            // 12-session test fleet, so earlier sessions seal under
+            // epoch 0 and later ones under epoch 1, never mixing.
+            "tenant-rotation" => {
+                plan.events = vec![
+                    ChaosEvent::TenantKeyRotation {
+                        tenant: 0,
+                        from_session: 4,
+                        until_session: u64::MAX,
+                    },
+                    ChaosEvent::TenantKeyCompromise {
+                        tenant: 1,
+                        from_session: 6,
+                        until_session: u64::MAX,
+                    },
+                ];
+            }
             // A noisy but survivable wire: loss, corruption, and delay.
             "wire-noise" => {
                 plan.events = vec![
@@ -448,7 +499,15 @@ impl ChaosPlan {
 
     /// The names [`ChaosPlan::canned`] recognizes.
     pub fn canned_names() -> &'static [&'static str] {
-        &["crash-primary", "recovery", "partition", "wire-noise", "vault-crash", "hostile-guest"]
+        &[
+            "crash-primary",
+            "recovery",
+            "partition",
+            "wire-noise",
+            "vault-crash",
+            "hostile-guest",
+            "tenant-rotation",
+        ]
     }
 
     /// The first session id at which `node` recovers (`u64::MAX` if it
@@ -579,6 +638,69 @@ pub fn session_faults(
         // Overlapping windows alternate by session id (see the event's
         // doc); a session's attack is independent of the node attempted.
         f.hostile_guest = Some(hostile[(session % hostile.len() as u64) as usize]);
+    }
+    f
+}
+
+/// A plan projected onto one (tenant, session) pair: which key epoch the
+/// session seals under and whether it is the one paying for a rotation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantFaults {
+    /// Key epoch this session's tenant seals under (rotations before or
+    /// at this session bumped it from 0).
+    pub epoch: u32,
+    /// True when this is the tenant's rotation session: it pays the
+    /// re-encryption cost (or fails closed) before serving.
+    pub rotates: bool,
+    /// True when the rotation this session pays for was forced by a
+    /// suspected compromise: an unaffordable rotation must fail closed
+    /// with reason `revoked_key` rather than degrade gracefully.
+    pub compromised: bool,
+}
+
+/// The session id at which a rotation scheduled `from` lands for
+/// `tenant` under round-robin assignment over `tenants`: the tenant's
+/// first session id ≥ `from`.
+fn rotation_session(tenants: u64, tenant: u64, from: u64) -> u64 {
+    from + ((tenant + tenants - from % tenants) % tenants)
+}
+
+/// Projects `plan`'s tenant-key events onto the session with id
+/// `session` belonging to `tenant` (round-robin over `tenants`). Pure:
+/// the same inputs always produce the same faults, regardless of worker
+/// interleaving. With tenancy disabled (`tenants == 0`) there are no
+/// tenant faults.
+pub fn tenant_faults(plan: &ChaosPlan, tenants: u64, tenant: u64, session: u64) -> TenantFaults {
+    let mut f = TenantFaults::default();
+    if tenants == 0 {
+        return f;
+    }
+    for ev in &plan.events {
+        let (t, from, until, forced) = match *ev {
+            ChaosEvent::TenantKeyRotation { tenant, from_session, until_session } => {
+                (tenant, from_session, until_session, false)
+            }
+            ChaosEvent::TenantKeyCompromise { tenant, from_session, until_session } => {
+                (tenant, from_session, until_session, true)
+            }
+            _ => continue,
+        };
+        if t != tenant {
+            continue;
+        }
+        let fires_at = rotation_session(tenants, tenant, from);
+        if fires_at >= until {
+            // The window closes before the tenant ever runs a session
+            // inside it: the rotation never fires.
+            continue;
+        }
+        if session >= fires_at {
+            f.epoch += 1;
+        }
+        if session == fires_at {
+            f.rotates = true;
+            f.compromised |= forced;
+        }
     }
     f
 }
@@ -751,6 +873,56 @@ mod tests {
             until_session: 3,
         }];
         assert_eq!(bounded.validate(4), Err(ChaosPlanError::EmptyWindow));
+    }
+
+    #[test]
+    fn tenant_rotation_fires_at_the_tenants_first_session_in_window() {
+        let plan = ChaosPlan::canned("tenant-rotation").unwrap();
+        plan.validate(4).unwrap();
+        // Tenant 0 (sessions 0, 2, 4, ...): rotation from session 4
+        // lands exactly on session 4.
+        assert_eq!(tenant_faults(&plan, 2, 0, 2), TenantFaults::default());
+        assert_eq!(
+            tenant_faults(&plan, 2, 0, 4),
+            TenantFaults { epoch: 1, rotates: true, compromised: false }
+        );
+        assert_eq!(
+            tenant_faults(&plan, 2, 0, 6),
+            TenantFaults { epoch: 1, rotates: false, compromised: false },
+            "later sessions hold the new epoch without re-paying"
+        );
+        // Tenant 1 (sessions 1, 3, 5, 7, ...): the compromise from
+        // session 6 fires at tenant 1's next session, 7, and is forced.
+        assert_eq!(tenant_faults(&plan, 2, 1, 5).epoch, 0);
+        assert_eq!(
+            tenant_faults(&plan, 2, 1, 7),
+            TenantFaults { epoch: 1, rotates: true, compromised: true }
+        );
+        assert_eq!(tenant_faults(&plan, 2, 1, 9).epoch, 1);
+    }
+
+    #[test]
+    fn tenant_faults_are_scoped_and_pure() {
+        let plan = ChaosPlan::canned("tenant-rotation").unwrap();
+        // Tenancy disabled: no faults at all.
+        assert_eq!(tenant_faults(&plan, 0, 0, 4), TenantFaults::default());
+        // A window that closes before the tenant's first session inside
+        // it never fires.
+        let mut narrow = ChaosPlan::empty();
+        narrow.events =
+            vec![ChaosEvent::TenantKeyRotation { tenant: 1, from_session: 4, until_session: 5 }];
+        assert_eq!(tenant_faults(&narrow, 2, 1, 5), TenantFaults::default());
+        assert_eq!(tenant_faults(&narrow, 2, 1, 7), TenantFaults::default());
+        // Purity.
+        assert_eq!(tenant_faults(&plan, 2, 0, 4), tenant_faults(&plan, 2, 0, 4));
+        // Empty windows are plan bugs for both tenant event kinds.
+        let mut bad = ChaosPlan::empty();
+        bad.events =
+            vec![ChaosEvent::TenantKeyRotation { tenant: 0, from_session: 3, until_session: 3 }];
+        assert_eq!(bad.validate(4), Err(ChaosPlanError::EmptyWindow));
+        bad.events =
+            vec![ChaosEvent::TenantKeyCompromise { tenant: 0, from_session: 3, until_session: 2 }];
+        assert_eq!(bad.validate(4), Err(ChaosPlanError::EmptyWindow));
     }
 
     #[test]

@@ -42,6 +42,7 @@ use tinman_guard::KillReason;
 use tinman_net::NetChaos;
 use tinman_obs::TraceEvent;
 use tinman_sim::{SimDuration, SimTime};
+use tinman_tenant::rotation_cost;
 use tinman_vault::catch_up_cost;
 
 use crate::failure::{backoff_delay, degraded_link, FleetError, NodeHealth};
@@ -54,7 +55,8 @@ use crate::session::{
     SessionOutcome,
 };
 use crate::spec::{build_session_specs, FleetConfig, SessionSpec};
-use crate::vault_audit::{audit_session_vault, VaultAudit};
+use crate::tenancy::TenantSchedule;
+use crate::vault_audit::{audit_session_vault, audit_session_vault_sealed, VaultAudit};
 
 /// Translates a session's projected faults into the hermetic world's own
 /// hooks. The DSM fault is installed even when inert (no windows): that
@@ -160,6 +162,15 @@ fn emit_failover(
 /// or the deadline budget runs out. Exhaustion is a *fail-closed*
 /// outcome: the device keeps only placeholders; no retry path ever
 /// relaxes that.
+///
+/// With tenancy enabled ([`TenantSchedule::enabled`]) three more gates
+/// apply, all deterministic replays: the declassification policy can
+/// refuse the session before any attempt (`policy_denied`), unattested
+/// nodes are skipped in the replica walk, and a mid-session key
+/// rotation charges its re-seal cost against the deadline — a
+/// compromised key that cannot afford the re-seal fails closed with
+/// reason `revoked_key` rather than ever serving under the old epoch.
+#[allow(clippy::too_many_arguments)]
 pub fn execute_with_chaos(
     cfg: &FleetConfig,
     pool: &NodePool,
@@ -167,6 +178,7 @@ pub fn execute_with_chaos(
     plan: &ChaosPlan,
     schedule: &BreakerSchedule,
     guard: &GuardSchedule,
+    tenancy: &TenantSchedule,
     obs: &FleetObs,
 ) -> SessionOutcome {
     // Load shedding: when the guard schedule says this session's budget
@@ -198,6 +210,34 @@ pub fn execute_with_chaos(
         out.shed = true;
         return out;
     }
+    // Tenant declassification policy: a session the engine refused
+    // fails closed before any placement — its cors never leave the
+    // device toward the denied domain.
+    if let Some(deny_reason) = tenancy.denial(spec.id) {
+        obs.metrics.incr("tenant.policy_denials");
+        obs.metrics.incr("chaos.fail_closed");
+        if obs.trace.is_enabled() {
+            obs.trace.emit_on(
+                spec.id,
+                SimTime::ZERO,
+                TraceEvent::TenantPolicyDecision {
+                    session: spec.id,
+                    tenant: spec.tenant,
+                    allowed: false,
+                    reason: deny_reason,
+                },
+            );
+            obs.trace.emit_on(
+                spec.id,
+                SimTime::ZERO,
+                TraceEvent::FailClosed { session: spec.id, reason: "policy_denied" },
+            );
+        }
+        let mut out = SessionOutcome::failed(spec.id, 0, SimDuration::ZERO);
+        out.fail_closed = true;
+        out.policy_denials = 1;
+        return out;
+    }
     let order = pool.replica_order(spec.placement_key());
     let mut penalty = SimDuration::ZERO;
     let mut attempts = 0u32;
@@ -214,6 +254,13 @@ pub fn execute_with_chaos(
     let mut ran_before = false;
     let mut deadline_hit = false;
     let mut guest_kill: Option<KillReason> = None;
+    // Tenancy state: the plan's key faults for this (tenant, session),
+    // attestation-refusal count, and whether the rotation re-seal has
+    // been paid (once per session).
+    let tf = tenancy.faults(spec);
+    let mut unattested_refusals = 0u64;
+    let mut rotation_paid = false;
+    let mut revoked_blocked = false;
 
     for (i, &node) in order.iter().take(cfg.max_attempts as usize).enumerate() {
         if penalty > plan.deadline {
@@ -235,6 +282,29 @@ pub fn execute_with_chaos(
             let delay = backoff_delay(cfg.backoff, i as u32);
             penalty += delay;
             obs.metrics.add("fleet.backoff_ns", delay.as_nanos());
+            emit_failover(obs, spec.id, node, i, penalty, delay);
+            continue;
+        }
+        // Attestation gate: a node that cannot prove it runs the full
+        // four-class taint engine is refused tenant plaintext placement
+        // — the walk moves on to the next replica.
+        if tenancy.enabled() && !tenancy.attested(node) {
+            unattested_refusals += 1;
+            obs.metrics.incr("tenant.unattested_refusals");
+            let delay = backoff_delay(cfg.backoff, i as u32);
+            penalty += delay;
+            obs.metrics.add("fleet.backoff_ns", delay.as_nanos());
+            if obs.trace.is_enabled() {
+                obs.trace.emit_on(
+                    spec.id,
+                    SimTime::ZERO + penalty,
+                    TraceEvent::AttestationRefused {
+                        session: spec.id,
+                        tenant: spec.tenant,
+                        node: node as u64,
+                    },
+                );
+            }
             emit_failover(obs, spec.id, node, i, penalty, delay);
             continue;
         }
@@ -305,6 +375,40 @@ pub fn execute_with_chaos(
                 }
             }
         }
+        // Mid-session tenant key rotation: re-sealing this session's
+        // vault bytes under the new epoch costs simulated time, charged
+        // against the deadline like a replica catch-up. When the budget
+        // cannot absorb the re-seal the session fails closed — with
+        // reason `revoked_key` if the rotation was forced by a key
+        // compromise (the old epoch is revoked; nothing may be served
+        // under it), plain `deadline` otherwise.
+        if tenancy.enabled() && tf.rotates && !rotation_paid {
+            let cost = rotation_cost(world.secrets.len() as u64);
+            if penalty + cost > plan.deadline {
+                if tf.compromised {
+                    obs.metrics.incr("tenant.revoked_blocked");
+                    revoked_blocked = true;
+                } else {
+                    deadline_hit = true;
+                }
+                break;
+            }
+            rotation_paid = true;
+            penalty += cost;
+            obs.metrics.incr("tenant.key_rotations");
+            if obs.trace.is_enabled() {
+                obs.trace.emit_on(
+                    spec.id,
+                    SimTime::ZERO + penalty,
+                    TraceEvent::TenantKeyRotation {
+                        session: spec.id,
+                        tenant: spec.tenant,
+                        epoch: u64::from(tf.epoch),
+                        forced: tf.compromised,
+                    },
+                );
+            }
+        }
         apply_session_faults(&mut world.rt, &faults);
         if ran_before {
             replays += 1;
@@ -355,18 +459,30 @@ pub fn execute_with_chaos(
         // nothing durable may survive the kill, so there is nothing to
         // audit (and `wal_plaintexts` stays zero for killed sessions).
         if !matches!(&run, Err(RuntimeError::GuestKilled { .. })) {
-            let audit = audit_session_vault(
-                &world.rt,
-                &world.secrets,
-                faults.vault_crash,
-                faults.dice_seed,
-            );
+            // With tenancy on, the audit runs sealed: the log carries
+            // ciphertext under the owning tenant's current-epoch WAL
+            // key, and the foreign keyring doubles as the cross-tenant
+            // residue probe.
+            let audit = if tenancy.enabled() {
+                let seal = tenancy.seal_context(spec, tf.epoch);
+                audit_session_vault_sealed(
+                    &world.rt,
+                    &world.secrets,
+                    faults.vault_crash,
+                    faults.dice_seed,
+                    &seal,
+                )
+            } else {
+                audit_session_vault(&world.rt, &world.secrets, faults.vault_crash, faults.dice_seed)
+            };
             vault_totals.recoveries += audit.recoveries;
             vault_totals.torn_repairs += audit.torn_repairs;
             vault_totals.lost_cors += audit.lost_cors;
             vault_totals.duplicates += audit.duplicates;
             vault_totals.wal_plaintexts += audit.wal_plaintexts;
             vault_totals.wal_device_leaks += audit.wal_device_leaks;
+            vault_totals.cross_tenant_hits += audit.cross_tenant_hits;
+            obs.metrics.add("tenant.cross_tenant_residue", audit.cross_tenant_hits);
             obs.metrics.add("vault.recoveries", audit.recoveries);
             obs.metrics.add("vault.torn_repairs", audit.torn_repairs);
             obs.metrics.add("vault.lost_cors", audit.lost_cors);
@@ -408,6 +524,9 @@ pub fn execute_with_chaos(
                 out.vault_catchup_lsns = catchup_lsns;
                 out.wal_plaintexts = vault_totals.wal_plaintexts;
                 out.wal_device_leaks = vault_totals.wal_device_leaks;
+                out.cross_tenant_residue = vault_totals.cross_tenant_hits;
+                out.unattested_refusals = unattested_refusals;
+                out.tenant_key_rotations = u64::from(rotation_paid);
                 return out;
             }
             Err(RuntimeError::GuestKilled { reason }) => {
@@ -457,8 +576,14 @@ pub fn execute_with_chaos(
         "guest_killed"
     } else if stale_blocked {
         "stale_replica"
+    } else if revoked_blocked {
+        "revoked_key"
     } else if deadline_hit {
         "deadline"
+    } else if unattested_refusals > 0 && !ran_before {
+        // Every replica this session could reach failed the attestation
+        // challenge; it never ran anywhere.
+        "unattested"
     } else {
         "attempts_exhausted"
     };
@@ -482,6 +607,9 @@ pub fn execute_with_chaos(
     out.vault_catchup_lsns = catchup_lsns;
     out.wal_plaintexts = vault_totals.wal_plaintexts;
     out.wal_device_leaks = vault_totals.wal_device_leaks;
+    out.cross_tenant_residue = vault_totals.cross_tenant_hits;
+    out.unattested_refusals = unattested_refusals;
+    out.tenant_key_rotations = u64::from(rotation_paid);
     out.guest_kill = guest_kill;
     out
 }
@@ -501,6 +629,7 @@ pub fn run_fleet_chaos(
     surface_clamp(&pool, obs);
     let schedule = BreakerSchedule::build(plan, pool.len(), cfg.sessions as u64);
     let guard = GuardSchedule::build(cfg, &pool, plan, &specs);
+    let tenancy = TenantSchedule::build(cfg, pool.len(), plan, &specs);
     if obs.trace.is_enabled() {
         for node in 0..pool.len() {
             for (session, from, to) in schedule.transitions(node) {
@@ -522,7 +651,7 @@ pub fn run_fleet_chaos(
     let start = Instant::now();
 
     let mut outcomes = run_worker_pool(cfg.workers, cfg.queue_depth, specs, |spec| {
-        execute_with_chaos(cfg, &pool, &spec, plan, &schedule, &guard, obs)
+        execute_with_chaos(cfg, &pool, &spec, plan, &schedule, &guard, &tenancy, obs)
     });
 
     let wall_secs = start.elapsed().as_secs_f64();

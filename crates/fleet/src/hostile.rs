@@ -298,6 +298,7 @@ mod tests {
             workload: crate::spec::WorkloadKind::Login(0),
             link: LinkKind::Wifi,
             seed: 42 + id,
+            tenant: 0,
         }
     }
 

@@ -23,6 +23,11 @@
 //!   session's cor writes through a `tinman-vault` WAL, injects the
 //!   plan's crash, recovers, and byte-compares against the
 //!   committed-prefix reference (lost cors must be zero).
+//! - [`tenancy`] — multi-tenant scheduling: per-tenant declassification
+//!   policy verdicts, the taint-engine attestation gate, and
+//!   `tinman-tenant` key-hierarchy plumbing (sealed WAL audits, key
+//!   epochs from the chaos plan), all precomputed as pure replays so
+//!   tenancy keeps the determinism contract.
 //!
 //! # Determinism contract
 //!
@@ -41,6 +46,7 @@ pub mod report;
 pub mod sched;
 pub mod session;
 pub mod spec;
+pub mod tenancy;
 pub mod vault_audit;
 
 pub use chaos_run::{apply_session_faults, execute_with_chaos, run_fleet_chaos};
@@ -60,4 +66,5 @@ pub use session::{
     build_session_world, run_session, run_session_traced, SessionOutcome, SessionWorld,
 };
 pub use spec::{build_session_specs, FleetConfig, LinkKind, SessionSpec, WorkloadKind};
-pub use vault_audit::{audit_session_vault, VaultAudit};
+pub use tenancy::{workload_domain, TenantSchedule, TenantSealContext};
+pub use vault_audit::{audit_session_vault, audit_session_vault_sealed, VaultAudit};

@@ -128,6 +128,19 @@ pub struct FleetReport {
     /// Session secrets found in vault bytes *and* on a device surface.
     /// Acceptance bar: zero.
     pub wal_device_leaks: u64,
+    /// Sessions the tenant declassification policy engine refused before
+    /// any attempt ran (tenancy runs only; each failed closed with
+    /// reason `policy_denied`).
+    pub policy_denials: u64,
+    /// Sealed vault blobs a foreign tenant's keyring authenticated.
+    /// Acceptance bar: zero — tenant key hierarchies are disjoint.
+    pub cross_tenant_residue: u64,
+    /// Placements refused because the node failed the taint-engine
+    /// attestation challenge (tenancy runs only).
+    pub unattested_refusals: u64,
+    /// Sessions that paid a mid-session tenant key rotation (re-sealed
+    /// their vault bytes under the new epoch).
+    pub tenant_key_rotations: u64,
     /// Guests the guard killed for exhausting a budget. Each kill scrubbed
     /// its node heap and failed the session closed.
     pub guest_kills: u64,
@@ -247,6 +260,10 @@ impl FleetReport {
             vault_catchup_lsns: sum(|o| o.vault_catchup_lsns),
             wal_plaintexts: sum(|o| o.wal_plaintexts),
             wal_device_leaks: sum(|o| o.wal_device_leaks),
+            policy_denials: sum(|o| o.policy_denials),
+            cross_tenant_residue: sum(|o| o.cross_tenant_residue),
+            unattested_refusals: sum(|o| o.unattested_refusals),
+            tenant_key_rotations: sum(|o| o.tenant_key_rotations),
             guest_kills: outcomes.iter().filter(|o| o.guest_kill.is_some()).count() as u64,
             shed_sessions: outcomes.iter().filter(|o| o.shed).count() as u64,
             budget_exhaustions: {
@@ -306,6 +323,10 @@ impl FleetReport {
         put("vault_catchup_lsns", Value::U64(self.vault_catchup_lsns));
         put("wal_plaintexts", Value::U64(self.wal_plaintexts));
         put("wal_device_leaks", Value::U64(self.wal_device_leaks));
+        put("policy_denials", Value::U64(self.policy_denials));
+        put("cross_tenant_residue", Value::U64(self.cross_tenant_residue));
+        put("unattested_refusals", Value::U64(self.unattested_refusals));
+        put("tenant_key_rotations", Value::U64(self.tenant_key_rotations));
         put("guest_kills", Value::U64(self.guest_kills));
         put("shed_sessions", Value::U64(self.shed_sessions));
         put(
@@ -411,6 +432,10 @@ mod tests {
             vault_catchup_lsns: 0,
             wal_plaintexts: 0,
             wal_device_leaks: 0,
+            policy_denials: 0,
+            cross_tenant_residue: 0,
+            unattested_refusals: 0,
+            tenant_key_rotations: 0,
             guest_kill: None,
             shed: false,
         }

@@ -90,6 +90,19 @@ pub struct SessionOutcome {
     /// Session secrets found in vault bytes *and* on a device surface.
     /// Must be zero: durability never widens exposure toward the device.
     pub wal_device_leaks: u64,
+    /// 1 when the tenant declassification policy denied this session's
+    /// flow and it failed closed before any attempt ran.
+    pub policy_denials: u64,
+    /// Sealed vault bytes a *foreign* tenant's keys could authenticate
+    /// in this session's durability audit. Must be zero: tenant key
+    /// hierarchies are cryptographically disjoint.
+    pub cross_tenant_residue: u64,
+    /// Placement attempts refused because the candidate node failed the
+    /// taint-engine attestation challenge (tenancy on only).
+    pub unattested_refusals: u64,
+    /// Tenant key rotations this session paid the re-encryption cost
+    /// for (0 or 1).
+    pub tenant_key_rotations: u64,
     /// Why the guard killed this session's guest (`None` if it was not
     /// killed). A kill is terminal: the node heap was scrubbed and the
     /// session failed closed without retries.
@@ -127,6 +140,10 @@ impl SessionOutcome {
             vault_catchup_lsns: 0,
             wal_plaintexts: 0,
             wal_device_leaks: 0,
+            policy_denials: 0,
+            cross_tenant_residue: 0,
+            unattested_refusals: 0,
+            tenant_key_rotations: 0,
             guest_kill: None,
             shed: false,
         }
@@ -381,6 +398,10 @@ pub fn outcome_from_report(
         vault_catchup_lsns: 0,
         wal_plaintexts: 0,
         wal_device_leaks: 0,
+        policy_denials: 0,
+        cross_tenant_residue: 0,
+        unattested_refusals: 0,
+        tenant_key_rotations: 0,
         guest_kill: None,
         shed: false,
     }
@@ -392,7 +413,7 @@ mod tests {
     use crate::spec::{FleetConfig, SessionSpec};
 
     fn spec(id: u64, workload: WorkloadKind) -> SessionSpec {
-        SessionSpec { id, workload, link: LinkKind::Wifi, seed: 42 + id }
+        SessionSpec { id, workload, link: LinkKind::Wifi, seed: 42 + id, tenant: 0 }
     }
 
     #[test]

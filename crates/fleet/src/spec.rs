@@ -40,14 +40,25 @@ pub struct SessionSpec {
     /// placeholder minting, runtime nonces). Derived from the fleet seed
     /// and `id` only, so results are independent of scheduling.
     pub seed: u64,
+    /// Raw tenant number this session belongs to (`id % cfg.tenants`;
+    /// 0 when tenancy is disabled). The tenant decides which key
+    /// hierarchy seals the session's vault bytes and which
+    /// declassification policy governs its flows.
+    pub tenant: u64,
 }
 
 impl SessionSpec {
     /// The consistent-hash key placing this session's cors on a shard.
-    /// Keyed by the user identity, not the arrival order, so the same
-    /// user's secrets always live on the same trusted node.
+    /// Keyed by the user identity *and* tenant, not the arrival order,
+    /// so the same user's secrets always live on the same trusted node
+    /// and tenants get distinct placement streams (per-tenant
+    /// placement). Tenant 0 — including every session when tenancy is
+    /// off — preserves the historical single-tenant keying exactly.
     pub fn placement_key(&self) -> u64 {
-        SplitMix64::new(self.id ^ 0x9e37_79b9_7f4a_7c15).next_u64()
+        SplitMix64::new(
+            self.id ^ 0x9e37_79b9_7f4a_7c15 ^ self.tenant.wrapping_mul(0xd6e8_feb8_6659_fd93),
+        )
+        .next_u64()
     }
 }
 
@@ -76,6 +87,23 @@ pub struct FleetConfig {
     pub max_attempts: u32,
     /// Base simulated retry backoff; attempt `n` waits `base * 2^n`.
     pub backoff: SimDuration,
+    /// Number of tenants sessions are round-robined over. 0 disables
+    /// tenancy entirely (the historical single-tenant behaviour,
+    /// byte-identical reports included); ≥ 1 turns on per-tenant key
+    /// hierarchies, sealed vault audits, the declassification policy
+    /// layer, and the attestation gate.
+    pub tenants: usize,
+    /// Node indices that fail the taint-engine attestation challenge
+    /// (they run the asymmetric engine instead of the full one). With
+    /// tenancy on, these nodes are refused tenant plaintext placement.
+    pub unattested_nodes: Vec<usize>,
+    /// Domains every tenant's declassification policy denies (suffix
+    /// match). Sessions whose workload targets a denied domain fail
+    /// closed with reason `policy_denied`.
+    pub tenant_deny: Vec<String>,
+    /// Optional per-tenant declassification rate window
+    /// `(window_sessions, max_declass)` on the session-id axis.
+    pub tenant_window: Option<(u64, u32)>,
 }
 
 impl FleetConfig {
@@ -91,6 +119,10 @@ impl FleetConfig {
             faults: FaultPlan::default(),
             max_attempts: 3,
             backoff: SimDuration::from_millis(250),
+            tenants: 0,
+            unattested_nodes: Vec::new(),
+            tenant_deny: Vec::new(),
+            tenant_window: None,
         }
     }
 }
@@ -112,7 +144,8 @@ pub fn build_session_specs(cfg: &FleetConfig) -> Vec<SessionSpec> {
                 _ => WorkloadKind::BrowserCheckout,
             };
             let link = if stream.below(4) == 0 { LinkKind::ThreeG } else { LinkKind::Wifi };
-            SessionSpec { id, workload, link, seed: stream.next_u64() }
+            let tenant = if cfg.tenants == 0 { 0 } else { id % cfg.tenants as u64 };
+            SessionSpec { id, workload, link, seed: stream.next_u64(), tenant }
         })
         .collect()
 }
@@ -135,6 +168,21 @@ mod tests {
         assert!(a.iter().any(|s| s.workload == WorkloadKind::Bankdroid));
         assert!(a.iter().any(|s| s.workload == WorkloadKind::BrowserCheckout));
         assert!(a.iter().any(|s| matches!(s.workload, WorkloadKind::Login(_))));
+    }
+
+    #[test]
+    fn tenants_round_robin_and_salt_placement() {
+        let mut cfg = FleetConfig::new(8, 1);
+        cfg.tenants = 3;
+        let specs = build_session_specs(&cfg);
+        for s in &specs {
+            assert_eq!(s.tenant, s.id % 3);
+        }
+        // Tenant 0 keeps the historical placement key; other tenants
+        // get distinct streams.
+        let baseline = build_session_specs(&FleetConfig::new(8, 1));
+        assert_eq!(specs[0].placement_key(), baseline[0].placement_key());
+        assert_ne!(specs[1].placement_key(), baseline[1].placement_key());
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Fleet-side tenancy: deterministic per-session tenant decisions.
+//!
+//! Like the chaos `BreakerSchedule` and the guard's `GuardSchedule`,
+//! everything tenant-related the executor consults is precomputed here
+//! as a pure replay over the session-id axis, so a fleet run with
+//! tenancy enabled stays byte-identical across worker counts:
+//!
+//! - **Policy verdicts** — each session's workload targets one
+//!   destination domain; the [`tinman_tenant::TenantPolicyEngine`]
+//!   (configured from [`FleetConfig::tenant_deny`] /
+//!   [`FleetConfig::tenant_window`]) decides in session-id order
+//!   whether that tenant's data may flow there. Denied sessions fail
+//!   closed before any attempt runs.
+//! - **Attestation** — each node runs the full taint engine unless the
+//!   config lists it in [`FleetConfig::unattested_nodes`] (those run
+//!   the asymmetric engine). Its quote is checked once; unattested
+//!   nodes are refused tenant plaintext placement for every session.
+//! - **Key epochs** — [`tinman_chaos::tenant_faults`] projects the
+//!   plan's rotation/compromise events onto each (tenant, session), and
+//!   [`TenantSchedule::keyring`] derives the sealing keyring for any
+//!   (tenant, epoch) from the fleet master seed.
+
+use tinman_chaos::{tenant_faults, ChaosPlan, TenantFaults};
+use tinman_taint::EngineKind;
+use tinman_tenant::{
+    attest_kind, DeclassWindow, TenantId, TenantKeyring, TenantPolicy, TenantPolicyEngine,
+};
+
+use crate::spec::{FleetConfig, SessionSpec, WorkloadKind};
+use tinman_apps::logins::LoginAppSpec;
+
+/// The destination domain a session's workload declassifies toward —
+/// the domain its cors are whitelisted for and its origin server lives
+/// on. This is what the tenant policy layer evaluates.
+pub fn workload_domain(workload: WorkloadKind) -> &'static str {
+    match workload {
+        WorkloadKind::Login(idx) => {
+            let apps = LoginAppSpec::table3();
+            apps[idx % apps.len()].domain
+        }
+        WorkloadKind::Bankdroid => "citibank.com",
+        WorkloadKind::BrowserCheckout => "shop.com",
+    }
+}
+
+/// The keyrings a sealed durability audit needs: the owning tenant's
+/// (which must open everything) and a foreign one (which must open
+/// nothing — any hit is cross-tenant residue).
+#[derive(Clone, Debug)]
+pub struct TenantSealContext {
+    /// The keyring that sealed this session's vault bytes.
+    pub owner: TenantKeyring,
+    /// A keyring the sealed bytes must be opaque to: the next tenant's
+    /// same-epoch keyring when the fleet has more than one tenant, the
+    /// owner's next epoch otherwise.
+    pub foreign: TenantKeyring,
+}
+
+/// Deterministic tenant decisions for one fleet run: a pure function of
+/// `(config, plan, specs)`, replayed in session-id order at build time.
+#[derive(Clone, Debug)]
+pub struct TenantSchedule {
+    enabled: bool,
+    tenants: u64,
+    master: u64,
+    /// Denial reason per denied session id, session-id order preserved
+    /// by construction (only consulted per id).
+    denied: Vec<(u64, &'static str)>,
+    /// Per-node attestation result.
+    attested: Vec<bool>,
+    plan: ChaosPlan,
+}
+
+impl TenantSchedule {
+    /// Builds the schedule. With `cfg.tenants == 0` the schedule is
+    /// disabled: nothing is denied, every node passes, and the executor
+    /// takes none of its tenancy branches — runs stay byte-identical to
+    /// the pre-tenancy fleet.
+    pub fn build(
+        cfg: &FleetConfig,
+        nodes: usize,
+        plan: &ChaosPlan,
+        specs: &[SessionSpec],
+    ) -> TenantSchedule {
+        let enabled = cfg.tenants > 0;
+        let tenants = cfg.tenants as u64;
+        let mut denied = Vec::new();
+        if enabled {
+            let mut engine = TenantPolicyEngine::new();
+            let policy = TenantPolicy {
+                allow_domains: Vec::new(),
+                deny_domains: cfg.tenant_deny.clone(),
+                declass_window: cfg
+                    .tenant_window
+                    .map(|(window, max)| DeclassWindow { window, max }),
+            };
+            for t in 0..tenants {
+                engine.set_policy(TenantId::new(t), policy.clone());
+            }
+            for spec in specs {
+                let verdict = engine.check(
+                    TenantId::new(spec.tenant),
+                    workload_domain(spec.workload),
+                    spec.id,
+                );
+                if !verdict.is_allowed() {
+                    denied.push((spec.id, verdict.reason()));
+                }
+            }
+        }
+        let attested = (0..nodes)
+            .map(|n| {
+                let kind = if cfg.unattested_nodes.contains(&n) {
+                    EngineKind::Asymmetric
+                } else {
+                    EngineKind::Full
+                };
+                !enabled || attest_kind(kind)
+            })
+            .collect();
+        TenantSchedule { enabled, tenants, master: cfg.seed, denied, attested, plan: plan.clone() }
+    }
+
+    /// True when tenancy is on and the executor must consult the
+    /// schedule.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Number of tenants the fleet round-robins over (0 when disabled).
+    pub fn tenants(&self) -> u64 {
+        self.tenants
+    }
+
+    /// The denial reason for a session whose declassification the
+    /// policy engine refused, if any.
+    pub fn denial(&self, session: u64) -> Option<&'static str> {
+        self.denied.iter().find(|(id, _)| *id == session).map(|(_, r)| *r)
+    }
+
+    /// How many sessions the policy layer denies.
+    pub fn denial_count(&self) -> usize {
+        self.denied.len()
+    }
+
+    /// True when `node` proved it runs the full four-class taint engine
+    /// (always true with tenancy disabled).
+    pub fn attested(&self, node: usize) -> bool {
+        self.attested.get(node).copied().unwrap_or(false)
+    }
+
+    /// The plan's tenant-key faults projected onto one session.
+    pub fn faults(&self, spec: &SessionSpec) -> TenantFaults {
+        tenant_faults(&self.plan, self.tenants, spec.tenant, spec.id)
+    }
+
+    /// The keyring `tenant` seals under at `epoch`, derived from the
+    /// fleet master seed.
+    pub fn keyring(&self, tenant: u64, epoch: u32) -> TenantKeyring {
+        TenantKeyring::derive(self.master, TenantId::new(tenant), epoch)
+    }
+
+    /// The owner + foreign keyring pair for a session's sealed
+    /// durability audit. The foreign ring is another tenant's when one
+    /// exists, the owner's next (not-yet-current) epoch otherwise —
+    /// either way it must fail to authenticate anything the owner
+    /// sealed.
+    pub fn seal_context(&self, spec: &SessionSpec, epoch: u32) -> TenantSealContext {
+        let owner = self.keyring(spec.tenant, epoch);
+        let foreign = if self.tenants > 1 {
+            self.keyring((spec.tenant + 1) % self.tenants, epoch)
+        } else {
+            self.keyring(spec.tenant, epoch + 1)
+        };
+        TenantSealContext { owner, foreign }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::build_session_specs;
+    use tinman_tenant::KeyPurpose;
+
+    #[test]
+    fn disabled_schedule_denies_nothing_and_attests_everything() {
+        let mut cfg = FleetConfig::new(8, 1);
+        cfg.unattested_nodes = vec![0, 1, 2, 3];
+        let specs = build_session_specs(&cfg);
+        let sched = TenantSchedule::build(&cfg, 4, &ChaosPlan::empty(), &specs);
+        assert!(!sched.enabled());
+        assert_eq!(sched.denial_count(), 0);
+        assert!((0..4).all(|n| sched.attested(n)), "attestation only gates tenancy");
+    }
+
+    #[test]
+    fn deny_list_denies_matching_workloads_only() {
+        let mut cfg = FleetConfig::new(12, 1);
+        cfg.tenants = 2;
+        cfg.tenant_deny = vec!["shop.com".into()];
+        let specs = build_session_specs(&cfg);
+        let sched = TenantSchedule::build(&cfg, 4, &ChaosPlan::empty(), &specs);
+        assert!(sched.enabled());
+        let checkout: Vec<u64> = specs
+            .iter()
+            .filter(|s| s.workload == WorkloadKind::BrowserCheckout)
+            .map(|s| s.id)
+            .collect();
+        assert!(!checkout.is_empty());
+        for id in &checkout {
+            assert_eq!(sched.denial(*id), Some("tenant_deny"));
+        }
+        assert_eq!(sched.denial_count(), checkout.len(), "only checkout targets shop.com");
+    }
+
+    #[test]
+    fn unattested_nodes_fail_the_gate_when_tenancy_is_on() {
+        let mut cfg = FleetConfig::new(4, 1);
+        cfg.tenants = 2;
+        cfg.unattested_nodes = vec![1];
+        let specs = build_session_specs(&cfg);
+        let sched = TenantSchedule::build(&cfg, 4, &ChaosPlan::empty(), &specs);
+        assert!(sched.attested(0));
+        assert!(!sched.attested(1), "the asymmetric engine must not pass attestation");
+        assert!(sched.attested(2));
+    }
+
+    #[test]
+    fn seal_context_owner_and_foreign_never_cross_authenticate() {
+        let mut cfg = FleetConfig::new(4, 1);
+        cfg.tenants = 2;
+        let specs = build_session_specs(&cfg);
+        let sched = TenantSchedule::build(&cfg, 4, &ChaosPlan::empty(), &specs);
+        for spec in &specs {
+            let ctx = sched.seal_context(spec, 0);
+            let blob = ctx.owner.seal(KeyPurpose::WalAtRest, spec.id, "secret");
+            assert!(ctx.owner.can_authenticate(KeyPurpose::WalAtRest, &blob));
+            assert!(!ctx.foreign.can_authenticate(KeyPurpose::WalAtRest, &blob));
+        }
+        // Single-tenant fleets still get a meaningful foreign ring.
+        cfg.tenants = 1;
+        let specs = build_session_specs(&cfg);
+        let sched = TenantSchedule::build(&cfg, 4, &ChaosPlan::empty(), &specs);
+        let ctx = sched.seal_context(&specs[0], 0);
+        let blob = ctx.owner.seal(KeyPurpose::WalAtRest, 0, "secret");
+        assert!(!ctx.foreign.can_authenticate(KeyPurpose::WalAtRest, &blob));
+    }
+
+    #[test]
+    fn schedule_is_a_pure_function_of_its_inputs() {
+        let mut cfg = FleetConfig::new(16, 1);
+        cfg.tenants = 2;
+        cfg.tenant_deny = vec!["citibank.com".into()];
+        cfg.tenant_window = Some((8, 3));
+        let specs = build_session_specs(&cfg);
+        let plan = ChaosPlan::canned("tenant-rotation").unwrap();
+        let a = TenantSchedule::build(&cfg, 4, &plan, &specs);
+        let b = TenantSchedule::build(&cfg, 4, &plan, &specs);
+        assert_eq!(a.denied, b.denied);
+        assert_eq!(a.attested, b.attested);
+        for spec in &specs {
+            assert_eq!(a.faults(spec), b.faults(spec));
+            assert_eq!(
+                a.keyring(spec.tenant, a.faults(spec).epoch),
+                b.keyring(spec.tenant, b.faults(spec).epoch)
+            );
+        }
+    }
+}

@@ -16,7 +16,12 @@ use tinman_chaos::VaultCrashKind;
 use tinman_cor::{CorRecord, CorStore};
 use tinman_core::runtime::TinmanRuntime;
 use tinman_sim::SplitMix64;
-use tinman_vault::{CompactionCrash, SimDisk, Vault, VaultOp, SNAP_FILE, SNAP_TMP, WAL_FILE};
+use tinman_tenant::KeyPurpose;
+use tinman_vault::{
+    CompactionCrash, ReplicatedVault, SimDisk, Vault, VaultOp, SNAP_FILE, SNAP_TMP, WAL_FILE,
+};
+
+use crate::tenancy::TenantSealContext;
 
 /// What one session's durability audit observed. All counters, all
 /// deterministic; the executor folds them into the session's outcome.
@@ -46,6 +51,10 @@ pub struct VaultAudit {
     /// by the residue scan. The fail-closed bar is zero: durability must
     /// never widen the exposure surface toward the device.
     pub wal_device_leaks: u64,
+    /// Sealed vault blobs a *foreign* tenant's keys authenticated
+    /// (sealed audits only). The isolation bar is zero: tenant key
+    /// hierarchies must be cryptographically disjoint.
+    pub cross_tenant_hits: u64,
 }
 
 /// Builds the audit's base store: same label range as the node's, empty.
@@ -93,11 +102,57 @@ pub fn audit_session_vault(
     crash: Option<VaultCrashKind>,
     dice_seed: u64,
 ) -> VaultAudit {
+    run_audit(rt, secrets, crash, dice_seed, None)
+}
+
+/// The multi-tenant audit: identical crash/recover flow, but every
+/// record's plaintext is sealed under the owning tenant's WAL-at-rest
+/// key before it touches the log, so the same residue scan that must
+/// find plaintext in the single-tenant vault must find **zero** here.
+/// After recovery the owner keyring must open every committed blob back
+/// to its original plaintext (anything else is a lost cor), the foreign
+/// keyring must authenticate none of them (any hit is cross-tenant
+/// residue), and a replica ships only ciphertext.
+pub fn audit_session_vault_sealed(
+    rt: &TinmanRuntime,
+    secrets: &[String],
+    crash: Option<VaultCrashKind>,
+    dice_seed: u64,
+    seal: &TenantSealContext,
+) -> VaultAudit {
+    run_audit(rt, secrets, crash, dice_seed, Some(seal))
+}
+
+fn run_audit(
+    rt: &TinmanRuntime,
+    secrets: &[String],
+    crash: Option<VaultCrashKind>,
+    dice_seed: u64,
+    seal: Option<&TenantSealContext>,
+) -> VaultAudit {
     let mut audit = VaultAudit::default();
     let mut dice = SplitMix64::new(dice_seed ^ 0x7a61_1e55_0c0d_e5af);
     let seed = dice.next_u64();
     let store = &rt.node.store;
-    let records = store.export_records();
+    let plain_records = store.export_records();
+    // With a seal context the log carries ciphertext: each record's
+    // plaintext is replaced by its tmt1 blob (nonce bound to the dice
+    // seed and record id, so attempts stay deterministic).
+    let records: Vec<CorRecord> = match seal {
+        Some(ctx) => plain_records
+            .iter()
+            .map(|r| {
+                let mut sealed = r.clone();
+                sealed.plaintext = ctx.owner.seal(
+                    KeyPurpose::WalAtRest,
+                    dice_seed ^ u64::from(r.id.raw()),
+                    &r.plaintext,
+                );
+                sealed
+            })
+            .collect(),
+        None => plain_records.clone(),
+    };
     let n = records.len();
     // How much of the log the crash lets become durable: mid-commit and
     // torn-tail cut the final record short; compaction and clean
@@ -192,7 +247,48 @@ pub fn audit_session_vault(
         }
         Err(_) => audit.lost_cors += 1,
     }
+
+    if let Some(ctx) = seal {
+        // Cryptographic isolation check on every committed blob: the
+        // owner must round-trip it, the foreign ring must not even
+        // authenticate it.
+        for (plain, sealed) in plain_records[..committed_len].iter().zip(&records[..committed_len])
+        {
+            match ctx.owner.open(KeyPurpose::WalAtRest, &sealed.plaintext) {
+                Ok(pt) if pt == plain.plaintext => {}
+                _ => audit.lost_cors += 1,
+            }
+            if ctx.foreign.can_authenticate(KeyPurpose::WalAtRest, &sealed.plaintext) {
+                audit.cross_tenant_hits += 1;
+            }
+        }
+        // Replica shipping must also stay ciphertext: ship the sealed
+        // log to one replica and scan its store image for plaintext.
+        match sealed_shipping_leaks(store, seed, &records[..committed_len], secrets) {
+            Some(leaks) => audit.wal_plaintexts += leaks,
+            None => audit.lost_cors += 1,
+        }
+    }
     audit
+}
+
+/// Ships `records` through a single-replica [`ReplicatedVault`] and
+/// counts how many session secrets appear in the replica's store image
+/// (`None` when shipping itself fails).
+fn sealed_shipping_leaks(
+    store: &CorStore,
+    seed: u64,
+    records: &[CorRecord],
+    secrets: &[String],
+) -> Option<u64> {
+    let base = empty_base(store, seed ^ 3)?;
+    let mut replicated = ReplicatedVault::new(&base, 1).ok()?;
+    for r in records {
+        replicated.append(&VaultOp::Put { record: r.clone(), next_id: r.id.raw() + 1 }).ok()?;
+        replicated.commit_and_ship().ok()?;
+    }
+    let image = replicated.replica_store_json(0).ok()?;
+    Some(secrets.iter().filter(|s| image.contains(s.as_str())).count() as u64)
 }
 
 #[cfg(test)]
@@ -205,7 +301,7 @@ mod tests {
     use tinman_sim::LinkProfile;
 
     fn ran_world(workload: WorkloadKind) -> crate::session::SessionWorld {
-        let spec = SessionSpec { id: 3, workload, link: LinkKind::Wifi, seed: 77 };
+        let spec = SessionSpec { id: 3, workload, link: LinkKind::Wifi, seed: 77, tenant: 0 };
         let mut world =
             build_session_world(&spec, (0, 16), LinkProfile::wifi(), &TraceHandle::noop())
                 .expect("world builds");
@@ -271,5 +367,47 @@ mod tests {
         let a = audit_session_vault(&world.rt, &world.secrets, Some(VaultCrashKind::TornTail), 9);
         let b = audit_session_vault(&world.rt, &world.secrets, Some(VaultCrashKind::TornTail), 9);
         assert_eq!(a, b);
+    }
+
+    fn seal_ctx() -> TenantSealContext {
+        use tinman_tenant::{TenantId, TenantKeyring};
+        TenantSealContext {
+            owner: TenantKeyring::derive(0xfeed, TenantId::new(0), 0),
+            foreign: TenantKeyring::derive(0xfeed, TenantId::new(1), 0),
+        }
+    }
+
+    #[test]
+    fn sealed_audit_leaves_no_plaintext_and_no_cross_tenant_residue() {
+        let world = ran_world(WorkloadKind::Bankdroid);
+        let ctx = seal_ctx();
+        let audit = audit_session_vault_sealed(&world.rt, &world.secrets, None, 0xd1ce, &ctx);
+        assert_eq!(audit.lost_cors, 0, "owner keyring round-trips every committed blob");
+        assert_eq!(audit.wal_plaintexts, 0, "sealed WAL and replica image hold no plaintext");
+        assert_eq!(audit.cross_tenant_hits, 0, "foreign keyring authenticates nothing");
+        assert_eq!(audit.wal_device_leaks, 0);
+        assert_eq!(audit.recoveries, 1);
+    }
+
+    #[test]
+    fn sealed_audit_survives_every_crash_kind() {
+        let world = ran_world(WorkloadKind::BrowserCheckout);
+        let ctx = seal_ctx();
+        for kind in
+            [VaultCrashKind::MidCommit, VaultCrashKind::TornTail, VaultCrashKind::Compaction]
+        {
+            for seed in 0..4u64 {
+                let audit = audit_session_vault_sealed(
+                    &world.rt,
+                    &world.secrets,
+                    Some(kind),
+                    0xbee0 + seed,
+                    &ctx,
+                );
+                assert_eq!(audit.lost_cors, 0, "{kind:?}/{seed}");
+                assert_eq!(audit.wal_plaintexts, 0, "{kind:?}/{seed}: ciphertext at rest");
+                assert_eq!(audit.cross_tenant_hits, 0, "{kind:?}/{seed}");
+            }
+        }
     }
 }

@@ -131,9 +131,14 @@ pub enum TraceEvent {
     FailClosed {
         /// Session id.
         session: u64,
-        /// Why: `"attempts_exhausted"`, `"deadline"`, or
-        /// `"stale_replica"` (a lagging vault replica could not catch up
-        /// within the deadline budget).
+        /// Why: `"attempts_exhausted"`, `"deadline"`, `"stale_replica"`
+        /// (a lagging vault replica could not catch up within the
+        /// deadline budget), `"policy_denied"` (the tenant
+        /// declassification policy refused the session's flow),
+        /// `"unattested"` (no attested node was available to hold
+        /// tenant plaintext), or `"revoked_key"` (a compromise-forced
+        /// key rotation could not complete within the deadline and the
+        /// session refused to serve under the suspect epoch).
         reason: &'static str,
     },
     /// The origin-server dedup suppressed re-sent payload replacements
@@ -190,6 +195,41 @@ pub enum TraceEvent {
         /// Why: currently always `"overloaded"`.
         reason: &'static str,
     },
+    /// The tenant declassification policy engine decided a session's
+    /// flow (emitted for denials, and for allows when tracing them is
+    /// cheap enough to matter).
+    TenantPolicyDecision {
+        /// Session id.
+        session: u64,
+        /// Raw tenant number the session belongs to.
+        tenant: u64,
+        /// True when the flow proceeds.
+        allowed: bool,
+        /// Stable verdict reason (`DeclassVerdict::reason` string).
+        reason: &'static str,
+    },
+    /// The attestation gate refused to place tenant plaintext on a node
+    /// that could not prove it runs the full four-class taint engine.
+    AttestationRefused {
+        /// Session id.
+        session: u64,
+        /// Raw tenant number whose plaintext was withheld.
+        tenant: u64,
+        /// The unattested node index.
+        node: u64,
+    },
+    /// A tenant's key hierarchy rotated to a new epoch; the session
+    /// paid the re-encryption cost before serving.
+    TenantKeyRotation {
+        /// Session id that paid for the rotation.
+        session: u64,
+        /// Raw tenant number whose keys rotated.
+        tenant: u64,
+        /// The new epoch sessions seal under from here on.
+        epoch: u64,
+        /// True when the rotation was forced by a suspected compromise.
+        forced: bool,
+    },
     /// A named span; appears with [`crate::TracePhase::Begin`] and
     /// [`crate::TracePhase::End`] records (Chrome `B`/`E` semantics:
     /// spans nest per track, stack-wise).
@@ -223,6 +263,9 @@ impl TraceEvent {
             TraceEvent::VaultCatchUp { .. } => "vault_catch_up",
             TraceEvent::GuestKilled { .. } => "guest_killed",
             TraceEvent::SessionShed { .. } => "session_shed",
+            TraceEvent::TenantPolicyDecision { .. } => "tenant_policy_decision",
+            TraceEvent::AttestationRefused { .. } => "attestation_refused",
+            TraceEvent::TenantKeyRotation { .. } => "tenant_key_rotation",
             TraceEvent::Span { name } => name,
         }
     }
@@ -321,6 +364,23 @@ impl TraceEvent {
                 ("session".to_owned(), Value::U64(*session)),
                 ("node".to_owned(), Value::U64(*node)),
                 ("reason".to_owned(), s(reason)),
+            ],
+            TraceEvent::TenantPolicyDecision { session, tenant, allowed, reason } => vec![
+                ("session".to_owned(), Value::U64(*session)),
+                ("tenant".to_owned(), Value::U64(*tenant)),
+                ("allowed".to_owned(), Value::Bool(*allowed)),
+                ("reason".to_owned(), s(reason)),
+            ],
+            TraceEvent::AttestationRefused { session, tenant, node } => vec![
+                ("session".to_owned(), Value::U64(*session)),
+                ("tenant".to_owned(), Value::U64(*tenant)),
+                ("node".to_owned(), Value::U64(*node)),
+            ],
+            TraceEvent::TenantKeyRotation { session, tenant, epoch, forced } => vec![
+                ("session".to_owned(), Value::U64(*session)),
+                ("tenant".to_owned(), Value::U64(*tenant)),
+                ("epoch".to_owned(), Value::U64(*epoch)),
+                ("forced".to_owned(), Value::Bool(*forced)),
             ],
             TraceEvent::Span { .. } => Vec::new(),
         }

@@ -1,0 +1,90 @@
+//! Taint-engine attestation gate (BliMe-style).
+//!
+//! A node may only hold tenant plaintext after proving it runs the
+//! *full* four-class taint engine. The proof is behavioural: the
+//! challenge drives one tainted move through each of the four
+//! propagation classes on a fresh engine and hashes what the engine
+//! observably did (destination taint, offload trigger, instrumentation).
+//! Only `EngineKind::Full` propagates taint on the stack-source classes,
+//! so the asymmetric and disabled engines produce different quotes and
+//! fail verification — there is no flag a node can set to fake the
+//! quote without actually propagating taint.
+
+use sha2::{Digest, Sha256};
+use tinman_taint::{EngineKind, Label, PropClass, TaintEngine, TaintSet};
+
+/// Label the challenge taints its source with. Any label works; this
+/// one is fixed so quotes are comparable across nodes.
+const CHALLENGE_LABEL: u8 = 5;
+
+/// A node's attestation quote: a digest over the observable behaviour
+/// of its taint engine under the four-class challenge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AttestationQuote([u8; 32]);
+
+impl AttestationQuote {
+    /// The raw digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+fn engine_of(kind: EngineKind) -> TaintEngine {
+    match kind {
+        EngineKind::None => TaintEngine::none(),
+        EngineKind::Full => TaintEngine::full(),
+        EngineKind::Asymmetric => TaintEngine::asymmetric(),
+    }
+}
+
+/// Runs the attestation challenge against a taint engine of `kind` and
+/// returns its quote. Each class gets a *fresh* engine so stats from
+/// one class cannot bleed into the next.
+pub fn quote_for(kind: EngineKind) -> AttestationQuote {
+    let label = Label::new(CHALLENGE_LABEL).expect("challenge label is in range");
+    let src: TaintSet = label.as_set();
+    let mut h = Sha256::new();
+    h.update(b"tinman-tenant-attest/v1");
+    for class in PropClass::ALL {
+        let mut engine = engine_of(kind);
+        let out = engine.on_move(class, src);
+        h.update(class.name());
+        h.update(out.dst_taint.bits().to_le_bytes());
+        h.update([u8::from(out.trigger_offload), u8::from(engine.instruments(class))]);
+    }
+    AttestationQuote(h.finalize())
+}
+
+/// The quote an honest full-engine node produces.
+pub fn expected_quote() -> AttestationQuote {
+    quote_for(EngineKind::Full)
+}
+
+/// Verifies a quote against the full-engine expectation.
+pub fn verify(quote: &AttestationQuote) -> bool {
+    *quote == expected_quote()
+}
+
+/// Convenience: does a node running `kind` pass the attestation gate?
+pub fn attest_kind(kind: EngineKind) -> bool {
+    verify(&quote_for(kind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_the_full_engine_attests() {
+        assert!(attest_kind(EngineKind::Full));
+        assert!(!attest_kind(EngineKind::Asymmetric), "asymmetric drops stack-source taint");
+        assert!(!attest_kind(EngineKind::None));
+    }
+
+    #[test]
+    fn quotes_are_deterministic_and_distinct() {
+        assert_eq!(quote_for(EngineKind::Full), quote_for(EngineKind::Full));
+        assert_ne!(quote_for(EngineKind::Full), quote_for(EngineKind::Asymmetric));
+        assert_ne!(quote_for(EngineKind::Asymmetric), quote_for(EngineKind::None));
+    }
+}

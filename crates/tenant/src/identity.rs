@@ -1,0 +1,59 @@
+//! Tenant identities.
+//!
+//! A tenant is the unit of cryptographic and policy isolation: every
+//! session, every vault shard, and every shipped replica log belongs to
+//! exactly one tenant. The id is a plain `u64` so it can ride through
+//! chaos plans and report columns without dragging this crate along.
+
+use std::fmt;
+
+/// Opaque tenant identity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(u64);
+
+impl TenantId {
+    /// Wraps a raw tenant number.
+    pub const fn new(raw: u64) -> TenantId {
+        TenantId(raw)
+    }
+
+    /// The raw tenant number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Deterministic tenant assignment for a session: round-robin over
+    /// `tenants` (0 tenants means tenancy is disabled and everything is
+    /// tenant 0).
+    pub const fn for_session(tenants: u64, session: u64) -> TenantId {
+        if tenants == 0 {
+            TenantId(0)
+        } else {
+            TenantId(session % tenants)
+        }
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_assignment() {
+        assert_eq!(TenantId::for_session(3, 0), TenantId::new(0));
+        assert_eq!(TenantId::for_session(3, 4), TenantId::new(1));
+        assert_eq!(TenantId::for_session(3, 5), TenantId::new(2));
+        assert_eq!(TenantId::for_session(0, 7), TenantId::new(0), "disabled maps to tenant 0");
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(TenantId::new(2).to_string(), "tenant:2");
+    }
+}

@@ -1,0 +1,386 @@
+//! Deterministic per-tenant key hierarchy and authenticated sealing.
+//!
+//! ```text
+//! master seed ─┬─ tenant 0, epoch e ── root key ─┬─ wal key
+//!              │                                 ├─ ship key
+//!              │                                 └─ transport key
+//!              └─ tenant 1, epoch e ── root key ── ...
+//! ```
+//!
+//! Every key is `SHA256(domain-separator ‖ inputs)`, so the whole
+//! hierarchy is a pure function of `(master, tenant, epoch)` — two nodes
+//! that agree on those three values agree on every derived key, which is
+//! what lets the fleet replay key material deterministically on the
+//! session-id axis. Rotation is an epoch bump: the old hierarchy is
+//! *revoked* (nothing sealed under epoch `e` opens under epoch `e+1`).
+//!
+//! Sealing is stream-cipher XOR under a SHA-256 keystream plus a
+//! truncated SHA-256 MAC, rendered as a printable dotted blob in a
+//! digit-free nibble alphabet (`a`–`p`) so ciphertext survives JSON
+//! stores and the lossy-UTF-8 substring scanners in
+//! `fleet::vault_audit` verbatim — and so purely numeric secrets (PINs,
+//! card numbers) can never false-positive a residue scan against it.
+
+use std::fmt;
+
+use sha2::{Digest, Sha256};
+use tinman_sim::SimDuration;
+
+use crate::TenantId;
+
+/// Simulated cost of re-encrypting one vault record during a key
+/// rotation (keystream regeneration + MAC + fsync amortization).
+pub const ROTATION_COST_PER_RECORD: SimDuration = SimDuration::from_millis(40);
+
+/// The simulated cost of rotating a tenant's keys over `records` live
+/// vault records (each must be re-sealed under the new epoch).
+pub fn rotation_cost(records: u64) -> SimDuration {
+    ROTATION_COST_PER_RECORD * records
+}
+
+/// What a derived key is for. Purposes are cryptographically separated:
+/// a blob sealed for one purpose never opens under another.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KeyPurpose {
+    /// Encrypts WAL frames and snapshots at rest on the trusted node.
+    WalAtRest,
+    /// Encrypts the replica-shipping stream between vaults.
+    ReplicaShipping,
+    /// Encrypts per-session transport between device and node.
+    SessionTransport,
+}
+
+impl KeyPurpose {
+    /// All purposes, in derivation order.
+    pub const ALL: [KeyPurpose; 3] =
+        [KeyPurpose::WalAtRest, KeyPurpose::ReplicaShipping, KeyPurpose::SessionTransport];
+
+    /// Stable domain-separation tag fed into the key derivation.
+    pub fn tag(self) -> &'static str {
+        match self {
+            KeyPurpose::WalAtRest => "wal",
+            KeyPurpose::ReplicaShipping => "ship",
+            KeyPurpose::SessionTransport => "transport",
+        }
+    }
+}
+
+/// Why opening a sealed blob failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SealError {
+    /// The blob does not parse as a `tmt1.` sealed container.
+    BadFormat,
+    /// The blob's header names a different tenant than this keyring.
+    WrongTenant {
+        /// Tenant the blob claims to belong to.
+        found: u64,
+    },
+    /// The blob was sealed under a different (e.g. revoked) epoch.
+    WrongEpoch {
+        /// Epoch the blob was sealed under.
+        found: u32,
+    },
+    /// The MAC does not verify under this keyring's purpose key.
+    BadTag,
+    /// Decryption succeeded structurally but yielded invalid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for SealError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SealError::BadFormat => write!(f, "not a sealed tenant blob"),
+            SealError::WrongTenant { found } => {
+                write!(f, "sealed for tenant {found}, not this keyring's tenant")
+            }
+            SealError::WrongEpoch { found } => {
+                write!(f, "sealed under epoch {found}, which this keyring does not hold")
+            }
+            SealError::BadTag => write!(f, "authentication tag mismatch"),
+            SealError::BadUtf8 => write!(f, "decrypted bytes are not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for SealError {}
+
+/// Prefix every sealed blob starts with (TinMan tenant seal, format 1).
+pub const SEAL_PREFIX: &str = "tmt1";
+
+/// One tenant's derived keys at one epoch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantKeyring {
+    tenant: TenantId,
+    epoch: u32,
+    root: [u8; 32],
+}
+
+/// Digit-free nibble encoding: each nibble maps to `a`–`p`. Sealed blobs
+/// therefore contain no ASCII digits outside the fixed `tmt1` prefix,
+/// which keeps numeric plaintexts out of ciphertext by construction.
+fn enc_bytes(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from(b'a' + (b >> 4)));
+        out.push(char::from(b'a' + (b & 0xf)));
+    }
+    out
+}
+
+fn dec_nibble(c: u8) -> Option<u8> {
+    if (b'a'..=b'p').contains(&c) {
+        Some(c - b'a')
+    } else {
+        None
+    }
+}
+
+fn dec_bytes(s: &str) -> Option<Vec<u8>> {
+    let b = s.as_bytes();
+    if !b.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..b.len() / 2)
+        .map(|i| Some((dec_nibble(b[2 * i])? << 4) | dec_nibble(b[2 * i + 1])?))
+        .collect()
+}
+
+fn enc_u64(v: u64) -> String {
+    enc_bytes(&v.to_be_bytes())
+}
+
+fn dec_u64(s: &str) -> Option<u64> {
+    let bytes: [u8; 8] = dec_bytes(s)?.try_into().ok()?;
+    Some(u64::from_be_bytes(bytes))
+}
+
+/// Decoded fields of a sealed blob: `(tenant, epoch, nonce, ct, tag)`.
+type SealedParts = (u64, u32, u64, Vec<u8>, Vec<u8>);
+
+impl TenantKeyring {
+    /// Derives the keyring for `(master, tenant, epoch)`. Pure: the same
+    /// three inputs always yield the same hierarchy.
+    pub fn derive(master: u64, tenant: TenantId, epoch: u32) -> TenantKeyring {
+        let mut h = Sha256::new();
+        h.update(b"tinman-tenant-root/v1");
+        h.update(master.to_le_bytes());
+        h.update(tenant.raw().to_le_bytes());
+        h.update(epoch.to_le_bytes());
+        TenantKeyring { tenant, epoch, root: h.finalize() }
+    }
+
+    /// The tenant this keyring belongs to.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// The rotation epoch this keyring holds keys for.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// The per-purpose key, derived from the root with a domain tag.
+    pub fn purpose_key(&self, purpose: KeyPurpose) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(b"tinman-tenant-purpose/v1");
+        h.update(self.root);
+        h.update(purpose.tag());
+        h.finalize()
+    }
+
+    fn keystream_xor(key: &[u8; 32], nonce: u64, data: &mut [u8]) {
+        for (i, chunk) in data.chunks_mut(32).enumerate() {
+            let mut h = Sha256::new();
+            h.update(b"tinman-tenant-ks/v1");
+            h.update(key);
+            h.update(nonce.to_le_bytes());
+            h.update((i as u64).to_le_bytes());
+            let block = h.finalize();
+            for (b, k) in chunk.iter_mut().zip(block.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+
+    fn mac(key: &[u8; 32], nonce: u64, ct: &[u8]) -> [u8; 16] {
+        let mut h = Sha256::new();
+        h.update(b"tinman-tenant-mac/v1");
+        h.update(key);
+        h.update(nonce.to_le_bytes());
+        h.update(ct);
+        let full = h.finalize();
+        let mut tag = [0u8; 16];
+        tag.copy_from_slice(&full[..16]);
+        tag
+    }
+
+    /// Seals `plaintext` under this keyring's `purpose` key. The result
+    /// is printable (`tmt1.<tenant>.<epoch>.<nonce>.<ct>.<tag>`, all in
+    /// the digit-free `a`–`p` nibble alphabet), so it survives JSON
+    /// stores and UTF-8-lossy scans intact and cannot collide with
+    /// numeric plaintext in a substring scan.
+    pub fn seal(&self, purpose: KeyPurpose, nonce: u64, plaintext: &str) -> String {
+        let key = self.purpose_key(purpose);
+        let mut ct = plaintext.as_bytes().to_vec();
+        Self::keystream_xor(&key, nonce, &mut ct);
+        let tag = Self::mac(&key, nonce, &ct);
+        format!(
+            "{SEAL_PREFIX}.{}.{}.{}.{}.{}",
+            enc_u64(self.tenant.raw()),
+            enc_u64(u64::from(self.epoch)),
+            enc_u64(nonce),
+            enc_bytes(&ct),
+            enc_bytes(&tag)
+        )
+    }
+
+    /// True when `blob` is shaped like a sealed container (regardless of
+    /// who can open it).
+    pub fn is_sealed(blob: &str) -> bool {
+        blob.starts_with(SEAL_PREFIX) && blob.split('.').count() == 6
+    }
+
+    fn parse(blob: &str) -> Option<SealedParts> {
+        let mut parts = blob.split('.');
+        if parts.next()? != SEAL_PREFIX {
+            return None;
+        }
+        let tenant = dec_u64(parts.next()?)?;
+        let epoch = u32::try_from(dec_u64(parts.next()?)?).ok()?;
+        let nonce = dec_u64(parts.next()?)?;
+        let ct = dec_bytes(parts.next()?)?;
+        let tag = dec_bytes(parts.next()?)?;
+        if parts.next().is_some() || tag.len() != 16 {
+            return None;
+        }
+        Some((tenant, epoch, nonce, ct, tag))
+    }
+
+    /// Opens a sealed blob. Fails with a precise reason when the blob
+    /// belongs to another tenant, was sealed under a revoked epoch, or
+    /// fails authentication under this keyring's purpose key.
+    pub fn open(&self, purpose: KeyPurpose, blob: &str) -> Result<String, SealError> {
+        let (tenant, epoch, nonce, mut ct, tag) = Self::parse(blob).ok_or(SealError::BadFormat)?;
+        if tenant != self.tenant.raw() {
+            return Err(SealError::WrongTenant { found: tenant });
+        }
+        if epoch != self.epoch {
+            return Err(SealError::WrongEpoch { found: epoch });
+        }
+        let key = self.purpose_key(purpose);
+        if Self::mac(&key, nonce, &ct) != *tag.as_slice() {
+            return Err(SealError::BadTag);
+        }
+        Self::keystream_xor(&key, nonce, &mut ct);
+        String::from_utf8(ct).map_err(|_| SealError::BadUtf8)
+    }
+
+    /// Cryptographic open-check that *ignores* the blob's claimed
+    /// identity: can this keyring's `purpose` key actually authenticate
+    /// the ciphertext? Cross-tenant residue audits use this — a foreign
+    /// keyring returning `true` here would be a real isolation break,
+    /// not a header mismatch.
+    pub fn can_authenticate(&self, purpose: KeyPurpose, blob: &str) -> bool {
+        let Some((_, _, nonce, ct, tag)) = Self::parse(blob) else {
+            return false;
+        };
+        let key = self.purpose_key(purpose);
+        Self::mac(&key, nonce, &ct) == *tag.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(tenant: u64, epoch: u32) -> TenantKeyring {
+        TenantKeyring::derive(0xfeed_beef, TenantId::new(tenant), epoch)
+    }
+
+    #[test]
+    fn derivation_is_deterministic_and_input_sensitive() {
+        assert_eq!(ring(0, 0), ring(0, 0));
+        assert_ne!(ring(0, 0).root, ring(1, 0).root, "tenant separates");
+        assert_ne!(ring(0, 0).root, ring(0, 1).root, "epoch separates");
+        assert_ne!(
+            TenantKeyring::derive(1, TenantId::new(0), 0).root,
+            TenantKeyring::derive(2, TenantId::new(0), 0).root,
+            "master seed separates"
+        );
+    }
+
+    #[test]
+    fn purposes_are_separated() {
+        let r = ring(0, 0);
+        let keys: Vec<_> = KeyPurpose::ALL.iter().map(|p| r.purpose_key(*p)).collect();
+        assert_ne!(keys[0], keys[1]);
+        assert_ne!(keys[1], keys[2]);
+        assert_ne!(keys[0], keys[2]);
+        let blob = r.seal(KeyPurpose::WalAtRest, 7, "hunter2");
+        assert_eq!(
+            r.open(KeyPurpose::ReplicaShipping, &blob),
+            Err(SealError::BadTag),
+            "a wal-sealed blob must not open under the ship key"
+        );
+    }
+
+    #[test]
+    fn seal_round_trips_and_hides_plaintext() {
+        let r = ring(3, 1);
+        let blob = r.seal(KeyPurpose::WalAtRest, 42, "correct horse battery");
+        assert!(TenantKeyring::is_sealed(&blob));
+        assert!(!blob.contains("correct horse"), "ciphertext must not leak the plaintext");
+        assert_eq!(r.open(KeyPurpose::WalAtRest, &blob).unwrap(), "correct horse battery");
+    }
+
+    #[test]
+    fn foreign_tenant_and_revoked_epoch_are_refused() {
+        let a = ring(0, 0);
+        let blob = a.seal(KeyPurpose::WalAtRest, 1, "secret");
+        assert_eq!(
+            ring(1, 0).open(KeyPurpose::WalAtRest, &blob),
+            Err(SealError::WrongTenant { found: 0 })
+        );
+        assert_eq!(
+            ring(0, 1).open(KeyPurpose::WalAtRest, &blob),
+            Err(SealError::WrongEpoch { found: 0 }),
+            "rotation revokes the old epoch"
+        );
+        assert!(!ring(1, 0).can_authenticate(KeyPurpose::WalAtRest, &blob));
+        assert!(!ring(0, 1).can_authenticate(KeyPurpose::WalAtRest, &blob));
+        assert!(a.can_authenticate(KeyPurpose::WalAtRest, &blob));
+    }
+
+    #[test]
+    fn tampered_ciphertext_fails_the_mac() {
+        let r = ring(0, 0);
+        let blob = r.seal(KeyPurpose::WalAtRest, 9, "payload");
+        let mut parts: Vec<String> = blob.split('.').map(str::to_owned).collect();
+        let flipped = if parts[4].starts_with('a') { "b" } else { "a" };
+        parts[4].replace_range(0..1, flipped);
+        let tampered = parts.join(".");
+        assert_eq!(r.open(KeyPurpose::WalAtRest, &tampered), Err(SealError::BadTag));
+    }
+
+    #[test]
+    fn sealed_blob_is_printable_ascii() {
+        let blob = ring(0, 0).seal(KeyPurpose::WalAtRest, 5, "päss wörd \u{1F512}");
+        assert!(blob.is_ascii(), "sealed blobs must survive lossy UTF-8 scans verbatim");
+    }
+
+    #[test]
+    fn sealed_blob_is_digit_free_past_the_prefix() {
+        let blob = ring(7, 3).seal(KeyPurpose::WalAtRest, 0x1234_5678, "4111111111111111");
+        let body = blob.strip_prefix("tmt1.").expect("prefixed");
+        assert!(
+            body.chars().all(|c| c == '.' || ('a'..='p').contains(&c)),
+            "numeric secrets must never false-positive a scan against ciphertext: {blob}"
+        );
+    }
+
+    #[test]
+    fn rotation_cost_scales_with_records() {
+        assert_eq!(rotation_cost(0), SimDuration::ZERO);
+        assert_eq!(rotation_cost(3), ROTATION_COST_PER_RECORD * 3);
+    }
+}

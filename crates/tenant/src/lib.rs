@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! Multi-tenant trust subsystem for the TinMan reproduction.
+//!
+//! The fleet serves many concurrent sessions, but without tenancy the
+//! trusted substrate is flat: one readable WAL or one compromised node
+//! exposes every user's cors. This crate adds the three mechanisms that
+//! un-flatten it:
+//!
+//! * [`TenantId`] + [`TenantKeyring`] — tenant identities with a
+//!   deterministic key hierarchy: a tenant root key (derived from the
+//!   fleet master seed, the tenant id, and a rotation epoch) fans out
+//!   into per-purpose keys for WAL-at-rest, replica shipping, and
+//!   session transport. Sealing under one purpose key is detectably
+//!   unopenable under any other purpose, tenant, or epoch.
+//! * [`TenantPolicyEngine`] — a declassification policy engine layered
+//!   on top of `cor::policy`'s app/domain bindings: per-tenant
+//!   allow/deny domain rules and rate windows, producing explicit
+//!   [`DeclassVerdict`]s with stable reason strings.
+//! * [`AttestationQuote`] — a BliMe-style attestation gate: a node may
+//!   only hold tenant plaintext after proving it runs the *full*
+//!   four-class taint engine. The challenge replays one tainted move
+//!   through every propagation class and hashes the observable
+//!   behaviour; only `EngineKind::Full` produces the expected quote.
+//!
+//! Everything here is a pure function of its inputs (seeds, ids,
+//! epochs), so fleet runs that thread tenancy through scheduling stay
+//! byte-identical across worker counts.
+
+pub mod attest;
+pub mod identity;
+pub mod keys;
+pub mod policy;
+
+pub use attest::{attest_kind, expected_quote, quote_for, AttestationQuote};
+pub use identity::TenantId;
+pub use keys::{rotation_cost, KeyPurpose, SealError, TenantKeyring, ROTATION_COST_PER_RECORD};
+pub use policy::{DeclassVerdict, DeclassWindow, TenantPolicy, TenantPolicyEngine};

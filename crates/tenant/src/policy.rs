@@ -1,0 +1,234 @@
+//! The per-tenant declassification policy engine.
+//!
+//! `cor::policy` binds individual cors to apps and domains. This layer
+//! sits *above* it and answers a different question: may **this
+//! tenant's** data flow to **this endpoint** at all, and how often?
+//! Both layers must allow a declassification for it to proceed — the
+//! tenant layer can only narrow, never widen, what the cor layer
+//! grants.
+//!
+//! Verdicts are explicit and carry a stable machine-readable reason, so
+//! the fleet can fail sessions closed, count denials in its report, and
+//! trace each decision.
+
+use std::collections::HashMap;
+
+use tinman_cor::PolicyDecision;
+
+use crate::TenantId;
+
+/// A rate window over the fleet's session axis: at most `max`
+/// declassifications per `window` consecutive session ids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeclassWindow {
+    /// Window width in session ids.
+    pub window: u64,
+    /// Maximum declassifications inside one window.
+    pub max: u32,
+}
+
+/// One tenant's declassification policy. Defaults allow everything —
+/// tenancy isolates by keys even when no policy narrows flows.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TenantPolicy {
+    /// Destinations this tenant's data may flow to. Empty = any domain
+    /// the cor layer already allows.
+    pub allow_domains: Vec<String>,
+    /// Destinations this tenant's data must never flow to, even when
+    /// the cor-level whitelist contains them. Deny wins over allow.
+    pub deny_domains: Vec<String>,
+    /// Optional rate window limiting declassifications per tenant.
+    pub declass_window: Option<DeclassWindow>,
+}
+
+/// The tenant layer's verdict on one declassification request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeclassVerdict {
+    /// Both layers allow the flow.
+    Allow,
+    /// The destination is on the tenant's deny list.
+    DeniedTenantDeny {
+        /// The rejected destination.
+        domain: String,
+    },
+    /// The tenant has an allow list and the destination is not on it.
+    DeniedNotAllowed {
+        /// The rejected destination.
+        domain: String,
+    },
+    /// The tenant's declassification rate window is exhausted.
+    DeniedRateWindow,
+    /// The underlying cor-level policy already denied the flow; the
+    /// tenant layer never overrides a base denial.
+    DeniedByCor {
+        /// The cor layer's decision.
+        decision: PolicyDecision,
+    },
+}
+
+impl DeclassVerdict {
+    /// True when the declassification proceeds.
+    pub fn is_allowed(&self) -> bool {
+        *self == DeclassVerdict::Allow
+    }
+
+    /// Stable reason string for traces, metrics, and report columns.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            DeclassVerdict::Allow => "allow",
+            DeclassVerdict::DeniedTenantDeny { .. } => "tenant_deny",
+            DeclassVerdict::DeniedNotAllowed { .. } => "not_allowed",
+            DeclassVerdict::DeniedRateWindow => "rate_window",
+            DeclassVerdict::DeniedByCor { .. } => "cor_policy",
+        }
+    }
+}
+
+/// Suffix domain match, same idiom as the cor layer: `shop.com` matches
+/// itself and `www.shop.com`, never `notshop.com`.
+fn domain_matches(domain: &str, rule: &str) -> bool {
+    domain == rule || domain.ends_with(&format!(".{rule}"))
+}
+
+/// Evaluates per-tenant declassification policy. Rate-window usage is
+/// tracked internally, so decisions must be replayed in session-id
+/// order for determinism — the same discipline `cor::PolicyEngine`
+/// imposes on its daily counters.
+#[derive(Clone, Debug, Default)]
+pub struct TenantPolicyEngine {
+    policies: HashMap<u64, TenantPolicy>,
+    /// (tenant, window-index) -> declassifications so far.
+    usage: HashMap<(u64, u64), u32>,
+}
+
+impl TenantPolicyEngine {
+    /// An engine with no per-tenant policies (everything allowed).
+    pub fn new() -> Self {
+        TenantPolicyEngine::default()
+    }
+
+    /// Installs (replacing) the policy for a tenant.
+    pub fn set_policy(&mut self, tenant: TenantId, policy: TenantPolicy) {
+        self.policies.insert(tenant.raw(), policy);
+    }
+
+    /// The policy for a tenant, if one is installed.
+    pub fn policy(&self, tenant: TenantId) -> Option<&TenantPolicy> {
+        self.policies.get(&tenant.raw())
+    }
+
+    /// Evaluates the tenant layer alone: may `tenant`'s data flow to
+    /// `domain` in `session`? Mutates rate-window usage on allowed
+    /// flows, so call in session-id order.
+    pub fn check(&mut self, tenant: TenantId, domain: &str, session: u64) -> DeclassVerdict {
+        let Some(policy) = self.policies.get(&tenant.raw()) else {
+            return DeclassVerdict::Allow;
+        };
+        if policy.deny_domains.iter().any(|d| domain_matches(domain, d)) {
+            return DeclassVerdict::DeniedTenantDeny { domain: domain.to_owned() };
+        }
+        if !policy.allow_domains.is_empty()
+            && !policy.allow_domains.iter().any(|d| domain_matches(domain, d))
+        {
+            return DeclassVerdict::DeniedNotAllowed { domain: domain.to_owned() };
+        }
+        if let Some(w) = policy.declass_window {
+            let idx = session.checked_div(w.window).unwrap_or(0);
+            let used = self.usage.entry((tenant.raw(), idx)).or_insert(0);
+            if *used >= w.max {
+                return DeclassVerdict::DeniedRateWindow;
+            }
+            *used += 1;
+        }
+        DeclassVerdict::Allow
+    }
+
+    /// Layers the tenant verdict on top of a cor-level decision: a base
+    /// denial always wins (the tenant layer cannot widen), and only
+    /// then does the tenant layer get to narrow.
+    pub fn check_with_base(
+        &mut self,
+        tenant: TenantId,
+        domain: &str,
+        session: u64,
+        base: &PolicyDecision,
+    ) -> DeclassVerdict {
+        if !base.is_allowed() {
+            return DeclassVerdict::DeniedByCor { decision: base.clone() };
+        }
+        self.check(tenant, domain, session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> TenantId {
+        TenantId::new(n)
+    }
+
+    #[test]
+    fn no_policy_means_allow() {
+        let mut e = TenantPolicyEngine::new();
+        assert!(e.check(t(0), "anywhere.example", 0).is_allowed());
+    }
+
+    #[test]
+    fn deny_wins_over_allow_and_suffix_matches() {
+        let mut e = TenantPolicyEngine::new();
+        e.set_policy(
+            t(0),
+            TenantPolicy {
+                allow_domains: vec!["shop.com".into()],
+                deny_domains: vec!["shop.com".into()],
+                declass_window: None,
+            },
+        );
+        assert_eq!(
+            e.check(t(0), "www.shop.com", 0),
+            DeclassVerdict::DeniedTenantDeny { domain: "www.shop.com".into() }
+        );
+        assert!(!e.check(t(0), "notshop.com", 0).is_allowed(), "not on the allow list");
+        assert_eq!(e.check(t(0), "notshop.com", 0).reason(), "not_allowed");
+    }
+
+    #[test]
+    fn allow_list_narrows() {
+        let mut e = TenantPolicyEngine::new();
+        e.set_policy(
+            t(1),
+            TenantPolicy { allow_domains: vec!["citibank.com".into()], ..Default::default() },
+        );
+        assert!(e.check(t(1), "citibank.com", 0).is_allowed());
+        assert!(!e.check(t(1), "shop.com", 0).is_allowed());
+        assert!(e.check(t(0), "shop.com", 0).is_allowed(), "other tenants unaffected");
+    }
+
+    #[test]
+    fn rate_window_exhausts_and_resets() {
+        let mut e = TenantPolicyEngine::new();
+        e.set_policy(
+            t(0),
+            TenantPolicy {
+                declass_window: Some(DeclassWindow { window: 4, max: 2 }),
+                ..Default::default()
+            },
+        );
+        assert!(e.check(t(0), "a.com", 0).is_allowed());
+        assert!(e.check(t(0), "a.com", 1).is_allowed());
+        assert_eq!(e.check(t(0), "a.com", 2), DeclassVerdict::DeniedRateWindow);
+        assert!(e.check(t(0), "a.com", 4).is_allowed(), "next window resets the budget");
+    }
+
+    #[test]
+    fn base_denial_cannot_be_widened() {
+        let mut e = TenantPolicyEngine::new();
+        let denied = PolicyDecision::DeniedDomain { domain: "evil.com".into() };
+        let v = e.check_with_base(t(0), "evil.com", 0, &denied);
+        assert_eq!(v.reason(), "cor_policy");
+        assert!(!v.is_allowed());
+        let allowed = PolicyDecision::Allow;
+        assert!(e.check_with_base(t(0), "ok.com", 0, &allowed).is_allowed());
+    }
+}

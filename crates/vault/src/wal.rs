@@ -122,9 +122,27 @@ pub fn encode_frame(lsn: u64, kind: FrameKind, payload: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Length-checked little-endian `u64` read; `None` when `bytes` does not
+/// hold 8 bytes at `at` (the torn-tail shape, never a panic).
+fn read_u64_le(bytes: &[u8], at: usize) -> Option<u64> {
+    let s = bytes.get(at..at.checked_add(8)?)?;
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(s);
+    Some(u64::from_le_bytes(buf))
+}
+
+/// Length-checked little-endian `u32` read; `None` when out of bounds.
+fn read_u32_le(bytes: &[u8], at: usize) -> Option<u32> {
+    let s = bytes.get(at..at.checked_add(4)?)?;
+    let mut buf = [0u8; 4];
+    buf.copy_from_slice(s);
+    Some(u32::from_le_bytes(buf))
+}
+
 /// Decodes a byte stream into frames plus how it ended. Torn tails are a
 /// *successful* decode (the caller truncates and moves on); corruption is
-/// the error case.
+/// the error case. Decoding has no panic path: every multi-byte read is
+/// length-checked, and a short read decodes as a torn tail.
 pub fn decode_frames(bytes: &[u8]) -> Result<(Vec<WalFrame>, DecodeEnd), CorruptFrame> {
     let mut frames = Vec::new();
     let mut o = 0usize;
@@ -139,9 +157,14 @@ pub fn decode_frames(bytes: &[u8]) -> Result<(Vec<WalFrame>, DecodeEnd), Corrupt
         if bytes[o..o + 4] != MAGIC {
             return Err(CorruptFrame { offset: o, what: "magic" });
         }
-        let lsn = u64::from_le_bytes(bytes[o + 4..o + 12].try_into().expect("8 bytes"));
+        let Some(lsn) = read_u64_le(bytes, o + 4) else {
+            return Ok((frames, DecodeEnd::TornTail { offset: o }));
+        };
         let kind_code = bytes[o + 12];
-        let len = u32::from_le_bytes(bytes[o + 13..o + 17].try_into().expect("4 bytes")) as usize;
+        let Some(len) = read_u32_le(bytes, o + 13) else {
+            return Ok((frames, DecodeEnd::TornTail { offset: o }));
+        };
+        let len = len as usize;
         let Some(end) = o
             .checked_add(HEADER_LEN)
             .and_then(|v| v.checked_add(len))
@@ -152,7 +175,9 @@ pub fn decode_frames(bytes: &[u8]) -> Result<(Vec<WalFrame>, DecodeEnd), Corrupt
         if end > n {
             return Ok((frames, DecodeEnd::TornTail { offset: o }));
         }
-        let stored = u64::from_le_bytes(bytes[end - CRC_LEN..end].try_into().expect("8 bytes"));
+        let Some(stored) = read_u64_le(bytes, end - CRC_LEN) else {
+            return Ok((frames, DecodeEnd::TornTail { offset: o }));
+        };
         if crc64(&bytes[o + 4..end - CRC_LEN]) != stored {
             // Malformed-to-EOF is the torn-tail shape; malformed followed
             // by more bytes cannot come from a crash.

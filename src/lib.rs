@@ -11,6 +11,7 @@ pub use tinman_net as net;
 pub use tinman_obs as obs;
 pub use tinman_sim as sim;
 pub use tinman_taint as taint;
+pub use tinman_tenant as tenant;
 pub use tinman_tls as tls;
 pub use tinman_vault as vault;
 pub use tinman_vm as vm;

@@ -241,6 +241,85 @@ fn stale_replica_with_no_budget_fails_closed() {
 }
 
 #[test]
+fn tenant_key_rotation_mid_session_completes_with_resealed_vaults() {
+    // The canned tenant-rotation plan rotates tenant 0's keys from
+    // session 4 and force-rotates (compromises) tenant 1's from session
+    // 6; with two tenants those fire at sessions 4 and 7. Under the
+    // default deadline both re-seals are affordable: the sessions pay
+    // the rotation cost, complete, and everything at rest stays
+    // ciphertext under the *new* epoch.
+    let mut cfg = config(12, 2);
+    cfg.tenants = 2;
+    let plan = ChaosPlan::canned("tenant-rotation").unwrap();
+
+    let (trace, sink) = TraceHandle::ring(1 << 16);
+    let obs = FleetObs { trace, ..FleetObs::default() };
+    let report = run_fleet_chaos(&cfg, &plan, &obs).expect("chaos fleet runs");
+
+    assert_eq!(report.ok, report.sessions, "affordable rotations never cost a session");
+    assert_eq!(report.tenant_key_rotations, 2, "one rotation per tenant fired");
+    assert_eq!(report.wal_plaintexts, 0, "sealed vaults stay ciphertext through rotation");
+    assert_eq!(report.cross_tenant_residue, 0);
+    assert_eq!(report.lost_cors, 0, "re-sealed records still recover exactly");
+
+    let records = sink.snapshot();
+    let rotations =
+        records.iter().filter(|r| matches!(r.event, TraceEvent::TenantKeyRotation { .. })).count()
+            as u64;
+    assert_eq!(rotations, report.tenant_key_rotations, "every paid rotation is traced");
+    let forced = records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::TenantKeyRotation { forced: true, .. }))
+        .count();
+    assert_eq!(forced, 1, "tenant 1's rotation was a key compromise");
+    // Rotated sessions cost more than their unrotated twins: the
+    // re-seal is charged, not free.
+    let unrotated = run(&cfg, &ChaosPlan::empty());
+    assert!(report.latency.mean > unrotated.latency.mean);
+    assert_eq!(report.offloads, unrotated.offloads, "rotation changes timing, not work");
+}
+
+#[test]
+fn unaffordable_rotation_of_a_compromised_key_fails_closed_as_revoked() {
+    // Same plan, zero deadline budget: neither re-seal is affordable.
+    // Tenant 0's scheduled rotation degrades as a plain deadline miss;
+    // tenant 1's *forced* rotation means the old epoch is revoked — the
+    // session must fail closed with reason `revoked_key` rather than
+    // ever serve under the compromised key.
+    let mut cfg = config(10, 2);
+    cfg.tenants = 2;
+    let mut plan = ChaosPlan::canned("tenant-rotation").unwrap();
+    plan.deadline = SimDuration::ZERO;
+
+    let (trace, sink) = TraceHandle::ring(1 << 16);
+    let obs = FleetObs { trace, ..FleetObs::default() };
+    let report = run_fleet_chaos(&cfg, &plan, &obs).expect("chaos fleet runs");
+
+    assert_eq!(report.tenant_key_rotations, 0, "no re-seal fit the budget");
+    assert_eq!(report.fail_closed, 2, "both rotation sessions degrade");
+    assert_eq!(report.ok, report.sessions - 2, "only the rotation sessions are affected");
+    assert_eq!(report.wal_plaintexts, 0);
+    assert_eq!(report.cross_tenant_residue, 0);
+    assert_eq!(report.residue_violations, 0, "fail-closed sessions leak nothing");
+
+    let records = sink.snapshot();
+    let revoked: Vec<u64> = records
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::FailClosed { session, reason: "revoked_key" } => Some(session),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(revoked, vec![7], "tenant 1's compromised session refuses the revoked key");
+    for out in &report.outcomes {
+        assert!(
+            out.success || out.fail_closed,
+            "a session never serves under a revoked key: it completes re-sealed or degrades"
+        );
+    }
+}
+
+#[test]
 fn wire_noise_slows_sessions_but_never_breaks_them() {
     let cfg = config(8, 2);
     let noisy = run(&cfg, &ChaosPlan::canned("wire-noise").unwrap());

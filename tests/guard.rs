@@ -29,7 +29,13 @@ const ALL_KINDS: [HostileGuestKind; 4] = [
 ];
 
 fn spec(id: u64) -> SessionSpec {
-    SessionSpec { id, workload: WorkloadKind::Login(0), link: LinkKind::Wifi, seed: 1000 + id }
+    SessionSpec {
+        id,
+        workload: WorkloadKind::Login(0),
+        link: LinkKind::Wifi,
+        seed: 1000 + id,
+        tenant: 0,
+    }
 }
 
 /// Runs one hostile guest to its kill and returns the error, the sim
