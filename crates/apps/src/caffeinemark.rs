@@ -10,7 +10,10 @@
 //! configuration is `1 - score/score_baseline`.
 
 use tinman_taint::TaintEngine;
-use tinman_vm::{interp, AppImage, ExecConfig, ExecEvent, Insn, Machine, ProgramBuilder};
+use tinman_vm::{
+    interp, run_tiered, AppImage, CompiledImage, ExecConfig, ExecEvent, ExecTier, Insn, Machine,
+    ProgramBuilder, TierTelemetry,
+};
 
 /// The six kernels.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -251,6 +254,58 @@ pub fn run_kernel(
     CaffeinemarkResult { kernel, cycles: machine.stats.cycles, instrs: machine.stats.instrs }
 }
 
+/// Runs one kernel under the chosen execution tier. By the tier contract
+/// the retired counters (and thus the score) are identical to
+/// [`run_kernel`] — what changes is host wall time, which the criterion
+/// bench measures. Returns the tier telemetry so callers can verify
+/// fast-path coverage (all zeros under [`ExecTier::Interpret`]).
+pub fn run_kernel_tiered(
+    kernel: CaffeinemarkKernel,
+    engine: &mut TaintEngine,
+    scale: u32,
+    tier: ExecTier,
+) -> (CaffeinemarkResult, TierTelemetry) {
+    let image = kernel.build(scale);
+    let compiled = match tier {
+        ExecTier::Interpret => None,
+        ExecTier::Blocks => Some(CompiledImage::compile(&image)),
+    };
+    run_kernel_prebuilt(kernel, &image, compiled.as_ref(), engine)
+}
+
+/// [`run_kernel_tiered`] against an already-built (and, for the block
+/// tier, already-compiled) image — the shape benchmark loops want, so
+/// build/compile cost stays out of the measured region.
+pub fn run_kernel_prebuilt(
+    kernel: CaffeinemarkKernel,
+    image: &AppImage,
+    compiled: Option<&CompiledImage>,
+    engine: &mut TaintEngine,
+) -> (CaffeinemarkResult, TierTelemetry) {
+    let mut machine = Machine::new();
+    let mut host = tinman_vm::interp::NullHost;
+    let mut telemetry = TierTelemetry::default();
+    let config = ExecConfig::client();
+    let event = match compiled {
+        None => interp::run(&mut machine, image, &mut host, engine, config),
+        Some(compiled) => run_tiered(
+            &mut machine,
+            image,
+            compiled,
+            &mut host,
+            engine,
+            config.with_tier(ExecTier::Blocks),
+            &mut telemetry,
+        ),
+    }
+    .expect("caffeinemark kernels cannot fault");
+    assert!(matches!(event, ExecEvent::Halted(_)), "kernels must halt");
+    (
+        CaffeinemarkResult { kernel, cycles: machine.stats.cycles, instrs: machine.stats.instrs },
+        telemetry,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +360,30 @@ mod tests {
         let b = run_kernel(CaffeinemarkKernel::Loop, &mut TaintEngine::none(), 2).score();
         let ratio = a / b;
         assert!((0.9..1.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn block_tier_matches_interpreter_counters_on_every_kernel() {
+        for k in CaffeinemarkKernel::ALL {
+            for mk in [TaintEngine::none, TaintEngine::asymmetric, TaintEngine::full] {
+                let base = run_kernel(k, &mut mk(), 1);
+                let (tiered, tel) = run_kernel_tiered(k, &mut mk(), 1, ExecTier::Blocks);
+                assert_eq!(base.cycles, tiered.cycles, "{k:?} cycles");
+                assert_eq!(base.instrs, tiered.instrs, "{k:?} instrs");
+                assert!(tel.block_runs > 0, "{k:?} must run blocks: {tel:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hot_kernels_retire_mostly_through_the_fast_path() {
+        for k in [CaffeinemarkKernel::Loop, CaffeinemarkKernel::Logic, CaffeinemarkKernel::Sieve] {
+            let (_, tel) = run_kernel_tiered(k, &mut TaintEngine::none(), 1, ExecTier::Blocks);
+            assert!(
+                tel.fast_insns > 4 * tel.stepped_insns,
+                "{k:?}: fast path must dominate: {tel:?}"
+            );
+        }
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! simulated cycles).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tinman_apps::caffeinemark::{run_kernel, CaffeinemarkKernel};
+use tinman_apps::caffeinemark::{run_kernel, run_kernel_prebuilt, CaffeinemarkKernel};
 use tinman_taint::TaintEngine;
+use tinman_vm::CompiledImage;
 
 fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("caffeinemark");
@@ -30,5 +31,30 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels);
+/// Interpreter vs block tier on each kernel (taint=none), with images
+/// prebuilt and compiled outside the measured region — the wall-clock
+/// source for `BENCH_caffeinemark.json`'s speedup claim.
+fn bench_tiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("caffeinemark_tier");
+    group.sample_size(10);
+    for kernel in CaffeinemarkKernel::ALL {
+        let image = kernel.build(1);
+        let compiled = CompiledImage::compile(&image);
+        group.bench_with_input(BenchmarkId::new(kernel.name(), "interp"), &kernel, |b, &k| {
+            b.iter(|| {
+                let mut engine = TaintEngine::none();
+                run_kernel_prebuilt(k, &image, None, &mut engine)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new(kernel.name(), "blocks"), &kernel, |b, &k| {
+            b.iter(|| {
+                let mut engine = TaintEngine::none();
+                run_kernel_prebuilt(k, &image, Some(&compiled), &mut engine)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_tiers);
 criterion_main!(benches);

@@ -22,7 +22,9 @@ use tinman_sim::{Breakdown, MicroJoules, SimClock, SimDuration, SplitMix64};
 use tinman_taint::TaintEngine;
 use tinman_tls::{TlsConfig, TINMAN_MARK};
 use tinman_vm::machine::LockSite;
-use tinman_vm::{AppImage, ExecConfig, ExecEvent, Value, VmError};
+use tinman_vm::{
+    AppImage, CompiledImage, ExecConfig, ExecEvent, ExecTier, TierTelemetry, Value, VmError,
+};
 
 use crate::device::ClientDevice;
 use crate::error::RuntimeError;
@@ -82,6 +84,12 @@ pub struct TinmanConfig {
     /// runtime; `Some` arms budget enforcement, watchdog deadline, and
     /// scrub-on-kill teardown for the guest.
     pub guard: Option<GuardPolicy>,
+    /// Execution tier for node segments. [`ExecTier::Blocks`] runs warm
+    /// guest code through the block-compiled tier (bit-identical to the
+    /// interpreter by the `tinman-vm` tier contract, so reports and
+    /// events do not change — only host wall time). The compiled image is
+    /// cached per app hash, mirroring the dex warm-cache.
+    pub node_tier: ExecTier,
 }
 
 impl Default for TinmanConfig {
@@ -96,6 +104,7 @@ impl Default for TinmanConfig {
             ssl_coordination_rtts: 2,
             critical_apps: None,
             guard: None,
+            node_tier: ExecTier::Interpret,
         }
     }
 }
@@ -166,6 +175,11 @@ pub struct TinmanRuntime {
     /// it must be re-applied to the engines each run (engines are rebuilt
     /// per run).
     dsm_fault: Option<tinman_dsm::SyncFault>,
+    /// Block-tier compilation cache, keyed by app-image hash (one app is
+    /// warm at a time, like the node's dex cache).
+    compiled_cache: Option<([u8; 32], CompiledImage)>,
+    /// Cumulative block-tier counters across every node segment.
+    tier_telemetry: TierTelemetry,
 }
 
 impl TinmanRuntime {
@@ -208,7 +222,22 @@ impl TinmanRuntime {
             trace_track: 0,
             metrics: MetricsRegistry::new(),
             dsm_fault: None,
+            compiled_cache: None,
+            tier_telemetry: TierTelemetry::default(),
         }
+    }
+
+    /// Selects the execution tier for node segments. With
+    /// [`ExecTier::Blocks`], warm guest code runs through the
+    /// block-compiled tier; results are bit-identical to the interpreter.
+    pub fn set_node_tier(&mut self, tier: ExecTier) {
+        self.config.node_tier = tier;
+    }
+
+    /// Cumulative block-tier counters across every node segment run so
+    /// far (all zero under [`ExecTier::Interpret`]).
+    pub fn tier_telemetry(&self) -> TierTelemetry {
+        self.tier_telemetry
     }
 
     /// Wires the runtime (and its world) to a trace sink. Every event the
@@ -765,7 +794,66 @@ impl TinmanRuntime {
                             ExecConfig::trusted_node(self.config.taint_idle_limit, self.config.fuel)
                         }
                     };
-                    tinman_vm::interp::run(machine, image, &mut host, engine, exec)
+                    let exec = exec.with_tier(self.config.node_tier);
+                    match self.config.node_tier {
+                        ExecTier::Interpret => {
+                            tinman_vm::interp::run(machine, image, &mut host, engine, exec)
+                        }
+                        ExecTier::Blocks => {
+                            // Compile-once cache keyed by app hash, like the
+                            // node's dex warm cache.
+                            if self.compiled_cache.as_ref().is_none_or(|(h, _)| *h != app_hash) {
+                                let compiled = CompiledImage::compile(image);
+                                let s = compiled.stats();
+                                self.metrics.incr("tier.compiles");
+                                if self.trace.is_enabled() {
+                                    self.trace.emit_on(
+                                        self.trace_track,
+                                        self.clock.now(),
+                                        TraceEvent::TierCompile {
+                                            functions: s.functions,
+                                            blocks: s.blocks,
+                                            ops: s.ops,
+                                            folded: s.folded,
+                                            eliminated: s.eliminated,
+                                            fused: s.fused,
+                                        },
+                                    );
+                                }
+                                self.compiled_cache = Some((app_hash, compiled));
+                            }
+                            let compiled = &self.compiled_cache.as_ref().expect("cached above").1;
+                            let before = self.tier_telemetry;
+                            let r = tinman_vm::run_tiered(
+                                machine,
+                                image,
+                                compiled,
+                                &mut host,
+                                engine,
+                                exec,
+                                &mut self.tier_telemetry,
+                            );
+                            let t = self.tier_telemetry;
+                            self.metrics.add("tier.block_runs", t.block_runs - before.block_runs);
+                            self.metrics.add("tier.fast_insns", t.fast_insns - before.fast_insns);
+                            self.metrics
+                                .add("tier.stepped_insns", t.stepped_insns - before.stepped_insns);
+                            self.metrics.add("tier.deopts", t.deopts - before.deopts);
+                            if self.trace.is_enabled() {
+                                self.trace.emit_on(
+                                    self.trace_track,
+                                    self.clock.now(),
+                                    TraceEvent::TierSegment {
+                                        block_runs: t.block_runs - before.block_runs,
+                                        fast_insns: t.fast_insns - before.fast_insns,
+                                        stepped_insns: t.stepped_insns - before.stepped_insns,
+                                        deopts: t.deopts - before.deopts,
+                                    },
+                                );
+                            }
+                            r
+                        }
+                    }
                 };
                 let event = match event {
                     Ok(ev) => ev,

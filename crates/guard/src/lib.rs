@@ -165,6 +165,76 @@ impl GuardVerdict {
     }
 }
 
+/// Block-granular fuel metering for the VM's compiled tier.
+///
+/// The interpreter charges one unit of fuel per instruction, checking for
+/// exhaustion *before* each instruction executes. A block-compiled executor
+/// wants to pay the check once per basic block instead of once per
+/// instruction — but the guest must still die on **exactly the same
+/// instruction** as under per-instruction charging, or the tier would change
+/// the guard's observable kill point. `BlockFuel` encodes the protocol that
+/// makes that equivalence hold:
+///
+/// 1. at block entry, [`BlockFuel::can_reserve`] asks whether the whole
+///    block's retired-instruction count fits in the remaining budget;
+/// 2. if it fits, the executor runs the block natively and settles with
+///    [`BlockFuel::spend`] as ops retire (infallible: the reservation
+///    guaranteed capacity);
+/// 3. if it does not fit, the executor falls back to per-instruction
+///    stepping gated by [`BlockFuel::charge_one`], which replicates the
+///    interpreter's check-then-decrement order bit for bit — so exhaustion
+///    surfaces before the same instruction, with the same retired count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockFuel {
+    remaining: Option<u64>,
+}
+
+impl BlockFuel {
+    /// A meter with the given budget; `None` means unlimited.
+    pub fn new(limit: Option<u64>) -> Self {
+        BlockFuel { remaining: limit }
+    }
+
+    /// A meter that never exhausts.
+    pub fn unlimited() -> Self {
+        BlockFuel { remaining: None }
+    }
+
+    /// True if a block retiring `instrs` instructions can run without
+    /// exhausting mid-block.
+    pub fn can_reserve(&self, instrs: u64) -> bool {
+        self.remaining.is_none_or(|r| r >= instrs)
+    }
+
+    /// Per-instruction gate, identical to the interpreter's loop: returns
+    /// `false` (without decrementing) when the budget is already zero,
+    /// otherwise decrements and returns `true`.
+    pub fn charge_one(&mut self) -> bool {
+        match self.remaining.as_mut() {
+            Some(0) => false,
+            Some(r) => {
+                *r -= 1;
+                true
+            }
+            None => true,
+        }
+    }
+
+    /// Settles `instrs` retired instructions against the budget. Only valid
+    /// after a successful [`BlockFuel::can_reserve`] covering them.
+    pub fn spend(&mut self, instrs: u64) {
+        if let Some(r) = self.remaining.as_mut() {
+            debug_assert!(*r >= instrs, "spend without a covering reservation");
+            *r = r.saturating_sub(instrs);
+        }
+    }
+
+    /// Remaining budget (`None` = unlimited).
+    pub fn remaining(&self) -> Option<u64> {
+        self.remaining
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,5 +278,75 @@ mod tests {
     fn verdict_predicates() {
         assert!(!GuardVerdict::Completed.is_killed());
         assert!(GuardVerdict::Killed { reason: KillReason::Heap }.is_killed());
+    }
+
+    /// Reference model: the interpreter's per-instruction fuel loop.
+    /// Returns how many instructions retire before exhaustion.
+    fn per_insn_retired(limit: u64, program_len: u64) -> u64 {
+        let mut fuel = limit;
+        let mut retired = 0;
+        while retired < program_len {
+            if fuel == 0 {
+                return retired;
+            }
+            fuel -= 1;
+            retired += 1;
+        }
+        retired
+    }
+
+    #[test]
+    fn block_charging_exhausts_on_the_same_instruction_as_per_insn() {
+        // Partition programs into blocks of varying sizes and drive them
+        // through the reserve-or-step protocol; the retired count at
+        // exhaustion must equal the per-instruction model for every
+        // (limit, block-size) combination.
+        for limit in [0u64, 1, 2, 3, 7, 8, 9, 100] {
+            for block in [1u64, 2, 3, 5, 8] {
+                let program_len = 24u64;
+                let mut meter = BlockFuel::new(Some(limit));
+                let mut retired = 0;
+                'run: while retired < program_len {
+                    let blk = block.min(program_len - retired);
+                    if meter.can_reserve(blk) {
+                        meter.spend(blk);
+                        retired += blk;
+                    } else {
+                        // Deopt: per-instruction stepping for this block.
+                        for _ in 0..blk {
+                            if !meter.charge_one() {
+                                break 'run;
+                            }
+                            retired += 1;
+                        }
+                    }
+                }
+                assert_eq!(
+                    retired,
+                    per_insn_retired(limit, program_len),
+                    "limit {limit} block {block}: kill instruction must not move"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unlimited_meter_never_binds() {
+        let mut m = BlockFuel::unlimited();
+        assert!(m.can_reserve(u64::MAX));
+        assert!(m.charge_one());
+        m.spend(1 << 40);
+        assert_eq!(m.remaining(), None);
+    }
+
+    #[test]
+    fn charge_one_checks_before_decrementing() {
+        // The interpreter returns OutOfFuel *before* executing when fuel is
+        // zero; the last unit is consumed by the last executed instruction.
+        let mut m = BlockFuel::new(Some(2));
+        assert!(m.charge_one());
+        assert!(m.charge_one());
+        assert!(!m.charge_one(), "third instruction must not run");
+        assert_eq!(m.remaining(), Some(0));
     }
 }

@@ -230,6 +230,34 @@ pub enum TraceEvent {
         /// True when the rotation was forced by a suspected compromise.
         forced: bool,
     },
+    /// The block tier compiled an app image for node-side execution
+    /// (once per warm image; subsequent segments reuse the cache).
+    TierCompile {
+        /// Functions decoded.
+        functions: u64,
+        /// Basic blocks formed.
+        blocks: u64,
+        /// Ops in the final IR after the pass pipeline.
+        ops: u64,
+        /// Constant-folding rewrites applied.
+        folded: u64,
+        /// Dead stores eliminated.
+        eliminated: u64,
+        /// Superinstructions fused.
+        fused: u64,
+    },
+    /// One node segment ran under the block tier; counters are the
+    /// segment's deltas (not cumulative).
+    TierSegment {
+        /// Blocks executed natively.
+        block_runs: u64,
+        /// Instructions retired through the fast path.
+        fast_insns: u64,
+        /// Instructions retired by deoptimized stepping.
+        stepped_insns: u64,
+        /// Block-entry precondition failures.
+        deopts: u64,
+    },
     /// A named span; appears with [`crate::TracePhase::Begin`] and
     /// [`crate::TracePhase::End`] records (Chrome `B`/`E` semantics:
     /// spans nest per track, stack-wise).
@@ -266,6 +294,8 @@ impl TraceEvent {
             TraceEvent::TenantPolicyDecision { .. } => "tenant_policy_decision",
             TraceEvent::AttestationRefused { .. } => "attestation_refused",
             TraceEvent::TenantKeyRotation { .. } => "tenant_key_rotation",
+            TraceEvent::TierCompile { .. } => "tier_compile",
+            TraceEvent::TierSegment { .. } => "tier_segment",
             TraceEvent::Span { name } => name,
         }
     }
@@ -381,6 +411,20 @@ impl TraceEvent {
                 ("tenant".to_owned(), Value::U64(*tenant)),
                 ("epoch".to_owned(), Value::U64(*epoch)),
                 ("forced".to_owned(), Value::Bool(*forced)),
+            ],
+            TraceEvent::TierCompile { functions, blocks, ops, folded, eliminated, fused } => vec![
+                ("functions".to_owned(), Value::U64(*functions)),
+                ("blocks".to_owned(), Value::U64(*blocks)),
+                ("ops".to_owned(), Value::U64(*ops)),
+                ("folded".to_owned(), Value::U64(*folded)),
+                ("eliminated".to_owned(), Value::U64(*eliminated)),
+                ("fused".to_owned(), Value::U64(*fused)),
+            ],
+            TraceEvent::TierSegment { block_runs, fast_insns, stepped_insns, deopts } => vec![
+                ("block_runs".to_owned(), Value::U64(*block_runs)),
+                ("fast_insns".to_owned(), Value::U64(*fast_insns)),
+                ("stepped_insns".to_owned(), Value::U64(*stepped_insns)),
+                ("deopts".to_owned(), Value::U64(*deopts)),
             ],
             TraceEvent::Span { .. } => Vec::new(),
         }

@@ -245,6 +245,30 @@ impl TaintEngine {
         outcome
     }
 
+    /// Reports `n` data movements of `class` whose sources are all
+    /// statically **untainted**, in one call; returns the total extra
+    /// instrumentation cycles.
+    ///
+    /// This is the batching hook for the VM's compiled tier: when an
+    /// optimization pass collapses a run of instructions whose moved values
+    /// are compile-time constants (so their taint is `EMPTY` by
+    /// construction), the executor still owes the engine one report per
+    /// original move — the per-class observation counters and
+    /// instrumentation cycles are part of the interpreter-equivalence
+    /// contract. The result is bit-identical to calling
+    /// [`TaintEngine::on_move`] `n` times with [`TaintSet::EMPTY`]: empty
+    /// sources propagate no taint, never trigger, and never count as
+    /// tainted moves under any engine, so only the observed counter and the
+    /// cycle total change.
+    pub fn on_empty_moves(&mut self, class: PropClass, n: u64) -> u64 {
+        let idx = MoveStats::class_index(class);
+        self.stats.observed[idx] += n;
+        let per_move = if self.instruments(class) { self.costs.cost(class) } else { 0 };
+        let extra_cycles = per_move * n;
+        self.stats.instrumentation_cycles += extra_cycles;
+        extra_cycles
+    }
+
     /// Reports a heap→heap operation that *derives a new value* from its
     /// sources (string concatenation, substring, hashing) rather than
     /// copying one verbatim.
@@ -399,6 +423,34 @@ mod tests {
         assert!(!o.trigger_offload);
         assert_eq!(o.dst_taint, TaintSet::EMPTY);
         assert_eq!(o.extra_cycles, 0);
+    }
+
+    #[test]
+    fn batched_empty_moves_match_singles_exactly() {
+        // The compiled tier replays folded-away moves through
+        // on_empty_moves; engine state afterwards must be bit-identical to
+        // the per-move path, for every engine kind and class.
+        for make in [TaintEngine::none, TaintEngine::full, TaintEngine::asymmetric] {
+            for class in PropClass::ALL {
+                let mut batched = make();
+                let mut singles = make();
+                let batched_cycles = batched.on_empty_moves(class, 7);
+                let mut single_cycles = 0;
+                for _ in 0..7 {
+                    let o = singles.on_move(class, TaintSet::EMPTY);
+                    assert_eq!(o.dst_taint, TaintSet::EMPTY);
+                    assert!(!o.trigger_offload);
+                    single_cycles += o.extra_cycles;
+                }
+                assert_eq!(batched_cycles, single_cycles);
+                assert_eq!(batched.stats(), singles.stats());
+                assert_eq!(
+                    serde_json::to_string(&batched).unwrap(),
+                    serde_json::to_string(&singles).unwrap(),
+                    "serialized engine state must be byte-identical"
+                );
+            }
+        }
     }
 
     #[test]

@@ -151,6 +151,21 @@ pub enum VmError {
         /// The offending stack depth.
         depth: usize,
     },
+    /// A native was handed fewer argument taint slots than arguments.
+    /// Defaulting the missing shadow to "untainted" would silently drop
+    /// labels, so the mismatch is a hard error: taint propagation fails
+    /// closed instead of open.
+    TaintSlotMismatch {
+        /// The argument index whose taint slot was missing.
+        index: usize,
+        /// How many argument values were supplied.
+        args: usize,
+        /// How many taint slots were supplied.
+        taints: usize,
+    },
+    /// A compiled-tier image was executed against an [`crate::AppImage`]
+    /// it was not compiled from (the function shapes disagree).
+    CompiledImageMismatch,
 }
 
 impl fmt::Display for VmError {
@@ -202,6 +217,16 @@ impl fmt::Display for VmError {
             }
             VmError::CallDepthExceeded { depth } => {
                 write!(f, "call depth limit exceeded at depth {depth}")
+            }
+            VmError::TaintSlotMismatch { index, args, taints } => {
+                write!(
+                    f,
+                    "argument {index} has no taint slot ({args} args, {taints} taint slots); \
+                     refusing to default to untainted"
+                )
+            }
+            VmError::CompiledImageMismatch => {
+                write!(f, "compiled tier image does not match the app image it is run against")
             }
         }
     }

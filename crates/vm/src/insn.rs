@@ -52,9 +52,15 @@ pub enum Insn {
     BitOr,
     /// Bitwise XOR (ints only).
     BitXor,
-    /// Left shift (ints only).
+    /// Left shift (ints only). Like the JVM's `lshl`, only the low six
+    /// bits of the count are significant: the count is masked with `& 63`,
+    /// so `x << 64 == x`, `x << 65 == x << 1`, and a negative count shifts
+    /// by its low six bits (e.g. `-1` shifts by 63). This is a *specified*
+    /// semantics — the interpreter and the compiled tier must agree on it
+    /// bit for bit.
     Shl,
-    /// Arithmetic right shift (ints only).
+    /// Arithmetic right shift (ints only). The count is masked with `& 63`
+    /// exactly as for [`Insn::Shl`].
     Shr,
 
     // ---- comparisons (push 1 or 0) ----
@@ -132,7 +138,13 @@ pub enum Insn {
     StrEq,
     /// Pop an int; push its decimal string representation.
     StrFromInt,
-    /// Pop a char code; push a one-char string.
+    /// Pop a char code; push a one-char string. The code must be a valid
+    /// Unicode scalar value: negative codes, surrogates
+    /// (`0xD800..=0xDFFF`), and codes above `0x10FFFF` trap with
+    /// [`crate::VmError::BadStringOp`] instead of being silently replaced —
+    /// a replacement character would let the interpreter and a compiled
+    /// tier (or two endpoints re-executing the same instruction) disagree
+    /// about the produced string without anyone noticing.
     StrFromChar,
 
     // ---- calls ----

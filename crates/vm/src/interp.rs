@@ -16,6 +16,7 @@ use crate::heap::Heap;
 use crate::insn::Insn;
 use crate::machine::{LockSite, Machine, MachineStatus};
 use crate::program::AppImage;
+use crate::tier::ExecTier;
 use crate::value::{ObjId, Value};
 
 /// Why an offload trigger fired.
@@ -87,6 +88,13 @@ pub struct ExecConfig {
     /// Fault with [`VmError::CallDepthExceeded`] once the call stack grows
     /// deeper than this many frames.
     pub max_call_depth: Option<usize>,
+    /// Which execution tier the embedder selected for this run. The
+    /// interpreter itself ignores the field (it *is* the
+    /// [`ExecTier::Interpret`] tier); the runtime reads it to decide
+    /// whether to dispatch through [`crate::tier::run_tiered`] instead.
+    /// Tier selection never changes observable machine state — the
+    /// compiled tier is bit-identical to the interpreter by contract.
+    pub tier: ExecTier,
 }
 
 impl Default for ExecConfig {
@@ -98,6 +106,7 @@ impl Default for ExecConfig {
             max_heap_objects: None,
             max_heap_bytes: None,
             max_call_depth: None,
+            tier: ExecTier::Interpret,
         }
     }
 }
@@ -119,6 +128,7 @@ impl ExecConfig {
             max_heap_objects: None,
             max_heap_bytes: None,
             max_call_depth: None,
+            tier: ExecTier::Interpret,
         }
     }
 
@@ -138,6 +148,12 @@ impl ExecConfig {
     /// Caps the call-stack depth.
     pub fn with_depth_limit(mut self, depth: usize) -> Self {
         self.max_call_depth = Some(depth);
+        self
+    }
+
+    /// Selects the execution tier.
+    pub fn with_tier(mut self, tier: ExecTier) -> Self {
+        self.tier = tier;
         self
     }
 }
@@ -160,8 +176,18 @@ pub struct NativeCtx<'a> {
 impl NativeCtx<'_> {
     /// The taint of argument `i` including, for references, the referenced
     /// object's labels.
+    ///
+    /// A missing taint slot is a typed error, not an empty default: the
+    /// shadow arrays are the only record of which arguments carry cor
+    /// labels, so an args/taints length mismatch (an embedder building a
+    /// [`NativeCtx`] by hand) must fail closed rather than silently launder
+    /// a tainted argument as clean.
     pub fn arg_effective_taint(&self, i: usize) -> Result<TaintSet, VmError> {
-        let slot = self.arg_taints.get(i).copied().unwrap_or(TaintSet::EMPTY);
+        let slot = *self.arg_taints.get(i).ok_or(VmError::TaintSlotMismatch {
+            index: i,
+            args: self.args.len(),
+            taints: self.arg_taints.len(),
+        })?;
         match self.args.get(i) {
             Some(Value::Ref(id)) => Ok(slot.union(self.heap.taint_of(*id)?)),
             _ => Ok(slot),
@@ -268,16 +294,21 @@ where
 
 /// The interpreter: borrows the machine, image, host and taint engine for
 /// one `run` call.
+///
+/// Field visibility is `pub(crate)` so the compiled tier
+/// ([`crate::tier`]) can wrap [`Interp::step`] for every opcode outside
+/// its fast subset — complex opcodes are then bit-identical between tiers
+/// *by construction*, because both tiers execute the same code.
 pub struct Interp<'a, H: NativeHost> {
-    machine: &'a mut Machine,
-    image: &'a AppImage,
-    host: &'a mut H,
-    engine: &'a mut TaintEngine,
-    config: ExecConfig,
+    pub(crate) machine: &'a mut Machine,
+    pub(crate) image: &'a AppImage,
+    pub(crate) host: &'a mut H,
+    pub(crate) engine: &'a mut TaintEngine,
+    pub(crate) config: ExecConfig,
 }
 
 /// Outcome of executing one instruction.
-enum Step {
+pub(crate) enum Step {
     /// Continue with the next instruction.
     Continue,
     /// Suspend with this event (machine state already consistent).
@@ -300,7 +331,7 @@ impl<'a, H: NativeHost> Interp<'a, H> {
     /// machine with no frames that has already retired instructions is
     /// malformed (its stack was torn down externally); restarting it from
     /// the entry point would silently re-run the program, so refuse.
-    fn ensure_started(&mut self) -> Result<(), VmError> {
+    pub(crate) fn ensure_started(&mut self) -> Result<(), VmError> {
         if self.machine.frames.is_empty() {
             if self.machine.stats.instrs > 0 {
                 return Err(VmError::NoFrame);
@@ -313,7 +344,7 @@ impl<'a, H: NativeHost> Interp<'a, H> {
     }
 
     /// Checks the heap quota and call-depth limits (guard budgets).
-    fn check_budgets(&self) -> Result<(), VmError> {
+    pub(crate) fn check_budgets(&self) -> Result<(), VmError> {
         if let Some(limit) = self.config.max_call_depth {
             let depth = self.machine.call_depth();
             if depth > limit {
@@ -382,19 +413,19 @@ impl<'a, H: NativeHost> Interp<'a, H> {
     }
 
     /// Charges cycles to the machine's counters.
-    fn charge(&mut self, cycles: u64) {
+    pub(crate) fn charge(&mut self, cycles: u64) {
         self.machine.stats.cycles += cycles;
     }
 
     /// Charges taint-instrumentation cycles.
-    fn charge_taint(&mut self, cycles: u64) {
+    pub(crate) fn charge_taint(&mut self, cycles: u64) {
         self.machine.stats.cycles += cycles;
         self.machine.stats.taint_cycles += cycles;
     }
 
     /// Notes whether the just-executed move touched tainted data, for the
     /// migrate-back-on-idle rule.
-    fn note_taint_touch(&mut self, src: TaintSet) {
+    pub(crate) fn note_taint_touch(&mut self, src: TaintSet) {
         if src.is_tainted() {
             self.machine.stats.instrs_since_taint_use = 0;
         }
@@ -418,7 +449,7 @@ impl<'a, H: NativeHost> Interp<'a, H> {
     }
 
     /// Executes one instruction.
-    fn step(&mut self) -> Result<Step, VmError> {
+    pub(crate) fn step(&mut self) -> Result<Step, VmError> {
         let (insn, _pc) = self.fetch()?;
         self.machine.stats.instrs += 1;
         self.machine.stats.instrs_since_taint_use =
@@ -920,7 +951,16 @@ impl<'a, H: NativeHost> Interp<'a, H> {
                 self.charge_taint(out.extra_cycles);
                 self.note_taint_touch(vt);
                 let i = v.as_int().map_err(|f| self.type_err("int", f))?;
-                let ch = char::from_u32(i as u32).unwrap_or('?');
+                // Only valid Unicode scalar values convert; truncating
+                // through `as u32` and papering over failures with a
+                // replacement character would give re-execution on the
+                // other endpoint (and the compiled tier) room to diverge
+                // silently. Out-of-range codes trap instead.
+                let ch = u32::try_from(i).ok().and_then(char::from_u32).ok_or_else(|| {
+                    VmError::BadStringOp {
+                        message: format!("char code {i} is not a Unicode scalar value"),
+                    }
+                })?;
                 let id = self.machine.heap.alloc_str_tainted(ch.to_string(), out.dst_taint);
                 self.frame()?.push(Value::Ref(id), TaintSet::EMPTY);
                 advance!()
@@ -1073,7 +1113,7 @@ impl<'a, H: NativeHost> Interp<'a, H> {
         Ok(Step::Continue)
     }
 
-    fn type_err(&self, expected: &'static str, found: &'static str) -> VmError {
+    pub(crate) fn type_err(&self, expected: &'static str, found: &'static str) -> VmError {
         match self.machine.top_frame() {
             Some(frame) => VmError::TypeMismatch {
                 func: frame.func_name.clone(),
@@ -1086,76 +1126,20 @@ impl<'a, H: NativeHost> Interp<'a, H> {
     }
 
     fn binop(&self, insn: Insn, a: Value, b: Value) -> Result<Value, VmError> {
-        use Insn::*;
-        match (a, b) {
-            (Value::Int(x), Value::Int(y)) => {
-                let r = match insn {
-                    Add => x.wrapping_add(y),
-                    Sub => x.wrapping_sub(y),
-                    Mul => x.wrapping_mul(y),
-                    Div => {
-                        if y == 0 {
-                            return Err(self.div_zero());
-                        }
-                        x.wrapping_div(y)
-                    }
-                    Rem => {
-                        if y == 0 {
-                            return Err(self.div_zero());
-                        }
-                        x.wrapping_rem(y)
-                    }
-                    BitAnd => x & y,
-                    BitOr => x | y,
-                    BitXor => x ^ y,
-                    Shl => x.wrapping_shl(y as u32),
-                    Shr => x.wrapping_shr(y as u32),
-                    _ => unreachable!("binop called with non-binop insn"),
-                };
-                Ok(Value::Int(r))
-            }
-            (x, y) if matches!(x, Value::Double(_)) || matches!(y, Value::Double(_)) => {
-                let xd = x.as_double().map_err(|f| self.type_err("number", f))?;
-                let yd = y.as_double().map_err(|f| self.type_err("number", f))?;
-                let r = match insn {
-                    Add => xd + yd,
-                    Sub => xd - yd,
-                    Mul => xd * yd,
-                    Div => xd / yd,
-                    Rem => xd % yd,
-                    _ => return Err(self.type_err("int", "double")),
-                };
-                Ok(Value::Double(r))
-            }
-            (x, y) => {
-                let found = if x.as_int().is_err() { x.type_name() } else { y.type_name() };
-                Err(self.type_err("number", found))
-            }
-        }
+        eval_binop(insn, a, b).map_err(|e| self.arith_err(e))
     }
 
     fn compare(&self, insn: Insn, a: Value, b: Value) -> Result<bool, VmError> {
-        use Insn::*;
-        // Reference comparisons: only Eq/Ne.
-        if a.is_ref_like() || b.is_ref_like() {
-            let eq = a == b;
-            return match insn {
-                CmpEq => Ok(eq),
-                CmpNe => Ok(!eq),
-                _ => Err(self.type_err("number", "ref")),
-            };
+        eval_compare(insn, a, b).map_err(|e| self.arith_err(e))
+    }
+
+    /// Attaches the current frame's function/pc context to a pure
+    /// arithmetic error.
+    pub(crate) fn arith_err(&self, e: ArithErr) -> VmError {
+        match e {
+            ArithErr::DivZero => self.div_zero(),
+            ArithErr::Type { expected, found } => self.type_err(expected, found),
         }
-        let xd = a.as_double().map_err(|f| self.type_err("number", f))?;
-        let yd = b.as_double().map_err(|f| self.type_err("number", f))?;
-        Ok(match insn {
-            CmpEq => xd == yd,
-            CmpNe => xd != yd,
-            CmpLt => xd < yd,
-            CmpLe => xd <= yd,
-            CmpGt => xd > yd,
-            CmpGe => xd >= yd,
-            _ => unreachable!("compare called with non-compare insn"),
-        })
     }
 
     fn div_zero(&self) -> VmError {
@@ -1164,6 +1148,104 @@ impl<'a, H: NativeHost> Interp<'a, H> {
             None => VmError::NoFrame,
         }
     }
+}
+
+/// A context-free arithmetic failure; callers attach function/pc context.
+///
+/// Shared by the interpreter and the compiled tier so both evaluate binary
+/// operations through literally the same code path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ArithErr {
+    /// Integer division or remainder by zero.
+    DivZero,
+    /// Operand type the operation cannot accept.
+    Type {
+        /// The type the operation required.
+        expected: &'static str,
+        /// The type actually found.
+        found: &'static str,
+    },
+}
+
+/// Evaluates a binary arithmetic/bitwise instruction on two operands.
+pub(crate) fn eval_binop(insn: Insn, a: Value, b: Value) -> Result<Value, ArithErr> {
+    use Insn::*;
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => {
+            let r = match insn {
+                Add => x.wrapping_add(y),
+                Sub => x.wrapping_sub(y),
+                Mul => x.wrapping_mul(y),
+                Div => {
+                    if y == 0 {
+                        return Err(ArithErr::DivZero);
+                    }
+                    x.wrapping_div(y)
+                }
+                Rem => {
+                    if y == 0 {
+                        return Err(ArithErr::DivZero);
+                    }
+                    x.wrapping_rem(y)
+                }
+                BitAnd => x & y,
+                BitOr => x | y,
+                BitXor => x ^ y,
+                // Shift counts take only their low six bits (JVM `lshl`
+                // semantics, documented on `Insn::Shl`/`Insn::Shr`): the
+                // explicit mask pins down what `wrapping_shl(y as u32)`
+                // merely happened to compute, so negative and ≥64 counts
+                // have *specified* behavior the compiled tier and constant
+                // folding can rely on.
+                Shl => x.wrapping_shl((y & 63) as u32),
+                Shr => x.wrapping_shr((y & 63) as u32),
+                _ => unreachable!("binop called with non-binop insn"),
+            };
+            Ok(Value::Int(r))
+        }
+        (x, y) if matches!(x, Value::Double(_)) || matches!(y, Value::Double(_)) => {
+            let xd = x.as_double().map_err(|f| ArithErr::Type { expected: "number", found: f })?;
+            let yd = y.as_double().map_err(|f| ArithErr::Type { expected: "number", found: f })?;
+            let r = match insn {
+                Add => xd + yd,
+                Sub => xd - yd,
+                Mul => xd * yd,
+                Div => xd / yd,
+                Rem => xd % yd,
+                _ => return Err(ArithErr::Type { expected: "int", found: "double" }),
+            };
+            Ok(Value::Double(r))
+        }
+        (x, y) => {
+            let found = if x.as_int().is_err() { x.type_name() } else { y.type_name() };
+            Err(ArithErr::Type { expected: "number", found })
+        }
+    }
+}
+
+/// Evaluates a comparison instruction on two operands.
+pub(crate) fn eval_compare(insn: Insn, a: Value, b: Value) -> Result<bool, ArithErr> {
+    use Insn::*;
+    // Reference comparisons: only Eq/Ne.
+    if a.is_ref_like() || b.is_ref_like() {
+        let eq = a == b;
+        return match insn {
+            CmpEq => Ok(eq),
+            CmpNe => Ok(!eq),
+            _ => Err(ArithErr::Type { expected: "number", found: "ref" }),
+        };
+    }
+    let xd = a.as_double().map_err(|f| ArithErr::Type { expected: "number", found: f })?;
+    let yd = b.as_double().map_err(|f| ArithErr::Type { expected: "number", found: f })?;
+    Ok(match insn {
+        CmpEq => xd == yd,
+        CmpNe => xd != yd,
+        CmpLt => xd < yd,
+        CmpLe => xd <= yd,
+        CmpGt => xd > yd,
+        CmpGe => xd >= yd,
+        _ => unreachable!("compare called with non-compare insn"),
+    })
 }
 
 /// Runs a machine to an event with the given pieces — a convenience wrapper

@@ -39,6 +39,7 @@ pub mod insn;
 pub mod interp;
 pub mod machine;
 pub mod program;
+pub mod tier;
 pub mod value;
 
 pub use asm::{assemble, assemble_and_run, AsmError};
@@ -51,4 +52,5 @@ pub use insn::Insn;
 pub use interp::{ExecConfig, ExecEvent, Interp, NativeCtx, NativeHost, NativeOutcome};
 pub use machine::{ExecStats, Machine, MachineStatus};
 pub use program::{AppImage, ClassDef, ClassId, FuncId, Function, NativeId, StrIdx};
+pub use tier::{run_tiered, CompileStats, CompiledImage, ExecTier, PassPipeline, TierTelemetry};
 pub use value::{ObjId, Value};

@@ -1,0 +1,406 @@
+//! Bytecode → basic-block decoder for the compiled tier.
+//!
+//! Decoding partitions a function's code into maximal basic blocks
+//! (leaders: the entry, every valid jump target, and the instruction after
+//! every terminator) and translates each instruction into a [`TOp`]:
+//! either a member of the *fast subset* the block executor runs natively,
+//! or a [`TOp::Step`] that deoptimizes to the interpreter's own
+//! `step()` for that one instruction. Instructions whose static
+//! preconditions fail at decode time (out-of-range local slots, invalid
+//! jump targets) are conservatively left as `Step` so their error paths
+//! stay the interpreter's, byte for byte.
+//!
+//! The decoder also computes, per block:
+//! * `retire` — how many source instructions the block retires end-to-end,
+//!   which is what block-granular fuel reservation charges; and
+//! * `entry_depth_req` — the minimum operand-stack depth at block entry
+//!   that guarantees no *fast* op can underflow. (`Step` ops carry their
+//!   own interpreter error handling and need no static guarantee.)
+
+use crate::insn::Insn;
+use crate::program::Function;
+
+use super::passes::PassPipeline;
+use super::{CompileStats, CompiledFunc};
+
+/// Aggregated bookkeeping for ops that stand in for several source
+/// instructions (folded constants, eliminated stores).
+///
+/// Every observable counter the collapsed instructions would have bumped
+/// is preserved: retired-instruction count (fuel + `ExecStats::instrs` +
+/// the taint-idle counter), base cycle cost, and the number of
+/// statically-empty stack→stack moves owed to the taint engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Charge {
+    /// Source instructions represented.
+    pub instrs: u64,
+    /// Total base cycle cost of those instructions.
+    pub cycles: u64,
+    /// `on_move(StackToStack, EMPTY)` reports owed to the taint engine.
+    pub s2s_empty: u64,
+}
+
+impl Charge {
+    /// The charge of a single plain instruction with `cycles` base cost
+    /// and no engine report.
+    pub fn one(cycles: u64) -> Charge {
+        Charge { instrs: 1, cycles, s2s_empty: 0 }
+    }
+
+    /// Component-wise sum.
+    pub fn plus(self, other: Charge) -> Charge {
+        Charge {
+            instrs: self.instrs + other.instrs,
+            cycles: self.cycles + other.cycles,
+            s2s_empty: self.s2s_empty + other.s2s_empty,
+        }
+    }
+}
+
+/// One op of the compiled tier's IR.
+///
+/// The fast subset mirrors the interpreter's cheapest opcodes (constants,
+/// locals, stack shuffles, arithmetic, compares, conversions, intra-
+/// function control flow); everything else — heap, strings, calls,
+/// natives, monitors — executes through [`TOp::Step`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum TOp {
+    /// Push an integer constant; may represent a folded run of source
+    /// instructions (see [`Charge`]).
+    PushI {
+        /// The constant.
+        v: i64,
+        /// Aggregated bookkeeping for the instructions this op stands for.
+        charge: Charge,
+    },
+    /// Push a double constant.
+    PushD(f64),
+    /// Push null.
+    PushNull,
+    /// Push local `slot` (statically in-bounds).
+    LoadL(u16),
+    /// Pop into local `slot` (statically in-bounds).
+    StoreL(u16),
+    /// Duplicate the top of stack.
+    Dup,
+    /// Discard the top of stack.
+    Pop,
+    /// Swap the top two stack values.
+    Swap,
+    /// A binary arithmetic or comparison instruction (operand types are
+    /// dynamic; errors carry the op's own pc).
+    Bin(Insn),
+    /// Arithmetic negation.
+    Neg,
+    /// Int → double conversion.
+    I2D,
+    /// Double → int conversion.
+    D2I,
+    /// Unconditional jump to a statically valid target (terminator).
+    Jump(u32),
+    /// Conditional branch to a statically valid target (terminator).
+    Branch {
+        /// True for `JumpIfZero`, false for `JumpIfNonZero`.
+        if_zero: bool,
+        /// Target pc when the branch is taken.
+        target: u32,
+    },
+    /// Retire charges with no machine effect — the residue of instructions
+    /// whose effects a pass proved dead.
+    ChargeOnly(Charge),
+    /// Fused `Load slot; ConstI delta; Add; Store slot`.
+    IncLocal {
+        /// The local slot incremented.
+        slot: u16,
+        /// The constant increment.
+        delta: i64,
+    },
+    /// Fused `Load a; Load b; <bin or cmp>` pushing the result.
+    BinLL {
+        /// Left operand's local slot.
+        a: u16,
+        /// Right operand's local slot.
+        b: u16,
+        /// The arithmetic or comparison instruction.
+        insn: Insn,
+    },
+    /// Fused `Load a; Load b; <cmp>; JumpIf{,Non}Zero target` (terminator).
+    CmpBranchLL {
+        /// Left operand's local slot.
+        a: u16,
+        /// Right operand's local slot.
+        b: u16,
+        /// The comparison instruction.
+        cmp: Insn,
+        /// True for `JumpIfZero`.
+        if_zero: bool,
+        /// Target pc when the branch is taken.
+        target: u32,
+    },
+    /// Fused `Load a; ConstI k; <cmp>; JumpIf{,Non}Zero target`
+    /// (terminator).
+    CmpBranchLI {
+        /// Left operand's local slot.
+        a: u16,
+        /// Right comparison operand.
+        k: i64,
+        /// The comparison instruction.
+        cmp: Insn,
+        /// True for `JumpIfZero`.
+        if_zero: bool,
+        /// Target pc when the branch is taken.
+        target: u32,
+    },
+    /// Deoptimize: execute this one instruction through the interpreter's
+    /// `step()`.
+    Step(Insn),
+}
+
+/// An op plus the pc of its first source instruction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) struct BOp {
+    /// The op.
+    pub op: TOp,
+    /// Source pc of the op's first instruction (errors and deopts resume
+    /// here).
+    pub pc: u32,
+}
+
+/// One basic block.
+#[derive(Clone, Debug)]
+pub(crate) struct Block {
+    /// First source pc of the block.
+    pub start_pc: u32,
+    /// The pc execution falls to when the block ends without a control
+    /// transfer (the next leader).
+    pub end_pc: u32,
+    /// The block's ops, post-passes.
+    pub ops: Vec<BOp>,
+    /// Source instructions retired by a full native run of the block.
+    pub retire: u64,
+    /// Minimum operand-stack depth at entry for every fast op to be
+    /// underflow-free.
+    pub entry_depth_req: u32,
+}
+
+/// True if `insn` always ends a basic block.
+pub(crate) fn is_terminator(insn: &Insn) -> bool {
+    matches!(
+        insn,
+        Insn::Jump(_)
+            | Insn::JumpIfZero(_)
+            | Insn::JumpIfNonZero(_)
+            | Insn::Call(_)
+            | Insn::Ret
+            | Insn::RetVoid
+            | Insn::Halt
+    )
+}
+
+/// Static stack effect of a `Step`-executed instruction *on success*:
+/// `(pops, pushes)`. Exits (errors, triggers, events) leave the block, so
+/// only the success shape matters for downstream depth tracking.
+/// Terminators' shapes are never used (nothing follows them in a block).
+fn step_shape(insn: &Insn) -> (u32, u32) {
+    match insn {
+        Insn::Nop => (0, 0),
+        Insn::ConstI(_) | Insn::ConstD(_) | Insn::ConstNull | Insn::ConstS(_) => (0, 1),
+        Insn::Load(_) => (0, 1),
+        Insn::Store(_) => (1, 0),
+        Insn::Dup => (0, 1),
+        Insn::Pop => (1, 0),
+        Insn::Swap => (2, 2),
+        Insn::Add
+        | Insn::Sub
+        | Insn::Mul
+        | Insn::Div
+        | Insn::Rem
+        | Insn::BitAnd
+        | Insn::BitOr
+        | Insn::BitXor
+        | Insn::Shl
+        | Insn::Shr => (2, 1),
+        Insn::Neg => (1, 1),
+        Insn::CmpEq | Insn::CmpNe | Insn::CmpLt | Insn::CmpLe | Insn::CmpGt | Insn::CmpGe => (2, 1),
+        Insn::I2D | Insn::D2I => (1, 1),
+        Insn::Jump(_) => (0, 0),
+        Insn::JumpIfZero(_) | Insn::JumpIfNonZero(_) => (1, 0),
+        Insn::New(_) => (0, 1),
+        Insn::GetField(_) => (1, 1),
+        Insn::PutField(_) => (2, 0),
+        Insn::CloneObj => (1, 1),
+        Insn::NewArr => (1, 1),
+        Insn::ArrLoad => (2, 1),
+        Insn::ArrStore => (3, 0),
+        Insn::ArrLen => (1, 1),
+        Insn::ArrCopy => (5, 0),
+        Insn::StrConcat => (2, 1),
+        Insn::StrCharAt => (2, 1),
+        Insn::StrLen => (1, 1),
+        Insn::StrSub => (3, 1),
+        Insn::StrIndexOf => (2, 1),
+        Insn::StrEq => (2, 1),
+        Insn::StrFromInt => (1, 1),
+        Insn::StrFromChar => (1, 1),
+        Insn::Call(_) => (0, 0),
+        Insn::CallNative(_, argc) => (*argc as u32, 1),
+        Insn::Ret | Insn::RetVoid | Insn::Halt => (0, 0),
+        Insn::MonitorEnter | Insn::MonitorExit | Insn::PinLock => (1, 0),
+    }
+}
+
+/// `(pops, pushes, need)` for an op: its stack effect on success plus the
+/// depth it *requires* at entry (`need ≥ pops`; peeks raise it above the
+/// pop count). `Step` ops report `need = 0` — they detect underflow
+/// themselves through the interpreter, with the interpreter's exact error.
+/// Fused ops never reach below their own internal pushes, so they also
+/// report `need = 0`.
+pub(crate) fn op_stack_shape(op: &TOp) -> (u32, u32, u32) {
+    match op {
+        TOp::PushI { .. } | TOp::PushD(_) | TOp::PushNull | TOp::LoadL(_) => (0, 1, 0),
+        TOp::StoreL(_) => (1, 0, 1),
+        TOp::Dup => (0, 1, 1),
+        TOp::Pop => (1, 0, 1),
+        TOp::Swap => (2, 2, 2),
+        TOp::Bin(_) => (2, 1, 2),
+        TOp::Neg | TOp::I2D | TOp::D2I => (1, 1, 1),
+        TOp::Jump(_) => (0, 0, 0),
+        TOp::Branch { .. } => (1, 0, 1),
+        TOp::ChargeOnly(_) => (0, 0, 0),
+        TOp::IncLocal { .. } => (0, 0, 0),
+        TOp::BinLL { .. } => (0, 1, 0),
+        TOp::CmpBranchLL { .. } | TOp::CmpBranchLI { .. } => (0, 0, 0),
+        TOp::Step(insn) => {
+            let (pops, pushes) = step_shape(insn);
+            (pops, pushes, 0)
+        }
+    }
+}
+
+/// Source instructions an op retires.
+pub(crate) fn op_retire(op: &TOp) -> u64 {
+    match op {
+        TOp::PushI { charge, .. } | TOp::ChargeOnly(charge) => charge.instrs,
+        TOp::IncLocal { .. } | TOp::CmpBranchLL { .. } | TOp::CmpBranchLI { .. } => 4,
+        TOp::BinLL { .. } => 3,
+        _ => 1,
+    }
+}
+
+/// True for the binary arithmetic instructions [`TOp::Bin`] accepts.
+pub(crate) fn is_arith(insn: &Insn) -> bool {
+    matches!(
+        insn,
+        Insn::Add
+            | Insn::Sub
+            | Insn::Mul
+            | Insn::Div
+            | Insn::Rem
+            | Insn::BitAnd
+            | Insn::BitOr
+            | Insn::BitXor
+            | Insn::Shl
+            | Insn::Shr
+    )
+}
+
+/// True for the comparison instructions [`TOp::Bin`] accepts.
+pub(crate) fn is_cmp(insn: &Insn) -> bool {
+    matches!(
+        insn,
+        Insn::CmpEq | Insn::CmpNe | Insn::CmpLt | Insn::CmpLe | Insn::CmpGt | Insn::CmpGe
+    )
+}
+
+/// Translates one instruction, classifying it fast or `Step`.
+fn decode_insn(insn: Insn, n_locals: u16, code_len: usize) -> TOp {
+    match insn {
+        Insn::ConstI(v) => TOp::PushI { v, charge: Charge::one(insn.base_cost()) },
+        Insn::ConstD(d) => TOp::PushD(d),
+        Insn::ConstNull => TOp::PushNull,
+        Insn::Nop => TOp::ChargeOnly(Charge::one(insn.base_cost())),
+        Insn::Load(n) if n < n_locals => TOp::LoadL(n),
+        Insn::Store(n) if n < n_locals => TOp::StoreL(n),
+        Insn::Dup => TOp::Dup,
+        Insn::Pop => TOp::Pop,
+        Insn::Swap => TOp::Swap,
+        Insn::Neg => TOp::Neg,
+        Insn::I2D => TOp::I2D,
+        Insn::D2I => TOp::D2I,
+        Insn::Jump(t) if (t as usize) <= code_len => TOp::Jump(t),
+        Insn::JumpIfZero(t) if (t as usize) <= code_len => TOp::Branch { if_zero: true, target: t },
+        Insn::JumpIfNonZero(t) if (t as usize) <= code_len => {
+            TOp::Branch { if_zero: false, target: t }
+        }
+        _ if is_arith(&insn) || is_cmp(&insn) => TOp::Bin(insn),
+        other => TOp::Step(other),
+    }
+}
+
+/// Decodes, optimizes, and finalizes one function.
+pub(crate) fn compile_function(
+    func: &Function,
+    pipeline: &PassPipeline,
+    stats: &mut CompileStats,
+) -> CompiledFunc {
+    let code = &func.code;
+    let len = code.len();
+    stats.insns += len as u64;
+
+    // Leaders: entry, valid in-range jump targets, and the successor of
+    // every terminator (so blocks partition the whole body and every pc
+    // after a call return or branch fall-through is block-addressable).
+    let mut leader = vec![false; len];
+    if len > 0 {
+        leader[0] = true;
+    }
+    for (pc, insn) in code.iter().enumerate() {
+        if let Insn::Jump(t) | Insn::JumpIfZero(t) | Insn::JumpIfNonZero(t) = insn {
+            if (*t as usize) < len {
+                leader[*t as usize] = true;
+            }
+        }
+        if is_terminator(insn) && pc + 1 < len {
+            leader[pc + 1] = true;
+        }
+    }
+
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut block_at = vec![u32::MAX; len];
+    let mut start = 0usize;
+    while start < len {
+        debug_assert!(leader[start]);
+        let mut end = start + 1;
+        while end < len && !leader[end] {
+            end += 1;
+        }
+        let mut ops: Vec<BOp> = (start..end)
+            .map(|pc| BOp { op: decode_insn(code[pc], func.n_locals, len), pc: pc as u32 })
+            .collect();
+        pipeline.run(&mut ops, stats);
+
+        let mut retire = 0u64;
+        let mut rel: i64 = 0;
+        let mut req: i64 = 0;
+        for bop in &ops {
+            retire += op_retire(&bop.op);
+            let (pops, pushes, need) = op_stack_shape(&bop.op);
+            req = req.max(need as i64 - rel);
+            rel += pushes as i64 - pops as i64;
+        }
+
+        stats.ops += ops.len() as u64;
+        block_at[start] = blocks.len() as u32;
+        blocks.push(Block {
+            start_pc: start as u32,
+            end_pc: end as u32,
+            ops,
+            retire,
+            entry_depth_req: req.max(0) as u32,
+        });
+        start = end;
+    }
+    stats.blocks += blocks.len() as u64;
+
+    CompiledFunc { code_len: len, blocks, block_at }
+}

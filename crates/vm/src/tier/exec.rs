@@ -1,0 +1,604 @@
+//! The block executor.
+//!
+//! [`run`] is the tier's analogue of [`crate::interp::run`]: same events,
+//! same errors, same machine bytes. The outer loop resolves the current
+//! pc to a compiled block and checks the block's *entry preconditions* —
+//! enough fuel for the whole block ([`BlockFuel::can_reserve`]), the
+//! taint-idle counter can't cross its limit inside the block, the guard
+//! budgets hold, and the operand stack is deep enough for every fast op.
+//! If all hold, the block runs through a tight native loop that pays
+//! fetch/dispatch/budget costs once per block; otherwise execution
+//! *deoptimizes* — single instructions run through the interpreter's own
+//! [`Interp::step`] (which also covers every opcode outside the fast
+//! subset, all offload triggers, and all error paths) until the pc lands
+//! on a block leader again.
+//!
+//! Equivalence notes embedded throughout: every fast op replicates the
+//! interpreter's exact order of retirement (instrs / cycles / idle
+//! counter), taint-engine reports, taint touches, and mutations — so that
+//! any exit point (event, error, fuel) observes byte-identical state. The
+//! frame's `pc` is materialized lazily: before every `Step` op, at every
+//! control transfer, on every fast-op error, and at block fall-through.
+
+use tinman_guard::BlockFuel;
+use tinman_taint::{PropClass, TaintEngine, TaintSet};
+
+use crate::error::VmError;
+use crate::insn::Insn;
+use crate::interp::{
+    eval_binop, eval_compare, ArithErr, ExecConfig, ExecEvent, Interp, NativeHost, Step,
+};
+use crate::machine::{Machine, MachineStatus};
+use crate::program::AppImage;
+use crate::value::Value;
+
+use super::decode::{is_cmp, BOp, Block, TOp};
+use super::{CompiledImage, TierTelemetry};
+
+/// Runs `machine` under the block tier until an event, exactly as
+/// [`crate::interp::run`] would.
+pub(crate) fn run<H: NativeHost>(
+    machine: &mut Machine,
+    image: &AppImage,
+    compiled: &CompiledImage,
+    host: &mut H,
+    engine: &mut TaintEngine,
+    config: ExecConfig,
+    tel: &mut TierTelemetry,
+) -> Result<ExecEvent, VmError> {
+    if !machine.is_runnable() {
+        return Err(VmError::NotRunnable { status: machine.status.name() });
+    }
+    if !compiled.matches(image) {
+        // Usage error, caught before any machine mutation: the machine
+        // stays runnable for a correctly compiled image (unlike execution
+        // errors below, which fault it — exactly as the interpreter does).
+        return Err(VmError::CompiledImageMismatch);
+    }
+    let mut it = Interp::new(machine, image, host, engine, config);
+    if let Err(e) = it.ensure_started() {
+        it.machine.status = MachineStatus::Faulted;
+        return Err(e);
+    }
+    let mut fuel = BlockFuel::new(it.config.fuel);
+    let r = drive(&mut it, compiled, &mut fuel, tel);
+    if r.is_err() {
+        it.machine.status = MachineStatus::Faulted;
+    }
+    r
+}
+
+/// The outer loop: block dispatch, preconditions, deopt stepping.
+fn drive<H: NativeHost>(
+    it: &mut Interp<'_, H>,
+    compiled: &CompiledImage,
+    fuel: &mut BlockFuel,
+    tel: &mut TierTelemetry,
+) -> Result<ExecEvent, VmError> {
+    loop {
+        let Some((fi, pc, depth)) =
+            it.machine.frames.last().map(|f| (f.func.0 as usize, f.pc, f.stack.len()))
+        else {
+            // No frame: let the interpreter raise its exact NoFrame error.
+            match step_one(it, fuel, tel)? {
+                Some(ev) => return Ok(ev),
+                None => continue,
+            }
+        };
+        let Some(block) =
+            compiled.funcs.get(fi).and_then(|cf| cf.block_index(pc).map(|bi| &cf.blocks[bi]))
+        else {
+            // Mid-block resume (a suspension point was not a leader),
+            // pc == code len (implicit RetVoid), or a malformed func id:
+            // step until the pc lands on a leader.
+            match step_one(it, fuel, tel)? {
+                Some(ev) => return Ok(ev),
+                None => continue,
+            }
+        };
+
+        // Entry preconditions: a native block run must not be able to hit
+        // OutOfFuel, TaintIdle, or a guard-budget kill anywhere inside the
+        // block (fast ops don't check them), and no fast op may underflow.
+        let idle_ok = match it.config.taint_idle_limit {
+            Some(limit) => {
+                it.machine.stats.instrs_since_taint_use.saturating_add(block.retire) < limit
+            }
+            None => true,
+        };
+        let ok = fuel.can_reserve(block.retire)
+            && idle_ok
+            && depth >= block.entry_depth_req as usize
+            && it.check_budgets().is_ok();
+        if !ok {
+            // Deoptimize: the interpreter decides — at its exact
+            // instruction — whether the budget actually exhausts, the
+            // idle event fires, or execution simply proceeds.
+            tel.deopts += 1;
+            match step_one(it, fuel, tel)? {
+                Some(ev) => return Ok(ev),
+                None => continue,
+            }
+        }
+        debug_assert_eq!(block.start_pc as usize, pc, "block_at index must agree with the block");
+        tel.block_runs += 1;
+        if let Some(ev) = run_block(it, fuel, block, tel)? {
+            return Ok(ev);
+        }
+    }
+}
+
+/// One iteration of the interpreter's run loop: fuel gate, step, budget
+/// check, taint-idle check, event bookkeeping. Used for every deoptimized
+/// instruction so the per-instruction semantics are the interpreter's by
+/// construction.
+fn step_one<H: NativeHost>(
+    it: &mut Interp<'_, H>,
+    fuel: &mut BlockFuel,
+    tel: &mut TierTelemetry,
+) -> Result<Option<ExecEvent>, VmError> {
+    if !fuel.charge_one() {
+        return Ok(Some(ExecEvent::OutOfFuel));
+    }
+    tel.stepped_insns += 1;
+    match it.step()? {
+        Step::Continue => {
+            it.check_budgets()?;
+            if let Some(limit) = it.config.taint_idle_limit {
+                if it.machine.stats.instrs_since_taint_use >= limit && !it.machine.any_stack_taint()
+                {
+                    it.machine.stats.instrs_since_taint_use = 0;
+                    return Ok(Some(ExecEvent::TaintIdle));
+                }
+            }
+            Ok(None)
+        }
+        Step::Event(ev) => {
+            if let ExecEvent::Halted(v) = &ev {
+                it.machine.status = MachineStatus::Halted;
+                it.machine.result = *v;
+            }
+            Ok(Some(ev))
+        }
+    }
+}
+
+/// How a fast-op burst ended.
+enum BurstExit {
+    /// The next op is a `Step` op; return to the dispatcher.
+    NextIsStep,
+    /// Fell off the last op; the caller writes the fall-through pc.
+    Fall,
+    /// A control op transferred; `pc` is already set.
+    Control,
+    /// A fast op failed; `pc` is set at the failing instruction.
+    Fail(VmError),
+}
+
+/// Executes one block: fast ops natively, `Step` ops through the
+/// interpreter.
+fn run_block<H: NativeHost>(
+    it: &mut Interp<'_, H>,
+    fuel: &mut BlockFuel,
+    block: &Block,
+    tel: &mut TierTelemetry,
+) -> Result<Option<ExecEvent>, VmError> {
+    let ops = &block.ops;
+    let mut i = 0;
+    while i < ops.len() {
+        if matches!(ops[i].op, TOp::Step(_)) {
+            // Deoptimize for this one instruction: materialize the pc
+            // (fast ops before it kept the pc lazy) and run the
+            // interpreter's own step — triggers, migrate-backs, errors,
+            // and complex opcodes all behave identically by construction.
+            it.machine.frames.last_mut().expect("in-block ops never tear down the frame").pc =
+                ops[i].pc as usize;
+            match step_one(it, fuel, tel)? {
+                Some(ev) => return Ok(Some(ev)),
+                None => {
+                    i += 1;
+                    if i == ops.len() {
+                        // A trailing Step op (call, ret, jump with an
+                        // invalid target, …) maintained the pc itself.
+                        return Ok(None);
+                    }
+                    continue;
+                }
+            }
+        }
+        match burst(it, fuel, ops, &mut i, tel) {
+            BurstExit::NextIsStep => {}
+            BurstExit::Fall => {
+                it.machine.frames.last_mut().expect("frame alive").pc = block.end_pc as usize;
+                return Ok(None);
+            }
+            BurstExit::Control => return Ok(None),
+            BurstExit::Fail(e) => return Err(e),
+        }
+    }
+    Ok(None)
+}
+
+/// Executes consecutive fast ops starting at `ops[*i]` with the hot
+/// borrows (frame, stats, engine) resolved once.
+fn burst<H: NativeHost>(
+    it: &mut Interp<'_, H>,
+    fuel: &mut BlockFuel,
+    ops: &[BOp],
+    i: &mut usize,
+    tel: &mut TierTelemetry,
+) -> BurstExit {
+    let Interp { machine, engine, .. } = it;
+    let machine: &mut Machine = machine;
+    let engine: &mut TaintEngine = engine;
+    let Machine { frames, stats, .. } = machine;
+    let fr = frames.last_mut().expect("in-block ops never tear down the frame");
+
+    // Retire `n` source instructions costing `cycles`: fuel, instruction
+    // count, taint-idle counter (saturating, as the interpreter's), cycle
+    // charge — the interpreter's per-instruction preamble, batched.
+    macro_rules! retire {
+        ($n:expr, $cycles:expr) => {{
+            fuel.spend($n);
+            tel.fast_insns += $n;
+            stats.instrs += $n;
+            stats.instrs_since_taint_use = stats.instrs_since_taint_use.saturating_add($n);
+            stats.cycles += $cycles;
+        }};
+    }
+    // Taint-instrumentation surcharge (Interp::charge_taint).
+    macro_rules! taint_extra {
+        ($x:expr) => {{
+            let x = $x;
+            stats.cycles += x;
+            stats.taint_cycles += x;
+        }};
+    }
+    // Taint-touch note for the migrate-back-on-idle rule
+    // (Interp::note_taint_touch).
+    macro_rules! touch {
+        ($t:expr) => {{
+            if $t.is_tainted() {
+                stats.instrs_since_taint_use = 0;
+            }
+        }};
+    }
+    // Pop guaranteed by the block's entry depth requirement.
+    macro_rules! popv {
+        () => {{
+            match (fr.stack.pop(), fr.stack_taint.pop()) {
+                (Some(v), Some(t)) => (v, t),
+                _ => unreachable!("entry_depth_req guarantees fast-op operands"),
+            }
+        }};
+    }
+    // Fail with the pc pinned at the failing instruction, exactly where
+    // the interpreter leaves it.
+    macro_rules! fail {
+        ($pc:expr, $err:expr) => {{
+            fr.pc = $pc as usize;
+            return BurstExit::Fail($err);
+        }};
+    }
+    // Local-slot bounds check. The decoder proved slots against the
+    // function's declared n_locals, but a handcrafted or migrated frame
+    // may carry fewer slots — that must raise the interpreter's BadLocal.
+    macro_rules! local_guard {
+        ($slot:expr, $pc:expr) => {{
+            if ($slot as usize) >= fr.locals.len() {
+                fail!(
+                    $pc,
+                    VmError::BadLocal {
+                        func: fr.func_name.clone(),
+                        pc: $pc as usize,
+                        index: $slot,
+                    }
+                );
+            }
+        }};
+    }
+    macro_rules! arith_fail {
+        ($pc:expr, $e:expr) => {{
+            let err = match $e {
+                ArithErr::DivZero => {
+                    VmError::DivisionByZero { func: fr.func_name.clone(), pc: $pc as usize }
+                }
+                ArithErr::Type { expected, found } => VmError::TypeMismatch {
+                    func: fr.func_name.clone(),
+                    pc: $pc as usize,
+                    expected,
+                    found,
+                },
+            };
+            fail!($pc, err);
+        }};
+    }
+
+    loop {
+        let bop = &ops[*i];
+        let pc = bop.pc;
+        match bop.op {
+            TOp::PushI { v, charge } => {
+                retire!(charge.instrs, charge.cycles);
+                if charge.s2s_empty > 0 {
+                    // Batched replay of the folded instructions' empty
+                    // stack→stack reports (bit-identical to issuing them
+                    // one at a time — see the taint crate's batching test).
+                    taint_extra!(engine.on_empty_moves(PropClass::StackToStack, charge.s2s_empty));
+                }
+                fr.push(Value::Int(v), TaintSet::EMPTY);
+            }
+            TOp::PushD(d) => {
+                retire!(1, Insn::ConstD(0.0).base_cost());
+                fr.push(Value::Double(d), TaintSet::EMPTY);
+            }
+            TOp::PushNull => {
+                retire!(1, Insn::ConstNull.base_cost());
+                fr.push(Value::Null, TaintSet::EMPTY);
+            }
+            TOp::ChargeOnly(charge) => {
+                retire!(charge.instrs, charge.cycles);
+                if charge.s2s_empty > 0 {
+                    taint_extra!(engine.on_empty_moves(PropClass::StackToStack, charge.s2s_empty));
+                }
+            }
+            TOp::LoadL(n) => {
+                retire!(1, Insn::Load(0).base_cost());
+                local_guard!(n, pc); // interpreter errors before the engine report
+                let (v, t) = (fr.locals[n as usize], fr.local_taint[n as usize]);
+                let out = engine.on_move(PropClass::StackToStack, t);
+                taint_extra!(out.extra_cycles);
+                touch!(t);
+                fr.push(v, out.dst_taint);
+            }
+            TOp::StoreL(n) => {
+                retire!(1, Insn::Store(0).base_cost());
+                let (v, t) = popv!();
+                let out = engine.on_move(PropClass::StackToStack, t);
+                taint_extra!(out.extra_cycles);
+                touch!(t);
+                // Interpreter order: pop and engine report happen before
+                // the slot bounds check (Store pops first).
+                local_guard!(n, pc);
+                fr.locals[n as usize] = v;
+                fr.local_taint[n as usize] = out.dst_taint;
+            }
+            TOp::Dup => {
+                retire!(1, Insn::Dup.base_cost());
+                let (v, t) = (
+                    *fr.stack.last().expect("entry_depth_req guarantees a peek operand"),
+                    *fr.stack_taint.last().expect("taint shadow in lockstep"),
+                );
+                let out = engine.on_move(PropClass::StackToStack, t);
+                taint_extra!(out.extra_cycles);
+                // No taint touch: Dup does not note one in the interpreter.
+                fr.push(v, out.dst_taint.union(t));
+            }
+            TOp::Pop => {
+                retire!(1, Insn::Pop.base_cost());
+                let _ = popv!();
+            }
+            TOp::Swap => {
+                retire!(1, Insn::Swap.base_cost());
+                let (a, ta) = popv!();
+                let (b, tb) = popv!();
+                fr.push(a, ta);
+                fr.push(b, tb);
+            }
+            TOp::Bin(insn) => {
+                retire!(1, insn.base_cost());
+                let (b, tb) = popv!();
+                let (a, ta) = popv!();
+                let srcs = ta.union(tb);
+                let out = engine.on_move(PropClass::StackToStack, srcs);
+                taint_extra!(out.extra_cycles);
+                touch!(srcs);
+                if is_cmp(&insn) {
+                    match eval_compare(insn, a, b) {
+                        Ok(r) => fr.push(Value::Int(r as i64), out.dst_taint),
+                        Err(e) => arith_fail!(pc, e),
+                    }
+                } else {
+                    match eval_binop(insn, a, b) {
+                        Ok(v) => fr.push(v, out.dst_taint),
+                        Err(e) => arith_fail!(pc, e),
+                    }
+                }
+            }
+            TOp::Neg => {
+                retire!(1, Insn::Neg.base_cost());
+                let (a, ta) = popv!();
+                let out = engine.on_move(PropClass::StackToStack, ta);
+                taint_extra!(out.extra_cycles);
+                touch!(ta);
+                let v = match a {
+                    Value::Int(x) => Value::Int(x.wrapping_neg()),
+                    Value::Double(d) => Value::Double(-d),
+                    other => fail!(
+                        pc,
+                        VmError::TypeMismatch {
+                            func: fr.func_name.clone(),
+                            pc: pc as usize,
+                            expected: "number",
+                            found: other.type_name(),
+                        }
+                    ),
+                };
+                fr.push(v, out.dst_taint);
+            }
+            TOp::I2D => {
+                retire!(1, Insn::I2D.base_cost());
+                let (a, ta) = popv!();
+                let out = engine.on_move(PropClass::StackToStack, ta);
+                taint_extra!(out.extra_cycles);
+                // No taint touch (matches the interpreter's I2D).
+                match a.as_int() {
+                    Ok(x) => fr.push(Value::Double(x as f64), out.dst_taint),
+                    Err(found) => fail!(
+                        pc,
+                        VmError::TypeMismatch {
+                            func: fr.func_name.clone(),
+                            pc: pc as usize,
+                            expected: "int",
+                            found,
+                        }
+                    ),
+                }
+            }
+            TOp::D2I => {
+                retire!(1, Insn::D2I.base_cost());
+                let (a, ta) = popv!();
+                let out = engine.on_move(PropClass::StackToStack, ta);
+                taint_extra!(out.extra_cycles);
+                match a.as_double() {
+                    Ok(d) => fr.push(Value::Int(d as i64), out.dst_taint),
+                    Err(found) => fail!(
+                        pc,
+                        VmError::TypeMismatch {
+                            func: fr.func_name.clone(),
+                            pc: pc as usize,
+                            expected: "double",
+                            found,
+                        }
+                    ),
+                }
+            }
+            TOp::Jump(target) => {
+                retire!(1, Insn::Jump(0).base_cost());
+                fr.pc = target as usize;
+                return BurstExit::Control;
+            }
+            TOp::Branch { if_zero, target } => {
+                retire!(1, Insn::JumpIfZero(0).base_cost());
+                let (v, t) = popv!();
+                touch!(t);
+                let taken = if if_zero { !v.is_truthy() } else { v.is_truthy() };
+                fr.pc = if taken { target as usize } else { pc as usize + 1 };
+                return BurstExit::Control;
+            }
+            TOp::IncLocal { slot, delta } => {
+                // Load slot
+                retire!(1, Insn::Load(0).base_cost());
+                local_guard!(slot, pc);
+                let (v, t) = (fr.locals[slot as usize], fr.local_taint[slot as usize]);
+                let o1 = engine.on_move(PropClass::StackToStack, t);
+                taint_extra!(o1.extra_cycles);
+                touch!(t);
+                // ConstI delta
+                retire!(1, Insn::ConstI(0).base_cost());
+                // Add
+                retire!(1, Insn::Add.base_cost());
+                let srcs = o1.dst_taint; // ∪ EMPTY from the constant
+                let o2 = engine.on_move(PropClass::StackToStack, srcs);
+                taint_extra!(o2.extra_cycles);
+                touch!(srcs);
+                let r = match eval_binop(Insn::Add, v, Value::Int(delta)) {
+                    Ok(r) => r,
+                    // Stack is net-unchanged at this point in the
+                    // interpreter too (it pushed two and popped two).
+                    Err(e) => arith_fail!(pc + 2, e),
+                };
+                // Store slot
+                retire!(1, Insn::Store(0).base_cost());
+                let o3 = engine.on_move(PropClass::StackToStack, o2.dst_taint);
+                taint_extra!(o3.extra_cycles);
+                touch!(o2.dst_taint);
+                fr.locals[slot as usize] = r;
+                fr.local_taint[slot as usize] = o3.dst_taint;
+            }
+            TOp::BinLL { a, b, insn } => {
+                // Load a
+                retire!(1, Insn::Load(0).base_cost());
+                local_guard!(a, pc);
+                let (va, ta) = (fr.locals[a as usize], fr.local_taint[a as usize]);
+                let o1 = engine.on_move(PropClass::StackToStack, ta);
+                taint_extra!(o1.extra_cycles);
+                touch!(ta);
+                // Load b
+                retire!(1, Insn::Load(0).base_cost());
+                local_guard!(b, pc + 1);
+                let (vb, tb) = (fr.locals[b as usize], fr.local_taint[b as usize]);
+                let o2 = engine.on_move(PropClass::StackToStack, tb);
+                taint_extra!(o2.extra_cycles);
+                touch!(tb);
+                // Bin
+                retire!(1, insn.base_cost());
+                let srcs = o1.dst_taint.union(o2.dst_taint);
+                let o3 = engine.on_move(PropClass::StackToStack, srcs);
+                taint_extra!(o3.extra_cycles);
+                touch!(srcs);
+                if is_cmp(&insn) {
+                    match eval_compare(insn, va, vb) {
+                        Ok(r) => fr.push(Value::Int(r as i64), o3.dst_taint),
+                        Err(e) => arith_fail!(pc + 2, e),
+                    }
+                } else {
+                    match eval_binop(insn, va, vb) {
+                        Ok(v) => fr.push(v, o3.dst_taint),
+                        Err(e) => arith_fail!(pc + 2, e),
+                    }
+                }
+            }
+            op @ (TOp::CmpBranchLL { .. } | TOp::CmpBranchLI { .. }) => {
+                // `second` is Ok(local slot) for LL, Err(constant) for LI.
+                let (a, second, cmp, if_zero, target) = match op {
+                    TOp::CmpBranchLL { a, b, cmp, if_zero, target } => {
+                        (a, Ok(b), cmp, if_zero, target)
+                    }
+                    TOp::CmpBranchLI { a, k, cmp, if_zero, target } => {
+                        (a, Err(k), cmp, if_zero, target)
+                    }
+                    _ => unreachable!(),
+                };
+                // Load a
+                retire!(1, Insn::Load(0).base_cost());
+                local_guard!(a, pc);
+                let (va, ta) = (fr.locals[a as usize], fr.local_taint[a as usize]);
+                let o1 = engine.on_move(PropClass::StackToStack, ta);
+                taint_extra!(o1.extra_cycles);
+                touch!(ta);
+                // Load b / ConstI k
+                let (vb, tb_dst) = match second {
+                    Ok(b) => {
+                        retire!(1, Insn::Load(0).base_cost());
+                        local_guard!(b, pc + 1);
+                        let (vb, tb) = (fr.locals[b as usize], fr.local_taint[b as usize]);
+                        let o2 = engine.on_move(PropClass::StackToStack, tb);
+                        taint_extra!(o2.extra_cycles);
+                        touch!(tb);
+                        (vb, o2.dst_taint)
+                    }
+                    Err(k) => {
+                        retire!(1, Insn::ConstI(0).base_cost());
+                        (Value::Int(k), TaintSet::EMPTY)
+                    }
+                };
+                // Cmp
+                retire!(1, cmp.base_cost());
+                let srcs = o1.dst_taint.union(tb_dst);
+                let o3 = engine.on_move(PropClass::StackToStack, srcs);
+                taint_extra!(o3.extra_cycles);
+                touch!(srcs);
+                let r = match eval_compare(cmp, va, vb) {
+                    Ok(r) => r,
+                    Err(e) => arith_fail!(pc + 2, e),
+                };
+                // Branch: pops the pushed Int(r), whose taint is the
+                // compare's destination taint; is_truthy(Int(r)) == r.
+                retire!(1, Insn::JumpIfZero(0).base_cost());
+                touch!(o3.dst_taint);
+                let taken = if if_zero { !r } else { r };
+                fr.pc = if taken { target as usize } else { pc as usize + 4 };
+                return BurstExit::Control;
+            }
+            TOp::Step(_) => unreachable!("Step ops are handled by run_block"),
+        }
+        *i += 1;
+        if *i == ops.len() {
+            return BurstExit::Fall;
+        }
+        if matches!(ops[*i].op, TOp::Step(_)) {
+            return BurstExit::NextIsStep;
+        }
+    }
+}

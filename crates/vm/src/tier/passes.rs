@@ -1,0 +1,491 @@
+//! The block-local optimization pass pipeline.
+//!
+//! Every pass preserves the interpreter-equivalence contract: a rewritten
+//! op sequence must retire the same instruction count, charge the same
+//! cycles, make the same taint-engine reports (statically-empty
+//! stack→stack moves are aggregated into [`Charge::s2s_empty`] and
+//! replayed in batch), and reach every possible exit — error, event,
+//! block end — with byte-identical machine state. Passes therefore only
+//! rewrite shapes whose intermediate states are provably unobservable:
+//! all-constant subtrees (constant folding), values both produced and
+//! killed inside the block with no read between (dead-store elimination),
+//! and contiguous runs re-emitted as superinstructions that replay the
+//! exact charge/report/error interleaving (fusion).
+
+use crate::insn::Insn;
+use crate::interp::{eval_binop, eval_compare};
+use crate::value::Value;
+
+use super::decode::{is_arith, is_cmp, op_stack_shape, BOp, Charge, TOp};
+use super::CompileStats;
+
+/// Which passes run over each decoded block, in fixed order:
+/// fold → eliminate → fuse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PassPipeline {
+    /// Fold constant integer expressions into single pushes.
+    pub fold: bool,
+    /// Eliminate stores and pushes that are dead within the block.
+    pub dse: bool,
+    /// Fuse common contiguous runs into superinstructions.
+    pub fuse: bool,
+}
+
+impl Default for PassPipeline {
+    fn default() -> Self {
+        PassPipeline { fold: true, dse: true, fuse: true }
+    }
+}
+
+impl PassPipeline {
+    /// Decode-only: no rewriting. The tier still wins block-granular
+    /// dispatch and budget checks; useful for isolating a pass in
+    /// differential tests.
+    pub fn decode_only() -> Self {
+        PassPipeline { fold: false, dse: false, fuse: false }
+    }
+
+    /// Runs the enabled passes over one block's ops.
+    pub(crate) fn run(&self, ops: &mut Vec<BOp>, stats: &mut CompileStats) {
+        if self.fold {
+            const_fold(ops, stats);
+        }
+        if self.dse {
+            dead_store_elim(ops, stats);
+        }
+        if self.fuse {
+            fuse(ops, stats);
+        }
+    }
+}
+
+/// The decoder's charge for a single plain (unfolded) instruction of
+/// `insn`'s cost with no engine report.
+fn plain(insn: Insn) -> Charge {
+    Charge::one(insn.base_cost())
+}
+
+// ---------------------------------------------------------------- folding
+
+/// Abstract stack entry: a known integer constant produced by the op at
+/// `out` index `at`, or an unknown value.
+#[derive(Clone, Copy)]
+enum Abs {
+    Const { v: i64, at: usize },
+    Dyn,
+}
+
+/// Folds integer-constant expressions. `ConstI a; ConstI b; Add` becomes a
+/// single `PushI(a+b)` whose [`Charge`] carries all three instructions'
+/// retirement, cycles, and the one statically-empty stack→stack move the
+/// folded `Add` owed the taint engine. Folding goes through
+/// [`eval_binop`]/[`eval_compare`] — literally the interpreter's evaluator —
+/// so masked shifts, wrapping arithmetic, and division semantics cannot
+/// diverge. Operations that would trap (division by a constant zero) are
+/// left unfolded so the runtime error keeps its exact pc.
+fn const_fold(ops: &mut Vec<BOp>, stats: &mut CompileStats) {
+    let mut abs: Vec<Abs> = Vec::new();
+    let mut out: Vec<BOp> = Vec::with_capacity(ops.len());
+
+    for bop in ops.drain(..) {
+        // The two (or one) top abstract entries, if they are constants
+        // produced by the trailing ops of `out` (required: folding rewrites
+        // those producer ops in place).
+        let top_const = |abs: &[Abs], out: &[BOp], depth: usize| -> Option<(i64, usize)> {
+            match abs.get(abs.len().checked_sub(1 + depth)?)? {
+                Abs::Const { v, at } if *at == out.len() - 1 - depth => Some((*v, *at)),
+                _ => None,
+            }
+        };
+
+        match bop.op {
+            TOp::PushI { v, .. } => {
+                abs.push(Abs::Const { v, at: out.len() });
+                out.push(bop);
+            }
+            TOp::Bin(insn) if out.len() >= 2 => {
+                let folded = match (top_const(&abs, &out, 1), top_const(&abs, &out, 0)) {
+                    (Some((a, ai)), Some((b, _))) => {
+                        let r = if is_cmp(&insn) {
+                            eval_compare(insn, Value::Int(a), Value::Int(b)).map(|t| t as i64)
+                        } else {
+                            eval_binop(insn, Value::Int(a), Value::Int(b)).map(|v| match v {
+                                Value::Int(i) => i,
+                                _ => unreachable!("int binop produced non-int"),
+                            })
+                        };
+                        r.ok().map(|v| (v, ai))
+                    }
+                    _ => None,
+                };
+                match folded {
+                    Some((v, ai)) => {
+                        let (ca, cb) = match (out[out.len() - 2].op, out[out.len() - 1].op) {
+                            (TOp::PushI { charge: ca, .. }, TOp::PushI { charge: cb, .. }) => {
+                                (ca, cb)
+                            }
+                            _ => unreachable!("const producers must be PushI ops"),
+                        };
+                        let pc = out[ai].pc;
+                        out.truncate(out.len() - 2);
+                        abs.truncate(abs.len() - 2);
+                        // The folded Bin's stack→stack report had EMPTY
+                        // sources (both operands are constants), so it
+                        // batches into the charge.
+                        let charge = ca.plus(cb).plus(Charge {
+                            instrs: 1,
+                            cycles: insn.base_cost(),
+                            s2s_empty: 1,
+                        });
+                        abs.push(Abs::Const { v, at: out.len() });
+                        out.push(BOp { op: TOp::PushI { v, charge }, pc });
+                        stats.folded += 1;
+                    }
+                    None => {
+                        generic(&mut abs, &bop.op);
+                        out.push(bop);
+                    }
+                }
+            }
+            TOp::Neg => match top_const(&abs, &out, 0) {
+                Some((v, at)) => {
+                    let charge = match out[at].op {
+                        TOp::PushI { charge, .. } => charge,
+                        _ => unreachable!("const producer must be a PushI op"),
+                    }
+                    .plus(Charge {
+                        instrs: 1,
+                        cycles: Insn::Neg.base_cost(),
+                        s2s_empty: 1,
+                    });
+                    let v = v.wrapping_neg();
+                    out[at] = BOp { op: TOp::PushI { v, charge }, pc: out[at].pc };
+                    *abs.last_mut().expect("const entry exists") = Abs::Const { v, at };
+                    stats.folded += 1;
+                }
+                None => {
+                    generic(&mut abs, &bop.op);
+                    out.push(bop);
+                }
+            },
+            _ => {
+                generic(&mut abs, &bop.op);
+                out.push(bop);
+            }
+        }
+    }
+    *ops = out;
+}
+
+/// Generic abstract-stack transfer for ops the folder does not model.
+fn generic(abs: &mut Vec<Abs>, op: &TOp) {
+    let (pops, pushes, _) = op_stack_shape(op);
+    for _ in 0..pops {
+        abs.pop(); // popping past block entry is fine: entries below are unknown anyway
+    }
+    for _ in 0..pushes {
+        abs.push(Abs::Dyn);
+    }
+}
+
+// ---------------------------------------------------------- dead stores
+
+/// True if `op` can sit between a dead `PushI; StoreL(slot)` pair and the
+/// store that kills it: total (cannot error once the block's entry-depth
+/// requirement holds), no exit, no event, and no read of local `slot`.
+fn inert_between(op: &TOp, slot: u16) -> bool {
+    match op {
+        TOp::PushI { .. } | TOp::PushD(_) | TOp::PushNull => true,
+        TOp::Dup | TOp::Pop | TOp::Swap => true,
+        TOp::ChargeOnly(_) => true,
+        TOp::LoadL(m) | TOp::StoreL(m) => *m != slot,
+        _ => false,
+    }
+}
+
+/// Eliminates values both produced and killed inside the block:
+/// `ConstI; Pop` (a dead push) and `ConstI; Store n; …; Store n` where no
+/// op between reads local `n` (a dead store). The pair collapses to a
+/// [`TOp::ChargeOnly`] that retires the same instructions, charges the
+/// same cycles, and replays the dead store's statically-empty stack→stack
+/// move — only the (unobservable) transient value disappears.
+fn dead_store_elim(ops: &mut Vec<BOp>, stats: &mut CompileStats) {
+    let mut i = 0;
+    while i + 1 < ops.len() {
+        let charge = match ops[i].op {
+            TOp::PushI { charge, .. } => charge,
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        let replacement = match ops[i + 1].op {
+            TOp::Pop => Some(charge.plus(plain(Insn::Pop))),
+            TOp::StoreL(n) => {
+                let killed = ops[i + 2..]
+                    .iter()
+                    .map(|b| &b.op)
+                    .take_while(|op| {
+                        matches!(op, TOp::StoreL(m) if *m == n) || inert_between(op, n)
+                    })
+                    .any(|op| matches!(op, TOp::StoreL(m) if *m == n));
+                if killed {
+                    // The dead store still owed the engine one empty
+                    // stack→stack report.
+                    Some(charge.plus(Charge {
+                        instrs: 1,
+                        cycles: Insn::Store(0).base_cost(),
+                        s2s_empty: 1,
+                    }))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if let Some(c) = replacement {
+            let pc = ops[i].pc;
+            ops.splice(i..=i + 1, [BOp { op: TOp::ChargeOnly(c), pc }]);
+            stats.eliminated += 1;
+            // Re-examine from the same index: the new ChargeOnly may ride
+            // along inside another pair's inert span.
+        } else {
+            i += 1;
+        }
+    }
+}
+
+// --------------------------------------------------------------- fusion
+
+/// True if the op is a plain, unfolded `PushI` for constant `k` (fusion
+/// must not capture folded charges inside a superinstruction).
+fn plain_push(op: &TOp) -> Option<i64> {
+    match op {
+        TOp::PushI { v, charge } if *charge == plain(Insn::ConstI(0)) => Some(*v),
+        _ => None,
+    }
+}
+
+/// Fuses common contiguous instruction runs into superinstructions:
+///
+/// * `Load s; ConstI k; Add; Store s` → [`TOp::IncLocal`] (the builder's
+///   `inc_local` idiom — every loop counter bump);
+/// * `Load a; Load b; <cmp>; JumpIf{,Non}Zero` → [`TOp::CmpBranchLL`] (the
+///   builder's `for_loop` header — every loop bound check);
+/// * `Load a; ConstI k; <cmp>; JumpIf{,Non}Zero` → [`TOp::CmpBranchLI`];
+/// * `Load a; Load b; <bin or cmp>` → [`TOp::BinLL`].
+///
+/// Fusion requires contiguous source pcs (no pass rewrote the middle) so
+/// the executor can reconstruct each component's pc for errors and
+/// deopts. The superinstruction executors replay the interpreter's exact
+/// per-component charge, report, touch, and error sequence.
+fn fuse(ops: &mut Vec<BOp>, stats: &mut CompileStats) {
+    let contiguous = |w: &[BOp]| w.windows(2).all(|p| p[1].pc == p[0].pc + 1);
+    let mut out: Vec<BOp> = Vec::with_capacity(ops.len());
+    let mut i = 0;
+    while i < ops.len() {
+        // 4-op patterns first, then 3-op; longest match wins.
+        if i + 3 < ops.len() && contiguous(&ops[i..i + 4]) {
+            let w = [&ops[i].op, &ops[i + 1].op, &ops[i + 2].op, &ops[i + 3].op];
+            let fused = match (w[0], w[1], w[2], w[3]) {
+                (TOp::LoadL(s), push, TOp::Bin(Insn::Add), TOp::StoreL(s2)) if s == s2 => {
+                    plain_push(push).map(|k| TOp::IncLocal { slot: *s, delta: k })
+                }
+                (TOp::LoadL(a), TOp::LoadL(b), TOp::Bin(cmp), TOp::Branch { if_zero, target })
+                    if is_cmp(cmp) =>
+                {
+                    Some(TOp::CmpBranchLL {
+                        a: *a,
+                        b: *b,
+                        cmp: *cmp,
+                        if_zero: *if_zero,
+                        target: *target,
+                    })
+                }
+                (TOp::LoadL(a), push, TOp::Bin(cmp), TOp::Branch { if_zero, target })
+                    if is_cmp(cmp) =>
+                {
+                    plain_push(push).map(|k| TOp::CmpBranchLI {
+                        a: *a,
+                        k,
+                        cmp: *cmp,
+                        if_zero: *if_zero,
+                        target: *target,
+                    })
+                }
+                _ => None,
+            };
+            if let Some(op) = fused {
+                out.push(BOp { op, pc: ops[i].pc });
+                stats.fused += 1;
+                i += 4;
+                continue;
+            }
+        }
+        if i + 2 < ops.len() && contiguous(&ops[i..i + 3]) {
+            if let (TOp::LoadL(a), TOp::LoadL(b), TOp::Bin(insn)) =
+                (&ops[i].op, &ops[i + 1].op, &ops[i + 2].op)
+            {
+                if is_arith(insn) || is_cmp(insn) {
+                    out.push(BOp { op: TOp::BinLL { a: *a, b: *b, insn: *insn }, pc: ops[i].pc });
+                    stats.fused += 1;
+                    i += 3;
+                    continue;
+                }
+            }
+        }
+        out.push(ops[i]);
+        i += 1;
+    }
+    *ops = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Function;
+    use crate::tier::decode::compile_function;
+
+    fn blocks_of(
+        code: Vec<Insn>,
+        pipeline: &PassPipeline,
+    ) -> (Vec<super::super::decode::Block>, CompileStats) {
+        let f = Function { name: "t".into(), n_args: 0, n_locals: 4, code };
+        let mut stats = CompileStats::default();
+        let cf = compile_function(&f, pipeline, &mut stats);
+        (cf.blocks, stats)
+    }
+
+    #[test]
+    fn folds_constant_expressions_with_exact_charges() {
+        // 2 + 3 * 4 → a single PushI(14) retiring 5 insns, with 2 batched
+        // empty stack→stack reports (one per folded Bin).
+        let code = vec![
+            Insn::ConstI(2),
+            Insn::ConstI(3),
+            Insn::ConstI(4),
+            Insn::Mul,
+            Insn::Add,
+            Insn::Halt,
+        ];
+        let (blocks, stats) = blocks_of(code, &PassPipeline::default());
+        assert_eq!(stats.folded, 2);
+        let ops = &blocks[0].ops;
+        assert_eq!(ops.len(), 2, "PushI + Step(Halt): {ops:?}");
+        match ops[0].op {
+            TOp::PushI { v, charge } => {
+                assert_eq!(v, 14);
+                assert_eq!(
+                    charge,
+                    Charge {
+                        instrs: 5,
+                        cycles: 3 * Insn::ConstI(0).base_cost()
+                            + Insn::Mul.base_cost()
+                            + Insn::Add.base_cost(),
+                        s2s_empty: 2
+                    }
+                );
+            }
+            other => panic!("expected folded PushI, got {other:?}"),
+        }
+        // Retirement must cover all 6 source instructions.
+        assert_eq!(blocks[0].retire, 6);
+    }
+
+    #[test]
+    fn folding_respects_masked_shift_semantics() {
+        // 1 << 65 must fold to 2 (count masked & 63), matching eval_binop.
+        let code = vec![Insn::ConstI(1), Insn::ConstI(65), Insn::Shl, Insn::Halt];
+        let (blocks, _) = blocks_of(code, &PassPipeline::default());
+        match blocks[0].ops[0].op {
+            TOp::PushI { v, .. } => assert_eq!(v, 2),
+            ref other => panic!("expected folded PushI, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn division_by_constant_zero_is_left_unfolded() {
+        let code = vec![Insn::ConstI(7), Insn::ConstI(0), Insn::Div, Insn::Halt];
+        let (blocks, stats) = blocks_of(code, &PassPipeline::default());
+        assert_eq!(stats.folded, 0);
+        assert!(
+            blocks[0].ops.iter().any(|b| matches!(b.op, TOp::Bin(Insn::Div))),
+            "Div must stay for its runtime error: {:?}",
+            blocks[0].ops
+        );
+    }
+
+    #[test]
+    fn dead_store_collapses_to_charge_only() {
+        // store 0 is overwritten before any read → ChargeOnly.
+        let code =
+            vec![Insn::ConstI(1), Insn::Store(0), Insn::ConstI(2), Insn::Store(0), Insn::Halt];
+        let (blocks, stats) =
+            blocks_of(code, &PassPipeline { fold: false, dse: true, fuse: false });
+        assert_eq!(stats.eliminated, 1);
+        match blocks[0].ops[0].op {
+            TOp::ChargeOnly(c) => {
+                assert_eq!(c, Charge { instrs: 2, cycles: 20, s2s_empty: 1 });
+            }
+            ref other => panic!("expected ChargeOnly, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn intervening_read_blocks_dead_store_elimination() {
+        let code = vec![
+            Insn::ConstI(1),
+            Insn::Store(0),
+            Insn::Load(0), // reads slot 0: the first store is live
+            Insn::Pop,
+            Insn::ConstI(2),
+            Insn::Store(0),
+            Insn::Halt,
+        ];
+        let (_, stats) = blocks_of(code, &PassPipeline { fold: false, dse: true, fuse: false });
+        assert_eq!(stats.eliminated, 0);
+    }
+
+    #[test]
+    fn fuses_counter_increment_and_loop_header() {
+        // for (i = 0; i < n; i++) {} as the builder emits it.
+        let code = vec![
+            Insn::ConstI(0),
+            Insn::Store(0),
+            // header @2: i < n ?
+            Insn::Load(0),
+            Insn::Load(1),
+            Insn::CmpLt,
+            Insn::JumpIfZero(11),
+            // body: i += 1
+            Insn::Load(0),
+            Insn::ConstI(1),
+            Insn::Add,
+            Insn::Store(0),
+            Insn::Jump(2),
+            Insn::Halt,
+        ];
+        let (blocks, stats) = blocks_of(code, &PassPipeline::default());
+        assert_eq!(stats.fused, 2, "loop header + counter bump");
+        let all: Vec<&TOp> = blocks.iter().flat_map(|b| b.ops.iter().map(|b| &b.op)).collect();
+        assert!(all.iter().any(|op| matches!(op, TOp::CmpBranchLL { .. })), "{all:?}");
+        assert!(all.iter().any(|op| matches!(op, TOp::IncLocal { slot: 0, delta: 1 })), "{all:?}");
+    }
+
+    #[test]
+    fn entry_depth_requirement_covers_fast_pops() {
+        // A block that begins by popping two operands it did not push.
+        let code = vec![Insn::Add, Insn::Halt];
+        let (blocks, _) = blocks_of(code, &PassPipeline::default());
+        assert_eq!(blocks[0].entry_depth_req, 2);
+    }
+
+    #[test]
+    fn out_of_range_local_slot_decodes_to_step() {
+        // n_locals = 4; Load(9) must stay a Step op so the interpreter
+        // raises its exact BadLocal error.
+        let code = vec![Insn::Load(9), Insn::Halt];
+        let (blocks, _) = blocks_of(code, &PassPipeline::default());
+        assert!(matches!(blocks[0].ops[0].op, TOp::Step(Insn::Load(9))), "{:?}", blocks[0].ops);
+    }
+}

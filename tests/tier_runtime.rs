@@ -1,0 +1,65 @@
+//! End-to-end tier equivalence: a full TinMan login run with the node
+//! executing under the block tier must produce the same report, the same
+//! DSM traffic, and the same clean residue scan as the interpreter run —
+//! the runtime-level face of the `tinman-vm` tier contract.
+
+use std::collections::HashMap;
+
+use tinman::apps::logins::{build_login_app, LoginAppSpec};
+use tinman::apps::servers::{install_auth_server, AuthServerSpec};
+use tinman::cor::CorStore;
+use tinman::core::runtime::{Mode, RunReport, TinmanConfig, TinmanRuntime};
+use tinman::sim::{LinkProfile, SimDuration};
+use tinman::vm::{ExecTier, Value};
+
+const PASSWORD: &str = "hunter2-sUp3r-s3cret";
+
+fn run_login(tier: ExecTier) -> (RunReport, TinmanRuntime) {
+    let spec = LoginAppSpec::paypal();
+    let app = build_login_app(&spec);
+    let mut store = CorStore::new(99);
+    store.register(PASSWORD, spec.cor_description, &[spec.domain]).expect("label space");
+    let mut rt = TinmanRuntime::new(store, LinkProfile::wifi(), TinmanConfig::default());
+    rt.set_node_tier(tier);
+    let tls = rt.server_tls_config();
+    install_auth_server(
+        &mut rt.world,
+        tls,
+        AuthServerSpec {
+            domain: spec.domain,
+            user: "alice",
+            password: PASSWORD.to_owned(),
+            hash_login: spec.hash_login,
+            think: SimDuration::from_millis(120),
+            page_bytes: 64_000,
+        },
+    );
+    let inputs = HashMap::from([("username".to_owned(), "alice".to_owned())]);
+    let report = rt.run_app(&app, Mode::TinMan, &inputs).expect("login runs");
+    (report, rt)
+}
+
+#[test]
+fn block_tier_login_matches_the_interpreter_run_exactly() {
+    let (base, base_rt) = run_login(ExecTier::Interpret);
+    let (tier, tier_rt) = run_login(ExecTier::Blocks);
+
+    assert_eq!(base.result, Value::Int(1));
+    assert_eq!(tier.result, base.result, "result value");
+    assert_eq!(tier.latency, base.latency, "simulated end-to-end latency");
+    assert_eq!(tier.offloads, base.offloads, "offload count");
+    assert_eq!(tier.client_methods, base.client_methods, "client methods");
+    assert_eq!(tier.node_methods, base.node_methods, "node methods");
+    assert_eq!(tier.dsm, base.dsm, "DSM stats (sync count, init/dirty bytes)");
+
+    // The interpreter run never touches the tier machinery; the block run
+    // must actually have executed node code through it.
+    assert_eq!(base_rt.tier_telemetry(), Default::default());
+    let t = tier_rt.tier_telemetry();
+    assert!(t.fast_insns + t.stepped_insns > 0, "node segments must run tiered: {t:?}");
+    assert_eq!(tier_rt.metrics().get("tier.compiles"), 1, "one warm compile");
+
+    // Same security outcome: zero plaintext residue on the device.
+    assert!(base_rt.scan_residue(PASSWORD).is_clean());
+    assert!(tier_rt.scan_residue(PASSWORD).is_clean());
+}
