@@ -5,7 +5,8 @@
 //! Usage: `fleet_throughput [--sessions N] [--workers N] [--nodes N]
 //! [--seed N] [--down NODE ...] [--trace PATH] [--chaos [PLAN]]
 //! [--hostile [PLAN]] [--vault-crash] [--chaos-seed N] [--tenants N]
-//! [--deny DOMAIN ...] [--unattested NODE ...] [--json-out [PATH]]`
+//! [--deny DOMAIN ...] [--unattested NODE ...] [--topology] [--handoff]
+//! [--json-out [PATH]]`
 //!
 //! The simulated aggregate is bit-identical for any `--workers` value;
 //! only the wall-clock fields change. Run with `--workers 1` and
@@ -42,6 +43,16 @@
 //! line and the simulated aggregate stays byte-identical across
 //! `--workers` values.
 //!
+//! `--topology` runs every session's world as a routed internet —
+//! subnets, routers, a NAT gateway in front of the phone, a DNS
+//! resolver — so the `RouterCrash`/`NatTableFlush`/`DnsOutage`/
+//! `HandoffStorm` chaos families (e.g. `--chaos nat-traversal`) have
+//! teeth. `--handoff` additionally schedules a standing Wi-Fi ↔ 3G
+//! handoff storm in every session (the first switch lands mid-offload).
+//! Both add a `net` summary line with the availability columns
+//! (handoffs, NAT rewrites/rebinds, DNS faults, route drops); the
+//! simulated aggregate stays byte-identical across `--workers` values.
+//!
 //! `--json-out [PATH]` additionally writes a schema'd benchmark record
 //! (throughput, latency percentiles, bytes synced, tenancy counters) to
 //! PATH — default `BENCH_fleet_throughput.json` — for baseline diffing.
@@ -65,6 +76,8 @@ struct Args {
     tenants: usize,
     deny: Vec<String>,
     unattested: Vec<usize>,
+    topology: bool,
+    handoff: bool,
     json_out: Option<String>,
 }
 
@@ -90,6 +103,8 @@ fn parse_args() -> Args {
         tenants: 0,
         deny: Vec::new(),
         unattested: Vec::new(),
+        topology: false,
+        handoff: false,
         json_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -132,6 +147,12 @@ fn parse_args() -> Args {
             "--unattested" => {
                 args.unattested.push(take(&argv, &mut i, &flag).parse().expect("--unattested"));
             }
+            "--topology" => args.topology = true,
+            "--handoff" => {
+                args.handoff = true;
+                // A handoff storm is only meaningful on a routed world.
+                args.topology = true;
+            }
             "--json-out" => {
                 // Optional value, same shape as --chaos: with no PATH the
                 // record lands in BENCH_fleet_throughput.json.
@@ -171,6 +192,8 @@ fn main() {
     cfg.tenants = parsed.tenants;
     cfg.tenant_deny = parsed.deny.clone();
     cfg.unattested_nodes = parsed.unattested.clone();
+    cfg.topology = parsed.topology;
+    cfg.handoff = parsed.handoff;
 
     let mut obs = FleetObs::default();
     let sink = parsed.trace.as_ref().map(|_| {
@@ -181,10 +204,13 @@ fn main() {
 
     // Tenancy rides the chaos scheduler (its gates live there), so
     // --tenants forces the chaos path even with no injected faults.
+    // Routed worlds (and their handoff storms) are likewise built by the
+    // chaos executor, so --topology/--handoff force the chaos path too.
     let wants_chaos = parsed.chaos.is_some()
         || parsed.vault_crash
         || parsed.hostile.is_some()
-        || parsed.tenants > 0;
+        || parsed.tenants > 0
+        || parsed.topology;
     let plan = wants_chaos.then(|| {
         let mut plan = match parsed.chaos.as_deref() {
             None | Some("") => ChaosPlan::empty(),
@@ -270,6 +296,17 @@ fn main() {
             report.guest_kills, report.shed_sessions, fuel, heap, depth, dsm, deadline,
         );
     }
+    if parsed.topology {
+        println!(
+            "net      handoffs {} | nat rewrites {} | nat rebinds {} | dns faults {} | \
+             route drops {}",
+            report.handoffs,
+            report.nat_rewrites,
+            report.nat_rebinds,
+            report.dns_faults,
+            report.route_drops,
+        );
+    }
     if parsed.tenants > 0 {
         println!(
             "tenant   tenants {} | policy denials {} | cross-tenant residue {} | \
@@ -342,6 +379,8 @@ fn bench_record(
             "nodes": parsed.nodes as u64,
             "tenants": parsed.tenants as u64,
             "chaos": plan.is_some(),
+            "topology": parsed.topology,
+            "handoff": parsed.handoff,
         },
         "throughput": {
             "sessions_per_sim_sec": report.sim_throughput,
@@ -359,6 +398,13 @@ fn bench_record(
             "tx": report.tx_bytes,
             "rx": report.rx_bytes,
             "dsm_syncs": report.dsm_syncs,
+        },
+        "net": {
+            "handoffs": report.handoffs,
+            "nat_rewrites": report.nat_rewrites,
+            "nat_rebinds": report.nat_rebinds,
+            "dns_faults": report.dns_faults,
+            "route_drops": report.route_drops,
         },
         "tenancy": {
             "policy_denials": report.policy_denials,

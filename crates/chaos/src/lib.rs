@@ -32,7 +32,7 @@ pub mod replay;
 
 pub use breaker::{BreakerSchedule, BreakerState, CircuitBreaker};
 pub use plan::{
-    session_faults, tenant_faults, ChaosEvent, ChaosPlan, ChaosPlanError, HostileGuestKind,
-    SessionFaults, TenantFaults, VaultCrashKind,
+    session_faults, tenant_faults, ChaosEvent, ChaosPlan, ChaosPlanError, HandoffSpec,
+    HostileGuestKind, SessionFaults, TenantFaults, VaultCrashKind,
 };
 pub use replay::DeliveryLedger;

@@ -199,6 +199,53 @@ pub enum ChaosEvent {
         /// First session id past the rotation window.
         until_session: u64,
     },
+    /// Every router in each affected session's routed topology is down
+    /// inside `[from, until)` on the session's own timeline: cross-subnet
+    /// traffic (phone → server, phone → node control plane) fails closed
+    /// with `NoRoute` until the window lifts. A no-op for flat worlds.
+    RouterCrash {
+        /// Window start (within-session offset).
+        from: SimDuration,
+        /// Window end (within-session offset).
+        until: SimDuration,
+    },
+    /// The NAT gateway's connection-tracking table is flushed `at` into
+    /// each affected session: every established flow's binding vanishes,
+    /// and the next segment on an old flow fails closed (`NatExpired`)
+    /// until the session reconnects. A no-op for worlds without NAT.
+    NatTableFlush {
+        /// Within-session offset of the flush.
+        at: SimDuration,
+    },
+    /// The DNS resolver is dark inside `[from, until)` on each affected
+    /// session's timeline: cold names fail closed, cached records keep
+    /// serving until their TTL expires. A no-op for flat worlds (flat
+    /// lookup is a host-directory read, not a resolver query).
+    DnsOutage {
+        /// Window start (within-session offset).
+        from: SimDuration,
+        /// Window end (within-session offset).
+        until: SimDuration,
+        /// Session-axis slice `[from_session, until_session)` the outage
+        /// applies to (like `Partition`): sessions outside it resolve
+        /// normally, sessions inside meet the dead resolver and must
+        /// fail closed if the window covers their lookup.
+        from_session: u64,
+        /// End of the session-axis slice (exclusive).
+        until_session: u64,
+    },
+    /// Mid-session mobility: the phone hands off between Wi-Fi and 3G
+    /// `count` times, every `every`, each with a radio blackout of
+    /// `blackout` and a NAT rebind. Handoff `i` (1-based) lands at
+    /// `every * i`; odd handoffs move to 3G, even ones back to Wi-Fi.
+    HandoffStorm {
+        /// How many handoffs the storm schedules.
+        count: u32,
+        /// Spacing between consecutive handoffs.
+        every: SimDuration,
+        /// Radio blackout charged at each handoff.
+        blackout: SimDuration,
+    },
     /// Like [`ChaosEvent::TenantKeyRotation`], but the rotation is an
     /// emergency response to a suspected key compromise: if the rotating
     /// session cannot afford the re-encryption inside its deadline it
@@ -236,6 +283,9 @@ pub enum ChaosPlanError {
     /// A [`ChaosEvent::ReplicaLag`] with `lsns == 0` — a no-op lag is a
     /// plan bug, not a fault.
     ZeroLag,
+    /// A [`ChaosEvent::HandoffStorm`] with `count == 0` or
+    /// `every == 0` — a storm that never moves is a plan bug.
+    BadHandoffStorm,
 }
 
 impl fmt::Display for ChaosPlanError {
@@ -252,6 +302,9 @@ impl fmt::Display for ChaosPlanError {
                 write!(f, "breaker trip_after and probe_every must be nonzero")
             }
             ChaosPlanError::ZeroLag => write!(f, "replica lag of zero LSNs is not a fault"),
+            ChaosPlanError::BadHandoffStorm => {
+                write!(f, "handoff storm count and spacing must be nonzero")
+            }
         }
     }
 }
@@ -327,7 +380,19 @@ impl ChaosPlan {
                 ChaosEvent::SyncTimeout { from, until, .. } if until <= from => {
                     return Err(ChaosPlanError::EmptyWindow);
                 }
+                ChaosEvent::RouterCrash { from, until }
+                | ChaosEvent::DnsOutage { from, until, .. }
+                    if until <= from =>
+                {
+                    return Err(ChaosPlanError::EmptyWindow);
+                }
+                ChaosEvent::HandoffStorm { count, every, .. }
+                    if count == 0 || every == SimDuration::ZERO =>
+                {
+                    return Err(ChaosPlanError::BadHandoffStorm);
+                }
                 ChaosEvent::Partition { from_session, until_session, .. }
+                | ChaosEvent::DnsOutage { from_session, until_session, .. }
                 | ChaosEvent::VaultCrash { from_session, until_session, .. }
                 | ChaosEvent::ReplicaLag { from_session, until_session, .. }
                 | ChaosEvent::HostileGuest { from_session, until_session, .. }
@@ -484,6 +549,42 @@ impl ChaosPlan {
                     },
                 ];
             }
+            // The mobility acceptance scenario: the phone hands off
+            // Wi-Fi → 3G → Wi-Fi mid-session (the first switch lands
+            // inside a typical session's offload window), each with a
+            // 150 ms radio blackout and a NAT rebind. Requires the fleet
+            // to run routed worlds (`topology`); sessions must complete
+            // after bounded re-sync retries or fail closed.
+            "handoff" => {
+                plan.events = vec![ChaosEvent::HandoffStorm {
+                    count: 2,
+                    every: SimDuration::from_millis(700),
+                    blackout: SimDuration::from_millis(150),
+                }];
+            }
+            // The routed-internet gauntlet: a router outage window, a
+            // conntrack flush, and a DNS brownout, layered so each
+            // session crosses at least one of them. Established flows
+            // must fail closed (`NatExpired`/`NoRoute`) and reconnect,
+            // cached DNS records must keep serving through the brownout.
+            "nat-traversal" => {
+                plan.events = vec![
+                    ChaosEvent::RouterCrash {
+                        from: SimDuration::from_millis(250),
+                        until: SimDuration::from_millis(400),
+                    },
+                    ChaosEvent::NatTableFlush { at: SimDuration::from_millis(2200) },
+                    // One slice of the fleet meets a dead resolver at
+                    // connect time and must fail closed; the rest
+                    // resolve normally and exercise the NAT path.
+                    ChaosEvent::DnsOutage {
+                        from: SimDuration::ZERO,
+                        until: SimDuration::from_millis(120),
+                        from_session: 6,
+                        until_session: 12,
+                    },
+                ];
+            }
             // A noisy but survivable wire: loss, corruption, and delay.
             "wire-noise" => {
                 plan.events = vec![
@@ -507,6 +608,8 @@ impl ChaosPlan {
             "vault-crash",
             "hostile-guest",
             "tenant-rotation",
+            "handoff",
+            "nat-traversal",
         ]
     }
 
@@ -570,8 +673,29 @@ pub struct SessionFaults {
     /// The hostile app this session runs instead of its scripted one
     /// (`None` = the session is well behaved).
     pub hostile_guest: Option<HostileGuestKind>,
+    /// Router outage windows `[from, until)` covering every router in
+    /// the session's topology (empty or ignored for flat worlds).
+    pub router_outages: Vec<(SimDuration, SimDuration)>,
+    /// Within-session offsets at which the NAT conntrack table flushes.
+    pub nat_flushes: Vec<SimDuration>,
+    /// DNS resolver outage windows `[from, until)`.
+    pub dns_outages: Vec<(SimDuration, SimDuration)>,
+    /// Scheduled mobility handoffs, in firing order.
+    pub handoffs: Vec<HandoffSpec>,
     /// Seed of this session's loss/corruption dice stream.
     pub dice_seed: u64,
+}
+
+/// One scheduled mobility handoff, as plain data (the executor maps
+/// `to_3g` onto the concrete link profiles of its world).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HandoffSpec {
+    /// Within-session offset at which the radio switches.
+    pub at: SimDuration,
+    /// Radio blackout charged at the switch.
+    pub blackout: SimDuration,
+    /// `true` = hand off to 3G, `false` = back to Wi-Fi.
+    pub to_3g: bool,
 }
 
 /// Projects `plan` onto the session with id `session` (and per-session
@@ -630,6 +754,18 @@ pub fn session_faults(
                 if session >= from_session && session < until_session =>
             {
                 hostile.push(kind);
+            }
+            ChaosEvent::RouterCrash { from, until } => f.router_outages.push((from, until)),
+            ChaosEvent::NatTableFlush { at } => f.nat_flushes.push(at),
+            ChaosEvent::DnsOutage { from, until, from_session, until_session }
+                if session >= from_session && session < until_session =>
+            {
+                f.dns_outages.push((from, until));
+            }
+            ChaosEvent::HandoffStorm { count, every, blackout } => {
+                for i in 1..=count as u64 {
+                    f.handoffs.push(HandoffSpec { at: every * i, blackout, to_3g: i % 2 == 1 });
+                }
             }
             _ => {}
         }
@@ -923,6 +1059,78 @@ mod tests {
         bad.events =
             vec![ChaosEvent::TenantKeyCompromise { tenant: 0, from_session: 3, until_session: 2 }];
         assert_eq!(bad.validate(4), Err(ChaosPlanError::EmptyWindow));
+    }
+
+    #[test]
+    fn topology_faults_project_and_validate() {
+        let mut plan = ChaosPlan::empty();
+        plan.events = vec![
+            ChaosEvent::RouterCrash {
+                from: SimDuration::from_millis(10),
+                until: SimDuration::from_millis(20),
+            },
+            ChaosEvent::NatTableFlush { at: SimDuration::from_millis(30) },
+            ChaosEvent::DnsOutage {
+                from: SimDuration::ZERO,
+                until: SimDuration::from_millis(5),
+                from_session: 0,
+                until_session: u64::MAX,
+            },
+            ChaosEvent::HandoffStorm {
+                count: 3,
+                every: SimDuration::from_millis(100),
+                blackout: SimDuration::from_millis(40),
+            },
+        ];
+        plan.validate(4).unwrap();
+        let f = session_faults(&plan, 0, 0, 9);
+        assert_eq!(
+            f.router_outages,
+            vec![(SimDuration::from_millis(10), SimDuration::from_millis(20))]
+        );
+        assert_eq!(f.nat_flushes, vec![SimDuration::from_millis(30)]);
+        assert_eq!(f.dns_outages, vec![(SimDuration::ZERO, SimDuration::from_millis(5))]);
+        // Handoffs land at every*i and alternate 3G / Wi-Fi.
+        assert_eq!(f.handoffs.len(), 3);
+        assert_eq!(
+            f.handoffs[0],
+            HandoffSpec {
+                at: SimDuration::from_millis(100),
+                blackout: SimDuration::from_millis(40),
+                to_3g: true,
+            }
+        );
+        assert!(!f.handoffs[1].to_3g);
+        assert_eq!(f.handoffs[2].at, SimDuration::from_millis(300));
+        // Global faults hit every node identically.
+        assert_eq!(session_faults(&plan, 3, 7, 9).handoffs, f.handoffs);
+
+        // Empty windows and degenerate storms are plan bugs.
+        let mut bad = ChaosPlan::empty();
+        bad.events = vec![ChaosEvent::RouterCrash {
+            from: SimDuration::from_millis(5),
+            until: SimDuration::from_millis(5),
+        }];
+        assert_eq!(bad.validate(1), Err(ChaosPlanError::EmptyWindow));
+        bad.events = vec![ChaosEvent::DnsOutage {
+            from: SimDuration::from_millis(5),
+            until: SimDuration::from_millis(4),
+            from_session: 0,
+            until_session: u64::MAX,
+        }];
+        assert_eq!(bad.validate(1), Err(ChaosPlanError::EmptyWindow));
+        bad.events = vec![ChaosEvent::HandoffStorm {
+            count: 0,
+            every: SimDuration::from_millis(1),
+            blackout: SimDuration::ZERO,
+        }];
+        assert_eq!(bad.validate(1), Err(ChaosPlanError::BadHandoffStorm));
+        bad.events = vec![ChaosEvent::HandoffStorm {
+            count: 1,
+            every: SimDuration::ZERO,
+            blackout: SimDuration::ZERO,
+        }];
+        assert_eq!(bad.validate(1), Err(ChaosPlanError::BadHandoffStorm));
     }
 
     #[test]

@@ -156,7 +156,7 @@ impl NativeHost for ClientHost<'_> {
                 let domain = ctx.str_arg(0)?.to_owned();
                 let port = ctx.int_arg(1)? as u16;
                 let server =
-                    self.world.lookup(&domain).map_err(|e| ctx.error(format!("dns: {e}")))?;
+                    self.world.resolve(&domain).map_err(|e| ctx.error(format!("dns: {e}")))?;
                 let conn = self
                     .world
                     .connect(self.host, tinman_net::Addr::new(server, port))
@@ -383,7 +383,11 @@ impl NodeHost<'_> {
     ) -> Result<NativeOutcome, VmError> {
         let t_start = self.clock.now();
         let think_start = self.world.think_time_total();
-        let rx_start = self.world.traffic(self.client_host).rx_bytes;
+        let rx_start = self
+            .world
+            .traffic(self.client_host)
+            .map_err(|e| ctx.error(format!("client traffic: {e}")))?
+            .rx_bytes;
         let state = self
             .conns
             .get_mut(&handle)
@@ -439,7 +443,10 @@ impl NodeHost<'_> {
         // -- figure 8 step 4: pick up the diverted packet, replace the
         // payload with the cor sealed under the injected session, forward
         // with the TCP header untouched.
-        let mut diverted = self.world.take_redirected(self.node_host);
+        let mut diverted = self
+            .world
+            .take_redirected(self.node_host)
+            .map_err(|e| ctx.error(format!("redirect queue: {e}")))?;
         let Some(mut seg) = diverted.pop() else {
             return Err(ctx.error("marked packet was not diverted (filter not installed?)"));
         };
@@ -490,7 +497,12 @@ impl NodeHost<'_> {
         // The server's response (page download) arrives inside this window
         // but is site traffic, not TinMan overhead: attribute it by the
         // client's received bytes.
-        let rx_bytes = self.world.traffic(self.client_host).rx_bytes - rx_start;
+        let rx_bytes = self
+            .world
+            .traffic(self.client_host)
+            .map_err(|e| ctx.error(format!("client traffic: {e}")))?
+            .rx_bytes
+            - rx_start;
         let download = self.client_link.serialize_time(rx_bytes);
         let flow = self.clock.now().since(t_start).saturating_sub(think).saturating_sub(download);
         let coordination = self.ssl_coordination_fixed

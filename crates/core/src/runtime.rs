@@ -90,6 +90,20 @@ pub struct TinmanConfig {
     /// events do not change — only host wall time). The compiled image is
     /// cached per app hash, mirroring the dex warm-cache.
     pub node_tier: ExecTier,
+    /// Build the world as a routed internet instead of a flat link: the
+    /// phone lives on an access subnet behind a NAT gateway, the trusted
+    /// node on its own subnet, servers on the public core, joined by
+    /// routers. `false` (the default) keeps the world byte-identical to
+    /// the flat original.
+    pub topology: bool,
+    /// Bounded re-sync attempts after a DSM synchronization times out
+    /// mid-session (a mobility handoff blackout or node outage). `0`
+    /// (the default) surfaces the timeout immediately, exactly as
+    /// before; with retries armed, exhaustion fails closed as a guest
+    /// kill (`KillReason::Resync`) with the node heap scrubbed.
+    pub resync_retries: u32,
+    /// First re-sync backoff; doubles each attempt.
+    pub resync_backoff: SimDuration,
 }
 
 impl Default for TinmanConfig {
@@ -105,8 +119,26 @@ impl Default for TinmanConfig {
             critical_apps: None,
             guard: None,
             node_tier: ExecTier::Interpret,
+            topology: false,
+            resync_retries: 0,
+            resync_backoff: SimDuration::from_millis(500),
         }
     }
+}
+
+/// A DSM wire exchange between the client and the active node, named so
+/// the re-sync retry loop can replay it verbatim after a timeout.
+enum DsmOp {
+    /// Full migrate client → node (offload trigger).
+    MigrateToNode,
+    /// Full migrate node → client with the given cause.
+    MigrateToClient(SyncCause),
+    /// Lock-ownership transfer: the node holds the monitor the client
+    /// is blocked on.
+    LockFromNode,
+    /// Lock-ownership transfer: a client background thread holds the
+    /// monitor the offloaded code is blocked on.
+    LockFromClient,
 }
 
 /// Everything measured about one app run — the raw material for Figures
@@ -191,6 +223,18 @@ impl TinmanRuntime {
         let mut world = NetWorld::new(clock.clone());
         let phone_host = world.add_host("phone", link.clone());
         let node_host = world.add_host("trusted-node", tinman_sim::LinkProfile::ethernet());
+        if config.topology {
+            // The routed internet the paper never tested: the phone on an
+            // access subnet behind a NAT gateway, the trusted node on its
+            // own subnet, web servers on the public core (subnet 0, where
+            // callers install them), all joined by routers.
+            world.enable_topology(tinman_net::TopologyConfig::default());
+            world.assign_subnet(phone_host, 1);
+            world.assign_subnet(node_host, 2);
+            world.add_router("r-access", &[1, 0], &[]);
+            world.add_router("r-core", &[0, 2], &[]);
+            world.enable_nat(1);
+        }
         // The iptables analogue: divert TinMan-marked packets to the node.
         world.set_egress_filter(
             phone_host,
@@ -419,6 +463,101 @@ impl TinmanRuntime {
         }
     }
 
+    /// Performs one DSM wire exchange between the client and the active
+    /// node. Expressed as data (see [`DsmOp`]) so [`Self::dsm_exchange`]
+    /// can replay the identical exchange during bounded re-sync retries.
+    fn run_dsm_op(&mut self, active: usize, op: &DsmOp) -> Result<u64, DsmError> {
+        let node = if active == 0 { &mut self.node } else { &mut self.extra_nodes[active - 1] };
+        let dsm = if active == 0 { &mut self.dsm } else { &mut self.extra_dsms[active - 1] };
+        match op {
+            DsmOp::MigrateToNode => dsm
+                .migrate(
+                    &mut self.client.machine,
+                    &mut node.machine,
+                    LockSite::Client,
+                    SyncCause::OffloadTrigger,
+                    &mut ClientMaterializer { directory: &mut self.client.directory },
+                    &mut NodeMaterializer { store: &mut node.store },
+                )
+                .map(|p| p.wire_bytes()),
+            DsmOp::MigrateToClient(cause) => dsm
+                .migrate(
+                    &mut node.machine,
+                    &mut self.client.machine,
+                    LockSite::TrustedNode,
+                    *cause,
+                    &mut NodeMaterializer { store: &mut node.store },
+                    &mut ClientMaterializer { directory: &mut self.client.directory },
+                )
+                .map(|p| p.wire_bytes()),
+            DsmOp::LockFromNode => dsm.lock_transfer(
+                &mut self.client.machine,
+                &mut node.machine,
+                LockSite::TrustedNode,
+                &mut ClientMaterializer { directory: &mut self.client.directory },
+                &mut NodeMaterializer { store: &mut node.store },
+            ),
+            DsmOp::LockFromClient => dsm.lock_transfer(
+                &mut node.machine,
+                &mut self.client.machine,
+                LockSite::Client,
+                &mut NodeMaterializer { store: &mut node.store },
+                &mut ClientMaterializer { directory: &mut self.client.directory },
+            ),
+        }
+    }
+
+    /// A DSM exchange with bounded re-sync. A `SyncTimeout` — the node
+    /// unreachable mid-session because of a mobility handoff blackout or
+    /// a chaos outage — is retried up to `resync_retries` times with
+    /// doubling backoff. Each wait lets due network events (handoffs,
+    /// NAT flushes) apply and refreshes the client radio, so the retry
+    /// rides whatever link the phone holds afterwards; when the wired
+    /// fault window is known to lift later than the backoff, the wait
+    /// jumps to the lift instead of burning attempts inside the window.
+    /// Exhaustion fails closed: the guest is killed and the node heap
+    /// scrubbed ([`KillReason::Resync`]). With `resync_retries == 0`
+    /// (the default) this is byte-identical to the unretried exchange.
+    fn dsm_exchange(
+        &mut self,
+        active: usize,
+        op: DsmOp,
+        breakdown: &mut Breakdown,
+    ) -> Result<u64, RuntimeError> {
+        let mut r = self.run_dsm_op(active, &op);
+        if matches!(r, Err(DsmError::SyncTimeout { .. })) && self.config.resync_retries > 0 {
+            let mut backoff = self.config.resync_backoff;
+            for _ in 0..self.config.resync_retries {
+                let t_wait = self.clock.now();
+                let mut until = t_wait + backoff;
+                let dsm = if active == 0 { &self.dsm } else { &self.extra_dsms[active - 1] };
+                if let Some(clear) = dsm.fault_clears_at() {
+                    // An open-ended crash never clears; keep the plain
+                    // backoff and let exhaustion fail the session closed.
+                    if clear > until && clear < tinman_sim::SimTime::MAX {
+                        until = clear;
+                    }
+                }
+                self.clock.advance_to(until);
+                breakdown.charge("dsm", self.clock.now().since(t_wait));
+                self.world.poll_network();
+                if let Ok(link) = self.world.host_link(self.client.host) {
+                    self.client.link = link;
+                }
+                self.metrics.incr("net.handoff.resync_retries");
+                r = self.run_dsm_op(active, &op);
+                if !matches!(r, Err(DsmError::SyncTimeout { .. })) {
+                    break;
+                }
+                backoff = backoff * 2;
+            }
+            if matches!(r, Err(DsmError::SyncTimeout { .. })) {
+                return Err(self.kill_guest(active, KillReason::Resync));
+            }
+        }
+        self.guard_dsm(active, r)
+    }
+
     /// Charges ambient power (display + idle + radio-active) for a period —
     /// used by the battery benchmarks between and during workloads.
     pub fn charge_ambient(&mut self, d: SimDuration, display_on: bool) {
@@ -432,14 +571,15 @@ impl TinmanRuntime {
         }
     }
 
-    fn charge_radio(&mut self, before: Traffic) {
-        let after = self.world.traffic(self.client.host);
+    fn charge_radio(&mut self, before: Traffic) -> Result<(), RuntimeError> {
+        let after = self.world.traffic(self.client.host)?;
         let tx = self.client.link.tx_energy(after.tx_bytes - before.tx_bytes);
         let rx = self.client.link.rx_energy(after.rx_bytes - before.rx_bytes);
         self.client.energy.radio_tx += tx;
         self.client.energy.radio_rx += rx;
         self.client.battery.drain(tx);
         self.client.battery.drain(rx);
+        Ok(())
     }
 
     fn charge_client_cpu(&mut self, cycles: u64, breakdown: &mut Breakdown) {
@@ -476,7 +616,8 @@ impl TinmanRuntime {
     ) -> Result<RunReport, RuntimeError> {
         let app_hash = image.hash();
         let t_run_start = self.clock.now();
-        let traffic_start = self.world.traffic(self.client.host);
+        let traffic_start = self.world.traffic(self.client.host)?;
+        let topo_start = self.world.topology_stats();
         let mut breakdown = Breakdown::new();
 
         // Fresh machines; the client engine depends on the mode (and on
@@ -556,6 +697,13 @@ impl TinmanRuntime {
 
         let result = 'outer: loop {
             // ---- client segment ----
+            // Apply any due network events first (mobility handoffs, NAT
+            // flushes): the radio the guest runs on is the post-event one.
+            // A no-op in worlds with nothing scheduled.
+            self.world.poll_network();
+            if let Ok(link) = self.world.host_link(self.client.host) {
+                self.client.link = link;
+            }
             let t0 = self.clock.now();
             let event = {
                 let phone_host = self.client.host;
@@ -609,21 +757,7 @@ impl TinmanRuntime {
                 ExecEvent::LockRemote(_) => {
                     // The node endpoint holds the monitor: exchange state
                     // and transfer ownership to the client.
-                    let node = if active == 0 {
-                        &mut self.node
-                    } else {
-                        &mut self.extra_nodes[active - 1]
-                    };
-                    let dsm =
-                        if active == 0 { &mut self.dsm } else { &mut self.extra_dsms[active - 1] };
-                    let r = dsm.lock_transfer(
-                        &mut self.client.machine,
-                        &mut node.machine,
-                        LockSite::TrustedNode,
-                        &mut ClientMaterializer { directory: &mut self.client.directory },
-                        &mut NodeMaterializer { store: &mut node.store },
-                    );
-                    let bytes = self.guard_dsm(active, r)?;
+                    let bytes = self.dsm_exchange(active, DsmOp::LockFromNode, &mut breakdown)?;
                     self.charge_migration(bytes, &mut breakdown);
                     continue;
                 }
@@ -707,17 +841,7 @@ impl TinmanRuntime {
                         node.mark_warm(app_hash);
                     }
                     // Migrate client -> the active node.
-                    let dsm =
-                        if active == 0 { &mut self.dsm } else { &mut self.extra_dsms[active - 1] };
-                    let r = dsm.migrate(
-                        &mut self.client.machine,
-                        &mut node.machine,
-                        LockSite::Client,
-                        SyncCause::OffloadTrigger,
-                        &mut ClientMaterializer { directory: &mut self.client.directory },
-                        &mut NodeMaterializer { store: &mut node.store },
-                    );
-                    let packet = self.guard_dsm(active, r)?;
+                    let bytes = self.dsm_exchange(active, DsmOp::MigrateToNode, &mut breakdown)?;
                     self.metrics.incr("runtime.offloads");
                     // Carry execution counters over so stats stay cumulative
                     // per machine (each machine counts its own retire).
@@ -727,12 +851,18 @@ impl TinmanRuntime {
                         &mut self.extra_nodes[active - 1]
                     };
                     node.machine.status = tinman_vm::MachineStatus::Runnable;
-                    self.charge_migration(packet.wire_bytes(), &mut breakdown);
+                    self.charge_migration(bytes, &mut breakdown);
                 }
             }
 
             // ---- node segments (run until execution returns to client) ----
             loop {
+                // Mobility events due before the segment apply now, so the
+                // migrate-back (if any) is charged on the current radio.
+                self.world.poll_network();
+                if let Ok(link) = self.world.host_link(self.client.host) {
+                    self.client.link = link;
+                }
                 // Watchdog: the guard charges everything a guest retires on
                 // trusted hardware against one session-wide budget. Fuel is
                 // what remains of the policy's allowance after every node
@@ -884,26 +1014,12 @@ impl TinmanRuntime {
                     ExecEvent::Halted(v) => {
                         // Final migrate-back so the client sees the end
                         // state (tokenized).
-                        let node = if active == 0 {
-                            &mut self.node
-                        } else {
-                            &mut self.extra_nodes[active - 1]
-                        };
-                        let dsm = if active == 0 {
-                            &mut self.dsm
-                        } else {
-                            &mut self.extra_dsms[active - 1]
-                        };
-                        let r = dsm.migrate(
-                            &mut node.machine,
-                            &mut self.client.machine,
-                            LockSite::TrustedNode,
-                            SyncCause::TaintIdle,
-                            &mut NodeMaterializer { store: &mut node.store },
-                            &mut ClientMaterializer { directory: &mut self.client.directory },
-                        );
-                        let packet = self.guard_dsm(active, r)?;
-                        self.charge_migration(packet.wire_bytes(), &mut breakdown);
+                        let bytes = self.dsm_exchange(
+                            active,
+                            DsmOp::MigrateToClient(SyncCause::TaintIdle),
+                            &mut breakdown,
+                        )?;
+                        self.charge_migration(bytes, &mut breakdown);
                         if self.trace.is_enabled() {
                             self.trace.emit_on(
                                 self.trace_track,
@@ -932,24 +1048,8 @@ impl TinmanRuntime {
                     ExecEvent::LockRemote(_) => {
                         // A client-side (background-thread) monitor blocks
                         // the offloaded code — the github case.
-                        let node = if active == 0 {
-                            &mut self.node
-                        } else {
-                            &mut self.extra_nodes[active - 1]
-                        };
-                        let dsm = if active == 0 {
-                            &mut self.dsm
-                        } else {
-                            &mut self.extra_dsms[active - 1]
-                        };
-                        let r = dsm.lock_transfer(
-                            &mut node.machine,
-                            &mut self.client.machine,
-                            LockSite::Client,
-                            &mut NodeMaterializer { store: &mut node.store },
-                            &mut ClientMaterializer { directory: &mut self.client.directory },
-                        );
-                        let bytes = self.guard_dsm(active, r)?;
+                        let bytes =
+                            self.dsm_exchange(active, DsmOp::LockFromClient, &mut breakdown)?;
                         self.charge_migration(bytes, &mut breakdown);
                         continue;
                     }
@@ -958,26 +1058,12 @@ impl TinmanRuntime {
                             ExecEvent::TaintIdle => SyncCause::TaintIdle,
                             _ => SyncCause::NonOffloadableNative,
                         };
-                        let node = if active == 0 {
-                            &mut self.node
-                        } else {
-                            &mut self.extra_nodes[active - 1]
-                        };
-                        let dsm = if active == 0 {
-                            &mut self.dsm
-                        } else {
-                            &mut self.extra_dsms[active - 1]
-                        };
-                        let r = dsm.migrate(
-                            &mut node.machine,
-                            &mut self.client.machine,
-                            LockSite::TrustedNode,
-                            cause,
-                            &mut NodeMaterializer { store: &mut node.store },
-                            &mut ClientMaterializer { directory: &mut self.client.directory },
-                        );
-                        let packet = self.guard_dsm(active, r)?;
-                        self.charge_migration(packet.wire_bytes(), &mut breakdown);
+                        let bytes = self.dsm_exchange(
+                            active,
+                            DsmOp::MigrateToClient(cause),
+                            &mut breakdown,
+                        )?;
+                        self.charge_migration(bytes, &mut breakdown);
                         if self.trace.is_enabled() {
                             self.trace.emit_on(
                                 self.trace_track,
@@ -1005,7 +1091,7 @@ impl TinmanRuntime {
         // Ambient power for the whole interaction (screen on).
         let latency = self.clock.now().since(t_run_start);
         self.charge_ambient(latency, true);
-        self.charge_radio(traffic_start);
+        self.charge_radio(traffic_start)?;
         // Radio burst tails: every network activation holds the radio in
         // its high-power state for a tail period after the traffic ends
         // (the dominant hidden cost of chatty protocols on phones).
@@ -1031,7 +1117,31 @@ impl TinmanRuntime {
         self.client.energy.radio_active += tail;
         self.client.battery.drain(tail);
 
-        let traffic_end = self.world.traffic(self.client.host);
+        // Topology-layer observability: only emitted once a routed world
+        // exists, so flat runs keep a byte-identical metrics registry.
+        let topo_end = self.world.topology_stats();
+        if self.world.topology_enabled() || topo_end != topo_start {
+            self.metrics
+                .add("net.topology.router_hops", topo_end.router_hops - topo_start.router_hops);
+            self.metrics
+                .add("net.topology.route_drops", topo_end.route_drops - topo_start.route_drops);
+            self.metrics.add(
+                "net.topology.firewall_drops",
+                topo_end.firewall_drops - topo_start.firewall_drops,
+            );
+            self.metrics
+                .add("net.topology.nat_rewrites", topo_end.nat_rewrites - topo_start.nat_rewrites);
+            self.metrics.add("net.topology.nat_drops", topo_end.nat_drops - topo_start.nat_drops);
+            self.metrics
+                .add("net.topology.dns_lookups", topo_end.dns_lookups - topo_start.dns_lookups);
+            self.metrics
+                .add("net.topology.dns_failures", topo_end.dns_failures - topo_start.dns_failures);
+            self.metrics.add("net.handoff.count", topo_end.handoffs - topo_start.handoffs);
+            self.metrics
+                .add("net.handoff.nat_rebinds", topo_end.nat_rebinds - topo_start.nat_rebinds);
+        }
+
+        let traffic_end = self.world.traffic(self.client.host)?;
         Ok(RunReport {
             result,
             latency,

@@ -152,6 +152,18 @@ impl SyncFault {
     pub fn active_at(&self, now: SimTime) -> bool {
         self.windows.iter().any(|&(from, until)| now >= from && now < until)
     }
+
+    /// When the outage window covering `now` ends, or `None` if `now` is
+    /// outside every window. A retry-with-backoff loop uses this to
+    /// decide whether waiting can ever clear the fault (open-ended
+    /// crashes return `SimTime::MAX`: waiting is hopeless, fail closed).
+    pub fn clears_at(&self, now: SimTime) -> Option<SimTime> {
+        self.windows
+            .iter()
+            .filter(|&&(from, until)| now >= from && now < until)
+            .map(|&(_, until)| until)
+            .max()
+    }
 }
 
 /// A guard budget on DSM activity for one session: sync count and shipped
@@ -221,6 +233,15 @@ impl DsmEngine {
     /// `None` before the first sync or when no fault wiring is installed.
     pub fn last_sync_at(&self) -> Option<SimTime> {
         self.last_sync_at
+    }
+
+    /// When the sync-fault window covering the current clock ends —
+    /// `None` when no fault is wired or the clock is outside every
+    /// window. The runtime's bounded re-sync retry consults this to pick
+    /// a backoff that can actually clear the outage.
+    pub fn fault_clears_at(&self) -> Option<SimTime> {
+        let (fault, clock) = self.fault.as_ref()?;
+        fault.clears_at(clock.now())
     }
 
     /// Installs a guard budget on sync count and shipped bytes. Like

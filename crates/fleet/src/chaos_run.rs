@@ -32,16 +32,16 @@
 use std::time::Instant;
 
 use tinman_chaos::{
-    session_faults, BreakerSchedule, BreakerState, ChaosPlan, DeliveryLedger, SessionFaults,
-    VaultCrashKind,
+    session_faults, BreakerSchedule, BreakerState, ChaosEvent, ChaosPlan, DeliveryLedger,
+    SessionFaults, VaultCrashKind,
 };
 use tinman_core::runtime::{Mode, TinmanRuntime};
 use tinman_core::RuntimeError;
 use tinman_dsm::{DsmError, SyncFault};
 use tinman_guard::KillReason;
-use tinman_net::NetChaos;
+use tinman_net::{Handoff, NetChaos};
 use tinman_obs::TraceEvent;
-use tinman_sim::{SimDuration, SimTime};
+use tinman_sim::{LinkProfile, SimDuration, SimTime};
 use tinman_tenant::rotation_cost;
 use tinman_vault::catch_up_cost;
 
@@ -51,8 +51,8 @@ use crate::pool::NodePool;
 use crate::report::FleetReport;
 use crate::sched::{run_worker_pool, surface_clamp, FleetObs};
 use crate::session::{
-    base_link, build_session_world, expect_success, outcome_from_report, session_inputs,
-    SessionOutcome,
+    base_link, build_session_world_net, expect_success, outcome_from_report, session_inputs,
+    SessionNet, SessionOutcome,
 };
 use crate::spec::{build_session_specs, FleetConfig, SessionSpec};
 use crate::tenancy::TenantSchedule;
@@ -76,12 +76,48 @@ pub fn apply_session_faults(rt: &mut TinmanRuntime, faults: &SessionFaults) {
         },
         seed: faults.dice_seed,
     });
+    // Routed-internet faults. Router/NAT/DNS arming is gated on the world
+    // actually having a topology — arming them would otherwise *create*
+    // one (`topo_mut` auto-enables), silently changing a flat session.
+    if rt.world.topology_enabled() {
+        if !faults.router_outages.is_empty() {
+            rt.world.set_all_router_outages(
+                faults.router_outages.iter().map(|&(f, u)| (at(f), at(u))).collect(),
+            );
+        }
+        for &flush in &faults.nat_flushes {
+            rt.world.schedule_nat_flush(at(flush));
+        }
+        if !faults.dns_outages.is_empty() {
+            rt.world
+                .set_dns_outages(faults.dns_outages.iter().map(|&(f, u)| (at(f), at(u))).collect());
+        }
+    }
+    // Handoffs are meaningful on any world (they swap the radio profile);
+    // on a routed world they additionally rebind the NAT.
+    for h in &faults.handoffs {
+        let link = if h.to_3g { LinkProfile::three_g() } else { LinkProfile::wifi() };
+        rt.world.schedule_handoff(
+            rt.phone_host(),
+            Handoff { at: at(h.at), link, blackout: h.blackout, rebind_nat: true, to_subnet: None },
+        );
+    }
     let mut windows: Vec<(SimTime, SimTime)> = Vec::new();
     if let Some(crash) = faults.crash {
         windows.push((at(crash), SimTime::MAX));
     }
     for &(from, until) in &faults.sync_windows {
         windows.push((at(from), at(until)));
+    }
+    // A handoff blackout also blinds the DSM channel (DSM bytes ride the
+    // same radio, but its transfers are charged outside `NetWorld`), so
+    // each blackout is projected into a sync-timeout window: a sync that
+    // lands inside it times out and the runtime's bounded re-sync retry
+    // must carry the session across or fail it closed.
+    for h in &faults.handoffs {
+        if h.blackout > SimDuration::ZERO {
+            windows.push((at(h.at), at(h.at + h.blackout)));
+        }
     }
     rt.set_dsm_fault(SyncFault { windows });
 }
@@ -128,6 +164,18 @@ fn emit_fault_events(
     }
     if faults.replica_lag > 0 {
         emit("replica_lag");
+    }
+    if !faults.router_outages.is_empty() {
+        emit("router_crash");
+    }
+    if !faults.nat_flushes.is_empty() {
+        emit("nat_table_flush");
+    }
+    if !faults.dns_outages.is_empty() {
+        emit("dns_outage");
+    }
+    if !faults.handoffs.is_empty() {
+        emit("handoff_storm");
     }
 }
 
@@ -244,6 +292,12 @@ pub fn execute_with_chaos(
     let mut replays = 0u32;
     let mut ledger = DeliveryLedger::new();
     let mut residue_violations = 0u64;
+    // Topology-layer availability columns, accumulated across attempts.
+    let mut net_handoffs = 0u64;
+    let mut net_nat_rewrites = 0u64;
+    let mut net_nat_rebinds = 0u64;
+    let mut net_dns_faults = 0u64;
+    let mut net_route_drops = 0u64;
     // Durability-audit totals across attempts, folded into the outcome.
     let mut vault_totals = VaultAudit::default();
     let mut catchup_lsns = 0u64;
@@ -322,9 +376,15 @@ pub fn execute_with_chaos(
         // Admission control: wall-clock flow only, no simulated effect.
         let _permit = shard.acquire();
         let shard_labels = (shard.label_start, shard.label_end);
+        // Routed sessions get bounded re-sync retries: a handoff blackout
+        // mid-offload must be survivable, and exhaustion fails closed as
+        // a guest kill. Flat sessions keep the historical zero-retry
+        // behaviour byte-for-byte.
+        let net =
+            SessionNet { topology: cfg.topology, resync_retries: if cfg.topology { 3 } else { 0 } };
         let built = match faults.hostile_guest {
             Some(kind) => build_hostile_world(spec, kind, shard_labels, link, &obs.trace),
-            None => build_session_world(spec, shard_labels, link, &obs.trace),
+            None => build_session_world_net(spec, shard_labels, link, &obs.trace, net),
         };
         let mut world = match built {
             Ok(w) => w,
@@ -428,6 +488,20 @@ pub fn execute_with_chaos(
         }
         ran_before = true;
         let run = world.rt.run_app(&world.app, Mode::TinMan, &session_inputs());
+        // Topology availability columns: what the wire actually did this
+        // attempt (all zero on flat worlds).
+        let topo = world.rt.world.topology_stats();
+        net_handoffs += topo.handoffs;
+        net_nat_rewrites += topo.nat_rewrites;
+        net_nat_rebinds += topo.nat_rebinds;
+        net_dns_faults += topo.dns_failures;
+        net_route_drops += topo.route_drops + topo.firewall_drops;
+        if world.rt.world.topology_enabled() {
+            obs.metrics.add("net.handoff.count", topo.handoffs);
+            obs.metrics.add("net.topology.nat_rewrites", topo.nat_rewrites);
+            obs.metrics.add("net.topology.dns_failures", topo.dns_failures);
+            obs.metrics.add("net.topology.route_drops", topo.route_drops + topo.firewall_drops);
+        }
         // Exactly-once accounting: the k-th payload replacement of a
         // deterministic session is byte-identical on every replay, so the
         // origin's (session, seq) dedup reduces to prefix bookkeeping.
@@ -527,6 +601,11 @@ pub fn execute_with_chaos(
                 out.cross_tenant_residue = vault_totals.cross_tenant_hits;
                 out.unattested_refusals = unattested_refusals;
                 out.tenant_key_rotations = u64::from(rotation_paid);
+                out.handoffs = net_handoffs;
+                out.nat_rewrites = net_nat_rewrites;
+                out.nat_rebinds = net_nat_rebinds;
+                out.dns_faults = net_dns_faults;
+                out.route_drops = net_route_drops;
                 return out;
             }
             Err(RuntimeError::GuestKilled { reason }) => {
@@ -611,6 +690,11 @@ pub fn execute_with_chaos(
     out.unattested_refusals = unattested_refusals;
     out.tenant_key_rotations = u64::from(rotation_paid);
     out.guest_kill = guest_kill;
+    out.handoffs = net_handoffs;
+    out.nat_rewrites = net_nat_rewrites;
+    out.nat_rebinds = net_nat_rebinds;
+    out.dns_faults = net_dns_faults;
+    out.route_drops = net_route_drops;
     out
 }
 
@@ -623,6 +707,18 @@ pub fn run_fleet_chaos(
     plan: &ChaosPlan,
     obs: &FleetObs,
 ) -> Result<FleetReport, FleetError> {
+    // `cfg.handoff` layers a standing Wi-Fi ↔ 3G storm (the canned
+    // "handoff" scenario's parameters) on top of whatever the plan
+    // carries, so benches can demand mobility without authoring a plan.
+    let mut plan = plan.clone();
+    if cfg.handoff {
+        plan.events.push(ChaosEvent::HandoffStorm {
+            count: 2,
+            every: SimDuration::from_millis(700),
+            blackout: SimDuration::from_millis(150),
+        });
+    }
+    let plan = &plan;
     let specs = build_session_specs(cfg);
     let pool = NodePool::new(cfg.nodes, cfg.node_capacity, &cfg.faults)?;
     plan.validate(pool.len())?;
@@ -736,6 +832,76 @@ mod tests {
             .outcomes
             .iter()
             .all(|o| o.fail_closed && !o.success && (o.guest_kill.is_some() ^ o.shed)));
+    }
+
+    #[test]
+    fn handoff_plan_is_byte_identical_across_worker_counts() {
+        // The acceptance bar: a login fleet with mid-offload Wi-Fi ↔ 3G
+        // handoffs produces byte-identical simulated aggregates at 1, 4,
+        // and 8 workers, with the handoffs actually exercised.
+        let plan = ChaosPlan::canned("handoff").expect("canned plan");
+        let mut reference: Option<(String, FleetReport)> = None;
+        for workers in [1usize, 4, 8] {
+            let mut cfg = chaos_cfg(8, 2);
+            cfg.workers = workers;
+            cfg.topology = true;
+            let report = run_fleet_chaos(&cfg, &plan, &FleetObs::default()).expect("runs");
+            let bytes = serde_json::to_string(&report.simulated_value()).unwrap();
+            assert!(report.handoffs > 0, "handoff storm fires at {workers} workers");
+            assert!(report.nat_rebinds > 0, "NAT bindings re-punch after handoff");
+            assert_eq!(report.residue_violations, 0, "handoffs never leave node residue");
+            assert!(report.ok > 0, "sessions re-sync and complete across the blackout");
+            match &reference {
+                None => reference = Some((bytes, report)),
+                Some((ref_bytes, _)) => {
+                    assert_eq!(&bytes, ref_bytes, "simulated aggregate diverged at {workers}")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nat_traversal_plan_completes_or_fails_closed() {
+        // Router crash + NAT table flush + DNS outage: every session
+        // either completes (payload replacement traversing the rewritten
+        // path) or fails closed — never a leak, never residue.
+        let mut cfg = chaos_cfg(8, 2);
+        cfg.topology = true;
+        let plan = ChaosPlan::canned("nat-traversal").expect("canned plan");
+        let report = run_fleet_chaos(&cfg, &plan, &FleetObs::default()).expect("runs");
+        assert!(report.nat_rewrites > 0, "phone traffic traverses the NAT gateway");
+        assert_eq!(report.residue_violations, 0);
+        assert_eq!(report.wal_device_leaks, 0, "vault bytes never reach a device surface");
+        assert!(report.dns_faults > 0, "the brownout tail meets the dead resolver");
+        assert!(report.outcomes.iter().all(|o| o.success || o.fail_closed));
+        assert_eq!(report.ok + report.fail_closed, report.sessions);
+    }
+
+    #[test]
+    fn flat_fleet_ignores_topology_faults_and_reports_zero_columns() {
+        // Without `topology`, router/NAT/DNS families are inert and the
+        // availability columns stay zero — the flat report is unchanged.
+        let cfg = chaos_cfg(6, 2);
+        let plan = ChaosPlan::canned("nat-traversal").expect("canned plan");
+        let report = run_fleet_chaos(&cfg, &plan, &FleetObs::default()).expect("runs");
+        let clean = run_fleet_chaos(&cfg, &ChaosPlan::empty(), &FleetObs::default()).expect("runs");
+        assert_eq!(report.handoffs, 0);
+        assert_eq!(report.nat_rewrites, 0);
+        assert_eq!(report.nat_rebinds, 0);
+        assert_eq!(report.dns_faults, 0);
+        assert_eq!(report.route_drops, 0);
+        assert_eq!(report.ok, clean.ok, "flat fleets are untouched by topology families");
+    }
+
+    #[test]
+    fn handoff_flag_layers_storm_onto_empty_plan() {
+        let mut cfg = chaos_cfg(4, 2);
+        cfg.topology = true;
+        cfg.handoff = true;
+        let report =
+            run_fleet_chaos(&cfg, &ChaosPlan::empty(), &FleetObs::default()).expect("runs");
+        assert!(report.handoffs > 0, "--handoff injects the standing storm");
+        assert_eq!(report.residue_violations, 0);
     }
 
     #[test]

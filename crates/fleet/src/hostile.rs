@@ -29,7 +29,7 @@ use tinman_sim::LinkProfile;
 use tinman_vm::{AppImage, Insn, ProgramBuilder};
 
 use crate::pool::NodePool;
-use crate::session::{session_runtime, session_store, SessionWorld};
+use crate::session::{session_runtime, session_store, SessionNet, SessionWorld};
 use crate::spec::{FleetConfig, SessionSpec};
 
 /// The cor description every hostile guest asks for; registered by
@@ -203,7 +203,10 @@ pub fn build_hostile_world(
     store
         .register(&secret, HOSTILE_COR_DESCRIPTION, &["hostile.example"])
         .ok_or_else(|| "label space exhausted".to_owned())?;
-    let mut rt = session_runtime(store, link, runtime_seed, trace, spec.id);
+    // Hostile worlds stay on the flat net: the attack targets the node's
+    // budgets, not the wire, and the guard verdict must not depend on
+    // routing detours.
+    let mut rt = session_runtime(store, link, runtime_seed, trace, spec.id, SessionNet::default());
     rt.set_guard(fleet_policy());
     let app = build_hostile_app(kind);
     Ok(SessionWorld { rt, app, workload: hostile_workload_name(kind), secrets: vec![secret] })

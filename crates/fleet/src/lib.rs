@@ -63,7 +63,8 @@ pub use sched::{
     execute_with_failover, execute_with_failover_obs, run_fleet, run_fleet_obs, FleetObs,
 };
 pub use session::{
-    build_session_world, run_session, run_session_traced, SessionOutcome, SessionWorld,
+    build_session_world, build_session_world_net, run_session, run_session_traced, SessionNet,
+    SessionOutcome, SessionWorld,
 };
 pub use spec::{build_session_specs, FleetConfig, LinkKind, SessionSpec, WorkloadKind};
 pub use tenancy::{workload_domain, TenantSchedule, TenantSealContext};

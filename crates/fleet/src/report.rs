@@ -141,6 +141,18 @@ pub struct FleetReport {
     /// Sessions that paid a mid-session tenant key rotation (re-sealed
     /// their vault bytes under the new epoch).
     pub tenant_key_rotations: u64,
+    /// Mid-session mobility handoffs applied fleet-wide (topology runs
+    /// only — zero on flat fleets).
+    pub handoffs: u64,
+    /// Untrusted-wire segments whose source the NAT gateways rewrote.
+    pub nat_rewrites: u64,
+    /// NAT bindings transparently re-punched after handoffs.
+    pub nat_rebinds: u64,
+    /// DNS lookups that failed closed inside outage windows.
+    pub dns_faults: u64,
+    /// Segments dropped by routing (router down / firewall deny) —
+    /// every one a fail-closed refusal, never a leak.
+    pub route_drops: u64,
     /// Guests the guard killed for exhausting a budget. Each kill scrubbed
     /// its node heap and failed the session closed.
     pub guest_kills: u64,
@@ -264,6 +276,11 @@ impl FleetReport {
             cross_tenant_residue: sum(|o| o.cross_tenant_residue),
             unattested_refusals: sum(|o| o.unattested_refusals),
             tenant_key_rotations: sum(|o| o.tenant_key_rotations),
+            handoffs: sum(|o| o.handoffs),
+            nat_rewrites: sum(|o| o.nat_rewrites),
+            nat_rebinds: sum(|o| o.nat_rebinds),
+            dns_faults: sum(|o| o.dns_faults),
+            route_drops: sum(|o| o.route_drops),
             guest_kills: outcomes.iter().filter(|o| o.guest_kill.is_some()).count() as u64,
             shed_sessions: outcomes.iter().filter(|o| o.shed).count() as u64,
             budget_exhaustions: {
@@ -327,6 +344,11 @@ impl FleetReport {
         put("cross_tenant_residue", Value::U64(self.cross_tenant_residue));
         put("unattested_refusals", Value::U64(self.unattested_refusals));
         put("tenant_key_rotations", Value::U64(self.tenant_key_rotations));
+        put("handoffs", Value::U64(self.handoffs));
+        put("nat_rewrites", Value::U64(self.nat_rewrites));
+        put("nat_rebinds", Value::U64(self.nat_rebinds));
+        put("dns_faults", Value::U64(self.dns_faults));
+        put("route_drops", Value::U64(self.route_drops));
         put("guest_kills", Value::U64(self.guest_kills));
         put("shed_sessions", Value::U64(self.shed_sessions));
         put(
@@ -438,6 +460,11 @@ mod tests {
             tenant_key_rotations: 0,
             guest_kill: None,
             shed: false,
+            handoffs: 0,
+            nat_rewrites: 0,
+            nat_rebinds: 0,
+            dns_faults: 0,
+            route_drops: 0,
         }
     }
 

@@ -110,6 +110,17 @@ pub struct SessionOutcome {
     /// True if guard admission shed this session (reason `overloaded`)
     /// before any attempt ran.
     pub shed: bool,
+    /// Mid-session mobility handoffs the session's world applied
+    /// (topology runs only).
+    pub handoffs: u64,
+    /// Untrusted-wire segments whose source the NAT gateway rewrote.
+    pub nat_rewrites: u64,
+    /// NAT bindings transparently re-punched after a handoff.
+    pub nat_rebinds: u64,
+    /// DNS lookups that failed closed inside an outage window.
+    pub dns_faults: u64,
+    /// Segments dropped by routing (router down / firewall deny).
+    pub route_drops: u64,
 }
 
 impl SessionOutcome {
@@ -146,6 +157,11 @@ impl SessionOutcome {
             tenant_key_rotations: 0,
             guest_kill: None,
             shed: false,
+            handoffs: 0,
+            nat_rewrites: 0,
+            nat_rebinds: 0,
+            dns_faults: 0,
+            route_drops: 0,
         }
     }
 }
@@ -177,14 +193,32 @@ pub(crate) fn session_store(spec: &SessionSpec, labels: (u8, u8)) -> (CorStore, 
     (store, stream, runtime_seed)
 }
 
+/// Network shape for a session world. The default — flat link, no
+/// retries — reproduces the historical worlds byte-for-byte.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionNet {
+    /// Build the session's world as a routed internet (subnets, routers,
+    /// NAT in front of the phone, DNS) instead of the flat link.
+    pub topology: bool,
+    /// Bounded DSM re-sync retries after a sync timeout (mobility
+    /// blackout recovery); 0 surfaces the timeout immediately.
+    pub resync_retries: u32,
+}
+
 pub(crate) fn session_runtime(
     store: CorStore,
     link: LinkProfile,
     runtime_seed: u64,
     trace: &TraceHandle,
     track: u64,
+    net: SessionNet,
 ) -> TinmanRuntime {
-    let config = TinmanConfig { seed: runtime_seed, ..TinmanConfig::default() };
+    let config = TinmanConfig {
+        seed: runtime_seed,
+        topology: net.topology,
+        resync_retries: net.resync_retries,
+        ..TinmanConfig::default()
+    };
     let mut rt = TinmanRuntime::new(store, link, config);
     if trace.is_enabled() {
         rt.set_trace(trace.clone(), track);
@@ -263,6 +297,19 @@ pub fn build_session_world(
     link: LinkProfile,
     trace: &TraceHandle,
 ) -> Result<SessionWorld, String> {
+    build_session_world_net(spec, labels, link, trace, SessionNet::default())
+}
+
+/// [`build_session_world`] with an explicit network shape: a routed
+/// topology (NAT, routers, DNS) and/or bounded re-sync retries. The
+/// default shape reproduces [`build_session_world`] exactly.
+pub fn build_session_world_net(
+    spec: &SessionSpec,
+    labels: (u8, u8),
+    link: LinkProfile,
+    trace: &TraceHandle,
+    net: SessionNet,
+) -> Result<SessionWorld, String> {
     match spec.workload {
         WorkloadKind::Login(idx) => {
             let apps = LoginAppSpec::table3();
@@ -272,7 +319,7 @@ pub fn build_session_world(
             store
                 .register(&password, login.cor_description, &[login.domain])
                 .ok_or_else(|| "label space exhausted".to_owned())?;
-            let mut rt = session_runtime(store, link, runtime_seed, trace, spec.id);
+            let mut rt = session_runtime(store, link, runtime_seed, trace, spec.id, net);
             let tls = rt.server_tls_config();
             install_auth_server(
                 &mut rt.world,
@@ -295,7 +342,7 @@ pub fn build_session_world(
             store
                 .register(&password, "Citibank password", &["citibank.com"])
                 .ok_or_else(|| "label space exhausted".to_owned())?;
-            let mut rt = session_runtime(store, link, runtime_seed, trace, spec.id);
+            let mut rt = session_runtime(store, link, runtime_seed, trace, spec.id, net);
             let tls = rt.server_tls_config();
             install_bank_server(
                 &mut rt.world,
@@ -323,7 +370,7 @@ pub fn build_session_world(
             store
                 .register(&cvv, "Visa security code", &["shop.com"])
                 .ok_or_else(|| "label space exhausted".to_owned())?;
-            let mut rt = session_runtime(store, link, runtime_seed, trace, spec.id);
+            let mut rt = session_runtime(store, link, runtime_seed, trace, spec.id, net);
             let tls = rt.server_tls_config();
             install_payment_server(
                 &mut rt.world,
@@ -404,6 +451,11 @@ pub fn outcome_from_report(
         tenant_key_rotations: 0,
         guest_kill: None,
         shed: false,
+        handoffs: 0,
+        nat_rewrites: 0,
+        nat_rebinds: 0,
+        dns_faults: 0,
+        route_drops: 0,
     }
 }
 

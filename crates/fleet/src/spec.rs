@@ -104,6 +104,15 @@ pub struct FleetConfig {
     /// Optional per-tenant declassification rate window
     /// `(window_sessions, max_declass)` on the session-id axis.
     pub tenant_window: Option<(u64, u32)>,
+    /// Run every session's world as a routed internet (subnets, routers,
+    /// NAT in front of the phone, a DNS resolver) instead of the flat
+    /// link. Required for the `RouterCrash`/`NatTableFlush`/`DnsOutage`/
+    /// `HandoffStorm` chaos families to have any effect.
+    pub topology: bool,
+    /// Schedule a standing Wi-Fi ↔ 3G handoff storm in every session
+    /// (two handoffs, the first mid-offload), on top of whatever the
+    /// chaos plan injects. Implies nothing unless `topology` is on.
+    pub handoff: bool,
 }
 
 impl FleetConfig {
@@ -123,6 +132,8 @@ impl FleetConfig {
             unattested_nodes: Vec::new(),
             tenant_deny: Vec::new(),
             tenant_window: None,
+            topology: false,
+            handoff: false,
         }
     }
 }

@@ -96,7 +96,7 @@ impl GuardPolicy {
 
 /// Which budget a killed guest exhausted. Variants map 1:1 onto the
 /// `guard.*_exhausted` metrics and the `budget_exhaustions` report columns
-/// (the two DSM flavors share the `dsm` column).
+/// (the DSM flavors — syncs, bytes, resync — share the `dsm` column).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum KillReason {
     /// The node-side instruction budget ran out.
@@ -111,6 +111,10 @@ pub enum KillReason {
     DsmBytes,
     /// The session's simulated deadline passed.
     Deadline,
+    /// A DSM re-synchronization (after a network disruption such as a
+    /// mobility handoff) exhausted its bounded retry budget; the guest
+    /// fails closed instead of running on divergent state.
+    Resync,
 }
 
 impl KillReason {
@@ -123,17 +127,18 @@ impl KillReason {
             KillReason::DsmSyncs => "dsm_syncs",
             KillReason::DsmBytes => "dsm_bytes",
             KillReason::Deadline => "deadline",
+            KillReason::Resync => "resync",
         }
     }
 
     /// The report column this reason is tallied under: the two DSM
-    /// flavors fold into one `dsm` column.
+    /// flavors (syncs, bytes, resync) fold into one `dsm` column.
     pub fn column(self) -> &'static str {
         match self {
             KillReason::Fuel => "fuel",
             KillReason::Heap => "heap",
             KillReason::Depth => "depth",
-            KillReason::DsmSyncs | KillReason::DsmBytes => "dsm",
+            KillReason::DsmSyncs | KillReason::DsmBytes | KillReason::Resync => "dsm",
             KillReason::Deadline => "deadline",
         }
     }

@@ -14,9 +14,21 @@ impl fmt::Debug for HostId {
     }
 }
 
+impl HostId {
+    /// Renders this host as it appears from inside `subnet`
+    /// (`10.<subnet>.<hi>.<lo>`). Subnet 0 is the legacy flat network,
+    /// so `render_in_subnet(0)` is byte-identical to `Display` — audit
+    /// logs and reports for un-subnetted hosts never change.
+    pub fn render_in_subnet(self, subnet: u8) -> String {
+        format!("10.{}.{}.{}", subnet, self.0 >> 8, self.0 & 0xff)
+    }
+}
+
 impl fmt::Display for HostId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        // Rendered like an address for reports and audit logs.
+        // Rendered like an address for reports and audit logs. Hosts not
+        // assigned a subnet live in subnet 0; `NetWorld::render_host`
+        // substitutes the assigned subnet once a topology exists.
         write!(f, "10.0.{}.{}", self.0 >> 8, self.0 & 0xff)
     }
 }
@@ -58,6 +70,17 @@ mod tests {
         let a = Addr::new(HostId(258), 443);
         assert_eq!(a.to_string(), "10.0.1.2:443");
         assert_eq!(format!("{a:?}"), "h258:443");
+    }
+
+    #[test]
+    fn unsubnetted_rendering_is_pinned_for_audit_logs() {
+        // Regression: reports and audit logs render un-subnetted hosts
+        // through `Display`; subnet-aware rendering must collapse to the
+        // exact same bytes for subnet 0 so existing logs stay stable.
+        let h = HostId(258);
+        assert_eq!(h.to_string(), "10.0.1.2");
+        assert_eq!(h.render_in_subnet(0), h.to_string());
+        assert_eq!(h.render_in_subnet(3), "10.3.1.2");
     }
 
     #[test]

@@ -28,6 +28,20 @@ pub enum NetError {
     /// A TCP invariant was violated (simulation bug or deliberately
     /// corrupted injection).
     Protocol(String),
+    /// Queried world state (traffic counters, redirect queue) for a host
+    /// id not registered in the world.
+    NoSuchHost(HostId),
+    /// The DNS resolver is inside an outage window and the name has no
+    /// live cached record.
+    DnsOutage(String),
+    /// No path of up routers connects the two hosts' subnets.
+    NoRoute(HostId, HostId),
+    /// A router firewall rule refused to forward to this destination.
+    FirewallDenied(Addr),
+    /// The NAT conntrack binding for this source endpoint was flushed
+    /// and the host may not transparently rebind: the segment fails
+    /// closed instead of leaking with a stale translation.
+    NatExpired(Addr),
 }
 
 impl fmt::Display for NetError {
@@ -48,6 +62,15 @@ impl fmt::Display for NetError {
                 write!(f, "no flow matches {src} -> {dst}")
             }
             NetError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            NetError::NoSuchHost(h) => write!(f, "no such host {h:?}"),
+            NetError::DnsOutage(d) => write!(f, "dns outage resolving '{d}'"),
+            NetError::NoRoute(a, b) => {
+                write!(f, "no route between {a:?} and {b:?}")
+            }
+            NetError::FirewallDenied(a) => write!(f, "firewall denied traffic to {a}"),
+            NetError::NatExpired(a) => {
+                write!(f, "nat binding for {a} expired (conntrack flushed)")
+            }
         }
     }
 }

@@ -20,6 +20,11 @@
 //! * [`chaos`] — deterministic wire-fault injection ([`NetChaos`]): packet
 //!   loss/corruption modeled as retransmissions, extra delay, radio flap
 //!   windows, and hard host partitions.
+//! * [`topology`] — the routed layer grown over the flat world: subnets,
+//!   routers with firewall rules and outage windows, NAT connection
+//!   tracking, TTL'd DNS with injectable outages, and mid-session
+//!   mobility handoffs. Entirely opt-in: a world that never calls a
+//!   topology method behaves byte-identically to the flat original.
 //!
 //! [`LinkProfile`]: tinman_sim::LinkProfile
 //! [`SimClock`]: tinman_sim::SimClock
@@ -29,6 +34,7 @@ pub mod chaos;
 pub mod error;
 pub mod filter;
 pub mod tcp;
+pub mod topology;
 pub mod world;
 
 pub use addr::{Addr, HostId};
@@ -36,4 +42,5 @@ pub use chaos::{NetChaos, NetChaosStats};
 pub use error::NetError;
 pub use filter::{EgressFilter, FilterAction, MarkFilter};
 pub use tcp::{Segment, TcpConn, TcpState};
+pub use topology::{Handoff, Router, RouterId, SubnetId, TopologyConfig, TopologyStats};
 pub use world::{ConnId, NetWorld, ServerApp, ServerReply, Traffic};

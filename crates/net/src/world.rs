@@ -12,13 +12,17 @@
 use std::collections::HashMap;
 
 use tinman_obs::{TraceEvent, TraceHandle};
-use tinman_sim::{LinkProfile, SimClock, SimDuration};
+use tinman_sim::{LinkProfile, SimClock, SimDuration, SimTime};
 
 use crate::addr::{Addr, HostId};
 use crate::chaos::{ChaosState, NetChaos, NetChaosStats};
 use crate::error::NetError;
 use crate::filter::{EgressFilter, FilterAction};
 use crate::tcp::{Segment, TcpConn, TcpState};
+use crate::topology::{
+    DnsOutcome, Handoff, NatVerdict, RouteFailure, RouterId, SubnetId, Topology, TopologyConfig,
+    TopologyStats,
+};
 
 /// Handle to a client-side connection opened with [`NetWorld::connect`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -106,6 +110,20 @@ pub struct NetWorld {
     /// Segments successfully delivered through [`NetWorld::inject`] — the
     /// payload-replacement deliveries a chaos replay must deduplicate.
     injected: u64,
+    /// The routed layer (None = legacy flat world, byte-identical to the
+    /// pre-topology behavior).
+    topology: Option<Topology>,
+    /// Routed-layer counters. Kept on the world (not the topology) so
+    /// handoff accounting works even on a flat world.
+    topo_stats: TopologyStats,
+    /// Scheduled mobility handoffs, applied by [`NetWorld::poll_network`].
+    pending_handoffs: Vec<(HostId, Handoff)>,
+    /// Scheduled conntrack flushes (the `NatTableFlush` chaos family).
+    nat_flushes: Vec<SimTime>,
+    /// When present, records every data segment as it crosses the
+    /// untrusted wire (post-NAT) — the exposure probe acceptance tests
+    /// scan for secrets on.
+    wire_tap: Option<Vec<Segment>>,
 }
 
 impl NetWorld {
@@ -125,6 +143,11 @@ impl NetWorld {
             trace_track: 0,
             chaos: None,
             injected: 0,
+            topology: None,
+            topo_stats: TopologyStats::default(),
+            pending_handoffs: Vec::new(),
+            nat_flushes: Vec::new(),
+            wire_tap: None,
         }
     }
 
@@ -215,21 +238,392 @@ impl NetWorld {
     }
 
     /// Traffic counters for a host.
-    pub fn traffic(&self, host: HostId) -> Traffic {
-        self.hosts.get(host.0 as usize).map(|h| h.traffic).unwrap_or_default()
+    ///
+    /// Unknown ids are an error: a silent zero here once masked energy
+    /// accounting against hosts that were never registered.
+    pub fn traffic(&self, host: HostId) -> Result<Traffic, NetError> {
+        self.hosts.get(host.0 as usize).map(|h| h.traffic).ok_or(NetError::NoSuchHost(host))
     }
 
     /// Takes all segments diverted to `host` by egress filters.
-    pub fn take_redirected(&mut self, host: HostId) -> Vec<Segment> {
+    ///
+    /// Unknown ids are an error rather than an empty queue, so a
+    /// misrouted redirect pickup can't silently look like "nothing
+    /// diverted".
+    pub fn take_redirected(&mut self, host: HostId) -> Result<Vec<Segment>, NetError> {
         self.hosts
             .get_mut(host.0 as usize)
             .map(|h| std::mem::take(&mut h.redirect_queue))
-            .unwrap_or_default()
+            .ok_or(NetError::NoSuchHost(host))
     }
 
     /// Number of segments waiting in `host`'s redirect queue.
-    pub fn redirected_pending(&self, host: HostId) -> usize {
-        self.hosts.get(host.0 as usize).map(|h| h.redirect_queue.len()).unwrap_or(0)
+    pub fn redirected_pending(&self, host: HostId) -> Result<usize, NetError> {
+        self.hosts
+            .get(host.0 as usize)
+            .map(|h| h.redirect_queue.len())
+            .ok_or(NetError::NoSuchHost(host))
+    }
+
+    // ------------------------------------------------------------------
+    // Routed topology: subnets, routers, NAT, DNS, mobility.
+    // ------------------------------------------------------------------
+
+    /// Installs the routed layer with explicit tunables. Until this (or
+    /// any topology mutator) is called the world stays flat and behaves
+    /// byte-identically to the pre-topology implementation.
+    pub fn enable_topology(&mut self, cfg: TopologyConfig) {
+        self.topology = Some(Topology::new(cfg));
+    }
+
+    /// True once the routed layer is installed.
+    pub fn topology_enabled(&self) -> bool {
+        self.topology.is_some()
+    }
+
+    fn topo_mut(&mut self) -> &mut Topology {
+        if self.topology.is_none() {
+            self.topology = Some(Topology::new(TopologyConfig::default()));
+        }
+        self.topology.as_mut().expect("just installed")
+    }
+
+    /// Moves a host into a subnet (installing a default topology if none
+    /// exists yet). Hosts never assigned live in subnet 0.
+    pub fn assign_subnet(&mut self, host: HostId, subnet: SubnetId) {
+        self.topo_mut().assign(host, subnet);
+    }
+
+    /// The subnet a host lives in (0 on a flat world).
+    pub fn host_subnet(&self, host: HostId) -> SubnetId {
+        self.topology.as_ref().map(|t| t.subnet(host)).unwrap_or(0)
+    }
+
+    /// Adds a router attached to `subnets` whose firewall refuses the
+    /// given destination ports.
+    pub fn add_router(&mut self, name: &str, subnets: &[SubnetId], deny_ports: &[u16]) -> RouterId {
+        self.topo_mut().add_router(name, subnets, deny_ports)
+    }
+
+    /// Administratively raises/lowers a router.
+    pub fn set_router_up(&mut self, id: RouterId, up: bool) {
+        if let Some(r) = self.topo_mut().router_mut(id) {
+            r.up = up;
+        }
+    }
+
+    /// Installs (replacing) a router's chaos outage windows `[from, until)`.
+    pub fn set_router_outages(&mut self, id: RouterId, windows: Vec<(SimTime, SimTime)>) {
+        if let Some(r) = self.topo_mut().router_mut(id) {
+            r.outages = windows;
+        }
+    }
+
+    /// Appends outage windows to *every* router — the `RouterCrash` chaos
+    /// family takes the whole routed core down for the window.
+    pub fn set_all_router_outages(&mut self, windows: Vec<(SimTime, SimTime)>) {
+        let topo = self.topo_mut();
+        for i in 0..topo.router_count() {
+            if let Some(r) = topo.router_mut(RouterId(i)) {
+                r.outages.extend(windows.iter().copied());
+            }
+        }
+    }
+
+    /// Installs a NAT gateway on `subnet`. Returns the gateway's public
+    /// host (a real registered host named `nat-<subnet>`): rewritten
+    /// segments carry it as their source address.
+    pub fn enable_nat(&mut self, subnet: SubnetId) -> HostId {
+        let public = self.add_host(&format!("nat-{subnet}"), LinkProfile::ethernet());
+        self.topo_mut().install_nat(subnet, public);
+        public
+    }
+
+    /// True if `subnet` has a NAT gateway installed.
+    pub fn nat_enabled(&self, subnet: SubnetId) -> bool {
+        self.topology.as_ref().is_some_and(|t| t.has_nat(subnet))
+    }
+
+    /// Schedules a conntrack flush at `at` (applied by the next
+    /// [`NetWorld::poll_network`] at or after that instant). Established
+    /// flows fail closed with [`NetError::NatExpired`] afterwards.
+    pub fn schedule_nat_flush(&mut self, at: SimTime) {
+        self.topo_mut();
+        self.nat_flushes.push(at);
+    }
+
+    /// Flushes every NAT conntrack table immediately.
+    pub fn flush_nat_now(&mut self) {
+        self.topo_mut().flush_nat();
+        self.topo_stats.nat_flushes += 1;
+    }
+
+    /// Installs (replacing) the DNS resolver's outage windows.
+    pub fn set_dns_outages(&mut self, windows: Vec<(SimTime, SimTime)>) {
+        self.topo_mut().set_dns_outages(windows);
+    }
+
+    /// Schedules a mobility handoff for `host`. Applied deterministically
+    /// by [`NetWorld::poll_network`] once the clock reaches `handoff.at`.
+    pub fn schedule_handoff(&mut self, host: HostId, handoff: Handoff) {
+        self.pending_handoffs.push((host, handoff));
+    }
+
+    /// Handoffs scheduled but not yet applied.
+    pub fn pending_handoffs(&self) -> usize {
+        self.pending_handoffs.len()
+    }
+
+    /// The host's current uplink profile (it changes across handoffs).
+    pub fn host_link(&self, host: HostId) -> Result<LinkProfile, NetError> {
+        self.hosts.get(host.0 as usize).map(|h| h.link.clone()).ok_or(NetError::NoSuchHost(host))
+    }
+
+    /// Applies every scheduled network event (handoffs, NAT flushes) due
+    /// at or before the current clock, in timestamp order (ties broken by
+    /// host id, flushes before handoffs). Called automatically on every
+    /// connect/send/inject/resolve; exposed so embedders that advance the
+    /// clock out-of-band (DSM syncs, backoff sleeps) can re-sync the
+    /// network state explicitly.
+    pub fn poll_network(&mut self) {
+        loop {
+            let now = self.clock.now();
+            let flush_i = self
+                .nat_flushes
+                .iter()
+                .enumerate()
+                .filter(|(_, &t)| t <= now)
+                .min_by_key(|(_, &t)| t)
+                .map(|(i, _)| i);
+            let hand_i = self
+                .pending_handoffs
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, h))| h.at <= now)
+                .min_by_key(|(_, (host, h))| (h.at, host.0))
+                .map(|(i, _)| i);
+            match (flush_i, hand_i) {
+                (None, None) => break,
+                (Some(fi), None) => self.apply_nat_flush(fi),
+                (None, Some(hi)) => self.apply_handoff(hi),
+                (Some(fi), Some(hi)) => {
+                    if self.nat_flushes[fi] <= self.pending_handoffs[hi].1.at {
+                        self.apply_nat_flush(fi);
+                    } else {
+                        self.apply_handoff(hi);
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_nat_flush(&mut self, idx: usize) {
+        self.nat_flushes.remove(idx);
+        if let Some(t) = self.topology.as_mut() {
+            t.flush_nat();
+        }
+        self.topo_stats.nat_flushes += 1;
+    }
+
+    fn apply_handoff(&mut self, idx: usize) {
+        let (host, h) = self.pending_handoffs.remove(idx);
+        let link_name = h.link.name;
+        if let Some(entry) = self.hosts.get_mut(host.0 as usize) {
+            entry.link = h.link;
+        }
+        if let Some(t) = self.topology.as_mut() {
+            if let Some(s) = h.to_subnet {
+                t.assign(host, s);
+            }
+            if h.rebind_nat {
+                t.rebind_host(host);
+            }
+        }
+        // The radio is dark until the new attachment completes: anything
+        // in flight stalls to the end of the blackout.
+        let dark_until = h.at + h.blackout;
+        if self.clock.now() < dark_until {
+            self.clock.advance_to(dark_until);
+        }
+        self.topo_stats.handoffs += 1;
+        if self.trace.is_enabled() {
+            self.trace.emit_on(
+                self.trace_track,
+                self.clock.now(),
+                TraceEvent::Handoff {
+                    link: link_name,
+                    blackout_ns: h.blackout.as_nanos(),
+                    rebind: h.rebind_nat,
+                },
+            );
+        }
+    }
+
+    /// Resolves a domain through the routed layer's DNS (TTL cache,
+    /// resolver cost, outage windows). On a flat world this is exactly
+    /// [`NetWorld::lookup`].
+    pub fn resolve(&mut self, domain: &str) -> Result<HostId, NetError> {
+        self.poll_network();
+        if self.topology.is_none() {
+            return self.lookup(domain);
+        }
+        let record = self.dns.get(domain).copied();
+        let now = self.clock.now();
+        let outcome =
+            self.topology.as_mut().expect("topology checked").dns_resolve(domain, now, record);
+        match outcome {
+            DnsOutcome::Cached(h) => {
+                self.topo_stats.dns_cache_hits += 1;
+                Ok(h)
+            }
+            DnsOutcome::Resolved(h) => {
+                self.topo_stats.dns_lookups += 1;
+                let cost = self.topology.as_ref().expect("topology checked").cfg.dns_cost;
+                self.clock.advance(cost);
+                Ok(h)
+            }
+            DnsOutcome::Outage => {
+                self.topo_stats.dns_failures += 1;
+                if self.trace.is_enabled() {
+                    self.trace.emit_on(
+                        self.trace_track,
+                        self.clock.now(),
+                        TraceEvent::DnsFault { domain: domain.to_owned() },
+                    );
+                }
+                Err(NetError::DnsOutage(domain.to_owned()))
+            }
+            DnsOutcome::Unknown => Err(NetError::UnknownDomain(domain.to_owned())),
+        }
+    }
+
+    /// Renders a host as seen from its assigned subnet
+    /// (`10.<subnet>.<hi>.<lo>`). Identical to `Display` on a flat world
+    /// or for hosts in subnet 0, so existing audit logs stay stable.
+    pub fn render_host(&self, host: HostId) -> String {
+        host.render_in_subnet(self.host_subnet(host))
+    }
+
+    /// Renders an address subnet-aware (see [`NetWorld::render_host`]).
+    pub fn render_addr(&self, addr: Addr) -> String {
+        format!("{}:{}", self.render_host(addr.host), addr.port)
+    }
+
+    /// Routed-layer counters (all zero on a flat world with no handoffs).
+    pub fn topology_stats(&self) -> TopologyStats {
+        self.topo_stats
+    }
+
+    /// Starts (or stops) recording every data segment that crosses the
+    /// untrusted wire, post-NAT. Enabling clears any previous capture.
+    pub fn set_wire_tap(&mut self, enabled: bool) {
+        self.wire_tap = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    /// Takes the wire-tap capture recorded so far.
+    pub fn take_wire_tap(&mut self) -> Vec<Segment> {
+        self.wire_tap.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    fn tap_segment(&mut self, seg: &Segment) {
+        if let Some(tap) = self.wire_tap.as_mut() {
+            tap.push(seg.clone());
+        }
+    }
+
+    /// Checks (and charges) the routed path between two hosts' subnets.
+    /// Flat worlds and intra-subnet traffic cost nothing; a routed path
+    /// charges per-hop forwarding latency; a missing or firewalled path
+    /// fails closed.
+    fn route_check(
+        &mut self,
+        from: HostId,
+        to: HostId,
+        dst_port: Option<u16>,
+    ) -> Result<(), NetError> {
+        let (verdict, hop_latency) = {
+            let Some(topo) = self.topology.as_ref() else { return Ok(()) };
+            let now = self.clock.now();
+            (topo.route(topo.subnet(from), topo.subnet(to), now, dst_port), topo.cfg.hop_latency)
+        };
+        match verdict {
+            Ok(0) => Ok(()),
+            Ok(hops) => {
+                self.topo_stats.router_hops += hops;
+                self.clock.advance(hop_latency * hops);
+                Ok(())
+            }
+            Err(RouteFailure::NoRoute) => {
+                self.topo_stats.route_drops += 1;
+                Err(NetError::NoRoute(from, to))
+            }
+            Err(RouteFailure::Firewall) => {
+                self.topo_stats.firewall_drops += 1;
+                Err(NetError::FirewallDenied(Addr::new(to, dst_port.unwrap_or(0))))
+            }
+        }
+    }
+
+    /// [`NetWorld::route_check`] without the hop-latency charge: used to
+    /// pre-validate a send before any TCP state is consumed. Failed
+    /// probes still count as drops.
+    fn route_probe(
+        &mut self,
+        from: HostId,
+        to: HostId,
+        dst_port: Option<u16>,
+    ) -> Result<(), NetError> {
+        let verdict = {
+            let Some(topo) = self.topology.as_ref() else { return Ok(()) };
+            let now = self.clock.now();
+            topo.route(topo.subnet(from), topo.subnet(to), now, dst_port)
+        };
+        match verdict {
+            Ok(_) => Ok(()),
+            Err(RouteFailure::NoRoute) => {
+                self.topo_stats.route_drops += 1;
+                Err(NetError::NoRoute(from, to))
+            }
+            Err(RouteFailure::Firewall) => {
+                self.topo_stats.firewall_drops += 1;
+                Err(NetError::FirewallDenied(Addr::new(to, dst_port.unwrap_or(0))))
+            }
+        }
+    }
+
+    /// Translates one outbound segment's source address through the NAT
+    /// conntrack table. Keyed on the segment's *header* source (the flow
+    /// identity), not the physical sender — which is exactly how a
+    /// node-injected reframed packet traverses the same rewrite as the
+    /// placeholder it replaces. Flushed bindings fail closed.
+    fn nat_rewrite_seg(&mut self, mut seg: Segment) -> Result<Segment, NetError> {
+        let verdict = {
+            let Some(topo) = self.topology.as_mut() else { return Ok(seg) };
+            let dst_subnet = topo.subnet(seg.dst.host);
+            topo.nat_translate(seg.src, dst_subnet)
+        };
+        let public = match verdict {
+            NatVerdict::Untouched => return Ok(seg),
+            NatVerdict::Rewritten(p) => p,
+            NatVerdict::Rebound(p) => {
+                self.topo_stats.nat_rebinds += 1;
+                p
+            }
+            NatVerdict::Expired => {
+                self.topo_stats.nat_drops += 1;
+                return Err(NetError::NatExpired(seg.src));
+            }
+        };
+        self.topo_stats.nat_rewrites += 1;
+        if self.trace.is_enabled() {
+            self.trace.emit_on(
+                self.trace_track,
+                self.clock.now(),
+                TraceEvent::NatRewrite { port: public.port },
+            );
+        }
+        seg.src = public;
+        Ok(seg)
     }
 
     fn host(&self, id: HostId) -> Result<&Host, NetError> {
@@ -244,6 +638,7 @@ impl NetWorld {
     /// Opens a TCP connection from `from` to `to`, running the whole
     /// handshake synchronously. Fails if nothing listens at `to`.
     pub fn connect(&mut self, from: HostId, to: Addr) -> Result<ConnId, NetError> {
+        self.poll_network();
         self.host(from)?;
         self.host(to.host)?;
         if let Some(chaos) = self.chaos.as_mut() {
@@ -252,11 +647,26 @@ impl NetWorld {
                 return Err(NetError::Partitioned(from, to.host));
             }
         }
+        self.route_check(from, to.host, Some(to.port))?;
         if !self.listeners.contains_key(&to) {
             return Err(NetError::ConnectionRefused(to));
         }
         let local = Addr::new(from, self.next_port);
         self.next_port = self.next_port.wrapping_add(1).max(40000);
+        // A NAT gateway on the client's subnet allocates the conntrack
+        // binding at connect time, exactly like the SYN punching the hole.
+        let fresh_binding = {
+            match self.topology.as_mut() {
+                Some(topo) => {
+                    let dst_subnet = topo.subnet(to.host);
+                    topo.nat_bind(local, dst_subnet).map(|(_, fresh)| fresh)
+                }
+                None => None,
+            }
+        };
+        if fresh_binding == Some(true) {
+            self.topo_stats.nat_bindings += 1;
+        }
         let isn_c = self.fresh_isn();
         let isn_s = self.fresh_isn();
         let (mut client, syn) = TcpConn::connect(local, to, isn_c);
@@ -293,12 +703,27 @@ impl NetWorld {
     /// A multi-segment burst pays propagation latency once (segments
     /// pipeline on the wire) and serialization per byte.
     pub fn send(&mut self, conn: ConnId, data: &[u8]) -> Result<(), NetError> {
+        self.poll_network();
         let stale = self.stale_conn(conn.0);
         let flow = self.flows.get_mut(&conn.0).ok_or(stale)?;
         if flow.client.state != TcpState::Established {
             return Err(NetError::NotEstablished(conn.0));
         }
         let (from, to) = (flow.client.local.host, flow.server_host);
+        let (local, server_port) = (flow.client.local, flow.server_port);
+        // Pre-validate the routed path and the NAT binding *before* the
+        // client TCP consumes sequence numbers, so a downed route or a
+        // flushed conntrack entry fails the send atomically instead of
+        // wedging the flow with a sequence gap. No hop latency is charged
+        // here — the per-segment delivery path pays it.
+        self.route_probe(from, to, Some(server_port))?;
+        if let Some(topo) = self.topology.as_ref() {
+            if matches!(topo.nat_peek(local, topo.subnet(to)), NatVerdict::Expired) {
+                self.topo_stats.nat_drops += 1;
+                return Err(NetError::NatExpired(local));
+            }
+        }
+        let flow = self.flows.get_mut(&conn.0).ok_or(NetError::NoSuchConn(conn.0))?;
         let segs = flow.client.send(data);
         if !segs.is_empty() {
             self.charge_propagation(from, to);
@@ -400,14 +825,20 @@ impl NetWorld {
     /// header still names the client (§3.3 step 4). Bypasses
     /// `physical_src`'s egress filter (the node is trusted not to loop).
     pub fn inject(&mut self, physical_src: HostId, seg: Segment) -> Result<(), NetError> {
+        self.poll_network();
         self.host(physical_src)?;
-        // Find the flow this segment belongs to by its header addresses.
+        // Find the flow this segment belongs to by its header addresses
+        // (the *private* flow identity — NAT translation happens below,
+        // after the flow is identified, exactly like conntrack matching
+        // the inner tuple before rewriting the outer one).
         let conn = self
             .flows
             .iter()
             .find(|(_, f)| f.client.local == seg.src && f.client.remote == seg.dst)
             .map(|(id, _)| ConnId(*id))
             .ok_or(NetError::NoMatchingFlow(seg.src, seg.dst))?;
+        self.route_check(physical_src, seg.dst.host, Some(seg.dst.port))?;
+        let seg = self.nat_rewrite_seg(seg)?;
         self.wire_fault(physical_src, seg.dst.host, seg.wire_bytes())?;
         self.charge_transfer(physical_src, seg.dst.host, seg.wire_bytes());
         if self.trace.is_enabled() {
@@ -417,6 +848,7 @@ impl NetWorld {
                 TraceEvent::NetInject { bytes: seg.payload.len() as u64 },
             );
         }
+        self.tap_segment(&seg);
         self.deliver_to_server(conn, seg)?;
         self.injected += 1;
         Ok(())
@@ -433,8 +865,11 @@ impl NetWorld {
             };
         match action {
             FilterAction::Pass => {
+                self.route_check(client_host, seg.dst.host, Some(seg.dst.port))?;
+                let seg = self.nat_rewrite_seg(seg)?;
                 self.wire_fault(client_host, seg.dst.host, seg.wire_bytes())?;
                 self.charge_serialization(client_host, seg.dst.host, seg.wire_bytes());
+                self.tap_segment(&seg);
                 self.deliver_to_server(conn, seg)
             }
             FilterAction::Redirect(to) => {
@@ -447,6 +882,12 @@ impl NetWorld {
                         chaos.stats.partition_drops += 1;
                         return Ok(());
                     }
+                }
+                if self.route_check(client_host, to, None).is_err() {
+                    // The path to the trusted node is down: like the
+                    // partition above, the marked segment dies silently —
+                    // nothing downstream ever sees the placeholder.
+                    return Ok(());
                 }
                 self.charge_transfer(client_host, to, seg.wire_bytes());
                 if self.trace.is_enabled() {
@@ -500,6 +941,9 @@ impl NetWorld {
             self.think_total += reply.think;
         }
         if !reply.data.is_empty() {
+            // The reply takes the reverse routed path (charged once per
+            // burst, like propagation — reply segments pipeline).
+            self.route_check(server_host, client_host, None)?;
             let flow = self.flows.get_mut(&conn.0).ok_or(NetError::NoSuchConn(conn.0))?;
             let segs = flow.server.send(&reply.data);
             if !segs.is_empty() {
@@ -708,8 +1152,8 @@ mod tests {
         let (mut w, phone, server, addr) = world();
         let conn = w.connect(phone, addr).unwrap();
         w.send(conn, b"data").unwrap();
-        let pt = w.traffic(phone);
-        let st = w.traffic(server);
+        let pt = w.traffic(phone).unwrap();
+        let st = w.traffic(server).unwrap();
         assert!(pt.tx_bytes > 0 && pt.rx_bytes > 0);
         assert!(st.tx_bytes > 0 && st.rx_bytes > 0);
     }
@@ -724,15 +1168,15 @@ mod tests {
         // Unmarked passes through.
         w.send(conn, b"\x16normal").unwrap();
         assert_eq!(w.recv_available(conn).unwrap(), b"\x16NORMAL");
-        assert_eq!(w.redirected_pending(node), 0);
+        assert_eq!(w.redirected_pending(node).unwrap(), 0);
 
         // Marked is captured, server sees nothing.
         w.send(conn, b"\x7fsecret-placeholder").unwrap();
         assert_eq!(w.recv_available(conn).unwrap(), b"");
-        assert_eq!(w.redirected_pending(node), 1);
-        let segs = w.take_redirected(node);
+        assert_eq!(w.redirected_pending(node).unwrap(), 1);
+        let segs = w.take_redirected(node).unwrap();
         assert_eq!(segs[0].payload, b"\x7fsecret-placeholder");
-        assert_eq!(w.redirected_pending(node), 0);
+        assert_eq!(w.redirected_pending(node).unwrap(), 0);
     }
 
     #[test]
@@ -743,7 +1187,7 @@ mod tests {
         let conn = w.connect(phone, addr).unwrap();
 
         w.send(conn, b"\x7fplaceholder-body").unwrap();
-        let mut seg = w.take_redirected(node).pop().unwrap();
+        let mut seg = w.take_redirected(node).unwrap().pop().unwrap();
         // Node swaps the payload for one of EQUAL length (the cor shares
         // the placeholder's size) and forwards with the header untouched.
         let real = b"\x17realsecret-body!";
@@ -763,7 +1207,7 @@ mod tests {
         w.set_trace(h, 3);
         let conn = w.connect(phone, addr).unwrap();
         w.send(conn, b"\x7fdiverted").unwrap();
-        let seg = w.take_redirected(node).pop().unwrap();
+        let seg = w.take_redirected(node).unwrap().pop().unwrap();
         w.inject(node, seg).unwrap();
         let recs = sink.snapshot();
         assert_eq!(recs.len(), 2);
@@ -866,7 +1310,7 @@ mod tests {
         // The marked segment dies on the way to the node: no error, no
         // delivery, nothing queued — the placeholder never left the phone.
         w.send(conn, b"\x7fsecret-placeholder").unwrap();
-        assert_eq!(w.redirected_pending(node), 0);
+        assert_eq!(w.redirected_pending(node).unwrap(), 0);
         assert_eq!(w.recv_available(conn).unwrap(), b"");
         assert_eq!(w.chaos_stats().partition_drops, 1);
     }
@@ -885,7 +1329,7 @@ mod tests {
             w.send(conn, &vec![b'a'; 200_000]).unwrap();
             let data = w.recv_available(conn).unwrap();
             assert!(data.iter().all(|&b| b == b'A'), "payload is uncorrupted");
-            (w.clock().now().since(t0), w.traffic(phone).tx_bytes, w.chaos_stats())
+            (w.clock().now().since(t0), w.traffic(phone).unwrap().tx_bytes, w.chaos_stats())
         };
         let (t_clean, tx_clean, s_clean) = run(0);
         let (t_lossy, tx_lossy, s_lossy) = run(60);
@@ -941,8 +1385,209 @@ mod tests {
         let conn = w.connect(phone, addr).unwrap();
         assert_eq!(w.injected_count(), 0);
         w.send(conn, b"\x7fplaceholder-body").unwrap();
-        let seg = w.take_redirected(node).pop().unwrap();
+        let seg = w.take_redirected(node).unwrap().pop().unwrap();
         w.inject(node, seg).unwrap();
         assert_eq!(w.injected_count(), 1);
+    }
+
+    #[test]
+    fn unknown_host_queries_are_errors_not_defaults() {
+        let (mut w, _phone, _server, _) = world();
+        let ghost = HostId(999);
+        assert_eq!(w.traffic(ghost).unwrap_err(), NetError::NoSuchHost(ghost));
+        assert_eq!(w.take_redirected(ghost).unwrap_err(), NetError::NoSuchHost(ghost));
+        assert_eq!(w.redirected_pending(ghost).unwrap_err(), NetError::NoSuchHost(ghost));
+        assert_eq!(w.host_link(ghost).unwrap_err(), NetError::NoSuchHost(ghost));
+    }
+
+    /// World with phone in subnet 1 behind NAT, server in subnet 0,
+    /// joined by one router.
+    fn routed_world() -> (NetWorld, HostId, HostId, Addr) {
+        let (mut w, phone, server, addr) = world();
+        w.enable_topology(TopologyConfig::default());
+        w.assign_subnet(phone, 1);
+        w.add_router("r-access", &[1, 0], &[]);
+        w.enable_nat(1);
+        (w, phone, server, addr)
+    }
+
+    #[test]
+    fn flat_world_is_byte_identical_with_and_without_the_topology_module() {
+        // A world that never calls a topology method must produce the
+        // exact same timeline and traffic as before the routed layer
+        // existed: all-zero stats, Display-identical rendering.
+        let (mut w, phone, _server, addr) = world();
+        let conn = w.connect(phone, addr).unwrap();
+        w.send(conn, b"hello").unwrap();
+        assert_eq!(w.topology_stats(), TopologyStats::default());
+        assert_eq!(w.render_host(phone), phone.to_string());
+        assert!(!w.topology_enabled());
+    }
+
+    #[test]
+    fn routed_world_charges_hops_and_rewrites_sources() {
+        let (mut w, phone, _server, addr) = routed_world();
+        w.set_wire_tap(true);
+        let conn = w.connect(phone, addr).unwrap();
+        w.send(conn, b"hello").unwrap();
+        assert_eq!(w.recv_available(conn).unwrap(), b"HELLO");
+        let stats = w.topology_stats();
+        assert!(stats.router_hops > 0, "cross-subnet traffic traverses the router");
+        assert_eq!(stats.nat_bindings, 1, "connect allocated a conntrack entry");
+        assert!(stats.nat_rewrites > 0, "outbound data was source-rewritten");
+        // Every tapped (untrusted-wire) segment carries the NAT's public
+        // source, never the phone's private address.
+        let tap = w.take_wire_tap();
+        assert!(!tap.is_empty());
+        let nat_host = w.lookup("nat-1").unwrap();
+        for seg in &tap {
+            assert_eq!(seg.src.host, nat_host, "post-NAT source on the wire");
+        }
+        assert_eq!(w.render_host(phone), phone.render_in_subnet(1));
+    }
+
+    #[test]
+    fn router_outage_fails_cross_subnet_traffic_closed_until_it_ends() {
+        let (mut w, phone, _server, addr) = routed_world();
+        let conn = w.connect(phone, addr).unwrap();
+        let now = w.clock().now();
+        let until = now + SimDuration::from_secs(5);
+        w.set_all_router_outages(vec![(now, until)]);
+        assert!(matches!(w.send(conn, b"x"), Err(NetError::NoRoute(_, _))));
+        assert!(w.topology_stats().route_drops >= 1);
+        // Advance past the window (a DSM backoff would do this) and the
+        // same connection works again.
+        w.clock().advance_to(until);
+        w.send(conn, b"back").unwrap();
+        assert_eq!(w.recv_available(conn).unwrap(), b"BACK");
+    }
+
+    #[test]
+    fn firewall_denied_port_refuses_connect() {
+        let (mut w, phone, server, _addr) = world();
+        w.enable_topology(TopologyConfig::default());
+        w.assign_subnet(phone, 1);
+        w.add_router("fw", &[1, 0], &[443]);
+        let err = w.connect(phone, Addr::new(server, 443)).unwrap_err();
+        assert!(matches!(err, NetError::FirewallDenied(_)));
+        assert_eq!(w.topology_stats().firewall_drops, 1);
+    }
+
+    #[test]
+    fn nat_table_flush_fails_established_flows_closed() {
+        let (mut w, phone, _server, addr) = routed_world();
+        let conn = w.connect(phone, addr).unwrap();
+        w.send(conn, b"pre").unwrap();
+        w.flush_nat_now();
+        assert!(matches!(w.send(conn, b"post"), Err(NetError::NatExpired(_))));
+        let stats = w.topology_stats();
+        assert_eq!(stats.nat_flushes, 1);
+        assert!(stats.nat_drops >= 1);
+        // A *new* connection re-binds and works.
+        let conn2 = w.connect(phone, addr).unwrap();
+        w.send(conn2, b"fresh").unwrap();
+        assert_eq!(w.recv_available(conn2).unwrap(), b"FRESH");
+    }
+
+    #[test]
+    fn handoff_swaps_link_stalls_blackout_and_rebinds_nat() {
+        let (mut w, phone, _server, addr) = routed_world();
+        let conn = w.connect(phone, addr).unwrap();
+        w.send(conn, b"on-wifi").unwrap();
+        assert_eq!(w.recv_available(conn).unwrap(), b"ON-WIFI");
+        assert_eq!(w.host_link(phone).unwrap().name, "wifi");
+        let at = w.clock().now() + SimDuration::from_millis(10);
+        w.schedule_handoff(
+            phone,
+            Handoff {
+                at,
+                link: LinkProfile::three_g(),
+                blackout: SimDuration::from_millis(400),
+                rebind_nat: true,
+                to_subnet: None,
+            },
+        );
+        assert_eq!(w.pending_handoffs(), 1);
+        w.clock().advance(SimDuration::from_millis(20));
+        // The next network operation applies the handoff: blackout stall,
+        // link swap, NAT rebind — and the established flow survives.
+        w.send(conn, b"on-3g").unwrap();
+        assert_eq!(w.recv_available(conn).unwrap(), b"ON-3G");
+        assert_eq!(w.host_link(phone).unwrap().name, "3g");
+        assert!(w.clock().now() >= at + SimDuration::from_millis(400), "blackout stalled");
+        let stats = w.topology_stats();
+        assert_eq!(stats.handoffs, 1);
+        assert!(stats.nat_rebinds >= 1, "flow transparently re-bound through the NAT");
+        assert_eq!(w.pending_handoffs(), 0);
+    }
+
+    #[test]
+    fn dns_resolver_charges_caches_and_fails_closed_in_outages() {
+        let (mut w, _phone, server, _addr) = routed_world();
+        let t0 = w.clock().now();
+        assert_eq!(w.resolve("example.com").unwrap(), server);
+        assert!(w.clock().now() > t0, "cold lookup pays the resolver round trip");
+        let t1 = w.clock().now();
+        assert_eq!(w.resolve("example.com").unwrap(), server);
+        assert_eq!(w.clock().now(), t1, "cache hit is free");
+        let until = t1 + SimDuration::from_secs(10);
+        w.set_dns_outages(vec![(t1, until)]);
+        // Cached name still serves through the outage; a cold one fails.
+        assert_eq!(w.resolve("example.com").unwrap(), server);
+        w.register_domain("cold.example.com", server);
+        assert!(matches!(w.resolve("cold.example.com"), Err(NetError::DnsOutage(_))));
+        let stats = w.topology_stats();
+        assert_eq!(stats.dns_lookups, 1);
+        assert_eq!(stats.dns_cache_hits, 2);
+        assert_eq!(stats.dns_failures, 1);
+    }
+
+    #[test]
+    fn flat_world_resolve_is_plain_lookup() {
+        let (mut w, _phone, server, _) = world();
+        let t0 = w.clock().now();
+        assert_eq!(w.resolve("example.com").unwrap(), server);
+        assert_eq!(w.clock().now(), t0, "no resolver cost on a flat world");
+    }
+
+    #[test]
+    fn injected_replacement_traverses_the_same_nat_rewrite() {
+        let (mut w, phone, _server, addr) = routed_world();
+        let node = w.add_host("trusted-node", LinkProfile::ethernet());
+        w.assign_subnet(node, 2);
+        w.add_router("r-core", &[2, 0, 1], &[]);
+        w.set_egress_filter(phone, Box::new(MarkFilter { mark: 0x7f, to: node }));
+        w.set_wire_tap(true);
+        let conn = w.connect(phone, addr).unwrap();
+        w.send(conn, b"\x7fplaceholder-body").unwrap();
+        // The diverted segment still carries the phone's *private* flow
+        // identity — that is what lets the node inject by header match.
+        let mut seg = w.take_redirected(node).unwrap().pop().unwrap();
+        assert_eq!(seg.src.host, phone);
+        seg.payload = b"\x17realsecret-body!".to_vec();
+        w.inject(node, seg).unwrap();
+        assert_eq!(w.recv_available(conn).unwrap(), b"\x17REALSECRET-BODY!");
+        // On the untrusted wire the injected copy was source-rewritten
+        // through the same conntrack binding the SYN punched.
+        let tap = w.take_wire_tap();
+        let nat_host = w.lookup("nat-1").unwrap();
+        assert!(!tap.is_empty());
+        for seg in &tap {
+            assert_eq!(seg.src.host, nat_host);
+        }
+        assert!(w.topology_stats().nat_rewrites >= 1);
+    }
+
+    #[test]
+    fn scheduled_nat_flush_applies_at_its_instant() {
+        let (mut w, phone, _server, addr) = routed_world();
+        let conn = w.connect(phone, addr).unwrap();
+        let at = w.clock().now() + SimDuration::from_millis(50);
+        w.schedule_nat_flush(at);
+        w.send(conn, b"before").unwrap();
+        assert_eq!(w.topology_stats().nat_flushes, 0, "not due yet");
+        w.clock().advance_to(at);
+        assert!(matches!(w.send(conn, b"after"), Err(NetError::NatExpired(_))));
+        assert_eq!(w.topology_stats().nat_flushes, 1);
     }
 }

@@ -96,7 +96,8 @@ pub enum TraceEvent {
         /// Fault kind: `"crash"`, `"partition"`, `"sync_timeout"`,
         /// `"packet_loss"`, `"packet_corrupt"`, `"packet_delay"`,
         /// `"link_flap"`, `"vault_mid_commit"`, `"vault_torn_tail"`,
-        /// `"vault_compaction"`, or `"replica_lag"`.
+        /// `"vault_compaction"`, `"replica_lag"`, `"router_crash"`,
+        /// `"nat_table_flush"`, `"dns_outage"`, or `"handoff_storm"`.
         kind: &'static str,
         /// Target node index.
         node: u64,
@@ -258,6 +259,29 @@ pub enum TraceEvent {
         /// Block-entry precondition failures.
         deopts: u64,
     },
+    /// A mobility handoff was applied mid-session: the radio switched
+    /// link profiles, the air went dark for the blackout, and (when
+    /// `rebind` is set) the host's NAT bindings were flushed with
+    /// transparent re-allocation allowed.
+    Handoff {
+        /// The link profile after the switch (`"wifi"`, `"3g"`, ...).
+        link: &'static str,
+        /// Radio blackout duration in simulated nanoseconds.
+        blackout_ns: u64,
+        /// True when the handoff flushed-and-rebound NAT state.
+        rebind: bool,
+    },
+    /// A segment's source address was rewritten through a NAT gateway's
+    /// connection-tracking table on its way to the untrusted wire.
+    NatRewrite {
+        /// The public source port the segment now carries.
+        port: u16,
+    },
+    /// A DNS resolution failed closed inside a resolver outage window.
+    DnsFault {
+        /// The domain that could not be resolved.
+        domain: String,
+    },
     /// A named span; appears with [`crate::TracePhase::Begin`] and
     /// [`crate::TracePhase::End`] records (Chrome `B`/`E` semantics:
     /// spans nest per track, stack-wise).
@@ -296,6 +320,9 @@ impl TraceEvent {
             TraceEvent::TenantKeyRotation { .. } => "tenant_key_rotation",
             TraceEvent::TierCompile { .. } => "tier_compile",
             TraceEvent::TierSegment { .. } => "tier_segment",
+            TraceEvent::Handoff { .. } => "handoff",
+            TraceEvent::NatRewrite { .. } => "nat_rewrite",
+            TraceEvent::DnsFault { .. } => "dns_fault",
             TraceEvent::Span { name } => name,
         }
     }
@@ -426,6 +453,15 @@ impl TraceEvent {
                 ("stepped_insns".to_owned(), Value::U64(*stepped_insns)),
                 ("deopts".to_owned(), Value::U64(*deopts)),
             ],
+            TraceEvent::Handoff { link, blackout_ns, rebind } => vec![
+                ("link".to_owned(), s(link)),
+                ("blackout_ns".to_owned(), Value::U64(*blackout_ns)),
+                ("rebind".to_owned(), Value::Bool(*rebind)),
+            ],
+            TraceEvent::NatRewrite { port } => {
+                vec![("port".to_owned(), Value::U64(u64::from(*port)))]
+            }
+            TraceEvent::DnsFault { domain } => vec![("domain".to_owned(), s(domain))],
             TraceEvent::Span { .. } => Vec::new(),
         }
     }

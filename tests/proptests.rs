@@ -566,3 +566,142 @@ proptest! {
         prop_assert!(order.iter().all(|&n| n < pool.len()), "indices in range");
     }
 }
+
+// ---------- wire chaos on the routed net ----------
+
+proptest! {
+    /// Satellite invariant for the routed internet: a TCP exchange under
+    /// combined loss + corruption + delay chaos either delivers the exact
+    /// bytes or fails with a checked error (never a partial/garbled
+    /// delivery), and the whole run — outcome, retransmit/sequence
+    /// accounting, radio traffic — is a pure function of the dice seed:
+    /// rerunning it yields byte-identical `NetChaosStats`.
+    #[test]
+    fn tcp_chaos_delivers_exactly_or_fails_closed_deterministically(
+        data in proptest::collection::vec(any::<u8>(), 1..2048),
+        loss in 0u8..101,
+        corrupt in 0u8..101,
+        delay_ms in 0u64..50,
+        seed in any::<u64>(),
+    ) {
+        use tinman::net::{Addr, NetChaos, NetChaosStats, NetWorld, ServerApp, ServerReply, Traffic};
+        use tinman::sim::{LinkProfile, SimClock, SimDuration};
+
+        struct Echo;
+        impl ServerApp for Echo {
+            fn on_data(&mut self, _peer: Addr, data: &[u8]) -> ServerReply {
+                ServerReply { data: data.to_vec(), ..ServerReply::default() }
+            }
+        }
+
+        let run = || -> (Result<Vec<u8>, String>, NetChaosStats, Traffic, (u32, u32)) {
+            let mut world = NetWorld::new(SimClock::new());
+            let phone = world.add_host("phone", LinkProfile::wifi());
+            let server = world.add_host("server", LinkProfile::ethernet());
+            world.install_server(Addr::new(server, 443), Box::new(Echo));
+            world.set_chaos(NetChaos {
+                loss_pct: loss,
+                corrupt_pct: corrupt,
+                extra_delay: SimDuration::from_millis(delay_ms),
+                flap: None,
+                partitions: Vec::new(),
+                seed,
+            });
+            let mut seq = (0, 0);
+            let out = (|| {
+                let conn =
+                    world.connect(phone, Addr::new(server, 443)).map_err(|e| e.to_string())?;
+                world.send(conn, &data).map_err(|e| e.to_string())?;
+                let got = world.recv_available(conn).map_err(|e| e.to_string())?;
+                seq = world.conn_seq(conn).map_err(|e| e.to_string())?;
+                Ok(got)
+            })();
+            let traffic = world.traffic(phone).expect("phone exists");
+            (out, world.chaos_stats(), traffic, seq)
+        };
+
+        let (a, stats_a, traffic_a, seq_a) = run();
+        let (b, stats_b, traffic_b, seq_b) = run();
+        prop_assert_eq!(&a, &b, "outcome is a pure function of the dice seed");
+        prop_assert_eq!(stats_a, stats_b, "NetChaosStats byte-identical across reruns");
+        prop_assert_eq!(traffic_a, traffic_b, "radio accounting byte-identical across reruns");
+        prop_assert_eq!(seq_a, seq_b, "sequence accounting byte-identical across reruns");
+        match a {
+            // Loss and corruption are modeled as retransmissions, so a
+            // surviving exchange must deliver the bytes exactly.
+            Ok(got) => prop_assert_eq!(got, data, "delivery is exact, never garbled"),
+            // Fail closed: a checked error and nothing delivered.
+            Err(msg) => prop_assert!(!msg.is_empty()),
+        }
+    }
+}
+
+// ---------- arbitrary topology chaos plans ----------
+
+proptest! {
+    // Fleet runs are heavy; a handful of arbitrary plans per test run
+    // keeps the suite fast while the seed corpus accumulates coverage.
+    #![cases(6)]
+
+    /// The acceptance property for the routed-internet families: under
+    /// ANY combination of `RouterCrash`/`NatTableFlush`/`DnsOutage`/
+    /// `HandoffStorm`, every session either completes (after bounded
+    /// re-sync retries) or fails closed — and no outcome ever leaves cor
+    /// plaintext residue on a device or ships vault bytes to one.
+    #[test]
+    fn arbitrary_topology_plans_complete_or_fail_closed(
+        families in any::<u8>(),
+        crash in (50u64..1200, 1u64..400),
+        flush_at in 200u64..1500,
+        dns in (0u64..300, 1u64..300, 0u64..4),
+        storm in (1u32..3, 200u64..900, 0u64..250),
+    ) {
+        use tinman::chaos::{ChaosEvent, ChaosPlan};
+        use tinman::fleet::{run_fleet_chaos, FleetConfig, FleetObs};
+        use tinman::sim::SimDuration;
+
+        // The low 4 bits of `families` pick which families this plan
+        // combines, so singletons and every interaction both get cases.
+        let mut events = Vec::new();
+        if families & 1 != 0 {
+            let (from, len) = crash;
+            events.push(ChaosEvent::RouterCrash {
+                from: SimDuration::from_millis(from),
+                until: SimDuration::from_millis(from + len),
+            });
+        }
+        if families & 2 != 0 {
+            events.push(ChaosEvent::NatTableFlush { at: SimDuration::from_millis(flush_at) });
+        }
+        if families & 4 != 0 {
+            let (from, len, from_session) = dns;
+            events.push(ChaosEvent::DnsOutage {
+                from: SimDuration::from_millis(from),
+                until: SimDuration::from_millis(from + len),
+                from_session,
+                until_session: from_session + 2,
+            });
+        }
+        if families & 8 != 0 {
+            let (count, every, blackout) = storm;
+            events.push(ChaosEvent::HandoffStorm {
+                count,
+                every: SimDuration::from_millis(every),
+                blackout: SimDuration::from_millis(blackout),
+            });
+        }
+        let mut plan = ChaosPlan::empty();
+        plan.events = events;
+        let mut cfg = FleetConfig::new(4, 2);
+        cfg.nodes = 2;
+        cfg.topology = true;
+        let report = run_fleet_chaos(&cfg, &plan, &FleetObs::default()).unwrap();
+        prop_assert_eq!(report.residue_violations, 0, "no plan leaves cor residue");
+        prop_assert_eq!(report.wal_device_leaks, 0, "vault bytes never reach a device");
+        prop_assert_eq!(
+            report.ok + report.fail_closed, report.sessions,
+            "every session completes after bounded retries or fails closed"
+        );
+        prop_assert!(report.outcomes.iter().all(|o| o.success || o.fail_closed));
+    }
+}
