@@ -6,7 +6,7 @@
 //! [--seed N] [--down NODE ...] [--trace PATH] [--chaos [PLAN]]
 //! [--hostile [PLAN]] [--vault-crash] [--chaos-seed N] [--tenants N]
 //! [--deny DOMAIN ...] [--unattested NODE ...] [--topology] [--handoff]
-//! [--json-out [PATH]]`
+//! [--regions N] [--drain] [--json-out [PATH]]`
 //!
 //! The simulated aggregate is bit-identical for any `--workers` value;
 //! only the wall-clock fields change. Run with `--workers 1` and
@@ -53,6 +53,17 @@
 //! (handoffs, NAT rewrites/rebinds, DNS faults, route drops); the
 //! simulated aggregate stays byte-identical across `--workers` values.
 //!
+//! `--regions N` partitions the pool into N trusted-node regions behind
+//! the deterministic placement front: sessions home to a region by
+//! placement key, membership chaos families (`--chaos region-failover`,
+//! `--chaos rolling-upgrade`) drain and kill whole regions, and
+//! in-flight sessions live-migrate to a peer region or fail closed as
+//! `no_region`. `--drain` puts node 0 into a standing drain so every
+//! run exercises the checkpoint/migrate/scrub path. Both add a `region`
+//! summary line (migrations, evacuations, region failovers, migration
+//! residue, no-region kills); the simulated aggregate stays
+//! byte-identical across `--workers` values.
+//!
 //! `--json-out [PATH]` additionally writes a schema'd benchmark record
 //! (throughput, latency percentiles, bytes synced, tenancy counters) to
 //! PATH — default `BENCH_fleet_throughput.json` — for baseline diffing.
@@ -78,6 +89,8 @@ struct Args {
     unattested: Vec<usize>,
     topology: bool,
     handoff: bool,
+    regions: u32,
+    drain: bool,
     json_out: Option<String>,
 }
 
@@ -105,6 +118,8 @@ fn parse_args() -> Args {
         unattested: Vec::new(),
         topology: false,
         handoff: false,
+        regions: 1,
+        drain: false,
         json_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -153,6 +168,8 @@ fn parse_args() -> Args {
                 // A handoff storm is only meaningful on a routed world.
                 args.topology = true;
             }
+            "--regions" => args.regions = take(&argv, &mut i, &flag).parse().expect("--regions"),
+            "--drain" => args.drain = true,
             "--json-out" => {
                 // Optional value, same shape as --chaos: with no PATH the
                 // record lands in BENCH_fleet_throughput.json.
@@ -194,6 +211,8 @@ fn main() {
     cfg.unattested_nodes = parsed.unattested.clone();
     cfg.topology = parsed.topology;
     cfg.handoff = parsed.handoff;
+    cfg.regions = parsed.regions;
+    cfg.drain = parsed.drain;
 
     let mut obs = FleetObs::default();
     let sink = parsed.trace.as_ref().map(|_| {
@@ -206,11 +225,15 @@ fn main() {
     // --tenants forces the chaos path even with no injected faults.
     // Routed worlds (and their handoff storms) are likewise built by the
     // chaos executor, so --topology/--handoff force the chaos path too.
+    // Regions and drains live in the membership schedule, which only the
+    // chaos executor builds — --regions/--drain force the chaos path.
     let wants_chaos = parsed.chaos.is_some()
         || parsed.vault_crash
         || parsed.hostile.is_some()
         || parsed.tenants > 0
-        || parsed.topology;
+        || parsed.topology
+        || parsed.regions > 1
+        || parsed.drain;
     let plan = wants_chaos.then(|| {
         let mut plan = match parsed.chaos.as_deref() {
             None | Some("") => ChaosPlan::empty(),
@@ -307,6 +330,18 @@ fn main() {
             report.route_drops,
         );
     }
+    if report.region_mode {
+        println!(
+            "region   regions {} | migrations {} | evacuations {} | region failovers {} | \
+             migration residue {} | no-region kills {}",
+            parsed.regions,
+            report.migrations,
+            report.evacuations,
+            report.region_failovers,
+            report.migration_residue,
+            report.no_region_kills,
+        );
+    }
     if parsed.tenants > 0 {
         println!(
             "tenant   tenants {} | policy denials {} | cross-tenant residue {} | \
@@ -381,6 +416,8 @@ fn bench_record(
             "chaos": plan.is_some(),
             "topology": parsed.topology,
             "handoff": parsed.handoff,
+            "regions": parsed.regions as u64,
+            "drain": parsed.drain,
         },
         "throughput": {
             "sessions_per_sim_sec": report.sim_throughput,
@@ -405,6 +442,13 @@ fn bench_record(
             "nat_rebinds": report.nat_rebinds,
             "dns_faults": report.dns_faults,
             "route_drops": report.route_drops,
+        },
+        "region": {
+            "migrations": report.migrations,
+            "evacuations": report.evacuations,
+            "region_failovers": report.region_failovers,
+            "migration_residue": report.migration_residue,
+            "no_region_kills": report.no_region_kills,
         },
         "tenancy": {
             "policy_denials": report.policy_denials,

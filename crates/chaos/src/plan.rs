@@ -259,6 +259,65 @@ pub enum ChaosEvent {
         /// First session id past the rotation window.
         until_session: u64,
     },
+    /// Node `node` is *Draining* for session ids in
+    /// `[from_session, until_session)`: a planned membership change (the
+    /// operator is taking the node out for maintenance). Unlike a crash,
+    /// a draining node still *admits* sessions — but checkpoints them at
+    /// the first DSM sync point and hands the serialized guest to an
+    /// attested peer, scrubbing its own heap. After the window the node
+    /// is *Evacuated* and admits nothing.
+    NodeDrain {
+        /// Pool index of the draining node.
+        node: usize,
+        /// First session id that observes the drain.
+        from_session: u64,
+        /// First session id that observes the node evacuated.
+        until_session: u64,
+    },
+    /// Every node in region `region` dies for session ids in
+    /// `[from_session, until_session)`: sessions in flight on the region
+    /// when the window opens are checkpointed and must migrate to an
+    /// attested peer *region* (or fail closed, reason `no_region`);
+    /// sessions placed inside the window skip the region entirely. After
+    /// the window the region's nodes rejoin as *CatchingUp* — they must
+    /// reach the acked vault watermark before serving again.
+    RegionOutage {
+        /// Region index (checked against the fleet's region count at
+        /// membership-schedule build, not here — the plan does not know
+        /// how many regions the fleet runs).
+        region: u32,
+        /// First session id that observes the outage.
+        from_session: u64,
+        /// First session id at which the region begins catching up.
+        until_session: u64,
+    },
+    /// A rolling upgrade: starting at `from_session`, node 0 drains for
+    /// `wave_sessions` session ids, then node 1, then node 2, … one node
+    /// per wave, so the fleet is never more than one node short. Each
+    /// drained node rejoins as *CatchingUp* when its wave ends and is
+    /// serving again one wave later.
+    RollingUpgrade {
+        /// Session ids each node's drain wave lasts.
+        wave_sessions: u64,
+        /// First session id of node 0's wave.
+        from_session: u64,
+    },
+    /// Node `node` flaps: alternating *Down* and rejoining windows of
+    /// `period_sessions` session ids each, inside
+    /// `[from_session, until_session)`. The first period is Down; each
+    /// rejoin period starts *CatchingUp* — a flapping node that never
+    /// catches up before its next outage must never serve, no matter how
+    /// often it waves hello.
+    RejoinFlap {
+        /// Pool index of the flapping node.
+        node: usize,
+        /// Session ids per half-cycle (down, then catching up/serving).
+        period_sessions: u64,
+        /// First session id of the first Down period.
+        from_session: u64,
+        /// First session id at which the node is stably back.
+        until_session: u64,
+    },
 }
 
 /// A plan that failed validation.
@@ -286,6 +345,10 @@ pub enum ChaosPlanError {
     /// A [`ChaosEvent::HandoffStorm`] with `count == 0` or
     /// `every == 0` — a storm that never moves is a plan bug.
     BadHandoffStorm,
+    /// A membership event with a degenerate schedule: a
+    /// [`ChaosEvent::RollingUpgrade`] wave or [`ChaosEvent::RejoinFlap`]
+    /// period of zero sessions.
+    BadMembership,
 }
 
 impl fmt::Display for ChaosPlanError {
@@ -304,6 +367,9 @@ impl fmt::Display for ChaosPlanError {
             ChaosPlanError::ZeroLag => write!(f, "replica lag of zero LSNs is not a fault"),
             ChaosPlanError::BadHandoffStorm => {
                 write!(f, "handoff storm count and spacing must be nonzero")
+            }
+            ChaosPlanError::BadMembership => {
+                write!(f, "membership wave and flap period must be nonzero sessions")
             }
         }
     }
@@ -362,7 +428,9 @@ impl ChaosPlan {
                 | ChaosEvent::Partition { node, .. }
                 | ChaosEvent::SyncTimeout { node, .. }
                 | ChaosEvent::VaultCrash { node, .. }
-                | ChaosEvent::ReplicaLag { node, .. } => Some(node),
+                | ChaosEvent::ReplicaLag { node, .. }
+                | ChaosEvent::NodeDrain { node, .. }
+                | ChaosEvent::RejoinFlap { node, .. } => Some(node),
                 _ => None,
             };
             if let Some(node) = node {
@@ -398,12 +466,19 @@ impl ChaosPlan {
                 | ChaosEvent::HostileGuest { from_session, until_session, .. }
                 | ChaosEvent::TenantKeyRotation { from_session, until_session, .. }
                 | ChaosEvent::TenantKeyCompromise { from_session, until_session, .. }
+                | ChaosEvent::NodeDrain { from_session, until_session, .. }
+                | ChaosEvent::RegionOutage { from_session, until_session, .. }
+                | ChaosEvent::RejoinFlap { from_session, until_session, .. }
                     if until_session <= from_session =>
                 {
                     return Err(ChaosPlanError::EmptyWindow);
                 }
                 ChaosEvent::ReplicaLag { lsns: 0, .. } => {
                     return Err(ChaosPlanError::ZeroLag);
+                }
+                ChaosEvent::RollingUpgrade { wave_sessions: 0, .. }
+                | ChaosEvent::RejoinFlap { period_sessions: 0, .. } => {
+                    return Err(ChaosPlanError::BadMembership);
                 }
                 _ => {}
             }
@@ -585,6 +660,37 @@ impl ChaosPlan {
                     },
                 ];
             }
+            // The region acceptance scenario: region 0 dies whole for the
+            // middle of the run. Sessions in flight on region-0 nodes when
+            // the outage opens are checkpointed mid-offload and must
+            // migrate to an attested peer region (or fail closed, reason
+            // `no_region`); sessions placed inside the window route
+            // around the dead region. Node 1 (a peer-region node under
+            // the canonical 2-region split) ships to a lagging replica,
+            // so some migration targets must anti-entropy before serving
+            // — the stale-replica refusal applies to migrated-in guests
+            // exactly as to fresh placements. Requires region mode
+            // (`regions >= 2`).
+            "region-failover" => {
+                // Session 6 is the first id homed in region 0 inside the
+                // window (the region hash is a pure function of the id),
+                // so the outage's opening session is genuinely in flight
+                // on a region-0 node and must checkpoint-migrate.
+                plan.events = vec![
+                    ChaosEvent::RegionOutage { region: 0, from_session: 6, until_session: 12 },
+                    ChaosEvent::ReplicaLag { node: 1, lsns: 2, from_session: 6, until_session: 12 },
+                ];
+            }
+            // The rolling-upgrade acceptance scenario: one node drains
+            // per three-session wave starting at session 2, so the fleet
+            // is never more than one node short. Every wave forces live
+            // migrations off the draining node; drained nodes rejoin
+            // CatchingUp and must hit the acked vault watermark before
+            // serving again.
+            "rolling-upgrade" => {
+                plan.events =
+                    vec![ChaosEvent::RollingUpgrade { wave_sessions: 3, from_session: 2 }];
+            }
             // A noisy but survivable wire: loss, corruption, and delay.
             "wire-noise" => {
                 plan.events = vec![
@@ -610,6 +716,8 @@ impl ChaosPlan {
             "tenant-rotation",
             "handoff",
             "nat-traversal",
+            "region-failover",
+            "rolling-upgrade",
         ]
     }
 
@@ -1131,6 +1239,59 @@ mod tests {
             blackout: SimDuration::ZERO,
         }];
         assert_eq!(bad.validate(1), Err(ChaosPlanError::BadHandoffStorm));
+    }
+
+    #[test]
+    fn membership_events_validate_nodes_windows_and_periods() {
+        let mut plan = ChaosPlan::empty();
+        // Node indices are checked for the node-scoped families.
+        plan.events = vec![ChaosEvent::NodeDrain { node: 9, from_session: 0, until_session: 4 }];
+        assert_eq!(plan.validate(4), Err(ChaosPlanError::BadNode { node: 9, pool_len: 4 }));
+        plan.events = vec![ChaosEvent::RejoinFlap {
+            node: 5,
+            period_sessions: 2,
+            from_session: 0,
+            until_session: 8,
+        }];
+        assert_eq!(plan.validate(4), Err(ChaosPlanError::BadNode { node: 5, pool_len: 4 }));
+        // Session windows must be non-empty.
+        plan.events = vec![ChaosEvent::NodeDrain { node: 0, from_session: 3, until_session: 3 }];
+        assert_eq!(plan.validate(4), Err(ChaosPlanError::EmptyWindow));
+        plan.events =
+            vec![ChaosEvent::RegionOutage { region: 0, from_session: 5, until_session: 4 }];
+        assert_eq!(plan.validate(4), Err(ChaosPlanError::EmptyWindow));
+        plan.events = vec![ChaosEvent::RejoinFlap {
+            node: 0,
+            period_sessions: 2,
+            from_session: 6,
+            until_session: 6,
+        }];
+        assert_eq!(plan.validate(4), Err(ChaosPlanError::EmptyWindow));
+        // Degenerate schedules are plan bugs.
+        plan.events = vec![ChaosEvent::RollingUpgrade { wave_sessions: 0, from_session: 0 }];
+        assert_eq!(plan.validate(4), Err(ChaosPlanError::BadMembership));
+        plan.events = vec![ChaosEvent::RejoinFlap {
+            node: 0,
+            period_sessions: 0,
+            from_session: 0,
+            until_session: 8,
+        }];
+        assert_eq!(plan.validate(4), Err(ChaosPlanError::BadMembership));
+        // Well-formed membership events pass (the region index itself is
+        // checked at membership-schedule build, where the region count
+        // is known).
+        plan.events = vec![
+            ChaosEvent::NodeDrain { node: 0, from_session: 0, until_session: 4 },
+            ChaosEvent::RegionOutage { region: 7, from_session: 4, until_session: 8 },
+            ChaosEvent::RollingUpgrade { wave_sessions: 3, from_session: 2 },
+            ChaosEvent::RejoinFlap {
+                node: 1,
+                period_sessions: 2,
+                from_session: 0,
+                until_session: 8,
+            },
+        ];
+        assert_eq!(plan.validate(4), Ok(()));
     }
 
     #[test]

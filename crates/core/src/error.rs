@@ -45,6 +45,24 @@ pub enum RuntimeError {
         /// Which budget was exhausted.
         reason: KillReason,
     },
+    /// The serving node began draining (planned membership change or a
+    /// dying region) mid-offload: the guest was checkpointed at a DSM
+    /// sync point, the source heap was scrubbed, and the session must
+    /// resume from the checkpoint on a peer node — or fail closed.
+    NodeDraining {
+        /// The node index that drained.
+        node: usize,
+        /// Simulated instant of the checkpoint, nanoseconds since
+        /// session start.
+        at_ns: u64,
+    },
+    /// A migration checkpoint failed to rehydrate on the target node.
+    /// The serialized guest cannot be trusted; the migration is
+    /// abandoned and the session fails closed.
+    CheckpointCorrupt {
+        /// What the deserializer objected to.
+        reason: String,
+    },
     /// An app asked for an input key the harness did not script.
     MissingInput(String),
     /// The device is offline (connectivity requirement, §5.4).
@@ -79,6 +97,13 @@ impl fmt::Display for RuntimeError {
             RuntimeError::GuestKilled { reason } => {
                 write!(f, "guard killed guest: {reason} budget exhausted")
             }
+            RuntimeError::CheckpointCorrupt { reason } => {
+                write!(f, "migration checkpoint failed to rehydrate: {reason}")
+            }
+            RuntimeError::NodeDraining { node, at_ns } => write!(
+                f,
+                "node {node} drained mid-offload at {at_ns}ns; session checkpointed for migration"
+            ),
             RuntimeError::MissingInput(k) => write!(f, "no scripted input for key '{k}'"),
             RuntimeError::Offline => {
                 write!(f, "device is offline; cor access requires the trusted node")

@@ -39,6 +39,6 @@ pub mod server;
 pub use device::{ClientDevice, ConnHandle};
 pub use error::RuntimeError;
 pub use node::TrustedNode;
-pub use runtime::{Mode, RunReport, TinmanConfig, TinmanRuntime};
+pub use runtime::{Mode, NodeCheckpoint, RunReport, TinmanConfig, TinmanRuntime};
 pub use scan::ResidueReport;
 pub use server::{HttpHandler, HttpsServerApp};

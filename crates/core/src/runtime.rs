@@ -13,17 +13,19 @@
 
 use std::collections::HashMap;
 
+use serde::{Deserialize, Serialize};
 use tinman_cor::{CorStore, PolicyDecision};
 use tinman_dsm::{DsmEngine, DsmError, DsmStats, SyncBudget, SyncCause};
-use tinman_guard::{GuardPolicy, KillReason};
+use tinman_guard::{GuardPolicy, KillReason, ScrubReceipt};
 use tinman_net::{HostId, MarkFilter, NetWorld, Traffic};
 use tinman_obs::{MetricsRegistry, TraceEvent, TraceHandle};
-use tinman_sim::{Breakdown, MicroJoules, SimClock, SimDuration, SplitMix64};
+use tinman_sim::{Breakdown, MicroJoules, RetryPolicy, SimClock, SimDuration, SimTime, SplitMix64};
 use tinman_taint::TaintEngine;
 use tinman_tls::{TlsConfig, TINMAN_MARK};
 use tinman_vm::machine::LockSite;
 use tinman_vm::{
-    AppImage, CompiledImage, ExecConfig, ExecEvent, ExecTier, TierTelemetry, Value, VmError,
+    AppImage, CompiledImage, ExecConfig, ExecEvent, ExecTier, Machine, TierTelemetry, Value,
+    VmError,
 };
 
 use crate::device::ClientDevice;
@@ -141,6 +143,57 @@ enum DsmOp {
     LockFromClient,
 }
 
+/// A serialized suspension of an in-flight offloaded thread, taken at a
+/// DSM sync point when the serving node drains (planned membership change
+/// or a dying region).
+///
+/// The checkpoint is the unit of **live session migration**: the source
+/// node serializes its guest machine and taint engine, scrubs its own
+/// heap (carrying the proof as a [`ScrubReceipt`]), and the scheduler
+/// ships these bytes to an attested peer through the sealed replica
+/// channel. The target proves fidelity by deserializing the same bytes
+/// ([`NodeCheckpoint::restore`]) before resuming; the checkpoint instant
+/// is the replay credit charged against the session's penalty deadline.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NodeCheckpoint {
+    /// The node index the guest drained from.
+    pub node: usize,
+    /// Simulated instant of the checkpoint, nanoseconds since session
+    /// start.
+    pub taken_at_ns: u64,
+    /// The suspended guest machine (heap, frames, locks, counters), as
+    /// canonical JSON.
+    pub machine_json: String,
+    /// The node-side taint engine at the sync point, as canonical JSON.
+    pub engine_json: String,
+    /// Proof the source heap was scrubbed before the state left the node.
+    pub scrub: ScrubReceipt,
+}
+
+impl NodeCheckpoint {
+    /// Bytes this checkpoint ships over the sealed replica channel.
+    pub fn wire_bytes(&self) -> u64 {
+        (self.machine_json.len() + self.engine_json.len()) as u64
+    }
+
+    /// The checkpoint instant on the session timeline.
+    pub fn taken_at(&self) -> SimTime {
+        SimTime::ZERO + SimDuration::from_nanos(self.taken_at_ns)
+    }
+
+    /// Rehydrates the suspended guest on the migration target — the
+    /// round-trip that proves the serialized state is faithful. An error
+    /// means the checkpoint cannot be trusted and the migration must be
+    /// abandoned (fail closed), never resumed from guesswork.
+    pub fn restore(&self) -> Result<(Machine, TaintEngine), RuntimeError> {
+        let machine: Machine = serde_json::from_str(&self.machine_json)
+            .map_err(|e| RuntimeError::CheckpointCorrupt { reason: e.to_string() })?;
+        let engine: TaintEngine = serde_json::from_str(&self.engine_json)
+            .map_err(|e| RuntimeError::CheckpointCorrupt { reason: e.to_string() })?;
+        Ok((machine, engine))
+    }
+}
+
 /// Everything measured about one app run — the raw material for Figures
 /// 14-16 and Table 3.
 #[derive(Clone, Debug)]
@@ -212,6 +265,15 @@ pub struct TinmanRuntime {
     compiled_cache: Option<([u8; 32], CompiledImage)>,
     /// Cumulative block-tier counters across every node segment.
     tier_telemetry: TierTelemetry,
+    /// Membership drain trigger: when set, the first node-segment sync
+    /// point at or after this instant checkpoints the guest and drains
+    /// the node instead of running the segment.
+    drain_at: Option<SimTime>,
+    /// Session secrets a drain-time scrub is verified against.
+    drain_probes: Vec<String>,
+    /// The checkpoint the last drain produced, awaiting pickup by the
+    /// scheduler's migration path.
+    node_checkpoint: Option<NodeCheckpoint>,
 }
 
 impl TinmanRuntime {
@@ -268,6 +330,9 @@ impl TinmanRuntime {
             dsm_fault: None,
             compiled_cache: None,
             tier_telemetry: TierTelemetry::default(),
+            drain_at: None,
+            drain_probes: Vec::new(),
+            node_checkpoint: None,
         }
     }
 
@@ -316,6 +381,54 @@ impl TinmanRuntime {
     /// sync or when no fault has been installed.
     pub fn dsm_checkpoint(&self) -> Option<tinman_sim::SimTime> {
         self.dsm.last_sync_at()
+    }
+
+    /// Arms the membership drain trigger: the first node-segment sync
+    /// point at or after `at` serializes the guest into a
+    /// [`NodeCheckpoint`], scrubs the source heap (verified against
+    /// `probes` — the session's secrets), and surfaces
+    /// [`RuntimeError::NodeDraining`] so the scheduler can migrate the
+    /// session to a peer. A session that completes before `at` never
+    /// observes the trigger.
+    pub fn set_drain_at(&mut self, at: SimTime, probes: Vec<String>) {
+        self.drain_at = Some(at);
+        self.drain_probes = probes;
+    }
+
+    /// Takes the checkpoint the last drain produced, if any. The
+    /// scheduler calls this after a [`RuntimeError::NodeDraining`] run to
+    /// ship the suspended guest to the migration target.
+    pub fn take_node_checkpoint(&mut self) -> Option<NodeCheckpoint> {
+        self.node_checkpoint.take()
+    }
+
+    /// Checkpoints the guest on node `active` and drains it: serializes
+    /// machine + taint engine, scrubs the source heap and stack, verifies
+    /// the scrub against the drain probes, stores the checkpoint for
+    /// pickup, and returns the [`RuntimeError::NodeDraining`] the run
+    /// surfaces. Unlike [`Self::kill_guest`] the machine is not marked
+    /// faulted — the serialized guest is healthy and resumable; only this
+    /// node's copy of it is destroyed.
+    fn checkpoint_and_drain(&mut self, active: usize) -> RuntimeError {
+        let at_ns = self.clock.now().since(SimTime::ZERO).as_nanos();
+        let probes = std::mem::take(&mut self.drain_probes);
+        let node = if active == 0 { &mut self.node } else { &mut self.extra_nodes[active - 1] };
+        let machine_json = serde_json::to_string(&node.machine).unwrap_or_default();
+        let engine_json = serde_json::to_string(&node.engine).unwrap_or_default();
+        node.machine.heap.scrub();
+        node.machine.frames.clear();
+        let residue: u64 = probes.iter().map(|p| node.machine.scan_residue(p).len() as u64).sum();
+        let scrub = ScrubReceipt { node: active, at_ns, residue };
+        self.metrics.incr("fleet.region.drains");
+        self.node_checkpoint = Some(NodeCheckpoint {
+            node: active,
+            taken_at_ns: at_ns,
+            machine_json,
+            engine_json,
+            scrub,
+        });
+        self.drain_at = None;
+        RuntimeError::NodeDraining { node: active, at_ns }
     }
 
     /// The runtime's metrics registry. [`RunReport::offloads`] is read
@@ -510,8 +623,10 @@ impl TinmanRuntime {
     /// A DSM exchange with bounded re-sync. A `SyncTimeout` — the node
     /// unreachable mid-session because of a mobility handoff blackout or
     /// a chaos outage — is retried up to `resync_retries` times with
-    /// doubling backoff. Each wait lets due network events (handoffs,
-    /// NAT flushes) apply and refreshes the client radio, so the retry
+    /// doubling backoff (the shared [`RetryPolicy`] exponential curve,
+    /// unjittered — byte-identical to the hand-rolled doubling loop this
+    /// replaced). Each wait lets due network events (handoffs, NAT
+    /// flushes) apply and refreshes the client radio, so the retry
     /// rides whatever link the phone holds afterwards; when the wired
     /// fault window is known to lift later than the backoff, the wait
     /// jumps to the lift instead of burning attempts inside the window.
@@ -526,10 +641,10 @@ impl TinmanRuntime {
     ) -> Result<u64, RuntimeError> {
         let mut r = self.run_dsm_op(active, &op);
         if matches!(r, Err(DsmError::SyncTimeout { .. })) && self.config.resync_retries > 0 {
-            let mut backoff = self.config.resync_backoff;
-            for _ in 0..self.config.resync_retries {
+            let policy = RetryPolicy::exponential(self.config.resync_backoff, 63, None);
+            for attempt in 0..self.config.resync_retries {
                 let t_wait = self.clock.now();
-                let mut until = t_wait + backoff;
+                let mut until = t_wait + policy.delay(attempt as u64);
                 let dsm = if active == 0 { &self.dsm } else { &self.extra_dsms[active - 1] };
                 if let Some(clear) = dsm.fault_clears_at() {
                     // An open-ended crash never clears; keep the plain
@@ -549,7 +664,6 @@ impl TinmanRuntime {
                 if !matches!(r, Err(DsmError::SyncTimeout { .. })) {
                     break;
                 }
-                backoff = backoff * 2;
             }
             if matches!(r, Err(DsmError::SyncTimeout { .. })) {
                 return Err(self.kill_guest(active, KillReason::Resync));
@@ -862,6 +976,17 @@ impl TinmanRuntime {
                 self.world.poll_network();
                 if let Ok(link) = self.world.host_link(self.client.host) {
                     self.client.link = link;
+                }
+                // Membership drain: a segment boundary is a DSM sync
+                // point — the only place the guest can be serialized with
+                // nothing in flight. A due drain checkpoints and leaves
+                // instead of running the segment on a node that is going
+                // away. Checked before the guard watchdog: a draining
+                // node hands its guest off rather than killing it.
+                if let Some(at) = self.drain_at {
+                    if self.clock.now() >= at {
+                        return Err(self.checkpoint_and_drain(active));
+                    }
                 }
                 // Watchdog: the guard charges everything a guest retires on
                 // trusted hardware against one session-wide budget. Fuel is

@@ -41,14 +41,17 @@ use tinman_dsm::{DsmError, SyncFault};
 use tinman_guard::KillReason;
 use tinman_net::{Handoff, NetChaos};
 use tinman_obs::TraceEvent;
-use tinman_sim::{LinkProfile, SimDuration, SimTime};
+use tinman_sim::{LinkProfile, SimDuration, SimTime, SplitMix64};
 use tinman_tenant::rotation_cost;
-use tinman_vault::catch_up_cost;
+use tinman_vault::{catch_up_cost, catch_up_within};
 
 use crate::failure::{backoff_delay, degraded_link, FleetError, NodeHealth};
 use crate::hostile::{build_hostile_world, fleet_policy, GuardSchedule};
+use crate::membership::{MembershipSchedule, MembershipState};
 use crate::pool::NodePool;
+use crate::region::RegionMap;
 use crate::report::FleetReport;
+use crate::retry::{migration_policy, RetryBudget};
 use crate::sched::{run_worker_pool, surface_clamp, FleetObs};
 use crate::session::{
     base_link, build_session_world_net, expect_success, outcome_from_report, session_inputs,
@@ -218,6 +221,18 @@ fn emit_failover(
 /// rotation charges its re-seal cost against the deadline — a
 /// compromised key that cannot afford the re-seal fails closed with
 /// reason `revoked_key` rather than ever serving under the old epoch.
+///
+/// With a live [`MembershipSchedule`] the walk becomes region-aware:
+/// placement follows [`RegionMap::order`] (home region first), nodes
+/// outside a startable membership state are skipped, a *CatchingUp*
+/// rejoiner charges vault anti-entropy to the acked watermark before
+/// serving, and a *Draining* (or mid-outage dying) node checkpoints the
+/// in-flight guest at a DSM sync point — the checkpoint is
+/// fidelity-checked ([`tinman_core::NodeCheckpoint::restore`]), its
+/// scrub receipt audited, and the session resumes on the next admissible
+/// peer with the checkpoint instant as replay credit. A session that
+/// migrates but finds no admissible target within its deadline fails
+/// closed with reason `no_region`.
 #[allow(clippy::too_many_arguments)]
 pub fn execute_with_chaos(
     cfg: &FleetConfig,
@@ -227,6 +242,7 @@ pub fn execute_with_chaos(
     schedule: &BreakerSchedule,
     guard: &GuardSchedule,
     tenancy: &TenantSchedule,
+    membership: &MembershipSchedule,
     obs: &FleetObs,
 ) -> SessionOutcome {
     // Load shedding: when the guard schedule says this session's budget
@@ -286,7 +302,11 @@ pub fn execute_with_chaos(
         out.policy_denials = 1;
         return out;
     }
-    let order = pool.replica_order(spec.placement_key());
+    // Region-salted placement: home-region nodes first, then foreign
+    // regions in rotation. Identity order on a flat fleet.
+    let regions = membership.regions();
+    let order = regions.order(pool, spec.placement_key());
+    let home = regions.home_region(spec.placement_key());
     let mut penalty = SimDuration::ZERO;
     let mut attempts = 0u32;
     let mut replays = 0u32;
@@ -315,6 +335,15 @@ pub fn execute_with_chaos(
     let mut unattested_refusals = 0u64;
     let mut rotation_paid = false;
     let mut revoked_blocked = false;
+    // Live-migration state: checkpointed hand-offs completed so far, how
+    // many were planned evacuations, residue found by the migration
+    // scrub audit, and the (source node, wire bytes) of a checkpoint
+    // waiting to resume on the next admissible peer.
+    let mut migrations = 0u64;
+    let mut evacuations = 0u64;
+    let mut migration_residue = 0u64;
+    let mut migration_idx = 0u64;
+    let mut pending_migration: Option<(usize, u64)> = None;
 
     for (i, &node) in order.iter().take(cfg.max_attempts as usize).enumerate() {
         if penalty > plan.deadline {
@@ -326,13 +355,39 @@ pub fn execute_with_chaos(
         if i > 0 {
             obs.metrics.incr("fleet.failovers");
         }
-        let shard = pool.shard(node);
+        // A vanished shard (stale order naming a decommissioned index)
+        // is a skipped attempt, never a panic.
+        let shard = match pool.try_shard(node) {
+            Ok(s) => s,
+            Err(_) => {
+                let delay = backoff_delay(cfg.backoff, i as u32);
+                penalty += delay;
+                obs.metrics.add("fleet.backoff_ns", delay.as_nanos());
+                emit_failover(obs, spec.id, node, i, penalty, delay);
+                continue;
+            }
+        };
         let health = shard.health();
         let breaker = schedule.view(node, spec.id);
         if !health.can_serve() || breaker == BreakerState::Open {
             if breaker == BreakerState::Open {
                 obs.metrics.incr("chaos.breaker_skips");
             }
+            let delay = backoff_delay(cfg.backoff, i as u32);
+            penalty += delay;
+            obs.metrics.add("fleet.backoff_ns", delay.as_nanos());
+            emit_failover(obs, spec.id, node, i, penalty, delay);
+            continue;
+        }
+        // Membership gate: a node outside a startable state admits
+        // nothing — unless this is the exact session id the node fell
+        // over on (`in_flight_death`): that session is already in flight
+        // when the node dies mid-offload, so it runs, dies at its DSM
+        // sync point, and migrates from its checkpoint.
+        let mstate = membership.state_at(node, spec.id);
+        let dying = membership.in_flight_death(node, spec.id);
+        if !mstate.can_start() && !dying {
+            obs.metrics.incr("fleet.region.membership_skips");
             let delay = backoff_delay(cfg.backoff, i as u32);
             penalty += delay;
             obs.metrics.add("fleet.backoff_ns", delay.as_nanos());
@@ -435,6 +490,54 @@ pub fn execute_with_chaos(
                 }
             }
         }
+        // Membership catch-up: a rejoining node (post-outage or
+        // post-upgrade) must cover this session's cor writes to the
+        // acked watermark before serving — the stale-replica refusal
+        // applied to rejoins. The cost is admitted against the remaining
+        // deadline budget or the session fails closed; a rejoiner is
+        // never served stale.
+        if mstate == MembershipState::CatchingUp {
+            let lsns = world.secrets.len() as u64;
+            let mut budget = RetryBudget::new(plan.deadline.saturating_sub(penalty));
+            match catch_up_within(lsns, &mut budget) {
+                Some(cost) => {
+                    penalty += cost;
+                    catchup_lsns += lsns;
+                    obs.metrics.incr("fleet.region.rejoin_catch_ups");
+                    obs.metrics.add("vault.catchup_lsns", lsns);
+                    if obs.trace.is_enabled() {
+                        obs.trace.emit_on(
+                            spec.id,
+                            SimTime::ZERO + penalty,
+                            TraceEvent::VaultCatchUp {
+                                session: spec.id,
+                                node: node as u64,
+                                lsns,
+                                cost_ns: cost.as_nanos(),
+                            },
+                        );
+                    }
+                }
+                None => {
+                    obs.metrics.incr("vault.stale_blocked");
+                    stale_blocked = true;
+                    break;
+                }
+            }
+        }
+        // A draining node admits the session but checkpoints it at the
+        // first DSM sync past a seeded offset (live migration); a node
+        // dying mid-outage does the same involuntarily — its "crash"
+        // leaves the DSM-checkpointed state behind for the hand-off.
+        if mstate == MembershipState::Draining || dying {
+            let dice = SplitMix64::new(
+                plan.seed ^ spec.seed ^ (node as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            )
+            .next_u64();
+            let offset = SimDuration::from_millis(1)
+                + SimDuration::from_nanos(dice % SimDuration::from_millis(400).as_nanos());
+            world.rt.set_drain_at(SimTime::ZERO + offset, world.secrets.clone());
+        }
         // Mid-session tenant key rotation: re-sealing this session's
         // vault bytes under the new epoch costs simulated time, charged
         // against the deadline like a replica catch-up. When the budget
@@ -470,6 +573,25 @@ pub fn execute_with_chaos(
             }
         }
         apply_session_faults(&mut world.rt, &faults);
+        // A checkpoint shipped from a drained/dying source lands here:
+        // this node is the migration target, and the replay below resumes
+        // from the checkpoint instant (the `credit`).
+        if let Some((from_node, bytes)) = pending_migration.take() {
+            obs.metrics.incr("fleet.region.migrations_resumed");
+            if obs.trace.is_enabled() {
+                obs.trace.emit_on(
+                    spec.id,
+                    SimTime::ZERO + penalty,
+                    TraceEvent::Migration {
+                        session: spec.id,
+                        from_node: from_node as u64,
+                        to_node: node as u64,
+                        bytes,
+                        resume_ns: credit.as_nanos(),
+                    },
+                );
+            }
+        }
         if ran_before {
             replays += 1;
             obs.metrics.incr("chaos.replays");
@@ -606,6 +728,14 @@ pub fn execute_with_chaos(
                 out.nat_rebinds = net_nat_rebinds;
                 out.dns_faults = net_dns_faults;
                 out.route_drops = net_route_drops;
+                out.migrations = migrations;
+                out.evacuations = evacuations;
+                out.migration_residue = migration_residue;
+                // Served outside the home region: a region failover.
+                if !regions.flat() && regions.region_of(node) != home {
+                    out.region_failovers = 1;
+                    obs.metrics.incr("fleet.region.failovers");
+                }
                 return out;
             }
             Err(RuntimeError::GuestKilled { reason }) => {
@@ -633,6 +763,54 @@ pub fn execute_with_chaos(
                 penalty += world.rt.clock().now().since(SimTime::ZERO);
                 break;
             }
+            Err(RuntimeError::NodeDraining { .. }) => {
+                // Live migration: the node checkpointed the guest at its
+                // DSM sync point and scrubbed its own heap. Audit the
+                // scrub receipt and re-scan the node surface (residue is
+                // a reportable violation, never assumed zero), prove the
+                // serialized state is faithful by round-tripping it, and
+                // carry the checkpoint instant as the replay credit for
+                // the next admissible peer.
+                migrations += 1;
+                obs.metrics.incr("fleet.region.migrations");
+                if mstate == MembershipState::Draining {
+                    evacuations += 1;
+                    obs.metrics.incr("fleet.region.evacuations");
+                }
+                let t_fail = world.rt.clock().now().since(SimTime::ZERO);
+                if let Some(cp) = world.rt.take_node_checkpoint() {
+                    let mut hits = cp.scrub.residue;
+                    for secret in &world.secrets {
+                        hits += world.rt.scan_node_residue(secret).len() as u64;
+                    }
+                    if hits > 0 {
+                        migration_residue += hits;
+                        obs.metrics.add("fleet.region.migration_residue", hits);
+                    }
+                    match cp.restore() {
+                        Ok(_) => {
+                            credit = credit.max(cp.taken_at().since(SimTime::ZERO));
+                            pending_migration = Some((node, cp.wire_bytes()));
+                        }
+                        Err(_) => {
+                            // An unfaithful checkpoint is abandoned: the
+                            // replay restarts from scratch, never resumes
+                            // from guesswork.
+                            obs.metrics.incr("fleet.region.checkpoint_corrupt");
+                        }
+                    }
+                }
+                // Shipping the checkpoint pays the unified migration
+                // backoff (seeded jitter over the failover curve),
+                // charged against the same penalty deadline as every
+                // other retry.
+                let delay = migration_policy(cfg.backoff, plan.seed ^ spec.seed.rotate_left(23))
+                    .delay(migration_idx);
+                migration_idx += 1;
+                penalty += t_fail + delay;
+                obs.metrics.add("fleet.backoff_ns", delay.as_nanos());
+                emit_failover(obs, spec.id, node, i, penalty, delay);
+            }
             other => {
                 if matches!(&other, Err(RuntimeError::Dsm(DsmError::SyncTimeout { .. }))) {
                     obs.metrics.incr("chaos.crashes");
@@ -657,6 +835,11 @@ pub fn execute_with_chaos(
         "stale_replica"
     } else if revoked_blocked {
         "revoked_key"
+    } else if migrations > 0 {
+        // The session was checkpointed off a draining or dying node but
+        // no attested, caught-up, policy-admissible peer could take it
+        // within the deadline: region evacuation fails closed.
+        "no_region"
     } else if deadline_hit {
         "deadline"
     } else if unattested_refusals > 0 && !ran_before {
@@ -695,6 +878,13 @@ pub fn execute_with_chaos(
     out.nat_rebinds = net_nat_rebinds;
     out.dns_faults = net_dns_faults;
     out.route_drops = net_route_drops;
+    out.migrations = migrations;
+    out.evacuations = evacuations;
+    out.migration_residue = migration_residue;
+    if reason == "no_region" {
+        out.no_region = true;
+        obs.metrics.incr("fleet.region.no_region_kills");
+    }
     out
 }
 
@@ -718,6 +908,15 @@ pub fn run_fleet_chaos(
             blackout: SimDuration::from_millis(150),
         });
     }
+    // `cfg.drain` layers a standing drain of node 0 the same way, so
+    // benches can demand live migration without authoring a plan.
+    if cfg.drain {
+        plan.events.push(ChaosEvent::NodeDrain {
+            node: 0,
+            from_session: 0,
+            until_session: u64::MAX,
+        });
+    }
     let plan = &plan;
     let specs = build_session_specs(cfg);
     let pool = NodePool::new(cfg.nodes, cfg.node_capacity, &cfg.faults)?;
@@ -726,6 +925,8 @@ pub fn run_fleet_chaos(
     let schedule = BreakerSchedule::build(plan, pool.len(), cfg.sessions as u64);
     let guard = GuardSchedule::build(cfg, &pool, plan, &specs);
     let tenancy = TenantSchedule::build(cfg, pool.len(), plan, &specs);
+    let regions = RegionMap::new(cfg.regions, pool.len())?;
+    let membership = MembershipSchedule::build(plan, pool.len(), regions)?;
     if obs.trace.is_enabled() {
         for node in 0..pool.len() {
             for (session, from, to) in schedule.transitions(node) {
@@ -741,13 +942,36 @@ pub fn run_fleet_chaos(
                 );
             }
         }
+        // Membership transitions, replayed on the session-id axis the
+        // same way the breaker's are.
+        if membership.has_events() {
+            for node in 0..pool.len() {
+                let mut prev = MembershipState::Serving;
+                for session in 0..cfg.sessions as u64 {
+                    let state = membership.state_at(node, session);
+                    if state != prev {
+                        obs.trace.emit_on(
+                            session,
+                            SimTime::ZERO,
+                            TraceEvent::MembershipTransition {
+                                node: node as u64,
+                                session,
+                                from: prev.as_str(),
+                                to: state.as_str(),
+                            },
+                        );
+                        prev = state;
+                    }
+                }
+            }
+        }
     }
     let attempts_start = obs.metrics.get("fleet.attempts");
     let failovers_start = obs.metrics.get("fleet.failovers");
     let start = Instant::now();
 
     let mut outcomes = run_worker_pool(cfg.workers, cfg.queue_depth, specs, |spec| {
-        execute_with_chaos(cfg, &pool, &spec, plan, &schedule, &guard, &tenancy, obs)
+        execute_with_chaos(cfg, &pool, &spec, plan, &schedule, &guard, &tenancy, &membership, obs)
     });
 
     let wall_secs = start.elapsed().as_secs_f64();
@@ -755,6 +979,10 @@ pub fn run_fleet_chaos(
     let mut report = FleetReport::aggregate(cfg, &pool, outcomes, wall_secs);
     report.attempts = obs.metrics.get("fleet.attempts") - attempts_start;
     report.failovers = obs.metrics.get("fleet.failovers") - failovers_start;
+    // Region mode (the five extra report keys) switches on only when
+    // something regional actually happened or was asked for — flat runs
+    // keep byte-identical reports.
+    report.region_mode = cfg.regions > 1 || cfg.drain || membership.has_events();
     for node in 0..pool.len() {
         let (closed, open, half_open) = schedule.time_in_state(node);
         let row = &mut report.per_node[node];
@@ -902,6 +1130,38 @@ mod tests {
             run_fleet_chaos(&cfg, &ChaosPlan::empty(), &FleetObs::default()).expect("runs");
         assert!(report.handoffs > 0, "--handoff injects the standing storm");
         assert_eq!(report.residue_violations, 0);
+    }
+
+    #[test]
+    fn standing_drain_live_migrates_and_stays_clean() {
+        let mut cfg = chaos_cfg(8, 2);
+        cfg.drain = true;
+        let report =
+            run_fleet_chaos(&cfg, &ChaosPlan::empty(), &FleetObs::default()).expect("runs");
+        assert!(report.migrations > 0, "draining node 0 checkpoints in-flight guests");
+        assert!(report.evacuations > 0, "a planned drain counts as evacuation");
+        assert_eq!(report.migration_residue, 0, "source heaps scrub clean on hand-off");
+        assert_eq!(report.residue_violations, 0);
+        assert_eq!(report.lost_cors, 0);
+        assert_eq!(report.ok + report.fail_closed, report.sessions);
+        assert!(report.ok > 0, "migrated sessions resume and complete on the peer");
+        assert!(report.region_mode, "--drain flips the report into region mode");
+        let value = serde_json::to_string(&report.simulated_value()).unwrap();
+        assert!(value.contains("\"migrations\""), "region block present: {value}");
+    }
+
+    #[test]
+    fn flat_configs_stay_byte_identical_without_membership_events() {
+        // The compatibility clause: regions = 1, no drain, no membership
+        // events → no region keys, and the report is the clean chaos
+        // report byte for byte.
+        let cfg = chaos_cfg(6, 2);
+        let plan = ChaosPlan::canned("crash-primary").expect("canned plan");
+        let report = run_fleet_chaos(&cfg, &plan, &FleetObs::default()).expect("runs");
+        assert!(!report.region_mode);
+        assert_eq!(report.migrations, 0);
+        let value = serde_json::to_string(&report.simulated_value()).unwrap();
+        assert!(!value.contains("\"migrations\""), "no region keys on a flat run: {value}");
     }
 
     #[test]

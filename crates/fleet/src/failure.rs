@@ -1,7 +1,7 @@
 //! Failure model: per-node health, fault-injection hooks, and the
 //! deterministic retry/backoff schedule.
 
-use tinman_sim::{LinkProfile, SimDuration};
+use tinman_sim::{LinkProfile, RetryPolicy, SimDuration};
 
 /// A trusted node's health as the fleet sees it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -122,6 +122,29 @@ pub enum FleetError {
     /// The chaos plan is internally inconsistent or names nonexistent
     /// nodes.
     ChaosPlan(tinman_chaos::ChaosPlanError),
+    /// A membership event targets a region outside the configured region
+    /// count — the plan would silently test nothing, so refuse loudly.
+    BadRegion {
+        /// The region the plan named.
+        region: u32,
+        /// Regions the fleet actually has.
+        regions: u32,
+    },
+    /// A pool operation named a shard that does not exist (membership
+    /// makes "node vanished mid-call" reachable; it must surface as a
+    /// typed refusal, not a panic).
+    NoSuchNode(crate::pool::NoSuchNode),
+    /// A shard's cor label range could not back a session store. This
+    /// was an `expect` before membership; a decommissioned shard handing
+    /// out its range now makes it a real runtime path.
+    BadLabelRange {
+        /// First label of the rejected range.
+        start: u8,
+        /// One-past-last label of the rejected range.
+        end: u8,
+        /// What the cor store objected to.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for FleetError {
@@ -129,6 +152,16 @@ impl std::fmt::Display for FleetError {
         match self {
             FleetError::FaultPlan(e) => write!(f, "{e}"),
             FleetError::ChaosPlan(e) => write!(f, "{e}"),
+            FleetError::BadRegion { region, regions } => {
+                write!(f, "membership event names region {region} but the fleet has {regions}")
+            }
+            FleetError::NoSuchNode(e) => write!(f, "{e}"),
+            FleetError::BadLabelRange { start, end, reason } => {
+                write!(
+                    f,
+                    "shard label range [{start}, {end}) cannot back a session store: {reason}"
+                )
+            }
         }
     }
 }
@@ -147,6 +180,12 @@ impl From<tinman_chaos::ChaosPlanError> for FleetError {
     }
 }
 
+impl From<crate::pool::NoSuchNode> for FleetError {
+    fn from(e: crate::pool::NoSuchNode) -> Self {
+        FleetError::NoSuchNode(e)
+    }
+}
+
 /// Hard ceiling on any single retry delay. Exponential backoff with only
 /// a shift clamp still reaches `base * 65536` — for the default 250ms base
 /// that is over four simulated hours charged to one session's latency.
@@ -154,13 +193,21 @@ impl From<tinman_chaos::ChaosPlanError> for FleetError {
 /// answered or the session failed.
 pub const MAX_BACKOFF: SimDuration = SimDuration::from_secs(30);
 
+/// The fleet failover curve as a shared [`RetryPolicy`]: exponential,
+/// shift-clamped at 16, capped at [`MAX_BACKOFF`], no jitter. The
+/// zero-jitter construction keeps every pre-existing report
+/// byte-identical to the hand-rolled implementation this replaced.
+pub fn failover_policy(base: SimDuration) -> RetryPolicy {
+    RetryPolicy::exponential(base, 16, Some(MAX_BACKOFF))
+}
+
 /// Simulated wait before retry attempt `attempt` (0-based): exponential,
 /// `base * 2^attempt`, capped at [`MAX_BACKOFF`]. Purely simulated time —
 /// it is added to the session's reported latency, never slept.
-/// The multiply saturates (see [`SimDuration`]'s `Mul`), so even an absurd
-/// `base` cannot wrap; the explicit ceiling keeps the schedule bounded.
+/// Delegates to the shared [`RetryPolicy`]; the curve (and therefore
+/// every report) is unchanged.
 pub fn backoff_delay(base: SimDuration, attempt: u32) -> SimDuration {
-    (base * (1u64 << attempt.min(16))).min(MAX_BACKOFF)
+    failover_policy(base).delay(attempt as u64)
 }
 
 /// The link a session sees when its node is degraded: 4x the round-trip

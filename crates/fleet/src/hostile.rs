@@ -198,7 +198,8 @@ pub fn build_hostile_world(
     link: LinkProfile,
     trace: &TraceHandle,
 ) -> Result<SessionWorld, String> {
-    let (mut store, mut stream, runtime_seed) = session_store(spec, labels);
+    let (mut store, mut stream, runtime_seed) =
+        session_store(spec, labels).map_err(|e| e.to_string())?;
     let secret = stream.alphanumeric(16);
     store
         .register(&secret, HOSTILE_COR_DESCRIPTION, &["hostile.example"])

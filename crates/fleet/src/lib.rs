@@ -28,6 +28,16 @@
 //!   `tinman-tenant` key-hierarchy plumbing (sealed WAL audits, key
 //!   epochs from the chaos plan), all precomputed as pure replays so
 //!   tenancy keeps the determinism contract.
+//! - [`region`] + [`membership`] — trusted-node regions behind a
+//!   deterministic load-balancer front, the per-node membership state
+//!   machine (drains, outages, rolling upgrades, flapping rejoins), and
+//!   the live-migration machinery: a draining or dying node checkpoints
+//!   its in-flight guest at a DSM sync point, scrubs its heap, and the
+//!   executor resumes the session on an attested peer — or fails it
+//!   closed (`no_region`).
+//! - [`retry`] — the one deterministic retry/backoff/budget policy
+//!   shared by failover, DSM re-sync, vault catch-up, and migration
+//!   shipping.
 //!
 //! # Determinism contract
 //!
@@ -41,8 +51,11 @@
 pub mod chaos_run;
 pub mod failure;
 pub mod hostile;
+pub mod membership;
 pub mod pool;
+pub mod region;
 pub mod report;
+pub mod retry;
 pub mod sched;
 pub mod session;
 pub mod spec;
@@ -51,14 +64,18 @@ pub mod vault_audit;
 
 pub use chaos_run::{apply_session_faults, execute_with_chaos, run_fleet_chaos};
 pub use failure::{
-    backoff_delay, degraded_link, FaultPlan, FaultPlanError, FleetError, NodeHealth, MAX_BACKOFF,
+    backoff_delay, degraded_link, failover_policy, FaultPlan, FaultPlanError, FleetError,
+    NodeHealth, MAX_BACKOFF,
 };
 pub use hostile::{
     build_hostile_app, build_hostile_world, expected_kill, fleet_policy, hostile_workload_name,
     GuardSchedule, HOSTILE_COR_DESCRIPTION,
 };
+pub use membership::{MembershipSchedule, MembershipState, CATCHUP_SESSIONS};
 pub use pool::{CapacityPermit, NoSuchNode, NodePool, NodeShard};
+pub use region::RegionMap;
 pub use report::{FleetReport, LatencyStats, NodeReport};
+pub use retry::{migration_policy, BackoffShape, RetryBudget, RetryPolicy};
 pub use sched::{
     execute_with_failover, execute_with_failover_obs, run_fleet, run_fleet_obs, FleetObs,
 };

@@ -1,0 +1,389 @@
+//! Live membership: the per-node lifecycle state machine and its pure
+//! replay from a chaos plan.
+//!
+//! Every node walks one of two lifecycles:
+//!
+//! ```text
+//! planned:   Serving → Draining → Evacuated → Decommissioned
+//! unplanned: Serving → Down → CatchingUp → Serving
+//! ```
+//!
+//! A *Draining* node still admits sessions — but checkpoints them at the
+//! first DSM sync point and hands the serialized guest to an attested
+//! peer (live migration), scrubbing its own heap. *Down*, *Evacuated*,
+//! and *Decommissioned* nodes admit nothing. A *CatchingUp* node admits,
+//! but the session pays the vault anti-entropy cost (to the acked
+//! watermark) against its penalty deadline before serving — the
+//! stale-replica refusal applied to rejoins.
+//!
+//! Like the breaker/guard/tenant schedules, membership is a **pure
+//! replay**: [`MembershipSchedule::state_at`] is a pure function of
+//! (plan, node, session id), computed identically by every worker, so
+//! membership keeps the determinism contract.
+
+use tinman_chaos::{ChaosEvent, ChaosPlan};
+
+use crate::failure::FleetError;
+use crate::region::RegionMap;
+
+/// Session ids a region's nodes spend *CatchingUp* after a
+/// [`ChaosEvent::RegionOutage`] window closes.
+pub const CATCHUP_SESSIONS: u64 = 2;
+
+/// A node's membership state for one session id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MembershipState {
+    /// Fully in rotation.
+    Serving,
+    /// Rejoining after an outage: admits sessions, but each pays vault
+    /// catch-up to the acked watermark before serving.
+    CatchingUp,
+    /// Planned exit in progress: admits sessions and live-migrates them
+    /// off at the first DSM sync point.
+    Draining,
+    /// Unplanned outage: unreachable; sessions in flight when it fell
+    /// die mid-offload and must migrate from their checkpoint.
+    Down,
+    /// Drained clean: heap scrubbed, zero residue, admits nothing.
+    Evacuated,
+    /// Removed from the fleet; terminal.
+    Decommissioned,
+}
+
+impl MembershipState {
+    /// Stable lowercase name (obs labels, report rows).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MembershipState::Serving => "serving",
+            MembershipState::CatchingUp => "catching_up",
+            MembershipState::Draining => "draining",
+            MembershipState::Down => "down",
+            MembershipState::Evacuated => "evacuated",
+            MembershipState::Decommissioned => "decommissioned",
+        }
+    }
+
+    /// True when a session may *start* on a node in this state. Draining
+    /// admits (and then migrates); CatchingUp admits (after paying
+    /// catch-up); the rest refuse at placement.
+    pub fn can_start(self) -> bool {
+        matches!(
+            self,
+            MembershipState::Serving | MembershipState::CatchingUp | MembershipState::Draining
+        )
+    }
+}
+
+/// The membership timeline of every node, replayed from the chaos plan.
+/// Built once per fleet run; `state_at` folds the (few) membership
+/// events on demand — worst state wins when windows overlap.
+#[derive(Clone, Debug)]
+pub struct MembershipSchedule {
+    events: Vec<ChaosEvent>,
+    nodes: usize,
+    regions: RegionMap,
+}
+
+impl MembershipSchedule {
+    /// Extracts the membership families from `plan` and validates them
+    /// against the fleet's shape: node indices against `nodes` (the
+    /// plan's own `validate` already covers these, re-checked here since
+    /// the pool may have clamped), region indices against the region
+    /// map ([`FleetError::BadRegion`] — the plan cannot check these, it
+    /// does not know the region count).
+    pub fn build(
+        plan: &ChaosPlan,
+        nodes: usize,
+        regions: RegionMap,
+    ) -> Result<MembershipSchedule, FleetError> {
+        let events: Vec<ChaosEvent> = plan
+            .events
+            .iter()
+            .filter(|ev| {
+                matches!(
+                    ev,
+                    ChaosEvent::NodeDrain { .. }
+                        | ChaosEvent::RegionOutage { .. }
+                        | ChaosEvent::RollingUpgrade { .. }
+                        | ChaosEvent::RejoinFlap { .. }
+                )
+            })
+            .cloned()
+            .collect();
+        for ev in &events {
+            match *ev {
+                ChaosEvent::NodeDrain { node, .. } | ChaosEvent::RejoinFlap { node, .. }
+                    if node >= nodes =>
+                {
+                    return Err(FleetError::NoSuchNode(crate::pool::NoSuchNode {
+                        node,
+                        pool_len: nodes,
+                    }));
+                }
+                ChaosEvent::RegionOutage { region, .. } if region >= regions.regions() => {
+                    return Err(FleetError::BadRegion { region, regions: regions.regions() });
+                }
+                _ => {}
+            }
+        }
+        Ok(MembershipSchedule { events, nodes, regions })
+    }
+
+    /// True when the plan schedules any membership change at all — the
+    /// signal that flips the fleet report into region mode.
+    pub fn has_events(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// The region map the schedule was built against.
+    pub fn regions(&self) -> &RegionMap {
+        &self.regions
+    }
+
+    /// Node `node`'s membership state for session id `session`. Pure:
+    /// identical on every worker for the same inputs. Overlapping events
+    /// resolve to the worst state (Decommissioned > Evacuated > Down >
+    /// Draining > CatchingUp > Serving).
+    pub fn state_at(&self, node: usize, session: u64) -> MembershipState {
+        let mut state = MembershipState::Serving;
+        let mut worst = |s: MembershipState| {
+            if s > state {
+                state = s;
+            }
+        };
+        for ev in &self.events {
+            match *ev {
+                ChaosEvent::NodeDrain { node: n, from_session, until_session } if n == node => {
+                    // Drain window, then as many sessions Evacuated as
+                    // the drain lasted, then gone for good.
+                    if session >= from_session && session < until_session {
+                        worst(MembershipState::Draining);
+                    } else if session >= until_session {
+                        let width = until_session - from_session;
+                        if session < until_session.saturating_add(width) {
+                            worst(MembershipState::Evacuated);
+                        } else {
+                            worst(MembershipState::Decommissioned);
+                        }
+                    }
+                }
+                ChaosEvent::RegionOutage { region, from_session, until_session }
+                    if self.regions.region_of(node) == region =>
+                {
+                    if session >= from_session && session < until_session {
+                        worst(MembershipState::Down);
+                    } else if session >= until_session
+                        && session < until_session.saturating_add(CATCHUP_SESSIONS)
+                    {
+                        worst(MembershipState::CatchingUp);
+                    }
+                }
+                ChaosEvent::RollingUpgrade { wave_sessions, from_session } => {
+                    // Node i drains during wave i, catches up during
+                    // wave i+1, serves again after.
+                    let start = from_session.saturating_add(node as u64 * wave_sessions);
+                    let end = start.saturating_add(wave_sessions);
+                    if session >= start && session < end {
+                        worst(MembershipState::Draining);
+                    } else if session >= end && session < end.saturating_add(wave_sessions) {
+                        worst(MembershipState::CatchingUp);
+                    }
+                }
+                ChaosEvent::RejoinFlap {
+                    node: n,
+                    period_sessions,
+                    from_session,
+                    until_session,
+                } if n == node && session >= from_session && session < until_session => {
+                    // Alternating periods, the first one Down, each
+                    // rejoin period CatchingUp (a flapper never gets
+                    // back to clean Serving inside its window).
+                    let period = (session - from_session) / period_sessions;
+                    if period.is_multiple_of(2) {
+                        worst(MembershipState::Down);
+                    } else {
+                        worst(MembershipState::CatchingUp);
+                    }
+                }
+                _ => {}
+            }
+        }
+        state
+    }
+
+    /// True when a session placed on `node` at id `session` would be in
+    /// flight exactly as the node leaves a startable state: the previous
+    /// session id could start, this one cannot, and the state is `Down`
+    /// (a crash, not a drain — drains checkpoint voluntarily). The
+    /// executor turns this into a mid-offload death and a checkpoint
+    /// migration.
+    pub fn in_flight_death(&self, node: usize, session: u64) -> bool {
+        session > 0
+            && self.state_at(node, session) == MembershipState::Down
+            && self.state_at(node, session - 1).can_start()
+    }
+
+    /// Number of pool shards the schedule covers.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tinman_chaos::ChaosPlan;
+
+    fn schedule(events: Vec<ChaosEvent>, nodes: usize, regions: u32) -> MembershipSchedule {
+        let mut plan = ChaosPlan::empty();
+        plan.events = events;
+        MembershipSchedule::build(&plan, nodes, RegionMap::new(regions, nodes).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn states_order_by_severity_and_name_stably() {
+        assert!(MembershipState::Decommissioned > MembershipState::Evacuated);
+        assert!(MembershipState::Evacuated > MembershipState::Down);
+        assert!(MembershipState::Down > MembershipState::Draining);
+        assert!(MembershipState::Draining > MembershipState::CatchingUp);
+        assert!(MembershipState::CatchingUp > MembershipState::Serving);
+        for s in [
+            MembershipState::Serving,
+            MembershipState::CatchingUp,
+            MembershipState::Draining,
+            MembershipState::Down,
+            MembershipState::Evacuated,
+            MembershipState::Decommissioned,
+        ] {
+            assert!(!s.as_str().is_empty());
+        }
+        assert!(MembershipState::Draining.can_start());
+        assert!(MembershipState::CatchingUp.can_start());
+        assert!(!MembershipState::Down.can_start());
+        assert!(!MembershipState::Evacuated.can_start());
+        assert!(!MembershipState::Decommissioned.can_start());
+    }
+
+    #[test]
+    fn node_drain_walks_the_planned_lifecycle() {
+        let s = schedule(
+            vec![ChaosEvent::NodeDrain { node: 1, from_session: 2, until_session: 5 }],
+            4,
+            1,
+        );
+        assert_eq!(s.state_at(1, 1), MembershipState::Serving);
+        assert_eq!(s.state_at(1, 2), MembershipState::Draining);
+        assert_eq!(s.state_at(1, 4), MembershipState::Draining);
+        assert_eq!(s.state_at(1, 5), MembershipState::Evacuated);
+        assert_eq!(s.state_at(1, 7), MembershipState::Evacuated);
+        assert_eq!(s.state_at(1, 8), MembershipState::Decommissioned);
+        // Other nodes untouched.
+        assert_eq!(s.state_at(0, 3), MembershipState::Serving);
+        assert!(s.has_events());
+    }
+
+    #[test]
+    fn region_outage_downs_the_whole_region_then_catches_up() {
+        let s = schedule(
+            vec![ChaosEvent::RegionOutage { region: 0, from_session: 4, until_session: 8 }],
+            4,
+            2,
+        );
+        // Region 0 = nodes 0 and 2 under round-robin.
+        for node in [0, 2] {
+            assert_eq!(s.state_at(node, 3), MembershipState::Serving);
+            assert_eq!(s.state_at(node, 4), MembershipState::Down);
+            assert_eq!(s.state_at(node, 7), MembershipState::Down);
+            assert_eq!(s.state_at(node, 8), MembershipState::CatchingUp);
+            assert_eq!(s.state_at(node, 8 + CATCHUP_SESSIONS - 1), MembershipState::CatchingUp);
+            assert_eq!(s.state_at(node, 8 + CATCHUP_SESSIONS), MembershipState::Serving);
+        }
+        // Region 1 never notices.
+        for node in [1, 3] {
+            for sess in 0..12 {
+                assert_eq!(s.state_at(node, sess), MembershipState::Serving);
+            }
+        }
+        // The transition session is an in-flight death on region 0 only.
+        assert!(s.in_flight_death(0, 4));
+        assert!(s.in_flight_death(2, 4));
+        assert!(!s.in_flight_death(0, 5), "already down at 4");
+        assert!(!s.in_flight_death(1, 4));
+    }
+
+    #[test]
+    fn rolling_upgrade_staggers_one_node_per_wave() {
+        let s =
+            schedule(vec![ChaosEvent::RollingUpgrade { wave_sessions: 3, from_session: 2 }], 4, 1);
+        // Node 0: drains [2,5), catches up [5,8), serves after.
+        assert_eq!(s.state_at(0, 1), MembershipState::Serving);
+        assert_eq!(s.state_at(0, 2), MembershipState::Draining);
+        assert_eq!(s.state_at(0, 5), MembershipState::CatchingUp);
+        assert_eq!(s.state_at(0, 8), MembershipState::Serving);
+        // Node 2: drains [8,11).
+        assert_eq!(s.state_at(2, 7), MembershipState::Serving);
+        assert_eq!(s.state_at(2, 8), MembershipState::Draining);
+        assert_eq!(s.state_at(2, 11), MembershipState::CatchingUp);
+        // Never more than one node draining at once.
+        for sess in 0..20 {
+            let draining =
+                (0..4).filter(|&n| s.state_at(n, sess) == MembershipState::Draining).count();
+            assert!(draining <= 1, "session {sess}: {draining} nodes draining");
+        }
+    }
+
+    #[test]
+    fn rejoin_flap_alternates_down_and_catching_up() {
+        let s = schedule(
+            vec![ChaosEvent::RejoinFlap {
+                node: 3,
+                period_sessions: 2,
+                from_session: 2,
+                until_session: 10,
+            }],
+            4,
+            1,
+        );
+        assert_eq!(s.state_at(3, 1), MembershipState::Serving);
+        assert_eq!(s.state_at(3, 2), MembershipState::Down);
+        assert_eq!(s.state_at(3, 3), MembershipState::Down);
+        assert_eq!(s.state_at(3, 4), MembershipState::CatchingUp);
+        assert_eq!(s.state_at(3, 5), MembershipState::CatchingUp);
+        assert_eq!(s.state_at(3, 6), MembershipState::Down);
+        assert_eq!(s.state_at(3, 10), MembershipState::Serving);
+        assert!(s.in_flight_death(3, 2));
+        assert!(s.in_flight_death(3, 6), "the second dive is in-flight again");
+    }
+
+    #[test]
+    fn overlapping_events_resolve_to_the_worst_state() {
+        let s = schedule(
+            vec![
+                ChaosEvent::NodeDrain { node: 0, from_session: 0, until_session: 6 },
+                ChaosEvent::RegionOutage { region: 0, from_session: 2, until_session: 4 },
+            ],
+            4,
+            2,
+        );
+        assert_eq!(s.state_at(0, 1), MembershipState::Draining);
+        assert_eq!(s.state_at(0, 2), MembershipState::Down, "outage beats drain");
+        assert_eq!(s.state_at(0, 5), MembershipState::Draining, "drain resumes after");
+    }
+
+    #[test]
+    fn build_rejects_bad_regions_and_nodes() {
+        let mut plan = ChaosPlan::empty();
+        plan.events =
+            vec![ChaosEvent::RegionOutage { region: 3, from_session: 0, until_session: 4 }];
+        let err = MembershipSchedule::build(&plan, 4, RegionMap::new(2, 4).unwrap()).unwrap_err();
+        assert!(matches!(err, FleetError::BadRegion { region: 3, regions: 2 }));
+        plan.events = vec![ChaosEvent::NodeDrain { node: 9, from_session: 0, until_session: 4 }];
+        assert!(MembershipSchedule::build(&plan, 4, RegionMap::new(1, 4).unwrap()).is_err());
+        // An empty plan builds a no-event schedule.
+        let empty =
+            MembershipSchedule::build(&ChaosPlan::empty(), 4, RegionMap::new(1, 4).unwrap())
+                .unwrap();
+        assert!(!empty.has_events());
+        assert_eq!(empty.state_at(0, 0), MembershipState::Serving);
+    }
+}

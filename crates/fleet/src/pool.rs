@@ -176,9 +176,19 @@ impl NodePool {
         self.shards.is_empty()
     }
 
-    /// The shard at `id`.
+    /// The shard at `id`. Panics on an out-of-range index; only safe for
+    /// callers iterating `0..len()`. Ring- or schedule-derived indices
+    /// must go through [`NodePool::try_shard`].
     pub fn shard(&self, id: usize) -> &NodeShard {
         &self.shards[id]
+    }
+
+    /// The shard at `id`, or [`NoSuchNode`] when the index is out of
+    /// range. Membership change makes "node vanished mid-call" a real
+    /// runtime path — a stale placement order can outlive the shard it
+    /// names — so the executors use this instead of panicking.
+    pub fn try_shard(&self, id: usize) -> Result<&NodeShard, NoSuchNode> {
+        self.shards.get(id).ok_or(NoSuchNode { node: id, pool_len: self.shards.len() })
     }
 
     /// The primary shard for a placement key: the first ring point at or
@@ -388,6 +398,14 @@ mod tests {
         // 2-shard pool but not after a 0-node request rounds up to one.
         let one = FaultPlan { down_nodes: vec![1], slow_nodes: vec![] };
         assert!(NodePool::new(0, 1, &one).is_err());
+    }
+
+    #[test]
+    fn try_shard_rejects_bad_index_without_panicking() {
+        let pool = NodePool::new(2, 1, &FaultPlan::default()).unwrap();
+        assert!(pool.try_shard(1).is_ok());
+        let err = pool.try_shard(9).err().expect("out of range");
+        assert_eq!(err, NoSuchNode { node: 9, pool_len: 2 });
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Trusted-node regions: grouping pool shards behind a deterministic
+//! load-balancer front.
+//!
+//! A region models a failure domain (a rack, an availability zone, an
+//! operator's maintenance unit). Placement becomes two-level: a session's
+//! placement key first picks its *home region* (the salted region hash),
+//! then the consistent-hash ring picks nodes — but the failover order is
+//! stable-partitioned so every home-region node is tried before any
+//! foreign-region one. A session served outside its home region is a
+//! *region failover* and is counted as such in the fleet report.
+//!
+//! With `regions <= 1` the map is the identity: [`RegionMap::order`]
+//! returns exactly [`NodePool::replica_order`], so flat fleets keep
+//! byte-identical reports — the determinism contract's compatibility
+//! clause.
+
+use tinman_sim::SplitMix64;
+
+use crate::failure::FleetError;
+use crate::pool::NodePool;
+
+/// Salt mixed into the placement key when picking a session's home
+/// region, so region choice is independent of ring position.
+const REGION_SALT: u64 = 0xd1b5_4a32_d192_ed03;
+
+/// The fleet's region layout: a pure function from node index to region
+/// and from placement key to home region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegionMap {
+    regions: u32,
+    nodes: usize,
+}
+
+impl RegionMap {
+    /// Builds a map of `regions` regions over `nodes` pool shards, nodes
+    /// assigned round-robin (`region_of(n) = n % regions`). A region
+    /// count of 0 rounds up to 1 (the flat fleet). Fails with
+    /// [`FleetError::BadRegion`] when there are more regions than nodes —
+    /// an empty region can never serve its share of placements.
+    pub fn new(regions: u32, nodes: usize) -> Result<RegionMap, FleetError> {
+        let regions = regions.max(1);
+        if regions as usize > nodes.max(1) {
+            return Err(FleetError::BadRegion {
+                region: regions - 1,
+                regions: nodes.max(1) as u32,
+            });
+        }
+        Ok(RegionMap { regions, nodes })
+    }
+
+    /// Number of regions (≥ 1).
+    pub fn regions(&self) -> u32 {
+        self.regions
+    }
+
+    /// True when the map is the identity (one region = the flat fleet).
+    pub fn flat(&self) -> bool {
+        self.regions <= 1
+    }
+
+    /// The region owning pool shard `node`.
+    pub fn region_of(&self, node: usize) -> u32 {
+        (node as u32) % self.regions
+    }
+
+    /// The pool shards belonging to `region`, in index order.
+    pub fn nodes_in(&self, region: u32) -> impl Iterator<Item = usize> + '_ {
+        (0..self.nodes).filter(move |&n| self.region_of(n) == region)
+    }
+
+    /// A session's home region: the salted hash of its placement key.
+    /// Independent of ring position so region load is spread even when
+    /// the ring happens to cluster.
+    pub fn home_region(&self, key: u64) -> u32 {
+        (SplitMix64::new(key ^ REGION_SALT).next_u64() % self.regions as u64) as u32
+    }
+
+    /// The failover order for a placement key: the pool's ring order,
+    /// stable-partitioned by region preference — every node of the home
+    /// region first, then each foreign region in rotation order
+    /// (`home+1, home+2, …` wrapping), ring order preserved within each
+    /// region. Identity (exactly [`NodePool::replica_order`]) when the
+    /// map is flat.
+    pub fn order(&self, pool: &NodePool, key: u64) -> Vec<usize> {
+        let ring = pool.replica_order(key);
+        if self.flat() {
+            return ring;
+        }
+        let home = self.home_region(key);
+        let mut order = Vec::with_capacity(ring.len());
+        for offset in 0..self.regions {
+            let region = (home + offset) % self.regions;
+            order.extend(ring.iter().copied().filter(|&n| self.region_of(n) == region));
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::FaultPlan;
+
+    fn pool(nodes: usize) -> NodePool {
+        NodePool::new(nodes, 2, &FaultPlan::default()).unwrap()
+    }
+
+    #[test]
+    fn flat_map_is_the_identity_order() {
+        let pool = pool(4);
+        let map = RegionMap::new(1, 4).unwrap();
+        assert!(map.flat());
+        for key in [0u64, 12345, u64::MAX] {
+            assert_eq!(map.order(&pool, key), pool.replica_order(key));
+        }
+        // regions: 0 rounds up to the flat map.
+        assert!(RegionMap::new(0, 4).unwrap().flat());
+    }
+
+    #[test]
+    fn regions_partition_nodes_round_robin() {
+        let map = RegionMap::new(2, 4).unwrap();
+        assert_eq!(map.region_of(0), 0);
+        assert_eq!(map.region_of(1), 1);
+        assert_eq!(map.region_of(2), 0);
+        assert_eq!(map.region_of(3), 1);
+        assert_eq!(map.nodes_in(0).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(map.nodes_in(1).collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn order_prefers_the_home_region_and_covers_all_nodes() {
+        let pool = pool(4);
+        let map = RegionMap::new(2, 4).unwrap();
+        let mut h = SplitMix64::new(3);
+        let mut homes = [0usize; 2];
+        for _ in 0..200 {
+            let key = h.next_u64();
+            homes[map.home_region(key) as usize] += 1;
+            let order = map.order(&pool, key);
+            // Complete cover, no duplicates.
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3]);
+            // Home-region nodes strictly precede foreign ones.
+            let home = map.home_region(key);
+            let first_foreign =
+                order.iter().position(|&n| map.region_of(n) != home).unwrap_or(order.len());
+            assert!(
+                order[..first_foreign].iter().all(|&n| map.region_of(n) == home),
+                "home region first"
+            );
+            assert!(
+                order[first_foreign..].iter().all(|&n| map.region_of(n) != home),
+                "foreign regions after"
+            );
+            // Ring order preserved within the home region.
+            let ring = pool.replica_order(key);
+            let ring_home: Vec<usize> =
+                ring.iter().copied().filter(|&n| map.region_of(n) == home).collect();
+            assert_eq!(&order[..first_foreign], &ring_home[..]);
+        }
+        // Both regions get picked as home across keys.
+        assert!(homes[0] > 0 && homes[1] > 0);
+    }
+
+    #[test]
+    fn more_regions_than_nodes_is_refused() {
+        assert!(matches!(
+            RegionMap::new(5, 4),
+            Err(FleetError::BadRegion { region: 4, regions: 4 })
+        ));
+    }
+}

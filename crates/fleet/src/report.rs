@@ -153,6 +153,24 @@ pub struct FleetReport {
     /// Segments dropped by routing (router down / firewall deny) —
     /// every one a fail-closed refusal, never a leak.
     pub route_drops: u64,
+    /// Live migrations fleet-wide: checkpointed hand-offs of in-flight
+    /// guests from draining or dying nodes to peers (region runs only).
+    pub migrations: u64,
+    /// The subset of `migrations` triggered by planned drains.
+    pub evacuations: u64,
+    /// Sessions ultimately served outside their home region.
+    pub region_failovers: u64,
+    /// Cor bytes found on source-node heaps after migration scrubs.
+    /// Acceptance bar: zero.
+    pub migration_residue: u64,
+    /// Sessions that failed closed with reason `no_region`: after a
+    /// migration, no attested, caught-up, policy-admissible target
+    /// existed inside the deadline.
+    pub no_region_kills: u64,
+    /// True when this run used regions or membership events; gates the
+    /// region keys in [`FleetReport::simulated_value`] so flat runs keep
+    /// byte-identical reports. Set by the scheduler, not `aggregate`.
+    pub region_mode: bool,
     /// Guests the guard killed for exhausting a budget. Each kill scrubbed
     /// its node heap and failed the session closed.
     pub guest_kills: u64,
@@ -281,6 +299,12 @@ impl FleetReport {
             nat_rebinds: sum(|o| o.nat_rebinds),
             dns_faults: sum(|o| o.dns_faults),
             route_drops: sum(|o| o.route_drops),
+            migrations: sum(|o| o.migrations),
+            evacuations: sum(|o| o.evacuations),
+            region_failovers: sum(|o| o.region_failovers),
+            migration_residue: sum(|o| o.migration_residue),
+            no_region_kills: outcomes.iter().filter(|o| o.no_region).count() as u64,
+            region_mode: false,
             guest_kills: outcomes.iter().filter(|o| o.guest_kill.is_some()).count() as u64,
             shed_sessions: outcomes.iter().filter(|o| o.shed).count() as u64,
             budget_exhaustions: {
@@ -361,6 +385,16 @@ impl FleetReport {
                     .collect(),
             ),
         );
+        // Region keys only exist in region mode: flat configs must keep
+        // serializing to exactly the pre-region bytes (pinned by the
+        // golden-report tests).
+        if self.region_mode {
+            put("migrations", Value::U64(self.migrations));
+            put("evacuations", Value::U64(self.evacuations));
+            put("region_failovers", Value::U64(self.region_failovers));
+            put("migration_residue", Value::U64(self.migration_residue));
+            put("no_region_kills", Value::U64(self.no_region_kills));
+        }
         put("offloads", Value::U64(self.offloads));
         put("node_methods", Value::U64(self.node_methods));
         put("client_methods", Value::U64(self.client_methods));
@@ -465,6 +499,11 @@ mod tests {
             nat_rebinds: 0,
             dns_faults: 0,
             route_drops: 0,
+            migrations: 0,
+            evacuations: 0,
+            region_failovers: 0,
+            migration_residue: 0,
+            no_region: false,
         }
     }
 
@@ -492,6 +531,26 @@ mod tests {
         assert!((r.per_node[0].utilization - 1.0).abs() < 1e-9);
         assert!((r.per_node[1].utilization - 0.5).abs() < 1e-9);
         assert_eq!(r.wall_throughput, 6.0);
+    }
+
+    #[test]
+    fn region_keys_appear_only_in_region_mode() {
+        let cfg = FleetConfig::new(1, 1);
+        let pool = NodePool::new(1, 1, &FaultPlan::default()).unwrap();
+        let mut r = FleetReport::aggregate(&cfg, &pool, vec![outcome(0, 0, 50)], 0.1);
+        let flat = serde_json::to_string(&r.simulated_value()).unwrap();
+        assert!(!flat.contains("\"migrations\""), "flat reports carry no region keys");
+        r.region_mode = true;
+        let region = serde_json::to_string(&r.simulated_value()).unwrap();
+        for key in [
+            "migrations",
+            "evacuations",
+            "region_failovers",
+            "migration_residue",
+            "no_region_kills",
+        ] {
+            assert!(region.contains(&format!("\"{key}\"")), "region mode carries {key}");
+        }
     }
 
     #[test]

@@ -67,9 +67,10 @@ pub fn execute_with_failover_obs(
             // A retry: the previous placement was skipped or failed.
             obs.metrics.incr("fleet.failovers");
         }
-        let shard = pool.shard(node);
-        let health = shard.health();
-        if !health.can_serve() {
+        // A vanished shard (stale order naming a decommissioned index)
+        // is treated as an unservable node, never a panic.
+        let shard = pool.try_shard(node).ok().map(|s| (s, s.health()));
+        let Some((shard, health)) = shard.filter(|&(_, h)| h.can_serve()) else {
             let delay = backoff_delay(cfg.backoff, i as u32);
             penalty += delay;
             obs.metrics.add("fleet.backoff_ns", delay.as_nanos());
@@ -95,7 +96,7 @@ pub fn execute_with_failover_obs(
                 );
             }
             continue;
-        }
+        };
         let base = base_link(spec.link);
         let link = if health == NodeHealth::Degraded { degraded_link(&base) } else { base };
         if obs.trace.is_enabled() {

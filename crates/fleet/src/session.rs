@@ -24,6 +24,7 @@ use tinman_sim::{LinkProfile, SimDuration, SplitMix64};
 use tinman_tls::TlsConfig;
 use tinman_vm::{AppImage, Value};
 
+use crate::failure::FleetError;
 use crate::spec::{LinkKind, SessionSpec, WorkloadKind};
 
 /// What one session contributed to the fleet, all plain data. The
@@ -121,6 +122,23 @@ pub struct SessionOutcome {
     pub dns_faults: u64,
     /// Segments dropped by routing (router down / firewall deny).
     pub route_drops: u64,
+    /// Live migrations: checkpointed hand-offs of this session's
+    /// in-flight guest from a draining or dying node to a peer.
+    pub migrations: u64,
+    /// The subset of `migrations` triggered by a *planned* drain (the
+    /// source node checkpointed voluntarily at a sync point).
+    pub evacuations: u64,
+    /// 1 when the session was ultimately served outside its home region
+    /// (region mode only).
+    pub region_failovers: u64,
+    /// Cor bytes found on a source node's heap *after* its migration
+    /// scrub. Must be zero: a node hands off its guest clean or not at
+    /// all.
+    pub migration_residue: u64,
+    /// True when the session failed closed because no attested,
+    /// caught-up, policy-admissible target existed inside its deadline
+    /// after a migration (reason `no_region`).
+    pub no_region: bool,
 }
 
 impl SessionOutcome {
@@ -162,6 +180,11 @@ impl SessionOutcome {
             nat_rebinds: 0,
             dns_faults: 0,
             route_drops: 0,
+            migrations: 0,
+            evacuations: 0,
+            region_failovers: 0,
+            migration_residue: 0,
+            no_region: false,
         }
     }
 }
@@ -184,13 +207,22 @@ pub(crate) fn session_inputs() -> HashMap<String, String> {
 /// The per-session derivation stream plus the cor store it seeds. Cors
 /// are registered into the store *before* the runtime is built (they are
 /// provisioned "in a safe environment in advance", §2.3).
-pub(crate) fn session_store(spec: &SessionSpec, labels: (u8, u8)) -> (CorStore, SplitMix64, u64) {
+///
+/// Fails with [`FleetError::BadLabelRange`] instead of panicking: pool
+/// shards carry valid ranges by construction, but membership makes a
+/// decommissioned or mis-sliced shard a reachable runtime state and the
+/// executor must degrade it to a failover, not abort the worker.
+pub(crate) fn session_store(
+    spec: &SessionSpec,
+    labels: (u8, u8),
+) -> Result<(CorStore, SplitMix64, u64), FleetError> {
     let mut stream = SplitMix64::new(spec.seed);
     let store_seed = stream.next_u64();
     let runtime_seed = stream.next_u64();
-    let store = CorStore::with_label_range(store_seed, labels.0, labels.1)
-        .expect("pool shards carry valid label ranges");
-    (store, stream, runtime_seed)
+    let store = CorStore::with_label_range(store_seed, labels.0, labels.1).map_err(|e| {
+        FleetError::BadLabelRange { start: labels.0, end: labels.1, reason: e.to_string() }
+    })?;
+    Ok((store, stream, runtime_seed))
 }
 
 /// Network shape for a session world. The default — flat link, no
@@ -314,7 +346,8 @@ pub fn build_session_world_net(
         WorkloadKind::Login(idx) => {
             let apps = LoginAppSpec::table3();
             let login = &apps[idx % apps.len()];
-            let (mut store, mut stream, runtime_seed) = session_store(spec, labels);
+            let (mut store, mut stream, runtime_seed) =
+                session_store(spec, labels).map_err(|e| e.to_string())?;
             let password = stream.alphanumeric(16);
             store
                 .register(&password, login.cor_description, &[login.domain])
@@ -337,7 +370,8 @@ pub fn build_session_world_net(
             Ok(SessionWorld { rt, app, workload: login.name, secrets: vec![password] })
         }
         WorkloadKind::Bankdroid => {
-            let (mut store, mut stream, runtime_seed) = session_store(spec, labels);
+            let (mut store, mut stream, runtime_seed) =
+                session_store(spec, labels).map_err(|e| e.to_string())?;
             let password = stream.alphanumeric(16);
             store
                 .register(&password, "Citibank password", &["citibank.com"])
@@ -355,7 +389,8 @@ pub fn build_session_world_net(
             Ok(SessionWorld { rt, app, workload: "bankdroid", secrets: vec![password] })
         }
         WorkloadKind::BrowserCheckout => {
-            let (mut store, mut stream, runtime_seed) = session_store(spec, labels);
+            let (mut store, mut stream, runtime_seed) =
+                session_store(spec, labels).map_err(|e| e.to_string())?;
             let mut card = String::with_capacity(16);
             for _ in 0..16 {
                 card.push(char::from(b'0' + stream.below(10) as u8));
@@ -456,6 +491,11 @@ pub fn outcome_from_report(
         nat_rebinds: 0,
         dns_faults: 0,
         route_drops: 0,
+        migrations: 0,
+        evacuations: 0,
+        region_failovers: 0,
+        migration_residue: 0,
+        no_region: false,
     }
 }
 

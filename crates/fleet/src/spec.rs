@@ -113,6 +113,16 @@ pub struct FleetConfig {
     /// (two handoffs, the first mid-offload), on top of whatever the
     /// chaos plan injects. Implies nothing unless `topology` is on.
     pub handoff: bool,
+    /// Number of regions the node pool is split into behind the
+    /// deterministic load-balancer front (round-robin by node index).
+    /// 0 or 1 = the flat fleet, byte-identical reports included; ≥ 2
+    /// turns on region-salted placement, region-failover accounting,
+    /// and the region block in the report.
+    pub regions: u32,
+    /// Layer a standing drain of node 0 (a `NodeDrain` covering every
+    /// session) on top of whatever the chaos plan carries, so benches
+    /// can demand live migration without authoring a plan.
+    pub drain: bool,
 }
 
 impl FleetConfig {
@@ -134,6 +144,8 @@ impl FleetConfig {
             tenant_window: None,
             topology: false,
             handoff: false,
+            regions: 1,
+            drain: false,
         }
     }
 }

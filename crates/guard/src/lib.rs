@@ -170,6 +170,33 @@ impl GuardVerdict {
     }
 }
 
+/// Evidence that a node heap was scrubbed before its guest state left the
+/// node — the scrub-on-migrate half of the kill-time scrub guarantee.
+///
+/// A live session migration serializes the guest (machine + taint engine)
+/// and then must leave *nothing* behind on the source: the checkpoint
+/// carries this receipt so the scheduler can verify, per migration, that
+/// the source heap and stack were torn down and that a post-scrub residue
+/// scan found zero live objects. A receipt with `residue != 0` is a
+/// reportable violation (the `migration_residue` fleet column), never
+/// silently accepted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScrubReceipt {
+    /// The node index that was scrubbed.
+    pub node: usize,
+    /// Simulated instant of the scrub, nanoseconds since session start.
+    pub at_ns: u64,
+    /// Heap objects still alive after the scrub (acceptance bar: zero).
+    pub residue: u64,
+}
+
+impl ScrubReceipt {
+    /// True when the scrub left no live heap object behind.
+    pub fn clean(&self) -> bool {
+        self.residue == 0
+    }
+}
+
 /// Block-granular fuel metering for the VM's compiled tier.
 ///
 /// The interpreter charges one unit of fuel per instruction, checking for
@@ -353,5 +380,16 @@ mod tests {
         assert!(m.charge_one());
         assert!(!m.charge_one(), "third instruction must not run");
         assert_eq!(m.remaining(), Some(0));
+    }
+
+    #[test]
+    fn scrub_receipt_is_clean_only_at_zero_residue() {
+        let ok = ScrubReceipt { node: 2, at_ns: 1_000, residue: 0 };
+        assert!(ok.clean());
+        let bad = ScrubReceipt { node: 2, at_ns: 1_000, residue: 3 };
+        assert!(!bad.clean(), "any surviving object is a violation");
+        // Receipts travel inside serialized checkpoints; round-trip them.
+        let json = serde_json::to_string(&ok).unwrap();
+        assert_eq!(serde_json::from_str::<ScrubReceipt>(&json).unwrap(), ok);
     }
 }

@@ -137,10 +137,43 @@ pub enum TraceEvent {
         /// deadline budget), `"policy_denied"` (the tenant
         /// declassification policy refused the session's flow),
         /// `"unattested"` (no attested node was available to hold
-        /// tenant plaintext), or `"revoked_key"` (a compromise-forced
+        /// tenant plaintext), `"revoked_key"` (a compromise-forced
         /// key rotation could not complete within the deadline and the
-        /// session refused to serve under the suspect epoch).
+        /// session refused to serve under the suspect epoch), or
+        /// `"no_region"` (after a live migration, no attested,
+        /// caught-up, policy-admissible target node existed inside the
+        /// deadline — the checkpointed guest was discarded and the
+        /// source heap scrubbed).
         reason: &'static str,
+    },
+    /// A live migration: a draining or dying node checkpointed its
+    /// in-flight guest at a DSM sync point and a peer node resumed it.
+    Migration {
+        /// Session id that migrated.
+        session: u64,
+        /// Source node index (the drained/dying node).
+        from_node: u64,
+        /// Target node index that resumed the checkpoint.
+        to_node: u64,
+        /// Serialized checkpoint size shipped through the replica
+        /// channel, bytes.
+        bytes: u64,
+        /// Checkpoint credit at resume: session time already covered,
+        /// nanoseconds.
+        resume_ns: u64,
+    },
+    /// A node's membership state changed on the session-id axis
+    /// (`serving`/`draining`/`evacuated`/`decommissioned`/`down`/
+    /// `catching_up`).
+    MembershipTransition {
+        /// Node index.
+        node: u64,
+        /// First session id observing the new state.
+        session: u64,
+        /// Previous state name.
+        from: &'static str,
+        /// New state name.
+        to: &'static str,
     },
     /// The origin-server dedup suppressed re-sent payload replacements
     /// from a replayed session.
@@ -310,6 +343,8 @@ impl TraceEvent {
             TraceEvent::BreakerTransition { .. } => "breaker_transition",
             TraceEvent::SessionReplay { .. } => "session_replay",
             TraceEvent::FailClosed { .. } => "fail_closed",
+            TraceEvent::Migration { .. } => "migration",
+            TraceEvent::MembershipTransition { .. } => "membership_transition",
             TraceEvent::DeliveryDedup { .. } => "delivery_dedup",
             TraceEvent::VaultRecovery { .. } => "vault_recovery",
             TraceEvent::VaultCatchUp { .. } => "vault_catch_up",
@@ -393,6 +428,19 @@ impl TraceEvent {
             TraceEvent::FailClosed { session, reason } => {
                 vec![("session".to_owned(), Value::U64(*session)), ("reason".to_owned(), s(reason))]
             }
+            TraceEvent::Migration { session, from_node, to_node, bytes, resume_ns } => vec![
+                ("session".to_owned(), Value::U64(*session)),
+                ("from_node".to_owned(), Value::U64(*from_node)),
+                ("to_node".to_owned(), Value::U64(*to_node)),
+                ("bytes".to_owned(), Value::U64(*bytes)),
+                ("resume_ns".to_owned(), Value::U64(*resume_ns)),
+            ],
+            TraceEvent::MembershipTransition { node, session, from, to } => vec![
+                ("node".to_owned(), Value::U64(*node)),
+                ("session".to_owned(), Value::U64(*session)),
+                ("from".to_owned(), s(from)),
+                ("to".to_owned(), s(to)),
+            ],
             TraceEvent::DeliveryDedup { session, duplicates } => vec![
                 ("session".to_owned(), Value::U64(*session)),
                 ("duplicates".to_owned(), Value::U64(*duplicates)),
@@ -477,6 +525,16 @@ mod tests {
         assert_eq!(e.name(), "dsm_sync");
         let sp = TraceEvent::Span { name: "offload".to_owned() };
         assert_eq!(sp.name(), "offload");
+        let m =
+            TraceEvent::Migration { session: 1, from_node: 0, to_node: 2, bytes: 64, resume_ns: 7 };
+        assert_eq!(m.name(), "migration");
+        let t = TraceEvent::MembershipTransition {
+            node: 0,
+            session: 4,
+            from: "serving",
+            to: "draining",
+        };
+        assert_eq!(t.name(), "membership_transition");
     }
 
     #[test]
@@ -485,5 +543,11 @@ mod tests {
         let args = e.args();
         assert_eq!(args[0], ("session".to_owned(), Value::U64(3)));
         assert_eq!(args[2], ("delay_ns".to_owned(), Value::U64(500)));
+        let m =
+            TraceEvent::Migration { session: 1, from_node: 0, to_node: 2, bytes: 64, resume_ns: 7 };
+        let margs = m.args();
+        assert_eq!(margs[1], ("from_node".to_owned(), Value::U64(0)));
+        assert_eq!(margs[2], ("to_node".to_owned(), Value::U64(2)));
+        assert_eq!(margs[4], ("resume_ns".to_owned(), Value::U64(7)));
     }
 }

@@ -19,15 +19,20 @@
 //! * [`rng`] — a tiny deterministic PRNG ([`SplitMix64`]) for reproducible
 //!   placeholder generation and workload jitter without pulling a full RNG
 //!   stack into every crate.
+//! * [`retry`] — the one shared deterministic retry/backoff policy
+//!   ([`RetryPolicy`]) every subsystem charges delays through (fleet
+//!   failover, DSM re-sync, vault catch-up, live session migration).
 
 pub mod breakdown;
 pub mod power;
 pub mod profile;
+pub mod retry;
 pub mod rng;
 pub mod time;
 
 pub use breakdown::Breakdown;
 pub use power::{Battery, EnergyMeter, MicroJoules};
 pub use profile::{DeviceProfile, LinkProfile};
+pub use retry::{BackoffShape, RetryBudget, RetryPolicy};
 pub use rng::SplitMix64;
 pub use time::{SimClock, SimDuration, SimTime};

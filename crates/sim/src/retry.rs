@@ -1,0 +1,236 @@
+//! One deterministic retry/backoff policy for every subsystem.
+//!
+//! Three ad-hoc backoff implementations grew up independently — the
+//! fleet failover exponential (shift-clamped, capped), the DSM re-sync
+//! doubling loop, and the vault anti-entropy linear catch-up. They are
+//! all the same thing: a pure function from an attempt (or unit) count
+//! to a simulated delay, optionally jittered by a seeded PRNG and
+//! optionally bounded by a deadline-aware budget. This module is that
+//! function, written once. Callers that predate it (fleet, DSM, vault)
+//! construct zero-jitter policies so their reports stay byte-identical;
+//! the live-migration path layers seeded jitter and a budget on top.
+
+use crate::rng::SplitMix64;
+use crate::time::SimDuration;
+
+/// The delay curve a [`RetryPolicy`] follows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackoffShape {
+    /// `delay(i) = base * 2^min(i, clamp)`, optionally capped.
+    ///
+    /// `clamp` keeps the shift in range (it must be < 64); the optional
+    /// `cap` bounds the delay itself. The fleet failover curve is
+    /// `clamp = 16, cap = 30s`; the DSM re-sync curve is uncapped
+    /// doubling from its configured base.
+    Exponential {
+        /// First-attempt delay (`i = 0`).
+        base: SimDuration,
+        /// Largest exponent applied; attempts beyond it plateau.
+        clamp: u32,
+        /// Hard ceiling on any single delay, if present.
+        cap: Option<SimDuration>,
+    },
+    /// `delay(n) = per_unit * n` — the vault anti-entropy curve, where
+    /// `n` counts missing LSNs rather than retry attempts.
+    Linear {
+        /// Cost of one unit (e.g. one shipped LSN).
+        per_unit: SimDuration,
+    },
+}
+
+/// A deterministic retry policy: shape + optional seeded jitter.
+///
+/// Jitter is *deterministic*: attempt `i` under seed `s` always yields
+/// the same delay, so jittered policies keep the byte-identity contract.
+/// Policies without a seed produce the bare shape — exactly what the
+/// pre-existing call sites computed by hand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    shape: BackoffShape,
+    jitter_seed: Option<u64>,
+}
+
+impl RetryPolicy {
+    /// An exponential policy with no jitter.
+    pub const fn exponential(base: SimDuration, clamp: u32, cap: Option<SimDuration>) -> Self {
+        RetryPolicy { shape: BackoffShape::Exponential { base, clamp, cap }, jitter_seed: None }
+    }
+
+    /// A linear per-unit policy with no jitter.
+    pub const fn linear(per_unit: SimDuration) -> Self {
+        RetryPolicy { shape: BackoffShape::Linear { per_unit }, jitter_seed: None }
+    }
+
+    /// The same policy with seeded deterministic jitter layered on.
+    pub const fn with_jitter(self, seed: u64) -> Self {
+        RetryPolicy { shape: self.shape, jitter_seed: Some(seed) }
+    }
+
+    /// The shape this policy follows.
+    pub const fn shape(&self) -> BackoffShape {
+        self.shape
+    }
+
+    /// The bare (unjittered) delay for attempt/unit `i`.
+    pub fn base_delay(&self, i: u64) -> SimDuration {
+        match self.shape {
+            BackoffShape::Exponential { base, clamp, cap } => {
+                let exp = i.min(clamp.min(63) as u64) as u32;
+                let d = base * (1u64 << exp);
+                match cap {
+                    Some(c) if d > c => c,
+                    _ => d,
+                }
+            }
+            BackoffShape::Linear { per_unit } => per_unit * i,
+        }
+    }
+
+    /// The delay for attempt/unit `i`, jittered when a seed is set.
+    ///
+    /// Jitter adds up to 25% of the base delay, drawn from a
+    /// [`SplitMix64`] stream keyed on `(seed, i)` — the same `(policy,
+    /// attempt)` pair always yields the same delay.
+    pub fn delay(&self, i: u64) -> SimDuration {
+        let d = self.base_delay(i);
+        match self.jitter_seed {
+            None => d,
+            Some(seed) => {
+                let span = d.as_nanos() / 4;
+                if span == 0 {
+                    return d;
+                }
+                let mut rng =
+                    SplitMix64::new(seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(13));
+                d + SimDuration::from_nanos(rng.next_u64() % (span + 1))
+            }
+        }
+    }
+}
+
+/// A deadline-aware retry budget: total simulated time the caller may
+/// burn on delays before it must fail closed.
+///
+/// [`RetryBudget::admit`] is the only mutator: it either charges a delay
+/// and returns `true`, or leaves the budget untouched and returns
+/// `false` — at which point the caller stops retrying (fail-closed, not
+/// fail-open: an exhausted budget never grants a partial delay).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryBudget {
+    deadline: SimDuration,
+    spent: SimDuration,
+}
+
+impl RetryBudget {
+    /// A fresh budget of `deadline` simulated time.
+    pub const fn new(deadline: SimDuration) -> Self {
+        RetryBudget { deadline, spent: SimDuration::ZERO }
+    }
+
+    /// Time already charged.
+    pub const fn spent(&self) -> SimDuration {
+        self.spent
+    }
+
+    /// Time still available.
+    pub fn remaining(&self) -> SimDuration {
+        self.deadline.saturating_sub(self.spent)
+    }
+
+    /// Charges `delay` if it fits; returns whether it was admitted.
+    pub fn admit(&mut self, delay: SimDuration) -> bool {
+        match self.spent.checked_add(delay) {
+            Some(total) if total <= self.deadline => {
+                self.spent = total;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_matches_the_fleet_curve() {
+        // The historical fleet curve: (base << min(i,16)).min(30s).
+        let base = SimDuration::from_millis(250);
+        let cap = SimDuration::from_secs(30);
+        let p = RetryPolicy::exponential(base, 16, Some(cap));
+        for i in 0..40u64 {
+            let legacy = (base * (1u64 << i.min(16) as u32)).min(cap);
+            assert_eq!(p.delay(i), legacy, "attempt {i}");
+        }
+    }
+
+    #[test]
+    fn exponential_matches_the_dsm_doubling_loop() {
+        // The historical DSM loop: backoff starts at base, doubles each
+        // retry — attempt i sees base * 2^i.
+        let base = SimDuration::from_millis(500);
+        let p = RetryPolicy::exponential(base, 63, None);
+        let mut legacy = base;
+        for i in 0..8u64 {
+            assert_eq!(p.delay(i), legacy, "attempt {i}");
+            legacy = legacy * 2;
+        }
+    }
+
+    #[test]
+    fn linear_matches_the_vault_curve() {
+        let p = RetryPolicy::linear(SimDuration::from_millis(25));
+        assert_eq!(p.delay(0), SimDuration::ZERO);
+        assert_eq!(p.delay(4), SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn clamp_never_shifts_past_63() {
+        let p = RetryPolicy::exponential(SimDuration::from_nanos(1), 200, None);
+        // Would be UB as a shift; must plateau (saturating) instead.
+        assert_eq!(p.delay(1000), SimDuration::from_nanos(1u64 << 63));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let base = RetryPolicy::exponential(SimDuration::from_millis(100), 16, None);
+        let j = base.with_jitter(0xfeed);
+        for i in 0..6u64 {
+            let bare = base.delay(i);
+            let a = j.delay(i);
+            let b = j.delay(i);
+            assert_eq!(a, b, "same (seed, attempt) must repeat exactly");
+            assert!(a >= bare && a <= bare + SimDuration::from_nanos(bare.as_nanos() / 4));
+        }
+        let other = base.with_jitter(0xbeef);
+        assert_ne!(
+            (0..6).map(|i| j.delay(i)).collect::<Vec<_>>(),
+            (0..6).map(|i| other.delay(i)).collect::<Vec<_>>(),
+            "different seeds should draw different jitter"
+        );
+    }
+
+    #[test]
+    fn zero_jitter_policies_are_the_bare_shape() {
+        let p = RetryPolicy::exponential(SimDuration::from_millis(250), 16, None);
+        assert_eq!(p.delay(3), p.base_delay(3));
+    }
+
+    #[test]
+    fn budget_admits_until_the_deadline_then_fails_closed() {
+        let mut b = RetryBudget::new(SimDuration::from_millis(100));
+        assert!(b.admit(SimDuration::from_millis(60)));
+        assert!(b.admit(SimDuration::from_millis(40)));
+        assert_eq!(b.remaining(), SimDuration::ZERO);
+        assert!(!b.admit(SimDuration::from_nanos(1)));
+        assert_eq!(b.spent(), SimDuration::from_millis(100), "refusal charges nothing");
+    }
+
+    #[test]
+    fn budget_refuses_overflowing_charges() {
+        let mut b = RetryBudget::new(SimDuration::from_nanos(u64::MAX));
+        assert!(b.admit(SimDuration::from_nanos(u64::MAX - 1)));
+        assert!(!b.admit(SimDuration::from_nanos(2)), "overflow must refuse, not wrap");
+    }
+}

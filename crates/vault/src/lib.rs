@@ -31,7 +31,9 @@ mod vault;
 pub mod wal;
 
 pub use disk::{DiskStats, SimDisk};
-pub use ship::{catch_up_cost, ReplicatedVault, CATCH_UP_PER_LSN};
+pub use ship::{
+    catch_up_cost, catch_up_policy, catch_up_within, ReplicatedVault, CATCH_UP_PER_LSN,
+};
 pub use vault::{
     log_store_records, CompactionCrash, RecoveredVault, RecoveryReport, Vault, VaultError, VaultOp,
     VaultStats, SNAP_FILE, SNAP_TMP, WAL_FILE,

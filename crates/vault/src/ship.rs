@@ -12,7 +12,7 @@
 //! penalty deadline — or the session degrades fail-closed.
 
 use tinman_cor::CorStore;
-use tinman_sim::SimDuration;
+use tinman_sim::{RetryBudget, RetryPolicy, SimDuration};
 
 use crate::vault::{Vault, VaultError, VaultOp};
 use crate::wal::decode_frames;
@@ -22,9 +22,29 @@ use crate::wal::decode_frames;
 /// cor-aware failover path.
 pub const CATCH_UP_PER_LSN: SimDuration = SimDuration::from_millis(25);
 
+/// The anti-entropy curve as a shared [`RetryPolicy`]: linear per-LSN,
+/// no jitter — the same bytes the hand-rolled multiply produced.
+pub fn catch_up_policy() -> RetryPolicy {
+    RetryPolicy::linear(CATCH_UP_PER_LSN)
+}
+
 /// The anti-entropy cost of covering `lsns` missing records.
 pub fn catch_up_cost(lsns: u64) -> SimDuration {
-    CATCH_UP_PER_LSN * lsns
+    catch_up_policy().delay(lsns)
+}
+
+/// Deadline-aware catch-up admission: the cost of covering `lsns`
+/// missing records if (and only if) it fits in `budget`, which is
+/// charged on success. `None` means the new owner cannot reach the
+/// acked watermark within the session's remaining deadline — the caller
+/// must refuse to serve (stale-replica fail-closed), never serve stale.
+pub fn catch_up_within(lsns: u64, budget: &mut RetryBudget) -> Option<SimDuration> {
+    let cost = catch_up_cost(lsns);
+    if budget.admit(cost) {
+        Some(cost)
+    } else {
+        None
+    }
 }
 
 /// One replica: its own vault + store, and the injected lag that keeps
@@ -234,6 +254,15 @@ mod tests {
     fn catch_up_cost_is_linear_and_visible() {
         assert_eq!(catch_up_cost(0), SimDuration::ZERO);
         assert_eq!(catch_up_cost(4), SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn catch_up_within_budget_charges_or_refuses() {
+        let mut budget = RetryBudget::new(SimDuration::from_millis(60));
+        assert_eq!(catch_up_within(2, &mut budget), Some(SimDuration::from_millis(50)));
+        assert_eq!(budget.remaining(), SimDuration::from_millis(10));
+        assert_eq!(catch_up_within(1, &mut budget), None, "25ms no longer fits");
+        assert_eq!(budget.spent(), SimDuration::from_millis(50), "refusal charges nothing");
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Region acceptance: live membership, session migration, and
+//! fail-closed region evacuation, end to end through the public facade.
+//!
+//! The headline scenario is the PR's acceptance bar: a canned
+//! `region-failover` run with a whole-region outage mid-offload finishes
+//! with every session either migrated-and-completed on a peer region or
+//! failed closed with a scrubbed heap — ok + fail_closed == sessions,
+//! migration_residue == 0, lost_cors == 0 — byte-identical across 1, 4,
+//! and 8 workers. Flat single-region configs must produce reports
+//! byte-identical to the pre-PR goldens, pinned below.
+
+use tinman::chaos::ChaosPlan;
+use tinman::fleet::{
+    run_fleet_chaos, run_fleet_obs, FleetConfig, FleetObs, FleetReport, MembershipState,
+};
+
+fn simulated(report: &FleetReport) -> String {
+    serde_json::to_string(&report.simulated_value()).unwrap()
+}
+
+/// The three pre-PR golden reports (clean scheduler, chaos path, tenant
+/// path), captured at the seed state before any region code landed. The
+/// compatibility clause: flat configs — regions ≤ 1, no drain, no
+/// membership events — keep byte-identical reports through the whole
+/// refactor (shared retry policy, region-aware executor, report keys).
+#[test]
+fn flat_reports_match_pre_pr_goldens() {
+    let obs = FleetObs::default();
+
+    let cfg = FleetConfig::new(24, 2);
+    let r = run_fleet_obs(&cfg, &obs).expect("fleet runs");
+    assert_eq!(simulated(&r), include_str!("golden/flat_24.json").trim_end());
+
+    let mut cfg = FleetConfig::new(16, 2);
+    cfg.seed = 7;
+    let plan = ChaosPlan::canned("crash-primary").expect("canned plan");
+    let r = run_fleet_chaos(&cfg, &plan, &obs).expect("fleet runs");
+    assert_eq!(simulated(&r), include_str!("golden/chaos_crash_primary_16.json").trim_end());
+
+    let mut cfg = FleetConfig::new(12, 2);
+    cfg.seed = 7;
+    cfg.tenants = 2;
+    cfg.tenant_deny = vec!["shop.com".to_owned()];
+    cfg.unattested_nodes = vec![1];
+    let plan = ChaosPlan::canned("tenant-rotation").expect("canned plan");
+    let r = run_fleet_chaos(&cfg, &plan, &obs).expect("fleet runs");
+    assert_eq!(simulated(&r), include_str!("golden/tenant_rotation_12.json").trim_end());
+}
+
+/// The acceptance bar: whole-region outage mid-offload under the canned
+/// `region-failover` plan.
+#[test]
+fn region_failover_migrates_or_fails_closed_byte_identically() {
+    let plan = ChaosPlan::canned("region-failover").expect("canned plan");
+    let mut reference: Option<String> = None;
+    for workers in [1usize, 4, 8] {
+        let mut cfg = FleetConfig::new(16, workers);
+        cfg.regions = 2;
+        let report = run_fleet_chaos(&cfg, &plan, &FleetObs::default()).expect("runs");
+        assert!(report.region_mode, "region plan flips the report into region mode");
+        assert!(report.migrations > 0, "in-flight sessions migrate off the dying region");
+        assert_eq!(report.migration_residue, 0, "source heaps scrub clean on hand-off");
+        assert_eq!(report.residue_violations, 0);
+        assert_eq!(report.lost_cors, 0);
+        assert_eq!(
+            report.ok + report.fail_closed,
+            report.sessions,
+            "every session completes or fails closed"
+        );
+        assert!(report.ok > 0, "peer region serves the migrated and displaced sessions");
+        assert!(report.outcomes.iter().all(|o| o.success || o.fail_closed));
+        let bytes = simulated(&report);
+        match &reference {
+            None => reference = Some(bytes),
+            Some(r) => assert_eq!(&bytes, r, "simulated aggregate diverged at {workers} workers"),
+        }
+    }
+}
+
+/// Rolling upgrade: one node drains per wave; every session lands on a
+/// serving node (or migrates off the draining one) and the fleet never
+/// loses a cor.
+#[test]
+fn rolling_upgrade_drains_one_wave_at_a_time() {
+    let plan = ChaosPlan::canned("rolling-upgrade").expect("canned plan");
+    let mut cfg = FleetConfig::new(16, 2);
+    cfg.regions = 2;
+    let report = run_fleet_chaos(&cfg, &plan, &FleetObs::default()).expect("runs");
+    assert!(report.region_mode);
+    assert!(report.migrations > 0, "sessions admitted to a draining node migrate off it");
+    assert!(report.evacuations > 0, "a planned drain is an evacuation");
+    assert_eq!(report.migration_residue, 0);
+    assert_eq!(report.lost_cors, 0);
+    assert_eq!(report.ok + report.fail_closed, report.sessions);
+    assert!(report.ok > 0);
+}
+
+/// The `no_region` fail-closed path: drain every node so a checkpointed
+/// session has nowhere admissible to resume. It must fail closed with a
+/// scrubbed heap, never serve from an inadmissible node.
+#[test]
+fn no_admissible_target_fails_closed_as_no_region() {
+    use tinman::chaos::ChaosEvent;
+    let mut plan = ChaosPlan::empty();
+    plan.events = (0..4)
+        .map(|node| ChaosEvent::NodeDrain { node, from_session: 0, until_session: u64::MAX })
+        .collect();
+    let mut cfg = FleetConfig::new(6, 2);
+    cfg.regions = 2;
+    let report = run_fleet_chaos(&cfg, &plan, &FleetObs::default()).expect("runs");
+    // A session whose node work all lands before the drain deadline may
+    // legitimately complete; every other one must fail closed as a
+    // no_region kill — no third outcome.
+    assert_eq!(report.ok + report.fail_closed, report.sessions);
+    assert!(report.fail_closed > 0, "drained sessions with no target fail closed");
+    assert!(report.no_region_kills > 0, "checkpointed sessions with no target fail as no_region");
+    assert_eq!(
+        report.no_region_kills, report.fail_closed,
+        "every failure here is a no_region kill"
+    );
+    assert_eq!(report.migration_residue, 0, "even abandoned migrations scrub clean");
+    assert_eq!(report.residue_violations, 0);
+    assert!(report.outcomes.iter().all(|o| o.success ^ o.fail_closed));
+}
+
+/// Region mode surfaces the five new report keys; flat mode never does.
+#[test]
+fn region_keys_are_gated_on_region_mode() {
+    let mut cfg = FleetConfig::new(6, 2);
+    cfg.regions = 2;
+    let region = run_fleet_chaos(&cfg, &ChaosPlan::empty(), &FleetObs::default()).expect("runs");
+    let bytes = simulated(&region);
+    for key in [
+        "\"migrations\"",
+        "\"evacuations\"",
+        "\"region_failovers\"",
+        "\"migration_residue\"",
+        "\"no_region_kills\"",
+    ] {
+        assert!(bytes.contains(key), "{key} missing from region report: {bytes}");
+    }
+    let flat = run_fleet_chaos(&FleetConfig::new(6, 2), &ChaosPlan::empty(), &FleetObs::default())
+        .expect("runs");
+    assert!(!simulated(&flat).contains("\"migrations\""));
+}
+
+// ---------- arbitrary membership plans ----------
+
+use proptest::prelude::*;
+
+proptest! {
+    // Fleet runs are heavy; a handful of arbitrary plans per test run
+    // keeps the suite fast while the seed corpus accumulates coverage.
+    #![cases(6)]
+
+    /// The robustness property: under ANY combination of membership
+    /// change (drains, region outages, rolling upgrade waves, flapping
+    /// rejoins) interleaved with existing chaos families, every session
+    /// completes or fails closed, no outcome leaves cor residue on any
+    /// surface (device, node heap, migration checkpoint), no cor is
+    /// ever lost, and the simulated report is byte-identical across
+    /// worker counts.
+    #[test]
+    fn arbitrary_membership_plans_complete_or_fail_closed(
+        families in any::<u8>(),
+        drain in (0usize..4, 0u64..4, 1u64..4),
+        outage in (0u32..2, 0u64..4, 1u64..4),
+        wave in (1u64..3, 0u64..3),
+        flap in (0usize..4, 1u64..3, 0u64..3, 2u64..6),
+        lag in (0usize..4, 1u64..3),
+    ) {
+        use tinman::chaos::ChaosEvent;
+
+        // Always at least one drain (the migration path must be on the
+        // table in every case); the low bits of `families` layer the
+        // other membership families and a vault-lag interleaving on top.
+        let (dn, df, dl) = drain;
+        let mut events =
+            vec![ChaosEvent::NodeDrain { node: dn, from_session: df, until_session: df + dl }];
+        if families & 1 != 0 {
+            let (region, from, len) = outage;
+            events.push(ChaosEvent::RegionOutage {
+                region,
+                from_session: from,
+                until_session: from + len,
+            });
+        }
+        if families & 2 != 0 {
+            let (wave_sessions, from_session) = wave;
+            events.push(ChaosEvent::RollingUpgrade { wave_sessions, from_session });
+        }
+        if families & 4 != 0 {
+            let (node, period_sessions, from, len) = flap;
+            events.push(ChaosEvent::RejoinFlap {
+                node,
+                period_sessions,
+                from_session: from,
+                until_session: from + len,
+            });
+        }
+        if families & 8 != 0 {
+            let (node, lsns) = lag;
+            events.push(ChaosEvent::ReplicaLag {
+                node,
+                lsns,
+                from_session: 0,
+                until_session: 6,
+            });
+        }
+        let mut plan = ChaosPlan::empty();
+        plan.events = events;
+
+        let mut reference: Option<String> = None;
+        for workers in [1usize, 4] {
+            let mut cfg = FleetConfig::new(6, workers);
+            cfg.regions = 2;
+            let report = run_fleet_chaos(&cfg, &plan, &FleetObs::default()).unwrap();
+            prop_assert_eq!(
+                report.ok + report.fail_closed,
+                report.sessions,
+                "every session completes or fails closed"
+            );
+            prop_assert_eq!(report.residue_violations, 0, "no cor residue on any surface");
+            prop_assert_eq!(report.migration_residue, 0, "migration hand-offs scrub clean");
+            prop_assert_eq!(report.lost_cors, 0, "no cor is ever lost");
+            let bytes = simulated(&report);
+            match &reference {
+                None => reference = Some(bytes),
+                Some(r) => prop_assert_eq!(&bytes, r, "report diverged at {} workers", workers),
+            }
+        }
+    }
+}
+
+/// Membership is a pure replay — spot-check the exposed state machine
+/// through the facade (the `fleet::membership` unit tests own the
+/// exhaustive walks).
+#[test]
+fn membership_states_expose_stable_names() {
+    for (state, name) in [
+        (MembershipState::Serving, "serving"),
+        (MembershipState::Draining, "draining"),
+        (MembershipState::Down, "down"),
+        (MembershipState::CatchingUp, "catching_up"),
+        (MembershipState::Evacuated, "evacuated"),
+        (MembershipState::Decommissioned, "decommissioned"),
+    ] {
+        assert_eq!(state.as_str(), name);
+    }
+}
